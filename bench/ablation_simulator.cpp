@@ -1,0 +1,80 @@
+// Ablation bench for the power-simulation substrate: how the delay model
+// and pulse semantics change the power population a circuit exhibits —
+// and therefore the maximum the estimator targets. This quantifies the
+// paper's argument that simple delay models (zero delay in ATPG-based
+// methods) miss glitch power, and documents our inertial-by-default choice.
+//
+// Flags: --pop N (default 15000), --seed S, --circuits c880
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace mpe;
+  bench::CampaignOptions defaults;
+  defaults.population_size = 15'000;
+  defaults.circuits = {"c880"};
+  bench::CampaignOptions opt =
+      bench::parse_common_flags(argc, argv, defaults);
+
+  const auto circuits = bench::build_circuits(opt);
+  const auto& netlist = circuits.front();
+  std::printf(
+      "=== Ablations: delay model & pulse semantics on %s (%zu gates, "
+      "|V| = %zu) ===\n\n",
+      netlist.name().c_str(), netlist.num_gates(), opt.population_size);
+
+  struct Config {
+    const char* label;
+    sim::DelayModel model;
+    bool inertial;
+  };
+  const Config configs[] = {
+      {"zero delay (functional only)", sim::DelayModel::kZero, false},
+      {"unit delay, inertial", sim::DelayModel::kUnit, true},
+      {"unit delay, transport", sim::DelayModel::kUnit, false},
+      {"fanout-loaded, inertial (default)", sim::DelayModel::kFanoutLoaded,
+       true},
+      {"fanout-loaded, transport", sim::DelayModel::kFanoutLoaded, false},
+  };
+
+  Table table({"delay model", "mean power (mW)", "max power (mW)",
+               "max/q99.9", "glitch share of max"});
+  double zero_max = 0.0;
+  for (const auto& cfg : configs) {
+    sim::PowerEvalOptions po;
+    po.delay_model = cfg.model;
+    po.inertial = cfg.inertial;
+    sim::CyclePowerEvaluator evaluator(netlist, po);
+    const vec::HighActivityPairGenerator gen(netlist.num_inputs(),
+                                             opt.min_activity);
+    vec::PowerDbOptions db;
+    db.population_size = opt.population_size;
+    Rng rng(opt.seed);
+    std::fprintf(stderr, "[bench] simulating %s...\n", cfg.label);
+    const auto pop = vec::build_power_database(gen, evaluator, db, rng);
+    std::vector<double> v(pop.values().begin(), pop.values().end());
+    std::sort(v.begin(), v.end());
+    const double q999 = v[static_cast<std::size_t>(0.999 * (v.size() - 1))];
+    if (cfg.model == sim::DelayModel::kZero) zero_max = pop.true_max();
+    const double glitch_share =
+        zero_max > 0.0 ? (pop.true_max() - zero_max) / pop.true_max() : 0.0;
+    table.add_row({cfg.label, Table::num(stats::mean(pop.values()), 4),
+                   Table::num(pop.true_max(), 4),
+                   Table::num(pop.true_max() / q999, 3),
+                   Table::pct(std::max(glitch_share, 0.0))});
+  }
+  std::cout << table;
+  std::printf(
+      "\nReading: real delays add substantial glitch power on top of the "
+      "functional\n(zero-delay) value — the accuracy ceiling of zero-delay "
+      "vector-search methods.\nTransport semantics without inertial "
+      "filtering over-counts glitch trains and\ninflates the tail "
+      "(max/q99.9), which is why inertial is the default.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,137 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+
+namespace mpe::bench {
+
+CampaignOptions parse_common_flags(int argc, char** argv,
+                                   CampaignOptions defaults) {
+  const Cli cli(argc, argv);
+  // "samples" / "reps" are consumed by the figure benches, which share
+  // this parser for the population flags.
+  cli.check_known({"pop", "runs", "seed", "epsilon", "confidence",
+                   "circuits", "activity", "tprob", "samples", "reps",
+                   "mink"});
+  CampaignOptions opt = defaults;
+  opt.population_size = static_cast<std::size_t>(
+      cli.get_int("pop", static_cast<std::int64_t>(opt.population_size)));
+  opt.runs = static_cast<std::size_t>(
+      cli.get_int("runs", static_cast<std::int64_t>(opt.runs)));
+  opt.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", static_cast<std::int64_t>(opt.seed)));
+  opt.epsilon = cli.get_double("epsilon", opt.epsilon);
+  opt.min_hyper_samples = static_cast<std::size_t>(cli.get_int(
+      "mink", static_cast<std::int64_t>(opt.min_hyper_samples)));
+  opt.confidence = cli.get_double("confidence", opt.confidence);
+  opt.min_activity = cli.get_double("activity", opt.min_activity);
+  opt.transition_prob = cli.get_double("tprob", opt.transition_prob);
+  if (cli.has("circuits")) {
+    opt.circuits.clear();
+    std::stringstream ss(cli.get("circuits", ""));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (!tok.empty()) opt.circuits.push_back(tok);
+    }
+  }
+  return opt;
+}
+
+std::vector<circuit::Netlist> build_circuits(const CampaignOptions& opt) {
+  std::vector<circuit::Netlist> out;
+  if (opt.circuits.empty()) {
+    return gen::build_suite(opt.seed);
+  }
+  out.reserve(opt.circuits.size());
+  for (const auto& name : opt.circuits) {
+    out.push_back(gen::build_preset(name, opt.seed));
+  }
+  return out;
+}
+
+vec::FinitePopulation build_population(const circuit::Netlist& netlist,
+                                       const CampaignOptions& opt) {
+  sim::CyclePowerEvaluator evaluator(netlist);
+  std::unique_ptr<vec::PairGenerator> generator;
+  if (opt.kind == PopulationKind::kHighActivity) {
+    generator = std::make_unique<vec::HighActivityPairGenerator>(
+        netlist.num_inputs(), opt.min_activity);
+  } else {
+    generator = std::make_unique<vec::TransitionProbPairGenerator>(
+        netlist.num_inputs(), opt.transition_prob);
+  }
+  vec::PowerDbOptions db;
+  db.population_size = opt.population_size;
+  // Per-circuit deterministic stream, independent of suite order.
+  std::uint64_t h = opt.seed;
+  for (char c : netlist.name()) {
+    h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+  }
+  Rng rng(h);
+  return vec::build_power_database(*generator, evaluator, db, rng);
+}
+
+CircuitResult run_circuit_campaign(const circuit::Netlist& netlist,
+                                   const CampaignOptions& opt) {
+  CircuitResult res;
+  res.name = netlist.name();
+
+  auto population = build_population(netlist, opt);
+  res.true_max = population.true_max();
+  res.qualified_fraction = population.qualified_fraction(opt.epsilon);
+  res.srs_required =
+      res.qualified_fraction > 0.0 && res.qualified_fraction < 1.0
+          ? maxpower::srs_required_units(res.qualified_fraction,
+                                         opt.confidence)
+          : 0.0;
+
+  maxpower::EstimatorOptions est;
+  est.epsilon = opt.epsilon;
+  est.confidence = opt.confidence;
+  est.min_hyper_samples = opt.min_hyper_samples;
+
+  Rng rng(opt.seed * 0x9e3779b97f4a7c15ULL + 17);
+  res.units_min = static_cast<std::size_t>(-1);
+  double units_sum = 0.0;
+  double worst_abs = -1.0;
+  double best_abs = 1e300;
+  std::size_t over_eps = 0;
+  for (std::size_t run = 0; run < opt.runs; ++run) {
+    const auto r = maxpower::estimate_max_power(population, est, rng);
+    const double rel = (r.estimate - res.true_max) / res.true_max;
+    res.estimates.push_back(r.estimate);
+    res.units.push_back(static_cast<double>(r.units_used));
+    res.units_min = std::min(res.units_min, r.units_used);
+    res.units_max = std::max(res.units_max, r.units_used);
+    units_sum += static_cast<double>(r.units_used);
+    if (std::fabs(rel) > worst_abs) {
+      worst_abs = std::fabs(rel);
+      res.err_signed_worst = rel;
+    }
+    best_abs = std::min(best_abs, std::fabs(rel));
+    if (std::fabs(rel) > opt.epsilon) ++over_eps;
+  }
+  res.units_avg = units_sum / static_cast<double>(opt.runs);
+  res.err_abs_max = worst_abs;
+  res.err_abs_min = best_abs;
+  res.frac_err_gt_eps =
+      static_cast<double>(over_eps) / static_cast<double>(opt.runs);
+  res.population_values.assign(population.values().begin(),
+                               population.values().end());
+  return res;
+}
+
+std::vector<CircuitResult> run_suite_campaign(const CampaignOptions& opt) {
+  std::vector<CircuitResult> results;
+  for (const auto& netlist : build_circuits(opt)) {
+    std::fprintf(stderr, "[bench] %s: simulating %zu units, %zu runs...\n",
+                 netlist.name().c_str(), opt.population_size, opt.runs);
+    results.push_back(run_circuit_campaign(netlist, opt));
+  }
+  return results;
+}
+
+}  // namespace mpe::bench

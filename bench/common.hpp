@@ -1,0 +1,81 @@
+// Shared harness for the paper-reproduction benches: builds the circuit
+// suite, simulates finite populations (the paper's PowerMill step), runs
+// repeated estimation campaigns, and aggregates the statistics the paper's
+// tables report.
+//
+// Scale note: the paper uses |V| = 160k (unconstrained) / 80k (constrained)
+// and 100 estimation runs per circuit. Defaults here are scaled down to keep
+// a full bench run in minutes; pass --pop / --runs to reproduce full scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpe.hpp"
+
+namespace mpe::bench {
+
+/// Which population construction a campaign uses.
+enum class PopulationKind {
+  kHighActivity,     ///< uniform pairs filtered to activity >= 0.3 (Tables 1-2)
+  kTransitionProb,   ///< per-line transition probability (Tables 3-4)
+};
+
+/// Campaign configuration (one table = one campaign over the suite).
+struct CampaignOptions {
+  std::size_t population_size = 40'000;
+  std::size_t runs = 40;            ///< estimation repetitions per circuit
+  std::uint64_t seed = 1;
+  double epsilon = 0.05;
+  double confidence = 0.90;
+  /// Minimum hyper-samples before the stopping rule fires (paper: 2;
+  /// library default 3 — see EstimatorOptions::min_hyper_samples).
+  std::size_t min_hyper_samples = 3;
+  PopulationKind kind = PopulationKind::kHighActivity;
+  double min_activity = 0.3;        ///< for kHighActivity
+  double transition_prob = 0.5;     ///< for kTransitionProb
+  std::vector<std::string> circuits;  ///< empty = full 9-circuit suite
+};
+
+/// Parses the common bench flags (--pop, --runs, --seed, --epsilon,
+/// --confidence, --circuits a,b,c) into options, starting from defaults.
+CampaignOptions parse_common_flags(int argc, char** argv,
+                                   CampaignOptions defaults = {});
+
+/// Per-circuit campaign outcome.
+struct CircuitResult {
+  std::string name;
+  double true_max = 0.0;            ///< simulated population maximum [mW]
+  double qualified_fraction = 0.0;  ///< Y: units within 5% of the max
+  double srs_required = 0.0;        ///< theoretical SRS units for (5%, 90%)
+  std::size_t units_min = 0;        ///< min units over runs (our approach)
+  std::size_t units_max = 0;
+  double units_avg = 0.0;
+  double err_abs_max = 0.0;         ///< max |relative error| over runs
+  double err_abs_min = 0.0;         ///< min |relative error|
+  double err_signed_worst = 0.0;    ///< signed error of the worst run
+  double frac_err_gt_eps = 0.0;     ///< fraction of runs with |err| > eps
+  std::vector<double> estimates;    ///< all run estimates [mW]
+  std::vector<double> units;        ///< all run unit counts
+  /// The materialized population values (kept for follow-up analyses like
+  /// Table 2's SRS comparison and the figure benches).
+  std::vector<double> population_values;
+};
+
+/// Builds the population for one circuit under the campaign options.
+vec::FinitePopulation build_population(const circuit::Netlist& netlist,
+                                       const CampaignOptions& opt);
+
+/// Runs the estimation campaign for one circuit.
+CircuitResult run_circuit_campaign(const circuit::Netlist& netlist,
+                                   const CampaignOptions& opt);
+
+/// Runs the campaign over the configured suite, printing progress to
+/// stderr.
+std::vector<CircuitResult> run_suite_campaign(const CampaignOptions& opt);
+
+/// Builds the netlists selected by the options (default: all 9 presets).
+std::vector<circuit::Netlist> build_circuits(const CampaignOptions& opt);
+
+}  // namespace mpe::bench

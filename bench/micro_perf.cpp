@@ -1,0 +1,138 @@
+// Microbenchmarks (google-benchmark): raw throughput of the building
+// blocks — zero-delay vs event-driven cycle simulation across circuit
+// sizes, Weibull MLE fit latency, hyper-sample cost, and the statistical
+// primitives on the estimator's hot path.
+#include <benchmark/benchmark.h>
+
+#include "mpe.hpp"
+
+namespace {
+
+using namespace mpe;
+
+const circuit::Netlist& preset(const std::string& name) {
+  static std::map<std::string, circuit::Netlist> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, gen::build_preset(name, 1)).first;
+  }
+  return it->second;
+}
+
+void BM_ZeroDelayCycle(benchmark::State& state, const std::string& name) {
+  const auto& nl = preset(name);
+  sim::ZeroDelaySimulator sim(nl, sim::Technology{});
+  Rng rng(7);
+  std::vector<std::uint8_t> v1(nl.num_inputs()), v2(nl.num_inputs());
+  for (auto _ : state) {
+    for (auto& b : v1) b = rng.bernoulli(0.5);
+    for (auto& b : v2) b = rng.bernoulli(0.5);
+    benchmark::DoNotOptimize(sim.evaluate(v1, v2).power_mw);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_EventCycle(benchmark::State& state, const std::string& name,
+                   bool inertial) {
+  const auto& nl = preset(name);
+  sim::EventSimOptions opt;
+  opt.inertial = inertial;
+  sim::EventSimulator sim(nl, opt);
+  Rng rng(7);
+  std::vector<std::uint8_t> v1(nl.num_inputs()), v2(nl.num_inputs());
+  for (auto _ : state) {
+    for (auto& b : v1) b = rng.bernoulli(0.5);
+    for (auto& b : v2) b = rng.bernoulli(0.5);
+    benchmark::DoNotOptimize(sim.evaluate(v1, v2).power_mw);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_BitParallelBatch(benchmark::State& state, const std::string& name) {
+  const auto& nl = preset(name);
+  sim::BitParallelSimulator sim(nl, sim::Technology{});
+  Rng rng(7);
+  std::vector<vec::VectorPair> pairs(64);
+  for (auto& p : pairs) {
+    p.first = vec::random_vector(nl.num_inputs(), rng);
+    p.second = vec::random_vector(nl.num_inputs(), rng);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.evaluate_batch(pairs).front().power_mw);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);  // pairs per pass
+}
+
+void BM_WeibullMle(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const stats::ReversedWeibull g(3.0, 1.0, 10.0);
+  Rng rng(3);
+  std::vector<double> xs(m);
+  for (auto& x : xs) x = g.sample(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evt::fit_weibull_mle(xs).params.mu);
+  }
+}
+
+void BM_PwmFit(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const stats::ReversedWeibull g(3.0, 1.0, 10.0);
+  Rng rng(3);
+  std::vector<double> xs(m);
+  for (auto& x : xs) x = g.sample(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evt::fit_gev_pwm(xs).params.xi);
+  }
+}
+
+void BM_HyperSample(benchmark::State& state) {
+  const stats::ReversedWeibull g(3.0, 1.0, 10.0);
+  Rng rng(9);
+  std::vector<double> values(20000);
+  for (auto& v : values) v = g.sample(rng);
+  vec::FinitePopulation pop(std::move(values), "synthetic");
+  maxpower::HyperSampleOptions opt;
+  Rng draw_rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        maxpower::draw_hyper_sample(pop, opt, draw_rng).estimate);
+  }
+}
+
+void BM_StudentTCritical(benchmark::State& state) {
+  double k = 2.0;
+  for (auto _ : state) {
+    const stats::StudentT t(k);
+    benchmark::DoNotOptimize(t.two_sided_critical(0.9));
+    k = k >= 100.0 ? 2.0 : k + 1.0;
+  }
+}
+
+void BM_NormalQuantile(benchmark::State& state) {
+  double q = 0.001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::Normal::std_quantile(q));
+    q += 0.0001;
+    if (q >= 0.999) q = 0.001;
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_ZeroDelayCycle, c432, std::string("c432"));
+BENCHMARK_CAPTURE(BM_ZeroDelayCycle, c3540, std::string("c3540"));
+BENCHMARK_CAPTURE(BM_ZeroDelayCycle, c7552, std::string("c7552"));
+BENCHMARK_CAPTURE(BM_EventCycle, c432_inertial, std::string("c432"), true);
+BENCHMARK_CAPTURE(BM_EventCycle, c3540_inertial, std::string("c3540"), true);
+BENCHMARK_CAPTURE(BM_EventCycle, c3540_transport, std::string("c3540"),
+                  false);
+BENCHMARK_CAPTURE(BM_EventCycle, c7552_inertial, std::string("c7552"), true);
+BENCHMARK_CAPTURE(BM_BitParallelBatch, c3540, std::string("c3540"));
+BENCHMARK_CAPTURE(BM_BitParallelBatch, c7552, std::string("c7552"));
+BENCHMARK(BM_WeibullMle)->Arg(10)->Arg(50)->Arg(500);
+BENCHMARK(BM_PwmFit)->Arg(10)->Arg(50)->Arg(500);
+BENCHMARK(BM_HyperSample);
+BENCHMARK(BM_StudentTCritical);
+BENCHMARK(BM_NormalQuantile);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Extension bench (beyond the paper): the EVT estimator applied to
+// sequential circuits. Per-cycle power along a random input stream is
+// state-correlated, so this exercises the method outside its i.i.d.
+// comfort zone — the direction the paper's related work ([4], sequential
+// maximum power cycles) points at. One row per s-series stand-in: average
+// stream power, the EVT maximum estimate with its CI, and the cycle count.
+//
+// Flags: --seed S, --epsilon E, --circuits s27,s344,...
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace mpe;
+  const Cli cli(argc, argv);
+  cli.check_known({"seed", "epsilon", "circuits"});
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const double epsilon = cli.get_double("epsilon", 0.08);
+  std::vector<std::string> names = {"s27", "s298", "s344", "s386", "s526",
+                                    "s641", "s820", "s1196", "s1423"};
+  if (cli.has("circuits")) {
+    names.clear();
+    std::string list = cli.get("circuits", ""), tok;
+    std::stringstream ss(list);
+    while (std::getline(ss, tok, ',')) {
+      if (!tok.empty()) names.push_back(tok);
+    }
+  }
+
+  std::printf(
+      "=== Extension: EVT max cycle power on sequential stand-ins "
+      "(eps = %.0f%% @ 90%%) ===\n\n",
+      epsilon * 100.0);
+
+  Table table({"circuit", "PIs", "FFs", "gates", "avg power (mW)",
+               "est. max (mW)", "90% CI (mW)", "cycles", "conv"});
+  for (const auto& name : names) {
+    std::fprintf(stderr, "[bench] %s...\n", name.c_str());
+    auto netlist = seq::build_seq_preset(name, seed);
+
+    seq::SequentialSimulator probe_sim(netlist);
+    seq::SequencePopulation probe(probe_sim);
+    Rng probe_rng(seed + 1);
+    double avg = 0.0;
+    const int probe_n = 300;
+    for (int i = 0; i < probe_n; ++i) avg += probe.draw(probe_rng);
+    avg /= probe_n;
+
+    seq::SequentialSimulator est_sim(netlist);
+    seq::SequencePopulation pop(est_sim);
+    maxpower::EstimatorOptions opt;
+    opt.epsilon = epsilon;
+    Rng rng(seed);
+    const auto r = maxpower::estimate_max_power(pop, opt, rng);
+
+    table.add_row(
+        {name,
+         Table::integer(static_cast<long long>(netlist.num_free_inputs())),
+         Table::integer(static_cast<long long>(netlist.num_state_bits())),
+         Table::integer(static_cast<long long>(netlist.core().num_gates())),
+         Table::num(avg, 4), Table::num(r.estimate, 4),
+         "[" + Table::num(r.ci.lower, 3) + ", " + Table::num(r.ci.upper, 3) +
+             "]",
+         Table::integer(static_cast<long long>(r.units_used)),
+         r.converged ? "yes" : "no"});
+  }
+  std::cout << table;
+  std::printf(
+      "\nReading: the estimator converges on state-correlated cycle-power "
+      "streams; the\nmax/avg ratio quantifies how much headroom a purely "
+      "average-power sign-off\nwould miss on clocked designs.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,58 @@
+// Reproduces Table 1 of the paper: efficiency comparison between the EVT
+// estimator ("our approach") and simple random sampling on unconstrained
+// (high-activity) populations — qualified-unit fraction Y, min/avg/max units
+// used by our approach across repeated runs, the theoretical SRS unit count
+// for the same (5%, 90%) target, and our min/max relative error.
+//
+// Flags: --pop N (default 40000; paper 160000), --runs R (default 40;
+// paper 100), --seed S, --circuits c432,c880,...
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace mpe;
+  bench::CampaignOptions defaults;
+  defaults.population_size = 60000;
+  defaults.runs = 50;
+  bench::CampaignOptions opt =
+      bench::parse_common_flags(argc, argv, defaults);
+  opt.kind = bench::PopulationKind::kHighActivity;
+
+  std::printf(
+      "=== Table 1: efficiency, unconstrained input sequences ===\n"
+      "population: %zu high-activity (>= %.1f) pairs per circuit, %zu runs, "
+      "target error %.0f%% @ %.0f%% confidence\n"
+      "(paper: |V| = 160000, 100 runs)\n\n",
+      opt.population_size, opt.min_activity, opt.runs, opt.epsilon * 100,
+      opt.confidence * 100);
+
+  const auto results = bench::run_suite_campaign(opt);
+
+  Table table({"Circuit", "Y (qualified)", "units MAX", "units MIN",
+               "units AVE", "SRS AVE (theory)", "err MAX", "err MIN",
+               "speedup"});
+  double speedup_sum = 0.0;
+  for (const auto& r : results) {
+    const double speedup =
+        r.units_avg > 0.0 ? r.srs_required / r.units_avg : 0.0;
+    speedup_sum += speedup;
+    table.add_row({r.name, Table::num(r.qualified_fraction, 6),
+                   Table::integer(static_cast<long long>(r.units_max)),
+                   Table::integer(static_cast<long long>(r.units_min)),
+                   Table::integer(static_cast<long long>(r.units_avg)),
+                   Table::integer(static_cast<long long>(r.srs_required)),
+                   Table::pct(r.err_abs_max), Table::pct(r.err_abs_min),
+                   Table::num(speedup, 1) + "x"});
+  }
+  std::cout << table;
+  std::printf(
+      "\naverage speedup over theoretical SRS: %.1fx (paper reports ~12x "
+      "on the original ISCAS-85 netlists at |V| = 160k)\n",
+      speedup_sum / static_cast<double>(results.size()));
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

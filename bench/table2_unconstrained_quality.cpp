@@ -1,0 +1,74 @@
+// Reproduces Table 2 of the paper: estimation quality comparison on
+// unconstrained populations — the actual maximum power, the largest signed
+// estimation error of our approach versus SRS with 2500 / 10k / 20k units,
+// and the percentage of runs whose error exceeds 5%.
+//
+// Flags: --pop N (default 40000; paper 160000), --runs R (default 40;
+// paper 100), --seed S, --circuits ...
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace mpe;
+  bench::CampaignOptions defaults;
+  defaults.population_size = 60000;
+  defaults.runs = 50;
+  bench::CampaignOptions opt =
+      bench::parse_common_flags(argc, argv, defaults);
+  opt.kind = bench::PopulationKind::kHighActivity;
+
+  std::printf(
+      "=== Table 2: estimation quality, unconstrained input sequences ===\n"
+      "population: %zu high-activity pairs per circuit, %zu runs per "
+      "technique (paper: |V| = 160000, 100 runs)\n\n",
+      opt.population_size, opt.runs);
+
+  const auto results = bench::run_suite_campaign(opt);
+
+  constexpr std::size_t kSrsBudgets[] = {2500, 10'000, 20'000};
+
+  Table table({"Circuit", "actual max (mW)", "ours worst", "SRS2500 worst",
+               "SRS10K worst", "SRS20K worst", "ours >5%", "SRS2500 >5%",
+               "SRS10K >5%", "SRS20K >5%"});
+
+  for (const auto& r : results) {
+    // SRS campaigns re-sample the stored population.
+    vec::FinitePopulation population(r.population_values, r.name);
+    Rng rng(opt.seed * 1315423911ULL + 3);
+    double srs_worst[3] = {0.0, 0.0, 0.0};
+    double srs_over[3] = {0.0, 0.0, 0.0};
+    for (std::size_t b = 0; b < 3; ++b) {
+      double worst_abs = -1.0, worst_signed = 0.0;
+      std::size_t over = 0;
+      for (std::size_t run = 0; run < opt.runs; ++run) {
+        const auto s = maxpower::srs_estimate(population, kSrsBudgets[b], rng);
+        const double rel = (s.estimate - r.true_max) / r.true_max;
+        if (std::fabs(rel) > worst_abs) {
+          worst_abs = std::fabs(rel);
+          worst_signed = rel;
+        }
+        if (std::fabs(rel) > opt.epsilon) ++over;
+      }
+      srs_worst[b] = worst_signed;
+      srs_over[b] = static_cast<double>(over) / static_cast<double>(opt.runs);
+    }
+    table.add_row({r.name, Table::num(r.true_max, 3),
+                   Table::pct(r.err_signed_worst), Table::pct(srs_worst[0]),
+                   Table::pct(srs_worst[1]), Table::pct(srs_worst[2]),
+                   Table::pct(r.frac_err_gt_eps, 0), Table::pct(srs_over[0], 0),
+                   Table::pct(srs_over[1], 0), Table::pct(srs_over[2], 0)});
+  }
+  std::cout << table;
+  std::printf(
+      "\nReading: SRS errors are always negative (it can only approach the "
+      "max from below)\nand shrink slowly with budget; our approach meets "
+      "the 5%% target in most runs at a\nfraction of the units (paper: ours "
+      "4.3%% of runs >5%% vs 23%% for SRS@20k).\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,110 @@
+// EVT playground: demonstrates the statistical machinery on synthetic data
+// where the truth is known —
+//   1. block maxima of a bounded parent converge to the reversed Weibull,
+//   2. which Fisher–Tippett domain a sample belongs to,
+//   3. endpoint recovery by the Smith MLE versus PWM,
+//   4. how the finite-population quantile correction removes the bias.
+//
+//   ./evt_playground [--seed 7]
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <iostream>
+
+#include "mpe.hpp"
+
+int main(int argc, char** argv) try {
+  const mpe::Cli cli(argc, argv);
+  cli.check_known({"seed"});
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  mpe::Rng rng(seed);
+
+  // ---- 1. Convergence of block maxima ------------------------------------
+  std::printf("1) block maxima of U(0,1): fitted Weibull endpoint vs n\n");
+  mpe::Table conv({"block size n", "fitted endpoint mu", "fitted shape",
+                   "KS distance"});
+  for (std::size_t n : {2u, 10u, 30u, 50u}) {
+    std::vector<double> maxima(500);
+    for (auto& m : maxima) {
+      double best = 0.0;
+      for (std::size_t j = 0; j < n; ++j) best = std::max(best, rng.uniform());
+      m = best;
+    }
+    const auto fit = mpe::evt::fit_weibull_mle(maxima);
+    const mpe::stats::ReversedWeibull g(fit.params);
+    const auto ks =
+        mpe::stats::ks_test(maxima, [&](double x) { return g.cdf(x); });
+    conv.add_row({mpe::Table::integer(static_cast<long long>(n)),
+                  mpe::Table::num(fit.params.mu, 4),
+                  mpe::Table::num(fit.params.alpha, 3),
+                  mpe::Table::num(ks.statistic, 4)});
+  }
+  std::cout << conv;
+  std::printf("   (true endpoint is 1.0; the fit tightens as n grows)\n\n");
+
+  // ---- 2. Domain-of-attraction classification ----------------------------
+  std::printf("2) domain classification of three synthetic samples\n");
+  auto classify = [&](const char* label, std::vector<double> xs) {
+    const auto c = mpe::evt::classify_domain(xs);
+    std::printf("   %-24s -> %-8s (PWM shape xi = %+.3f)\n", label,
+                mpe::evt::to_string(c.best).c_str(), c.pwm_xi);
+  };
+  {
+    const mpe::stats::ReversedWeibull g(3.0, 1.0, 5.0);
+    std::vector<double> xs(1500);
+    for (auto& x : xs) x = g.sample(rng);
+    classify("bounded (Weibull)", std::move(xs));
+  }
+  {
+    const mpe::stats::Gumbel g(0.0, 1.0);
+    std::vector<double> xs(1500);
+    for (auto& x : xs) x = g.sample(rng);
+    classify("exponential-tail (Gumbel)", std::move(xs));
+  }
+  {
+    const mpe::stats::Frechet g(1.5, 1.0);
+    std::vector<double> xs(1500);
+    for (auto& x : xs) x = g.sample(rng);
+    classify("power-tail (Frechet)", std::move(xs));
+  }
+
+  // ---- 3. MLE vs PWM endpoint recovery ------------------------------------
+  std::printf("\n3) endpoint recovery, true mu = 10 (m = 50 maxima)\n");
+  const mpe::stats::ReversedWeibull truth(3.5, 1.0, 10.0);
+  std::vector<double> sample(50);
+  for (auto& x : sample) x = truth.sample(rng);
+  const auto mle = mpe::evt::fit_weibull_mle(sample);
+  const auto pwm = mpe::evt::fit_gev_pwm(sample);
+  std::printf("   Smith MLE : mu = %.4f (alpha = %.2f)\n", mle.params.mu,
+              mle.params.alpha);
+  if (pwm.valid && pwm.params.xi < 0.0) {
+    std::printf("   PWM       : mu = %.4f (xi = %.3f)\n",
+                mpe::stats::Gev(pwm.params).right_endpoint(), pwm.params.xi);
+  }
+
+  // ---- 4. Finite-population correction ------------------------------------
+  std::printf("\n4) finite-population correction (|V| = 20000)\n");
+  std::vector<double> values(20000);
+  for (auto& v : values) v = truth.sample(rng);
+  mpe::vec::FinitePopulation population(std::move(values), "synthetic");
+  mpe::maxpower::HyperSampleOptions raw;
+  raw.finite_correction = false;
+  raw.endpoint_ridge_tolerance = 0.0;
+  mpe::maxpower::HyperSampleOptions corrected;
+  double raw_mean = 0.0, corrected_mean = 0.0;
+  const int reps = 60;
+  mpe::Rng r1(seed + 1), r2(seed + 1);
+  for (int i = 0; i < reps; ++i) {
+    raw_mean += draw_hyper_sample(population, raw, r1).estimate;
+    corrected_mean += draw_hyper_sample(population, corrected, r2).estimate;
+  }
+  std::printf(
+      "   population max          : %.4f\n"
+      "   mean raw mu-hat         : %.4f  (biased high)\n"
+      "   mean corrected estimate : %.4f  (the paper's Section 3.4 fix)\n",
+      population.true_max(), raw_mean / reps, corrected_mean / reps);
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Build, test, and regenerate every paper table/figure into bench_output.txt.
+set -e
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+{
+  for b in build/bench/*; do
+    if [ -x "$b" ] && [ -f "$b" ]; then
+      echo "===== $(basename "$b") ====="
+      "$b"
+      echo
+    fi
+  done
+} 2>&1 | tee bench_output.txt

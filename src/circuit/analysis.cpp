@@ -1,0 +1,76 @@
+#include "circuit/analysis.hpp"
+
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace mpe::circuit {
+
+std::vector<std::uint8_t> evaluate(const Netlist& netlist,
+                                   std::span<const std::uint8_t> input_values) {
+  MPE_EXPECTS(netlist.finalized());
+  MPE_EXPECTS_MSG(input_values.size() == netlist.num_inputs(),
+                  "one value per primary input required");
+  std::vector<std::uint8_t> value(netlist.num_nodes(), 0);
+  const auto& inputs = netlist.inputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    value[inputs[i]] = input_values[i] ? 1 : 0;
+  }
+  std::vector<std::uint8_t> fanin_vals;
+  for (GateId g : netlist.topo_order()) {
+    const Gate& gate = netlist.gate(g);
+    fanin_vals.clear();
+    for (NodeId in : gate.inputs) fanin_vals.push_back(value[in]);
+    value[gate.output] = eval_gate(gate.type, fanin_vals) ? 1 : 0;
+  }
+  return value;
+}
+
+ActivityProfile estimate_activity(const Netlist& netlist,
+                                  std::size_t num_pairs, double p1,
+                                  double transition_prob, Rng& rng) {
+  MPE_EXPECTS(netlist.finalized());
+  MPE_EXPECTS(num_pairs >= 1);
+  MPE_EXPECTS(p1 >= 0.0 && p1 <= 1.0);
+  MPE_EXPECTS(transition_prob >= 0.0 && transition_prob <= 1.0);
+
+  ActivityProfile prof;
+  prof.signal_prob.assign(netlist.num_nodes(), 0.0);
+  prof.toggle_prob.assign(netlist.num_nodes(), 0.0);
+  prof.vectors_used = num_pairs;
+
+  const std::size_t ni = netlist.num_inputs();
+  std::vector<std::uint8_t> v1(ni), v2(ni);
+  for (std::size_t it = 0; it < num_pairs; ++it) {
+    for (std::size_t i = 0; i < ni; ++i) {
+      v1[i] = rng.bernoulli(p1) ? 1 : 0;
+      v2[i] = rng.bernoulli(transition_prob) ? (v1[i] ^ 1) : v1[i];
+    }
+    const auto a = evaluate(netlist, v1);
+    const auto b = evaluate(netlist, v2);
+    for (std::size_t n = 0; n < a.size(); ++n) {
+      prof.signal_prob[n] += 0.5 * (a[n] + b[n]);
+      prof.toggle_prob[n] += (a[n] != b[n]) ? 1.0 : 0.0;
+    }
+  }
+  const auto denom = static_cast<double>(num_pairs);
+  double sum_act = 0.0;
+  for (std::size_t n = 0; n < prof.signal_prob.size(); ++n) {
+    prof.signal_prob[n] /= denom;
+    prof.toggle_prob[n] /= denom;
+    sum_act += prof.toggle_prob[n];
+  }
+  prof.avg_activity = sum_act / static_cast<double>(prof.toggle_prob.size());
+  return prof;
+}
+
+std::vector<std::size_t> level_histogram(const Netlist& netlist) {
+  MPE_EXPECTS(netlist.finalized());
+  std::vector<std::size_t> hist(netlist.depth() + 1, 0);
+  for (NodeId n = 0; n < netlist.num_nodes(); ++n) {
+    ++hist[netlist.level(n)];
+  }
+  return hist;
+}
+
+}  // namespace mpe::circuit

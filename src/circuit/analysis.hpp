@@ -1,0 +1,45 @@
+// Structural and statistical netlist analysis: level histograms, and
+// Monte-Carlo estimation of per-node signal probabilities and switching
+// activities under random or constrained input statistics. Self-contained
+// (uses its own levelized evaluation) so the circuit layer stays independent
+// of the simulators built on top of it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace mpe::circuit {
+
+/// Per-node Monte-Carlo signal statistics.
+struct ActivityProfile {
+  /// P(node == 1) under the sampled input distribution.
+  std::vector<double> signal_prob;
+  /// P(node toggles between two consecutive vectors) — zero-delay toggle
+  /// probability (no glitches).
+  std::vector<double> toggle_prob;
+  /// Mean toggle probability over all nodes.
+  double avg_activity = 0.0;
+  std::size_t vectors_used = 0;
+};
+
+/// Estimates signal probabilities and toggle activities by applying
+/// `num_pairs` random vector pairs where each primary input is an independent
+/// Bernoulli(p1) in the first vector and flips with probability
+/// `transition_prob` in the second. Requires a finalized netlist.
+ActivityProfile estimate_activity(const Netlist& netlist,
+                                  std::size_t num_pairs, double p1,
+                                  double transition_prob, Rng& rng);
+
+/// Histogram of node count per logic level (index = level).
+std::vector<std::size_t> level_histogram(const Netlist& netlist);
+
+/// Zero-delay functional evaluation: given values for every primary input
+/// (aligned with netlist.inputs()), returns values for every node.
+/// Exposed for tests and for the analysis routines.
+std::vector<std::uint8_t> evaluate(const Netlist& netlist,
+                                   std::span<const std::uint8_t> input_values);
+
+}  // namespace mpe::circuit

@@ -1,0 +1,142 @@
+#include "circuit/builder.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace mpe::circuit {
+
+NetlistBuilder::NetlistBuilder(Netlist& netlist, std::string prefix)
+    : netlist_(netlist), prefix_(std::move(prefix)) {
+  MPE_EXPECTS(!prefix_.empty());
+}
+
+NodeId NetlistBuilder::fresh() {
+  // Probe for an unused generated name (robust when mixing with explicit
+  // names that could collide with the pattern).
+  for (;;) {
+    const std::string candidate = prefix_ + std::to_string(counter_++);
+    if (!netlist_.find(candidate)) return netlist_.declare(candidate);
+  }
+}
+
+NodeId NetlistBuilder::input(const std::string& name) {
+  if (!name.empty()) return netlist_.add_input(name);
+  for (;;) {
+    const std::string candidate =
+        prefix_ + "_pi" + std::to_string(counter_++);
+    if (!netlist_.find(candidate)) return netlist_.add_input(candidate);
+  }
+}
+
+NodeId NetlistBuilder::binary(GateType t, NodeId a, NodeId b) {
+  const NodeId out = fresh();
+  netlist_.add_gate_ids(t, out, {a, b});
+  return out;
+}
+
+NodeId NetlistBuilder::buf(NodeId a) {
+  const NodeId out = fresh();
+  netlist_.add_gate_ids(GateType::kBuf, out, {a});
+  return out;
+}
+
+NodeId NetlistBuilder::not_(NodeId a) {
+  const NodeId out = fresh();
+  netlist_.add_gate_ids(GateType::kNot, out, {a});
+  return out;
+}
+
+NodeId NetlistBuilder::and_(NodeId a, NodeId b) {
+  return binary(GateType::kAnd, a, b);
+}
+NodeId NetlistBuilder::nand_(NodeId a, NodeId b) {
+  return binary(GateType::kNand, a, b);
+}
+NodeId NetlistBuilder::or_(NodeId a, NodeId b) {
+  return binary(GateType::kOr, a, b);
+}
+NodeId NetlistBuilder::nor_(NodeId a, NodeId b) {
+  return binary(GateType::kNor, a, b);
+}
+NodeId NetlistBuilder::xor_(NodeId a, NodeId b) {
+  return binary(GateType::kXor, a, b);
+}
+NodeId NetlistBuilder::xnor_(NodeId a, NodeId b) {
+  return binary(GateType::kXnor, a, b);
+}
+
+NodeId NetlistBuilder::gate(GateType t, std::span<const NodeId> fanins) {
+  MPE_EXPECTS(fanins.size() >= 2);
+  const NodeId out = fresh();
+  netlist_.add_gate_ids(t, out,
+                        std::vector<NodeId>(fanins.begin(), fanins.end()));
+  return out;
+}
+
+NodeId NetlistBuilder::reduce(GateType t, std::span<const NodeId> fanins,
+                              std::size_t max_fanin) {
+  MPE_EXPECTS(!fanins.empty());
+  MPE_EXPECTS(max_fanin >= 2);
+  if (fanins.size() == 1) return fanins[0];
+
+  // Map inverting types to their non-inverting core; invert only the root.
+  GateType core = t;
+  bool invert_root = false;
+  switch (t) {
+    case GateType::kNand:
+      core = GateType::kAnd;
+      invert_root = true;
+      break;
+    case GateType::kNor:
+      core = GateType::kOr;
+      invert_root = true;
+      break;
+    case GateType::kXnor:
+      core = GateType::kXor;
+      invert_root = true;
+      break;
+    default:
+      break;
+  }
+
+  std::vector<NodeId> layer(fanins.begin(), fanins.end());
+  while (layer.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i < layer.size(); i += max_fanin) {
+      const std::size_t take = std::min(max_fanin, layer.size() - i);
+      if (take == 1) {
+        next.push_back(layer[i]);
+      } else {
+        next.push_back(gate(
+            core, std::span<const NodeId>(layer.data() + i, take)));
+      }
+    }
+    layer = std::move(next);
+  }
+  return invert_root ? not_(layer[0]) : layer[0];
+}
+
+NodeId NetlistBuilder::mux(NodeId sel, NodeId lo, NodeId hi) {
+  // out = (sel' nand lo')' ... classic 4-NAND mux: n1 = nand(sel, hi),
+  // n2 = nand(not sel, lo), out = nand(n1, n2).
+  const NodeId nsel = not_(sel);
+  const NodeId n1 = nand_(sel, hi);
+  const NodeId n2 = nand_(nsel, lo);
+  return nand_(n1, n2);
+}
+
+NetlistBuilder::SumCarry NetlistBuilder::half_adder(NodeId a, NodeId b) {
+  return {xor_(a, b), and_(a, b)};
+}
+
+NetlistBuilder::SumCarry NetlistBuilder::full_adder(NodeId a, NodeId b,
+                                                    NodeId cin) {
+  const NodeId axb = xor_(a, b);
+  const NodeId sum = xor_(axb, cin);
+  const NodeId c1 = and_(a, b);
+  const NodeId c2 = and_(axb, cin);
+  return {sum, or_(c1, c2)};
+}
+
+}  // namespace mpe::circuit

@@ -1,0 +1,69 @@
+// Convenience layer for constructing netlists programmatically: fresh signal
+// naming, two-input gate helpers, and balanced reduction trees for wide
+// AND/OR/XOR functions. All circuit generators are written against this.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace mpe::circuit {
+
+/// Builder owning naming conventions on top of an existing Netlist.
+class NetlistBuilder {
+ public:
+  /// Wraps `netlist`; generated signals are named `<prefix><counter>`.
+  explicit NetlistBuilder(Netlist& netlist, std::string prefix = "n");
+
+  Netlist& netlist() { return netlist_; }
+
+  /// Declares a fresh internal signal with a generated unique name.
+  NodeId fresh();
+
+  /// Adds a primary input with a generated or explicit name.
+  NodeId input(const std::string& name = "");
+
+  // Two-input / unary helpers; each returns the freshly created output node.
+  NodeId buf(NodeId a);
+  NodeId not_(NodeId a);
+  NodeId and_(NodeId a, NodeId b);
+  NodeId nand_(NodeId a, NodeId b);
+  NodeId or_(NodeId a, NodeId b);
+  NodeId nor_(NodeId a, NodeId b);
+  NodeId xor_(NodeId a, NodeId b);
+  NodeId xnor_(NodeId a, NodeId b);
+
+  /// N-ary gate with explicit fanin list (arity >= 2).
+  NodeId gate(GateType t, std::span<const NodeId> fanins);
+
+  /// Balanced tree reduction of `fanins` using gates of type `t` with at most
+  /// `max_fanin` inputs each. For a single input returns it unchanged.
+  /// `t` must be associative as used here (AND/OR/XOR and their inversions
+  /// are handled by inverting only the final stage for NAND/NOR/XNOR).
+  NodeId reduce(GateType t, std::span<const NodeId> fanins,
+                std::size_t max_fanin = 4);
+
+  /// 2-to-1 multiplexer: sel ? hi : lo (built from NAND gates).
+  NodeId mux(NodeId sel, NodeId lo, NodeId hi);
+
+  /// Full adder; returns {sum, carry}.
+  struct SumCarry {
+    NodeId sum;
+    NodeId carry;
+  };
+  SumCarry full_adder(NodeId a, NodeId b, NodeId cin);
+
+  /// Half adder; returns {sum, carry}.
+  SumCarry half_adder(NodeId a, NodeId b);
+
+ private:
+  NodeId binary(GateType t, NodeId a, NodeId b);
+
+  Netlist& netlist_;
+  std::string prefix_;
+  std::size_t counter_ = 0;
+};
+
+}  // namespace mpe::circuit

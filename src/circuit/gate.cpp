@@ -1,0 +1,102 @@
+#include "circuit/gate.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace mpe::circuit {
+
+std::string to_string(GateType t) {
+  switch (t) {
+    case GateType::kBuf:
+      return "buf";
+    case GateType::kNot:
+      return "not";
+    case GateType::kAnd:
+      return "and";
+    case GateType::kNand:
+      return "nand";
+    case GateType::kOr:
+      return "or";
+    case GateType::kNor:
+      return "nor";
+    case GateType::kXor:
+      return "xor";
+    case GateType::kXnor:
+      return "xnor";
+  }
+  return "?";
+}
+
+GateType gate_type_from_string(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "buf" || lower == "buff") return GateType::kBuf;
+  if (lower == "not" || lower == "inv") return GateType::kNot;
+  if (lower == "and") return GateType::kAnd;
+  if (lower == "nand") return GateType::kNand;
+  if (lower == "or") return GateType::kOr;
+  if (lower == "nor") return GateType::kNor;
+  if (lower == "xor") return GateType::kXor;
+  if (lower == "xnor") return GateType::kXnor;
+  throw std::invalid_argument("unknown gate type: " + name);
+}
+
+bool is_unary(GateType t) {
+  return t == GateType::kBuf || t == GateType::kNot;
+}
+
+bool eval_gate(GateType t, std::span<const std::uint8_t> inputs) {
+  MPE_EXPECTS(!inputs.empty());
+  if (is_unary(t)) {
+    MPE_EXPECTS(inputs.size() == 1);
+    const bool v = inputs[0] != 0;
+    return t == GateType::kBuf ? v : !v;
+  }
+  MPE_EXPECTS(inputs.size() >= 2);
+  switch (t) {
+    case GateType::kAnd:
+    case GateType::kNand: {
+      bool acc = true;
+      for (auto v : inputs) acc = acc && (v != 0);
+      return t == GateType::kAnd ? acc : !acc;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      bool acc = false;
+      for (auto v : inputs) acc = acc || (v != 0);
+      return t == GateType::kOr ? acc : !acc;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      bool acc = false;
+      for (auto v : inputs) acc = acc != (v != 0);
+      return t == GateType::kXor ? acc : !acc;
+    }
+    default:
+      break;
+  }
+  throw std::logic_error("unreachable gate type");
+}
+
+const GateElectrical& electrical(GateType t) {
+  // Relative values loosely modeled on a 0.35um standard-cell library:
+  // inverters are light and fast; XOR/XNOR cost ~2 gate levels.
+  static const std::array<GateElectrical, kNumGateTypes> kTable = {{
+      /*buf */ {1.0, 1.0, 1.0},
+      /*not */ {1.0, 0.6, 1.1},
+      /*and */ {1.1, 1.2, 1.0},
+      /*nand*/ {1.1, 0.9, 1.0},
+      /*or  */ {1.1, 1.3, 0.9},
+      /*nor */ {1.1, 1.0, 0.9},
+      /*xor */ {1.8, 1.9, 0.8},
+      /*xnor*/ {1.8, 2.0, 0.8},
+  }};
+  return kTable[static_cast<std::size_t>(t)];
+}
+
+}  // namespace mpe::circuit

@@ -1,0 +1,52 @@
+// Gate library: the primitive cell types of the gate-level netlist model,
+// their Boolean evaluation, and per-type electrical parameters used by the
+// power model (input pin capacitance, intrinsic delay, drive factors).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace mpe::circuit {
+
+/// Primitive combinational cell types (ISCAS-85 .bench vocabulary).
+enum class GateType : std::uint8_t {
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+};
+
+/// Number of distinct gate types (for histogram arrays).
+inline constexpr std::size_t kNumGateTypes = 8;
+
+/// Canonical lowercase name ("nand", "xor", ...).
+std::string to_string(GateType t);
+
+/// Parses a gate-type name (case-insensitive). Throws on unknown names.
+GateType gate_type_from_string(const std::string& name);
+
+/// True for single-input cell types (BUF, NOT).
+bool is_unary(GateType t);
+
+/// Evaluates the gate function over the given input values (0/1).
+/// Unary types require exactly one input; the rest require >= 2.
+bool eval_gate(GateType t, std::span<const std::uint8_t> inputs);
+
+/// Per-type electrical parameters, in normalized technology units.
+/// Scaled by the Technology struct in sim/ to physical values.
+struct GateElectrical {
+  double input_cap = 1.0;    ///< capacitance presented per input pin (rel.)
+  double intrinsic_delay = 1.0;  ///< zero-load propagation delay (rel.)
+  double drive = 1.0;        ///< output drive strength (divides load delay)
+};
+
+/// Electrical parameters of a cell type. XOR/XNOR are modeled as heavier,
+/// slower cells (they are internally two levels of pass logic / NANDs).
+const GateElectrical& electrical(GateType t);
+
+}  // namespace mpe::circuit

@@ -1,0 +1,218 @@
+#include "circuit/netlist.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace mpe::circuit {
+
+Netlist::Netlist(std::string name) : name_(std::move(name)) {}
+
+NodeId Netlist::declare(const std::string& signal_name) {
+  MPE_EXPECTS(!signal_name.empty());
+  const auto it = by_name_.find(signal_name);
+  if (it != by_name_.end()) return it->second;
+  const auto id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(signal_name);
+  by_name_.emplace(signal_name, id);
+  is_input_.push_back(false);
+  is_output_.push_back(false);
+  driver_.push_back(kNoGate);
+  finalized_ = false;
+  return id;
+}
+
+NodeId Netlist::add_input(const std::string& signal_name) {
+  const NodeId id = declare(signal_name);
+  if (driver_[id] != kNoGate) {
+    throw std::runtime_error("signal '" + signal_name +
+                             "' already driven; cannot be a primary input");
+  }
+  if (is_input_[id]) {
+    throw std::runtime_error("duplicate primary input '" + signal_name + "'");
+  }
+  is_input_[id] = true;
+  inputs_.push_back(id);
+  finalized_ = false;
+  return id;
+}
+
+GateId Netlist::add_gate(GateType type, const std::string& output_name,
+                         const std::vector<std::string>& fanin_names) {
+  std::vector<NodeId> fanins;
+  fanins.reserve(fanin_names.size());
+  for (const auto& f : fanin_names) fanins.push_back(declare(f));
+  return add_gate_ids(type, declare(output_name), std::move(fanins));
+}
+
+GateId Netlist::add_gate_ids(GateType type, NodeId output,
+                             std::vector<NodeId> fanins) {
+  MPE_EXPECTS(output < node_names_.size());
+  for (NodeId f : fanins) MPE_EXPECTS(f < node_names_.size());
+  if (is_input_[output]) {
+    throw std::runtime_error("cannot drive primary input '" +
+                             node_names_[output] + "'");
+  }
+  if (driver_[output] != kNoGate) {
+    throw std::runtime_error("signal '" + node_names_[output] +
+                             "' has multiple drivers");
+  }
+  if (is_unary(type)) {
+    if (fanins.size() != 1) {
+      throw std::runtime_error("unary gate on '" + node_names_[output] +
+                               "' needs exactly one fanin");
+    }
+  } else if (fanins.size() < 2) {
+    throw std::runtime_error("gate on '" + node_names_[output] +
+                             "' needs at least two fanins");
+  }
+  const auto gid = static_cast<GateId>(gates_.size());
+  gates_.push_back(Gate{type, output, std::move(fanins)});
+  driver_[output] = gid;
+  finalized_ = false;
+  return gid;
+}
+
+void Netlist::mark_output(NodeId node) {
+  MPE_EXPECTS(node < node_names_.size());
+  if (!is_output_[node]) {
+    is_output_[node] = true;
+    outputs_.push_back(node);
+  }
+}
+
+void Netlist::mark_output(const std::string& signal_name) {
+  mark_output(declare(signal_name));
+}
+
+void Netlist::finalize() {
+  if (num_inputs() == 0) {
+    throw std::runtime_error("netlist '" + name_ + "' has no primary inputs");
+  }
+  // Every non-input node must be driven.
+  for (NodeId n = 0; n < node_names_.size(); ++n) {
+    if (!is_input_[n] && driver_[n] == kNoGate) {
+      throw std::runtime_error("signal '" + node_names_[n] +
+                               "' is neither a primary input nor driven");
+    }
+  }
+
+  // Kahn topological sort over gates.
+  std::vector<std::size_t> pending(gates_.size(), 0);
+  std::vector<std::vector<GateId>> gate_successors(gates_.size());
+  for (GateId g = 0; g < gates_.size(); ++g) {
+    for (NodeId in : gates_[g].inputs) {
+      const GateId d = driver_[in];
+      if (d != kNoGate) {
+        ++pending[g];
+        gate_successors[d].push_back(g);
+      }
+    }
+  }
+  topo_.clear();
+  topo_.reserve(gates_.size());
+  std::queue<GateId> ready;
+  for (GateId g = 0; g < gates_.size(); ++g) {
+    if (pending[g] == 0) ready.push(g);
+  }
+  level_.assign(node_names_.size(), 0);
+  while (!ready.empty()) {
+    const GateId g = ready.front();
+    ready.pop();
+    topo_.push_back(g);
+    std::size_t lvl = 0;
+    for (NodeId in : gates_[g].inputs) {
+      lvl = std::max(lvl, level_[in]);
+    }
+    level_[gates_[g].output] = lvl + 1;
+    for (GateId succ : gate_successors[g]) {
+      if (--pending[succ] == 0) ready.push(succ);
+    }
+  }
+  if (topo_.size() != gates_.size()) {
+    throw std::runtime_error("netlist '" + name_ +
+                             "' contains a combinational cycle");
+  }
+
+  // Fanout lists.
+  fanout_.assign(node_names_.size(), {});
+  for (GateId g = 0; g < gates_.size(); ++g) {
+    for (NodeId in : gates_[g].inputs) fanout_[in].push_back(g);
+  }
+
+  finalized_ = true;
+}
+
+std::optional<NodeId> Netlist::find(const std::string& signal_name) const {
+  const auto it = by_name_.find(signal_name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+GateId Netlist::driver(NodeId n) const {
+  MPE_EXPECTS(n < node_names_.size());
+  return driver_[n];
+}
+
+void Netlist::require_finalized() const {
+  if (!finalized_) {
+    throw std::logic_error("netlist '" + name_ +
+                           "' must be finalize()d before structural queries");
+  }
+}
+
+const std::vector<GateId>& Netlist::fanout(NodeId n) const {
+  require_finalized();
+  MPE_EXPECTS(n < node_names_.size());
+  return fanout_[n];
+}
+
+std::size_t Netlist::level(NodeId n) const {
+  require_finalized();
+  MPE_EXPECTS(n < node_names_.size());
+  return level_[n];
+}
+
+const std::vector<GateId>& Netlist::topo_order() const {
+  require_finalized();
+  return topo_;
+}
+
+std::size_t Netlist::depth() const {
+  require_finalized();
+  std::size_t d = 0;
+  for (std::size_t lvl : level_) d = std::max(d, lvl);
+  return d;
+}
+
+NetlistStats Netlist::stats() const {
+  require_finalized();
+  NetlistStats s;
+  s.num_nodes = num_nodes();
+  s.num_gates = num_gates();
+  s.num_inputs = num_inputs();
+  s.num_outputs = num_outputs();
+  s.depth = depth();
+  s.gates_by_type.assign(kNumGateTypes, 0);
+  for (const Gate& g : gates_) {
+    s.max_fanin = std::max(s.max_fanin, g.inputs.size());
+    ++s.gates_by_type[static_cast<std::size_t>(g.type)];
+  }
+  std::size_t fanout_sum = 0;
+  std::size_t driven = 0;
+  for (NodeId n = 0; n < node_names_.size(); ++n) {
+    s.max_fanout = std::max(s.max_fanout, fanout_[n].size());
+    if (driver_[n] != kNoGate) {
+      fanout_sum += fanout_[n].size();
+      ++driven;
+    }
+  }
+  s.avg_fanout =
+      driven == 0 ? 0.0
+                  : static_cast<double>(fanout_sum) / static_cast<double>(driven);
+  return s;
+}
+
+}  // namespace mpe::circuit

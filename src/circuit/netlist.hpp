@@ -1,0 +1,152 @@
+// Gate-level combinational netlist: named signals, gates, primary I/O,
+// fanout bookkeeping, levelization, and structural validation. This is the
+// substrate every simulator and generator in the library operates on.
+//
+// Construction protocol:
+//   1. declare()/add_input() signals (forward references allowed),
+//   2. add_gate() drivers,
+//   3. mark_output() the observed signals,
+//   4. finalize() — validates, topo-sorts, levelizes, builds fanout.
+// Query methods that depend on structure require finalize() first.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace mpe::circuit {
+
+/// Index of a signal (node) in a Netlist.
+using NodeId = std::uint32_t;
+
+/// Index of a gate in a Netlist.
+using GateId = std::uint32_t;
+
+/// Sentinel for "no gate".
+inline constexpr GateId kNoGate = static_cast<GateId>(-1);
+
+/// One gate instance: a cell type, its output node, and its fanin nodes.
+struct Gate {
+  GateType type = GateType::kBuf;
+  NodeId output = 0;
+  std::vector<NodeId> inputs;
+};
+
+/// Aggregate structural statistics (see Netlist::stats()).
+struct NetlistStats {
+  std::size_t num_nodes = 0;
+  std::size_t num_gates = 0;
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::size_t depth = 0;        ///< max logic level over all nodes
+  std::size_t max_fanin = 0;
+  std::size_t max_fanout = 0;
+  double avg_fanout = 0.0;      ///< over driven (gate output) nodes
+  std::vector<std::size_t> gates_by_type;  ///< histogram, kNumGateTypes wide
+};
+
+/// Combinational netlist. Move-only-cheap value type (vectors inside).
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "netlist");
+
+  // -- construction ---------------------------------------------------------
+
+  /// Declares (or finds) a signal by name. Usable before its driver exists.
+  NodeId declare(const std::string& signal_name);
+
+  /// Declares a fresh primary input. Throws if the node is already driven or
+  /// already an input.
+  NodeId add_input(const std::string& signal_name);
+
+  /// Adds a gate driving `output_name` from the given fanin signals. The
+  /// output must not already have a driver and must not be a primary input.
+  GateId add_gate(GateType type, const std::string& output_name,
+                  const std::vector<std::string>& fanin_names);
+
+  /// Same, with pre-declared node ids.
+  GateId add_gate_ids(GateType type, NodeId output,
+                      std::vector<NodeId> fanins);
+
+  /// Marks a signal as primary output (idempotent).
+  void mark_output(NodeId node);
+  void mark_output(const std::string& signal_name);
+
+  /// Validates the structure (every non-input driven, no cycles, fanin
+  /// arities), topologically sorts gates, computes levels and fanout lists.
+  /// Throws std::runtime_error with a diagnostic on malformed netlists.
+  void finalize();
+
+  /// True once finalize() has succeeded and no mutation happened since.
+  bool finalized() const { return finalized_; }
+
+  // -- queries --------------------------------------------------------------
+
+  const std::string& name() const { return name_; }
+  std::size_t num_nodes() const { return node_names_.size(); }
+  std::size_t num_gates() const { return gates_.size(); }
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+
+  const Gate& gate(GateId g) const { return gates_[g]; }
+  const std::vector<Gate>& gates() const { return gates_; }
+
+  const std::string& node_name(NodeId n) const { return node_names_[n]; }
+
+  /// Finds a node id by name.
+  std::optional<NodeId> find(const std::string& signal_name) const;
+
+  /// Gate driving this node, or kNoGate for primary inputs. Requires
+  /// finalize().
+  GateId driver(NodeId n) const;
+
+  /// True if the node is a primary input.
+  bool is_input(NodeId n) const { return is_input_[n]; }
+
+  /// True if the node is marked primary output.
+  bool is_output(NodeId n) const { return is_output_[n]; }
+
+  /// Gates fed by this node. Requires finalize().
+  const std::vector<GateId>& fanout(NodeId n) const;
+
+  /// Logic level of a node: 0 for inputs, 1 + max(fanin levels) otherwise.
+  /// Requires finalize().
+  std::size_t level(NodeId n) const;
+
+  /// Gates in topological (level) order. Requires finalize().
+  const std::vector<GateId>& topo_order() const;
+
+  /// Max level across all nodes. Requires finalize().
+  std::size_t depth() const;
+
+  /// Structural statistics bundle. Requires finalize().
+  NetlistStats stats() const;
+
+ private:
+  void require_finalized() const;
+
+  std::string name_;
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::vector<bool> is_input_;
+  std::vector<bool> is_output_;
+  std::vector<GateId> driver_;  ///< per node; kNoGate if none
+  std::vector<Gate> gates_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+
+  // Derived by finalize().
+  bool finalized_ = false;
+  std::vector<std::vector<GateId>> fanout_;
+  std::vector<std::size_t> level_;
+  std::vector<GateId> topo_;
+};
+
+}  // namespace mpe::circuit

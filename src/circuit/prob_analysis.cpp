@@ -1,0 +1,117 @@
+#include "circuit/prob_analysis.hpp"
+
+#include "util/contracts.hpp"
+
+namespace mpe::circuit {
+
+namespace {
+
+/// Output one-probability of a gate from fanin one-probabilities, assuming
+/// spatial independence.
+double gate_prob(GateType t, std::span<const double> p) {
+  switch (t) {
+    case GateType::kBuf:
+      return p[0];
+    case GateType::kNot:
+      return 1.0 - p[0];
+    case GateType::kAnd:
+    case GateType::kNand: {
+      double prod = 1.0;
+      for (double pi : p) prod *= pi;
+      return t == GateType::kAnd ? prod : 1.0 - prod;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      double prod = 1.0;
+      for (double pi : p) prod *= (1.0 - pi);
+      return t == GateType::kOr ? 1.0 - prod : prod;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      double q = 0.0;  // probability that the XOR so far is 1
+      for (double pi : p) q = q * (1.0 - pi) + (1.0 - q) * pi;
+      return t == GateType::kXor ? q : 1.0 - q;
+    }
+  }
+  return 0.0;
+}
+
+/// P(boolean difference of the gate wrt fanin i) — the sensitization
+/// probability of Najm's transition-density propagation. Inversion of the
+/// output does not change it.
+double sensitization_prob(GateType t, std::span<const double> p,
+                          std::size_t i) {
+  switch (t) {
+    case GateType::kBuf:
+    case GateType::kNot:
+      return 1.0;
+    case GateType::kAnd:
+    case GateType::kNand: {
+      double prod = 1.0;
+      for (std::size_t j = 0; j < p.size(); ++j) {
+        if (j != i) prod *= p[j];
+      }
+      return prod;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      double prod = 1.0;
+      for (std::size_t j = 0; j < p.size(); ++j) {
+        if (j != i) prod *= (1.0 - p[j]);
+      }
+      return prod;
+    }
+    case GateType::kXor:
+    case GateType::kXnor:
+      return 1.0;  // an XOR is sensitized to every input, always
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ProbabilityAnalysis propagate_probabilities(const Netlist& netlist,
+                                            std::span<const double> p1,
+                                            std::span<const double> toggle) {
+  MPE_EXPECTS(netlist.finalized());
+  MPE_EXPECTS(p1.size() == netlist.num_inputs());
+  MPE_EXPECTS(toggle.size() == netlist.num_inputs());
+
+  ProbabilityAnalysis out;
+  out.signal_prob.assign(netlist.num_nodes(), 0.0);
+  out.toggle_prob.assign(netlist.num_nodes(), 0.0);
+
+  const auto& inputs = netlist.inputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    MPE_EXPECTS(p1[i] >= 0.0 && p1[i] <= 1.0);
+    MPE_EXPECTS(toggle[i] >= 0.0 && toggle[i] <= 1.0);
+    out.signal_prob[inputs[i]] = p1[i];
+    out.toggle_prob[inputs[i]] = toggle[i];
+  }
+
+  std::vector<double> fanin_p;
+  for (GateId g : netlist.topo_order()) {
+    const Gate& gate = netlist.gate(g);
+    fanin_p.clear();
+    for (NodeId n : gate.inputs) fanin_p.push_back(out.signal_prob[n]);
+    out.signal_prob[gate.output] = gate_prob(gate.type, fanin_p);
+    double density = 0.0;
+    for (std::size_t i = 0; i < gate.inputs.size(); ++i) {
+      density += sensitization_prob(gate.type, fanin_p, i) *
+                 out.toggle_prob[gate.inputs[i]];
+    }
+    // A probability-valued density saturates at 1 per cycle (a node cannot
+    // functionally toggle more than once under zero-delay semantics).
+    out.toggle_prob[gate.output] = std::min(density, 1.0);
+  }
+  return out;
+}
+
+ProbabilityAnalysis propagate_probabilities(const Netlist& netlist,
+                                            double p1, double toggle) {
+  const std::vector<double> p1v(netlist.num_inputs(), p1);
+  const std::vector<double> tv(netlist.num_inputs(), toggle);
+  return propagate_probabilities(netlist, p1v, tv);
+}
+
+}  // namespace mpe::circuit

@@ -1,0 +1,37 @@
+// Analytical signal-probability and transition-density propagation — the
+// machinery behind probabilistic power-estimation methods (Najm's
+// transition density; the bound-propagation of Devadas/Keutzer/White [1]).
+// Works gate-local under the spatial-independence assumption: exact on
+// trees, approximate under reconvergent fanout (the Monte-Carlo analysis in
+// circuit/analysis.hpp is the reference it is tested against).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace mpe::circuit {
+
+/// Result of one analytical propagation pass.
+struct ProbabilityAnalysis {
+  /// P(node == 1) under the given input probabilities.
+  std::vector<double> signal_prob;
+  /// Per-cycle toggle probability (transition density normalized to the
+  /// clock): D(y) = sum over fanins x of P(dy/dx) * D(x), gate-local.
+  std::vector<double> toggle_prob;
+};
+
+/// Propagates input one-probabilities `p1` and per-cycle input transition
+/// probabilities `toggle` (both aligned with netlist.inputs()) through the
+/// netlist. Requires a finalized netlist.
+ProbabilityAnalysis propagate_probabilities(const Netlist& netlist,
+                                            std::span<const double> p1,
+                                            std::span<const double> toggle);
+
+/// Convenience: uniform input statistics.
+ProbabilityAnalysis propagate_probabilities(const Netlist& netlist,
+                                            double p1 = 0.5,
+                                            double toggle = 0.5);
+
+}  // namespace mpe::circuit

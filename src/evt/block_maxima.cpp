@@ -1,0 +1,45 @@
+#include "evt/block_maxima.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace mpe::evt {
+
+std::vector<double> block_maxima(std::span<const double> xs,
+                                 std::size_t block_size) {
+  MPE_EXPECTS(block_size >= 1);
+  MPE_EXPECTS_MSG(xs.size() >= block_size, "need at least one full block");
+  const std::size_t blocks = xs.size() / block_size;
+  std::vector<double> out;
+  out.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const auto begin = xs.begin() + static_cast<std::ptrdiff_t>(b * block_size);
+    out.push_back(*std::max_element(begin, begin + static_cast<std::ptrdiff_t>(block_size)));
+  }
+  return out;
+}
+
+double one_sample_maximum(const std::function<double()>& draw,
+                          std::size_t block_size) {
+  MPE_EXPECTS(block_size >= 1);
+  double best = draw();
+  for (std::size_t i = 1; i < block_size; ++i) {
+    best = std::max(best, draw());
+  }
+  return best;
+}
+
+std::vector<double> sample_maxima(const std::function<double()>& draw,
+                                  std::size_t block_size,
+                                  std::size_t num_blocks) {
+  MPE_EXPECTS(num_blocks >= 1);
+  std::vector<double> out;
+  out.reserve(num_blocks);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    out.push_back(one_sample_maximum(draw, block_size));
+  }
+  return out;
+}
+
+}  // namespace mpe::evt

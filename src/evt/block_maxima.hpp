@@ -1,0 +1,29 @@
+// Block-maxima extraction: turn a stream/population of observations into the
+// per-sample maxima the EVT layer fits (Eqn 3.1 of the paper).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mpe::evt {
+
+/// Splits `xs` into consecutive blocks of `block_size` and returns each
+/// block's maximum. Trailing partial blocks are discarded. Requires at least
+/// one full block.
+std::vector<double> block_maxima(std::span<const double> xs,
+                                 std::size_t block_size);
+
+/// Draws `num_blocks` maxima, each the max of `block_size` fresh draws from
+/// the `draw` callback (e.g. "simulate one random vector pair").
+std::vector<double> sample_maxima(const std::function<double()>& draw,
+                                  std::size_t block_size,
+                                  std::size_t num_blocks);
+
+/// Draws one sample maximum: max of `block_size` draws.
+double one_sample_maximum(const std::function<double()>& draw,
+                          std::size_t block_size);
+
+}  // namespace mpe::evt

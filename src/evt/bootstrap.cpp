@@ -1,0 +1,48 @@
+#include "evt/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/contracts.hpp"
+
+namespace mpe::evt {
+
+ConfidenceInterval bootstrap_mean_interval(std::span<const double> values,
+                                           double confidence, Rng& rng,
+                                           const BootstrapOptions& opt) {
+  MPE_EXPECTS(values.size() >= 2);
+  MPE_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  MPE_EXPECTS(opt.resamples >= 100);
+
+  const std::size_t n = values.size();
+  std::vector<double> means;
+  means.reserve(opt.resamples);
+  for (std::size_t b = 0; b < opt.resamples; ++b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += values[rng.below(n)];
+    }
+    means.push_back(sum / static_cast<double>(n));
+  }
+  std::sort(means.begin(), means.end());
+
+  const double alpha = 1.0 - confidence;
+  auto pick = [&](double q) {
+    const double h = q * static_cast<double>(means.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(h));
+    const auto hi = std::min(lo + 1, means.size() - 1);
+    return means[lo] + (h - static_cast<double>(lo)) * (means[hi] - means[lo]);
+  };
+
+  ConfidenceInterval ci;
+  ci.center = stats::mean(values);
+  ci.lower = pick(0.5 * alpha);
+  ci.upper = pick(1.0 - 0.5 * alpha);
+  ci.half_width = 0.5 * (ci.upper - ci.lower);
+  ci.confidence = confidence;
+  return ci;
+}
+
+}  // namespace mpe::evt

@@ -1,0 +1,49 @@
+#include "evt/confidence.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "stats/normal.hpp"
+#include "stats/student_t.hpp"
+#include "util/contracts.hpp"
+
+namespace mpe::evt {
+
+ConfidenceInterval normal_interval(double center, double sd, std::size_t n,
+                                   double confidence) {
+  MPE_EXPECTS(sd >= 0.0);
+  MPE_EXPECTS(n >= 1);
+  MPE_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  const double u = stats::Normal::two_sided_critical(confidence);
+  ConfidenceInterval ci;
+  ci.center = center;
+  ci.half_width = u * sd / std::sqrt(static_cast<double>(n));
+  ci.lower = center - ci.half_width;
+  ci.upper = center + ci.half_width;
+  ci.confidence = confidence;
+  return ci;
+}
+
+ConfidenceInterval t_interval(std::span<const double> values,
+                              double confidence) {
+  MPE_EXPECTS_MSG(values.size() >= 2, "t interval needs at least two values");
+  MPE_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  const auto k = static_cast<double>(values.size());
+  const double mean = stats::mean(values);
+  const double s = stats::stddev(values);
+  const stats::StudentT t(k - 1.0);
+  ConfidenceInterval ci;
+  ci.center = mean;
+  ci.half_width = t.two_sided_critical(confidence) * s / std::sqrt(k);
+  ci.lower = mean - ci.half_width;
+  ci.upper = mean + ci.half_width;
+  ci.confidence = confidence;
+  return ci;
+}
+
+double relative_half_width(const ConfidenceInterval& ci) {
+  MPE_EXPECTS_MSG(ci.center != 0.0, "relative width undefined at zero center");
+  return std::fabs(ci.half_width / ci.center);
+}
+
+}  // namespace mpe::evt

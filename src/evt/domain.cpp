@@ -1,0 +1,118 @@
+#include "evt/domain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "evt/pwm.hpp"
+#include "evt/weibull_mle.hpp"
+#include "stats/frechet.hpp"
+#include "stats/gumbel.hpp"
+#include "stats/ks.hpp"
+#include "stats/weibull.hpp"
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace mpe::evt {
+
+std::string to_string(ExtremeDomain d) {
+  switch (d) {
+    case ExtremeDomain::kFrechet:
+      return "Frechet";
+    case ExtremeDomain::kWeibull:
+      return "Weibull";
+    case ExtremeDomain::kGumbel:
+      return "Gumbel";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Gumbel MLE: sigma solves a 1-D fixed point, mu is closed-form.
+stats::Gumbel fit_gumbel_mle(std::span<const double> xs) {
+  const auto n = static_cast<double>(xs.size());
+  const double xmin = *std::min_element(xs.begin(), xs.end());
+  const double xmax = *std::max_element(xs.begin(), xs.end());
+  double xbar = 0.0;
+  for (double x : xs) xbar += x;
+  xbar /= n;
+
+  auto weighted_mean = [&](double sigma) {
+    // sum x_i exp(-x_i/sigma) / sum exp(-x_i/sigma), shifted by xmin.
+    double s0 = 0.0, s1 = 0.0;
+    for (double x : xs) {
+      const double w = std::exp(-(x - xmin) / sigma);
+      s0 += w;
+      s1 += w * x;
+    }
+    return s1 / s0;
+  };
+  auto g = [&](double sigma) { return sigma - xbar + weighted_mean(sigma); };
+
+  const double spread = std::max(xmax - xmin, 1e-12);
+  double lo = 1e-4 * spread;
+  double hi = 10.0 * spread;
+  // g(sigma) -> sigma - xbar + xmin < 0 as sigma -> 0 (weights collapse onto
+  // the minimum); g -> sigma - ... > 0 for large sigma. Expand if needed.
+  for (int i = 0; i < 60 && g(lo) > 0.0; ++i) lo *= 0.5;
+  for (int i = 0; i < 60 && g(hi) < 0.0; ++i) hi *= 2.0;
+  double sigma = spread * 0.5;
+  if (g(lo) < 0.0 && g(hi) > 0.0) {
+    sigma = math::brent_root(g, lo, hi, 1e-12).x;
+  }
+  double s0 = 0.0;
+  for (double x : xs) s0 += std::exp(-(x - xmin) / sigma);
+  const double mu = xmin + sigma * std::log(n / s0);
+  return stats::Gumbel(mu, sigma);
+}
+
+}  // namespace
+
+DomainClassification classify_domain(std::span<const double> maxima) {
+  MPE_EXPECTS(maxima.size() >= 10);
+  DomainClassification out;
+
+  const double xmin = *std::min_element(maxima.begin(), maxima.end());
+  const double xmax = *std::max_element(maxima.begin(), maxima.end());
+  const double spread = std::max(xmax - xmin, 1e-12);
+
+  // Weibull-type (finite right endpoint): full 3-parameter MLE.
+  const auto w = fit_weibull_mle(maxima);
+  const stats::ReversedWeibull rw(w.params);
+  out.ks_weibull =
+      stats::ks_test(maxima, [&](double x) { return rw.cdf(x); }).statistic;
+
+  // Gumbel: 2-parameter MLE.
+  const auto gum = fit_gumbel_mle(maxima);
+  out.ks_gumbel =
+      stats::ks_test(maxima, [&](double x) { return gum.cdf(x); }).statistic;
+
+  // Fréchet: fix the location just below the sample minimum and fit the
+  // remaining two parameters via the Gumbel MLE of log(x - mu0) (a Fréchet
+  // variate's log is Gumbel).
+  const double mu0 = xmin - 0.05 * spread;
+  std::vector<double> logs;
+  logs.reserve(maxima.size());
+  for (double x : maxima) logs.push_back(std::log(x - mu0));
+  const auto glog = fit_gumbel_mle(logs);
+  const double alpha_f = 1.0 / glog.sigma();
+  const double sigma_f = std::exp(glog.mu());
+  const stats::Frechet fr(alpha_f, sigma_f, mu0);
+  out.ks_frechet =
+      stats::ks_test(maxima, [&](double x) { return fr.cdf(x); }).statistic;
+
+  const auto pwm = fit_gev_pwm(maxima);
+  out.pwm_xi = pwm.valid ? pwm.params.xi : 0.0;
+
+  if (out.ks_weibull <= out.ks_gumbel && out.ks_weibull <= out.ks_frechet) {
+    out.best = ExtremeDomain::kWeibull;
+  } else if (out.ks_gumbel <= out.ks_frechet) {
+    out.best = ExtremeDomain::kGumbel;
+  } else {
+    out.best = ExtremeDomain::kFrechet;
+  }
+  return out;
+}
+
+}  // namespace mpe::evt

@@ -1,0 +1,36 @@
+// Empirical domain-of-attraction classification (Section 3.1 of the paper):
+// decide which of the three Fisher–Tippett limit laws — Fréchet G_{1,a},
+// reversed Weibull G_{2,a}, or Gumbel G_3 — best describes a set of sample
+// maxima. The paper argues (and verifies on circuits) that cycle power has a
+// finite right endpoint, so maxima land in the Weibull domain; this module
+// lets a user check that premise on their own data.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace mpe::evt {
+
+/// The three Fisher–Tippett limit families.
+enum class ExtremeDomain { kFrechet, kWeibull, kGumbel };
+
+/// Human-readable family name.
+std::string to_string(ExtremeDomain d);
+
+/// Classification outcome: per-family fit quality (KS distance of the fitted
+/// law against the sample) and the winner.
+struct DomainClassification {
+  ExtremeDomain best = ExtremeDomain::kWeibull;
+  double ks_frechet = 1.0;
+  double ks_weibull = 1.0;
+  double ks_gumbel = 1.0;
+  /// Fitted GEV shape xi from PWM (xi < 0 => Weibull-type, ~0 => Gumbel,
+  /// > 0 => Fréchet); an independent signal from the per-family KS ranking.
+  double pwm_xi = 0.0;
+};
+
+/// Fits all three families to `maxima` (each by maximum likelihood / PWM as
+/// appropriate) and ranks them by one-sample KS distance.
+DomainClassification classify_domain(std::span<const double> maxima);
+
+}  // namespace mpe::evt

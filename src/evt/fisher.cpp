@@ -1,0 +1,141 @@
+#include "evt/fisher.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "evt/weibull_mle.hpp"
+#include "stats/normal.hpp"
+#include "util/contracts.hpp"
+
+namespace mpe::evt {
+
+namespace {
+
+/// Inverts a symmetric 3x3 matrix via the adjugate. Returns false when the
+/// determinant vanishes.
+bool invert3(const std::array<std::array<double, 3>, 3>& a,
+             std::array<std::array<double, 3>, 3>& out) {
+  const double det =
+      a[0][0] * (a[1][1] * a[2][2] - a[1][2] * a[2][1]) -
+      a[0][1] * (a[1][0] * a[2][2] - a[1][2] * a[2][0]) +
+      a[0][2] * (a[1][0] * a[2][1] - a[1][1] * a[2][0]);
+  if (!(std::fabs(det) > 0.0) || !std::isfinite(det)) return false;
+  const double inv = 1.0 / det;
+  out[0][0] = (a[1][1] * a[2][2] - a[1][2] * a[2][1]) * inv;
+  out[0][1] = (a[0][2] * a[2][1] - a[0][1] * a[2][2]) * inv;
+  out[0][2] = (a[0][1] * a[1][2] - a[0][2] * a[1][1]) * inv;
+  out[1][0] = out[0][1];
+  out[1][1] = (a[0][0] * a[2][2] - a[0][2] * a[2][0]) * inv;
+  out[1][2] = (a[0][2] * a[1][0] - a[0][0] * a[1][2]) * inv;
+  out[2][0] = out[0][2];
+  out[2][1] = out[1][2];
+  out[2][2] = (a[0][0] * a[1][1] - a[0][1] * a[1][0]) * inv;
+  return true;
+}
+
+/// True when the matrix is positive definite (Sylvester's criterion).
+bool positive_definite(const std::array<std::array<double, 3>, 3>& a) {
+  const double m1 = a[0][0];
+  const double m2 = a[0][0] * a[1][1] - a[0][1] * a[1][0];
+  const double m3 =
+      a[0][0] * (a[1][1] * a[2][2] - a[1][2] * a[2][1]) -
+      a[0][1] * (a[1][0] * a[2][2] - a[1][2] * a[2][0]) +
+      a[0][2] * (a[1][0] * a[2][1] - a[1][1] * a[2][0]);
+  return m1 > 0.0 && m2 > 0.0 && m3 > 0.0;
+}
+
+}  // namespace
+
+WeibullCovariance observed_covariance(std::span<const double> maxima,
+                                      const stats::WeibullParams& params) {
+  MPE_EXPECTS(maxima.size() >= 3);
+  WeibullCovariance result;
+  const double xmax = *std::max_element(maxima.begin(), maxima.end());
+  if (!(params.mu > xmax) || params.alpha <= 0.0 || params.beta <= 0.0) {
+    return result;
+  }
+
+  auto ll = [&](double a, double b, double mu) {
+    return weibull_log_likelihood(maxima, stats::WeibullParams{a, b, mu});
+  };
+
+  // Relative step sizes; the mu step must keep mu - h above the sample max.
+  const double ha = 1e-4 * params.alpha;
+  const double hb = 1e-4 * params.beta;
+  const double hm =
+      std::min(1e-4 * (std::fabs(params.mu) + 1.0),
+               0.25 * (params.mu - xmax));
+  if (!(hm > 0.0)) return result;
+
+  const double h[3] = {ha, hb, hm};
+  const double p[3] = {params.alpha, params.beta, params.mu};
+  auto eval = [&](const double d[3]) {
+    return ll(p[0] + d[0], p[1] + d[1], p[2] + d[2]);
+  };
+
+  // Central-difference Hessian.
+  std::array<std::array<double, 3>, 3> hess{};
+  const double zero[3] = {0.0, 0.0, 0.0};
+  const double f0 = eval(zero);
+  if (!std::isfinite(f0)) return result;
+  for (int i = 0; i < 3; ++i) {
+    double dp[3] = {0, 0, 0};
+    dp[i] = h[i];
+    const double fp = eval(dp);
+    dp[i] = -h[i];
+    const double fm = eval(dp);
+    hess[i][i] = (fp - 2.0 * f0 + fm) / (h[i] * h[i]);
+    if (!std::isfinite(hess[i][i])) return result;
+  }
+  for (int i = 0; i < 3; ++i) {
+    for (int j = i + 1; j < 3; ++j) {
+      double d1[3] = {0, 0, 0};
+      d1[i] = h[i];
+      d1[j] = h[j];
+      const double fpp = eval(d1);
+      d1[j] = -h[j];
+      const double fpm = eval(d1);
+      d1[i] = -h[i];
+      d1[j] = h[j];
+      const double fmp = eval(d1);
+      d1[j] = -h[j];
+      const double fmm = eval(d1);
+      hess[i][j] = (fpp - fpm - fmp + fmm) / (4.0 * h[i] * h[j]);
+      hess[j][i] = hess[i][j];
+      if (!std::isfinite(hess[i][j])) return result;
+    }
+  }
+
+  // Observed information = -Hessian; must be positive definite at a proper
+  // interior maximum.
+  std::array<std::array<double, 3>, 3> info{};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) info[i][j] = -hess[i][j];
+  }
+  if (!positive_definite(info)) return result;
+  if (!invert3(info, result.cov)) return result;
+  // Covariance diagonal must be positive to be usable.
+  if (result.cov[0][0] <= 0.0 || result.cov[1][1] <= 0.0 ||
+      result.cov[2][2] <= 0.0) {
+    return result;
+  }
+  result.valid = true;
+  return result;
+}
+
+ConfidenceInterval endpoint_interval(const stats::WeibullParams& params,
+                                     const WeibullCovariance& cov,
+                                     double confidence) {
+  MPE_EXPECTS(cov.valid);
+  MPE_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  const double u = stats::Normal::two_sided_critical(confidence);
+  ConfidenceInterval ci;
+  ci.center = params.mu;
+  ci.half_width = u * std::sqrt(cov.var_mu());
+  ci.lower = ci.center - ci.half_width;
+  ci.upper = ci.center + ci.half_width;
+  ci.confidence = confidence;
+  return ci;
+}
+
+}  // namespace mpe::evt

@@ -1,0 +1,62 @@
+#include "evt/pwm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace mpe::evt {
+
+PwmResult fit_gev_pwm(std::span<const double> maxima) {
+  MPE_EXPECTS(maxima.size() >= 3);
+  PwmResult r;
+  std::vector<double> x(maxima.begin(), maxima.end());
+  std::sort(x.begin(), x.end());
+  const auto n = static_cast<double>(x.size());
+
+  double b0 = 0.0, b1 = 0.0, b2 = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto fi = static_cast<double>(i);  // 0-based rank
+    b0 += x[i];
+    b1 += x[i] * fi / (n - 1.0);
+    b2 += x[i] * fi * (fi - 1.0) / ((n - 1.0) * (n - 2.0));
+  }
+  b0 /= n;
+  b1 /= n;
+  b2 /= n;
+  r.b0 = b0;
+  r.b1 = b1;
+  r.b2 = b2;
+
+  const double denom = 3.0 * b2 - b0;
+  const double numer = 2.0 * b1 - b0;
+  if (numer == 0.0 || denom == 0.0) return r;  // degenerate sample
+
+  // Hosking's rational approximation for the shape.
+  const double c = numer / denom - std::log(2.0) / std::log(3.0);
+  const double k = 7.8590 * c + 2.9554 * c * c;  // k = -xi
+  if (std::fabs(k) < 1e-9) {
+    // Gumbel limit.
+    const double sigma = numer / std::log(2.0);
+    if (sigma <= 0.0) return r;
+    r.params.xi = 0.0;
+    r.params.sigma = sigma;
+    r.params.mu = b0 - 0.5772156649015329 * sigma;
+    r.valid = true;
+    return r;
+  }
+
+  const double gamma_1pk = std::exp(std::lgamma(1.0 + k));
+  const double sigma = numer * k / (gamma_1pk * (1.0 - std::pow(2.0, -k)));
+  if (!(sigma > 0.0) || !std::isfinite(sigma)) return r;
+  const double mu = b0 + sigma * (gamma_1pk - 1.0) / k;
+
+  r.params.xi = -k;
+  r.params.sigma = sigma;
+  r.params.mu = mu;
+  r.valid = std::isfinite(mu);
+  return r;
+}
+
+}  // namespace mpe::evt

@@ -1,0 +1,26 @@
+// Probability-weighted-moments (PWM / L-moment) estimator for the GEV
+// family, after Hosking, Wallis & Wood (1985). Provided as a robust,
+// closed-form alternative to the MLE — used by the ablation benches to show
+// why the paper's MLE pipeline is preferred for endpoint estimation at small
+// m, and as an initializer/cross-check.
+#pragma once
+
+#include <span>
+
+#include "stats/gev.hpp"
+
+namespace mpe::evt {
+
+/// PWM fit outcome.
+struct PwmResult {
+  stats::GevParams params;  ///< fitted GEV (xi, mu, sigma)
+  double b0 = 0.0;          ///< sample PWM beta_0 (the mean)
+  double b1 = 0.0;          ///< sample PWM beta_1
+  double b2 = 0.0;          ///< sample PWM beta_2
+  bool valid = false;       ///< false when the sample is degenerate
+};
+
+/// Fits a GEV to `maxima` (m >= 3) by probability-weighted moments.
+PwmResult fit_gev_pwm(std::span<const double> maxima);
+
+}  // namespace mpe::evt

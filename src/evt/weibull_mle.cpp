@@ -1,0 +1,220 @@
+#include "evt/weibull_mle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace mpe::evt {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Shifted-log accumulator: given t_i = log z_i, computes
+///   S0 = sum exp(alpha t_i)        (as log, shifted)
+///   R  = sum t_i exp(alpha t_i) / S0
+/// without overflow for any alpha.
+struct PowerSums {
+  double log_s0;  ///< log sum z_i^alpha
+  double ratio;   ///< weighted mean of t_i with weights z_i^alpha
+};
+
+PowerSums power_sums(std::span<const double> t, double alpha) {
+  const double tmax = *std::max_element(t.begin(), t.end());
+  double s0 = 0.0;
+  double s1 = 0.0;
+  for (double ti : t) {
+    const double w = std::exp(alpha * (ti - tmax));
+    s0 += w;
+    s1 += w * ti;
+  }
+  return {alpha * tmax + std::log(s0), s1 / s0};
+}
+
+}  // namespace
+
+double weibull_log_likelihood(std::span<const double> maxima,
+                              const stats::WeibullParams& p) {
+  MPE_EXPECTS(!maxima.empty());
+  if (p.alpha <= 0.0 || p.beta <= 0.0) return kNegInf;
+  double ll = 0.0;
+  for (double x : maxima) {
+    if (x >= p.mu) return kNegInf;
+    const double z = p.mu - x;
+    ll += std::log(p.alpha) + std::log(p.beta) +
+          (p.alpha - 1.0) * std::log(z) - p.beta * std::pow(z, p.alpha);
+  }
+  return ll;
+}
+
+FixedMuFit fit_weibull_mle_fixed_mu(std::span<const double> maxima, double mu,
+                                    const WeibullMleOptions& opt) {
+  MPE_EXPECTS(maxima.size() >= 2);
+  FixedMuFit fit;
+  const auto m = static_cast<double>(maxima.size());
+
+  std::vector<double> t;  // t_i = log(mu - x_i)
+  t.reserve(maxima.size());
+  double tsum = 0.0;
+  double tabs_max = 0.0;
+  for (double x : maxima) {
+    if (x >= mu) return fit;  // infeasible endpoint
+    const double ti = std::log(mu - x);
+    t.push_back(ti);
+    tsum += ti;
+    tabs_max = std::max(tabs_max, std::fabs(ti));
+  }
+
+  // psi(alpha) = m/alpha + sum t_i - m * R(alpha); strictly decreasing.
+  auto psi = [&](double alpha) {
+    const PowerSums ps = power_sums(t, alpha);
+    return m / alpha + tsum - m * ps.ratio;
+  };
+
+  double lo = opt.alpha_min;
+  // Cap the shape so |log beta| <= ~600 + log m stays representable in a
+  // double: beta = m / sum z_i^alpha and |log sum z_i^alpha| <= alpha *
+  // max|log z_i| + log m. Without the cap, near-Gumbel ridge fits drive
+  // beta to exact floating-point zero and break quantile evaluation.
+  const double hi_cap =
+      tabs_max > 1e-12 ? std::max(600.0 / tabs_max, 10.0) : opt.alpha_max;
+  double hi = std::min(opt.alpha_max, hi_cap);
+  const double psi_lo = psi(lo);
+  const double psi_hi = psi(hi);
+  double alpha_hat;
+  if (psi_lo <= 0.0) {
+    alpha_hat = lo;  // degenerate: all mass at tiny shape
+  } else if (psi_hi >= 0.0) {
+    alpha_hat = hi;  // degenerate: near-identical z_i (huge shape)
+  } else {
+    const auto r = math::brent_root(psi, lo, hi, 1e-10);
+    alpha_hat = r.x;
+    fit.converged = r.converged;
+  }
+
+  const PowerSums ps = power_sums(t, alpha_hat);
+  const double log_beta = std::log(m) - ps.log_s0;
+  fit.alpha = alpha_hat;
+  fit.beta = std::exp(log_beta);
+  // ell = m log(alpha) + m log(beta) + (alpha-1) sum t_i - beta * S0
+  //     = m log(alpha) + m log(beta) + (alpha-1) sum t_i - m.
+  fit.log_likelihood =
+      m * std::log(alpha_hat) + m * log_beta + (alpha_hat - 1.0) * tsum - m;
+  if (alpha_hat == lo || alpha_hat == hi) fit.converged = false;
+  return fit;
+}
+
+WeibullMleResult fit_weibull_mle(std::span<const double> maxima,
+                                 const WeibullMleOptions& opt) {
+  MPE_EXPECTS(maxima.size() >= 3);
+  WeibullMleResult out;
+
+  const double xmax = *std::max_element(maxima.begin(), maxima.end());
+  const double xmin = *std::min_element(maxima.begin(), maxima.end());
+  double spread = xmax - xmin;
+  if (spread <= 0.0) {
+    // Degenerate sample: every maximum identical. Report a point mass.
+    out.params = {opt.alpha_max, 1.0, xmax};
+    out.converged = false;
+    out.mu_at_lower_bound = true;
+    return out;
+  }
+
+  int evals = 0;
+  auto profile = [&](double mu) {
+    ++evals;
+    const FixedMuFit f = fit_weibull_mle_fixed_mu(maxima, mu, opt);
+    return f.log_likelihood;
+  };
+
+  // Coarse scan of mu = xmax + delta on a log grid.
+  const double lo_delta = opt.lo_frac * spread;
+  const double hi_delta = opt.hi_frac * spread;
+  const int n_grid = std::max(opt.grid_points, 8);
+  const double log_lo = std::log(lo_delta);
+  const double log_hi = std::log(hi_delta);
+  int best_idx = 0;
+  double best_ll = kNegInf;
+  std::vector<double> deltas(static_cast<std::size_t>(n_grid));
+  for (int i = 0; i < n_grid; ++i) {
+    const double ld =
+        log_lo + (log_hi - log_lo) * static_cast<double>(i) / (n_grid - 1);
+    deltas[static_cast<std::size_t>(i)] = std::exp(ld);
+    const double ll = profile(xmax + deltas[static_cast<std::size_t>(i)]);
+    if (ll > best_ll) {
+      best_ll = ll;
+      best_idx = i;
+    }
+  }
+
+  out.mu_at_lower_bound = (best_idx == 0);
+  out.mu_at_upper_bound = (best_idx == n_grid - 1);
+
+  // Golden-section refinement between the grid neighbors of the best point
+  // (in log-delta space, where the profile is smooth).
+  const int lo_i = std::max(best_idx - 1, 0);
+  const int hi_i = std::min(best_idx + 1, n_grid - 1);
+  auto neg_profile_logdelta = [&](double ld) {
+    return -profile(xmax + std::exp(ld));
+  };
+  const auto gm = math::golden_minimize(
+      neg_profile_logdelta, std::log(deltas[static_cast<std::size_t>(lo_i)]),
+      std::log(deltas[static_cast<std::size_t>(hi_i)]), 1e-10, 200);
+
+  double mu_hat = xmax + std::exp(gm.x);
+  FixedMuFit inner = fit_weibull_mle_fixed_mu(maxima, mu_hat, opt);
+
+  // Ridge stabilization: if the maximum sits implausibly far above the
+  // sample (the Weibull->Gumbel degeneracy), report the smallest endpoint
+  // whose profile likelihood is within ridge_tolerance of the maximum.
+  if (opt.ridge_tolerance > 0.0 &&
+      (mu_hat - xmax) > opt.ridge_spread_factor * spread) {
+    out.ridge_fallback = true;
+    const double target = inner.log_likelihood - opt.ridge_tolerance;
+    // Walk the coarse grid up from the smallest delta to bracket the first
+    // crossing of the target level.
+    double lo_delta_x = deltas.front();
+    double hi_delta_x = mu_hat - xmax;
+    double prev_delta = deltas.front();
+    for (double delta : deltas) {
+      if (xmax + delta >= mu_hat) break;
+      if (profile(xmax + delta) >= target) {
+        lo_delta_x = prev_delta;
+        hi_delta_x = delta;
+        break;
+      }
+      prev_delta = delta;
+    }
+    // Bisect the crossing in log-delta space.
+    double lo_ld = std::log(lo_delta_x);
+    double hi_ld = std::log(hi_delta_x);
+    for (int it = 0; it < 60; ++it) {
+      const double mid = 0.5 * (lo_ld + hi_ld);
+      if (profile(xmax + std::exp(mid)) >= target) {
+        hi_ld = mid;
+      } else {
+        lo_ld = mid;
+      }
+    }
+    mu_hat = xmax + std::exp(hi_ld);
+    inner = fit_weibull_mle_fixed_mu(maxima, mu_hat, opt);
+  }
+
+  out.params.alpha = inner.alpha;
+  out.params.beta = inner.beta;
+  out.params.mu = mu_hat;
+  out.log_likelihood = inner.log_likelihood;
+  out.profile_evaluations = evals;
+  out.alpha_below_two = inner.alpha <= 2.0;
+  // A ridge-stabilized fit is a usable estimate even when the unrestricted
+  // maximum ran into the upper search bound.
+  out.converged = inner.converged && !out.mu_at_lower_bound &&
+                  (!out.mu_at_upper_bound || out.ridge_fallback);
+  return out;
+}
+
+}  // namespace mpe::evt

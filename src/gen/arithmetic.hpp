@@ -1,0 +1,32 @@
+// Structural arithmetic circuit generators: ripple-carry adder, array
+// multiplier (the C6288 archetype), subtractor-capable ALU slice, and a
+// magnitude comparator. All are functionally verified in the test suite
+// against integer arithmetic.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace mpe::gen {
+
+/// `bits`-wide ripple-carry adder. Inputs a0..a{b-1}, b0..b{b-1}, cin;
+/// outputs s0..s{b-1}, cout.
+circuit::Netlist ripple_carry_adder(std::size_t bits,
+                                    const std::string& name = "rca");
+
+/// `bits` x `bits` array multiplier built from AND partial products and
+/// ripple rows of full adders (the structure of ISCAS-85 C6288 at 16x16).
+/// Inputs a0.., b0..; outputs p0..p{2b-1}.
+circuit::Netlist array_multiplier(std::size_t bits,
+                                  const std::string& name = "mult");
+
+/// Simple `bits`-wide ALU: op = {00: AND, 01: OR, 10: ADD, 11: SUB} selected
+/// by inputs op0, op1. Outputs r0..r{b-1}, cout.
+circuit::Netlist alu(std::size_t bits, const std::string& name = "alu");
+
+/// Unsigned magnitude comparator: outputs `lt`, `eq`, `gt`.
+circuit::Netlist comparator(std::size_t bits, const std::string& name = "cmp");
+
+}  // namespace mpe::gen

@@ -1,0 +1,364 @@
+#include "gen/datapath.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "circuit/builder.hpp"
+#include "util/contracts.hpp"
+
+namespace mpe::gen {
+
+using circuit::GateType;
+using circuit::Netlist;
+using circuit::NetlistBuilder;
+using circuit::NodeId;
+
+namespace {
+
+/// Declares the standard adder I/O and returns (a, b, cin).
+struct AdderIo {
+  std::vector<NodeId> a;
+  std::vector<NodeId> b;
+  NodeId cin;
+};
+
+AdderIo adder_inputs(Netlist& nl, std::size_t bits) {
+  AdderIo io;
+  io.a.resize(bits);
+  io.b.resize(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    io.a[i] = nl.add_input("a" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < bits; ++i) {
+    io.b[i] = nl.add_input("b" + std::to_string(i));
+  }
+  io.cin = nl.add_input("cin");
+  return io;
+}
+
+void publish_sum(Netlist& nl, const std::vector<NodeId>& sum, NodeId carry) {
+  for (std::size_t i = 0; i < sum.size(); ++i) {
+    const NodeId s = nl.declare("s" + std::to_string(i));
+    nl.add_gate_ids(GateType::kBuf, s, {sum[i]});
+    nl.mark_output(s);
+  }
+  const NodeId cout = nl.declare("cout");
+  nl.add_gate_ids(GateType::kBuf, cout, {carry});
+  nl.mark_output(cout);
+}
+
+}  // namespace
+
+Netlist carry_select_adder(std::size_t bits, std::size_t block,
+                           const std::string& name) {
+  MPE_EXPECTS(bits >= 1);
+  MPE_EXPECTS(block >= 1);
+  Netlist nl(name);
+  NetlistBuilder b(nl, name + "_n");
+  const AdderIo io = adder_inputs(nl, bits);
+
+  std::vector<NodeId> sum(bits);
+  NodeId carry = b.buf(io.cin);
+  for (std::size_t base = 0; base < bits; base += block) {
+    const std::size_t w = std::min(block, bits - base);
+    if (base == 0) {
+      // First block: plain ripple from the real cin.
+      for (std::size_t i = 0; i < w; ++i) {
+        const auto fa = b.full_adder(io.a[base + i], io.b[base + i], carry);
+        sum[base + i] = fa.sum;
+        carry = fa.carry;
+      }
+      continue;
+    }
+    // Speculative block: compute with cin = 0 and cin = 1, then select.
+    // Constant 0/1 rails from the block's own operands keep the netlist
+    // purely combinational: zero = a & !a, one = a | !a.
+    const NodeId na = b.not_(io.a[base]);
+    const NodeId zero = b.and_(io.a[base], na);
+    const NodeId one = b.or_(io.a[base], na);
+    std::vector<NodeId> s0(w), s1(w);
+    NodeId c0 = zero, c1 = one;
+    for (std::size_t i = 0; i < w; ++i) {
+      const auto f0 = b.full_adder(io.a[base + i], io.b[base + i], c0);
+      s0[i] = f0.sum;
+      c0 = f0.carry;
+      const auto f1 = b.full_adder(io.a[base + i], io.b[base + i], c1);
+      s1[i] = f1.sum;
+      c1 = f1.carry;
+    }
+    for (std::size_t i = 0; i < w; ++i) {
+      sum[base + i] = b.mux(carry, s0[i], s1[i]);
+    }
+    carry = b.mux(carry, c0, c1);
+  }
+  publish_sum(nl, sum, carry);
+  nl.finalize();
+  return nl;
+}
+
+Netlist carry_lookahead_adder(std::size_t bits, const std::string& name) {
+  MPE_EXPECTS(bits >= 1);
+  Netlist nl(name);
+  NetlistBuilder b(nl, name + "_n");
+  const AdderIo io = adder_inputs(nl, bits);
+
+  std::vector<NodeId> sum(bits);
+  NodeId carry_in = b.buf(io.cin);
+  constexpr std::size_t kBlock = 4;
+  for (std::size_t base = 0; base < bits; base += kBlock) {
+    const std::size_t w = std::min(kBlock, bits - base);
+    // Generate/propagate per bit.
+    std::vector<NodeId> g(w), p(w);
+    for (std::size_t i = 0; i < w; ++i) {
+      g[i] = b.and_(io.a[base + i], io.b[base + i]);
+      p[i] = b.xor_(io.a[base + i], io.b[base + i]);
+    }
+    // Lookahead carries: c_{i+1} = g_i | p_i & c_i, expanded so each carry
+    // is a two-level AND-OR over the block inputs.
+    std::vector<NodeId> c(w + 1);
+    c[0] = carry_in;
+    for (std::size_t i = 0; i < w; ++i) {
+      // terms: g_i, p_i g_{i-1}, p_i p_{i-1} g_{i-2}, ..., p_i..p_0 c_0
+      std::vector<NodeId> terms;
+      terms.push_back(g[i]);
+      for (std::size_t j = i; j-- > 0;) {
+        std::vector<NodeId> chain;
+        for (std::size_t k = j + 1; k <= i; ++k) chain.push_back(p[k]);
+        chain.push_back(g[j]);
+        terms.push_back(b.reduce(GateType::kAnd, chain, 4));
+      }
+      {
+        std::vector<NodeId> chain(p.begin(), p.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+        chain.push_back(c[0]);
+        terms.push_back(b.reduce(GateType::kAnd, chain, 4));
+      }
+      c[i + 1] = b.reduce(GateType::kOr, terms, 4);
+    }
+    for (std::size_t i = 0; i < w; ++i) {
+      sum[base + i] = b.xor_(p[i], c[i]);
+    }
+    carry_in = c[w];
+  }
+  publish_sum(nl, sum, carry_in);
+  nl.finalize();
+  return nl;
+}
+
+Netlist wallace_multiplier(std::size_t bits, const std::string& name) {
+  MPE_EXPECTS(bits >= 2);
+  Netlist nl(name);
+  NetlistBuilder b(nl, name + "_n");
+
+  std::vector<NodeId> a(bits), bb(bits);
+  for (std::size_t i = 0; i < bits; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+  for (std::size_t i = 0; i < bits; ++i) bb[i] = nl.add_input("b" + std::to_string(i));
+
+  // Column lists of partial-product bits by weight.
+  std::vector<std::deque<NodeId>> col(2 * bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    for (std::size_t j = 0; j < bits; ++j) {
+      col[i + j].push_back(b.and_(a[j], bb[i]));
+    }
+  }
+
+  // Wallace reduction: compress any column with > 2 entries using full
+  // adders (3 -> sum + carry) and half adders (2 -> sum + carry) until every
+  // column holds at most two bits.
+  bool reduced = true;
+  while (reduced) {
+    reduced = false;
+    for (std::size_t w = 0; w < col.size(); ++w) {
+      while (col[w].size() > 2) {
+        reduced = true;
+        if (col[w].size() >= 3) {
+          const NodeId x = col[w].front();
+          col[w].pop_front();
+          const NodeId y = col[w].front();
+          col[w].pop_front();
+          const NodeId z = col[w].front();
+          col[w].pop_front();
+          const auto fa = b.full_adder(x, y, z);
+          col[w].push_back(fa.sum);
+          if (w + 1 < col.size()) col[w + 1].push_back(fa.carry);
+        }
+      }
+    }
+  }
+
+  // Final stage: ripple-add the two remaining rows.
+  std::vector<NodeId> product(2 * bits, circuit::kNoGate);
+  NodeId carry = circuit::kNoGate;
+  for (std::size_t w = 0; w < col.size(); ++w) {
+    const std::size_t n_bits = col[w].size();
+    if (n_bits == 0) {
+      if (carry != circuit::kNoGate) {
+        product[w] = carry;
+        carry = circuit::kNoGate;
+      }
+      continue;
+    }
+    if (n_bits == 1 && carry == circuit::kNoGate) {
+      product[w] = col[w][0];
+    } else if (n_bits == 1) {
+      const auto ha = b.half_adder(col[w][0], carry);
+      product[w] = ha.sum;
+      carry = ha.carry;
+    } else if (carry == circuit::kNoGate) {
+      const auto ha = b.half_adder(col[w][0], col[w][1]);
+      product[w] = ha.sum;
+      carry = ha.carry;
+    } else {
+      const auto fa = b.full_adder(col[w][0], col[w][1], carry);
+      product[w] = fa.sum;
+      carry = fa.carry;
+    }
+  }
+
+  // Tie off any never-driven product bit as constant zero.
+  for (std::size_t k = 0; k < 2 * bits; ++k) {
+    if (product[k] == circuit::kNoGate) {
+      const NodeId na0 = b.not_(a[0]);
+      product[k] = b.and_(a[0], na0);
+    }
+    const NodeId p = nl.declare("p" + std::to_string(k));
+    nl.add_gate_ids(GateType::kBuf, p, {product[k]});
+    nl.mark_output(p);
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist barrel_shifter(std::size_t log2_width, const std::string& name) {
+  MPE_EXPECTS(log2_width >= 1);
+  MPE_EXPECTS(log2_width <= 8);
+  Netlist nl(name);
+  NetlistBuilder b(nl, name + "_n");
+  const std::size_t width = std::size_t{1} << log2_width;
+
+  std::vector<NodeId> data(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    data[i] = nl.add_input("d" + std::to_string(i));
+  }
+  std::vector<NodeId> sel(log2_width);
+  for (std::size_t s = 0; s < log2_width; ++s) {
+    sel[s] = nl.add_input("s" + std::to_string(s));
+  }
+
+  // Stage s rotates left by 2^s when sel[s] is high.
+  std::vector<NodeId> layer = data;
+  for (std::size_t s = 0; s < log2_width; ++s) {
+    const std::size_t shift = std::size_t{1} << s;
+    std::vector<NodeId> next(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      // Output bit i takes bit i when sel = 0, bit (i - shift) mod w when 1.
+      const std::size_t rotated = (i + width - shift) % width;
+      next[i] = b.mux(sel[s], layer[i], layer[rotated]);
+    }
+    layer = std::move(next);
+  }
+  for (std::size_t i = 0; i < width; ++i) {
+    const NodeId y = nl.declare("y" + std::to_string(i));
+    nl.add_gate_ids(GateType::kBuf, y, {layer[i]});
+    nl.mark_output(y);
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist priority_encoder(std::size_t width, const std::string& name) {
+  MPE_EXPECTS(width >= 2);
+  MPE_EXPECTS(width <= 256);
+  Netlist nl(name);
+  NetlistBuilder b(nl, name + "_n");
+
+  std::vector<NodeId> req(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    req[i] = nl.add_input("r" + std::to_string(i));
+  }
+
+  // grant[i] = r_i & !r_{i+1} & ... & !r_{w-1} (highest index wins).
+  std::vector<NodeId> grant(width);
+  NodeId none_above = circuit::kNoGate;
+  for (std::size_t idx = 0; idx < width; ++idx) {
+    const std::size_t i = width - 1 - idx;
+    if (none_above == circuit::kNoGate) {
+      grant[i] = b.buf(req[i]);
+      none_above = b.not_(req[i]);
+    } else {
+      grant[i] = b.and_(req[i], none_above);
+      if (i > 0) none_above = b.and_(none_above, b.not_(req[i]));
+    }
+  }
+
+  std::size_t out_bits = 0;
+  while ((std::size_t{1} << out_bits) < width) ++out_bits;
+  for (std::size_t bit = 0; bit < out_bits; ++bit) {
+    // y_bit = OR of grants whose index has this bit set.
+    std::vector<NodeId> terms;
+    for (std::size_t i = 0; i < width; ++i) {
+      if ((i >> bit) & 1) terms.push_back(grant[i]);
+    }
+    const NodeId y = nl.declare("y" + std::to_string(bit));
+    if (terms.empty()) {
+      const NodeId nr = b.not_(req[0]);
+      nl.add_gate_ids(GateType::kAnd, y, {req[0], nr});  // constant 0
+    } else {
+      nl.add_gate_ids(GateType::kBuf, y, {b.reduce(GateType::kOr, terms, 4)});
+    }
+    nl.mark_output(y);
+  }
+  const NodeId valid = nl.declare("valid");
+  nl.add_gate_ids(GateType::kBuf, valid, {b.reduce(GateType::kOr, req, 4)});
+  nl.mark_output(valid);
+  nl.finalize();
+  return nl;
+}
+
+Netlist bin_to_gray(std::size_t bits, const std::string& name) {
+  MPE_EXPECTS(bits >= 2);
+  Netlist nl(name);
+  NetlistBuilder builder(nl, name + "_n");
+  std::vector<NodeId> bin(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    bin[i] = nl.add_input("b" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < bits; ++i) {
+    const NodeId g = nl.declare("g" + std::to_string(i));
+    if (i + 1 < bits) {
+      nl.add_gate_ids(GateType::kXor, g, {bin[i], bin[i + 1]});
+    } else {
+      nl.add_gate_ids(GateType::kBuf, g, {bin[i]});
+    }
+    nl.mark_output(g);
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist gray_to_bin(std::size_t bits, const std::string& name) {
+  MPE_EXPECTS(bits >= 2);
+  Netlist nl(name);
+  NetlistBuilder builder(nl, name + "_n");
+  std::vector<NodeId> gray(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    gray[i] = nl.add_input("g" + std::to_string(i));
+  }
+  // b_{n-1} = g_{n-1}; b_i = g_i xor b_{i+1} (prefix XOR from the top).
+  std::vector<NodeId> bin(bits);
+  for (std::size_t idx = 0; idx < bits; ++idx) {
+    const std::size_t i = bits - 1 - idx;
+    const NodeId b = nl.declare("b" + std::to_string(i));
+    if (i + 1 == bits) {
+      nl.add_gate_ids(GateType::kBuf, b, {gray[i]});
+    } else {
+      nl.add_gate_ids(GateType::kXor, b, {gray[i], bin[i + 1]});
+    }
+    bin[i] = b;
+    nl.mark_output(b);
+  }
+  nl.finalize();
+  return nl;
+}
+
+}  // namespace mpe::gen

@@ -1,0 +1,52 @@
+// Additional datapath generators beyond the basic ripple structures:
+// carry-select and carry-lookahead adders (same function as ripple-carry,
+// different delay/power profiles — useful for studying how architecture
+// moves the maximum-power point), a Wallace-tree multiplier (the "fast"
+// counterpart of the C6288 array), barrel shifter, priority encoder, and
+// Gray-code converters. All functionally verified in the test suite.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace mpe::gen {
+
+/// Carry-select adder: `bits` wide, split into `block` wide sections that
+/// compute both carry polarities and select. Inputs/outputs match
+/// ripple_carry_adder (a*, b*, cin -> s*, cout).
+circuit::Netlist carry_select_adder(std::size_t bits, std::size_t block = 4,
+                                    const std::string& name = "csa");
+
+/// Carry-lookahead adder with 4-bit lookahead blocks rippled at the block
+/// level. Same interface as ripple_carry_adder.
+circuit::Netlist carry_lookahead_adder(std::size_t bits,
+                                       const std::string& name = "cla");
+
+/// Wallace-tree multiplier: `bits` x `bits`, column compression with
+/// full/half adders, final ripple-carry stage. Same interface as
+/// array_multiplier (a*, b* -> p0..p{2b-1}).
+circuit::Netlist wallace_multiplier(std::size_t bits,
+                                    const std::string& name = "wallace");
+
+/// Logarithmic barrel rotator: rotates the `width` data inputs left by the
+/// amount on the select inputs. Inputs d0..d{w-1}, s0..s{k-1} with
+/// width = 2^k; outputs y0..y{w-1}.
+circuit::Netlist barrel_shifter(std::size_t log2_width,
+                                const std::string& name = "barrel");
+
+/// Priority encoder over `width` request lines (highest index wins).
+/// Outputs the binary index y0..y{ceil(log2 w)-1} and "valid".
+circuit::Netlist priority_encoder(std::size_t width,
+                                  const std::string& name = "prio");
+
+/// Binary -> Gray converter (`bits` wide): g_i = b_i xor b_{i+1}.
+circuit::Netlist bin_to_gray(std::size_t bits,
+                             const std::string& name = "b2g");
+
+/// Gray -> binary converter (`bits` wide): b_i = xor of g_i..g_{n-1}.
+circuit::Netlist gray_to_bin(std::size_t bits,
+                             const std::string& name = "g2b");
+
+}  // namespace mpe::gen

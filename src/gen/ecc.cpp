@@ -1,0 +1,163 @@
+#include "gen/ecc.hpp"
+
+#include <vector>
+
+#include "circuit/builder.hpp"
+#include "util/contracts.hpp"
+
+namespace mpe::gen {
+
+using circuit::GateType;
+using circuit::Netlist;
+using circuit::NetlistBuilder;
+using circuit::NodeId;
+
+std::size_t hamming_parity_bits(std::size_t data_bits) {
+  MPE_EXPECTS(data_bits >= 1);
+  std::size_t r = 1;
+  while ((std::size_t{1} << r) < data_bits + r + 1) ++r;
+  return r;
+}
+
+namespace {
+
+bool is_power_of_two(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Maps data index -> 1-based codeword position (non-power-of-two slots).
+std::vector<std::size_t> data_positions(std::size_t data_bits,
+                                        std::size_t n) {
+  std::vector<std::size_t> pos;
+  pos.reserve(data_bits);
+  for (std::size_t p = 1; p <= n && pos.size() < data_bits; ++p) {
+    if (!is_power_of_two(p)) pos.push_back(p);
+  }
+  return pos;
+}
+
+}  // namespace
+
+Netlist hamming_encoder(std::size_t data_bits, const std::string& name) {
+  MPE_EXPECTS(data_bits >= 1);
+  const std::size_t r = hamming_parity_bits(data_bits);
+  const std::size_t n = data_bits + r;
+
+  Netlist nl(name);
+  NetlistBuilder b(nl, name + "_n");
+  std::vector<NodeId> d(data_bits);
+  for (std::size_t i = 0; i < data_bits; ++i) {
+    d[i] = nl.add_input("d" + std::to_string(i));
+  }
+  const auto dpos = data_positions(data_bits, n);
+
+  // Codeword slot per 1-based position.
+  std::vector<NodeId> code(n + 1, circuit::kNoGate);
+  for (std::size_t i = 0; i < data_bits; ++i) code[dpos[i]] = d[i];
+  for (std::size_t i = 0; i < r; ++i) {
+    const std::size_t p = std::size_t{1} << i;
+    std::vector<NodeId> covered;
+    for (std::size_t j = 0; j < data_bits; ++j) {
+      if (dpos[j] & p) covered.push_back(d[j]);
+    }
+    // A parity over zero or one bits degenerates; guard with buf.
+    code[p] = covered.size() >= 2 ? b.reduce(GateType::kXor, covered, 2)
+              : covered.size() == 1 ? b.buf(covered[0])
+                                    : b.and_(d[0], b.not_(d[0]));  // const 0
+  }
+  for (std::size_t p = 1; p <= n; ++p) {
+    const NodeId out = nl.declare("c" + std::to_string(p - 1));
+    nl.add_gate_ids(GateType::kBuf, out, {code[p]});
+    nl.mark_output(out);
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist hamming_decoder(std::size_t data_bits, const std::string& name) {
+  MPE_EXPECTS(data_bits >= 1);
+  const std::size_t r = hamming_parity_bits(data_bits);
+  const std::size_t n = data_bits + r;
+
+  Netlist nl(name);
+  NetlistBuilder b(nl, name + "_n");
+  std::vector<NodeId> c(n + 1, circuit::kNoGate);  // 1-based
+  for (std::size_t p = 1; p <= n; ++p) {
+    c[p] = nl.add_input("c" + std::to_string(p - 1));
+  }
+
+  // Syndrome bit i = XOR of every position whose index has bit i set.
+  std::vector<NodeId> s(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    std::vector<NodeId> covered;
+    for (std::size_t p = 1; p <= n; ++p) {
+      if (p & (std::size_t{1} << i)) covered.push_back(c[p]);
+    }
+    s[i] = covered.size() >= 2 ? b.reduce(GateType::kXor, covered, 2)
+                               : b.buf(covered[0]);
+    const NodeId so = nl.declare("s" + std::to_string(i));
+    nl.add_gate_ids(GateType::kBuf, so, {s[i]});
+    nl.mark_output(so);
+  }
+  std::vector<NodeId> ns(r);
+  for (std::size_t i = 0; i < r; ++i) ns[i] = b.not_(s[i]);
+
+  // Corrected data bit: flip when the syndrome equals its position.
+  const auto dpos = data_positions(data_bits, n);
+  for (std::size_t j = 0; j < data_bits; ++j) {
+    std::vector<NodeId> literals;
+    for (std::size_t i = 0; i < r; ++i) {
+      literals.push_back((dpos[j] >> i) & 1 ? s[i] : ns[i]);
+    }
+    const NodeId match = literals.size() >= 2
+                             ? b.reduce(GateType::kAnd, literals, 4)
+                             : literals[0];
+    const NodeId out = nl.declare("d" + std::to_string(j));
+    nl.add_gate_ids(GateType::kXor, out, {c[dpos[j]], match});
+    nl.mark_output(out);
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist secded_checker(std::size_t data_bits, const std::string& name) {
+  MPE_EXPECTS(data_bits >= 1);
+  const std::size_t r = hamming_parity_bits(data_bits);
+  const std::size_t n = data_bits + r;
+
+  Netlist nl(name);
+  NetlistBuilder b(nl, name + "_n");
+  std::vector<NodeId> c(n + 1, circuit::kNoGate);
+  for (std::size_t p = 1; p <= n; ++p) {
+    c[p] = nl.add_input("c" + std::to_string(p - 1));
+  }
+  const NodeId overall_in = nl.add_input("p");
+
+  // Syndrome bits (as in the decoder).
+  std::vector<NodeId> s(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    std::vector<NodeId> covered;
+    for (std::size_t p = 1; p <= n; ++p) {
+      if (p & (std::size_t{1} << i)) covered.push_back(c[p]);
+    }
+    s[i] = covered.size() >= 2 ? b.reduce(GateType::kXor, covered, 2)
+                               : b.buf(covered[0]);
+  }
+  const NodeId syndrome_nz = b.reduce(GateType::kOr, s, 4);
+
+  // Overall parity across the codeword and the extra parity bit: odd
+  // weight of flips shows up here.
+  std::vector<NodeId> all(c.begin() + 1, c.end());
+  all.push_back(overall_in);
+  const NodeId overall = b.reduce(GateType::kXor, all, 2);
+
+  const NodeId ce = nl.declare("ce");  // correctable (odd-weight) error
+  nl.add_gate_ids(GateType::kBuf, ce, {overall});
+  nl.mark_output(ce);
+  const NodeId not_overall = b.not_(overall);
+  const NodeId ue = nl.declare("ue");  // uncorrectable (double) error
+  nl.add_gate_ids(GateType::kAnd, ue, {not_overall, syndrome_nz});
+  nl.mark_output(ue);
+  nl.finalize();
+  return nl;
+}
+
+}  // namespace mpe::gen

@@ -1,0 +1,38 @@
+// Error-correcting-code circuit generators: Hamming single-error-correcting
+// encoder, syndrome decoder/corrector, and a SEC-DED (extended Hamming)
+// checker — the documented function of the ISCAS-85 ECC benchmarks
+// (C1355/C499 are 32-bit SEC circuits, C1908 a 16-bit SEC/DED). XOR-dominated
+// structures with the high, data-independent switching activity that makes
+// ECC logic a classic power stressor.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace mpe::gen {
+
+/// Number of Hamming parity bits needed for `data_bits` of payload:
+/// smallest r with 2^r >= data_bits + r + 1.
+std::size_t hamming_parity_bits(std::size_t data_bits);
+
+/// Hamming SEC encoder: inputs d0..d{k-1}; outputs the full codeword
+/// c0..c{n-1} (positions 1..n, 1-indexed powers of two carry parity),
+/// n = k + r. Pure XOR trees.
+circuit::Netlist hamming_encoder(std::size_t data_bits,
+                                 const std::string& name = "henc");
+
+/// Hamming SEC decoder/corrector: inputs c0..c{n-1} (possibly with one bit
+/// flipped); outputs the corrected data d0..d{k-1} and the syndrome
+/// s0..s{r-1} (zero syndrome = no error).
+circuit::Netlist hamming_decoder(std::size_t data_bits,
+                                 const std::string& name = "hdec");
+
+/// SEC-DED checker: extended-Hamming overall-parity scheme over a received
+/// codeword plus overall parity bit `p`. Outputs "ce" (correctable,
+/// single-bit error) and "ue" (uncorrectable, double-bit error).
+circuit::Netlist secded_checker(std::size_t data_bits,
+                                const std::string& name = "secded");
+
+}  // namespace mpe::gen

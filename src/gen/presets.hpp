@@ -1,0 +1,40 @@
+// The nine "c-series" circuit presets used throughout the paper's
+// experimental section. When the original ISCAS-85 netlists are not on disk
+// we synthesize structural stand-ins with matched primary-input /
+// primary-output / gate counts (C6288 is generated as a real 16x16 array
+// multiplier, its actual function). See DESIGN.md for the substitution
+// rationale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace mpe::gen {
+
+/// Descriptor of one preset circuit.
+struct PresetInfo {
+  std::string name;          ///< e.g. "c3540"
+  std::size_t num_inputs;    ///< ISCAS-85 PI count
+  std::size_t num_outputs;   ///< ISCAS-85 PO count
+  std::size_t num_gates;     ///< ISCAS-85 gate count (target for stand-ins)
+  std::string description;   ///< original circuit's documented function
+};
+
+/// All nine presets in the paper's table order (c1355 ... c880 by name).
+const std::vector<PresetInfo>& preset_catalog();
+
+/// Finds a preset descriptor by name (case-sensitive). Throws if unknown.
+const PresetInfo& preset_info(const std::string& name);
+
+/// Builds the preset circuit. `seed` controls the random stand-in structure;
+/// a given (name, seed) pair is fully deterministic. C6288 ignores the seed
+/// (it is a real multiplier).
+circuit::Netlist build_preset(const std::string& name, std::uint64_t seed);
+
+/// Builds the whole suite in catalog order.
+std::vector<circuit::Netlist> build_suite(std::uint64_t seed);
+
+}  // namespace mpe::gen

@@ -1,0 +1,127 @@
+#include "gen/random_dag.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace mpe::gen {
+
+using circuit::GateType;
+using circuit::Netlist;
+using circuit::NodeId;
+
+Netlist random_dag(const RandomDagParams& p, Rng& rng) {
+  MPE_EXPECTS(p.num_inputs >= 2);
+  MPE_EXPECTS(p.num_outputs >= 1);
+  MPE_EXPECTS(p.max_fanin >= 2);
+  MPE_EXPECTS(p.num_gates >= 1);
+  MPE_EXPECTS(p.unary_fraction >= 0.0 && p.unary_fraction < 1.0);
+  MPE_EXPECTS(p.locality >= 0.0 && p.locality <= 1.0);
+  MPE_EXPECTS_MSG(p.num_gates * (p.max_fanin - 1) >= p.num_inputs,
+                  "not enough gates to consume every primary input");
+
+  Netlist nl(p.name);
+  std::vector<NodeId> pool;  // all signals available as fanin, in age order
+  pool.reserve(p.num_inputs + p.num_gates);
+  for (std::size_t i = 0; i < p.num_inputs; ++i) {
+    pool.push_back(nl.add_input(p.name + "_i" + std::to_string(i)));
+  }
+
+  static constexpr GateType kNary[6] = {GateType::kAnd,  GateType::kNand,
+                                        GateType::kOr,   GateType::kNor,
+                                        GateType::kXor,  GateType::kXnor};
+  const double weight_sum =
+      std::accumulate(p.type_weights.begin(), p.type_weights.end(), 0.0);
+  MPE_EXPECTS(weight_sum > 0.0);
+
+  auto pick_type = [&]() {
+    double u = rng.uniform() * weight_sum;
+    for (std::size_t i = 0; i < 6; ++i) {
+      u -= p.type_weights[i];
+      if (u <= 0.0) return kNary[i];
+    }
+    return kNary[5];
+  };
+
+  auto pick_fanin = [&]() -> NodeId {
+    if (pool.size() > p.window && rng.bernoulli(p.locality)) {
+      const std::size_t lo = pool.size() - p.window;
+      return pool[lo + rng.below(p.window)];
+    }
+    return pool[rng.below(pool.size())];
+  };
+
+  // Inputs not yet consumed by any gate; drained first so none dangle.
+  std::vector<NodeId> unused_inputs(pool.begin(), pool.end());
+  std::size_t unused_cursor = 0;
+
+  for (std::size_t g = 0; g < p.num_gates; ++g) {
+    const NodeId out = nl.declare(p.name + "_g" + std::to_string(g));
+    const bool unary = rng.bernoulli(p.unary_fraction) &&
+                       unused_cursor >= unused_inputs.size();
+    if (unary) {
+      const GateType t = rng.bernoulli(0.7) ? GateType::kNot : GateType::kBuf;
+      nl.add_gate_ids(t, out, {pick_fanin()});
+      pool.push_back(out);
+      continue;
+    }
+    const std::size_t arity =
+        2 + rng.below(p.max_fanin - 1);  // uniform in [2, max_fanin]
+    std::vector<NodeId> fanins;
+    fanins.reserve(arity);
+    // Guarantee input coverage: feed not-yet-used inputs first.
+    while (fanins.size() < arity && unused_cursor < unused_inputs.size()) {
+      fanins.push_back(unused_inputs[unused_cursor++]);
+    }
+    while (fanins.size() < arity) {
+      const NodeId cand = pick_fanin();
+      if (std::find(fanins.begin(), fanins.end(), cand) == fanins.end()) {
+        fanins.push_back(cand);
+      } else if (pool.size() <= arity) {
+        break;  // tiny pools: accept fewer fanins rather than spin
+      }
+    }
+    if (fanins.size() < 2) fanins.push_back(pool[rng.below(pool.size())]);
+    nl.add_gate_ids(pick_type(), out, std::move(fanins));
+    pool.push_back(out);
+  }
+
+  nl.finalize();
+
+  // Choose primary outputs: prefer sinks (no fanout), deepest first, then
+  // fall back to the deepest remaining signals.
+  std::vector<NodeId> candidates;
+  for (NodeId n = 0; n < nl.num_nodes(); ++n) {
+    if (!nl.is_input(n) && nl.fanout(n).empty()) candidates.push_back(n);
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
+    return nl.level(a) > nl.level(b);
+  });
+  std::size_t marked = 0;
+  for (NodeId n : candidates) {
+    if (marked == p.num_outputs) break;
+    nl.mark_output(n);
+    ++marked;
+  }
+  if (marked < p.num_outputs) {
+    std::vector<NodeId> rest;
+    for (NodeId n = 0; n < nl.num_nodes(); ++n) {
+      if (!nl.is_input(n) && !nl.is_output(n)) rest.push_back(n);
+    }
+    std::sort(rest.begin(), rest.end(), [&](NodeId a, NodeId b) {
+      return nl.level(a) > nl.level(b);
+    });
+    for (NodeId n : rest) {
+      if (marked == p.num_outputs) break;
+      nl.mark_output(n);
+      ++marked;
+    }
+  }
+  MPE_ENSURES(nl.num_outputs() == std::min<std::size_t>(
+                                      p.num_outputs, nl.num_gates()));
+  return nl;
+}
+
+}  // namespace mpe::gen

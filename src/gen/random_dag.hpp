@@ -1,0 +1,39 @@
+// Random levelized combinational circuit generator. Produces netlists with a
+// prescribed number of primary inputs, outputs and gates, a controllable
+// fanin distribution and gate-type mix, and a locality knob that shapes
+// logic depth — used to synthesize ISCAS-85-scale stand-ins when the
+// original benchmark netlists are not on disk.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "circuit/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace mpe::gen {
+
+/// Parameters of the random DAG generator.
+struct RandomDagParams {
+  std::string name = "random";
+  std::size_t num_inputs = 16;
+  std::size_t num_outputs = 8;
+  std::size_t num_gates = 200;
+  std::size_t max_fanin = 4;      ///< cap on gate arity (>= 2)
+  double unary_fraction = 0.12;   ///< fraction of BUF/NOT gates
+  /// Probability that a fanin is drawn from the most recent `window` signals
+  /// instead of uniformly from all existing signals. Higher => deeper logic.
+  double locality = 0.7;
+  std::size_t window = 48;
+  /// Relative selection weights per n-ary type {AND, NAND, OR, NOR, XOR,
+  /// XNOR}. XOR-heavy mixes create high-activity, glitchy circuits.
+  std::array<double, 6> type_weights = {1.0, 2.0, 1.0, 1.5, 0.7, 0.5};
+};
+
+/// Generates a finalized netlist. Guarantees every primary input feeds at
+/// least one gate and exactly `num_outputs` signals are marked as outputs
+/// (preferring sinks at high logic levels). Requires num_gates >=
+/// num_inputs / (max_fanin - 1) so all inputs can be consumed.
+circuit::Netlist random_dag(const RandomDagParams& params, Rng& rng);
+
+}  // namespace mpe::gen

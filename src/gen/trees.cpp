@@ -1,0 +1,91 @@
+#include "gen/trees.hpp"
+
+#include <vector>
+
+#include "circuit/builder.hpp"
+#include "util/contracts.hpp"
+
+namespace mpe::gen {
+
+using circuit::GateType;
+using circuit::Netlist;
+using circuit::NetlistBuilder;
+using circuit::NodeId;
+
+Netlist parity_tree(std::size_t width, std::size_t max_fanin,
+                    const std::string& name) {
+  MPE_EXPECTS(width >= 2);
+  MPE_EXPECTS(max_fanin >= 2);
+  Netlist nl(name);
+  NetlistBuilder b(nl, name + "_n");
+  std::vector<NodeId> ins(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    ins[i] = nl.add_input("x" + std::to_string(i));
+  }
+  const NodeId root = b.reduce(GateType::kXor, ins, max_fanin);
+  const NodeId out = nl.declare("parity");
+  nl.add_gate_ids(GateType::kBuf, out, {root});
+  nl.mark_output(out);
+  nl.finalize();
+  return nl;
+}
+
+Netlist decoder(std::size_t select_bits, const std::string& name) {
+  MPE_EXPECTS(select_bits >= 1);
+  MPE_EXPECTS(select_bits <= 10);  // 2^10 outputs is already 1024 gates
+  Netlist nl(name);
+  NetlistBuilder b(nl, name + "_n");
+  std::vector<NodeId> sel(select_bits), nsel(select_bits);
+  for (std::size_t i = 0; i < select_bits; ++i) {
+    sel[i] = nl.add_input("s" + std::to_string(i));
+  }
+  const NodeId en = nl.add_input("en");
+  for (std::size_t i = 0; i < select_bits; ++i) nsel[i] = b.not_(sel[i]);
+
+  const std::size_t n_out = std::size_t{1} << select_bits;
+  for (std::size_t code = 0; code < n_out; ++code) {
+    std::vector<NodeId> terms;
+    terms.reserve(select_bits + 1);
+    for (std::size_t i = 0; i < select_bits; ++i) {
+      terms.push_back((code >> i) & 1 ? sel[i] : nsel[i]);
+    }
+    terms.push_back(en);
+    const NodeId hit = b.reduce(GateType::kAnd, terms, 4);
+    const NodeId out = nl.declare("y" + std::to_string(code));
+    nl.add_gate_ids(GateType::kBuf, out, {hit});
+    nl.mark_output(out);
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist mux_tree(std::size_t select_bits, const std::string& name) {
+  MPE_EXPECTS(select_bits >= 1);
+  MPE_EXPECTS(select_bits <= 10);
+  Netlist nl(name);
+  NetlistBuilder b(nl, name + "_n");
+  const std::size_t n_data = std::size_t{1} << select_bits;
+  std::vector<NodeId> data(n_data);
+  for (std::size_t i = 0; i < n_data; ++i) {
+    data[i] = nl.add_input("d" + std::to_string(i));
+  }
+  std::vector<NodeId> sel(select_bits);
+  for (std::size_t i = 0; i < select_bits; ++i) {
+    sel[i] = nl.add_input("s" + std::to_string(i));
+  }
+  std::vector<NodeId> layer = data;
+  for (std::size_t s = 0; s < select_bits; ++s) {
+    std::vector<NodeId> next(layer.size() / 2);
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      next[i] = b.mux(sel[s], layer[2 * i], layer[2 * i + 1]);
+    }
+    layer = std::move(next);
+  }
+  const NodeId out = nl.declare("y");
+  nl.add_gate_ids(GateType::kBuf, out, {layer[0]});
+  nl.mark_output(out);
+  nl.finalize();
+  return nl;
+}
+
+}  // namespace mpe::gen

@@ -1,0 +1,26 @@
+// Tree-structured generators: parity (XOR) trees — the C1355/C499 ECC
+// archetype — binary decoders, and mux-tree selectors.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace mpe::gen {
+
+/// XOR parity tree over `width` inputs with gates of fanin <= max_fanin.
+/// Output: "parity".
+circuit::Netlist parity_tree(std::size_t width, std::size_t max_fanin = 2,
+                             const std::string& name = "parity");
+
+/// `select_bits`-to-2^select_bits one-hot decoder with enable input.
+/// Outputs y0..y{2^n-1}.
+circuit::Netlist decoder(std::size_t select_bits,
+                         const std::string& name = "dec");
+
+/// 2^select_bits : 1 multiplexer tree. Inputs d0.., s0..; output "y".
+circuit::Netlist mux_tree(std::size_t select_bits,
+                          const std::string& name = "muxtree");
+
+}  // namespace mpe::gen

@@ -1,0 +1,26 @@
+#include "maxpower/bounds.hpp"
+
+#include "circuit/prob_analysis.hpp"
+#include "util/contracts.hpp"
+
+namespace mpe::maxpower {
+
+PowerBounds power_bounds(const circuit::Netlist& netlist,
+                         const sim::Technology& tech, double p1,
+                         double toggle) {
+  MPE_EXPECTS(netlist.finalized());
+  const auto caps = sim::node_capacitances(netlist, tech);
+  const auto prob = circuit::propagate_probabilities(netlist, p1, toggle);
+
+  PowerBounds b;
+  for (circuit::NodeId n = 0; n < netlist.num_nodes(); ++n) {
+    const double e = tech.toggle_energy_pj(caps[n]);
+    b.zero_delay_upper_mw += e;
+    b.analytic_average_mw += e * prob.toggle_prob[n];
+  }
+  b.zero_delay_upper_mw /= tech.clock_period_ns;
+  b.analytic_average_mw /= tech.clock_period_ns;
+  return b;
+}
+
+}  // namespace mpe::maxpower

@@ -1,0 +1,33 @@
+// Closed-form maximum-power bounds — the complement of the statistical
+// estimate and the search-based lower bounds:
+//
+//  * absolute upper bound: every node toggles once per cycle (the
+//    zero-delay worst case) — sum of all switched capacitances;
+//  * probabilistic "average-power" figure from analytical propagation
+//    (circuit/prob_analysis.hpp), the quantity average-power estimators
+//    like [1]'s sign-off use.
+//
+// Together with the EVT estimate and the greedy/GA lower bounds this gives
+// a full bracketing of a circuit's maximum power.
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "sim/technology.hpp"
+
+namespace mpe::maxpower {
+
+/// Power bounds bundle [mW].
+struct PowerBounds {
+  /// Upper bound: every node toggles exactly once per cycle.
+  double zero_delay_upper_mw = 0.0;
+  /// Analytical average power under the given input statistics.
+  double analytic_average_mw = 0.0;
+};
+
+/// Computes both figures for the netlist under uniform input statistics
+/// (p1, toggle per input line).
+PowerBounds power_bounds(const circuit::Netlist& netlist,
+                         const sim::Technology& tech, double p1 = 0.5,
+                         double toggle = 0.5);
+
+}  // namespace mpe::maxpower

@@ -1,0 +1,57 @@
+#include "maxpower/estimator.hpp"
+
+#include "evt/bootstrap.hpp"
+#include "util/contracts.hpp"
+
+namespace mpe::maxpower {
+
+namespace {
+
+evt::ConfidenceInterval interval_of(const EstimatorOptions& options,
+                                    std::span<const double> values,
+                                    Rng& rng) {
+  if (options.interval == IntervalKind::kBootstrap) {
+    return evt::bootstrap_mean_interval(values, options.confidence, rng);
+  }
+  return evt::t_interval(values, options.confidence);
+}
+
+}  // namespace
+
+EstimationResult estimate_max_power(vec::Population& population,
+                                    const EstimatorOptions& options,
+                                    Rng& rng) {
+  MPE_EXPECTS(options.epsilon > 0.0 && options.epsilon < 1.0);
+  MPE_EXPECTS(options.confidence > 0.0 && options.confidence < 1.0);
+  MPE_EXPECTS(options.min_hyper_samples >= 2);
+  MPE_EXPECTS(options.max_hyper_samples >= options.min_hyper_samples);
+
+  EstimationResult r;
+  while (r.hyper_samples < options.max_hyper_samples) {
+    const HyperSampleResult hs =
+        draw_hyper_sample(population, options.hyper, rng);
+    r.hyper_values.push_back(hs.estimate);
+    r.units_used += hs.units_used;
+    ++r.hyper_samples;
+    if (!hs.mle.converged) ++r.degenerate_fits;
+
+    if (r.hyper_samples < options.min_hyper_samples) continue;
+
+    r.ci = interval_of(options, r.hyper_values, rng);
+    r.estimate = r.ci.center;
+    r.relative_error_bound = evt::relative_half_width(r.ci);
+    if (r.relative_error_bound <= options.epsilon) {
+      r.converged = true;
+      return r;
+    }
+  }
+  // Did not converge within the budget; report the latest interval.
+  if (r.hyper_values.size() >= 2) {
+    r.ci = interval_of(options, r.hyper_values, rng);
+    r.estimate = r.ci.center;
+    r.relative_error_bound = evt::relative_half_width(r.ci);
+  }
+  return r;
+}
+
+}  // namespace mpe::maxpower

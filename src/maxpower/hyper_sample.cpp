@@ -1,0 +1,74 @@
+#include "maxpower/hyper_sample.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/weibull.hpp"
+#include "util/contracts.hpp"
+
+namespace mpe::maxpower {
+
+double finite_population_estimate(const stats::WeibullParams& params,
+                                  std::size_t v, std::size_t n,
+                                  FiniteQuantileMode mode) {
+  MPE_EXPECTS(v >= 2);
+  MPE_EXPECTS(n >= 1);
+  const stats::ReversedWeibull g(params);
+  const double q_parent = 1.0 - 1.0 / static_cast<double>(v);
+  switch (mode) {
+    case FiniteQuantileMode::kPaperTail:
+      return g.quantile(q_parent);
+    case FiniteQuantileMode::kExactPower:
+      return g.quantile(std::pow(q_parent, static_cast<double>(n)));
+  }
+  return g.quantile(q_parent);
+}
+
+HyperSampleResult draw_hyper_sample(vec::Population& population,
+                                    const HyperSampleOptions& options,
+                                    Rng& rng) {
+  MPE_EXPECTS(options.n >= 2);
+  MPE_EXPECTS(options.m >= 3);
+
+  HyperSampleResult out;
+  std::vector<double> maxima;
+  maxima.reserve(options.m);
+  double overall_max = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < options.m; ++i) {
+    double best = population.draw(rng);
+    for (std::size_t j = 1; j < options.n; ++j) {
+      best = std::max(best, population.draw(rng));
+    }
+    overall_max = std::max(overall_max, best);
+    maxima.push_back(best);
+  }
+  out.units_used = options.n * options.m;
+  out.sample_max = overall_max;
+
+  out.mle = evt::fit_weibull_mle(maxima, options.mle);
+  out.mu_hat = out.mle.params.mu;
+
+  const auto pop_size = population.size();
+  if (options.finite_correction && pop_size.has_value()) {
+    out.estimate = finite_population_estimate(out.mle.params, *pop_size,
+                                              options.n,
+                                              options.quantile_mode);
+  } else {
+    // Endpoint path: a raw ridge fit would report an unbounded endpoint, so
+    // refit with ridge stabilization when the user's options have none.
+    if (options.mle.ridge_tolerance <= 0.0 &&
+        options.endpoint_ridge_tolerance > 0.0) {
+      evt::WeibullMleOptions stabilized = options.mle;
+      stabilized.ridge_tolerance = options.endpoint_ridge_tolerance;
+      out.mle = evt::fit_weibull_mle(maxima, stabilized);
+      out.mu_hat = out.mle.params.mu;
+    }
+    out.estimate = out.mu_hat;
+  }
+  // The estimate can never be below the best unit actually observed.
+  out.estimate = std::max(out.estimate, overall_max);
+  return out;
+}
+
+}  // namespace mpe::maxpower

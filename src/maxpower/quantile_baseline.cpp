@@ -1,0 +1,27 @@
+#include "maxpower/quantile_baseline.hpp"
+
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/contracts.hpp"
+
+namespace mpe::maxpower {
+
+QuantileBaselineResult quantile_baseline(vec::Population& population,
+                                         std::size_t units, double q,
+                                         Rng& rng) {
+  MPE_EXPECTS(units >= 2);
+  MPE_EXPECTS(q > 0.0 && q <= 1.0);
+  std::vector<double> sample;
+  sample.reserve(units);
+  for (std::size_t i = 0; i < units; ++i) {
+    sample.push_back(population.draw(rng));
+  }
+  QuantileBaselineResult r;
+  r.units_used = units;
+  r.quantile = q;
+  r.estimate = stats::quantile(sample, q);
+  return r;
+}
+
+}  // namespace mpe::maxpower

@@ -1,0 +1,30 @@
+// High-quantile estimation baseline in the spirit of Hill/Teng/Kang [9] and
+// Ding/Wu/Hsieh/Pedram [10]: estimate the power CDF from a random sample and
+// read off a high quantile point as the "maximum power" figure. Included to
+// reproduce the paper's claim that plain quantile estimation is no more
+// efficient than random sampling for endpoint estimation.
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.hpp"
+#include "vectors/population.hpp"
+
+namespace mpe::maxpower {
+
+/// Result of one quantile-baseline run.
+struct QuantileBaselineResult {
+  double estimate = 0.0;      ///< the estimated q-quantile
+  double quantile = 0.0;      ///< q actually targeted
+  std::size_t units_used = 0;
+};
+
+/// Samples `units` values and returns the empirical `q` quantile (linear
+/// interpolation). For q close to 1 - 1/units this approaches SRS behavior;
+/// larger q cannot be resolved by the sample at all, which is the method's
+/// fundamental limitation versus the EVT approach.
+QuantileBaselineResult quantile_baseline(vec::Population& population,
+                                         std::size_t units, double q,
+                                         Rng& rng);
+
+}  // namespace mpe::maxpower

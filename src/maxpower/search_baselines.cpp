@@ -1,0 +1,144 @@
+#include "maxpower/search_baselines.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace mpe::maxpower {
+
+namespace {
+
+double power_of(sim::CyclePowerEvaluator& evaluator,
+                const vec::VectorPair& pair, std::size_t& evaluations) {
+  ++evaluations;
+  return evaluator.power_mw(pair.first, pair.second);
+}
+
+}  // namespace
+
+SearchResult greedy_search(sim::CyclePowerEvaluator& evaluator,
+                           const GreedyOptions& options, Rng& rng) {
+  MPE_EXPECTS(options.restarts >= 1);
+  MPE_EXPECTS(options.max_passes >= 1);
+  const std::size_t width = evaluator.netlist().num_inputs();
+
+  SearchResult out;
+  for (std::size_t restart = 0; restart < options.restarts; ++restart) {
+    vec::VectorPair current{vec::random_vector(width, rng),
+                            vec::random_vector(width, rng)};
+    double current_power = power_of(evaluator, current, out.evaluations);
+    if (current_power > out.best_power_mw) {
+      out.best_power_mw = current_power;
+      out.best_pair = current;
+    }
+    for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+      bool improved = false;
+      // Sweep every bit of both vectors; keep improving flips immediately
+      // (first-improvement within the sweep = classic bit-climbing).
+      for (std::size_t half = 0; half < 2; ++half) {
+        vec::InputVector& v = half == 0 ? current.first : current.second;
+        for (std::size_t i = 0; i < width; ++i) {
+          if (options.max_evaluations != 0 &&
+              out.evaluations >= options.max_evaluations) {
+            return out;
+          }
+          v[i] ^= 1;
+          const double p = power_of(evaluator, current, out.evaluations);
+          if (p > current_power) {
+            current_power = p;
+            improved = true;
+            if (p > out.best_power_mw) {
+              out.best_power_mw = p;
+              out.best_pair = current;
+            }
+          } else {
+            v[i] ^= 1;  // revert
+          }
+        }
+      }
+      if (!improved) break;  // local maximum: restart
+    }
+  }
+  return out;
+}
+
+SearchResult genetic_search(sim::CyclePowerEvaluator& evaluator,
+                            const GeneticOptions& options, Rng& rng) {
+  MPE_EXPECTS(options.population >= 4);
+  MPE_EXPECTS(options.generations >= 1);
+  MPE_EXPECTS(options.tournament >= 1);
+  MPE_EXPECTS(options.elite < options.population);
+  MPE_EXPECTS(options.mutation_rate >= 0.0 && options.mutation_rate <= 1.0);
+  MPE_EXPECTS(options.crossover_rate >= 0.0 &&
+              options.crossover_rate <= 1.0);
+  const std::size_t width = evaluator.netlist().num_inputs();
+
+  struct Individual {
+    vec::VectorPair pair;
+    double fitness = 0.0;
+  };
+
+  SearchResult out;
+  std::vector<Individual> pop(options.population);
+  for (auto& ind : pop) {
+    ind.pair = {vec::random_vector(width, rng),
+                vec::random_vector(width, rng)};
+    ind.fitness = power_of(evaluator, ind.pair, out.evaluations);
+  }
+
+  auto tournament_pick = [&]() -> const Individual& {
+    const Individual* best = &pop[rng.below(pop.size())];
+    for (std::size_t t = 1; t < options.tournament; ++t) {
+      const Individual& cand = pop[rng.below(pop.size())];
+      if (cand.fitness > best->fitness) best = &cand;
+    }
+    return *best;
+  };
+
+  for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    std::sort(pop.begin(), pop.end(),
+              [](const Individual& a, const Individual& b) {
+                return a.fitness > b.fitness;
+              });
+    if (pop.front().fitness > out.best_power_mw) {
+      out.best_power_mw = pop.front().fitness;
+      out.best_pair = pop.front().pair;
+    }
+    std::vector<Individual> next;
+    next.reserve(pop.size());
+    for (std::size_t e = 0; e < options.elite; ++e) next.push_back(pop[e]);
+    while (next.size() < pop.size()) {
+      Individual child;
+      if (rng.bernoulli(options.crossover_rate)) {
+        const Individual& pa = tournament_pick();
+        const Individual& pb = tournament_pick();
+        child.pair.first.resize(width);
+        child.pair.second.resize(width);
+        for (std::size_t i = 0; i < width; ++i) {
+          child.pair.first[i] = rng.bernoulli(0.5) ? pa.pair.first[i]
+                                                   : pb.pair.first[i];
+          child.pair.second[i] = rng.bernoulli(0.5) ? pa.pair.second[i]
+                                                    : pb.pair.second[i];
+        }
+      } else {
+        child.pair = tournament_pick().pair;
+      }
+      for (std::size_t i = 0; i < width; ++i) {
+        if (rng.bernoulli(options.mutation_rate)) child.pair.first[i] ^= 1;
+        if (rng.bernoulli(options.mutation_rate)) child.pair.second[i] ^= 1;
+      }
+      child.fitness = power_of(evaluator, child.pair, out.evaluations);
+      next.push_back(std::move(child));
+    }
+    pop = std::move(next);
+  }
+  for (const auto& ind : pop) {
+    if (ind.fitness > out.best_power_mw) {
+      out.best_power_mw = ind.fitness;
+      out.best_pair = ind.pair;
+    }
+  }
+  return out;
+}
+
+}  // namespace mpe::maxpower

@@ -1,0 +1,61 @@
+// Vector-search baselines from the paper's related-work section: methods
+// that hunt for a single maximum-power-producing vector pair and report its
+// power as a lower bound on the maximum.
+//
+//  * GreedySearch — ATPG-flavored steepest-ascent bit flipping (the spirit
+//    of Wang/Roy [5][6]: maximize switched capacitance locally). Fast,
+//    delay-model-exact here because we evaluate with the real simulator,
+//    but stalls in local maxima.
+//  * GeneticSearch — a compact GA in the spirit of Hsiao/Rudnick/Patel's K2
+//    [8]: tournament selection, uniform crossover, per-bit mutation.
+//
+// Both return lower bounds with *no error or confidence control* — the gap
+// the paper's statistical method closes. The benches compare their bound
+// quality per simulated unit against the EVT estimate.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/power_eval.hpp"
+#include "util/rng.hpp"
+#include "vectors/input_vector.hpp"
+
+namespace mpe::maxpower {
+
+/// Outcome of a vector-search run.
+struct SearchResult {
+  double best_power_mw = 0.0;   ///< power of the best pair found
+  vec::VectorPair best_pair;    ///< the pair achieving it
+  std::size_t evaluations = 0;  ///< simulator invocations consumed
+};
+
+/// Options for the greedy climber.
+struct GreedyOptions {
+  std::size_t restarts = 8;        ///< independent random starting pairs
+  std::size_t max_passes = 50;     ///< full sweeps over all bits per restart
+  /// Evaluation budget across all restarts (0 = unlimited until stall).
+  std::size_t max_evaluations = 20'000;
+};
+
+/// Steepest-ascent search: repeatedly sweep all bits of both vectors,
+/// keeping any flip that increases cycle power; restart from a fresh random
+/// pair when a sweep makes no progress.
+SearchResult greedy_search(sim::CyclePowerEvaluator& evaluator,
+                           const GreedyOptions& options, Rng& rng);
+
+/// Options for the genetic search.
+struct GeneticOptions {
+  std::size_t population = 32;
+  std::size_t generations = 60;
+  double mutation_rate = 0.02;     ///< per-bit flip probability
+  double crossover_rate = 0.9;     ///< probability a child is crossed over
+  std::size_t tournament = 3;      ///< selection tournament size
+  std::size_t elite = 2;           ///< individuals copied unchanged
+};
+
+/// Genetic search over vector pairs (a chromosome is the concatenation of
+/// both vectors); fitness is the simulated cycle power.
+SearchResult genetic_search(sim::CyclePowerEvaluator& evaluator,
+                            const GeneticOptions& options, Rng& rng);
+
+}  // namespace mpe::maxpower

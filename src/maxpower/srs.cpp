@@ -1,0 +1,21 @@
+#include "maxpower/srs.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace mpe::maxpower {
+
+SrsResult srs_estimate(vec::Population& population, std::size_t units,
+                       Rng& rng) {
+  MPE_EXPECTS(units >= 1);
+  SrsResult r;
+  r.units_used = units;
+  r.estimate = population.draw(rng);
+  for (std::size_t i = 1; i < units; ++i) {
+    r.estimate = std::max(r.estimate, population.draw(rng));
+  }
+  return r;
+}
+
+}  // namespace mpe::maxpower

@@ -1,0 +1,24 @@
+// Simple random sampling (SRS) baseline: estimate the maximum power as the
+// largest value among x randomly simulated units. This is the method the
+// paper compares against in Tables 1-4; it offers no error/confidence
+// control, which is exactly the gap the EVT estimator closes.
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.hpp"
+#include "vectors/population.hpp"
+
+namespace mpe::maxpower {
+
+/// Result of one SRS run.
+struct SrsResult {
+  double estimate = 0.0;      ///< max of the sampled units
+  std::size_t units_used = 0;
+};
+
+/// Draws `units` units and returns their maximum.
+SrsResult srs_estimate(vec::Population& population, std::size_t units,
+                       Rng& rng);
+
+}  // namespace mpe::maxpower

@@ -1,0 +1,21 @@
+#include "maxpower/theory.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace mpe::maxpower {
+
+double srs_required_units(double qualified_fraction, double confidence) {
+  MPE_EXPECTS(qualified_fraction > 0.0 && qualified_fraction < 1.0);
+  MPE_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  return std::log(1.0 - confidence) / std::log(1.0 - qualified_fraction);
+}
+
+double srs_hit_probability(double qualified_fraction, std::size_t units) {
+  MPE_EXPECTS(qualified_fraction >= 0.0 && qualified_fraction <= 1.0);
+  return 1.0 -
+         std::pow(1.0 - qualified_fraction, static_cast<double>(units));
+}
+
+}  // namespace mpe::maxpower

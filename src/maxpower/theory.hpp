@@ -1,0 +1,19 @@
+// Closed-form helpers from the paper's efficiency analysis (Section IV):
+// how many units simple random sampling needs to hit a "qualified unit"
+// (within epsilon of the maximum) with a given confidence.
+#pragma once
+
+#include <cstddef>
+
+namespace mpe::maxpower {
+
+/// Theoretical SRS unit count: smallest x with 1 - (1-Y)^x >= confidence,
+/// i.e. x = log(1 - confidence) / log(1 - Y), where Y is the qualified-unit
+/// fraction. Requires 0 < Y < 1 and 0 < confidence < 1.
+double srs_required_units(double qualified_fraction, double confidence);
+
+/// Probability that at least one of `units` random draws is qualified:
+/// 1 - (1 - Y)^units.
+double srs_hit_probability(double qualified_fraction, std::size_t units);
+
+}  // namespace mpe::maxpower

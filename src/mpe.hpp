@@ -1,0 +1,90 @@
+// Umbrella header: the full public API of the mpe library.
+//
+// Layering (each layer depends only on the ones above it):
+//   util    — RNG, special functions, solvers, contracts
+//   stats   — distributions, descriptive statistics, fitting, tests
+//   evt     — extreme-value machinery (block maxima, Weibull MLE, PWM)
+//   circuit — netlist model, gate library, .bench I/O
+//   gen     — circuit generators and ISCAS-85-like presets
+//   sim     — power/delay models, zero-delay and event-driven simulators
+//   vec     — vector pairs, pair generators, populations, power databases
+//   maxpower— the DAC'98 estimator, SRS and quantile baselines
+//   maxdelay— EVT-based maximum-delay estimation (extension)
+#pragma once
+
+#include "util/cli.hpp"
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+#include "stats/chi_squared.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/frechet.hpp"
+#include "stats/gev.hpp"
+#include "stats/gumbel.hpp"
+#include "stats/anderson_darling.hpp"
+#include "stats/ks.hpp"
+#include "stats/least_squares.hpp"
+#include "stats/normal.hpp"
+#include "stats/optimize.hpp"
+#include "stats/student_t.hpp"
+#include "stats/weibull.hpp"
+
+#include "evt/block_maxima.hpp"
+#include "evt/bootstrap.hpp"
+#include "evt/confidence.hpp"
+#include "evt/domain.hpp"
+#include "evt/fisher.hpp"
+#include "evt/pwm.hpp"
+#include "evt/weibull_mle.hpp"
+
+#include "circuit/analysis.hpp"
+#include "circuit/bench_io.hpp"
+#include "circuit/builder.hpp"
+#include "circuit/gate.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/prob_analysis.hpp"
+#include "circuit/verilog_io.hpp"
+
+#include "gen/arithmetic.hpp"
+#include "gen/datapath.hpp"
+#include "gen/ecc.hpp"
+#include "gen/presets.hpp"
+#include "gen/random_dag.hpp"
+#include "gen/trees.hpp"
+
+#include "sim/delay.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/power_eval.hpp"
+#include "sim/power_profile.hpp"
+#include "sim/technology.hpp"
+#include "sim/timing.hpp"
+#include "sim/vcd.hpp"
+#include "sim/bit_parallel_sim.hpp"
+#include "sim/zero_delay_sim.hpp"
+
+#include "vectors/generators.hpp"
+#include "vectors/input_vector.hpp"
+#include "vectors/markov.hpp"
+#include "vectors/parallel_db.hpp"
+#include "vectors/population.hpp"
+#include "vectors/power_db.hpp"
+#include "vectors/serialize.hpp"
+
+#include "maxpower/bounds.hpp"
+#include "maxpower/estimator.hpp"
+#include "maxpower/hyper_sample.hpp"
+#include "maxpower/quantile_baseline.hpp"
+#include "maxpower/srs.hpp"
+#include "maxpower/search_baselines.hpp"
+#include "maxpower/theory.hpp"
+
+#include "maxdelay/delay_estimator.hpp"
+
+#include "seq/seq_bench_io.hpp"
+#include "seq/seq_gen.hpp"
+#include "seq/seq_netlist.hpp"
+#include "seq/seq_presets.hpp"
+#include "seq/seq_sim.hpp"

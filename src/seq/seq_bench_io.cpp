@@ -1,0 +1,140 @@
+#include "seq/seq_bench_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "circuit/bench_io.hpp"
+
+namespace mpe::seq {
+
+namespace {
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+[[noreturn]] void parse_error(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("sequential bench parse error at line " +
+                           std::to_string(line_no) + ": " + what);
+}
+
+bool is_dff_line(const std::string& line, std::string& q, std::string& d,
+                 std::size_t line_no) {
+  const auto eq = line.find('=');
+  if (eq == std::string::npos) return false;
+  std::string rhs = strip(line.substr(eq + 1));
+  std::string upper;
+  for (char c : rhs) upper += static_cast<char>(std::toupper(c));
+  if (upper.rfind("DFF", 0) != 0) return false;
+  const auto open = rhs.find('(');
+  const auto close = rhs.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close <= open) {
+    parse_error(line_no, "malformed DFF expression '" + rhs + "'");
+  }
+  q = strip(line.substr(0, eq));
+  d = strip(rhs.substr(open + 1, close - open - 1));
+  if (q.empty() || d.empty() || d.find(',') != std::string::npos) {
+    parse_error(line_no, "DFF takes exactly one fanin");
+  }
+  return true;
+}
+
+}  // namespace
+
+SequentialNetlist read_bench_sequential(std::istream& in,
+                                        const std::string& name) {
+  // Two passes: extract DFF lines, feed everything else to the
+  // combinational parser with the DFF outputs declared as INPUTs.
+  std::vector<std::string> comb_lines;
+  std::vector<std::pair<std::string, std::string>> dffs;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    std::string clean = hash == std::string::npos ? line : line.substr(0, hash);
+    clean = strip(clean);
+    if (clean.empty()) continue;
+    std::string q, d;
+    if (is_dff_line(clean, q, d, line_no)) {
+      dffs.emplace_back(q, d);
+    } else {
+      comb_lines.push_back(clean);
+    }
+  }
+
+  std::ostringstream text;
+  for (const auto& [q, d] : dffs) text << "INPUT(" << q << ")\n";
+  for (const auto& l : comb_lines) text << l << '\n';
+
+  circuit::Netlist core = circuit::read_bench_string(text.str(), name);
+  SequentialNetlist seq(std::move(core));
+  for (const auto& [q, d] : dffs) seq.add_flip_flop(q, d);
+  seq.finalize();
+  return seq;
+}
+
+SequentialNetlist read_bench_sequential_string(const std::string& text,
+                                               const std::string& name) {
+  std::istringstream in(text);
+  return read_bench_sequential(in, name);
+}
+
+SequentialNetlist read_bench_sequential_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open bench file: " + path);
+  }
+  std::string name = path;
+  const auto slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const auto dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return read_bench_sequential(in, name);
+}
+
+void write_bench_sequential(std::ostream& out,
+                            const SequentialNetlist& netlist) {
+  const auto& core = netlist.core();
+  out << "# " << core.name() << " — written by mpe (sequential)\n";
+  out << "# " << netlist.num_free_inputs() << " inputs, "
+      << core.num_outputs() << " outputs, " << netlist.num_state_bits()
+      << " flip-flops, " << core.num_gates() << " gates\n";
+  for (circuit::NodeId in : netlist.free_inputs()) {
+    out << "INPUT(" << core.node_name(in) << ")\n";
+  }
+  for (circuit::NodeId o : core.outputs()) {
+    out << "OUTPUT(" << core.node_name(o) << ")\n";
+  }
+  out << '\n';
+  for (const auto& ff : netlist.flip_flops()) {
+    out << core.node_name(ff.q) << " = DFF(" << core.node_name(ff.d)
+        << ")\n";
+  }
+  for (const auto& g : core.gates()) {
+    std::string type = circuit::to_string(g.type);
+    for (char& c : type) c = static_cast<char>(std::toupper(c));
+    out << core.node_name(g.output) << " = " << type << '(';
+    for (std::size_t i = 0; i < g.inputs.size(); ++i) {
+      if (i) out << ", ";
+      out << core.node_name(g.inputs[i]);
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_sequential_string(const SequentialNetlist& netlist) {
+  std::ostringstream os;
+  write_bench_sequential(os, netlist);
+  return os.str();
+}
+
+}  // namespace mpe::seq

@@ -1,0 +1,33 @@
+// ISCAS-89-style .bench I/O for sequential circuits: the same grammar as
+// the combinational format plus `q = DFF(d)` state elements, so the
+// original s-series benchmarks (s27, s344, ...) can be read directly into a
+// SequentialNetlist, and generated sequential circuits can be exported.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "seq/seq_netlist.hpp"
+
+namespace mpe::seq {
+
+/// Parses a sequential .bench description (INPUT/OUTPUT/gates/DFF).
+/// Throws std::runtime_error with a line number on malformed input.
+SequentialNetlist read_bench_sequential(std::istream& in,
+                                        const std::string& name = "seq");
+
+/// Parses from a string.
+SequentialNetlist read_bench_sequential_string(
+    const std::string& text, const std::string& name = "seq");
+
+/// Parses from a file (netlist named after the basename).
+SequentialNetlist read_bench_sequential_file(const std::string& path);
+
+/// Writes the sequential netlist in ISCAS-89 .bench form (DFF lines last).
+void write_bench_sequential(std::ostream& out,
+                            const SequentialNetlist& netlist);
+
+/// Renders to a string.
+std::string write_bench_sequential_string(const SequentialNetlist& netlist);
+
+}  // namespace mpe::seq

@@ -1,0 +1,135 @@
+#include "seq/seq_gen.hpp"
+
+#include "circuit/builder.hpp"
+#include "util/contracts.hpp"
+
+namespace mpe::seq {
+
+using circuit::GateType;
+using circuit::Netlist;
+using circuit::NetlistBuilder;
+using circuit::NodeId;
+
+SequentialNetlist make_lfsr(std::size_t bits,
+                            const std::vector<std::size_t>& taps,
+                            const std::string& name) {
+  MPE_EXPECTS(bits >= 2);
+  MPE_EXPECTS(taps.size() >= 2);
+  for (std::size_t t : taps) MPE_EXPECTS(t >= 1 && t <= bits);
+
+  Netlist core(name);
+  NetlistBuilder b(core, name + "_n");
+  std::vector<NodeId> q(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    q[i] = core.add_input("q" + std::to_string(i));
+  }
+  // Feedback = XOR of tapped bits (tap position t means state bit t-1).
+  std::vector<NodeId> tapped;
+  tapped.reserve(taps.size());
+  for (std::size_t t : taps) tapped.push_back(q[t - 1]);
+  const NodeId feedback = b.reduce(GateType::kXor, tapped, 2);
+  const NodeId d0 = core.declare("d0");
+  core.add_gate_ids(GateType::kBuf, d0, {feedback});
+  core.mark_output(d0);
+  // Shift: d_i = q_{i-1}.
+  for (std::size_t i = 1; i < bits; ++i) {
+    const NodeId di = core.declare("d" + std::to_string(i));
+    core.add_gate_ids(GateType::kBuf, di, {q[i - 1]});
+    core.mark_output(di);
+  }
+  core.finalize();
+
+  SequentialNetlist seq(std::move(core));
+  for (std::size_t i = 0; i < bits; ++i) {
+    seq.add_flip_flop("q" + std::to_string(i), "d" + std::to_string(i));
+  }
+  seq.finalize();
+  return seq;
+}
+
+SequentialNetlist make_counter(std::size_t bits, const std::string& name) {
+  MPE_EXPECTS(bits >= 1);
+  Netlist core(name);
+  NetlistBuilder b(core, name + "_n");
+  std::vector<NodeId> q(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    q[i] = core.add_input("q" + std::to_string(i));
+  }
+  const NodeId en = core.add_input("en");
+  NodeId carry = b.buf(en);
+  for (std::size_t i = 0; i < bits; ++i) {
+    const NodeId di = core.declare("d" + std::to_string(i));
+    core.add_gate_ids(GateType::kXor, di, {q[i], carry});
+    core.mark_output(di);
+    if (i + 1 < bits) carry = b.and_(carry, q[i]);
+  }
+  core.finalize();
+
+  SequentialNetlist seq(std::move(core));
+  for (std::size_t i = 0; i < bits; ++i) {
+    seq.add_flip_flop("q" + std::to_string(i), "d" + std::to_string(i));
+  }
+  seq.finalize();
+  return seq;
+}
+
+SequentialNetlist make_shift_register(std::size_t bits,
+                                      const std::string& name) {
+  MPE_EXPECTS(bits >= 1);
+  Netlist core(name);
+  std::vector<NodeId> q(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    q[i] = core.add_input("q" + std::to_string(i));
+  }
+  core.add_input("sin");
+  const NodeId d0 = core.declare("d0");
+  core.add_gate_ids(GateType::kBuf, d0, {*core.find("sin")});
+  core.mark_output(d0);
+  for (std::size_t i = 1; i < bits; ++i) {
+    const NodeId di = core.declare("d" + std::to_string(i));
+    core.add_gate_ids(GateType::kBuf, di, {q[i - 1]});
+    core.mark_output(di);
+  }
+  core.finalize();
+
+  SequentialNetlist seq(std::move(core));
+  for (std::size_t i = 0; i < bits; ++i) {
+    seq.add_flip_flop("q" + std::to_string(i), "d" + std::to_string(i));
+  }
+  seq.finalize();
+  return seq;
+}
+
+SequentialNetlist make_accumulator(std::size_t bits,
+                                   const std::string& name) {
+  MPE_EXPECTS(bits >= 1);
+  Netlist core(name);
+  NetlistBuilder b(core, name + "_n");
+  std::vector<NodeId> q(bits), x(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    q[i] = core.add_input("q" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < bits; ++i) {
+    x[i] = core.add_input("x" + std::to_string(i));
+  }
+  NodeId carry = circuit::kNoGate;
+  for (std::size_t i = 0; i < bits; ++i) {
+    NetlistBuilder::SumCarry sc =
+        carry == circuit::kNoGate ? b.half_adder(q[i], x[i])
+                                  : b.full_adder(q[i], x[i], carry);
+    const NodeId di = core.declare("d" + std::to_string(i));
+    core.add_gate_ids(GateType::kBuf, di, {sc.sum});
+    core.mark_output(di);
+    carry = sc.carry;
+  }
+  core.finalize();
+
+  SequentialNetlist seq(std::move(core));
+  for (std::size_t i = 0; i < bits; ++i) {
+    seq.add_flip_flop("q" + std::to_string(i), "d" + std::to_string(i));
+  }
+  seq.finalize();
+  return seq;
+}
+
+}  // namespace mpe::seq

@@ -1,0 +1,36 @@
+// Sequential circuit generators: linear-feedback shift registers, binary
+// counters, shift registers, and accumulators — the standard clocked
+// structures used to exercise the sequential power-estimation path. All are
+// functionally verified in the test suite (LFSR periods, counting, etc.).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "seq/seq_netlist.hpp"
+
+namespace mpe::seq {
+
+/// Fibonacci LFSR over `bits` state bits with feedback taps given as
+/// 1-based bit positions (e.g. {4, 3} is the maximal-length 4-bit LFSR
+/// x^4 + x^3 + 1). Autonomous: no free primary inputs.
+SequentialNetlist make_lfsr(std::size_t bits,
+                            const std::vector<std::size_t>& taps,
+                            const std::string& name = "lfsr");
+
+/// Binary up-counter with an enable input "en".
+SequentialNetlist make_counter(std::size_t bits,
+                               const std::string& name = "counter");
+
+/// Serial-in shift register with input "sin".
+SequentialNetlist make_shift_register(std::size_t bits,
+                                      const std::string& name = "shreg");
+
+/// Accumulator: state += x every cycle (inputs x0..x{bits-1}); wraps
+/// modulo 2^bits. The ripple adder in the loop makes this the most
+/// power-interesting of the generated sequential blocks.
+SequentialNetlist make_accumulator(std::size_t bits,
+                                   const std::string& name = "accum");
+
+}  // namespace mpe::seq

@@ -1,0 +1,78 @@
+#include "seq/seq_netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/contracts.hpp"
+
+namespace mpe::seq {
+
+SequentialNetlist::SequentialNetlist(circuit::Netlist core)
+    : core_(std::move(core)) {
+  if (!core_.finalized()) {
+    throw std::runtime_error("sequential core must be finalized");
+  }
+}
+
+void SequentialNetlist::add_flip_flop(const std::string& q_name,
+                                      const std::string& d_name) {
+  const auto q = core_.find(q_name);
+  const auto d = core_.find(d_name);
+  if (!q) throw std::runtime_error("unknown FF output signal: " + q_name);
+  if (!d) throw std::runtime_error("unknown FF input signal: " + d_name);
+  if (!core_.is_input(*q)) {
+    throw std::runtime_error("FF output '" + q_name +
+                             "' must be a core primary input");
+  }
+  flip_flops_.push_back(FlipFlop{*q, *d});
+  finalized_ = false;
+}
+
+void SequentialNetlist::finalize() {
+  std::unordered_set<circuit::NodeId> q_nodes;
+  for (const auto& ff : flip_flops_) {
+    if (!q_nodes.insert(ff.q).second) {
+      throw std::runtime_error("signal '" + core_.node_name(ff.q) +
+                               "' bound to more than one flip-flop");
+    }
+  }
+  free_inputs_.clear();
+  for (circuit::NodeId in : core_.inputs()) {
+    if (q_nodes.count(in) == 0) free_inputs_.push_back(in);
+  }
+  // Locate each Q node's position in the core input vector.
+  q_positions_.clear();
+  q_positions_.reserve(flip_flops_.size());
+  const auto& inputs = core_.inputs();
+  for (const auto& ff : flip_flops_) {
+    const auto it = std::find(inputs.begin(), inputs.end(), ff.q);
+    MPE_ENSURES(it != inputs.end());
+    q_positions_.push_back(static_cast<std::size_t>(it - inputs.begin()));
+  }
+  finalized_ = true;
+}
+
+void SequentialNetlist::require_finalized() const {
+  if (!finalized_) {
+    throw std::logic_error(
+        "SequentialNetlist::finalize() required before this query");
+  }
+}
+
+const std::vector<circuit::NodeId>& SequentialNetlist::free_inputs() const {
+  require_finalized();
+  return free_inputs_;
+}
+
+const std::vector<std::size_t>& SequentialNetlist::q_input_positions() const {
+  require_finalized();
+  return q_positions_;
+}
+
+std::size_t SequentialNetlist::num_free_inputs() const {
+  require_finalized();
+  return free_inputs_.size();
+}
+
+}  // namespace mpe::seq

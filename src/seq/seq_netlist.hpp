@@ -1,0 +1,65 @@
+// Sequential netlist: a combinational core plus edge-triggered flip-flops.
+// The FF outputs (Q) are pseudo-inputs of the combinational core and the FF
+// inputs (D) are core signals sampled at each clock edge. This extends the
+// paper's combinational setting to the sequential maximum-power problem
+// (the setting of Manne et al. [4], cited as related work): per-cycle power
+// now depends on the machine state, and vector pairs become consecutive
+// cycles of an input *sequence*.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace mpe::seq {
+
+/// One D-type flip-flop: samples `d` at the clock edge, drives `q`.
+struct FlipFlop {
+  circuit::NodeId q = 0;  ///< must be a declared input of the core
+  circuit::NodeId d = 0;  ///< any driven core signal (or input)
+};
+
+/// A clocked circuit: combinational core + state elements.
+class SequentialNetlist {
+ public:
+  /// Takes ownership of the finalized combinational core.
+  explicit SequentialNetlist(circuit::Netlist core);
+
+  /// Registers a flip-flop by core signal names. The q signal must be one
+  /// of the core's primary inputs (it is driven by the FF, not by logic);
+  /// the d signal must exist. Call before finalize().
+  void add_flip_flop(const std::string& q_name, const std::string& d_name);
+
+  /// Validates the FF set and computes the free (true) primary inputs.
+  /// Throws std::runtime_error on duplicate Q bindings or unknown signals.
+  void finalize();
+
+  bool finalized() const { return finalized_; }
+
+  const circuit::Netlist& core() const { return core_; }
+  const std::vector<FlipFlop>& flip_flops() const { return flip_flops_; }
+  std::size_t num_state_bits() const { return flip_flops_.size(); }
+
+  /// Core inputs that are NOT flip-flop outputs — the circuit's real
+  /// primary inputs, in core-input order. Requires finalize().
+  const std::vector<circuit::NodeId>& free_inputs() const;
+
+  /// Position of each FF's Q node within the core's input list (aligned
+  /// with flip_flops()). Requires finalize().
+  const std::vector<std::size_t>& q_input_positions() const;
+
+  /// Number of free (true) primary inputs.
+  std::size_t num_free_inputs() const;
+
+ private:
+  void require_finalized() const;
+
+  circuit::Netlist core_;
+  std::vector<FlipFlop> flip_flops_;
+  std::vector<circuit::NodeId> free_inputs_;
+  std::vector<std::size_t> q_positions_;
+  bool finalized_ = false;
+};
+
+}  // namespace mpe::seq

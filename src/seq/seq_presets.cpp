@@ -1,0 +1,97 @@
+#include "seq/seq_presets.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gen/random_dag.hpp"
+#include "util/contracts.hpp"
+
+namespace mpe::seq {
+
+const std::vector<SeqPresetInfo>& seq_preset_catalog() {
+  static const std::vector<SeqPresetInfo> kCatalog = {
+      {"s27", 4, 1, 3, 10, "toy sequential benchmark"},
+      {"s298", 3, 6, 14, 119, "traffic-light controller"},
+      {"s344", 9, 11, 15, 160, "4-bit multiplier controller"},
+      {"s386", 7, 7, 6, 159, "controller"},
+      {"s526", 3, 6, 21, 193, "traffic-light controller (larger)"},
+      {"s641", 35, 24, 19, 379, "logic with tri-state modeled away"},
+      {"s820", 18, 19, 5, 289, "PLD controller"},
+      {"s1196", 14, 14, 18, 529, "logic"},
+      {"s1423", 17, 5, 74, 657, "logic with long state chains"},
+  };
+  return kCatalog;
+}
+
+const SeqPresetInfo& seq_preset_info(const std::string& name) {
+  for (const auto& p : seq_preset_catalog()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("unknown sequential preset: " + name);
+}
+
+SequentialNetlist build_seq_preset(const std::string& name,
+                                   std::uint64_t seed) {
+  const SeqPresetInfo& info = seq_preset_info(name);
+
+  // Core: PIs plus one pseudo-input per flip-flop; gate budget reserves one
+  // buffer per FF to publish its D signal under a stable name.
+  gen::RandomDagParams p;
+  p.name = info.name;
+  p.num_inputs = info.num_inputs + info.num_ffs;
+  p.num_outputs = info.num_outputs;
+  p.num_gates = std::max<std::size_t>(
+      info.num_gates > info.num_ffs ? info.num_gates - info.num_ffs : 1,
+      (p.num_inputs + 2) / 3 + 2);
+  p.max_fanin = 4;
+  p.unary_fraction = 0.12;
+  p.locality = 0.7;
+
+  std::uint64_t h = seed ^ 0x5bd1e995u;
+  for (char c : info.name) {
+    h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+  }
+  Rng rng(h);
+  circuit::Netlist core = gen::random_dag(p, rng);
+
+  // Rename is not possible post-hoc, so locate the input nodes that will
+  // act as FF outputs: the generator names inputs "<name>_i<k>"; we use the
+  // LAST num_ffs of them as Q nodes.
+  const auto& inputs = core.inputs();
+  std::vector<circuit::NodeId> q_nodes(
+      inputs.end() - static_cast<std::ptrdiff_t>(info.num_ffs),
+      inputs.end());
+
+  // D sources: spread across the gate outputs, preferring deeper nodes so
+  // the state actually depends on the logic. Deterministic choice.
+  std::vector<circuit::NodeId> candidates;
+  for (circuit::NodeId n = 0; n < core.num_nodes(); ++n) {
+    if (!core.is_input(n)) candidates.push_back(n);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](circuit::NodeId a, circuit::NodeId b) {
+              return core.level(a) > core.level(b);
+            });
+  MPE_ENSURES(candidates.size() >= info.num_ffs);
+
+  std::vector<std::string> d_names;
+  for (std::size_t f = 0; f < info.num_ffs; ++f) {
+    // Stride through the depth-sorted candidates so D taps span the cone.
+    const std::size_t idx =
+        (f * candidates.size()) / std::max<std::size_t>(info.num_ffs, 1);
+    const std::string d = info.name + "_d" + std::to_string(f);
+    core.add_gate(circuit::GateType::kBuf, d,
+                  {core.node_name(candidates[idx])});
+    d_names.push_back(d);
+  }
+  core.finalize();
+
+  SequentialNetlist seq(std::move(core));
+  for (std::size_t f = 0; f < info.num_ffs; ++f) {
+    seq.add_flip_flop(seq.core().node_name(q_nodes[f]), d_names[f]);
+  }
+  seq.finalize();
+  return seq;
+}
+
+}  // namespace mpe::seq

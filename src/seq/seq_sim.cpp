@@ -1,0 +1,110 @@
+#include "seq/seq_sim.hpp"
+
+#include "circuit/analysis.hpp"
+#include "util/contracts.hpp"
+#include "vectors/input_vector.hpp"
+
+namespace mpe::seq {
+
+SequentialSimulator::SequentialSimulator(const SequentialNetlist& netlist,
+                                         SeqSimOptions options)
+    : netlist_(netlist), opt_(options), event_(netlist.core(), options.event) {
+  MPE_EXPECTS(netlist.finalized());
+  state_.assign(netlist_.num_state_bits(), 0);
+  prev_free_.assign(netlist_.num_free_inputs(), 0);
+  cur_full_.resize(netlist_.core().num_inputs());
+  next_full_.resize(netlist_.core().num_inputs());
+}
+
+void SequentialSimulator::reset() {
+  std::fill(state_.begin(), state_.end(), 0);
+  std::fill(prev_free_.begin(), prev_free_.end(), 0);
+}
+
+void SequentialSimulator::set_state(std::span<const std::uint8_t> state_bits) {
+  MPE_EXPECTS(state_bits.size() == state_.size());
+  std::copy(state_bits.begin(), state_bits.end(), state_.begin());
+}
+
+void SequentialSimulator::compose(std::span<const std::uint8_t> free_values,
+                                  std::span<const std::uint8_t> state_bits,
+                                  std::vector<std::uint8_t>& out) const {
+  const auto& inputs = netlist_.core().inputs();
+  const auto& free_nodes = netlist_.free_inputs();
+  const auto& q_pos = netlist_.q_input_positions();
+  // Fill free inputs by order, then overwrite the Q positions with state.
+  std::size_t free_idx = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) out[i] = 0;
+  for (std::size_t f = 0; f < free_nodes.size(); ++f) {
+    // free_inputs() preserves core-input order; locate positions once per
+    // call (cheap relative to simulation).
+    while (free_idx < inputs.size() && inputs[free_idx] != free_nodes[f]) {
+      ++free_idx;
+    }
+    MPE_ENSURES(free_idx < inputs.size());
+    out[free_idx] = free_values[f] ? 1 : 0;
+  }
+  for (std::size_t s = 0; s < q_pos.size(); ++s) {
+    out[q_pos[s]] = state_bits[s] ? 1 : 0;
+  }
+}
+
+sim::CycleResult SequentialSimulator::step(
+    std::span<const std::uint8_t> inputs) {
+  MPE_EXPECTS(inputs.size() == netlist_.num_free_inputs());
+
+  // 1. Settled assignment before the edge: previous inputs + current state.
+  compose(prev_free_, state_, cur_full_);
+
+  // 2. Sample D values (functional snapshot of the settled network).
+  const auto settled = circuit::evaluate(netlist_.core(), cur_full_);
+  std::vector<std::uint8_t> next_state(state_.size());
+  std::size_t state_toggles = 0;
+  for (std::size_t s = 0; s < netlist_.flip_flops().size(); ++s) {
+    next_state[s] = settled[netlist_.flip_flops()[s].d];
+    if (next_state[s] != state_[s]) ++state_toggles;
+  }
+
+  // 3+4. Apply new inputs and new state together; charge transitions.
+  compose(inputs, next_state, next_full_);
+  sim::CycleResult r = event_.evaluate(cur_full_, next_full_);
+
+  // 5. Flip-flop clocking energy.
+  r.energy_pj += opt_.ff_clock_energy_pj *
+                 static_cast<double>(netlist_.num_state_bits());
+  r.energy_pj +=
+      opt_.ff_toggle_energy_pj * static_cast<double>(state_toggles);
+  r.power_mw = r.energy_pj / opt_.event.tech.clock_period_ns;
+
+  // Commit.
+  state_ = std::move(next_state);
+  prev_free_.assign(inputs.begin(), inputs.end());
+  return r;
+}
+
+SequencePopulation::SequencePopulation(SequentialSimulator& simulator,
+                                       double p1, std::size_t warmup)
+    : simulator_(simulator), p1_(p1), warmup_left_(warmup) {
+  MPE_EXPECTS(p1 >= 0.0 && p1 <= 1.0);
+  simulator_.reset();
+}
+
+double SequencePopulation::draw(Rng& rng) {
+  const std::size_t width = simulator_.netlist().num_free_inputs();
+  auto next_inputs = [&]() {
+    return width > 0 ? vec::biased_vector(width, p1_, rng)
+                     : vec::InputVector{};  // autonomous circuit
+  };
+  while (warmup_left_ > 0) {
+    simulator_.step(next_inputs());
+    --warmup_left_;
+  }
+  return simulator_.step(next_inputs()).power_mw;
+}
+
+std::string SequencePopulation::description() const {
+  return "sequential cycle-power population over " +
+         simulator_.netlist().core().name();
+}
+
+}  // namespace mpe::seq

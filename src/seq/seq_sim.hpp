@@ -1,0 +1,85 @@
+// Cycle-accurate sequential power simulation. Each clock cycle:
+//   1. the network is settled at (previous inputs, current state),
+//   2. the FFs sample their D values (zero-delay functional snapshot),
+//   3. new primary inputs and the new state are applied simultaneously,
+//   4. the event-driven simulator charges all transitions (incl. glitches),
+//   5. a per-FF clock-tree energy term is added.
+// Per-cycle power values from a random input stream form the (state-
+// correlated) population the EVT estimator consumes via SequencePopulation.
+#pragma once
+
+#include <optional>
+
+#include "seq/seq_netlist.hpp"
+#include "sim/event_sim.hpp"
+#include "vectors/population.hpp"
+
+namespace mpe::seq {
+
+/// Sequential simulation options.
+struct SeqSimOptions {
+  sim::EventSimOptions event;
+  /// Clock-tree + internal FF switching energy charged every cycle per
+  /// flip-flop, regardless of data activity [pJ].
+  double ff_clock_energy_pj = 0.02;
+  /// Extra energy when a FF output actually toggles [pJ].
+  double ff_toggle_energy_pj = 0.05;
+};
+
+/// Stateful cycle simulator. One instance per thread.
+class SequentialSimulator {
+ public:
+  SequentialSimulator(const SequentialNetlist& netlist,
+                      SeqSimOptions options = {});
+
+  /// Resets state bits (and the held primary inputs) to zero.
+  void reset();
+
+  /// Sets the state vector explicitly (one value per flip-flop).
+  void set_state(std::span<const std::uint8_t> state_bits);
+
+  /// Current state (one bit per flip-flop, flip_flops() order).
+  const std::vector<std::uint8_t>& state() const { return state_; }
+
+  /// Advances one clock cycle with the given primary-input assignment
+  /// (aligned with free_inputs()) and returns the cycle's power figures.
+  sim::CycleResult step(std::span<const std::uint8_t> inputs);
+
+  const SequentialNetlist& netlist() const { return netlist_; }
+  const SeqSimOptions& options() const { return opt_; }
+
+ private:
+  void compose(std::span<const std::uint8_t> free_values,
+               std::span<const std::uint8_t> state_bits,
+               std::vector<std::uint8_t>& out) const;
+
+  const SequentialNetlist& netlist_;
+  SeqSimOptions opt_;
+  sim::EventSimulator event_;
+  std::vector<std::uint8_t> state_;
+  std::vector<std::uint8_t> prev_free_;
+  std::vector<std::uint8_t> cur_full_, next_full_;
+};
+
+/// Streaming population of per-cycle power values under a random (i.i.d.
+/// per cycle, Bernoulli(p1)) primary-input stream. Consecutive cycles are
+/// state-correlated — block maxima remain valid for mixing chains, which is
+/// how the EVT machinery extends to sequential circuits.
+class SequencePopulation final : public vec::Population {
+ public:
+  /// Borrows the simulator (resets it first). `p1` is the per-line input
+  /// one-probability; `warmup` cycles run before sampling starts.
+  SequencePopulation(SequentialSimulator& simulator, double p1 = 0.5,
+                     std::size_t warmup = 16);
+
+  double draw(Rng& rng) override;
+  std::optional<std::size_t> size() const override { return std::nullopt; }
+  std::string description() const override;
+
+ private:
+  SequentialSimulator& simulator_;
+  double p1_;
+  std::size_t warmup_left_;
+};
+
+}  // namespace mpe::seq

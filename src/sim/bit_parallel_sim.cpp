@@ -1,0 +1,100 @@
+#include "sim/bit_parallel_sim.hpp"
+
+#include <bit>
+
+#include "util/contracts.hpp"
+
+namespace mpe::sim {
+
+BitParallelSimulator::BitParallelSimulator(const circuit::Netlist& netlist,
+                                           Technology tech)
+    : netlist_(netlist), tech_(tech) {
+  MPE_EXPECTS(netlist.finalized());
+  cap_ = node_capacitances(netlist_, tech_);
+  energy_per_toggle_.resize(cap_.size());
+  for (std::size_t i = 0; i < cap_.size(); ++i) {
+    energy_per_toggle_[i] = tech_.toggle_energy_pj(cap_[i]);
+  }
+  word1_.resize(netlist_.num_nodes());
+  word2_.resize(netlist_.num_nodes());
+}
+
+void BitParallelSimulator::settle(std::span<const vec::VectorPair> pairs,
+                                  bool second,
+                                  std::vector<std::uint64_t>& out) {
+  const auto& inputs = netlist_.inputs();
+  // Pack lane k's input bit into word bit k.
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    std::uint64_t w = 0;
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      const auto& v = second ? pairs[k].second : pairs[k].first;
+      MPE_EXPECTS_MSG(v.size() == inputs.size(),
+                      "pair width must match the netlist input count");
+      w |= static_cast<std::uint64_t>(v[i] & 1) << k;
+    }
+    out[inputs[i]] = w;
+  }
+  for (circuit::GateId g : netlist_.topo_order()) {
+    const circuit::Gate& gate = netlist_.gate(g);
+    std::uint64_t acc;
+    switch (gate.type) {
+      case circuit::GateType::kBuf:
+        acc = out[gate.inputs[0]];
+        break;
+      case circuit::GateType::kNot:
+        acc = ~out[gate.inputs[0]];
+        break;
+      case circuit::GateType::kAnd:
+      case circuit::GateType::kNand:
+        acc = ~0ULL;
+        for (circuit::NodeId n : gate.inputs) acc &= out[n];
+        if (gate.type == circuit::GateType::kNand) acc = ~acc;
+        break;
+      case circuit::GateType::kOr:
+      case circuit::GateType::kNor:
+        acc = 0;
+        for (circuit::NodeId n : gate.inputs) acc |= out[n];
+        if (gate.type == circuit::GateType::kNor) acc = ~acc;
+        break;
+      case circuit::GateType::kXor:
+      case circuit::GateType::kXnor:
+        acc = 0;
+        for (circuit::NodeId n : gate.inputs) acc ^= out[n];
+        if (gate.type == circuit::GateType::kXnor) acc = ~acc;
+        break;
+      default:
+        acc = 0;
+        break;
+    }
+    out[gate.output] = acc;
+  }
+}
+
+std::vector<CycleResult> BitParallelSimulator::evaluate_batch(
+    std::span<const vec::VectorPair> pairs) {
+  MPE_EXPECTS(!pairs.empty());
+  MPE_EXPECTS_MSG(pairs.size() <= kLanes, "at most 64 pairs per batch");
+
+  settle(pairs, /*second=*/false, word1_);
+  settle(pairs, /*second=*/true, word2_);
+
+  std::vector<CycleResult> results(pairs.size());
+  const std::uint64_t lane_mask =
+      pairs.size() == kLanes ? ~0ULL : ((1ULL << pairs.size()) - 1);
+  for (circuit::NodeId n = 0; n < netlist_.num_nodes(); ++n) {
+    std::uint64_t toggled = (word1_[n] ^ word2_[n]) & lane_mask;
+    const double e = energy_per_toggle_[n];
+    while (toggled != 0) {
+      const int k = std::countr_zero(toggled);
+      results[static_cast<std::size_t>(k)].energy_pj += e;
+      ++results[static_cast<std::size_t>(k)].toggles;
+      toggled &= toggled - 1;
+    }
+  }
+  for (auto& r : results) {
+    r.power_mw = r.energy_pj / tech_.clock_period_ns;
+  }
+  return results;
+}
+
+}  // namespace mpe::sim

@@ -1,0 +1,48 @@
+// Bit-parallel (64-way) zero-delay cycle power simulation: each netlist
+// node holds a 64-bit word whose k-th bit is the node's value for the k-th
+// vector pair in a batch, so one levelized pass evaluates 64 pairs — the
+// classic parallel-pattern trick of gate-level simulators. Zero-delay only
+// (event timing does not vectorize); used to accelerate SRS baselines and
+// zero-delay population builds by an order of magnitude.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "sim/technology.hpp"
+#include "sim/zero_delay_sim.hpp"
+#include "vectors/input_vector.hpp"
+
+namespace mpe::sim {
+
+/// 64-way zero-delay evaluator. One instance per thread.
+class BitParallelSimulator {
+ public:
+  BitParallelSimulator(const circuit::Netlist& netlist, Technology tech);
+
+  /// Evaluates up to 64 vector pairs in one levelized pass. Returns one
+  /// CycleResult per input pair (settle_time is 0 under zero delay).
+  std::vector<CycleResult> evaluate_batch(
+      std::span<const vec::VectorPair> pairs);
+
+  /// Batch width limit.
+  static constexpr std::size_t kLanes = 64;
+
+  const Technology& technology() const { return tech_; }
+  const std::vector<double>& node_caps() const { return cap_; }
+  const circuit::Netlist& netlist() const { return netlist_; }
+
+ private:
+  void settle(std::span<const vec::VectorPair> pairs, bool second,
+              std::vector<std::uint64_t>& out);
+
+  const circuit::Netlist& netlist_;
+  Technology tech_;
+  std::vector<double> cap_;
+  std::vector<double> energy_per_toggle_;
+  std::vector<std::uint64_t> word1_, word2_;
+};
+
+}  // namespace mpe::sim

@@ -1,0 +1,34 @@
+#include "sim/power_eval.hpp"
+
+namespace mpe::sim {
+
+CyclePowerEvaluator::CyclePowerEvaluator(const circuit::Netlist& netlist,
+                                         PowerEvalOptions options)
+    : netlist_(netlist), opt_(options) {
+  if (opt_.delay_model == DelayModel::kZero) {
+    zero_ = std::make_unique<ZeroDelaySimulator>(netlist_, opt_.tech);
+  } else {
+    EventSimOptions eo;
+    eo.tech = opt_.tech;
+    eo.delay_model = opt_.delay_model;
+    eo.inertial = opt_.inertial;
+    event_ = std::make_unique<EventSimulator>(netlist_, eo);
+  }
+}
+
+CyclePowerEvaluator::~CyclePowerEvaluator() = default;
+CyclePowerEvaluator::CyclePowerEvaluator(CyclePowerEvaluator&&) noexcept =
+    default;
+
+CycleResult CyclePowerEvaluator::evaluate(std::span<const std::uint8_t> v1,
+                                          std::span<const std::uint8_t> v2) {
+  if (zero_) return zero_->evaluate(v1, v2);
+  return event_->evaluate(v1, v2);
+}
+
+double CyclePowerEvaluator::power_mw(std::span<const std::uint8_t> v1,
+                                     std::span<const std::uint8_t> v2) {
+  return evaluate(v1, v2).power_mw;
+}
+
+}  // namespace mpe::sim

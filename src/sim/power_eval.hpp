@@ -1,0 +1,52 @@
+// CyclePowerEvaluator: the facade the estimation layers use. Wraps either
+// the zero-delay or the event-driven simulator behind one "power of a vector
+// pair" call, so populations and estimators are delay-model agnostic.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "circuit/netlist.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/zero_delay_sim.hpp"
+
+namespace mpe::sim {
+
+/// Configuration of the power evaluation facade.
+struct PowerEvalOptions {
+  Technology tech;
+  DelayModel delay_model = DelayModel::kFanoutLoaded;
+  bool inertial = true;  ///< see EventSimOptions::inertial
+};
+
+/// Evaluates per-cycle power for vector pairs on one netlist.
+/// Not thread-safe; create one per thread.
+class CyclePowerEvaluator {
+ public:
+  CyclePowerEvaluator(const circuit::Netlist& netlist,
+                      PowerEvalOptions options = {});
+  ~CyclePowerEvaluator();
+  CyclePowerEvaluator(CyclePowerEvaluator&&) noexcept;
+  CyclePowerEvaluator& operator=(CyclePowerEvaluator&&) = delete;
+  CyclePowerEvaluator(const CyclePowerEvaluator&) = delete;
+  CyclePowerEvaluator& operator=(const CyclePowerEvaluator&) = delete;
+
+  /// Full cycle result for the pair (v1, v2).
+  CycleResult evaluate(std::span<const std::uint8_t> v1,
+                       std::span<const std::uint8_t> v2);
+
+  /// Convenience: just the cycle power in milliwatts.
+  double power_mw(std::span<const std::uint8_t> v1,
+                  std::span<const std::uint8_t> v2);
+
+  const circuit::Netlist& netlist() const { return netlist_; }
+  const PowerEvalOptions& options() const { return opt_; }
+
+ private:
+  const circuit::Netlist& netlist_;
+  PowerEvalOptions opt_;
+  std::unique_ptr<ZeroDelaySimulator> zero_;
+  std::unique_ptr<EventSimulator> event_;
+};
+
+}  // namespace mpe::sim

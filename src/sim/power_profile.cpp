@@ -1,0 +1,55 @@
+#include "sim/power_profile.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace mpe::sim {
+
+PowerProfile profile_power(const circuit::Netlist& netlist,
+                           const vec::PairGenerator& generator,
+                           std::size_t pairs, const EventSimOptions& options,
+                           Rng& rng) {
+  MPE_EXPECTS(pairs >= 1);
+  MPE_EXPECTS_MSG(
+      generator.width() == netlist.num_inputs(),
+      "generator width must match the netlist primary input count");
+
+  EventSimulator simulator(netlist, options);
+  simulator.enable_profiling(true);
+
+  PowerProfile profile;
+  profile.pairs = pairs;
+  double power_sum = 0.0;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const vec::VectorPair p = generator.generate(rng);
+    const CycleResult r = simulator.evaluate(p.first, p.second);
+    power_sum += r.power_mw;
+    profile.max_power_mw = std::max(profile.max_power_mw, r.power_mw);
+  }
+  profile.avg_power_mw = power_sum / static_cast<double>(pairs);
+
+  const auto& toggles = simulator.profiled_toggles();
+  const auto& caps = simulator.node_caps();
+  profile.by_node.reserve(netlist.num_nodes());
+  for (circuit::NodeId n = 0; n < netlist.num_nodes(); ++n) {
+    NodePower np;
+    np.node = n;
+    np.energy_pj = toggles[n] * options.tech.toggle_energy_pj(caps[n]);
+    np.toggles = toggles[n] / static_cast<double>(pairs);
+    profile.total_energy_pj += np.energy_pj;
+    profile.by_node.push_back(np);
+  }
+  for (auto& np : profile.by_node) {
+    np.share = profile.total_energy_pj > 0.0
+                   ? np.energy_pj / profile.total_energy_pj
+                   : 0.0;
+  }
+  std::sort(profile.by_node.begin(), profile.by_node.end(),
+            [](const NodePower& a, const NodePower& b) {
+              return a.energy_pj > b.energy_pj;
+            });
+  return profile;
+}
+
+}  // namespace mpe::sim

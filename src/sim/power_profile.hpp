@@ -1,0 +1,40 @@
+// Per-node power profiling: where does the energy go? Accumulates switched
+// energy per node over a sample of vector pairs and reports the dominant
+// contributors — the diagnostic view a designer uses once the estimator
+// says the maximum is too high.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "sim/event_sim.hpp"
+#include "vectors/generators.hpp"
+
+namespace mpe::sim {
+
+/// One node's share of the total switched energy.
+struct NodePower {
+  circuit::NodeId node = 0;
+  double energy_pj = 0.0;   ///< total over the profiled pairs
+  double toggles = 0.0;     ///< average toggles per cycle
+  double share = 0.0;       ///< fraction of total energy
+};
+
+/// Aggregate profile.
+struct PowerProfile {
+  std::vector<NodePower> by_node;   ///< sorted by energy, descending
+  double total_energy_pj = 0.0;
+  double avg_power_mw = 0.0;        ///< mean cycle power over the sample
+  double max_power_mw = 0.0;        ///< max cycle power seen in the sample
+  std::size_t pairs = 0;
+};
+
+/// Profiles `pairs` random vector pairs from `generator` through an
+/// event-driven simulation and attributes energy per node.
+PowerProfile profile_power(const circuit::Netlist& netlist,
+                           const vec::PairGenerator& generator,
+                           std::size_t pairs, const EventSimOptions& options,
+                           Rng& rng);
+
+}  // namespace mpe::sim

@@ -1,0 +1,28 @@
+#include "sim/technology.hpp"
+
+#include "util/contracts.hpp"
+
+namespace mpe::sim {
+
+std::vector<double> node_capacitances(const circuit::Netlist& netlist,
+                                      const Technology& tech) {
+  MPE_EXPECTS(netlist.finalized());
+  std::vector<double> cap(netlist.num_nodes(), 0.0);
+  for (circuit::NodeId n = 0; n < netlist.num_nodes(); ++n) {
+    double c = 0.0;
+    const circuit::GateId d = netlist.driver(n);
+    if (d != circuit::kNoGate) {
+      c += tech.unit_output_cap_ff;
+    }
+    const auto& sinks = netlist.fanout(n);
+    for (circuit::GateId g : sinks) {
+      c += tech.unit_input_cap_ff *
+           circuit::electrical(netlist.gate(g).type).input_cap;
+    }
+    c += tech.wire_cap_per_fanout_ff * static_cast<double>(sinks.size());
+    cap[n] = c;
+  }
+  return cap;
+}
+
+}  // namespace mpe::sim

@@ -1,0 +1,39 @@
+// Technology parameters of the power/delay model: a compact stand-in for a
+// 0.35um-era standard-cell library (the era of the paper's PowerMill runs).
+// Node switched-capacitance and gate delays are derived from these constants
+// plus the per-gate-type relative factors in circuit/gate.hpp.
+#pragma once
+
+#include <cstddef>
+
+#include "circuit/netlist.hpp"
+
+namespace mpe::sim {
+
+/// Process / operating-point constants. Units: volts, femtofarads,
+/// nanoseconds. Defaults approximate a 3.3V 0.35um library at 50 MHz.
+struct Technology {
+  double vdd = 3.3;                  ///< supply voltage [V]
+  double clock_period_ns = 20.0;     ///< cycle time the power is averaged over
+  double unit_input_cap_ff = 6.0;    ///< base input pin capacitance [fF]
+  double unit_output_cap_ff = 4.0;   ///< driver diffusion capacitance [fF]
+  double wire_cap_per_fanout_ff = 2.5;  ///< routing estimate per sink [fF]
+  double unit_delay_ns = 0.35;       ///< base intrinsic gate delay [ns]
+  double delay_ns_per_ff = 0.004;    ///< load-dependent delay slope [ns/fF]
+
+  /// Energy of one full swing of `cap_ff` femtofarads: 0.5 C V^2, in
+  /// picojoules (fF * V^2 / 1000).
+  double toggle_energy_pj(double cap_ff) const {
+    return 0.5 * cap_ff * vdd * vdd * 1e-3;
+  }
+};
+
+/// Per-node switched capacitance [fF]: the driver's output capacitance plus
+/// every sink pin's input capacitance plus estimated routing. Primary inputs
+/// have no internal driver; their node still loads the circuit via sink pins
+/// and routing, and that charge is drawn from the chip's supply rails, so it
+/// is included (PowerMill counts it the same way).
+std::vector<double> node_capacitances(const circuit::Netlist& netlist,
+                                      const Technology& tech);
+
+}  // namespace mpe::sim

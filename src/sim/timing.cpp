@@ -1,0 +1,82 @@
+#include "sim/timing.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace mpe::sim {
+
+TimingAnalysis analyze_timing(const circuit::Netlist& netlist,
+                              const Technology& tech, DelayModel model,
+                              std::span<const double> node_caps) {
+  MPE_EXPECTS(netlist.finalized());
+  const auto delays = gate_delays(netlist, tech, model, node_caps);
+
+  TimingAnalysis t;
+  t.arrival.assign(netlist.num_nodes(), 0.0);
+  std::vector<circuit::NodeId> worst_fanin(netlist.num_nodes(),
+                                           netlist.num_nodes());
+
+  // Forward pass: arrival = max fanin arrival + gate delay.
+  circuit::NodeId latest = netlist.num_nodes();
+  for (circuit::GateId g : netlist.topo_order()) {
+    const auto& gate = netlist.gate(g);
+    double in_arr = 0.0;
+    circuit::NodeId in_node = gate.inputs.front();
+    for (circuit::NodeId n : gate.inputs) {
+      if (t.arrival[n] >= in_arr) {
+        in_arr = t.arrival[n];
+        in_node = n;
+      }
+    }
+    t.arrival[gate.output] = in_arr + delays[g];
+    worst_fanin[gate.output] = in_node;
+    if (latest == netlist.num_nodes() ||
+        t.arrival[gate.output] > t.arrival[latest]) {
+      latest = gate.output;
+    }
+  }
+  t.critical_delay =
+      latest == netlist.num_nodes() ? 0.0 : t.arrival[latest];
+
+  // Backward pass: required times against the critical delay.
+  t.required.assign(netlist.num_nodes(), t.critical_delay);
+  const auto& topo = netlist.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const auto& gate = netlist.gate(*it);
+    const double need = t.required[gate.output] - delays[*it];
+    for (circuit::NodeId n : gate.inputs) {
+      t.required[n] = std::min(t.required[n], need);
+    }
+  }
+
+  t.slack.resize(netlist.num_nodes());
+  for (circuit::NodeId n = 0; n < netlist.num_nodes(); ++n) {
+    t.slack[n] = t.required[n] - t.arrival[n];
+  }
+
+  // Trace the critical path from the latest node back to an input.
+  if (latest != netlist.num_nodes()) {
+    circuit::NodeId cur = latest;
+    while (true) {
+      t.critical_path.push_back(cur);
+      const circuit::NodeId prev = worst_fanin[cur];
+      if (prev == netlist.num_nodes()) break;  // reached a primary input
+      cur = prev;
+      if (netlist.is_input(cur)) {
+        t.critical_path.push_back(cur);
+        break;
+      }
+    }
+    std::reverse(t.critical_path.begin(), t.critical_path.end());
+  }
+  return t;
+}
+
+TimingAnalysis analyze_timing(const circuit::Netlist& netlist,
+                              const Technology& tech, DelayModel model) {
+  const auto caps = node_capacitances(netlist, tech);
+  return analyze_timing(netlist, tech, model, caps);
+}
+
+}  // namespace mpe::sim

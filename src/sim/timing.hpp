@@ -1,0 +1,42 @@
+// Static timing analysis over the delay models: per-node arrival times,
+// the topological critical path, and required-time/slack — the structural
+// bound the EVT-based maximum-delay estimate is compared against
+// (structural analysis ignores sensitization, so it is an upper bound).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "sim/delay.hpp"
+
+namespace mpe::sim {
+
+/// Result of a static timing pass.
+struct TimingAnalysis {
+  /// Worst-case (topological) arrival time per node [ns]; 0 for inputs.
+  std::vector<double> arrival;
+  /// Required time per node for the critical output to be met.
+  std::vector<double> required;
+  /// Slack per node (required - arrival); 0 along the critical path.
+  std::vector<double> slack;
+  /// The critical path as a node sequence from a primary input to the
+  /// latest output, inclusive.
+  std::vector<circuit::NodeId> critical_path;
+  /// Arrival time of the latest node (the topological delay bound).
+  double critical_delay = 0.0;
+};
+
+/// Runs static timing with the given delay model. Requires a finalized
+/// netlist. `node_caps` must come from node_capacitances() (used by the
+/// fanout-loaded model; pass any same-sized vector for zero/unit models).
+TimingAnalysis analyze_timing(const circuit::Netlist& netlist,
+                              const Technology& tech, DelayModel model,
+                              std::span<const double> node_caps);
+
+/// Convenience: computes node capacitances internally.
+TimingAnalysis analyze_timing(const circuit::Netlist& netlist,
+                              const Technology& tech = {},
+                              DelayModel model = DelayModel::kFanoutLoaded);
+
+}  // namespace mpe::sim

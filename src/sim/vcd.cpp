@@ -1,0 +1,94 @@
+#include "sim/vcd.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "circuit/analysis.hpp"
+#include "util/contracts.hpp"
+
+namespace mpe::sim {
+
+namespace {
+
+/// VCD identifier for a node: printable-ASCII base-94 code.
+std::string vcd_id(circuit::NodeId n) {
+  std::string id;
+  std::uint64_t v = n;
+  do {
+    id += static_cast<char>('!' + (v % 94));
+    v /= 94;
+  } while (v != 0);
+  return id;
+}
+
+}  // namespace
+
+VcdRecorder::VcdRecorder(const circuit::Netlist& netlist)
+    : netlist_(netlist) {
+  MPE_EXPECTS(netlist.finalized());
+}
+
+CycleResult VcdRecorder::record_cycle(std::span<const std::uint8_t> v1,
+                                      std::span<const std::uint8_t> v2,
+                                      const EventSimOptions& options) {
+  clock_period_ns_ = options.tech.clock_period_ns;
+  if (!have_initial_) {
+    initial_ = circuit::evaluate(netlist_, v1);
+    have_initial_ = true;
+  }
+  const double t0 =
+      static_cast<double>(cycles_) * options.tech.clock_period_ns;
+
+  EventSimulator simulator(netlist_, options);
+  simulator.set_trace(
+      [&](double t, circuit::NodeId node, std::uint8_t value) {
+        events_.push_back(VcdEvent{t0 + t, node, value});
+      });
+  const CycleResult r = simulator.evaluate(v1, v2);
+  ++cycles_;
+  return r;
+}
+
+void VcdRecorder::write(std::ostream& out) const {
+  out << "$date mpe waveform dump $end\n";
+  out << "$version mpe event-driven simulator $end\n";
+  out << "$timescale 1ps $end\n";
+  out << "$scope module " << netlist_.name() << " $end\n";
+  for (circuit::NodeId n = 0; n < netlist_.num_nodes(); ++n) {
+    out << "$var wire 1 " << vcd_id(n) << ' ' << netlist_.node_name(n)
+        << " $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+
+  out << "$dumpvars\n";
+  for (circuit::NodeId n = 0; n < netlist_.num_nodes(); ++n) {
+    const int v = have_initial_ ? initial_[n] : 0;
+    out << v << vcd_id(n) << '\n';
+  }
+  out << "$end\n";
+
+  // Group events by (integer picosecond) timestamp; events_ is already in
+  // nondecreasing time order because cycles are appended sequentially and
+  // the simulator commits in time order.
+  std::int64_t last_ts = -1;
+  for (const auto& e : events_) {
+    const auto ts = static_cast<std::int64_t>(e.time_ns * 1000.0 + 0.5);
+    if (ts != last_ts) {
+      out << '#' << ts << '\n';
+      last_ts = ts;
+    }
+    out << static_cast<int>(e.value) << vcd_id(e.node) << '\n';
+  }
+  // Closing timestamp so viewers show the full final cycle.
+  const auto end_ts = static_cast<std::int64_t>(
+      static_cast<double>(cycles_) * clock_period_ns_ * 1000.0 + 0.5);
+  if (end_ts > last_ts) out << '#' << end_ts << '\n';
+}
+
+std::string VcdRecorder::write_string() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+}  // namespace mpe::sim

@@ -1,0 +1,62 @@
+// VCD (Value Change Dump, IEEE 1364) waveform recording for the event-driven
+// simulator: capture every node transition of one or more simulated cycles
+// and write a standard VCD file that any waveform viewer (GTKWave etc.)
+// opens — the debugging artifact an engineer reaches for when a reported
+// maximum-power cycle needs to be understood gate by gate.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "sim/event_sim.hpp"
+#include "vectors/input_vector.hpp"
+
+namespace mpe::sim {
+
+/// One recorded transition.
+struct VcdEvent {
+  double time_ns = 0.0;
+  circuit::NodeId node = 0;
+  std::uint8_t value = 0;
+};
+
+/// Records transitions cycle by cycle and renders a VCD document.
+class VcdRecorder {
+ public:
+  explicit VcdRecorder(const circuit::Netlist& netlist);
+
+  /// Simulates the cycle (v1 settled, v2 applied at the cycle's start time)
+  /// on a transition-recording event simulator and appends the waveform.
+  /// Consecutive cycles are placed clock_period_ns apart. Returns the
+  /// cycle's power result.
+  CycleResult record_cycle(std::span<const std::uint8_t> v1,
+                           std::span<const std::uint8_t> v2,
+                           const EventSimOptions& options = {});
+
+  /// Transitions recorded so far (absolute time).
+  const std::vector<VcdEvent>& events() const { return events_; }
+
+  /// Number of cycles recorded.
+  std::size_t cycles() const { return cycles_; }
+
+  /// Writes the VCD document: header, variable declarations for every node,
+  /// initial values, and the timestamped change sets (1 ps timescale).
+  void write(std::ostream& out) const;
+
+  /// Renders to a string.
+  std::string write_string() const;
+
+ private:
+  const circuit::Netlist& netlist_;
+  std::vector<VcdEvent> events_;
+  std::vector<std::uint8_t> initial_;  ///< settled values before cycle 0
+  bool have_initial_ = false;
+  std::size_t cycles_ = 0;
+  double clock_period_ns_ = 0.0;
+};
+
+}  // namespace mpe::sim

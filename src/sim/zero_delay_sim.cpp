@@ -1,0 +1,47 @@
+#include "sim/zero_delay_sim.hpp"
+
+#include "util/contracts.hpp"
+
+namespace mpe::sim {
+
+ZeroDelaySimulator::ZeroDelaySimulator(const circuit::Netlist& netlist,
+                                       Technology tech)
+    : netlist_(netlist), tech_(tech) {
+  MPE_EXPECTS(netlist.finalized());
+  cap_ = node_capacitances(netlist_, tech_);
+  val1_.resize(netlist_.num_nodes());
+  val2_.resize(netlist_.num_nodes());
+}
+
+void ZeroDelaySimulator::settle(std::span<const std::uint8_t> in,
+                                std::vector<std::uint8_t>& out) {
+  const auto& inputs = netlist_.inputs();
+  MPE_EXPECTS(in.size() == inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    out[inputs[i]] = in[i] ? 1 : 0;
+  }
+  for (circuit::GateId g : netlist_.topo_order()) {
+    const circuit::Gate& gate = netlist_.gate(g);
+    fanin_buf_.clear();
+    for (circuit::NodeId n : gate.inputs) fanin_buf_.push_back(out[n]);
+    out[gate.output] = circuit::eval_gate(gate.type, fanin_buf_) ? 1 : 0;
+  }
+}
+
+CycleResult ZeroDelaySimulator::evaluate(std::span<const std::uint8_t> v1,
+                                         std::span<const std::uint8_t> v2) {
+  settle(v1, val1_);
+  settle(v2, val2_);
+  CycleResult r;
+  for (circuit::NodeId n = 0; n < netlist_.num_nodes(); ++n) {
+    if (val1_[n] != val2_[n]) {
+      ++r.toggles;
+      r.energy_pj += tech_.toggle_energy_pj(cap_[n]);
+    }
+  }
+  r.power_mw = r.energy_pj / tech_.clock_period_ns;
+  r.settle_time_ns = 0.0;
+  return r;
+}
+
+}  // namespace mpe::sim

@@ -1,0 +1,45 @@
+// Zero-delay (levelized two-pass) cycle power evaluation: every node settles
+// instantly, so the cycle energy is the functional (no-glitch) switched
+// capacitance. Doubles as a reference oracle for the event-driven simulator
+// in tests (with zero delays both must agree exactly).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "sim/technology.hpp"
+
+namespace mpe::sim {
+
+/// Result of simulating one input vector pair.
+struct CycleResult {
+  double energy_pj = 0.0;     ///< switched energy during the cycle
+  double power_mw = 0.0;      ///< energy / clock period (pJ/ns == mW)
+  std::size_t toggles = 0;    ///< total node transitions (incl. glitches)
+  double settle_time_ns = 0.0;  ///< time of the last transition
+};
+
+/// Reusable zero-delay evaluator. Thread-compatible: one instance per thread.
+class ZeroDelaySimulator {
+ public:
+  ZeroDelaySimulator(const circuit::Netlist& netlist, Technology tech);
+
+  /// Simulates the cycle v1 -> v2. Vector layouts follow netlist.inputs().
+  CycleResult evaluate(std::span<const std::uint8_t> v1,
+                       std::span<const std::uint8_t> v2);
+
+  const Technology& technology() const { return tech_; }
+  const std::vector<double>& node_caps() const { return cap_; }
+
+ private:
+  void settle(std::span<const std::uint8_t> in, std::vector<std::uint8_t>& out);
+
+  const circuit::Netlist& netlist_;
+  Technology tech_;
+  std::vector<double> cap_;
+  std::vector<std::uint8_t> val1_, val2_;
+  std::vector<std::uint8_t> fanin_buf_;
+};
+
+}  // namespace mpe::sim

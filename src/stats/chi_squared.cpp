@@ -1,0 +1,103 @@
+#include "stats/chi_squared.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace mpe::stats {
+
+ChiSquared::ChiSquared(double k) : k_(k) { MPE_EXPECTS(k > 0.0); }
+
+double ChiSquared::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) return k_ < 2.0 ? std::numeric_limits<double>::infinity()
+                                : (k_ == 2.0 ? 0.5 : 0.0);
+  const double half_k = 0.5 * k_;
+  return std::exp((half_k - 1.0) * std::log(x) - 0.5 * x -
+                  half_k * std::log(2.0) - std::lgamma(half_k));
+}
+
+double ChiSquared::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return math::incomplete_gamma_lower(0.5 * k_, 0.5 * x);
+}
+
+double ChiSquared::quantile(double q) const {
+  MPE_EXPECTS(q > 0.0 && q < 1.0);
+  // Bracket and bisect/Brent on the CDF; the mean +/- a few sd gives a
+  // starting window, expanded as needed.
+  double lo = 0.0;
+  double hi = k_ + 10.0 * std::sqrt(2.0 * k_) + 10.0;
+  while (cdf(hi) < q) hi *= 2.0;
+  const auto r = math::brent_root([&](double x) { return cdf(x) - q; },
+                                  lo + 1e-12, hi, 1e-10);
+  return r.x;
+}
+
+double ChiSquared::sample(Rng& rng) const {
+  // Marsaglia–Tsang gamma(k/2) scaled by 2 (same scheme as StudentT).
+  const double shape = 0.5 * k_;
+  const double d0 = shape >= 1.0 ? shape - 1.0 / 3.0 : shape + 2.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d0);
+  for (;;) {
+    const double x = rng.normal();
+    double u = 1.0 + c * x;
+    if (u <= 0.0) continue;
+    u = u * u * u;
+    const double uu = rng.uniform();
+    if (uu < 1.0 - 0.0331 * x * x * x * x ||
+        std::log(uu) < 0.5 * x * x + d0 * (1.0 - u + std::log(u))) {
+      double g = d0 * u;
+      if (shape < 1.0) g *= std::pow(rng.uniform(), 1.0 / shape);
+      return 2.0 * g;
+    }
+  }
+}
+
+Chi2Result chi2_gof(std::span<const double> observed,
+                    std::span<const double> expected,
+                    std::size_t fitted_params, double min_expected) {
+  MPE_EXPECTS(observed.size() == expected.size());
+  MPE_EXPECTS(observed.size() >= 2);
+
+  // Merge undersized expected bins rightward.
+  std::vector<double> obs, exp;
+  double acc_o = 0.0, acc_e = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    MPE_EXPECTS(expected[i] >= 0.0 && observed[i] >= 0.0);
+    acc_o += observed[i];
+    acc_e += expected[i];
+    if (acc_e >= min_expected) {
+      obs.push_back(acc_o);
+      exp.push_back(acc_e);
+      acc_o = acc_e = 0.0;
+    }
+  }
+  if (acc_e > 0.0 || acc_o > 0.0) {
+    if (!exp.empty()) {
+      obs.back() += acc_o;
+      exp.back() += acc_e;
+    } else {
+      obs.push_back(acc_o);
+      exp.push_back(acc_e);
+    }
+  }
+  MPE_EXPECTS_MSG(exp.size() >= 2, "too few valid bins after merging");
+
+  Chi2Result r;
+  for (std::size_t i = 0; i < exp.size(); ++i) {
+    if (exp[i] <= 0.0) continue;
+    const double d = obs[i] - exp[i];
+    r.statistic += d * d / exp[i];
+  }
+  const double dof = static_cast<double>(exp.size()) - 1.0 -
+                     static_cast<double>(fitted_params);
+  MPE_EXPECTS_MSG(dof >= 1.0, "no degrees of freedom left");
+  r.dof = dof;
+  r.p_value = 1.0 - ChiSquared(dof).cdf(r.statistic);
+  return r;
+}
+
+}  // namespace mpe::stats

@@ -1,0 +1,53 @@
+// Chi-squared distribution and Pearson goodness-of-fit test over binned
+// data — the third GOF lens next to Kolmogorov–Smirnov (body-sensitive) and
+// Anderson–Darling (tail-sensitive), useful when samples are naturally
+// histogrammed (e.g. toggle-count distributions).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace mpe::stats {
+
+/// Chi-squared distribution with `k` degrees of freedom.
+class ChiSquared {
+ public:
+  explicit ChiSquared(double k);
+
+  double dof() const { return k_; }
+
+  double pdf(double x) const;
+  double cdf(double x) const;
+
+  /// Inverse CDF; q in (0, 1).
+  double quantile(double q) const;
+
+  /// Draws one variate (sum of squared normals via gamma sampling).
+  double sample(Rng& rng) const;
+
+  double mean() const { return k_; }
+  double variance() const { return 2.0 * k_; }
+
+ private:
+  double k_;
+};
+
+/// Pearson chi-squared test outcome.
+struct Chi2Result {
+  double statistic = 0.0;
+  double dof = 0.0;
+  double p_value = 0.0;
+};
+
+/// Pearson test of observed bin counts against expected counts. Bins with
+/// expected count below `min_expected` are merged into their right
+/// neighbour (classic validity rule). `fitted_params` reduces the degrees
+/// of freedom for parameters estimated from the same data.
+Chi2Result chi2_gof(std::span<const double> observed,
+                    std::span<const double> expected,
+                    std::size_t fitted_params = 0,
+                    double min_expected = 5.0);
+
+}  // namespace mpe::stats

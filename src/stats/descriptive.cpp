@@ -1,0 +1,105 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace mpe::stats {
+
+double mean(std::span<const double> xs) {
+  MPE_EXPECTS(!xs.empty());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  MPE_EXPECTS(xs.size() >= 2);
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    ss += d * d;
+  }
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double skewness(std::span<const double> xs) {
+  MPE_EXPECTS(xs.size() >= 3);
+  const auto n = static_cast<double>(xs.size());
+  const double m = mean(xs);
+  double m2 = 0.0, m3 = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= n;
+  m3 /= n;
+  const double g1 = m3 / std::pow(m2, 1.5);
+  return std::sqrt(n * (n - 1.0)) / (n - 2.0) * g1;
+}
+
+double excess_kurtosis(std::span<const double> xs) {
+  MPE_EXPECTS(xs.size() >= 4);
+  const auto n = static_cast<double>(xs.size());
+  const double m = mean(xs);
+  double m2 = 0.0, m4 = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= n;
+  m4 /= n;
+  return m4 / (m2 * m2) - 3.0;
+}
+
+double min(std::span<const double> xs) {
+  MPE_EXPECTS(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  MPE_EXPECTS(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::span<const double> xs, double q) {
+  MPE_EXPECTS(!xs.empty());
+  MPE_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double h = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Summary summarize(std::span<const double> xs) {
+  MPE_EXPECTS(!xs.empty());
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  Summary s;
+  s.count = sorted.size();
+  s.mean = mean(sorted);
+  s.stddev = sorted.size() >= 2 ? stddev(sorted) : 0.0;
+  s.min = sorted.front();
+  s.max = sorted.back();
+  auto interp = [&](double q) {
+    const double h = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(h));
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    return sorted[lo] + (h - static_cast<double>(lo)) * (sorted[hi] - sorted[lo]);
+  };
+  s.q25 = interp(0.25);
+  s.median = interp(0.5);
+  s.q75 = interp(0.75);
+  return s;
+}
+
+}  // namespace mpe::stats

@@ -1,0 +1,50 @@
+// Descriptive statistics over samples: moments, quantiles, extremes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mpe::stats {
+
+/// Arithmetic mean. Requires a non-empty sample.
+double mean(std::span<const double> xs);
+
+/// Unbiased (n-1) sample variance. Requires at least two points.
+double variance(std::span<const double> xs);
+
+/// Unbiased sample standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Sample skewness (adjusted Fisher–Pearson). Requires at least three points.
+double skewness(std::span<const double> xs);
+
+/// Excess kurtosis. Requires at least four points.
+double excess_kurtosis(std::span<const double> xs);
+
+/// Smallest element.
+double min(std::span<const double> xs);
+
+/// Largest element.
+double max(std::span<const double> xs);
+
+/// Empirical q-quantile (linear interpolation between order statistics,
+/// the common "type 7" definition). q in [0, 1].
+double quantile(std::span<const double> xs, double q);
+
+/// Summary bundle computed in one pass over a sorted copy.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes the summary bundle. Requires a non-empty sample.
+Summary summarize(std::span<const double> xs);
+
+}  // namespace mpe::stats

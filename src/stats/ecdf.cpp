@@ -1,0 +1,43 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace mpe::stats {
+
+Ecdf::Ecdf(std::span<const double> xs) : sorted_(xs.begin(), xs.end()) {
+  MPE_EXPECTS(!sorted_.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  MPE_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (q == 0.0) return sorted_.front();
+  const auto n = static_cast<double>(sorted_.size());
+  const auto idx = static_cast<std::size_t>(std::ceil(q * n)) - 1;
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> Ecdf::grid(std::size_t points) const {
+  MPE_EXPECTS(points >= 2);
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, (*this)(x));
+  }
+  return out;
+}
+
+}  // namespace mpe::stats

@@ -1,0 +1,34 @@
+// Empirical cumulative distribution function over a sample.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mpe::stats {
+
+/// Right-continuous empirical CDF built from a sample.
+class Ecdf {
+ public:
+  /// Copies and sorts the sample. Requires a non-empty sample.
+  explicit Ecdf(std::span<const double> xs);
+
+  /// F_n(x) = (#points <= x) / n.
+  double operator()(double x) const;
+
+  /// Empirical quantile: smallest sample value v with F_n(v) >= q.
+  double quantile(double q) const;
+
+  /// Sorted sample values.
+  const std::vector<double>& sorted() const { return sorted_; }
+
+  std::size_t size() const { return sorted_.size(); }
+
+  /// Evaluation grid covering [min, max] with `points` equally spaced x's,
+  /// paired with F_n(x). Useful for plotting / curve fitting.
+  std::vector<std::pair<double, double>> grid(std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace mpe::stats

@@ -1,0 +1,49 @@
+#include "stats/frechet.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace mpe::stats {
+
+Frechet::Frechet(double alpha, double sigma, double mu)
+    : alpha_(alpha), sigma_(sigma), mu_(mu) {
+  MPE_EXPECTS(alpha > 0.0);
+  MPE_EXPECTS(sigma > 0.0);
+}
+
+double Frechet::cdf(double x) const {
+  if (x <= mu_) return 0.0;
+  return std::exp(-std::pow((x - mu_) / sigma_, -alpha_));
+}
+
+double Frechet::pdf(double x) const {
+  if (x <= mu_) return 0.0;
+  const double z = (x - mu_) / sigma_;
+  return alpha_ / sigma_ * std::pow(z, -alpha_ - 1.0) *
+         std::exp(-std::pow(z, -alpha_));
+}
+
+double Frechet::log_pdf(double x) const {
+  if (x <= mu_) return -std::numeric_limits<double>::infinity();
+  const double z = (x - mu_) / sigma_;
+  return std::log(alpha_) - std::log(sigma_) -
+         (alpha_ + 1.0) * std::log(z) - std::pow(z, -alpha_);
+}
+
+double Frechet::quantile(double q) const {
+  MPE_EXPECTS(q > 0.0 && q < 1.0);
+  return mu_ + sigma_ * std::pow(-std::log(q), -1.0 / alpha_);
+}
+
+double Frechet::sample(Rng& rng) const {
+  return quantile(1.0 - rng.uniform() * (1.0 - 1e-16));
+}
+
+double Frechet::mean() const {
+  MPE_EXPECTS_MSG(alpha_ > 1.0, "Frechet mean requires alpha > 1");
+  return mu_ + sigma_ * std::exp(std::lgamma(1.0 - 1.0 / alpha_));
+}
+
+}  // namespace mpe::stats

@@ -1,0 +1,39 @@
+// Fréchet (Type-II / G_{1,alpha}) extreme-value distribution for maxima:
+//   G(x) = exp(-((x - mu)/sigma)^{-alpha})   for x > mu
+// Limiting law of maxima when the parent has a power-law (infinite) upper
+// tail. The paper rules this out for power (omega(F) < inf) — we implement it
+// for the domain-of-attraction classifier and as a negative control.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace mpe::stats {
+
+/// Fréchet distribution with shape alpha, scale sigma, location mu.
+class Frechet {
+ public:
+  Frechet(double alpha, double sigma, double mu = 0.0);
+
+  double alpha() const { return alpha_; }
+  double sigma() const { return sigma_; }
+  double mu() const { return mu_; }
+
+  double cdf(double x) const;
+  double pdf(double x) const;
+  double log_pdf(double x) const;
+
+  /// Inverse CDF; q in (0, 1).
+  double quantile(double q) const;
+
+  double sample(Rng& rng) const;
+
+  /// Mean (finite only for alpha > 1).
+  double mean() const;
+
+ private:
+  double alpha_;
+  double sigma_;
+  double mu_;
+};
+
+}  // namespace mpe::stats

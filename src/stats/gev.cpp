@@ -1,0 +1,77 @@
+#include "stats/gev.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace mpe::stats {
+
+Gev::Gev(GevParams p) : p_(p) { MPE_EXPECTS(p.sigma > 0.0); }
+
+Gev::Gev(double xi, double mu, double sigma) : Gev(GevParams{xi, mu, sigma}) {}
+
+double Gev::cdf(double x) const {
+  const double z = (x - p_.mu) / p_.sigma;
+  if (p_.xi == 0.0) return std::exp(-std::exp(-z));
+  const double t = 1.0 + p_.xi * z;
+  if (t <= 0.0) return p_.xi < 0.0 ? 1.0 : 0.0;
+  return std::exp(-std::pow(t, -1.0 / p_.xi));
+}
+
+double Gev::pdf(double x) const {
+  const double z = (x - p_.mu) / p_.sigma;
+  if (p_.xi == 0.0) {
+    return std::exp(-z - std::exp(-z)) / p_.sigma;
+  }
+  const double t = 1.0 + p_.xi * z;
+  if (t <= 0.0) return 0.0;
+  const double tp = std::pow(t, -1.0 / p_.xi);
+  return tp / (t * p_.sigma) * std::exp(-tp);
+}
+
+double Gev::log_pdf(double x) const {
+  const double p = pdf(x);
+  return p > 0.0 ? std::log(p) : -std::numeric_limits<double>::infinity();
+}
+
+double Gev::quantile(double q) const {
+  MPE_EXPECTS(q > 0.0 && q <= 1.0);
+  if (q == 1.0) {
+    MPE_EXPECTS_MSG(p_.xi < 0.0, "q=1 requires a finite right endpoint");
+    return right_endpoint();
+  }
+  const double w = -std::log(q);
+  if (p_.xi == 0.0) return p_.mu - p_.sigma * std::log(w);
+  return p_.mu + p_.sigma * (std::pow(w, -p_.xi) - 1.0) / p_.xi;
+}
+
+double Gev::sample(Rng& rng) const {
+  return quantile(1.0 - rng.uniform() * (1.0 - 1e-16));
+}
+
+double Gev::right_endpoint() const {
+  if (p_.xi < 0.0) return p_.mu - p_.sigma / p_.xi;
+  return std::numeric_limits<double>::infinity();
+}
+
+Gev Gev::from_weibull(const WeibullParams& w) {
+  MPE_EXPECTS(w.alpha > 0.0 && w.beta > 0.0);
+  const double xi = -1.0 / w.alpha;
+  const double sw = std::pow(w.beta, -1.0 / w.alpha);  // EVT scale a_n
+  const double sigma = sw / w.alpha;
+  const double mu = w.mu - sw;
+  return Gev(xi, mu, sigma);
+}
+
+WeibullParams Gev::to_weibull() const {
+  MPE_EXPECTS_MSG(p_.xi < 0.0, "only xi < 0 maps to reversed Weibull");
+  WeibullParams w;
+  w.alpha = -1.0 / p_.xi;
+  const double sw = w.alpha * p_.sigma;
+  w.beta = std::pow(sw, -w.alpha);
+  w.mu = right_endpoint();
+  return w;
+}
+
+}  // namespace mpe::stats

@@ -1,0 +1,56 @@
+// Unified Generalized Extreme Value (GEV / von Mises–Jenkinson) family:
+//
+//   G(x; xi, mu, sigma) = exp(-(1 + xi (x-mu)/sigma)^{-1/xi}),   xi != 0
+//                       = exp(-exp(-(x-mu)/sigma)),              xi  = 0
+//
+// xi < 0 <=> reversed Weibull (finite endpoint at mu - sigma/xi),
+// xi = 0 <=> Gumbel, xi > 0 <=> Fréchet. Conversions to/from the paper's
+// (alpha, beta, mu) Weibull parameterization are provided: xi = -1/alpha.
+#pragma once
+
+#include "stats/weibull.hpp"
+#include "util/rng.hpp"
+
+namespace mpe::stats {
+
+/// GEV parameter triple (shape xi, location mu, scale sigma).
+struct GevParams {
+  double xi = 0.0;
+  double mu = 0.0;
+  double sigma = 1.0;
+};
+
+/// Generalized extreme value distribution.
+class Gev {
+ public:
+  explicit Gev(GevParams p);
+  Gev(double xi, double mu, double sigma);
+
+  const GevParams& params() const { return p_; }
+  double xi() const { return p_.xi; }
+  double mu() const { return p_.mu; }
+  double sigma() const { return p_.sigma; }
+
+  double cdf(double x) const;
+  double pdf(double x) const;
+  double log_pdf(double x) const;
+
+  /// Inverse CDF; q in (0, 1), plus q == 1 when xi < 0 (finite endpoint).
+  double quantile(double q) const;
+
+  double sample(Rng& rng) const;
+
+  /// Right endpoint: mu - sigma/xi for xi < 0, +inf otherwise.
+  double right_endpoint() const;
+
+  /// Converts the paper's (alpha, beta, mu) reversed-Weibull triple into GEV.
+  static Gev from_weibull(const WeibullParams& w);
+
+  /// Converts to the paper's parameterization. Requires xi < 0.
+  WeibullParams to_weibull() const;
+
+ private:
+  GevParams p_;
+};
+
+}  // namespace mpe::stats

@@ -1,0 +1,46 @@
+#include "stats/gumbel.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace mpe::stats {
+
+namespace {
+constexpr double kEulerGamma = 0.5772156649015329;
+}
+
+Gumbel::Gumbel(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  MPE_EXPECTS(sigma > 0.0);
+}
+
+double Gumbel::cdf(double x) const {
+  return std::exp(-std::exp(-(x - mu_) / sigma_));
+}
+
+double Gumbel::pdf(double x) const {
+  const double z = (x - mu_) / sigma_;
+  return std::exp(-z - std::exp(-z)) / sigma_;
+}
+
+double Gumbel::log_pdf(double x) const {
+  const double z = (x - mu_) / sigma_;
+  return -z - std::exp(-z) - std::log(sigma_);
+}
+
+double Gumbel::quantile(double q) const {
+  MPE_EXPECTS(q > 0.0 && q < 1.0);
+  return mu_ - sigma_ * std::log(-std::log(q));
+}
+
+double Gumbel::sample(Rng& rng) const {
+  return quantile(1.0 - rng.uniform() * (1.0 - 1e-16));
+}
+
+double Gumbel::mean() const { return mu_ + kEulerGamma * sigma_; }
+
+double Gumbel::variance() const {
+  return M_PI * M_PI * sigma_ * sigma_ / 6.0;
+}
+
+}  // namespace mpe::stats

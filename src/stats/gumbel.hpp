@@ -1,0 +1,38 @@
+// Gumbel (Type-I / G_3) extreme-value distribution for maxima:
+//   G(x) = exp(-exp(-(x - mu)/sigma))
+// Limiting law of maxima when the parent has an exponential-like upper tail.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace mpe::stats {
+
+/// Gumbel distribution with location mu and scale sigma.
+class Gumbel {
+ public:
+  Gumbel(double mu, double sigma);
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+  double cdf(double x) const;
+  double pdf(double x) const;
+  double log_pdf(double x) const;
+
+  /// Inverse CDF; q in (0, 1).
+  double quantile(double q) const;
+
+  double sample(Rng& rng) const;
+
+  /// Mean = mu + gamma_E * sigma.
+  double mean() const;
+
+  /// Variance = pi^2 sigma^2 / 6.
+  double variance() const;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace mpe::stats

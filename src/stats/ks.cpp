@@ -1,0 +1,44 @@
+#include "stats/ks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace mpe::stats {
+
+double kolmogorov_q(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-16) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_test(std::span<const double> xs,
+                 const std::function<double(double)>& cdf) {
+  MPE_EXPECTS(!xs.empty());
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double fx = cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::fabs(fx - lo), std::fabs(hi - fx)});
+  }
+  KsResult r;
+  r.statistic = d;
+  const double sqrtn = std::sqrt(n);
+  r.p_value = kolmogorov_q((sqrtn + 0.12 + 0.11 / sqrtn) * d);
+  return r;
+}
+
+}  // namespace mpe::stats

@@ -1,0 +1,27 @@
+// One-sample Kolmogorov–Smirnov goodness-of-fit test against an arbitrary
+// continuous CDF. Used to quantify how close sample-maxima distributions are
+// to their fitted Weibull/normal laws (Figures 1-2 diagnostics).
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace mpe::stats {
+
+/// KS test outcome.
+struct KsResult {
+  double statistic = 0.0;  ///< D_n = sup_x |F_n(x) - F(x)|
+  double p_value = 0.0;    ///< asymptotic p-value (Kolmogorov distribution)
+};
+
+/// Computes D_n against the hypothesized continuous CDF and the asymptotic
+/// p-value via the Kolmogorov series with the Marsaglia small-n correction
+/// factor (sqrt(n) + 0.12 + 0.11/sqrt(n)).
+KsResult ks_test(std::span<const double> xs,
+                 const std::function<double(double)>& cdf);
+
+/// Survival function of the Kolmogorov distribution, Q(lambda) =
+/// 2 sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2).
+double kolmogorov_q(double lambda);
+
+}  // namespace mpe::stats

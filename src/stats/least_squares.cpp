@@ -1,0 +1,124 @@
+#include "stats/least_squares.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/optimize.hpp"
+#include "util/contracts.hpp"
+
+namespace mpe::stats {
+
+namespace {
+
+LsqFitQuality grade(const Ecdf& ecdf,
+                    const std::function<double(double)>& cdf,
+                    std::size_t grid_points) {
+  LsqFitQuality q;
+  double se = 0.0;
+  const auto grid = ecdf.grid(grid_points);
+  for (const auto& [x, fe] : grid) {
+    const double d = fe - cdf(x);
+    se += d * d;
+    q.max_abs = std::max(q.max_abs, std::fabs(d));
+  }
+  q.rmse = std::sqrt(se / static_cast<double>(grid.size()));
+  return q;
+}
+
+}  // namespace
+
+WeibullLsqFit fit_weibull_lsq(std::span<const double> xs,
+                              std::size_t grid_points) {
+  MPE_EXPECTS(xs.size() >= 5);
+  const Ecdf ecdf(xs);
+  const double xmax = ecdf.sorted().back();
+  const double xmin = ecdf.sorted().front();
+  const double spread = std::max(xmax - xmin, 1e-12 * (std::fabs(xmax) + 1.0));
+  const auto grid = ecdf.grid(grid_points);
+
+  // Parameterization enforcing the constraints:
+  //   alpha = exp(p0) > 0,  sigma = exp(p1) > 0,  mu = xmax + spread*exp(p2)
+  // with beta = sigma^{-alpha}.
+  auto unpack = [&](const std::vector<double>& p) {
+    WeibullParams w;
+    w.alpha = std::exp(p[0]);
+    const double sigma = std::exp(p[1]);
+    w.beta = std::pow(sigma, -w.alpha);
+    w.mu = xmax + spread * std::exp(p[2]);
+    return w;
+  };
+
+  auto objective = [&](const std::vector<double>& p) {
+    const WeibullParams w = unpack(p);
+    if (!std::isfinite(w.beta) || w.beta <= 0.0 || w.alpha > 500.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const ReversedWeibull g(w);
+    double se = 0.0;
+    for (const auto& [x, fe] : grid) {
+      const double d = fe - g.cdf(x);
+      se += d * d;
+    }
+    return se;
+  };
+
+  // Initial guess: alpha ~ 3, sigma ~ distance from mean to endpoint guess.
+  const double mu0_off = 0.1;  // mu starts slightly past the sample max
+  std::vector<double> x0 = {std::log(3.0),
+                            std::log(std::max(spread * 0.5, 1e-9)),
+                            std::log(mu0_off)};
+  NelderMeadOptions opt;
+  opt.max_iter = 4000;
+  opt.initial_step = 0.35;
+  const auto nm = nelder_mead(objective, x0, opt);
+
+  WeibullLsqFit fit;
+  fit.params = unpack(nm.x);
+  const ReversedWeibull g(fit.params);
+  fit.quality = grade(ecdf, [&](double x) { return g.cdf(x); }, grid_points);
+  fit.quality.iterations = nm.iterations;
+  fit.quality.converged = nm.converged;
+  return fit;
+}
+
+NormalLsqFit fit_normal_lsq(std::span<const double> xs,
+                            std::size_t grid_points) {
+  MPE_EXPECTS(xs.size() >= 5);
+  const Ecdf ecdf(xs);
+  const auto grid = ecdf.grid(grid_points);
+
+  auto objective = [&](const std::vector<double>& p) {
+    const double sd = std::exp(p[1]);
+    if (!std::isfinite(sd) || sd <= 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const Normal nd(p[0], sd);
+    double se = 0.0;
+    for (const auto& [x, fe] : grid) {
+      const double d = fe - nd.cdf(x);
+      se += d * d;
+    }
+    return se;
+  };
+
+  const double m0 = mean(xs);
+  const double s0 = xs.size() >= 2 ? stddev(xs) : 1.0;
+  std::vector<double> x0 = {m0, std::log(std::max(s0, 1e-12))};
+  NelderMeadOptions opt;
+  opt.max_iter = 2000;
+  opt.initial_step = 0.2;
+  const auto nm = nelder_mead(objective, x0, opt);
+
+  NormalLsqFit fit;
+  fit.mean = nm.x[0];
+  fit.stddev = std::exp(nm.x[1]);
+  const Normal nd(fit.mean, fit.stddev);
+  fit.quality = grade(ecdf, [&](double x) { return nd.cdf(x); }, grid_points);
+  fit.quality.iterations = nm.iterations;
+  fit.quality.converged = nm.converged;
+  return fit;
+}
+
+}  // namespace mpe::stats

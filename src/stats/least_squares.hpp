@@ -1,0 +1,44 @@
+// Least-mean-squared-error CDF fitting, as used in the paper's Figures 1-2:
+// fit a reversed-Weibull or normal CDF to the empirical CDF of a sample.
+// (Used for visualization/diagnostics; the estimation pipeline uses MLE.)
+#pragma once
+
+#include <span>
+
+#include "stats/normal.hpp"
+#include "stats/weibull.hpp"
+
+namespace mpe::stats {
+
+/// Outcome of a least-squares CDF fit.
+struct LsqFitQuality {
+  double rmse = 0.0;       ///< RMS error between ECDF and fitted CDF
+  double max_abs = 0.0;    ///< max |ECDF - CDF| over the grid (KS-like)
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Reversed-Weibull least-squares fit result.
+struct WeibullLsqFit {
+  WeibullParams params;
+  LsqFitQuality quality;
+};
+
+/// Normal least-squares fit result.
+struct NormalLsqFit {
+  double mean = 0.0;
+  double stddev = 1.0;
+  LsqFitQuality quality;
+};
+
+/// Fits G(x; alpha, beta, mu) to the ECDF of `xs` by minimizing the mean
+/// squared CDF error on an evaluation grid (Nelder–Mead over a constrained
+/// reparameterization). `grid_points` controls fit resolution.
+WeibullLsqFit fit_weibull_lsq(std::span<const double> xs,
+                              std::size_t grid_points = 200);
+
+/// Fits a normal CDF to the ECDF of `xs` by least squares.
+NormalLsqFit fit_normal_lsq(std::span<const double> xs,
+                            std::size_t grid_points = 200);
+
+}  // namespace mpe::stats

@@ -1,0 +1,44 @@
+#include "stats/normal.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace mpe::stats {
+
+namespace {
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+constexpr double kSqrt2 = 1.4142135623730951;
+}  // namespace
+
+Normal::Normal(double mean, double stddev) : mean_(mean), stddev_(stddev) {
+  MPE_EXPECTS(stddev > 0.0);
+}
+
+double Normal::pdf(double x) const {
+  const double z = (x - mean_) / stddev_;
+  return kInvSqrt2Pi / stddev_ * std::exp(-0.5 * z * z);
+}
+
+double Normal::cdf(double x) const { return std_cdf((x - mean_) / stddev_); }
+
+double Normal::quantile(double q) const {
+  return mean_ + stddev_ * std_quantile(q);
+}
+
+double Normal::sample(Rng& rng) const { return rng.normal(mean_, stddev_); }
+
+double Normal::std_cdf(double z) { return 0.5 * std::erfc(-z / kSqrt2); }
+
+double Normal::std_quantile(double q) {
+  MPE_EXPECTS(q > 0.0 && q < 1.0);
+  return -kSqrt2 * math::erfc_inv(2.0 * q);
+}
+
+double Normal::two_sided_critical(double l) {
+  MPE_EXPECTS(l > 0.0 && l < 1.0);
+  return std_quantile(0.5 + 0.5 * l);
+}
+
+}  // namespace mpe::stats

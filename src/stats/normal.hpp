@@ -1,0 +1,43 @@
+// Normal distribution: density, CDF, quantile, sampling.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace mpe::stats {
+
+/// Normal (Gaussian) distribution N(mean, stddev^2).
+class Normal {
+ public:
+  Normal(double mean, double stddev);
+
+  double mean() const { return mean_; }
+  double stddev() const { return stddev_; }
+
+  /// Probability density at x.
+  double pdf(double x) const;
+
+  /// Cumulative distribution function at x.
+  double cdf(double x) const;
+
+  /// Inverse CDF; q in (0, 1).
+  double quantile(double q) const;
+
+  /// Draws one variate.
+  double sample(Rng& rng) const;
+
+  /// Standard-normal CDF Phi(z).
+  static double std_cdf(double z);
+
+  /// Standard-normal quantile Phi^{-1}(q), q in (0, 1).
+  static double std_quantile(double q);
+
+  /// Two-sided critical value u_l with P(|Z| <= u_l) = l, per Eqn (3.6) of
+  /// the paper. l in (0, 1).
+  static double two_sided_critical(double l);
+
+ private:
+  double mean_;
+  double stddev_;
+};
+
+}  // namespace mpe::stats

@@ -1,0 +1,128 @@
+#include "stats/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace mpe::stats {
+
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const NelderMeadOptions& opt) {
+  MPE_EXPECTS(!x0.empty());
+  const std::size_t n = x0.size();
+
+  if (n == 1) {
+    // A two-point simplex degenerates (the reflection acceptance band is
+    // empty); bracket + golden section is strictly better in 1-D.
+    auto f1 = [&](double x) { return f({x}); };
+    double step = opt.initial_step * std::fabs(x0[0]);
+    if (step == 0.0) step = opt.initial_step;
+    double lo = x0[0] - step, mid = x0[0], hi = x0[0] + step;
+    const bool bracketed = math::bracket_minimum(f1, lo, mid, hi);
+    const auto g = math::golden_minimize(f1, lo, hi, 1e-10, opt.max_iter);
+    NelderMeadResult r;
+    r.x = {g.x};
+    r.f = g.f;
+    r.iterations = g.iterations;
+    r.converged = bracketed && g.converged;
+    return r;
+  }
+
+  // Build the initial simplex: x0 plus n perturbed vertices.
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double step = opt.initial_step * std::fabs(x0[i]);
+    if (step == 0.0) step = opt.initial_step;
+    simplex[i + 1][i] += step;
+  }
+  std::vector<double> fv(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) fv[i] = f(simplex[i]);
+
+  NelderMeadResult result;
+  std::vector<std::size_t> order(n + 1);
+
+  for (int iter = 1; iter <= opt.max_iter; ++iter) {
+    result.iterations = iter;
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fv[a] < fv[b]; });
+    const std::size_t best = order[0];
+    const std::size_t worst = order[n];
+    const std::size_t second_worst = order[n - 1];
+
+    const double spread = std::fabs(fv[worst] - fv[best]);
+    if (spread <= opt.ftol * (std::fabs(fv[best]) + opt.ftol)) {
+      result.converged = true;
+      result.x = simplex[best];
+      result.f = fv[best];
+      return result;
+    }
+
+    // Centroid of all vertices except the worst.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t d = 0; d < n; ++d) centroid[d] += simplex[i][d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](double coeff) {
+      std::vector<double> p(n);
+      for (std::size_t d = 0; d < n; ++d) {
+        p[d] = centroid[d] + coeff * (simplex[worst][d] - centroid[d]);
+      }
+      return p;
+    };
+
+    // Reflection.
+    auto xr = blend(-1.0);
+    const double fr = f(xr);
+    if (fr < fv[best]) {
+      // Expansion.
+      auto xe = blend(-2.0);
+      const double fe = f(xe);
+      if (fe < fr) {
+        simplex[worst] = std::move(xe);
+        fv[worst] = fe;
+      } else {
+        simplex[worst] = std::move(xr);
+        fv[worst] = fr;
+      }
+    } else if (fr < fv[second_worst]) {
+      simplex[worst] = std::move(xr);
+      fv[worst] = fr;
+    } else {
+      // Contraction (outside if reflection helped at all, inside otherwise).
+      const double coeff = fr < fv[worst] ? -0.5 : 0.5;
+      auto xc = blend(coeff);
+      const double fc = f(xc);
+      if (fc < std::min(fr, fv[worst])) {
+        simplex[worst] = std::move(xc);
+        fv[worst] = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 0; i <= n; ++i) {
+          if (i == best) continue;
+          for (std::size_t d = 0; d < n; ++d) {
+            simplex[i][d] =
+                simplex[best][d] + 0.5 * (simplex[i][d] - simplex[best][d]);
+          }
+          fv[i] = f(simplex[i]);
+        }
+      }
+    }
+  }
+
+  const auto best_it = std::min_element(fv.begin(), fv.end());
+  const auto best_idx = static_cast<std::size_t>(best_it - fv.begin());
+  result.x = simplex[best_idx];
+  result.f = fv[best_idx];
+  result.converged = false;
+  return result;
+}
+
+}  // namespace mpe::stats

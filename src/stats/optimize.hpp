@@ -1,0 +1,32 @@
+// Derivative-free multidimensional minimization (Nelder–Mead simplex).
+// Used by the least-squares CDF fitters; the MLE path uses dedicated 1-D
+// profile routines instead (more robust for the non-regular Weibull problem).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace mpe::stats {
+
+/// Options controlling the Nelder–Mead run.
+struct NelderMeadOptions {
+  int max_iter = 2000;
+  double ftol = 1e-12;    ///< stop when simplex f-spread falls below this
+  double initial_step = 0.1;  ///< relative initial simplex size
+};
+
+/// Result of a Nelder–Mead run.
+struct NelderMeadResult {
+  std::vector<double> x;
+  double f = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes `f` starting at `x0`. The objective may return +inf to encode
+/// infeasible regions (the simplex walks away from them).
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const NelderMeadOptions& opt = {});
+
+}  // namespace mpe::stats

@@ -1,0 +1,90 @@
+#include "stats/student_t.hpp"
+
+#include <cmath>
+
+#include "stats/normal.hpp"
+#include "util/contracts.hpp"
+#include "util/math.hpp"
+
+namespace mpe::stats {
+
+StudentT::StudentT(double nu) : nu_(nu) { MPE_EXPECTS(nu > 0.0); }
+
+double StudentT::pdf(double t) const {
+  const double lognorm = std::lgamma(0.5 * (nu_ + 1.0)) -
+                         std::lgamma(0.5 * nu_) -
+                         0.5 * std::log(nu_ * M_PI);
+  return std::exp(lognorm -
+                  0.5 * (nu_ + 1.0) * std::log1p(t * t / nu_));
+}
+
+double StudentT::cdf(double t) const {
+  // F(t) = 1 - 0.5 I_{nu/(nu+t^2)}(nu/2, 1/2) for t >= 0, symmetric else.
+  const double x = nu_ / (nu_ + t * t);
+  const double tail = 0.5 * math::incomplete_beta(0.5 * nu_, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+double StudentT::quantile(double q) const {
+  MPE_EXPECTS(q > 0.0 && q < 1.0);
+  if (q == 0.5) return 0.0;
+  // Bracket using the normal quantile as a starting scale, then Brent.
+  const double z = Normal::std_quantile(q);
+  double hi = std::fabs(z) + 1.0;
+  auto f = [&](double t) { return cdf(t) - q; };
+  // Expand the bracket until it straddles the root (heavy tails need room).
+  double lo = -hi;
+  for (int i = 0; i < 200 && f(hi) < 0.0; ++i) hi *= 2.0;
+  for (int i = 0; i < 200 && f(lo) > 0.0; ++i) lo *= 2.0;
+  const auto r = math::brent_root(f, lo, hi, 1e-12);
+  return r.x;
+}
+
+double StudentT::two_sided_critical(double l) const {
+  MPE_EXPECTS(l > 0.0 && l < 1.0);
+  return quantile(0.5 + 0.5 * l);
+}
+
+double StudentT::sample(Rng& rng) const {
+  // T = Z / sqrt(V/nu), V ~ chi^2(nu) built from gamma sampling via
+  // Marsaglia–Tsang for shape nu/2.
+  const double z = rng.normal();
+  const double shape = 0.5 * nu_;
+  double v;
+  if (shape >= 1.0) {
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+      double x = rng.normal();
+      double u = 1.0 + c * x;
+      if (u <= 0.0) continue;
+      u = u * u * u;
+      const double uu = rng.uniform();
+      if (uu < 1.0 - 0.0331 * x * x * x * x ||
+          std::log(uu) < 0.5 * x * x + d * (1.0 - u + std::log(u))) {
+        v = d * u;
+        break;
+      }
+    }
+  } else {
+    // Boost for shape < 1: gamma(a) = gamma(a+1) * U^{1/a}.
+    const double d = shape + 2.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+      double x = rng.normal();
+      double u = 1.0 + c * x;
+      if (u <= 0.0) continue;
+      u = u * u * u;
+      const double uu = rng.uniform();
+      if (uu < 1.0 - 0.0331 * x * x * x * x ||
+          std::log(uu) < 0.5 * x * x + d * (1.0 - u + std::log(u))) {
+        v = d * u * std::pow(rng.uniform(), 1.0 / shape);
+        break;
+      }
+    }
+  }
+  v *= 2.0;  // gamma(nu/2, scale 2) == chi^2(nu)
+  return z / std::sqrt(v / nu_);
+}
+
+}  // namespace mpe::stats

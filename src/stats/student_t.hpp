@@ -1,0 +1,35 @@
+// Student's t distribution: CDF, quantile, and the two-sided critical value
+// t_{l,nu} used by the paper's iterative stopping rule (Eqn 3.8).
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace mpe::stats {
+
+/// Student's t distribution with `nu` degrees of freedom.
+class StudentT {
+ public:
+  explicit StudentT(double nu);
+
+  double dof() const { return nu_; }
+
+  /// Probability density at t.
+  double pdf(double t) const;
+
+  /// Cumulative distribution function at t (incomplete-beta based).
+  double cdf(double t) const;
+
+  /// Inverse CDF; q in (0, 1).
+  double quantile(double q) const;
+
+  /// Two-sided critical value: P(|T| <= t) = l, l in (0, 1).
+  double two_sided_critical(double l) const;
+
+  /// Draws one variate (ratio of normal to sqrt of chi-square/nu).
+  double sample(Rng& rng) const;
+
+ private:
+  double nu_;
+};
+
+}  // namespace mpe::stats

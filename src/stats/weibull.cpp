@@ -1,0 +1,64 @@
+#include "stats/weibull.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace mpe::stats {
+
+ReversedWeibull::ReversedWeibull(WeibullParams p) : p_(p) {
+  MPE_EXPECTS(p.alpha > 0.0);
+  MPE_EXPECTS(p.beta > 0.0);
+}
+
+ReversedWeibull::ReversedWeibull(double alpha, double beta, double mu)
+    : ReversedWeibull(WeibullParams{alpha, beta, mu}) {}
+
+double ReversedWeibull::cdf(double x) const {
+  if (x >= p_.mu) return 1.0;
+  return std::exp(-p_.beta * std::pow(p_.mu - x, p_.alpha));
+}
+
+double ReversedWeibull::pdf(double x) const {
+  if (x >= p_.mu) return 0.0;
+  const double z = p_.mu - x;
+  return p_.alpha * p_.beta * std::pow(z, p_.alpha - 1.0) *
+         std::exp(-p_.beta * std::pow(z, p_.alpha));
+}
+
+double ReversedWeibull::log_pdf(double x) const {
+  if (x >= p_.mu) return -std::numeric_limits<double>::infinity();
+  const double z = p_.mu - x;
+  return std::log(p_.alpha) + std::log(p_.beta) +
+         (p_.alpha - 1.0) * std::log(z) - p_.beta * std::pow(z, p_.alpha);
+}
+
+double ReversedWeibull::quantile(double q) const {
+  MPE_EXPECTS(q > 0.0 && q <= 1.0);
+  if (q == 1.0) return p_.mu;
+  // q = exp(-beta z^alpha)  =>  z = (-log q / beta)^{1/alpha}
+  return p_.mu - std::pow(-std::log(q) / p_.beta, 1.0 / p_.alpha);
+}
+
+double ReversedWeibull::sample(Rng& rng) const {
+  // Inversion on U in (0, 1]; uniform() is [0,1) so flip to avoid log(0).
+  return quantile(1.0 - rng.uniform());
+}
+
+double ReversedWeibull::sigma() const {
+  return std::pow(p_.beta, -1.0 / p_.alpha);
+}
+
+double ReversedWeibull::mean() const {
+  return p_.mu - sigma() * std::exp(std::lgamma(1.0 + 1.0 / p_.alpha));
+}
+
+double ReversedWeibull::variance() const {
+  const double g1 = std::exp(std::lgamma(1.0 + 1.0 / p_.alpha));
+  const double g2 = std::exp(std::lgamma(1.0 + 2.0 / p_.alpha));
+  const double s = sigma();
+  return s * s * (g2 - g1 * g1);
+}
+
+}  // namespace mpe::stats

@@ -1,0 +1,67 @@
+// The paper's generalized (reversed) Weibull extreme-value distribution for
+// maxima with a finite right endpoint:
+//
+//   G(x; alpha, beta, mu) = exp(-beta * (mu - x)^alpha)   for x <= mu
+//                         = 1                             for x >  mu
+//
+// (Eqn 2.16 of the paper; alpha = shape, beta = scale, mu = location = right
+// endpoint = the quantity we ultimately estimate as maximum power.)
+//
+// This is the Type-II ("Weibull") Fisher–Tippett law G_{2,alpha} shifted and
+// scaled: if M_n is the max of n i.i.d. draws from any F with a finite right
+// endpoint satisfying the von Mises condition, (M_n - b_n)/a_n converges to
+// G_{2,alpha} with b_n = omega(F).
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace mpe::stats {
+
+/// Parameter triple of the generalized reversed-Weibull law.
+struct WeibullParams {
+  double alpha = 1.0;  ///< shape (> 0; MLE theory needs > 2)
+  double beta = 1.0;   ///< scale (> 0); beta = (1/a_n)^alpha
+  double mu = 0.0;     ///< location = right endpoint omega(F)
+};
+
+/// Reversed Weibull distribution of maxima (finite right endpoint mu).
+class ReversedWeibull {
+ public:
+  explicit ReversedWeibull(WeibullParams p);
+  ReversedWeibull(double alpha, double beta, double mu);
+
+  const WeibullParams& params() const { return p_; }
+  double alpha() const { return p_.alpha; }
+  double beta() const { return p_.beta; }
+  double mu() const { return p_.mu; }
+
+  /// CDF G(x). Equals 1 for x >= mu.
+  double cdf(double x) const;
+
+  /// Density g(x) = alpha*beta*(mu-x)^{alpha-1} exp(-beta (mu-x)^alpha).
+  double pdf(double x) const;
+
+  /// Log-density; -inf for x >= mu.
+  double log_pdf(double x) const;
+
+  /// Inverse CDF; q in (0, 1]. quantile(1) == mu (the right endpoint).
+  double quantile(double q) const;
+
+  /// Draws one variate by inversion.
+  double sample(Rng& rng) const;
+
+  /// Distribution mean: mu - beta^{-1/alpha} * Gamma(1 + 1/alpha).
+  double mean() const;
+
+  /// Distribution variance.
+  double variance() const;
+
+  /// Conventional scale sigma = beta^{-1/alpha} (the a_n of the EVT
+  /// normalization).
+  double sigma() const;
+
+ private:
+  WeibullParams p_;
+};
+
+}  // namespace mpe::stats

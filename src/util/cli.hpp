@@ -1,0 +1,37 @@
+// Tiny command-line flag parser for bench binaries and examples.
+// Supports `--name value` and `--name=value`; unknown flags raise an error so
+// typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace mpe {
+
+/// Parses `--key value` / `--key=value` argument lists.
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True if the flag was supplied.
+  bool has(const std::string& name) const;
+
+  /// String value with default.
+  std::string get(const std::string& name, const std::string& fallback) const;
+
+  /// Integer value with default (throws on malformed input).
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+
+  /// Double value with default (throws on malformed input).
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Declares the set of accepted flags; throws listing any unknown ones.
+  void check_known(const std::set<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace mpe

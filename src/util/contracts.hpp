@@ -1,0 +1,55 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 Expects / I.8 Ensures). Violations throw, so callers can test error
+// paths; internal invariant failures are programming errors and also throw
+// (std::logic_error) rather than aborting, keeping the library embeddable.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mpe {
+
+/// Thrown when a function precondition is violated by the caller.
+class ContractViolation : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+}  // namespace mpe
+
+/// Precondition check: throws mpe::ContractViolation when `cond` is false.
+#define MPE_EXPECTS(cond)                                                \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::mpe::detail::contract_fail("Precondition", #cond, __FILE__,      \
+                                   __LINE__, std::string{});             \
+  } while (false)
+
+/// Precondition check with an explanatory message.
+#define MPE_EXPECTS_MSG(cond, msg)                                       \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::mpe::detail::contract_fail("Precondition", #cond, __FILE__,      \
+                                   __LINE__, (msg));                     \
+  } while (false)
+
+/// Internal invariant / postcondition check.
+#define MPE_ENSURES(cond)                                                \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::mpe::detail::contract_fail("Invariant", #cond, __FILE__,         \
+                                   __LINE__, std::string{});             \
+  } while (false)

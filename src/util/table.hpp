@@ -1,0 +1,41 @@
+// Minimal ASCII table formatter used by the bench harnesses and examples to
+// print paper-style result tables with aligned columns.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mpe {
+
+/// Column-aligned ASCII table. Cells are strings; helpers format numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a header rule and column separators.
+  void print(std::ostream& os) const;
+
+  /// Formats a double with `digits` significant decimal places.
+  static std::string num(double v, int digits = 4);
+
+  /// Formats a value as a percentage string, e.g. 5.3%.
+  static std::string pct(double fraction, int digits = 1);
+
+  /// Formats an integer with no decoration.
+  static std::string integer(long long v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace mpe

@@ -1,0 +1,78 @@
+#include "vectors/generators.hpp"
+
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace mpe::vec {
+
+UniformPairGenerator::UniformPairGenerator(std::size_t width)
+    : width_(width) {
+  MPE_EXPECTS(width >= 1);
+}
+
+VectorPair UniformPairGenerator::generate(Rng& rng) const {
+  return VectorPair{random_vector(width_, rng), random_vector(width_, rng)};
+}
+
+std::string UniformPairGenerator::description() const {
+  return "uniform pairs, width " + std::to_string(width_);
+}
+
+HighActivityPairGenerator::HighActivityPairGenerator(std::size_t width,
+                                                     double min_activity)
+    : width_(width), min_activity_(min_activity) {
+  MPE_EXPECTS(width >= 1);
+  MPE_EXPECTS(min_activity >= 0.0 && min_activity < 1.0);
+}
+
+VectorPair HighActivityPairGenerator::generate(Rng& rng) const {
+  // Rejection sampling. Uniform pairs have mean activity 0.5, so thresholds
+  // up to ~0.45 accept quickly at realistic widths; guard against extreme
+  // settings with a bounded retry count and a constructive fallback.
+  for (int attempt = 0; attempt < 10'000; ++attempt) {
+    VectorPair p{random_vector(width_, rng), random_vector(width_, rng)};
+    if (p.activity() >= min_activity_) return p;
+  }
+  // Fallback: force the activity by flipping exactly ceil(width*min) lines.
+  VectorPair p;
+  p.first = random_vector(width_, rng);
+  p.second = p.first;
+  const auto flips =
+      static_cast<std::size_t>(min_activity_ * static_cast<double>(width_)) + 1;
+  for (std::size_t f = 0; f < flips && f < width_; ++f) {
+    std::size_t idx;
+    do {
+      idx = rng.below(width_);
+    } while (p.second[idx] != p.first[idx]);
+    p.second[idx] ^= 1;
+  }
+  return p;
+}
+
+std::string HighActivityPairGenerator::description() const {
+  return "high-activity pairs (>= " + std::to_string(min_activity_) +
+         "), width " + std::to_string(width_);
+}
+
+TransitionProbPairGenerator::TransitionProbPairGenerator(
+    std::size_t width, double transition_prob, double p1)
+    : width_(width), transition_prob_(transition_prob), p1_(p1) {
+  MPE_EXPECTS(width >= 1);
+  MPE_EXPECTS(transition_prob >= 0.0 && transition_prob <= 1.0);
+  MPE_EXPECTS(p1 >= 0.0 && p1 <= 1.0);
+}
+
+VectorPair TransitionProbPairGenerator::generate(Rng& rng) const {
+  VectorPair p;
+  p.first = biased_vector(width_, p1_, rng);
+  p.second = flip_with_probability(p.first, transition_prob_, rng);
+  return p;
+}
+
+std::string TransitionProbPairGenerator::description() const {
+  return "transition-prob " + std::to_string(transition_prob_) +
+         " pairs, width " + std::to_string(width_);
+}
+
+}  // namespace mpe::vec

@@ -1,0 +1,46 @@
+#include "vectors/input_vector.hpp"
+
+#include "util/contracts.hpp"
+
+namespace mpe::vec {
+
+std::size_t VectorPair::hamming() const {
+  MPE_EXPECTS(first.size() == second.size());
+  std::size_t h = 0;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    h += (first[i] != second[i]) ? 1 : 0;
+  }
+  return h;
+}
+
+double VectorPair::activity() const {
+  MPE_EXPECTS(!first.empty());
+  return static_cast<double>(hamming()) / static_cast<double>(first.size());
+}
+
+InputVector random_vector(std::size_t width, Rng& rng) {
+  MPE_EXPECTS(width >= 1);
+  InputVector v(width);
+  for (auto& bit : v) bit = rng.bernoulli(0.5) ? 1 : 0;
+  return v;
+}
+
+InputVector biased_vector(std::size_t width, double p1, Rng& rng) {
+  MPE_EXPECTS(width >= 1);
+  MPE_EXPECTS(p1 >= 0.0 && p1 <= 1.0);
+  InputVector v(width);
+  for (auto& bit : v) bit = rng.bernoulli(p1) ? 1 : 0;
+  return v;
+}
+
+InputVector flip_with_probability(const InputVector& base,
+                                  double transition_prob, Rng& rng) {
+  MPE_EXPECTS(transition_prob >= 0.0 && transition_prob <= 1.0);
+  InputVector v(base);
+  for (auto& bit : v) {
+    if (rng.bernoulli(transition_prob)) bit ^= 1;
+  }
+  return v;
+}
+
+}  // namespace mpe::vec

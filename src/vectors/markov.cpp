@@ -1,0 +1,102 @@
+#include "vectors/markov.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace mpe::vec {
+
+MarkovPairGenerator::MarkovPairGenerator(std::vector<double> p01,
+                                         std::vector<double> p10)
+    : p01_(std::move(p01)), p10_(std::move(p10)) {
+  MPE_EXPECTS(!p01_.empty());
+  MPE_EXPECTS(p01_.size() == p10_.size());
+  for (std::size_t i = 0; i < p01_.size(); ++i) {
+    MPE_EXPECTS(p01_[i] >= 0.0 && p01_[i] <= 1.0);
+    MPE_EXPECTS(p10_[i] >= 0.0 && p10_[i] <= 1.0);
+    MPE_EXPECTS_MSG(p01_[i] + p10_[i] > 0.0,
+                    "absorbing line: p01 + p10 must be positive");
+  }
+}
+
+MarkovPairGenerator::MarkovPairGenerator(std::size_t width, double p01,
+                                         double p10)
+    : MarkovPairGenerator(std::vector<double>(width, p01),
+                          std::vector<double>(width, p10)) {}
+
+double MarkovPairGenerator::stationary_one(std::size_t line) const {
+  MPE_EXPECTS(line < p01_.size());
+  return p01_[line] / (p01_[line] + p10_[line]);
+}
+
+double MarkovPairGenerator::transition_prob(std::size_t line) const {
+  const double p1 = stationary_one(line);
+  return (1.0 - p1) * p01_[line] + p1 * p10_[line];
+}
+
+VectorPair MarkovPairGenerator::generate(Rng& rng) const {
+  VectorPair pair;
+  pair.first.resize(p01_.size());
+  pair.second.resize(p01_.size());
+  for (std::size_t i = 0; i < p01_.size(); ++i) {
+    const bool cur = rng.bernoulli(stationary_one(i));
+    pair.first[i] = cur ? 1 : 0;
+    const double flip = cur ? p10_[i] : p01_[i];
+    pair.second[i] = (rng.bernoulli(flip) ? !cur : cur) ? 1 : 0;
+  }
+  return pair;
+}
+
+std::string MarkovPairGenerator::description() const {
+  return "Markov-chain pairs, width " + std::to_string(width());
+}
+
+CorrelatedPairGenerator::CorrelatedPairGenerator(
+    std::vector<std::size_t> group_of, std::vector<double> group_event_prob,
+    double cond_flip_prob, double p1)
+    : group_of_(std::move(group_of)),
+      group_event_prob_(std::move(group_event_prob)),
+      cond_flip_prob_(cond_flip_prob),
+      p1_(p1) {
+  MPE_EXPECTS(!group_of_.empty());
+  MPE_EXPECTS(!group_event_prob_.empty());
+  MPE_EXPECTS(cond_flip_prob >= 0.0 && cond_flip_prob <= 1.0);
+  MPE_EXPECTS(p1 >= 0.0 && p1 <= 1.0);
+  for (std::size_t g : group_of_) {
+    MPE_EXPECTS_MSG(g < group_event_prob_.size(),
+                    "line assigned to nonexistent group");
+  }
+  for (double p : group_event_prob_) {
+    MPE_EXPECTS(p >= 0.0 && p <= 1.0);
+  }
+}
+
+double CorrelatedPairGenerator::transition_prob(std::size_t line) const {
+  MPE_EXPECTS(line < group_of_.size());
+  return group_event_prob_[group_of_[line]] * cond_flip_prob_;
+}
+
+VectorPair CorrelatedPairGenerator::generate(Rng& rng) const {
+  // Draw the shared group events first, then per-line conditional flips.
+  std::vector<bool> event(group_event_prob_.size());
+  for (std::size_t g = 0; g < event.size(); ++g) {
+    event[g] = rng.bernoulli(group_event_prob_[g]);
+  }
+  VectorPair pair;
+  pair.first.resize(group_of_.size());
+  pair.second.resize(group_of_.size());
+  for (std::size_t i = 0; i < group_of_.size(); ++i) {
+    const bool cur = rng.bernoulli(p1_);
+    pair.first[i] = cur ? 1 : 0;
+    const bool flips = event[group_of_[i]] && rng.bernoulli(cond_flip_prob_);
+    pair.second[i] = (flips ? !cur : cur) ? 1 : 0;
+  }
+  return pair;
+}
+
+std::string CorrelatedPairGenerator::description() const {
+  return "group-correlated pairs, width " + std::to_string(width()) + ", " +
+         std::to_string(num_groups()) + " groups";
+}
+
+}  // namespace mpe::vec

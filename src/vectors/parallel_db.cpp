@@ -1,0 +1,88 @@
+#include "vectors/parallel_db.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace mpe::vec {
+
+namespace {
+
+/// Counter-derived chunk seed (splitmix64 finalizer over seed and index).
+std::uint64_t chunk_seed(std::uint64_t seed, std::uint64_t chunk_index) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (chunk_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FinitePopulation build_power_database_parallel(
+    const circuit::Netlist& netlist, const PairGenerator& generator,
+    const sim::PowerEvalOptions& eval_options,
+    const ParallelPowerDbOptions& options) {
+  MPE_EXPECTS(options.population_size >= 1);
+  MPE_EXPECTS(options.chunk >= 1);
+  MPE_EXPECTS_MSG(
+      generator.width() == netlist.num_inputs(),
+      "generator width must match the netlist primary input count");
+
+  unsigned threads = options.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const std::size_t total = options.population_size;
+  const std::size_t num_chunks = (total + options.chunk - 1) / options.chunk;
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, num_chunks));
+
+  std::vector<double> values(total);
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<bool> failed{false};
+  std::string error_message;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    try {
+      sim::CyclePowerEvaluator evaluator(netlist, eval_options);
+      for (;;) {
+        const std::size_t c = next_chunk.fetch_add(1);
+        if (c >= num_chunks || failed.load(std::memory_order_relaxed)) break;
+        Rng rng(chunk_seed(options.seed, c));
+        const std::size_t begin = c * options.chunk;
+        const std::size_t end = std::min(begin + options.chunk, total);
+        for (std::size_t i = begin; i < end; ++i) {
+          const VectorPair p = generator.generate(rng);
+          values[i] = evaluator.power_mw(p.first, p.second);
+        }
+      }
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      failed.store(true);
+      if (error_message.empty()) error_message = e.what();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  if (failed.load()) {
+    throw std::runtime_error("parallel population build failed: " +
+                             error_message);
+  }
+
+  return FinitePopulation(
+      std::move(values),
+      netlist.name() + " population (" + generator.description() +
+          ", |V|=" + std::to_string(total) + ", parallel)");
+}
+
+}  // namespace mpe::vec

@@ -1,0 +1,49 @@
+#include "vectors/population.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace mpe::vec {
+
+FinitePopulation::FinitePopulation(std::vector<double> values,
+                                   std::string description)
+    : values_(std::move(values)), desc_(std::move(description)) {
+  MPE_EXPECTS(!values_.empty());
+  true_max_ = *std::max_element(values_.begin(), values_.end());
+}
+
+double FinitePopulation::draw(Rng& rng) {
+  return values_[rng.below(values_.size())];
+}
+
+double FinitePopulation::qualified_fraction(double epsilon) const {
+  MPE_EXPECTS(epsilon > 0.0 && epsilon < 1.0);
+  const double threshold = true_max_ * (1.0 - epsilon);
+  std::size_t qualified = 0;
+  for (double v : values_) {
+    if (v >= threshold) ++qualified;
+  }
+  return static_cast<double>(qualified) / static_cast<double>(values_.size());
+}
+
+StreamingPopulation::StreamingPopulation(const PairGenerator& generator,
+                                         sim::CyclePowerEvaluator& evaluator)
+    : generator_(generator), evaluator_(evaluator) {
+  MPE_EXPECTS_MSG(
+      generator.width() == evaluator.netlist().num_inputs(),
+      "generator width must match the netlist primary input count");
+}
+
+double StreamingPopulation::draw(Rng& rng) {
+  const VectorPair p = generator_.generate(rng);
+  ++draws_;
+  return evaluator_.power_mw(p.first, p.second);
+}
+
+std::string StreamingPopulation::description() const {
+  return "streaming population over " + evaluator_.netlist().name() + " (" +
+         generator_.description() + ")";
+}
+
+}  // namespace mpe::vec

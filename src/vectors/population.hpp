@@ -1,0 +1,85 @@
+// Populations: the set V of the paper. A population yields per-unit cycle
+// power values; the estimators never see vectors or netlists, only draws
+// from a population — which is what makes the method simulator-agnostic.
+//
+// Two concrete kinds:
+//   * FinitePopulation — |V| pre-simulated values (the paper's experimental
+//     setup: 160k/80k units fully simulated, true maximum known);
+//   * StreamingPopulation — unbounded: each draw generates a fresh vector
+//     pair and simulates it (category I.1/I.2 in production use, where the
+//     true maximum is unknown).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/power_eval.hpp"
+#include "util/rng.hpp"
+#include "vectors/generators.hpp"
+
+namespace mpe::vec {
+
+/// Source of per-unit power values.
+class Population {
+ public:
+  virtual ~Population() = default;
+
+  /// Draws the power value of one randomly selected unit.
+  virtual double draw(Rng& rng) = 0;
+
+  /// |V| when finite; nullopt for streaming populations.
+  virtual std::optional<std::size_t> size() const = 0;
+
+  /// Human-readable description.
+  virtual std::string description() const = 0;
+};
+
+/// Materialized finite population with known ground truth.
+class FinitePopulation final : public Population {
+ public:
+  FinitePopulation(std::vector<double> values, std::string description);
+
+  double draw(Rng& rng) override;
+  std::optional<std::size_t> size() const override { return values_.size(); }
+  std::string description() const override { return desc_; }
+
+  /// The population's actual maximum power — the paper's omega(F).
+  double true_max() const { return true_max_; }
+
+  /// Fraction of "qualified units": values within `epsilon` of the maximum
+  /// (the Y of the paper's SRS analysis).
+  double qualified_fraction(double epsilon) const;
+
+  /// All values (for diagnostics and figure benches).
+  std::span<const double> values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+  std::string desc_;
+  double true_max_ = 0.0;
+};
+
+/// Unbounded population: simulate a fresh random unit per draw.
+class StreamingPopulation final : public Population {
+ public:
+  /// Borrows the generator and evaluator; both must outlive this object.
+  StreamingPopulation(const PairGenerator& generator,
+                      sim::CyclePowerEvaluator& evaluator);
+
+  double draw(Rng& rng) override;
+  std::optional<std::size_t> size() const override { return std::nullopt; }
+  std::string description() const override;
+
+  /// Units simulated so far.
+  std::size_t draws() const { return draws_; }
+
+ private:
+  const PairGenerator& generator_;
+  sim::CyclePowerEvaluator& evaluator_;
+  std::size_t draws_ = 0;
+};
+
+}  // namespace mpe::vec

@@ -1,0 +1,33 @@
+#include "vectors/power_db.hpp"
+
+#include "util/contracts.hpp"
+
+namespace mpe::vec {
+
+FinitePopulation build_power_database(const PairGenerator& generator,
+                                      sim::CyclePowerEvaluator& evaluator,
+                                      const PowerDbOptions& options,
+                                      Rng& rng) {
+  MPE_EXPECTS(options.population_size >= 1);
+  MPE_EXPECTS_MSG(
+      generator.width() == evaluator.netlist().num_inputs(),
+      "generator width must match the netlist primary input count");
+
+  std::vector<double> values;
+  values.reserve(options.population_size);
+  for (std::size_t i = 0; i < options.population_size; ++i) {
+    const VectorPair p = generator.generate(rng);
+    values.push_back(evaluator.power_mw(p.first, p.second));
+    if (options.progress_stride != 0 && options.on_progress &&
+        (i + 1) % options.progress_stride == 0) {
+      options.on_progress(i + 1, options.population_size);
+    }
+  }
+  return FinitePopulation(
+      std::move(values),
+      evaluator.netlist().name() + " population (" +
+          generator.description() + ", |V|=" +
+          std::to_string(options.population_size) + ")");
+}
+
+}  // namespace mpe::vec

@@ -1,0 +1,107 @@
+#include "vectors/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mpe::vec {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4d504544;  // "MPED"
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(buf, 4);
+}
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(buf, 8);
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  unsigned char buf[4];
+  in.read(reinterpret_cast<char*>(buf), 4);
+  if (!in) throw std::runtime_error("population stream truncated");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  unsigned char buf[8];
+  in.read(reinterpret_cast<char*>(buf), 8);
+  if (!in) throw std::runtime_error("population stream truncated");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void save_population(std::ostream& out, const FinitePopulation& population) {
+  write_u32(out, kMagic);
+  write_u32(out, kVersion);
+  const std::string desc = population.description();
+  write_u64(out, desc.size());
+  out.write(desc.data(), static_cast<std::streamsize>(desc.size()));
+  const auto values = population.values();
+  write_u64(out, values.size());
+  // Doubles are stored bit-exactly via their IEEE-754 representation.
+  for (double v : values) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    __builtin_memcpy(&bits, &v, sizeof bits);
+    write_u64(out, bits);
+  }
+  if (!out) throw std::runtime_error("failed writing population stream");
+}
+
+void save_population_file(const std::string& path,
+                          const FinitePopulation& population) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  save_population(out, population);
+}
+
+FinitePopulation load_population(std::istream& in) {
+  if (read_u32(in) != kMagic) {
+    throw std::runtime_error("not a population file (bad magic)");
+  }
+  const std::uint32_t version = read_u32(in);
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported population file version " +
+                             std::to_string(version));
+  }
+  const std::uint64_t desc_len = read_u64(in);
+  if (desc_len > (1u << 20)) {
+    throw std::runtime_error("population description implausibly large");
+  }
+  std::string desc(desc_len, '\0');
+  in.read(desc.data(), static_cast<std::streamsize>(desc_len));
+  if (!in) throw std::runtime_error("population stream truncated");
+  const std::uint64_t count = read_u64(in);
+  if (count == 0) throw std::runtime_error("population file has no values");
+  std::vector<double> values;
+  values.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t bits = read_u64(in);
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof v);
+    values.push_back(v);
+  }
+  return FinitePopulation(std::move(values), std::move(desc));
+}
+
+FinitePopulation load_population_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return load_population(in);
+}
+
+}  // namespace mpe::vec

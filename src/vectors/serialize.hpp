@@ -1,0 +1,27 @@
+// Population persistence: save a simulated power database to disk and load
+// it back, so expensive PowerMill-style population builds can be cached
+// across bench runs. Simple versioned little-endian binary format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "vectors/population.hpp"
+
+namespace mpe::vec {
+
+/// Writes the population (description + values) to a stream.
+void save_population(std::ostream& out, const FinitePopulation& population);
+
+/// Writes to a file. Throws std::runtime_error on I/O failure.
+void save_population_file(const std::string& path,
+                          const FinitePopulation& population);
+
+/// Reads a population back. Throws std::runtime_error on malformed input
+/// (bad magic, unsupported version, truncated stream).
+FinitePopulation load_population(std::istream& in);
+
+/// Reads from a file. Throws std::runtime_error on I/O failure.
+FinitePopulation load_population_file(const std::string& path);
+
+}  // namespace mpe::vec

@@ -1,0 +1,116 @@
+#include "circuit/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/builder.hpp"
+#include "gen/trees.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace ckt = mpe::circuit;
+
+TEST(Evaluate, SimpleChain) {
+  ckt::Netlist nl("chain");
+  nl.add_input("a");
+  nl.add_gate(ckt::GateType::kNot, "b", {"a"});
+  nl.add_gate(ckt::GateType::kNot, "c", {"b"});
+  nl.mark_output("c");
+  nl.finalize();
+  auto vals = ckt::evaluate(nl, std::vector<std::uint8_t>{1});
+  EXPECT_EQ(vals[*nl.find("b")], 0);
+  EXPECT_EQ(vals[*nl.find("c")], 1);
+}
+
+TEST(Evaluate, RequiresMatchingWidth) {
+  ckt::Netlist nl("w");
+  nl.add_input("a");
+  nl.add_gate(ckt::GateType::kNot, "b", {"a"});
+  nl.finalize();
+  EXPECT_THROW(ckt::evaluate(nl, std::vector<std::uint8_t>{1, 0}),
+               mpe::ContractViolation);
+}
+
+TEST(Activity, InverterTracksInputStatistics) {
+  ckt::Netlist nl("inv");
+  nl.add_input("a");
+  nl.add_gate(ckt::GateType::kNot, "z", {"a"});
+  nl.mark_output("z");
+  nl.finalize();
+  mpe::Rng rng(3);
+  const auto prof = ckt::estimate_activity(nl, 20000, 0.5, 0.3, rng);
+  // Inverter output probability = 1 - input probability = 0.5.
+  EXPECT_NEAR(prof.signal_prob[*nl.find("z")], 0.5, 0.02);
+  // Inverter toggles exactly when its input toggles: prob 0.3.
+  EXPECT_NEAR(prof.toggle_prob[*nl.find("z")], 0.3, 0.02);
+  EXPECT_NEAR(prof.toggle_prob[*nl.find("a")], 0.3, 0.02);
+}
+
+TEST(Activity, AndGateSignalProbability) {
+  ckt::Netlist nl("and");
+  nl.add_input("a");
+  nl.add_input("b");
+  nl.add_gate(ckt::GateType::kAnd, "z", {"a", "b"});
+  nl.mark_output("z");
+  nl.finalize();
+  mpe::Rng rng(4);
+  const auto prof = ckt::estimate_activity(nl, 30000, 0.5, 0.5, rng);
+  EXPECT_NEAR(prof.signal_prob[*nl.find("z")], 0.25, 0.02);
+}
+
+TEST(Activity, BiasedInputsPropagate) {
+  ckt::Netlist nl("or");
+  nl.add_input("a");
+  nl.add_input("b");
+  nl.add_gate(ckt::GateType::kOr, "z", {"a", "b"});
+  nl.finalize();
+  mpe::Rng rng(5);
+  // transition_prob = 0 keeps v2 == v1, so the signal probability is the
+  // pure static value: P(or=1) = 1 - 0.1*0.1 = 0.99.
+  const auto prof = ckt::estimate_activity(nl, 30000, 0.9, 0.0, rng);
+  EXPECT_NEAR(prof.signal_prob[*nl.find("z")], 0.99, 0.005);
+}
+
+TEST(Activity, XorChainHasHighActivity) {
+  // XOR trees propagate every input toggle; parity output toggles with
+  // probability ~0.5 under transition prob 0.5 at the inputs.
+  auto nl = mpe::gen::parity_tree(8, 2, "p8");
+  mpe::Rng rng(6);
+  const auto prof = ckt::estimate_activity(nl, 20000, 0.5, 0.5, rng);
+  const auto parity = *nl.find("parity");
+  EXPECT_NEAR(prof.toggle_prob[parity], 0.5, 0.03);
+  EXPECT_GT(prof.avg_activity, 0.3);
+}
+
+TEST(Activity, ZeroTransitionProbMeansNoToggles) {
+  auto nl = mpe::gen::parity_tree(4, 2, "p4");
+  mpe::Rng rng(7);
+  const auto prof = ckt::estimate_activity(nl, 1000, 0.5, 0.0, rng);
+  EXPECT_DOUBLE_EQ(prof.avg_activity, 0.0);
+}
+
+TEST(LevelHistogram, CountsPerLevel) {
+  ckt::Netlist nl("lvl");
+  nl.add_input("a");
+  nl.add_input("b");
+  nl.add_gate(ckt::GateType::kAnd, "c", {"a", "b"});
+  nl.add_gate(ckt::GateType::kNot, "d", {"c"});
+  nl.finalize();
+  const auto hist = ckt::level_histogram(nl);
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 2u);  // two inputs
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[2], 1u);
+}
+
+TEST(Activity, ContractChecks) {
+  auto nl = mpe::gen::parity_tree(4, 2, "p4b");
+  mpe::Rng rng(8);
+  EXPECT_THROW(ckt::estimate_activity(nl, 0, 0.5, 0.5, rng),
+               mpe::ContractViolation);
+  EXPECT_THROW(ckt::estimate_activity(nl, 10, 1.5, 0.5, rng),
+               mpe::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+#include "stats/anderson_darling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/normal.hpp"
+#include "stats/weibull.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace st = mpe::stats;
+
+TEST(AdCdf, LimitsAndKnownValues) {
+  EXPECT_DOUBLE_EQ(st::ad_cdf(0.0), 0.0);
+  EXPECT_NEAR(st::ad_cdf(100.0), 1.0, 1e-9);
+  // Classic critical values for the fully-specified null:
+  // P(A^2 < 2.492) ~ 0.95, P(A^2 < 3.857) ~ 0.99.
+  EXPECT_NEAR(st::ad_cdf(2.492), 0.95, 0.005);
+  EXPECT_NEAR(st::ad_cdf(3.857), 0.99, 0.004);
+  EXPECT_NEAR(st::ad_cdf(1.933), 0.90, 0.005);
+}
+
+TEST(AdCdf, Monotone) {
+  double prev = 0.0;
+  for (double z = 0.05; z < 6.0; z += 0.05) {
+    const double c = st::ad_cdf(z);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+}
+
+TEST(AndersonDarling, CorrectModelAccepted) {
+  mpe::Rng rng(5);
+  std::vector<double> xs(1500);
+  for (auto& x : xs) x = rng.normal();
+  const auto r = st::anderson_darling(
+      xs, [](double x) { return st::Normal::std_cdf(x); });
+  EXPECT_LT(r.statistic, 2.5);
+  EXPECT_GT(r.p_value, 0.02);
+}
+
+TEST(AndersonDarling, ShiftedModelRejected) {
+  mpe::Rng rng(5);
+  std::vector<double> xs(1500);
+  for (auto& x : xs) x = rng.normal(0.3, 1.0);
+  const auto r = st::anderson_darling(
+      xs, [](double x) { return st::Normal::std_cdf(x); });
+  EXPECT_GT(r.statistic, 10.0);
+  EXPECT_LT(r.p_value, 1e-4);
+}
+
+TEST(AndersonDarling, MoreTailSensitiveThanBody) {
+  // Contaminate only the upper tail: a handful of far outliers should
+  // raise A^2 well above the clean sample's value even though they barely
+  // move the body of the distribution.
+  mpe::Rng rng(7);
+  std::vector<double> xs(1000);
+  for (auto& x : xs) x = rng.normal();
+  const auto clean = st::anderson_darling(
+      xs, [](double x) { return st::Normal::std_cdf(x); });
+  for (int i = 0; i < 8; ++i) xs[static_cast<std::size_t>(i)] = 6.0 + i;
+  const auto dirty = st::anderson_darling(
+      xs, [](double x) { return st::Normal::std_cdf(x); });
+  EXPECT_GT(dirty.statistic, clean.statistic + 0.8);
+  EXPECT_LT(dirty.p_value, clean.p_value);
+}
+
+TEST(AndersonDarling, WorksOnWeibullFitDiagnostics) {
+  const st::ReversedWeibull g(3.0, 1.0, 5.0);
+  mpe::Rng rng(9);
+  std::vector<double> xs(800);
+  for (auto& x : xs) x = g.sample(rng);
+  const auto good = st::anderson_darling(
+      xs, [&](double x) { return g.cdf(x); });
+  EXPECT_GT(good.p_value, 0.02);
+  // Wrong endpoint: clearly rejected.
+  const st::ReversedWeibull bad(3.0, 1.0, 5.6);
+  const auto r = st::anderson_darling(
+      xs, [&](double x) { return bad.cdf(x); });
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(AndersonDarling, ContractChecks) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(st::anderson_darling(one, [](double) { return 0.5; }),
+               mpe::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+#include "gen/arithmetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/analysis.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace ckt = mpe::circuit;
+namespace gen = mpe::gen;
+
+// Packs an unsigned value into input bits named <prefix>0..<prefix>{b-1}.
+void pack(const ckt::Netlist& nl, std::vector<std::uint8_t>& in,
+          const std::string& prefix, std::uint64_t value, std::size_t bits) {
+  const auto& inputs = nl.inputs();
+  for (std::size_t i = 0; i < bits; ++i) {
+    auto found = nl.find(prefix + std::to_string(i));
+    if (!found && bits == 1) found = nl.find(prefix);  // scalar like "cin"
+    ASSERT_TRUE(found.has_value()) << prefix << i;
+    for (std::size_t k = 0; k < inputs.size(); ++k) {
+      if (inputs[k] == *found) {
+        in[k] = static_cast<std::uint8_t>((value >> i) & 1);
+      }
+    }
+  }
+}
+
+std::uint64_t unpack(const ckt::Netlist& nl,
+                     const std::vector<std::uint8_t>& values,
+                     const std::string& prefix, std::size_t bits) {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < bits; ++i) {
+    const auto node = *nl.find(prefix + std::to_string(i));
+    out |= static_cast<std::uint64_t>(values[node]) << i;
+  }
+  return out;
+}
+
+TEST(RippleCarryAdder, ExhaustiveFourBit) {
+  auto nl = gen::ripple_carry_adder(4);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      for (std::uint64_t cin = 0; cin < 2; ++cin) {
+        std::vector<std::uint8_t> in(nl.num_inputs(), 0);
+        pack(nl, in, "a", a, 4);
+        pack(nl, in, "b", b, 4);
+        pack(nl, in, "cin", cin, 1);
+        const auto values = ckt::evaluate(nl, in);
+        const std::uint64_t sum = unpack(nl, values, "s", 4);
+        const std::uint64_t cout = values[*nl.find("cout")];
+        EXPECT_EQ(sum + (cout << 4), a + b + cin)
+            << a << "+" << b << "+" << cin;
+      }
+    }
+  }
+}
+
+TEST(RippleCarryAdder, WideRandomCases) {
+  auto nl = gen::ripple_carry_adder(16);
+  mpe::Rng rng(42);
+  for (int t = 0; t < 200; ++t) {
+    const std::uint64_t a = rng.below(1ull << 16);
+    const std::uint64_t b = rng.below(1ull << 16);
+    const std::uint64_t cin = rng.below(2);
+    std::vector<std::uint8_t> in(nl.num_inputs(), 0);
+    pack(nl, in, "a", a, 16);
+    pack(nl, in, "b", b, 16);
+    pack(nl, in, "cin", cin, 1);
+    const auto values = ckt::evaluate(nl, in);
+    const std::uint64_t sum = unpack(nl, values, "s", 16);
+    const std::uint64_t cout = values[*nl.find("cout")];
+    EXPECT_EQ(sum + (cout << 16), a + b + cin);
+  }
+}
+
+TEST(ArrayMultiplier, ExhaustiveThreeBit) {
+  auto nl = gen::array_multiplier(3);
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      std::vector<std::uint8_t> in(nl.num_inputs(), 0);
+      pack(nl, in, "a", a, 3);
+      pack(nl, in, "b", b, 3);
+      const auto values = ckt::evaluate(nl, in);
+      EXPECT_EQ(unpack(nl, values, "p", 6), a * b) << a << "*" << b;
+    }
+  }
+}
+
+TEST(ArrayMultiplier, ExhaustiveFourBit) {
+  auto nl = gen::array_multiplier(4);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      std::vector<std::uint8_t> in(nl.num_inputs(), 0);
+      pack(nl, in, "a", a, 4);
+      pack(nl, in, "b", b, 4);
+      const auto values = ckt::evaluate(nl, in);
+      EXPECT_EQ(unpack(nl, values, "p", 8), a * b) << a << "*" << b;
+    }
+  }
+}
+
+TEST(ArrayMultiplier, RandomSixteenBit) {
+  auto nl = gen::array_multiplier(16, "c6288ish");
+  mpe::Rng rng(7);
+  for (int t = 0; t < 100; ++t) {
+    const std::uint64_t a = rng.below(1ull << 16);
+    const std::uint64_t b = rng.below(1ull << 16);
+    std::vector<std::uint8_t> in(nl.num_inputs(), 0);
+    pack(nl, in, "a", a, 16);
+    pack(nl, in, "b", b, 16);
+    const auto values = ckt::evaluate(nl, in);
+    EXPECT_EQ(unpack(nl, values, "p", 32), a * b) << a << "*" << b;
+  }
+}
+
+TEST(ArrayMultiplier, SixteenBitScaleMatchesC6288Class) {
+  const auto nl = gen::array_multiplier(16);
+  EXPECT_EQ(nl.num_inputs(), 32u);
+  EXPECT_EQ(nl.num_outputs(), 32u);
+  EXPECT_GT(nl.num_gates(), 1200u);  // full adder array
+  EXPECT_GT(nl.depth(), 30u);        // deep ripple structure
+}
+
+TEST(Alu, AllOpsRandomCases) {
+  constexpr std::size_t kBits = 8;
+  auto nl = gen::alu(kBits);
+  mpe::Rng rng(19);
+  for (int t = 0; t < 200; ++t) {
+    const std::uint64_t a = rng.below(1ull << kBits);
+    const std::uint64_t b = rng.below(1ull << kBits);
+    const std::uint64_t op = rng.below(4);
+    std::vector<std::uint8_t> in(nl.num_inputs(), 0);
+    pack(nl, in, "a", a, kBits);
+    pack(nl, in, "b", b, kBits);
+    pack(nl, in, "op0", op & 1, 1);
+    pack(nl, in, "op1", (op >> 1) & 1, 1);
+    const auto values = ckt::evaluate(nl, in);
+    const std::uint64_t r = unpack(nl, values, "r", kBits);
+    const std::uint64_t mask = (1ull << kBits) - 1;
+    std::uint64_t expect = 0;
+    switch (op) {
+      case 0: expect = a & b; break;
+      case 1: expect = a | b; break;
+      case 2: expect = (a + b) & mask; break;
+      case 3: expect = (a - b) & mask; break;
+    }
+    EXPECT_EQ(r, expect) << "op=" << op << " a=" << a << " b=" << b;
+  }
+}
+
+TEST(Alu, SubtractSetsCarryAsNotBorrow) {
+  auto nl = gen::alu(4);
+  std::vector<std::uint8_t> in(nl.num_inputs(), 0);
+  pack(nl, in, "a", 7, 4);
+  pack(nl, in, "b", 3, 4);
+  pack(nl, in, "op0", 1, 1);
+  pack(nl, in, "op1", 1, 1);
+  auto values = ckt::evaluate(nl, in);
+  EXPECT_EQ(values[*nl.find("cout")], 1);  // 7 >= 3: no borrow
+  pack(nl, in, "a", 2, 4);
+  pack(nl, in, "b", 9, 4);
+  values = ckt::evaluate(nl, in);
+  EXPECT_EQ(values[*nl.find("cout")], 0);  // 2 < 9: borrow
+}
+
+TEST(Comparator, ExhaustiveFourBit) {
+  auto nl = gen::comparator(4);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      std::vector<std::uint8_t> in(nl.num_inputs(), 0);
+      pack(nl, in, "a", a, 4);
+      pack(nl, in, "b", b, 4);
+      const auto values = ckt::evaluate(nl, in);
+      EXPECT_EQ(values[*nl.find("lt")], a < b ? 1 : 0) << a << "," << b;
+      EXPECT_EQ(values[*nl.find("eq")], a == b ? 1 : 0) << a << "," << b;
+      EXPECT_EQ(values[*nl.find("gt")], a > b ? 1 : 0) << a << "," << b;
+    }
+  }
+}
+
+class AdderWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AdderWidths, MaxValuesCarryOut) {
+  const std::size_t bits = GetParam();
+  auto nl = gen::ripple_carry_adder(bits);
+  std::vector<std::uint8_t> in(nl.num_inputs(), 0);
+  const std::uint64_t maxv = (bits >= 64) ? ~0ull : (1ull << bits) - 1;
+  pack(nl, in, "a", maxv, bits);
+  pack(nl, in, "b", 1, bits);
+  const auto values = ckt::evaluate(nl, in);
+  EXPECT_EQ(unpack(nl, values, "s", bits), 0u);
+  EXPECT_EQ(values[*nl.find("cout")], 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderWidths,
+                         ::testing::Values(1, 2, 8, 16, 32));
+
+}  // namespace

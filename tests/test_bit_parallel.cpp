@@ -1,0 +1,110 @@
+#include "sim/bit_parallel_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/arithmetic.hpp"
+#include "gen/presets.hpp"
+#include "gen/trees.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace sim = mpe::sim;
+namespace vec = mpe::vec;
+
+std::vector<vec::VectorPair> random_pairs(std::size_t width, std::size_t n,
+                                          std::uint64_t seed) {
+  mpe::Rng rng(seed);
+  std::vector<vec::VectorPair> out(n);
+  for (auto& p : out) {
+    p.first = vec::random_vector(width, rng);
+    p.second = vec::random_vector(width, rng);
+  }
+  return out;
+}
+
+TEST(BitParallel, MatchesScalarOracleExactly) {
+  auto nl = mpe::gen::build_preset("c432", 1);
+  sim::Technology tech;
+  sim::BitParallelSimulator parallel(nl, tech);
+  sim::ZeroDelaySimulator scalar(nl, tech);
+
+  const auto pairs = random_pairs(nl.num_inputs(), 64, 7);
+  const auto results = parallel.evaluate_batch(pairs);
+  ASSERT_EQ(results.size(), 64u);
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    const auto expect = scalar.evaluate(pairs[k].first, pairs[k].second);
+    EXPECT_EQ(results[k].toggles, expect.toggles) << k;
+    EXPECT_NEAR(results[k].energy_pj, expect.energy_pj,
+                1e-9 * (expect.energy_pj + 1.0))
+        << k;
+    EXPECT_NEAR(results[k].power_mw, expect.power_mw, 1e-9) << k;
+  }
+}
+
+TEST(BitParallel, PartialBatch) {
+  auto nl = mpe::gen::ripple_carry_adder(8);
+  sim::BitParallelSimulator parallel(nl, sim::Technology{});
+  sim::ZeroDelaySimulator scalar(nl, sim::Technology{});
+  const auto pairs = random_pairs(nl.num_inputs(), 5, 11);
+  const auto results = parallel.evaluate_batch(pairs);
+  ASSERT_EQ(results.size(), 5u);
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    EXPECT_EQ(results[k].toggles,
+              scalar.evaluate(pairs[k].first, pairs[k].second).toggles);
+  }
+}
+
+TEST(BitParallel, SingleLane) {
+  auto nl = mpe::gen::parity_tree(12, 2);
+  sim::BitParallelSimulator parallel(nl, sim::Technology{});
+  sim::ZeroDelaySimulator scalar(nl, sim::Technology{});
+  const auto pairs = random_pairs(nl.num_inputs(), 1, 13);
+  const auto results = parallel.evaluate_batch(pairs);
+  EXPECT_EQ(results[0].toggles,
+            scalar.evaluate(pairs[0].first, pairs[0].second).toggles);
+}
+
+TEST(BitParallel, AllGateTypesExercised) {
+  // A netlist containing every gate type, cross-checked against the scalar
+  // oracle over many random batches.
+  mpe::circuit::Netlist nl("alltypes");
+  nl.add_input("a");
+  nl.add_input("b");
+  nl.add_input("c");
+  nl.add_gate(mpe::circuit::GateType::kAnd, "g0", {"a", "b"});
+  nl.add_gate(mpe::circuit::GateType::kNand, "g1", {"b", "c"});
+  nl.add_gate(mpe::circuit::GateType::kOr, "g2", {"g0", "g1"});
+  nl.add_gate(mpe::circuit::GateType::kNor, "g3", {"a", "g2"});
+  nl.add_gate(mpe::circuit::GateType::kXor, "g4", {"g2", "g3", "c"});
+  nl.add_gate(mpe::circuit::GateType::kXnor, "g5", {"g4", "b"});
+  nl.add_gate(mpe::circuit::GateType::kNot, "g6", {"g5"});
+  nl.add_gate(mpe::circuit::GateType::kBuf, "g7", {"g6"});
+  nl.mark_output("g7");
+  nl.finalize();
+
+  sim::BitParallelSimulator parallel(nl, sim::Technology{});
+  sim::ZeroDelaySimulator scalar(nl, sim::Technology{});
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto pairs =
+        random_pairs(nl.num_inputs(), 64, 100 + static_cast<unsigned>(trial));
+    const auto results = parallel.evaluate_batch(pairs);
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      EXPECT_EQ(results[k].toggles,
+                scalar.evaluate(pairs[k].first, pairs[k].second).toggles);
+    }
+  }
+}
+
+TEST(BitParallel, ContractChecks) {
+  auto nl = mpe::gen::parity_tree(8, 2);
+  sim::BitParallelSimulator parallel(nl, sim::Technology{});
+  EXPECT_THROW(parallel.evaluate_batch({}), mpe::ContractViolation);
+  const auto too_many = random_pairs(nl.num_inputs(), 65, 1);
+  EXPECT_THROW(parallel.evaluate_batch(too_many), mpe::ContractViolation);
+  const auto wrong_width = random_pairs(4, 2, 1);
+  EXPECT_THROW(parallel.evaluate_batch(wrong_width), mpe::ContractViolation);
+}
+
+}  // namespace

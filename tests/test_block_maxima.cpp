@@ -1,0 +1,76 @@
+#include "evt/block_maxima.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace evt = mpe::evt;
+
+TEST(BlockMaxima, SplitsAndTakesMax) {
+  const std::vector<double> xs = {1, 5, 2, 9, 3, 4, 8, 7, 6};
+  const auto m = evt::block_maxima(xs, 3);
+  EXPECT_EQ(m, (std::vector<double>{5, 9, 8}));
+}
+
+TEST(BlockMaxima, DiscardsPartialTrailingBlock) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const auto m = evt::block_maxima(xs, 2);
+  EXPECT_EQ(m, (std::vector<double>{2, 4}));  // 5 is dropped
+}
+
+TEST(BlockMaxima, BlockSizeOneIsIdentity) {
+  const std::vector<double> xs = {3, 1, 4};
+  EXPECT_EQ(evt::block_maxima(xs, 1), xs);
+}
+
+TEST(BlockMaxima, WholeVectorBlock) {
+  const std::vector<double> xs = {3, 1, 4, 1, 5};
+  const auto m = evt::block_maxima(xs, 5);
+  EXPECT_EQ(m, std::vector<double>{5});
+}
+
+TEST(BlockMaxima, RejectsUndersizedInput) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW(evt::block_maxima(xs, 3), mpe::ContractViolation);
+  EXPECT_THROW(evt::block_maxima(xs, 0), mpe::ContractViolation);
+}
+
+TEST(SampleMaxima, DrawsRequestedBlocks) {
+  mpe::Rng rng(1);
+  int calls = 0;
+  const auto m = evt::sample_maxima(
+      [&]() {
+        ++calls;
+        return rng.uniform();
+      },
+      30, 10);
+  EXPECT_EQ(m.size(), 10u);
+  EXPECT_EQ(calls, 300);
+  for (double v : m) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(SampleMaxima, MaximaStochasticallyDominateDraws) {
+  // The mean of maxima of 30 uniforms is 30/31, far above 0.5.
+  mpe::Rng rng(2);
+  const auto m = evt::sample_maxima([&]() { return rng.uniform(); }, 30, 200);
+  double sum = 0.0;
+  for (double v : m) sum += v;
+  EXPECT_NEAR(sum / static_cast<double>(m.size()), 30.0 / 31.0, 0.01);
+}
+
+TEST(OneSampleMaximum, MatchesManualMax) {
+  std::vector<double> seq = {0.1, 0.9, 0.3};
+  std::size_t i = 0;
+  const double m = evt::one_sample_maximum([&]() { return seq[i++]; }, 3);
+  EXPECT_DOUBLE_EQ(m, 0.9);
+}
+
+}  // namespace

@@ -1,0 +1,96 @@
+#include "evt/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "evt/confidence.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace evt = mpe::evt;
+
+TEST(Bootstrap, CenterIsSampleMean) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  mpe::Rng rng(1);
+  const auto ci = evt::bootstrap_mean_interval(xs, 0.9, rng);
+  EXPECT_DOUBLE_EQ(ci.center, 2.5);
+  EXPECT_LE(ci.lower, ci.center);
+  EXPECT_GE(ci.upper, ci.center);
+  EXPECT_DOUBLE_EQ(ci.confidence, 0.9);
+}
+
+TEST(Bootstrap, DegenerateSampleGivesZeroWidth) {
+  const std::vector<double> xs = {5.0, 5.0, 5.0, 5.0};
+  mpe::Rng rng(2);
+  const auto ci = evt::bootstrap_mean_interval(xs, 0.95, rng);
+  EXPECT_DOUBLE_EQ(ci.lower, 5.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 5.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+TEST(Bootstrap, CoverageNearNominal) {
+  // Over repeated normal samples, the 90% bootstrap interval should cover
+  // the true mean ~90% of the time (percentile bootstrap is slightly
+  // anti-conservative at k = 12; allow a band).
+  mpe::Rng rng(3);
+  int covered = 0;
+  const int reps = 400;
+  for (int r = 0; r < reps; ++r) {
+    std::vector<double> xs(12);
+    for (auto& x : xs) x = rng.normal(7.0, 2.0);
+    const auto ci = evt::bootstrap_mean_interval(xs, 0.90, rng);
+    if (ci.lower <= 7.0 && 7.0 <= ci.upper) ++covered;
+  }
+  const double coverage = covered / static_cast<double>(reps);
+  EXPECT_GT(coverage, 0.80);
+  EXPECT_LT(coverage, 0.97);
+}
+
+TEST(Bootstrap, ComparableToTIntervalOnNormalData) {
+  mpe::Rng rng(4);
+  std::vector<double> xs(30);
+  for (auto& x : xs) x = rng.normal(0.0, 1.0);
+  const auto boot = evt::bootstrap_mean_interval(xs, 0.9, rng);
+  const auto t = evt::t_interval(xs, 0.9);
+  // Same ballpark of width (bootstrap slightly narrower at small k).
+  EXPECT_GT(boot.half_width, 0.5 * t.half_width);
+  EXPECT_LT(boot.half_width, 1.5 * t.half_width);
+}
+
+TEST(Bootstrap, AsymmetricForSkewedData) {
+  // Heavily right-skewed sample: the percentile interval should extend
+  // further above the mean than below it.
+  std::vector<double> xs = {1, 1, 1, 1, 1, 1, 1, 1, 1, 20};
+  mpe::Rng rng(5);
+  const auto ci = evt::bootstrap_mean_interval(xs, 0.9, rng);
+  EXPECT_GT(ci.upper - ci.center, ci.center - ci.lower);
+}
+
+TEST(Bootstrap, HigherConfidenceWider) {
+  mpe::Rng rng(6);
+  std::vector<double> xs(20);
+  for (auto& x : xs) x = rng.uniform();
+  mpe::Rng r1(7), r2(7);
+  const auto lo = evt::bootstrap_mean_interval(xs, 0.80, r1);
+  const auto hi = evt::bootstrap_mean_interval(xs, 0.99, r2);
+  EXPECT_GT(hi.half_width, lo.half_width);
+}
+
+TEST(Bootstrap, ContractChecks) {
+  mpe::Rng rng(8);
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(evt::bootstrap_mean_interval(one, 0.9, rng),
+               mpe::ContractViolation);
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_THROW(evt::bootstrap_mean_interval(two, 1.0, rng),
+               mpe::ContractViolation);
+  evt::BootstrapOptions opt;
+  opt.resamples = 10;
+  EXPECT_THROW(evt::bootstrap_mean_interval(two, 0.9, rng, opt),
+               mpe::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+#include "circuit/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "circuit/analysis.hpp"
+#include "util/contracts.hpp"
+
+namespace {
+
+namespace ckt = mpe::circuit;
+using ckt::GateType;
+using ckt::Netlist;
+using ckt::NetlistBuilder;
+using ckt::NodeId;
+
+// Evaluates a single-output builder netlist for the given input bits.
+bool run1(Netlist& nl, std::vector<std::uint8_t> in) {
+  if (!nl.finalized()) nl.finalize();
+  const auto values = ckt::evaluate(nl, in);
+  return values[nl.outputs().at(0)] != 0;
+}
+
+TEST(Builder, BinaryHelpersComputeCorrectFunctions) {
+  struct Case {
+    GateType t;
+    std::array<int, 4> expect;
+  };
+  const std::vector<Case> cases = {
+      {GateType::kAnd, {0, 0, 0, 1}}, {GateType::kNand, {1, 1, 1, 0}},
+      {GateType::kOr, {0, 1, 1, 1}},  {GateType::kNor, {1, 0, 0, 0}},
+      {GateType::kXor, {0, 1, 1, 0}}, {GateType::kXnor, {1, 0, 0, 1}},
+  };
+  for (const auto& c : cases) {
+    Netlist nl("t");
+    NetlistBuilder b(nl);
+    const NodeId a = b.input("a");
+    const NodeId bb = b.input("b");
+    NodeId out;
+    switch (c.t) {
+      case GateType::kAnd: out = b.and_(a, bb); break;
+      case GateType::kNand: out = b.nand_(a, bb); break;
+      case GateType::kOr: out = b.or_(a, bb); break;
+      case GateType::kNor: out = b.nor_(a, bb); break;
+      case GateType::kXor: out = b.xor_(a, bb); break;
+      default: out = b.xnor_(a, bb); break;
+    }
+    nl.mark_output(out);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(run1(nl, {static_cast<std::uint8_t>(i >> 1),
+                          static_cast<std::uint8_t>(i & 1)}),
+                c.expect[i] != 0)
+          << ckt::to_string(c.t) << " " << i;
+    }
+  }
+}
+
+TEST(Builder, NotAndBuf) {
+  Netlist nl("t");
+  NetlistBuilder b(nl);
+  const NodeId a = b.input("a");
+  nl.mark_output(b.not_(a));
+  EXPECT_TRUE(run1(nl, {0}));
+  EXPECT_FALSE(run1(nl, {1}));
+}
+
+TEST(Builder, MuxSelects) {
+  Netlist nl("t");
+  NetlistBuilder b(nl);
+  const NodeId sel = b.input("sel");
+  const NodeId lo = b.input("lo");
+  const NodeId hi = b.input("hi");
+  nl.mark_output(b.mux(sel, lo, hi));
+  // sel=0 -> lo; sel=1 -> hi.
+  EXPECT_FALSE(run1(nl, {0, 0, 1}));
+  EXPECT_TRUE(run1(nl, {0, 1, 0}));
+  EXPECT_TRUE(run1(nl, {1, 0, 1}));
+  EXPECT_FALSE(run1(nl, {1, 1, 0}));
+}
+
+TEST(Builder, FullAdderTruthTable) {
+  Netlist nl("t");
+  NetlistBuilder b(nl);
+  const NodeId a = b.input("a");
+  const NodeId bb = b.input("b");
+  const NodeId c = b.input("c");
+  const auto fa = b.full_adder(a, bb, c);
+  nl.mark_output(fa.sum);
+  nl.mark_output(fa.carry);
+  nl.finalize();
+  for (int i = 0; i < 8; ++i) {
+    const int ai = (i >> 2) & 1, bi = (i >> 1) & 1, ci = i & 1;
+    const auto values = ckt::evaluate(
+        nl, std::vector<std::uint8_t>{static_cast<std::uint8_t>(ai),
+                                      static_cast<std::uint8_t>(bi),
+                                      static_cast<std::uint8_t>(ci)});
+    const int total = ai + bi + ci;
+    EXPECT_EQ(values[nl.outputs()[0]], total & 1) << i;
+    EXPECT_EQ(values[nl.outputs()[1]], (total >> 1) & 1) << i;
+  }
+}
+
+TEST(Builder, ReduceWideAndMatchesSemantics) {
+  Netlist nl("t");
+  NetlistBuilder b(nl);
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 9; ++i) ins.push_back(b.input());
+  nl.mark_output(b.reduce(GateType::kAnd, ins, 3));
+  std::vector<std::uint8_t> all1(9, 1);
+  EXPECT_TRUE(run1(nl, all1));
+  for (int i = 0; i < 9; ++i) {
+    auto v = all1;
+    v[static_cast<std::size_t>(i)] = 0;
+    EXPECT_FALSE(run1(nl, v)) << "zero at " << i;
+  }
+}
+
+TEST(Builder, ReduceXorComputesParity) {
+  Netlist nl("t");
+  NetlistBuilder b(nl);
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 7; ++i) ins.push_back(b.input());
+  nl.mark_output(b.reduce(GateType::kXor, ins, 2));
+  for (int mask = 0; mask < 128; mask += 11) {
+    std::vector<std::uint8_t> v(7);
+    int pop = 0;
+    for (int i = 0; i < 7; ++i) {
+      v[static_cast<std::size_t>(i)] = (mask >> i) & 1;
+      pop += (mask >> i) & 1;
+    }
+    EXPECT_EQ(run1(nl, v), (pop & 1) != 0) << "mask=" << mask;
+  }
+}
+
+TEST(Builder, ReduceInvertedTypes) {
+  // NOR-reduce of 5 inputs == NOT(OR of all).
+  Netlist nl("t");
+  NetlistBuilder b(nl);
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 5; ++i) ins.push_back(b.input());
+  nl.mark_output(b.reduce(GateType::kNor, ins, 4));
+  EXPECT_TRUE(run1(nl, {0, 0, 0, 0, 0}));
+  EXPECT_FALSE(run1(nl, {0, 0, 1, 0, 0}));
+}
+
+TEST(Builder, ReduceSingleInputPassThrough) {
+  Netlist nl("t");
+  NetlistBuilder b(nl);
+  const NodeId a = b.input("a");
+  const std::vector<NodeId> one = {a};
+  EXPECT_EQ(b.reduce(GateType::kAnd, one), a);
+}
+
+TEST(Builder, FreshNamesNeverCollide) {
+  Netlist nl("t");
+  // Pre-claim a name that matches the builder pattern.
+  nl.declare("n0");
+  NetlistBuilder b(nl, "n");
+  const NodeId f = b.fresh();
+  EXPECT_NE(nl.node_name(f), "n0");
+}
+
+TEST(Builder, RejectsBadReduceArgs) {
+  Netlist nl("t");
+  NetlistBuilder b(nl);
+  const std::vector<NodeId> none;
+  EXPECT_THROW(b.reduce(GateType::kAnd, none), mpe::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+#include "stats/chi_squared.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using mpe::stats::chi2_gof;
+using mpe::stats::ChiSquared;
+
+TEST(ChiSquared, CdfKnownValues) {
+  // chi2(1): cdf(3.841) ~ 0.95; chi2(5): cdf(11.07) ~ 0.95.
+  EXPECT_NEAR(ChiSquared(1).cdf(3.841), 0.95, 1e-3);
+  EXPECT_NEAR(ChiSquared(5).cdf(11.070), 0.95, 1e-3);
+  EXPECT_NEAR(ChiSquared(10).cdf(18.307), 0.95, 1e-3);
+  EXPECT_DOUBLE_EQ(ChiSquared(3).cdf(0.0), 0.0);
+}
+
+TEST(ChiSquared, QuantileRoundTrip) {
+  for (double k : {1.0, 2.0, 7.0, 30.0}) {
+    const ChiSquared c(k);
+    for (double q : {0.05, 0.5, 0.95, 0.999}) {
+      EXPECT_NEAR(c.cdf(c.quantile(q)), q, 1e-8) << "k=" << k << " q=" << q;
+    }
+  }
+}
+
+TEST(ChiSquared, PdfIntegratesToCdf) {
+  const ChiSquared c(4.0);
+  const int steps = 20000;
+  double integral = 0.0;
+  const double a = 0.0, b = 12.0, h = (b - a) / steps;
+  for (int i = 0; i <= steps; ++i) {
+    const double w = (i == 0 || i == steps) ? 0.5 : 1.0;
+    integral += w * c.pdf(a + i * h);
+  }
+  integral *= h;
+  EXPECT_NEAR(integral, c.cdf(b), 1e-6);
+}
+
+TEST(ChiSquared, SampleMomentsMatch) {
+  const ChiSquared c(6.0);
+  mpe::Rng rng(11);
+  const int n = 100000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = c.sample(rng);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 6.0, 0.05);
+  EXPECT_NEAR(sum2 / n - mean * mean, 12.0, 0.3);
+}
+
+TEST(ChiSquared, SampleSmallDof) {
+  const ChiSquared c(1.0);
+  mpe::Rng rng(12);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += c.sample(rng);
+  EXPECT_NEAR(sum / n, 1.0, 0.03);
+}
+
+TEST(Chi2Gof, UniformCountsAccepted) {
+  mpe::Rng rng(13);
+  std::vector<double> obs(10, 0.0), exp(10, 100.0);
+  for (int i = 0; i < 1000; ++i) obs[rng.below(10)] += 1.0;
+  const auto r = chi2_gof(obs, exp);
+  EXPECT_GT(r.p_value, 0.01);
+  EXPECT_DOUBLE_EQ(r.dof, 9.0);
+}
+
+TEST(Chi2Gof, SkewedCountsRejected) {
+  std::vector<double> obs = {300, 150, 100, 100, 100, 100, 50, 40, 35, 25};
+  std::vector<double> exp(10, 100.0);
+  const auto r = chi2_gof(obs, exp);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(Chi2Gof, MergesSmallBins) {
+  // Tail bins with tiny expectations must be pooled, not counted raw: the
+  // three 0.x-expectation bins sum to 1.0, still below the threshold, so
+  // they fold into the last valid bin — 2 bins remain, dof = 1.
+  std::vector<double> obs = {50, 48, 1, 0, 1};
+  std::vector<double> exp = {50, 50, 0.4, 0.3, 0.3};
+  const auto r = chi2_gof(obs, exp);
+  EXPECT_DOUBLE_EQ(r.dof, 1.0);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(Chi2Gof, FittedParamsReduceDof) {
+  std::vector<double> obs(8, 100.0), exp(8, 100.0);
+  const auto r = chi2_gof(obs, exp, 2);
+  EXPECT_DOUBLE_EQ(r.dof, 5.0);
+}
+
+TEST(Chi2Gof, ContractChecks) {
+  std::vector<double> obs = {1.0, 2.0};
+  std::vector<double> exp = {1.0};
+  EXPECT_THROW(chi2_gof(obs, exp), mpe::ContractViolation);
+  std::vector<double> tiny_o = {1.0, 1.0};
+  std::vector<double> tiny_e = {0.1, 0.1};
+  EXPECT_THROW(chi2_gof(tiny_o, tiny_e), mpe::ContractViolation);
+  EXPECT_THROW(ChiSquared(0.0), mpe::ContractViolation);
+}
+
+}  // namespace

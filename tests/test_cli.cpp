@@ -1,0 +1,65 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using mpe::Cli;
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesSpaceSeparatedValues) {
+  const Cli cli = make({"--pop", "40000", "--runs", "25"});
+  EXPECT_EQ(cli.get_int("pop", 0), 40000);
+  EXPECT_EQ(cli.get_int("runs", 0), 25);
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const Cli cli = make({"--epsilon=0.05", "--name=c3540"});
+  EXPECT_DOUBLE_EQ(cli.get_double("epsilon", 0.0), 0.05);
+  EXPECT_EQ(cli.get("name", ""), "c3540");
+}
+
+TEST(Cli, BareFlagActsAsBoolean) {
+  const Cli cli = make({"--verbose"});
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_EQ(cli.get("verbose", ""), "1");
+}
+
+TEST(Cli, FallbacksUsedWhenAbsent) {
+  const Cli cli = make({});
+  EXPECT_EQ(cli.get_int("pop", 123), 123);
+  EXPECT_DOUBLE_EQ(cli.get_double("eps", 0.5), 0.5);
+  EXPECT_EQ(cli.get("name", "dflt"), "dflt");
+  EXPECT_FALSE(cli.has("anything"));
+}
+
+TEST(Cli, NegativeNumbersAsValues) {
+  const Cli cli = make({"--shift=-3"});
+  EXPECT_EQ(cli.get_int("shift", 0), -3);
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+  const Cli cli = make({"--pop", "12x"});
+  EXPECT_THROW(cli.get_int("pop", 0), std::invalid_argument);
+  const Cli cli2 = make({"--eps", "0.5y"});
+  EXPECT_THROW(cli2.get_double("eps", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  EXPECT_THROW(make({"positional"}), std::invalid_argument);
+}
+
+TEST(Cli, CheckKnownFlagsUnknown) {
+  const Cli cli = make({"--pop", "10", "--typo", "1"});
+  EXPECT_THROW(cli.check_known({"pop"}), std::invalid_argument);
+  EXPECT_NO_THROW(cli.check_known({"pop", "typo"}));
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace st = mpe::stats;
+
+TEST(Descriptive, MeanAndVariance) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(st::mean(xs), 5.0);
+  // Sum of squared deviations = 32; n-1 = 7.
+  EXPECT_NEAR(st::variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(st::stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, MinMax) {
+  const std::vector<double> xs = {3.0, -1.0, 7.5, 2.0};
+  EXPECT_DOUBLE_EQ(st::min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(st::max(xs), 7.5);
+}
+
+TEST(Descriptive, QuantileInterpolation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(st::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(st::quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(st::quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(st::quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Descriptive, QuantileUnsortedInput) {
+  const std::vector<double> xs = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(st::quantile(xs, 0.5), 5.0);
+}
+
+TEST(Descriptive, SkewnessOfSymmetricIsZero) {
+  const std::vector<double> xs = {-2.0, -1.0, 0.0, 1.0, 2.0};
+  EXPECT_NEAR(st::skewness(xs), 0.0, 1e-12);
+}
+
+TEST(Descriptive, SkewnessSignDetectsTail) {
+  const std::vector<double> right = {1.0, 1.1, 1.2, 1.3, 10.0};
+  EXPECT_GT(st::skewness(right), 1.0);
+  const std::vector<double> left = {-10.0, 1.0, 1.1, 1.2, 1.3};
+  EXPECT_LT(st::skewness(left), -1.0);
+}
+
+TEST(Descriptive, KurtosisOfNormalSampleNearZero) {
+  mpe::Rng rng(5);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = rng.normal();
+  EXPECT_NEAR(st::excess_kurtosis(xs), 0.0, 0.1);
+}
+
+TEST(Descriptive, SummaryBundleConsistent) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  const auto s = st::summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q25, 2.0);
+  EXPECT_DOUBLE_EQ(s.q75, 4.0);
+}
+
+TEST(Descriptive, PreconditionsEnforced) {
+  const std::vector<double> empty;
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(st::mean(empty), mpe::ContractViolation);
+  EXPECT_THROW(st::variance(one), mpe::ContractViolation);
+  EXPECT_THROW(st::quantile(one, 1.5), mpe::ContractViolation);
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_THROW(st::skewness(two), mpe::ContractViolation);
+}
+
+class QuantileMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileMonotone, QuantileIsMonotoneInQ) {
+  mpe::Rng rng(static_cast<std::uint64_t>(GetParam() * 1000));
+  std::vector<double> xs(500);
+  for (auto& x : xs) x = rng.normal(0.0, GetParam());
+  double prev = st::quantile(xs, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = st::quantile(xs, q);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, QuantileMonotone,
+                         ::testing::Values(0.5, 1.0, 2.0, 10.0));
+
+}  // namespace

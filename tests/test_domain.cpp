@@ -1,0 +1,95 @@
+#include "evt/domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/gumbel.hpp"
+#include "stats/weibull.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace evt = mpe::evt;
+using mpe::stats::Gumbel;
+using mpe::stats::ReversedWeibull;
+
+TEST(Domain, ToStringNames) {
+  EXPECT_EQ(evt::to_string(evt::ExtremeDomain::kWeibull), "Weibull");
+  EXPECT_EQ(evt::to_string(evt::ExtremeDomain::kGumbel), "Gumbel");
+  EXPECT_EQ(evt::to_string(evt::ExtremeDomain::kFrechet), "Frechet");
+}
+
+TEST(Domain, ClassifiesWeibullData) {
+  const ReversedWeibull g(3.0, 1.0, 4.0);
+  mpe::Rng rng(1);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = g.sample(rng);
+  const auto c = evt::classify_domain(xs);
+  EXPECT_EQ(c.best, evt::ExtremeDomain::kWeibull);
+  EXPECT_LT(c.pwm_xi, -0.1);
+  EXPECT_LT(c.ks_weibull, 0.05);
+}
+
+TEST(Domain, ClassifiesGumbelData) {
+  const Gumbel g(0.0, 1.0);
+  mpe::Rng rng(2);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = g.sample(rng);
+  const auto c = evt::classify_domain(xs);
+  // Weibull with huge alpha can mimic Gumbel; accept either but require the
+  // Gumbel fit itself to be excellent and the PWM shape to be near zero.
+  EXPECT_LT(c.ks_gumbel, 0.05);
+  EXPECT_NEAR(c.pwm_xi, 0.0, 0.12);
+}
+
+TEST(Domain, ClassifiesFrechetData) {
+  mpe::Rng rng(3);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) {
+    const double u = 1.0 - rng.uniform() * (1.0 - 1e-16);
+    x = std::pow(-std::log(u), -1.0 / 1.5);  // Frechet alpha = 1.5
+  }
+  const auto c = evt::classify_domain(xs);
+  EXPECT_GT(c.pwm_xi, 0.2);
+  EXPECT_EQ(c.best, evt::ExtremeDomain::kFrechet);
+  // The pinned-location Fréchet fit is approximate; it only needs to beat
+  // the finite-endpoint and exponential-tail alternatives.
+  EXPECT_LT(c.ks_frechet, c.ks_weibull);
+  EXPECT_LT(c.ks_frechet, c.ks_gumbel);
+}
+
+TEST(Domain, AllKsDistancesAreValid) {
+  mpe::Rng rng(4);
+  std::vector<double> xs(500);
+  for (auto& x : xs) x = rng.uniform();
+  const auto c = evt::classify_domain(xs);
+  for (double d : {c.ks_frechet, c.ks_weibull, c.ks_gumbel}) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(Domain, UniformParentMaximaAreWeibullType) {
+  // Maxima of uniforms have a finite endpoint -> Weibull domain (alpha = 1
+  // for the parent; block maxima push the fitted shape near 1, so check the
+  // PWM shape sign rather than the KS winner).
+  mpe::Rng rng(5);
+  std::vector<double> maxima(1500);
+  for (auto& m : maxima) {
+    double best = 0.0;
+    for (int i = 0; i < 30; ++i) best = std::max(best, rng.uniform());
+    m = best;
+  }
+  const auto c = evt::classify_domain(maxima);
+  EXPECT_LT(c.pwm_xi, 0.0);
+}
+
+TEST(Domain, RejectsTinySamples) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_THROW(evt::classify_domain(xs), mpe::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+#include "gen/ecc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "circuit/analysis.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace ckt = mpe::circuit;
+namespace gen = mpe::gen;
+
+std::vector<std::uint8_t> encode(ckt::Netlist& enc, std::uint64_t data,
+                                 std::size_t k, std::size_t n) {
+  std::vector<std::uint8_t> in(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    in[i] = static_cast<std::uint8_t>((data >> i) & 1);
+  }
+  const auto values = ckt::evaluate(enc, in);
+  std::vector<std::uint8_t> code(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    code[i] = values[*enc.find("c" + std::to_string(i))];
+  }
+  return code;
+}
+
+std::uint64_t decode(ckt::Netlist& dec, const std::vector<std::uint8_t>& code,
+                     std::size_t k, std::uint64_t* syndrome = nullptr) {
+  const auto values = ckt::evaluate(dec, code);
+  std::uint64_t data = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    data |= static_cast<std::uint64_t>(
+                values[*dec.find("d" + std::to_string(i))])
+            << i;
+  }
+  if (syndrome) {
+    *syndrome = 0;
+    const std::size_t r = gen::hamming_parity_bits(k);
+    for (std::size_t i = 0; i < r; ++i) {
+      *syndrome |= static_cast<std::uint64_t>(
+                       values[*dec.find("s" + std::to_string(i))])
+                   << i;
+    }
+  }
+  return data;
+}
+
+TEST(Ecc, ParityBitCounts) {
+  EXPECT_EQ(gen::hamming_parity_bits(1), 2u);
+  EXPECT_EQ(gen::hamming_parity_bits(4), 3u);
+  EXPECT_EQ(gen::hamming_parity_bits(11), 4u);
+  EXPECT_EQ(gen::hamming_parity_bits(26), 5u);
+  EXPECT_EQ(gen::hamming_parity_bits(32), 6u);
+}
+
+TEST(Ecc, CleanRoundTripExhaustive4Bit) {
+  auto enc = gen::hamming_encoder(4);
+  auto dec = gen::hamming_decoder(4);
+  const std::size_t n = 7;
+  for (std::uint64_t d = 0; d < 16; ++d) {
+    const auto code = encode(enc, d, 4, n);
+    std::uint64_t syn = 1;
+    EXPECT_EQ(decode(dec, code, 4, &syn), d);
+    EXPECT_EQ(syn, 0u) << "clean codeword must have zero syndrome";
+  }
+}
+
+TEST(Ecc, CorrectsEverySingleBitErrorExhaustive4Bit) {
+  auto enc = gen::hamming_encoder(4);
+  auto dec = gen::hamming_decoder(4);
+  const std::size_t n = 7;
+  for (std::uint64_t d = 0; d < 16; ++d) {
+    const auto clean = encode(enc, d, 4, n);
+    for (std::size_t flip = 0; flip < n; ++flip) {
+      auto corrupted = clean;
+      corrupted[flip] ^= 1;
+      std::uint64_t syn = 0;
+      EXPECT_EQ(decode(dec, corrupted, 4, &syn), d)
+          << "data=" << d << " flip=" << flip;
+      EXPECT_EQ(syn, flip + 1) << "syndrome must name the flipped position";
+    }
+  }
+}
+
+TEST(Ecc, CorrectsSingleBitErrorsRandom11Bit) {
+  auto enc = gen::hamming_encoder(11);
+  auto dec = gen::hamming_decoder(11);
+  const std::size_t n = 15;
+  mpe::Rng rng(5);
+  for (int t = 0; t < 100; ++t) {
+    const std::uint64_t d = rng.below(1ull << 11);
+    auto code = encode(enc, d, 11, n);
+    code[rng.below(n)] ^= 1;
+    EXPECT_EQ(decode(dec, code, 11), d);
+  }
+}
+
+TEST(Ecc, ThirtyTwoBitLikeC1355Scale) {
+  // The C1355/C499 class: 32 data bits. Verify structure and a few
+  // correction cases.
+  auto enc = gen::hamming_encoder(32, "enc32");
+  auto dec = gen::hamming_decoder(32, "dec32");
+  const std::size_t n = 38;
+  EXPECT_EQ(enc.num_outputs(), n);
+  EXPECT_GT(dec.num_gates(), 100u);  // substantial XOR cones
+  mpe::Rng rng(6);
+  for (int t = 0; t < 25; ++t) {
+    const std::uint64_t d = rng.below(1ull << 32);
+    auto code = encode(enc, d, 32, n);
+    code[rng.below(n)] ^= 1;
+    EXPECT_EQ(decode(dec, code, 32), d);
+  }
+}
+
+TEST(Ecc, SecdedDistinguishesSingleFromDouble) {
+  auto enc = gen::hamming_encoder(8);
+  auto chk = gen::secded_checker(8);
+  const std::size_t n = 12;
+  mpe::Rng rng(7);
+  for (int t = 0; t < 50; ++t) {
+    const std::uint64_t d = rng.below(256);
+    const auto code = encode(enc, d, 8, n);
+    // Overall parity bit completing even parity.
+    std::uint8_t parity = 0;
+    for (auto bit : code) parity ^= bit;
+
+    auto run = [&](std::vector<std::uint8_t> cw, std::uint8_t p) {
+      cw.push_back(p);
+      const auto values = ckt::evaluate(chk, cw);
+      return std::make_pair(values[*chk.find("ce")],
+                            values[*chk.find("ue")]);
+    };
+
+    // Clean: no error flags.
+    auto [ce0, ue0] = run(code, parity);
+    EXPECT_EQ(ce0, 0);
+    EXPECT_EQ(ue0, 0);
+
+    // Single flip: correctable, not uncorrectable.
+    auto single = code;
+    single[rng.below(n)] ^= 1;
+    auto [ce1, ue1] = run(single, parity);
+    EXPECT_EQ(ce1, 1);
+    EXPECT_EQ(ue1, 0);
+
+    // Double flip: uncorrectable.
+    auto dbl = code;
+    const auto f1 = rng.below(n);
+    std::size_t f2;
+    do {
+      f2 = rng.below(n);
+    } while (f2 == f1);
+    dbl[f1] ^= 1;
+    dbl[f2] ^= 1;
+    auto [ce2, ue2] = run(dbl, parity);
+    EXPECT_EQ(ce2, 0);
+    EXPECT_EQ(ue2, 1);
+  }
+}
+
+TEST(Ecc, EncoderIsXorDominated) {
+  const auto enc = gen::hamming_encoder(16);
+  const auto st = enc.stats();
+  const auto xors =
+      st.gates_by_type[static_cast<std::size_t>(ckt::GateType::kXor)];
+  EXPECT_GT(xors, st.num_gates / 3);
+}
+
+}  // namespace

@@ -1,0 +1,66 @@
+#include "stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace {
+
+using mpe::stats::Ecdf;
+
+TEST(Ecdf, StepFunctionValues) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const Ecdf f(xs);
+  EXPECT_DOUBLE_EQ(f(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 0.25);  // right-continuous: includes the point
+  EXPECT_DOUBLE_EQ(f(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(f(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(100.0), 1.0);
+}
+
+TEST(Ecdf, HandlesDuplicates) {
+  const std::vector<double> xs = {2.0, 2.0, 2.0, 5.0};
+  const Ecdf f(xs);
+  EXPECT_DOUBLE_EQ(f(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(f(1.9), 0.0);
+}
+
+TEST(Ecdf, QuantileInvertsStep) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
+  const Ecdf f(xs);
+  EXPECT_DOUBLE_EQ(f.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.21), 20.0);
+  EXPECT_DOUBLE_EQ(f.quantile(1.0), 50.0);
+}
+
+TEST(Ecdf, SortedAccessor) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0};
+  const Ecdf f(xs);
+  EXPECT_EQ(f.sorted(), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(f.size(), 3u);
+}
+
+TEST(Ecdf, GridSpansRangeAndIsMonotone) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0, 10.0};
+  const Ecdf f(xs);
+  const auto g = f.grid(11);
+  ASSERT_EQ(g.size(), 11u);
+  EXPECT_DOUBLE_EQ(g.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(g.back().first, 10.0);
+  EXPECT_DOUBLE_EQ(g.back().second, 1.0);
+  for (std::size_t i = 1; i < g.size(); ++i) {
+    EXPECT_GE(g[i].second, g[i - 1].second);
+  }
+}
+
+TEST(Ecdf, RejectsEmptyAndBadArgs) {
+  EXPECT_THROW(Ecdf(std::vector<double>{}), mpe::ContractViolation);
+  const Ecdf f(std::vector<double>{1.0});
+  EXPECT_THROW(f.quantile(-0.1), mpe::ContractViolation);
+  EXPECT_THROW(f.grid(1), mpe::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+#include "maxpower/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/weibull.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+#include "vectors/population.hpp"
+
+namespace {
+
+namespace mp = mpe::maxpower;
+
+mpe::vec::FinitePopulation weibull_population(std::size_t size,
+                                              std::uint64_t seed,
+                                              double alpha = 3.0,
+                                              double mu = 10.0) {
+  const mpe::stats::ReversedWeibull g(alpha, 1.0, mu);
+  mpe::Rng rng(seed);
+  std::vector<double> vals(size);
+  for (auto& v : vals) v = g.sample(rng);
+  return mpe::vec::FinitePopulation(std::move(vals), "synthetic weibull");
+}
+
+TEST(Estimator, ConvergesOnSyntheticPopulation) {
+  auto pop = weibull_population(40000, 1);
+  mp::EstimatorOptions opt;
+  mpe::Rng rng(2);
+  const auto r = mp::estimate_max_power(pop, opt, rng);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.relative_error_bound, opt.epsilon);
+  EXPECT_EQ(r.units_used, r.hyper_samples * 300u);
+  EXPECT_GE(r.hyper_samples, 2u);
+  EXPECT_EQ(r.hyper_values.size(), r.hyper_samples);
+}
+
+TEST(Estimator, EstimateWithinErrorBandMostOfTheTime) {
+  // 90% confidence at 5% error: over many runs the estimate should land
+  // within ~5% of the truth in the vast majority of cases.
+  auto pop = weibull_population(40000, 3);
+  mp::EstimatorOptions opt;
+  mpe::Rng rng(4);
+  int within = 0;
+  const int reps = 60;
+  for (int i = 0; i < reps; ++i) {
+    const auto r = mp::estimate_max_power(pop, opt, rng);
+    const double rel_err =
+        std::fabs(r.estimate - pop.true_max()) / pop.true_max();
+    if (rel_err <= 0.08) ++within;  // small slack over the 5% target
+  }
+  EXPECT_GE(within, reps * 80 / 100);
+}
+
+TEST(Estimator, UnitCountsInPaperRange) {
+  // The paper's Table 1 reports 600..5400 units (k in [2, 18]) per run.
+  auto pop = weibull_population(40000, 5);
+  mp::EstimatorOptions opt;
+  mpe::Rng rng(6);
+  for (int i = 0; i < 20; ++i) {
+    const auto r = mp::estimate_max_power(pop, opt, rng);
+    EXPECT_GE(r.units_used, 600u);
+    EXPECT_LE(r.units_used, 30000u);
+  }
+}
+
+TEST(Estimator, TighterEpsilonNeedsMoreUnits) {
+  auto pop = weibull_population(40000, 7);
+  mp::EstimatorOptions loose;
+  loose.epsilon = 0.10;
+  mp::EstimatorOptions tight;
+  tight.epsilon = 0.02;
+  mpe::Rng r1(8), r2(8);
+  std::size_t units_loose = 0, units_tight = 0;
+  for (int i = 0; i < 15; ++i) {
+    units_loose += mp::estimate_max_power(pop, loose, r1).units_used;
+    units_tight += mp::estimate_max_power(pop, tight, r2).units_used;
+  }
+  EXPECT_GT(units_tight, units_loose);
+}
+
+TEST(Estimator, HigherConfidenceWidensInterval) {
+  auto pop = weibull_population(40000, 9);
+  mp::EstimatorOptions low;
+  low.confidence = 0.80;
+  low.max_hyper_samples = 6;  // force same k for comparison
+  low.epsilon = 1e-9;         // never converges early
+  mp::EstimatorOptions high = low;
+  high.confidence = 0.99;
+  mpe::Rng r1(10), r2(10);
+  const auto a = mp::estimate_max_power(pop, low, r1);
+  const auto b = mp::estimate_max_power(pop, high, r2);
+  EXPECT_GT(b.ci.half_width, a.ci.half_width);
+}
+
+TEST(Estimator, NonConvergenceReportedHonestly) {
+  auto pop = weibull_population(5000, 11);
+  mp::EstimatorOptions opt;
+  opt.epsilon = 1e-9;  // unattainable
+  opt.max_hyper_samples = 5;
+  mpe::Rng rng(12);
+  const auto r = mp::estimate_max_power(pop, opt, rng);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.hyper_samples, 5u);
+  EXPECT_GT(r.relative_error_bound, opt.epsilon);
+  EXPECT_GT(r.estimate, 0.0);  // still reports the best available estimate
+}
+
+TEST(Estimator, DeterministicGivenSeed) {
+  auto pop = weibull_population(20000, 13);
+  mp::EstimatorOptions opt;
+  mpe::Rng r1(14), r2(14);
+  const auto a = mp::estimate_max_power(pop, opt, r1);
+  const auto b = mp::estimate_max_power(pop, opt, r2);
+  EXPECT_DOUBLE_EQ(a.estimate, b.estimate);
+  EXPECT_EQ(a.units_used, b.units_used);
+}
+
+TEST(Estimator, WorksAcrossShapeParameters) {
+  for (double alpha : {2.5, 4.0, 6.0}) {
+    auto pop = weibull_population(30000, 15, alpha, 5.0);
+    mp::EstimatorOptions opt;
+    mpe::Rng rng(16);
+    const auto r = mp::estimate_max_power(pop, opt, rng);
+    const double rel_err =
+        std::fabs(r.estimate - pop.true_max()) / pop.true_max();
+    EXPECT_LT(rel_err, 0.15) << "alpha=" << alpha;
+  }
+}
+
+TEST(Estimator, BootstrapIntervalModeConverges) {
+  auto pop = weibull_population(30000, 21);
+  mp::EstimatorOptions opt;
+  opt.interval = mp::IntervalKind::kBootstrap;
+  mpe::Rng rng(22);
+  const auto r = mp::estimate_max_power(pop, opt, rng);
+  EXPECT_TRUE(r.converged);
+  const double rel =
+      std::fabs(r.estimate - pop.true_max()) / pop.true_max();
+  EXPECT_LT(rel, 0.15);
+  // Bootstrap intervals need not be symmetric around the mean.
+  EXPECT_LE(r.ci.lower, r.estimate);
+  EXPECT_GE(r.ci.upper, r.estimate);
+}
+
+TEST(Estimator, BootstrapAndTTrackEachOther) {
+  auto pop = weibull_population(30000, 23);
+  mp::EstimatorOptions t_opt;
+  mp::EstimatorOptions b_opt;
+  b_opt.interval = mp::IntervalKind::kBootstrap;
+  mpe::Rng r1(24), r2(24);
+  const auto rt = mp::estimate_max_power(pop, t_opt, r1);
+  const auto rb = mp::estimate_max_power(pop, b_opt, r2);
+  // Same population, same seed stream: estimates agree to within a few
+  // percent even though the stopping rules differ.
+  EXPECT_NEAR(rb.estimate, rt.estimate, 0.1 * rt.estimate);
+}
+
+TEST(Estimator, ContractChecks) {
+  auto pop = weibull_population(1000, 17);
+  mpe::Rng rng(18);
+  mp::EstimatorOptions bad;
+  bad.epsilon = 0.0;
+  EXPECT_THROW(mp::estimate_max_power(pop, bad, rng),
+               mpe::ContractViolation);
+  bad = {};
+  bad.min_hyper_samples = 1;
+  EXPECT_THROW(mp::estimate_max_power(pop, bad, rng),
+               mpe::ContractViolation);
+  bad = {};
+  bad.max_hyper_samples = 1;
+  EXPECT_THROW(mp::estimate_max_power(pop, bad, rng),
+               mpe::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+#include "evt/fisher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "evt/weibull_mle.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/weibull.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace evt = mpe::evt;
+using mpe::stats::ReversedWeibull;
+using mpe::stats::WeibullParams;
+
+std::vector<double> draw(const WeibullParams& p, int n, std::uint64_t seed) {
+  const ReversedWeibull g(p);
+  mpe::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = g.sample(rng);
+  return xs;
+}
+
+TEST(Fisher, ValidAtInteriorMaximum) {
+  const WeibullParams truth{4.0, 1.0, 10.0};
+  const auto xs = draw(truth, 500, 3);
+  const auto fit = evt::fit_weibull_mle(xs);
+  ASSERT_TRUE(fit.converged);
+  const auto cov = evt::observed_covariance(xs, fit.params);
+  ASSERT_TRUE(cov.valid);
+  EXPECT_GT(cov.var_alpha(), 0.0);
+  EXPECT_GT(cov.var_beta(), 0.0);
+  EXPECT_GT(cov.var_mu(), 0.0);
+  // Symmetry of the covariance matrix.
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(cov.cov[i][j], cov.cov[j][i], 1e-12);
+    }
+  }
+}
+
+TEST(Fisher, VarianceShrinksWithSampleSize) {
+  const WeibullParams truth{4.0, 1.0, 10.0};
+  const auto small = draw(truth, 100, 5);
+  const auto large = draw(truth, 1000, 5);
+  const auto fs = evt::fit_weibull_mle(small);
+  const auto fl = evt::fit_weibull_mle(large);
+  const auto cs = evt::observed_covariance(small, fs.params);
+  const auto cl = evt::observed_covariance(large, fl.params);
+  ASSERT_TRUE(cs.valid && cl.valid);
+  EXPECT_LT(cl.var_mu(), cs.var_mu());
+}
+
+TEST(Fisher, PredictedSdMatchesEmpiricalSpread) {
+  // Theorem 3: the MLE endpoint is asymptotically normal with variance
+  // sigma_mu^2 / m. Compare the observed-information prediction with the
+  // empirical spread of mu-hat over independent replications.
+  const WeibullParams truth{4.0, 1.0, 10.0};
+  const int m = 400;
+  std::vector<double> mu_hats;
+  std::vector<double> predicted_sd;
+  for (int rep = 0; rep < 40; ++rep) {
+    const auto xs = draw(truth, m, 100 + rep);
+    const auto fit = evt::fit_weibull_mle(xs);
+    if (!fit.converged) continue;
+    const auto cov = evt::observed_covariance(xs, fit.params);
+    if (!cov.valid) continue;
+    mu_hats.push_back(fit.params.mu);
+    predicted_sd.push_back(std::sqrt(cov.var_mu()));
+  }
+  ASSERT_GE(mu_hats.size(), 20u);
+  const double empirical = mpe::stats::stddev(mu_hats);
+  const double predicted = mpe::stats::mean(predicted_sd);
+  // Same order of magnitude with a factor-2 band (non-regular problem,
+  // finite m): the point is the information matrix is usable, not exact.
+  EXPECT_GT(predicted, 0.4 * empirical);
+  EXPECT_LT(predicted, 2.5 * empirical);
+}
+
+TEST(Fisher, InvalidOnDegenerateInputs) {
+  // Endpoint below the sample max -> no likelihood -> invalid.
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const WeibullParams bad{3.0, 1.0, 2.5};
+  EXPECT_FALSE(evt::observed_covariance(xs, bad).valid);
+  const WeibullParams bad2{-1.0, 1.0, 4.0};
+  EXPECT_FALSE(evt::observed_covariance(xs, bad2).valid);
+}
+
+TEST(Fisher, EndpointIntervalCoversTruthMostly) {
+  const WeibullParams truth{4.0, 1.0, 10.0};
+  int covered = 0, usable = 0;
+  for (int rep = 0; rep < 60; ++rep) {
+    const auto xs = draw(truth, 300, 500 + rep);
+    const auto fit = evt::fit_weibull_mle(xs);
+    if (!fit.converged) continue;
+    const auto cov = evt::observed_covariance(xs, fit.params);
+    if (!cov.valid) continue;
+    ++usable;
+    const auto ci = evt::endpoint_interval(fit.params, cov, 0.90);
+    if (ci.lower <= truth.mu && truth.mu <= ci.upper) ++covered;
+  }
+  ASSERT_GE(usable, 30);
+  // Nominal 90%; allow generous slack for the non-regular small-m regime.
+  EXPECT_GE(static_cast<double>(covered) / usable, 0.6);
+}
+
+TEST(Fisher, EndpointIntervalContracts) {
+  const std::vector<double> xs = draw({4.0, 1.0, 10.0}, 500, 9);
+  const auto fit = evt::fit_weibull_mle(xs);
+  const auto cov = evt::observed_covariance(xs, fit.params);
+  ASSERT_TRUE(cov.valid);
+  EXPECT_THROW(evt::endpoint_interval(fit.params, cov, 1.0),
+               mpe::ContractViolation);
+  evt::WeibullCovariance invalid;
+  EXPECT_THROW(evt::endpoint_interval(fit.params, invalid, 0.9),
+               mpe::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+#include "circuit/gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace {
+
+namespace ckt = mpe::circuit;
+using ckt::GateType;
+
+std::uint8_t b(int v) { return static_cast<std::uint8_t>(v); }
+
+TEST(Gate, NamesRoundTrip) {
+  for (auto t : {GateType::kBuf, GateType::kNot, GateType::kAnd,
+                 GateType::kNand, GateType::kOr, GateType::kNor,
+                 GateType::kXor, GateType::kXnor}) {
+    EXPECT_EQ(ckt::gate_type_from_string(ckt::to_string(t)), t);
+  }
+}
+
+TEST(Gate, ParsesAliasesAndCase) {
+  EXPECT_EQ(ckt::gate_type_from_string("NAND"), GateType::kNand);
+  EXPECT_EQ(ckt::gate_type_from_string("inv"), GateType::kNot);
+  EXPECT_EQ(ckt::gate_type_from_string("BUFF"), GateType::kBuf);
+  EXPECT_THROW(ckt::gate_type_from_string("mystery"), std::invalid_argument);
+}
+
+TEST(Gate, UnaryPredicates) {
+  EXPECT_TRUE(ckt::is_unary(GateType::kBuf));
+  EXPECT_TRUE(ckt::is_unary(GateType::kNot));
+  EXPECT_FALSE(ckt::is_unary(GateType::kAnd));
+  EXPECT_FALSE(ckt::is_unary(GateType::kXnor));
+}
+
+TEST(Gate, TwoInputTruthTables) {
+  struct Case {
+    GateType t;
+    std::array<int, 4> out;  // for inputs 00, 01, 10, 11
+  };
+  const std::vector<Case> cases = {
+      {GateType::kAnd, {0, 0, 0, 1}},  {GateType::kNand, {1, 1, 1, 0}},
+      {GateType::kOr, {0, 1, 1, 1}},   {GateType::kNor, {1, 0, 0, 0}},
+      {GateType::kXor, {0, 1, 1, 0}},  {GateType::kXnor, {1, 0, 0, 1}},
+  };
+  for (const auto& c : cases) {
+    for (int i = 0; i < 4; ++i) {
+      const std::vector<std::uint8_t> ins = {b(i >> 1), b(i & 1)};
+      EXPECT_EQ(ckt::eval_gate(c.t, ins), c.out[i] != 0)
+          << ckt::to_string(c.t) << " inputs " << (i >> 1) << (i & 1);
+    }
+  }
+}
+
+TEST(Gate, UnaryTruthTables) {
+  EXPECT_TRUE(ckt::eval_gate(GateType::kBuf, std::vector<std::uint8_t>{1}));
+  EXPECT_FALSE(ckt::eval_gate(GateType::kBuf, std::vector<std::uint8_t>{0}));
+  EXPECT_FALSE(ckt::eval_gate(GateType::kNot, std::vector<std::uint8_t>{1}));
+  EXPECT_TRUE(ckt::eval_gate(GateType::kNot, std::vector<std::uint8_t>{0}));
+}
+
+TEST(Gate, WideGates) {
+  const std::vector<std::uint8_t> all1 = {1, 1, 1, 1, 1};
+  const std::vector<std::uint8_t> one0 = {1, 1, 0, 1, 1};
+  EXPECT_TRUE(ckt::eval_gate(GateType::kAnd, all1));
+  EXPECT_FALSE(ckt::eval_gate(GateType::kAnd, one0));
+  EXPECT_TRUE(ckt::eval_gate(GateType::kOr, one0));
+  // XOR over 5 ones = parity 1; over 4 ones = 0.
+  EXPECT_TRUE(ckt::eval_gate(GateType::kXor, all1));
+  const std::vector<std::uint8_t> four1 = {1, 1, 1, 1};
+  EXPECT_FALSE(ckt::eval_gate(GateType::kXor, four1));
+}
+
+TEST(Gate, ArityContracts) {
+  const std::vector<std::uint8_t> two = {1, 0};
+  const std::vector<std::uint8_t> one = {1};
+  const std::vector<std::uint8_t> none;
+  EXPECT_THROW(ckt::eval_gate(GateType::kBuf, two), mpe::ContractViolation);
+  EXPECT_THROW(ckt::eval_gate(GateType::kAnd, one), mpe::ContractViolation);
+  EXPECT_THROW(ckt::eval_gate(GateType::kAnd, none), mpe::ContractViolation);
+}
+
+TEST(Gate, ElectricalParametersSane) {
+  for (std::size_t i = 0; i < ckt::kNumGateTypes; ++i) {
+    const auto& e = ckt::electrical(static_cast<GateType>(i));
+    EXPECT_GT(e.input_cap, 0.0);
+    EXPECT_GT(e.intrinsic_delay, 0.0);
+    EXPECT_GT(e.drive, 0.0);
+  }
+  // XOR cells are heavier than inverters.
+  EXPECT_GT(ckt::electrical(GateType::kXor).input_cap,
+            ckt::electrical(GateType::kNot).input_cap);
+}
+
+}  // namespace

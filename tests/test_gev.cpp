@@ -1,0 +1,101 @@
+#include "stats/gev.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/gumbel.hpp"
+#include "stats/weibull.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using mpe::stats::Gev;
+using mpe::stats::Gumbel;
+using mpe::stats::ReversedWeibull;
+using mpe::stats::WeibullParams;
+
+TEST(Gev, ZeroShapeIsGumbel) {
+  const Gev g(0.0, 2.0, 1.5);
+  const Gumbel gum(2.0, 1.5);
+  for (double x : {-1.0, 0.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(g.cdf(x), gum.cdf(x), 1e-14);
+    EXPECT_NEAR(g.pdf(x), gum.pdf(x), 1e-14);
+  }
+}
+
+TEST(Gev, NegativeShapeHasFiniteEndpoint) {
+  const Gev g(-0.25, 0.0, 1.0);
+  const double endpoint = g.right_endpoint();
+  EXPECT_DOUBLE_EQ(endpoint, 4.0);  // mu - sigma/xi = 0 + 1/0.25
+  EXPECT_DOUBLE_EQ(g.cdf(endpoint), 1.0);
+  EXPECT_DOUBLE_EQ(g.cdf(endpoint + 1.0), 1.0);
+  EXPECT_LT(g.cdf(endpoint - 0.1), 1.0);
+}
+
+TEST(Gev, PositiveShapeUnboundedSupport) {
+  const Gev g(0.5, 0.0, 1.0);
+  EXPECT_TRUE(std::isinf(g.right_endpoint()));
+  EXPECT_LT(g.cdf(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(g.cdf(-2.0), 0.0);  // left endpoint at mu - sigma/xi = -2
+}
+
+TEST(Gev, QuantileRoundTrip) {
+  for (double xi : {-0.5, -0.2, 0.0, 0.3}) {
+    const Gev g(xi, 1.0, 2.0);
+    for (double q : {0.01, 0.5, 0.99}) {
+      EXPECT_NEAR(g.cdf(g.quantile(q)), q, 1e-12)
+          << "xi=" << xi << " q=" << q;
+    }
+  }
+}
+
+TEST(Gev, WeibullConversionRoundTrip) {
+  const WeibullParams w{3.0, 0.5, 10.0};
+  const Gev g = Gev::from_weibull(w);
+  EXPECT_LT(g.xi(), 0.0);
+  EXPECT_NEAR(g.right_endpoint(), 10.0, 1e-10);
+  const WeibullParams back = g.to_weibull();
+  EXPECT_NEAR(back.alpha, w.alpha, 1e-10);
+  EXPECT_NEAR(back.beta, w.beta, 1e-10);
+  EXPECT_NEAR(back.mu, w.mu, 1e-10);
+}
+
+TEST(Gev, MatchesReversedWeibullCdf) {
+  const WeibullParams w{2.5, 1.3, 4.0};
+  const ReversedWeibull rw(w);
+  const Gev g = Gev::from_weibull(w);
+  for (double x : {0.0, 1.0, 2.0, 3.0, 3.9, 4.0, 5.0}) {
+    EXPECT_NEAR(g.cdf(x), rw.cdf(x), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(Gev, PdfMatchesDerivative) {
+  for (double xi : {-0.3, 0.0, 0.4}) {
+    const Gev g(xi, 0.0, 1.0);
+    const double h = 1e-6;
+    for (double x : {-0.5, 0.5, 1.5}) {
+      EXPECT_NEAR(g.pdf(x), (g.cdf(x + h) - g.cdf(x - h)) / (2 * h), 1e-6)
+          << "xi=" << xi << " x=" << x;
+    }
+  }
+}
+
+TEST(Gev, SampleStaysInSupport) {
+  const Gev g(-0.4, 1.0, 0.5);
+  const double endpoint = g.right_endpoint();
+  mpe::Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LE(g.sample(rng), endpoint);
+  }
+}
+
+TEST(Gev, RejectsBadArgs) {
+  EXPECT_THROW(Gev(0.0, 0.0, 0.0), mpe::ContractViolation);
+  const Gev g(0.1, 0.0, 1.0);
+  EXPECT_THROW(g.quantile(1.0), mpe::ContractViolation);  // xi > 0: no endpoint
+  EXPECT_THROW(g.to_weibull(), mpe::ContractViolation);
+}
+
+}  // namespace

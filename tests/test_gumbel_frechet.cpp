@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/frechet.hpp"
+#include "stats/gumbel.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using mpe::stats::Frechet;
+using mpe::stats::Gumbel;
+
+TEST(Gumbel, CdfKnownPoints) {
+  const Gumbel g(0.0, 1.0);
+  EXPECT_NEAR(g.cdf(0.0), std::exp(-1.0), 1e-15);
+  EXPECT_NEAR(g.cdf(10.0), 1.0, 1e-4);
+  EXPECT_LT(g.cdf(-3.0), 1e-8);
+}
+
+TEST(Gumbel, QuantileRoundTrip) {
+  const Gumbel g(3.0, 2.0);
+  for (double q : {0.01, 0.3, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(g.cdf(g.quantile(q)), q, 1e-12);
+  }
+}
+
+TEST(Gumbel, MeanVarianceAgainstSamples) {
+  const Gumbel g(1.0, 0.5);
+  mpe::Rng rng(31337);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = g.sample(rng);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, g.mean(), 0.005);
+  EXPECT_NEAR(sum2 / n - mean * mean, g.variance(), 0.01);
+}
+
+TEST(Gumbel, PdfMatchesDerivative) {
+  const Gumbel g(-1.0, 1.5);
+  const double h = 1e-6;
+  for (double x : {-2.0, 0.0, 1.0, 4.0}) {
+    EXPECT_NEAR(g.pdf(x), (g.cdf(x + h) - g.cdf(x - h)) / (2 * h), 1e-6);
+  }
+}
+
+TEST(Gumbel, LogPdfConsistent) {
+  const Gumbel g(0.0, 1.0);
+  for (double x : {-1.0, 0.0, 2.0}) {
+    EXPECT_NEAR(g.log_pdf(x), std::log(g.pdf(x)), 1e-12);
+  }
+}
+
+TEST(Gumbel, RejectsBadScale) {
+  EXPECT_THROW(Gumbel(0.0, 0.0), mpe::ContractViolation);
+  EXPECT_THROW(Gumbel(0.0, -2.0), mpe::ContractViolation);
+}
+
+TEST(Frechet, CdfSupportsOnlyAboveLocation) {
+  const Frechet f(2.0, 1.0, 5.0);
+  EXPECT_DOUBLE_EQ(f.cdf(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.cdf(4.0), 0.0);
+  EXPECT_NEAR(f.cdf(6.0), std::exp(-1.0), 1e-15);
+  EXPECT_NEAR(f.cdf(1e6), 1.0, 1e-6);
+}
+
+TEST(Frechet, QuantileRoundTrip) {
+  const Frechet f(3.0, 2.0, -1.0);
+  for (double q : {0.05, 0.5, 0.95}) {
+    EXPECT_NEAR(f.cdf(f.quantile(q)), q, 1e-12);
+  }
+}
+
+TEST(Frechet, PdfMatchesDerivative) {
+  const Frechet f(2.5, 1.0, 0.0);
+  const double h = 1e-6;
+  for (double x : {0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(f.pdf(x), (f.cdf(x + h) - f.cdf(x - h)) / (2 * h), 1e-6);
+  }
+}
+
+TEST(Frechet, MeanRequiresAlphaAboveOne) {
+  const Frechet ok(2.0, 1.0, 0.0);
+  EXPECT_NEAR(ok.mean(), std::exp(std::lgamma(0.5)), 1e-10);  // Gamma(1/2)
+  const Frechet heavy(0.8, 1.0, 0.0);
+  EXPECT_THROW(heavy.mean(), mpe::ContractViolation);
+}
+
+TEST(Frechet, SamplesHeavyRightTail) {
+  const Frechet f(1.5, 1.0, 0.0);
+  mpe::Rng rng(555);
+  int above10 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (f.sample(rng) > 10.0) ++above10;
+  }
+  // P(X > 10) = 1 - exp(-10^-1.5) ~ 0.0311.
+  EXPECT_NEAR(above10 / static_cast<double>(n), 0.0311, 0.004);
+}
+
+TEST(Frechet, RejectsBadParams) {
+  EXPECT_THROW(Frechet(0.0, 1.0), mpe::ContractViolation);
+  EXPECT_THROW(Frechet(1.0, 0.0), mpe::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,80 @@
+#include "stats/ks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/normal.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace st = mpe::stats;
+
+TEST(KolmogorovQ, LimitsAndKnownValues) {
+  EXPECT_DOUBLE_EQ(st::kolmogorov_q(0.0), 1.0);
+  EXPECT_NEAR(st::kolmogorov_q(10.0), 0.0, 1e-12);
+  // Q(1.36) ~ 0.05 (the classic 5% critical value).
+  EXPECT_NEAR(st::kolmogorov_q(1.36), 0.05, 0.002);
+  // Q(1.22) ~ 0.10.
+  EXPECT_NEAR(st::kolmogorov_q(1.22), 0.10, 0.003);
+}
+
+TEST(KolmogorovQ, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double lam = 0.2; lam < 3.0; lam += 0.2) {
+    const double q = st::kolmogorov_q(lam);
+    EXPECT_LE(q, prev + 1e-12);
+    prev = q;
+  }
+}
+
+TEST(KsTest, CorrectModelGivesHighPValue) {
+  mpe::Rng rng(8);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = rng.normal(0.0, 1.0);
+  const auto r = st::ks_test(xs, [](double x) {
+    return st::Normal::std_cdf(x);
+  });
+  EXPECT_LT(r.statistic, 0.04);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(KsTest, WrongModelGivesLowPValue) {
+  mpe::Rng rng(8);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = rng.normal(0.5, 1.0);  // shifted vs hypothesized
+  const auto r = st::ks_test(xs, [](double x) {
+    return st::Normal::std_cdf(x);
+  });
+  EXPECT_GT(r.statistic, 0.15);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, ExactStatisticSmallSample) {
+  // Sample {0.5} against U(0,1): D = max(|0.5-0|, |1-0.5|) = 0.5.
+  const std::vector<double> xs = {0.5};
+  const auto r = st::ks_test(xs, [](double x) { return x; });
+  EXPECT_DOUBLE_EQ(r.statistic, 0.5);
+}
+
+TEST(KsTest, StatisticBounds) {
+  mpe::Rng rng(44);
+  std::vector<double> xs(100);
+  for (auto& x : xs) x = rng.uniform();
+  const auto r = st::ks_test(xs, [](double x) {
+    return std::min(1.0, std::max(0.0, x));
+  });
+  EXPECT_GE(r.statistic, 0.0);
+  EXPECT_LE(r.statistic, 1.0);
+  EXPECT_GE(r.p_value, 0.0);
+  EXPECT_LE(r.p_value, 1.0);
+}
+
+TEST(KsTest, RejectsEmptySample) {
+  EXPECT_THROW(st::ks_test({}, [](double) { return 0.5; }),
+               mpe::ContractViolation);
+}
+
+}  // namespace

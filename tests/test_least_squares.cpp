@@ -1,0 +1,89 @@
+#include "stats/least_squares.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/weibull.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace st = mpe::stats;
+
+std::vector<double> weibull_sample(const st::WeibullParams& p, int n,
+                                   std::uint64_t seed) {
+  const st::ReversedWeibull g(p);
+  mpe::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = g.sample(rng);
+  return xs;
+}
+
+TEST(WeibullLsq, RecoversEndpointFromLargeSample) {
+  const st::WeibullParams truth{3.0, 1.0, 5.0};
+  const auto xs = weibull_sample(truth, 4000, 42);
+  const auto fit = st::fit_weibull_lsq(xs);
+  // The CDF fit should be tight and the endpoint near the truth.
+  EXPECT_LT(fit.quality.rmse, 0.02);
+  EXPECT_NEAR(fit.params.mu, truth.mu, 0.35);
+}
+
+TEST(WeibullLsq, FittedCdfTracksEcdf) {
+  const st::WeibullParams truth{4.0, 2.0, 1.0};
+  const auto xs = weibull_sample(truth, 2000, 7);
+  const auto fit = st::fit_weibull_lsq(xs);
+  EXPECT_LT(fit.quality.max_abs, 0.06);
+}
+
+TEST(WeibullLsq, EndpointNeverBelowSampleMax) {
+  const st::WeibullParams truth{2.5, 1.0, 0.0};
+  const auto xs = weibull_sample(truth, 500, 11);
+  const auto fit = st::fit_weibull_lsq(xs);
+  const double xmax = *std::max_element(xs.begin(), xs.end());
+  EXPECT_GT(fit.params.mu, xmax);
+}
+
+TEST(WeibullLsq, RequiresMinimumSample) {
+  const std::vector<double> tiny = {1.0, 2.0};
+  EXPECT_THROW(st::fit_weibull_lsq(tiny), mpe::ContractViolation);
+}
+
+TEST(NormalLsq, RecoversParameters) {
+  mpe::Rng rng(99);
+  std::vector<double> xs(3000);
+  for (auto& x : xs) x = rng.normal(4.0, 1.5);
+  const auto fit = st::fit_normal_lsq(xs);
+  EXPECT_NEAR(fit.mean, 4.0, 0.1);
+  EXPECT_NEAR(fit.stddev, 1.5, 0.1);
+  EXPECT_LT(fit.quality.rmse, 0.02);
+}
+
+TEST(NormalLsq, WorksOnShiftedScaledData) {
+  mpe::Rng rng(123);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = rng.normal(-100.0, 0.01);
+  const auto fit = st::fit_normal_lsq(xs);
+  EXPECT_NEAR(fit.mean, -100.0, 0.001);
+  EXPECT_NEAR(fit.stddev, 0.01, 0.002);
+}
+
+class WeibullLsqSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(WeibullLsqSweep, FitQualityAcrossShapes) {
+  const auto [alpha, mu] = GetParam();
+  const st::WeibullParams truth{alpha, 1.0, mu};
+  const auto xs = weibull_sample(truth, 1500, 1000 + static_cast<int>(alpha));
+  const auto fit = st::fit_weibull_lsq(xs);
+  EXPECT_LT(fit.quality.rmse, 0.03)
+      << "alpha=" << alpha << " mu=" << mu;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WeibullLsqSweep,
+    ::testing::Combine(::testing::Values(2.2, 3.0, 5.0, 8.0),
+                       ::testing::Values(0.0, 10.0)));
+
+}  // namespace

@@ -1,0 +1,121 @@
+#include "vectors/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace vec = mpe::vec;
+
+TEST(MarkovGenerator, StationaryProbabilityFormula) {
+  const vec::MarkovPairGenerator g(8, 0.2, 0.6);
+  // p1 = p01 / (p01 + p10) = 0.25.
+  EXPECT_NEAR(g.stationary_one(0), 0.25, 1e-12);
+  // transition = (1-p1)*p01 + p1*p10 = 0.75*0.2 + 0.25*0.6 = 0.3.
+  EXPECT_NEAR(g.transition_prob(0), 0.3, 1e-12);
+}
+
+TEST(MarkovGenerator, EmpiricalStationaryMatches) {
+  const vec::MarkovPairGenerator g(20, 0.3, 0.1);
+  mpe::Rng rng(1);
+  double ones = 0.0, flips = 0.0;
+  const int reps = 4000;
+  for (int i = 0; i < reps; ++i) {
+    const auto p = g.generate(rng);
+    for (std::size_t j = 0; j < p.first.size(); ++j) {
+      ones += p.first[j];
+      flips += (p.first[j] != p.second[j]) ? 1.0 : 0.0;
+    }
+  }
+  EXPECT_NEAR(ones / (20.0 * reps), 0.75, 0.01);  // 0.3/(0.3+0.1)
+  EXPECT_NEAR(flips / (20.0 * reps), g.transition_prob(0), 0.01);
+}
+
+TEST(MarkovGenerator, PerLineParameters) {
+  std::vector<double> p01 = {0.1, 0.9};
+  std::vector<double> p10 = {0.1, 0.1};
+  const vec::MarkovPairGenerator g(std::move(p01), std::move(p10));
+  mpe::Rng rng(2);
+  double ones0 = 0.0, ones1 = 0.0;
+  const int reps = 5000;
+  for (int i = 0; i < reps; ++i) {
+    const auto p = g.generate(rng);
+    ones0 += p.first[0];
+    ones1 += p.first[1];
+  }
+  EXPECT_NEAR(ones0 / reps, 0.5, 0.02);
+  EXPECT_NEAR(ones1 / reps, 0.9, 0.02);
+}
+
+TEST(MarkovGenerator, SymmetricChainMatchesTransitionProbGenerator) {
+  // p01 = p10 = p gives the same pair statistics as the plain
+  // transition-prob generator.
+  const vec::MarkovPairGenerator markov(16, 0.4, 0.4);
+  EXPECT_NEAR(markov.stationary_one(3), 0.5, 1e-12);
+  EXPECT_NEAR(markov.transition_prob(3), 0.4, 1e-12);
+}
+
+TEST(MarkovGenerator, RejectsBadParameters) {
+  EXPECT_THROW(vec::MarkovPairGenerator(4, 0.0, 0.0),
+               mpe::ContractViolation);
+  EXPECT_THROW(vec::MarkovPairGenerator(4, 1.5, 0.1),
+               mpe::ContractViolation);
+  EXPECT_THROW(vec::MarkovPairGenerator({0.5}, {0.5, 0.5}),
+               mpe::ContractViolation);
+}
+
+TEST(CorrelatedGenerator, TransitionProbabilityFormula) {
+  const vec::CorrelatedPairGenerator g({0, 0, 1, 1}, {0.5, 0.2}, 0.8);
+  EXPECT_NEAR(g.transition_prob(0), 0.4, 1e-12);
+  EXPECT_NEAR(g.transition_prob(2), 0.16, 1e-12);
+  EXPECT_EQ(g.num_groups(), 2u);
+  EXPECT_EQ(g.width(), 4u);
+}
+
+TEST(CorrelatedGenerator, EmpiricalTransitionRate) {
+  const vec::CorrelatedPairGenerator g({0, 0, 0, 0}, {0.5}, 0.6);
+  mpe::Rng rng(3);
+  double flips = 0.0;
+  const int reps = 10000;
+  for (int i = 0; i < reps; ++i) {
+    const auto p = g.generate(rng);
+    for (std::size_t j = 0; j < 4; ++j) {
+      flips += (p.first[j] != p.second[j]) ? 1.0 : 0.0;
+    }
+  }
+  EXPECT_NEAR(flips / (4.0 * reps), 0.3, 0.01);
+}
+
+TEST(CorrelatedGenerator, WithinGroupTransitionsCorrelate) {
+  // Two lines in the same group must flip together far more often than two
+  // lines in different groups with the same marginal rate.
+  const vec::CorrelatedPairGenerator same({0, 0}, {0.3}, 1.0);
+  const vec::CorrelatedPairGenerator diff({0, 1}, {0.3, 0.3}, 1.0);
+  mpe::Rng r1(4), r2(4);
+  int same_both = 0, diff_both = 0;
+  const int reps = 20000;
+  for (int i = 0; i < reps; ++i) {
+    const auto a = same.generate(r1);
+    if (a.first[0] != a.second[0] && a.first[1] != a.second[1]) ++same_both;
+    const auto b = diff.generate(r2);
+    if (b.first[0] != b.second[0] && b.first[1] != b.second[1]) ++diff_both;
+  }
+  // P(both flip) = 0.3 when shared (cond prob 1), 0.09 when independent.
+  EXPECT_NEAR(same_both / static_cast<double>(reps), 0.3, 0.02);
+  EXPECT_NEAR(diff_both / static_cast<double>(reps), 0.09, 0.01);
+}
+
+TEST(CorrelatedGenerator, RejectsBadGroups) {
+  EXPECT_THROW(vec::CorrelatedPairGenerator({0, 5}, {0.5}, 0.5),
+               mpe::ContractViolation);
+  EXPECT_THROW(vec::CorrelatedPairGenerator({0}, {1.5}, 0.5),
+               mpe::ContractViolation);
+  EXPECT_THROW(vec::CorrelatedPairGenerator({0}, {0.5}, -0.1),
+               mpe::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+#include "circuit/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace {
+
+namespace ckt = mpe::circuit;
+using ckt::GateType;
+using ckt::Netlist;
+
+Netlist tiny() {
+  // c = a NAND b; d = NOT c; output d.
+  Netlist nl("tiny");
+  nl.add_input("a");
+  nl.add_input("b");
+  nl.add_gate(GateType::kNand, "c", {"a", "b"});
+  nl.add_gate(GateType::kNot, "d", {"c"});
+  nl.mark_output("d");
+  nl.finalize();
+  return nl;
+}
+
+TEST(Netlist, BasicCounts) {
+  const Netlist nl = tiny();
+  EXPECT_EQ(nl.num_inputs(), 2u);
+  EXPECT_EQ(nl.num_outputs(), 1u);
+  EXPECT_EQ(nl.num_gates(), 2u);
+  EXPECT_EQ(nl.num_nodes(), 4u);
+  EXPECT_EQ(nl.name(), "tiny");
+}
+
+TEST(Netlist, FindAndNames) {
+  const Netlist nl = tiny();
+  ASSERT_TRUE(nl.find("c").has_value());
+  EXPECT_EQ(nl.node_name(*nl.find("c")), "c");
+  EXPECT_FALSE(nl.find("zz").has_value());
+}
+
+TEST(Netlist, DriversAndIo) {
+  const Netlist nl = tiny();
+  const auto a = *nl.find("a");
+  const auto c = *nl.find("c");
+  const auto d = *nl.find("d");
+  EXPECT_TRUE(nl.is_input(a));
+  EXPECT_FALSE(nl.is_input(c));
+  EXPECT_TRUE(nl.is_output(d));
+  EXPECT_EQ(nl.driver(a), ckt::kNoGate);
+  EXPECT_NE(nl.driver(c), ckt::kNoGate);
+  EXPECT_EQ(nl.gate(nl.driver(c)).type, GateType::kNand);
+}
+
+TEST(Netlist, LevelsAndDepth) {
+  const Netlist nl = tiny();
+  EXPECT_EQ(nl.level(*nl.find("a")), 0u);
+  EXPECT_EQ(nl.level(*nl.find("c")), 1u);
+  EXPECT_EQ(nl.level(*nl.find("d")), 2u);
+  EXPECT_EQ(nl.depth(), 2u);
+}
+
+TEST(Netlist, FanoutLists) {
+  const Netlist nl = tiny();
+  const auto a = *nl.find("a");
+  const auto c = *nl.find("c");
+  ASSERT_EQ(nl.fanout(a).size(), 1u);
+  EXPECT_EQ(nl.gate(nl.fanout(a)[0]).output, c);
+  EXPECT_TRUE(nl.fanout(*nl.find("d")).empty());
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  // Build with forward references: declare gates out of order.
+  Netlist nl("fwd");
+  nl.add_input("x");
+  nl.add_gate(GateType::kNot, "top", {"mid"});   // uses mid before defined
+  nl.add_gate(GateType::kNot, "mid", {"x"});
+  nl.mark_output("top");
+  nl.finalize();
+  const auto& topo = nl.topo_order();
+  ASSERT_EQ(topo.size(), 2u);
+  // The gate driving "mid" must come first.
+  EXPECT_EQ(nl.node_name(nl.gate(topo[0]).output), "mid");
+  EXPECT_EQ(nl.node_name(nl.gate(topo[1]).output), "top");
+}
+
+TEST(Netlist, DetectsCombinationalCycle) {
+  Netlist nl("cyc");
+  nl.add_input("x");
+  nl.add_gate(GateType::kAnd, "p", {"x", "q"});
+  nl.add_gate(GateType::kAnd, "q", {"x", "p"});
+  EXPECT_THROW(nl.finalize(), std::runtime_error);
+}
+
+TEST(Netlist, DetectsUndrivenSignal) {
+  Netlist nl("undriven");
+  nl.add_input("x");
+  nl.add_gate(GateType::kAnd, "y", {"x", "ghost"});
+  EXPECT_THROW(nl.finalize(), std::runtime_error);
+}
+
+TEST(Netlist, RejectsMultipleDrivers) {
+  Netlist nl("multi");
+  nl.add_input("a");
+  nl.add_input("b");
+  nl.add_gate(GateType::kNot, "y", {"a"});
+  EXPECT_THROW(nl.add_gate(GateType::kNot, "y", {"b"}), std::runtime_error);
+}
+
+TEST(Netlist, RejectsDrivingAnInput) {
+  Netlist nl("drivein");
+  nl.add_input("a");
+  nl.add_input("b");
+  EXPECT_THROW(nl.add_gate(GateType::kNot, "a", {"b"}), std::runtime_error);
+}
+
+TEST(Netlist, RejectsDuplicateInput) {
+  Netlist nl("dup");
+  nl.add_input("a");
+  EXPECT_THROW(nl.add_input("a"), std::runtime_error);
+}
+
+TEST(Netlist, RejectsWrongArity) {
+  Netlist nl("arity");
+  nl.add_input("a");
+  nl.add_input("b");
+  EXPECT_THROW(nl.add_gate(GateType::kNot, "x", {"a", "b"}),
+               std::runtime_error);
+  EXPECT_THROW(nl.add_gate(GateType::kAnd, "y", {"a"}), std::runtime_error);
+}
+
+TEST(Netlist, RequiresFinalizeForStructuralQueries) {
+  Netlist nl("late");
+  nl.add_input("a");
+  nl.add_gate(GateType::kNot, "y", {"a"});
+  EXPECT_THROW(nl.topo_order(), std::logic_error);
+  EXPECT_THROW(nl.fanout(0), std::logic_error);
+  nl.finalize();
+  EXPECT_NO_THROW(nl.topo_order());
+}
+
+TEST(Netlist, MutationInvalidatesFinalize) {
+  Netlist nl = tiny();
+  EXPECT_TRUE(nl.finalized());
+  nl.add_gate(GateType::kNot, "e", {"d"});
+  EXPECT_FALSE(nl.finalized());
+  nl.finalize();
+  EXPECT_TRUE(nl.finalized());
+}
+
+TEST(Netlist, MarkOutputIdempotent) {
+  Netlist nl = tiny();
+  const auto d = *nl.find("d");
+  nl.mark_output(d);
+  nl.mark_output(d);
+  EXPECT_EQ(nl.num_outputs(), 1u);
+}
+
+TEST(Netlist, EmptyInputsRejectedAtFinalize) {
+  Netlist nl("noin");
+  EXPECT_THROW(nl.finalize(), std::runtime_error);
+}
+
+TEST(Netlist, StatsBundle) {
+  const Netlist nl = tiny();
+  const auto s = nl.stats();
+  EXPECT_EQ(s.num_gates, 2u);
+  EXPECT_EQ(s.num_inputs, 2u);
+  EXPECT_EQ(s.depth, 2u);
+  EXPECT_EQ(s.max_fanin, 2u);
+  EXPECT_EQ(s.gates_by_type[static_cast<std::size_t>(GateType::kNand)], 1u);
+  EXPECT_EQ(s.gates_by_type[static_cast<std::size_t>(GateType::kNot)], 1u);
+  // The NAND output feeds one gate; avg over driven nodes = (1 + 0) / 2.
+  EXPECT_DOUBLE_EQ(s.avg_fanout, 0.5);
+}
+
+}  // namespace

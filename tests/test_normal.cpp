@@ -1,0 +1,98 @@
+#include "stats/normal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using mpe::stats::Normal;
+
+TEST(Normal, StdCdfKnownValues) {
+  EXPECT_NEAR(Normal::std_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(Normal::std_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(Normal::std_cdf(-1.959963984540054), 0.025, 1e-12);
+  EXPECT_NEAR(Normal::std_cdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(Normal, StdQuantileKnownValues) {
+  EXPECT_NEAR(Normal::std_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(Normal::std_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(Normal::std_quantile(0.95), 1.6448536269514722, 1e-9);
+  EXPECT_NEAR(Normal::std_quantile(0.01), -2.3263478740408408, 1e-9);
+}
+
+TEST(Normal, QuantileCdfRoundTrip) {
+  for (double q : {0.001, 0.05, 0.3, 0.5, 0.77, 0.99, 0.9999}) {
+    EXPECT_NEAR(Normal::std_cdf(Normal::std_quantile(q)), q, 1e-12);
+  }
+}
+
+TEST(Normal, TwoSidedCriticalMatchesTables) {
+  // Classic values: l=0.90 -> 1.645, l=0.95 -> 1.960, l=0.99 -> 2.576.
+  EXPECT_NEAR(Normal::two_sided_critical(0.90), 1.6448536269514722, 1e-9);
+  EXPECT_NEAR(Normal::two_sided_critical(0.95), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(Normal::two_sided_critical(0.99), 2.5758293035489004, 1e-9);
+}
+
+TEST(Normal, PdfIntegratesToCdfDifference) {
+  const Normal nd(2.0, 3.0);
+  // Trapezoidal integration of the pdf over [-4, 8].
+  const int steps = 20000;
+  const double a = -4.0, b = 8.0;
+  double integral = 0.0;
+  const double h = (b - a) / steps;
+  for (int i = 0; i <= steps; ++i) {
+    const double w = (i == 0 || i == steps) ? 0.5 : 1.0;
+    integral += w * nd.pdf(a + i * h);
+  }
+  integral *= h;
+  EXPECT_NEAR(integral, nd.cdf(b) - nd.cdf(a), 1e-8);
+}
+
+TEST(Normal, LocationScaleProperties) {
+  const Normal nd(10.0, 2.0);
+  EXPECT_NEAR(nd.cdf(10.0), 0.5, 1e-15);
+  EXPECT_NEAR(nd.quantile(0.8413447460685429), 12.0, 1e-8);
+}
+
+TEST(Normal, SampleMomentsMatch) {
+  const Normal nd(-3.0, 0.5);
+  mpe::Rng rng(99);
+  const int n = 100000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = nd.sample(rng);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, -3.0, 0.01);
+  EXPECT_NEAR(sum2 / n - mean * mean, 0.25, 0.01);
+}
+
+TEST(Normal, RejectsBadParameters) {
+  EXPECT_THROW(Normal(0.0, 0.0), mpe::ContractViolation);
+  EXPECT_THROW(Normal(0.0, -1.0), mpe::ContractViolation);
+  EXPECT_THROW(Normal::std_quantile(0.0), mpe::ContractViolation);
+  EXPECT_THROW(Normal::std_quantile(1.0), mpe::ContractViolation);
+  EXPECT_THROW(Normal::two_sided_critical(1.0), mpe::ContractViolation);
+}
+
+class NormalRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalRoundTrip, QuantileIsInverseCdf) {
+  const Normal nd(GetParam(), std::fabs(GetParam()) + 0.5);
+  for (double q = 0.02; q < 1.0; q += 0.02) {
+    EXPECT_NEAR(nd.cdf(nd.quantile(q)), q, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, NormalRoundTrip,
+                         ::testing::Values(-100.0, -1.0, 0.0, 2.5, 1e6));
+
+}  // namespace

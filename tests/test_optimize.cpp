@@ -1,0 +1,104 @@
+#include "stats/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace {
+
+using mpe::stats::nelder_mead;
+using mpe::stats::NelderMeadOptions;
+
+TEST(NelderMead, QuadraticBowl2D) {
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) {
+        return (x[0] - 3.0) * (x[0] - 3.0) + 2.0 * (x[1] + 1.0) * (x[1] + 1.0);
+      },
+      {0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-4);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-4);
+  EXPECT_NEAR(r.f, 0.0, 1e-7);
+}
+
+TEST(NelderMead, Rosenbrock) {
+  NelderMeadOptions opt;
+  opt.max_iter = 20000;
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) {
+        const double a = 1.0 - x[0];
+        const double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+      },
+      {-1.2, 1.0}, opt);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, OneDimensional) {
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) { return std::cosh(x[0] - 0.5); },
+      {5.0});
+  EXPECT_NEAR(r.x[0], 0.5, 1e-4);
+}
+
+TEST(NelderMead, WalksAwayFromInfeasibleRegion) {
+  // +inf outside x > 0 encodes a constraint.
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) {
+        if (x[0] <= 0.0) return std::numeric_limits<double>::infinity();
+        return x[0] + 1.0 / x[0];  // min at x = 1
+      },
+      {0.5});
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+}
+
+TEST(NelderMead, FourDimensionalSphere) {
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+          const double d = x[i] - static_cast<double>(i);
+          s += d * d;
+        }
+        return s;
+      },
+      {1.0, 1.0, 1.0, 1.0});
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(r.x[i], static_cast<double>(i), 1e-3);
+  }
+}
+
+TEST(NelderMead, ZeroStartingPointStillPerturbs) {
+  // All-zero start must still build a non-degenerate simplex.
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) {
+        return (x[0] - 0.2) * (x[0] - 0.2) + (x[1] - 0.3) * (x[1] - 0.3);
+      },
+      {0.0, 0.0});
+  EXPECT_NEAR(r.x[0], 0.2, 1e-4);
+  EXPECT_NEAR(r.x[1], 0.3, 1e-4);
+}
+
+TEST(NelderMead, RespectsIterationBudget) {
+  NelderMeadOptions opt;
+  opt.max_iter = 3;
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) {
+        return x[0] * x[0] + x[1] * x[1];
+      },
+      {100.0, -50.0}, opt);
+  EXPECT_FALSE(r.converged);
+  EXPECT_LE(r.iterations, 3);
+}
+
+TEST(NelderMead, RejectsEmptyStart) {
+  EXPECT_THROW(
+      nelder_mead([](const std::vector<double>&) { return 0.0; }, {}),
+      mpe::ContractViolation);
+}
+
+}  // namespace

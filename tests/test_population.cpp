@@ -1,0 +1,73 @@
+#include "vectors/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/trees.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace vec = mpe::vec;
+
+TEST(FinitePopulation, TrueMaxAndDraws) {
+  vec::FinitePopulation pop({1.0, 5.0, 3.0, 2.0}, "test");
+  EXPECT_DOUBLE_EQ(pop.true_max(), 5.0);
+  ASSERT_TRUE(pop.size().has_value());
+  EXPECT_EQ(*pop.size(), 4u);
+  mpe::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const double v = pop.draw(rng);
+    EXPECT_TRUE(v == 1.0 || v == 5.0 || v == 3.0 || v == 2.0);
+  }
+}
+
+TEST(FinitePopulation, DrawsCoverAllUnits) {
+  vec::FinitePopulation pop({1.0, 2.0, 3.0}, "test");
+  mpe::Rng rng(2);
+  std::set<double> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(pop.draw(rng));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(FinitePopulation, QualifiedFraction) {
+  // Max 10; 5% threshold = 9.5. Two of five values qualify.
+  vec::FinitePopulation pop({10.0, 9.6, 9.0, 5.0, 1.0}, "test");
+  EXPECT_DOUBLE_EQ(pop.qualified_fraction(0.05), 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(pop.qualified_fraction(0.5), 4.0 / 5.0);
+}
+
+TEST(FinitePopulation, DescriptionRoundTrip) {
+  vec::FinitePopulation pop({1.0}, "my population");
+  EXPECT_EQ(pop.description(), "my population");
+}
+
+TEST(FinitePopulation, ContractChecks) {
+  EXPECT_THROW(vec::FinitePopulation({}, "empty"), mpe::ContractViolation);
+  vec::FinitePopulation pop({1.0, 2.0}, "x");
+  EXPECT_THROW(pop.qualified_fraction(0.0), mpe::ContractViolation);
+}
+
+TEST(StreamingPopulation, SimulatesFreshUnits) {
+  auto nl = mpe::gen::parity_tree(12, 2);
+  mpe::sim::CyclePowerEvaluator eval(nl);
+  const vec::UniformPairGenerator gen(nl.num_inputs());
+  vec::StreamingPopulation pop(gen, eval);
+  EXPECT_FALSE(pop.size().has_value());
+  mpe::Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 50; ++i) sum += pop.draw(rng);
+  EXPECT_GT(sum, 0.0);
+  EXPECT_EQ(pop.draws(), 50u);
+  EXPECT_NE(pop.description().find("parity"), std::string::npos);
+}
+
+TEST(StreamingPopulation, WidthMismatchRejected) {
+  auto nl = mpe::gen::parity_tree(12, 2);
+  mpe::sim::CyclePowerEvaluator eval(nl);
+  const vec::UniformPairGenerator wrong(8);
+  EXPECT_THROW(vec::StreamingPopulation(wrong, eval),
+               mpe::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include "sim/power_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/arithmetic.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace sim = mpe::sim;
+
+TEST(PowerEval, ZeroDelayPathMatchesOracle) {
+  auto nl = mpe::gen::ripple_carry_adder(6);
+  sim::PowerEvalOptions opt;
+  opt.delay_model = sim::DelayModel::kZero;
+  sim::CyclePowerEvaluator facade(nl, opt);
+  sim::ZeroDelaySimulator oracle(nl, opt.tech);
+  mpe::Rng rng(1);
+  for (int t = 0; t < 30; ++t) {
+    std::vector<std::uint8_t> v1(nl.num_inputs()), v2(nl.num_inputs());
+    for (auto& b : v1) b = rng.bernoulli(0.5);
+    for (auto& b : v2) b = rng.bernoulli(0.5);
+    EXPECT_DOUBLE_EQ(facade.power_mw(v1, v2),
+                     oracle.evaluate(v1, v2).power_mw);
+  }
+}
+
+TEST(PowerEval, EventPathMatchesEventSimulator) {
+  auto nl = mpe::gen::ripple_carry_adder(6);
+  sim::PowerEvalOptions opt;
+  opt.delay_model = sim::DelayModel::kFanoutLoaded;
+  sim::CyclePowerEvaluator facade(nl, opt);
+  sim::EventSimOptions eopt;
+  eopt.delay_model = sim::DelayModel::kFanoutLoaded;
+  sim::EventSimulator oracle(nl, eopt);
+  mpe::Rng rng(2);
+  for (int t = 0; t < 30; ++t) {
+    std::vector<std::uint8_t> v1(nl.num_inputs()), v2(nl.num_inputs());
+    for (auto& b : v1) b = rng.bernoulli(0.5);
+    for (auto& b : v2) b = rng.bernoulli(0.5);
+    EXPECT_DOUBLE_EQ(facade.power_mw(v1, v2),
+                     oracle.evaluate(v1, v2).power_mw);
+  }
+}
+
+TEST(PowerEval, EvaluateReturnsFullCycleResult) {
+  auto nl = mpe::gen::ripple_carry_adder(4);
+  sim::CyclePowerEvaluator facade(nl);
+  std::vector<std::uint8_t> v1(nl.num_inputs(), 0), v2(nl.num_inputs(), 1);
+  const auto r = facade.evaluate(v1, v2);
+  EXPECT_GT(r.toggles, 0u);
+  EXPECT_GT(r.energy_pj, 0.0);
+  EXPECT_GT(r.settle_time_ns, 0.0);
+  EXPECT_NEAR(r.power_mw, r.energy_pj / facade.options().tech.clock_period_ns,
+              1e-12);
+}
+
+TEST(PowerEval, NetlistAccessor) {
+  auto nl = mpe::gen::ripple_carry_adder(4, "my_rca");
+  sim::CyclePowerEvaluator facade(nl);
+  EXPECT_EQ(facade.netlist().name(), "my_rca");
+}
+
+TEST(PowerEval, MoveConstructible) {
+  auto nl = mpe::gen::ripple_carry_adder(4);
+  sim::CyclePowerEvaluator a(nl);
+  std::vector<std::uint8_t> v1(nl.num_inputs(), 0), v2(nl.num_inputs(), 1);
+  const double before = a.power_mw(v1, v2);
+  sim::CyclePowerEvaluator b(std::move(a));
+  EXPECT_DOUBLE_EQ(b.power_mw(v1, v2), before);
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+#include "sim/power_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/arithmetic.hpp"
+#include "gen/trees.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace sim = mpe::sim;
+namespace vec = mpe::vec;
+
+TEST(PowerProfile, SharesSumToOne) {
+  auto nl = mpe::gen::ripple_carry_adder(8);
+  const vec::UniformPairGenerator gen(nl.num_inputs());
+  mpe::Rng rng(1);
+  const auto prof = sim::profile_power(nl, gen, 200, {}, rng);
+  double total_share = 0.0;
+  for (const auto& np : prof.by_node) total_share += np.share;
+  EXPECT_NEAR(total_share, 1.0, 1e-9);
+  EXPECT_GT(prof.total_energy_pj, 0.0);
+  EXPECT_EQ(prof.pairs, 200u);
+}
+
+TEST(PowerProfile, SortedByEnergyDescending) {
+  auto nl = mpe::gen::array_multiplier(5);
+  const vec::UniformPairGenerator gen(nl.num_inputs());
+  mpe::Rng rng(2);
+  const auto prof = sim::profile_power(nl, gen, 100, {}, rng);
+  for (std::size_t i = 1; i < prof.by_node.size(); ++i) {
+    EXPECT_GE(prof.by_node[i - 1].energy_pj, prof.by_node[i].energy_pj);
+  }
+}
+
+TEST(PowerProfile, EnergyMatchesCycleTotals) {
+  // Sum of per-node energies must equal the sum of per-cycle energies.
+  auto nl = mpe::gen::parity_tree(12, 2);
+  const vec::UniformPairGenerator gen(nl.num_inputs());
+  sim::EventSimOptions opt;
+  mpe::Rng rng(3);
+  const auto prof = sim::profile_power(nl, gen, 150, opt, rng);
+
+  // Replay the same stream manually.
+  sim::EventSimulator ev(nl, opt);
+  mpe::Rng rng2(3);
+  double total = 0.0;
+  for (int i = 0; i < 150; ++i) {
+    const auto p = gen.generate(rng2);
+    total += ev.evaluate(p.first, p.second).energy_pj;
+  }
+  EXPECT_NEAR(prof.total_energy_pj, total, 1e-6 * total + 1e-12);
+}
+
+TEST(PowerProfile, HighFanoutNodesDominate) {
+  // In a parity tree the root XOR toggles on ~every cycle while leaf gates
+  // toggle less; the top-energy node should be a frequently-toggling one.
+  auto nl = mpe::gen::parity_tree(16, 2);
+  const vec::UniformPairGenerator gen(nl.num_inputs());
+  mpe::Rng rng(4);
+  const auto prof = sim::profile_power(nl, gen, 400, {}, rng);
+  EXPECT_GT(prof.by_node.front().toggles, 0.3);
+  EXPECT_GT(prof.by_node.front().share, 1.0 / static_cast<double>(nl.num_nodes()));
+}
+
+TEST(PowerProfile, AvgAndMaxPowerConsistent) {
+  auto nl = mpe::gen::ripple_carry_adder(6);
+  const vec::UniformPairGenerator gen(nl.num_inputs());
+  mpe::Rng rng(5);
+  const auto prof = sim::profile_power(nl, gen, 300, {}, rng);
+  EXPECT_GE(prof.max_power_mw, prof.avg_power_mw);
+  EXPECT_GT(prof.avg_power_mw, 0.0);
+}
+
+TEST(PowerProfile, ContractChecks) {
+  auto nl = mpe::gen::parity_tree(8, 2);
+  const vec::UniformPairGenerator wrong(4);
+  mpe::Rng rng(6);
+  EXPECT_THROW(sim::profile_power(nl, wrong, 10, {}, rng),
+               mpe::ContractViolation);
+  const vec::UniformPairGenerator gen(nl.num_inputs());
+  EXPECT_THROW(sim::profile_power(nl, gen, 0, {}, rng),
+               mpe::ContractViolation);
+}
+
+}  // namespace

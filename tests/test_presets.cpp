@@ -1,0 +1,89 @@
+#include "gen/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "circuit/analysis.hpp"
+
+namespace {
+
+namespace gen = mpe::gen;
+
+TEST(Presets, CatalogHasNinePaperCircuits) {
+  const auto& cat = gen::preset_catalog();
+  ASSERT_EQ(cat.size(), 9u);
+  std::set<std::string> names;
+  for (const auto& p : cat) names.insert(p.name);
+  for (const char* expected :
+       {"c432", "c880", "c1355", "c1908", "c2670", "c3540", "c5315", "c6288",
+        "c7552"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+TEST(Presets, InfoLookupWorksAndThrows) {
+  const auto& info = gen::preset_info("c3540");
+  EXPECT_EQ(info.num_inputs, 50u);
+  EXPECT_EQ(info.num_outputs, 22u);
+  EXPECT_EQ(info.num_gates, 1669u);
+  EXPECT_THROW(gen::preset_info("c9999"), std::invalid_argument);
+}
+
+TEST(Presets, RandomStandInsMatchCatalogCounts) {
+  for (const char* name : {"c432", "c1355", "c3540"}) {
+    const auto nl = gen::build_preset(name, 1);
+    const auto& info = gen::preset_info(name);
+    EXPECT_EQ(nl.num_inputs(), info.num_inputs) << name;
+    EXPECT_EQ(nl.num_outputs(), info.num_outputs) << name;
+    EXPECT_EQ(nl.num_gates(), info.num_gates) << name;
+  }
+}
+
+TEST(Presets, C6288IsRealMultiplier) {
+  const auto nl = gen::build_preset("c6288", 1);
+  EXPECT_EQ(nl.num_inputs(), 32u);
+  EXPECT_EQ(nl.num_outputs(), 32u);
+  EXPECT_GT(nl.depth(), 30u);
+}
+
+TEST(Presets, DeterministicPerSeed) {
+  const auto a = gen::build_preset("c880", 5);
+  const auto b = gen::build_preset("c880", 5);
+  ASSERT_EQ(a.num_gates(), b.num_gates());
+  for (std::size_t g = 0; g < a.num_gates(); ++g) {
+    EXPECT_EQ(a.gate(g).inputs, b.gate(g).inputs);
+  }
+  const auto c = gen::build_preset("c880", 6);
+  bool differs = false;
+  for (std::size_t g = 0; g < a.num_gates() && !differs; ++g) {
+    differs = a.gate(g).inputs != c.gate(g).inputs;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Presets, DifferentCircuitsGetDifferentStructure) {
+  const auto a = gen::build_preset("c432", 1);
+  const auto b = gen::build_preset("c880", 1);
+  EXPECT_NE(a.num_gates(), b.num_gates());
+}
+
+TEST(Presets, BuildSuiteReturnsAllInOrder) {
+  const auto suite = gen::build_suite(1);
+  ASSERT_EQ(suite.size(), 9u);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(suite[i].name(), gen::preset_catalog()[i].name);
+    EXPECT_TRUE(suite[i].finalized());
+  }
+}
+
+TEST(Presets, AllPresetsSimulable) {
+  for (const auto& info : gen::preset_catalog()) {
+    auto nl = gen::build_preset(info.name, 3);
+    std::vector<std::uint8_t> in(nl.num_inputs(), 1);
+    EXPECT_NO_THROW(mpe::circuit::evaluate(nl, in)) << info.name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+#include "circuit/prob_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/analysis.hpp"
+#include "gen/trees.hpp"
+#include "maxpower/bounds.hpp"
+#include "sim/zero_delay_sim.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace ckt = mpe::circuit;
+
+TEST(ProbAnalysis, BasicGateProbabilities) {
+  ckt::Netlist nl("g");
+  nl.add_input("a");
+  nl.add_input("b");
+  nl.add_gate(ckt::GateType::kAnd, "and_o", {"a", "b"});
+  nl.add_gate(ckt::GateType::kOr, "or_o", {"a", "b"});
+  nl.add_gate(ckt::GateType::kXor, "xor_o", {"a", "b"});
+  nl.add_gate(ckt::GateType::kNand, "nand_o", {"a", "b"});
+  nl.finalize();
+  const auto r = ckt::propagate_probabilities(nl, 0.5, 0.5);
+  EXPECT_NEAR(r.signal_prob[*nl.find("and_o")], 0.25, 1e-12);
+  EXPECT_NEAR(r.signal_prob[*nl.find("or_o")], 0.75, 1e-12);
+  EXPECT_NEAR(r.signal_prob[*nl.find("xor_o")], 0.5, 1e-12);
+  EXPECT_NEAR(r.signal_prob[*nl.find("nand_o")], 0.75, 1e-12);
+}
+
+TEST(ProbAnalysis, BiasedInputs) {
+  ckt::Netlist nl("g");
+  nl.add_input("a");
+  nl.add_input("b");
+  nl.add_gate(ckt::GateType::kAnd, "z", {"a", "b"});
+  nl.finalize();
+  const std::vector<double> p1 = {0.9, 0.2};
+  const std::vector<double> tg = {0.1, 0.3};
+  const auto r = ckt::propagate_probabilities(nl, p1, tg);
+  EXPECT_NEAR(r.signal_prob[*nl.find("z")], 0.18, 1e-12);
+  // D(z) = p_b * D(a) + p_a * D(b) = 0.2*0.1 + 0.9*0.3 = 0.29.
+  EXPECT_NEAR(r.toggle_prob[*nl.find("z")], 0.29, 1e-12);
+}
+
+TEST(ProbAnalysis, XorPropagatesFullDensity) {
+  auto nl = mpe::gen::parity_tree(8, 2);
+  const auto r = ckt::propagate_probabilities(nl, 0.5, 0.4);
+  // Every XOR is sensitized to every input: density adds then saturates.
+  EXPECT_NEAR(r.toggle_prob[*nl.find("parity")], 1.0, 1e-12);
+}
+
+TEST(ProbAnalysis, MatchesMonteCarloOnTree) {
+  // On a fanout-free tree the independence assumption is exact: analytic
+  // signal probabilities must match Monte-Carlo tightly.
+  ckt::Netlist nl("tree");
+  nl.add_input("a");
+  nl.add_input("b");
+  nl.add_input("c");
+  nl.add_input("d");
+  nl.add_gate(ckt::GateType::kAnd, "t1", {"a", "b"});
+  nl.add_gate(ckt::GateType::kOr, "t2", {"c", "d"});
+  nl.add_gate(ckt::GateType::kNand, "root", {"t1", "t2"});
+  nl.finalize();
+
+  const auto analytic = ckt::propagate_probabilities(nl, 0.5, 0.5);
+  mpe::Rng rng(7);
+  const auto mc = ckt::estimate_activity(nl, 60000, 0.5, 0.5, rng);
+  for (const char* sig : {"t1", "t2", "root"}) {
+    const auto n = *nl.find(sig);
+    EXPECT_NEAR(analytic.signal_prob[n], mc.signal_prob[n], 0.01) << sig;
+  }
+}
+
+TEST(ProbAnalysis, DensityOvercountsCoincidentToggles) {
+  // The gate-local density sums per-input sensitized toggles, so cycles in
+  // which several inputs switch together are counted once per input — the
+  // analytic figure sits at or above the Monte-Carlo truth (the classic
+  // bias of transition-density propagation), but within the coincidence
+  // probability of it.
+  ckt::Netlist nl("t2");
+  nl.add_input("a");
+  nl.add_input("b");
+  nl.add_gate(ckt::GateType::kAnd, "z", {"a", "b"});
+  nl.finalize();
+  const auto analytic = ckt::propagate_probabilities(nl, 0.5, 0.3);
+  mpe::Rng rng(9);
+  const auto mc = ckt::estimate_activity(nl, 80000, 0.5, 0.3, rng);
+  const auto z = *nl.find("z");
+  EXPECT_GE(analytic.toggle_prob[z], mc.toggle_prob[z] - 0.01);
+  // Over-count is bounded by the both-toggle probability 0.3 * 0.3.
+  EXPECT_LE(analytic.toggle_prob[z], mc.toggle_prob[z] + 0.09 + 0.01);
+}
+
+TEST(ProbAnalysis, ContractChecks) {
+  auto nl = mpe::gen::parity_tree(4, 2);
+  const std::vector<double> wrong = {0.5};
+  const std::vector<double> ok(nl.num_inputs(), 0.5);
+  EXPECT_THROW(ckt::propagate_probabilities(nl, wrong, ok),
+               mpe::ContractViolation);
+  const std::vector<double> bad(nl.num_inputs(), 1.5);
+  EXPECT_THROW(ckt::propagate_probabilities(nl, bad, ok),
+               mpe::ContractViolation);
+}
+
+TEST(PowerBounds, BracketsSimulatedPower) {
+  auto nl = mpe::gen::parity_tree(12, 2);
+  const mpe::sim::Technology tech;
+  const auto b = mpe::maxpower::power_bounds(nl, tech);
+  EXPECT_GT(b.zero_delay_upper_mw, b.analytic_average_mw);
+  EXPECT_GT(b.analytic_average_mw, 0.0);
+
+  // The zero-delay upper bound must dominate every simulated zero-delay
+  // cycle power.
+  mpe::sim::ZeroDelaySimulator sim(nl, tech);
+  mpe::Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::uint8_t> v1(nl.num_inputs()), v2(nl.num_inputs());
+    for (auto& x : v1) x = rng.bernoulli(0.5);
+    for (auto& x : v2) x = rng.bernoulli(0.5);
+    EXPECT_LE(sim.evaluate(v1, v2).power_mw,
+              b.zero_delay_upper_mw + 1e-9);
+  }
+}
+
+}  // namespace

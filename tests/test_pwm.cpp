@@ -1,0 +1,80 @@
+#include "evt/pwm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/gev.hpp"
+#include "stats/gumbel.hpp"
+#include "stats/weibull.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace evt = mpe::evt;
+using mpe::stats::Gev;
+using mpe::stats::Gumbel;
+using mpe::stats::ReversedWeibull;
+
+TEST(Pwm, RecoversWeibullTypeShape) {
+  const ReversedWeibull g(3.0, 1.0, 5.0);
+  mpe::Rng rng(12);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = g.sample(rng);
+  const auto fit = evt::fit_gev_pwm(xs);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_LT(fit.params.xi, 0.0);  // Weibull type detected
+  EXPECT_NEAR(fit.params.xi, -1.0 / 3.0, 0.06);
+  const Gev fitted(fit.params);
+  EXPECT_NEAR(fitted.right_endpoint(), 5.0, 0.25);
+}
+
+TEST(Pwm, GumbelDataGivesNearZeroShape) {
+  const Gumbel g(2.0, 1.0);
+  mpe::Rng rng(34);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = g.sample(rng);
+  const auto fit = evt::fit_gev_pwm(xs);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.params.xi, 0.0, 0.06);
+  EXPECT_NEAR(fit.params.mu, 2.0, 0.1);
+  EXPECT_NEAR(fit.params.sigma, 1.0, 0.08);
+}
+
+TEST(Pwm, FrechetDataGivesPositiveShape) {
+  // Frechet with alpha = 2 corresponds to xi = +0.5.
+  mpe::Rng rng(56);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) {
+    const double u = 1.0 - rng.uniform() * (1.0 - 1e-16);
+    x = std::pow(-std::log(u), -0.5);
+  }
+  const auto fit = evt::fit_gev_pwm(xs);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_GT(fit.params.xi, 0.25);
+}
+
+TEST(Pwm, MomentsComputedCorrectlyOnTinySample) {
+  // For sorted {0, 1, 2}: b0 = 1, b1 = (0*0 + 1*0.5 + 2*1)/3 = 2.5/3,
+  // b2 = (2 * (2*1)/(2*1)) / 3 = 2/3.
+  const std::vector<double> xs = {2.0, 0.0, 1.0};
+  const auto fit = evt::fit_gev_pwm(xs);
+  EXPECT_NEAR(fit.b0, 1.0, 1e-12);
+  EXPECT_NEAR(fit.b1, 2.5 / 3.0, 1e-12);
+  EXPECT_NEAR(fit.b2, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Pwm, DegenerateSampleInvalid) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0, 1.0};
+  const auto fit = evt::fit_gev_pwm(xs);
+  EXPECT_FALSE(fit.valid);
+}
+
+TEST(Pwm, RejectsTooFew) {
+  EXPECT_THROW(evt::fit_gev_pwm(std::vector<double>{1.0, 2.0}),
+               mpe::ContractViolation);
+}
+
+}  // namespace

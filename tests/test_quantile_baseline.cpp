@@ -1,0 +1,68 @@
+#include "maxpower/quantile_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+#include "vectors/population.hpp"
+
+namespace {
+
+namespace mp = mpe::maxpower;
+
+mpe::vec::FinitePopulation uniform_population(std::size_t size,
+                                              std::uint64_t seed) {
+  mpe::Rng rng(seed);
+  std::vector<double> vals(size);
+  for (auto& v : vals) v = rng.uniform();
+  return mpe::vec::FinitePopulation(std::move(vals), "uniform");
+}
+
+TEST(QuantileBaseline, EstimatesRequestedQuantile) {
+  auto pop = uniform_population(100000, 1);
+  mpe::Rng rng(2);
+  const auto r = mp::quantile_baseline(pop, 5000, 0.95, rng);
+  EXPECT_NEAR(r.estimate, 0.95, 0.02);
+  EXPECT_EQ(r.units_used, 5000u);
+  EXPECT_DOUBLE_EQ(r.quantile, 0.95);
+}
+
+TEST(QuantileBaseline, SystematicallyUnderestimatesEndpoint) {
+  // The structural flaw the paper points out: a q-quantile with q < 1 is
+  // below the right endpoint no matter how many units are sampled.
+  auto pop = uniform_population(100000, 3);
+  mpe::Rng rng(4);
+  for (std::size_t units : {500u, 5000u, 20000u}) {
+    const auto r = mp::quantile_baseline(pop, units, 0.99, rng);
+    EXPECT_LT(r.estimate, 0.995) << units;
+  }
+}
+
+TEST(QuantileBaseline, QuantileOneIsSampleMax) {
+  auto pop = uniform_population(1000, 5);
+  mpe::Rng rng(6);
+  const auto r = mp::quantile_baseline(pop, 100, 1.0, rng);
+  EXPECT_LE(r.estimate, pop.true_max());
+  EXPECT_GT(r.estimate, 0.9);  // max of 100 uniforms
+}
+
+TEST(QuantileBaseline, HigherQuantileGivesHigherEstimate) {
+  auto pop = uniform_population(50000, 7);
+  mpe::Rng r1(8), r2(8);
+  const auto lo = mp::quantile_baseline(pop, 4000, 0.9, r1);
+  const auto hi = mp::quantile_baseline(pop, 4000, 0.99, r2);
+  EXPECT_GT(hi.estimate, lo.estimate);
+}
+
+TEST(QuantileBaseline, ContractChecks) {
+  auto pop = uniform_population(100, 9);
+  mpe::Rng rng(10);
+  EXPECT_THROW(mp::quantile_baseline(pop, 1, 0.9, rng),
+               mpe::ContractViolation);
+  EXPECT_THROW(mp::quantile_baseline(pop, 10, 0.0, rng),
+               mpe::ContractViolation);
+  EXPECT_THROW(mp::quantile_baseline(pop, 10, 1.1, rng),
+               mpe::ContractViolation);
+}
+
+}  // namespace

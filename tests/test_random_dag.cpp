@@ -1,0 +1,139 @@
+#include "gen/random_dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/analysis.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using mpe::gen::random_dag;
+using mpe::gen::RandomDagParams;
+
+TEST(RandomDag, MeetsRequestedCounts) {
+  RandomDagParams p;
+  p.num_inputs = 20;
+  p.num_outputs = 8;
+  p.num_gates = 300;
+  mpe::Rng rng(1);
+  const auto nl = random_dag(p, rng);
+  EXPECT_EQ(nl.num_inputs(), 20u);
+  EXPECT_EQ(nl.num_outputs(), 8u);
+  EXPECT_EQ(nl.num_gates(), 300u);
+  EXPECT_TRUE(nl.finalized());
+}
+
+TEST(RandomDag, EveryInputIsConsumed) {
+  RandomDagParams p;
+  p.num_inputs = 64;
+  p.num_outputs = 8;
+  p.num_gates = 200;
+  mpe::Rng rng(2);
+  const auto nl = random_dag(p, rng);
+  for (auto in : nl.inputs()) {
+    EXPECT_FALSE(nl.fanout(in).empty())
+        << "dangling input " << nl.node_name(in);
+  }
+}
+
+TEST(RandomDag, DeterministicForSameSeed) {
+  RandomDagParams p;
+  p.num_gates = 150;
+  mpe::Rng r1(77), r2(77);
+  const auto a = random_dag(p, r1);
+  const auto b = random_dag(p, r2);
+  ASSERT_EQ(a.num_gates(), b.num_gates());
+  for (std::size_t g = 0; g < a.num_gates(); ++g) {
+    EXPECT_EQ(a.gate(g).type, b.gate(g).type);
+    EXPECT_EQ(a.gate(g).inputs, b.gate(g).inputs);
+  }
+}
+
+TEST(RandomDag, DifferentSeedsDiffer) {
+  RandomDagParams p;
+  p.num_gates = 150;
+  mpe::Rng r1(1), r2(2);
+  const auto a = random_dag(p, r1);
+  const auto b = random_dag(p, r2);
+  bool any_diff = false;
+  for (std::size_t g = 0; g < a.num_gates() && !any_diff; ++g) {
+    any_diff = a.gate(g).type != b.gate(g).type ||
+               a.gate(g).inputs != b.gate(g).inputs;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomDag, RespectsMaxFanin) {
+  RandomDagParams p;
+  p.max_fanin = 3;
+  p.num_gates = 400;
+  mpe::Rng rng(5);
+  const auto nl = random_dag(p, rng);
+  for (const auto& g : nl.gates()) {
+    EXPECT_LE(g.inputs.size(), 3u);
+  }
+}
+
+TEST(RandomDag, LocalityIncreasesDepth) {
+  RandomDagParams shallow;
+  shallow.num_inputs = 32;
+  shallow.num_gates = 600;
+  shallow.locality = 0.0;
+  RandomDagParams deep = shallow;
+  deep.locality = 0.95;
+  deep.window = 16;
+  mpe::Rng r1(9), r2(9);
+  const auto a = random_dag(shallow, r1);
+  const auto b = random_dag(deep, r2);
+  EXPECT_GT(b.depth(), a.depth());
+}
+
+TEST(RandomDag, OutputsPreferDeepSinks) {
+  RandomDagParams p;
+  p.num_inputs = 16;
+  p.num_outputs = 4;
+  p.num_gates = 200;
+  mpe::Rng rng(11);
+  const auto nl = random_dag(p, rng);
+  for (auto o : nl.outputs()) {
+    EXPECT_GT(nl.level(o), 0u);
+  }
+}
+
+TEST(RandomDag, GeneratedCircuitIsSimulable) {
+  RandomDagParams p;
+  p.num_inputs = 24;
+  p.num_gates = 250;
+  mpe::Rng rng(13);
+  auto nl = random_dag(p, rng);
+  std::vector<std::uint8_t> in(nl.num_inputs(), 1);
+  EXPECT_NO_THROW(mpe::circuit::evaluate(nl, in));
+}
+
+TEST(RandomDag, RejectsInconsistentParams) {
+  RandomDagParams p;
+  p.num_inputs = 100;
+  p.num_gates = 10;  // cannot consume all inputs
+  p.max_fanin = 4;
+  mpe::Rng rng(1);
+  EXPECT_THROW(random_dag(p, rng), mpe::ContractViolation);
+}
+
+class RandomDagSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomDagSizes, ScalesAcrossSizes) {
+  RandomDagParams p;
+  p.num_inputs = 30;
+  p.num_outputs = 10;
+  p.num_gates = GetParam();
+  mpe::Rng rng(21);
+  const auto nl = random_dag(p, rng);
+  EXPECT_EQ(nl.num_gates(), GetParam());
+  EXPECT_GE(nl.depth(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomDagSizes,
+                         ::testing::Values(50, 200, 1000, 3000));
+
+}  // namespace

@@ -1,0 +1,118 @@
+#include "maxpower/search_baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/arithmetic.hpp"
+#include "gen/presets.hpp"
+#include "gen/trees.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace mp = mpe::maxpower;
+namespace sim = mpe::sim;
+
+TEST(GreedySearch, FindsStrongPairOnParityTree) {
+  // Parity trees reach maximum power when every input flips: the greedy
+  // climber should get close to that ceiling.
+  auto nl = mpe::gen::parity_tree(16, 2);
+  sim::CyclePowerEvaluator eval(nl);
+  // Ceiling: flip all inputs.
+  std::vector<std::uint8_t> v1(nl.num_inputs(), 0), v2(nl.num_inputs(), 1);
+  const double ceiling = eval.power_mw(v1, v2);
+
+  mpe::Rng rng(1);
+  const auto r = mp::greedy_search(eval, {}, rng);
+  EXPECT_GT(r.best_power_mw, 0.9 * ceiling);
+  EXPECT_GT(r.evaluations, 0u);
+}
+
+TEST(GreedySearch, BeatsRandomSamplingAtEqualBudget) {
+  auto nl = mpe::gen::build_preset("c432", 1);
+  sim::CyclePowerEvaluator eval(nl);
+  mp::GreedyOptions opt;
+  opt.max_evaluations = 3000;
+  mpe::Rng rng(2);
+  const auto greedy = mp::greedy_search(eval, opt, rng);
+
+  // Random baseline at the same budget.
+  mpe::Rng rng2(3);
+  double best_random = 0.0;
+  for (std::size_t i = 0; i < greedy.evaluations; ++i) {
+    const auto v1 = mpe::vec::random_vector(nl.num_inputs(), rng2);
+    const auto v2 = mpe::vec::random_vector(nl.num_inputs(), rng2);
+    best_random = std::max(best_random, eval.power_mw(v1, v2));
+  }
+  EXPECT_GT(greedy.best_power_mw, best_random);
+}
+
+TEST(GreedySearch, RespectsEvaluationBudget) {
+  auto nl = mpe::gen::parity_tree(12, 2);
+  sim::CyclePowerEvaluator eval(nl);
+  mp::GreedyOptions opt;
+  opt.max_evaluations = 100;
+  mpe::Rng rng(4);
+  const auto r = mp::greedy_search(eval, opt, rng);
+  EXPECT_LE(r.evaluations, 101u);
+}
+
+TEST(GreedySearch, BestPairReproducesReportedPower) {
+  auto nl = mpe::gen::ripple_carry_adder(8);
+  sim::CyclePowerEvaluator eval(nl);
+  mpe::Rng rng(5);
+  const auto r = mp::greedy_search(eval, {}, rng);
+  EXPECT_DOUBLE_EQ(eval.power_mw(r.best_pair.first, r.best_pair.second),
+                   r.best_power_mw);
+}
+
+TEST(GeneticSearch, FindsStrongPairOnParityTree) {
+  auto nl = mpe::gen::parity_tree(16, 2);
+  sim::CyclePowerEvaluator eval(nl);
+  std::vector<std::uint8_t> v1(nl.num_inputs(), 0), v2(nl.num_inputs(), 1);
+  const double ceiling = eval.power_mw(v1, v2);
+  mpe::Rng rng(6);
+  const auto r = mp::genetic_search(eval, {}, rng);
+  EXPECT_GT(r.best_power_mw, 0.85 * ceiling);
+}
+
+TEST(GeneticSearch, ImprovesOverGenerations) {
+  auto nl = mpe::gen::build_preset("c432", 2);
+  sim::CyclePowerEvaluator eval(nl);
+  mp::GeneticOptions short_run;
+  short_run.generations = 2;
+  mp::GeneticOptions long_run;
+  long_run.generations = 40;
+  mpe::Rng r1(7), r2(7);
+  const auto a = mp::genetic_search(eval, short_run, r1);
+  const auto b = mp::genetic_search(eval, long_run, r2);
+  EXPECT_GE(b.best_power_mw, a.best_power_mw);
+}
+
+TEST(GeneticSearch, BestPairReproducesReportedPower) {
+  auto nl = mpe::gen::ripple_carry_adder(6);
+  sim::CyclePowerEvaluator eval(nl);
+  mpe::Rng rng(8);
+  mp::GeneticOptions opt;
+  opt.generations = 10;
+  const auto r = mp::genetic_search(eval, opt, rng);
+  EXPECT_DOUBLE_EQ(eval.power_mw(r.best_pair.first, r.best_pair.second),
+                   r.best_power_mw);
+}
+
+TEST(SearchBaselines, ContractChecks) {
+  auto nl = mpe::gen::parity_tree(8, 2);
+  sim::CyclePowerEvaluator eval(nl);
+  mpe::Rng rng(9);
+  mp::GreedyOptions bad;
+  bad.restarts = 0;
+  EXPECT_THROW(mp::greedy_search(eval, bad, rng), mpe::ContractViolation);
+  mp::GeneticOptions gbad;
+  gbad.population = 2;
+  EXPECT_THROW(mp::genetic_search(eval, gbad, rng), mpe::ContractViolation);
+  gbad = {};
+  gbad.elite = 40;
+  EXPECT_THROW(mp::genetic_search(eval, gbad, rng), mpe::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+#include "seq/seq_bench_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "seq/seq_gen.hpp"
+#include "seq/seq_sim.hpp"
+
+namespace {
+
+namespace seq = mpe::seq;
+
+// ISCAS-89 s27-style toy: 3 inputs, 1 output, 3 flip-flops.
+const char* kSeqSample = R"(
+# toy sequential circuit
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+
+q0 = DFF(d0)
+q1 = DFF(d1)
+
+d0 = AND(a, q1)
+d1 = XOR(b, q0)
+z  = OR(q0, q1)
+)";
+
+TEST(SeqBenchIo, ParsesDffLines) {
+  const auto s = seq::read_bench_sequential_string(kSeqSample, "toy");
+  EXPECT_EQ(s.num_state_bits(), 2u);
+  EXPECT_EQ(s.num_free_inputs(), 2u);
+  EXPECT_EQ(s.core().num_gates(), 3u);
+  EXPECT_TRUE(s.finalized());
+}
+
+TEST(SeqBenchIo, ParsedCircuitSimulates) {
+  const auto s = seq::read_bench_sequential_string(kSeqSample, "toy");
+  seq::SequentialSimulator sim(s);
+  sim.reset();
+  // a=1, b=1 held: state evolves deterministically without crashing and
+  // q1 eventually toggles via d1 = b XOR q0.
+  const std::vector<std::uint8_t> in = {1, 1};
+  sim.step(in);  // latch inputs
+  sim.step(in);
+  EXPECT_EQ(sim.state()[1], 1);  // q1 = 1 XOR 0
+}
+
+TEST(SeqBenchIo, DffCaseInsensitive) {
+  const auto s = seq::read_bench_sequential_string(
+      "INPUT(x)\nq = dff(d)\nd = NOT(q)\nz = AND(x, q)\nOUTPUT(z)\n");
+  EXPECT_EQ(s.num_state_bits(), 1u);
+}
+
+TEST(SeqBenchIo, PureCombinationalStillWorks) {
+  const auto s = seq::read_bench_sequential_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n");
+  EXPECT_EQ(s.num_state_bits(), 0u);
+  EXPECT_EQ(s.num_free_inputs(), 2u);
+}
+
+TEST(SeqBenchIo, RejectsMultiInputDff) {
+  EXPECT_THROW(seq::read_bench_sequential_string(
+                   "INPUT(a)\nq = DFF(a, q)\n"),
+               std::runtime_error);
+}
+
+TEST(SeqBenchIo, RoundTripPreservesBehavior) {
+  auto original = seq::make_counter(4);
+  const std::string text = seq::write_bench_sequential_string(original);
+  auto reparsed = seq::read_bench_sequential_string(text, "counter");
+  EXPECT_EQ(reparsed.num_state_bits(), original.num_state_bits());
+  EXPECT_EQ(reparsed.num_free_inputs(), original.num_free_inputs());
+
+  // Behavioral equivalence: run both for 20 cycles with the same inputs.
+  seq::SequentialSimulator a(original), b(reparsed);
+  a.reset();
+  b.reset();
+  const std::vector<std::uint8_t> en = {1};
+  for (int i = 0; i < 20; ++i) {
+    a.step(en);
+    b.step(en);
+    EXPECT_EQ(a.state(), b.state()) << "cycle " << i;
+  }
+}
+
+TEST(SeqBenchIo, FileRoundTrip) {
+  auto lfsr = seq::make_lfsr(5, {5, 3});
+  const std::string path = ::testing::TempDir() + "/mpe_lfsr.bench";
+  {
+    std::ofstream out(path);
+    seq::write_bench_sequential(out, lfsr);
+  }
+  const auto back = seq::read_bench_sequential_file(path);
+  EXPECT_EQ(back.num_state_bits(), 5u);
+  std::remove(path.c_str());
+}
+
+TEST(SeqBenchIo, MissingFileThrows) {
+  EXPECT_THROW(seq::read_bench_sequential_file("/no/such/file.bench"),
+               std::runtime_error);
+}
+
+}  // namespace

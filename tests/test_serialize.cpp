@@ -1,0 +1,83 @@
+#include "vectors/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace {
+
+namespace vec = mpe::vec;
+
+vec::FinitePopulation sample_population(std::size_t n, std::uint64_t seed) {
+  mpe::Rng rng(seed);
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng.uniform(0.0, 123.456);
+  return vec::FinitePopulation(std::move(values), "test population #" +
+                                                      std::to_string(seed));
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const auto original = sample_population(1000, 7);
+  std::stringstream buffer;
+  vec::save_population(buffer, original);
+  const auto loaded = vec::load_population(buffer);
+  EXPECT_EQ(loaded.description(), original.description());
+  ASSERT_EQ(loaded.values().size(), original.values().size());
+  for (std::size_t i = 0; i < original.values().size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.values()[i], original.values()[i]);
+  }
+  EXPECT_DOUBLE_EQ(loaded.true_max(), original.true_max());
+}
+
+TEST(Serialize, RoundTripExactBits) {
+  // Values with tricky bit patterns must survive exactly.
+  std::vector<double> values = {1e-300, 1e300, 0.1, 1.0 / 3.0,
+                                -0.0, 5e-324, 1.7976931348623157e308};
+  const vec::FinitePopulation original(values, "bits");
+  std::stringstream buffer;
+  vec::save_population(buffer, original);
+  const auto loaded = vec::load_population(buffer);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&loaded.values()[i], &values[i], sizeof(double)),
+              0);
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto original = sample_population(200, 9);
+  const std::string path = ::testing::TempDir() + "/mpe_pop.bin";
+  vec::save_population_file(path, original);
+  const auto loaded = vec::load_population_file(path);
+  EXPECT_EQ(loaded.values().size(), 200u);
+  EXPECT_DOUBLE_EQ(loaded.true_max(), original.true_max());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream buffer("this is not a population file");
+  EXPECT_THROW(vec::load_population(buffer), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  const auto original = sample_population(50, 3);
+  std::stringstream buffer;
+  vec::save_population(buffer, original);
+  std::string data = buffer.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated(data);
+  EXPECT_THROW(vec::load_population(truncated), std::runtime_error);
+}
+
+TEST(Serialize, RejectsMissingFile) {
+  EXPECT_THROW(vec::load_population_file("/nonexistent/pop.bin"),
+               std::runtime_error);
+  const auto pop = sample_population(10, 1);
+  EXPECT_THROW(vec::save_population_file("/nonexistent/dir/pop.bin", pop),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+#include "maxpower/srs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "maxpower/theory.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+#include "vectors/population.hpp"
+
+namespace {
+
+namespace mp = mpe::maxpower;
+
+mpe::vec::FinitePopulation uniform_population(std::size_t size,
+                                              std::uint64_t seed) {
+  mpe::Rng rng(seed);
+  std::vector<double> vals(size);
+  for (auto& v : vals) v = rng.uniform();
+  return mpe::vec::FinitePopulation(std::move(vals), "uniform");
+}
+
+TEST(Srs, EstimateIsMaxOfSample) {
+  mpe::vec::FinitePopulation pop({1.0, 2.0, 3.0}, "tiny");
+  mpe::Rng rng(1);
+  const auto r = mp::srs_estimate(pop, 200, rng);
+  EXPECT_DOUBLE_EQ(r.estimate, 3.0);  // 200 draws from 3 values: hits the max
+  EXPECT_EQ(r.units_used, 200u);
+}
+
+TEST(Srs, NeverExceedsTrueMax) {
+  auto pop = uniform_population(10000, 2);
+  mpe::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LE(mp::srs_estimate(pop, 100, rng).estimate, pop.true_max());
+  }
+}
+
+TEST(Srs, MoreUnitsGetCloserOnAverage) {
+  auto pop = uniform_population(100000, 4);
+  mpe::Rng rng(5);
+  double small_sum = 0.0, large_sum = 0.0;
+  const int reps = 40;
+  for (int i = 0; i < reps; ++i) {
+    small_sum += mp::srs_estimate(pop, 50, rng).estimate;
+    large_sum += mp::srs_estimate(pop, 5000, rng).estimate;
+  }
+  EXPECT_GT(large_sum / reps, small_sum / reps);
+  EXPECT_NEAR(large_sum / reps, 1.0, 0.01);
+}
+
+TEST(Srs, HitRateMatchesTheoryPrediction) {
+  // Uniform population: qualified fraction for eps=5% is ~0.05. With x =
+  // srs_required_units(0.05, 0.9) units the hit rate should be ~90%.
+  auto pop = uniform_population(100000, 6);
+  const double y = pop.qualified_fraction(0.05);
+  const auto x = static_cast<std::size_t>(mp::srs_required_units(y, 0.9));
+  mpe::Rng rng(7);
+  int hits = 0;
+  const int reps = 300;
+  for (int i = 0; i < reps; ++i) {
+    const auto r = mp::srs_estimate(pop, x, rng);
+    if (r.estimate >= 0.95 * pop.true_max()) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(reps), 0.9, 0.06);
+}
+
+TEST(Srs, SingleUnitDegenerates) {
+  auto pop = uniform_population(1000, 8);
+  mpe::Rng rng(9);
+  const auto r = mp::srs_estimate(pop, 1, rng);
+  EXPECT_EQ(r.units_used, 1u);
+  EXPECT_GE(r.estimate, 0.0);
+  EXPECT_LE(r.estimate, 1.0);
+}
+
+TEST(Srs, ContractChecks) {
+  auto pop = uniform_population(100, 10);
+  mpe::Rng rng(11);
+  EXPECT_THROW(mp::srs_estimate(pop, 0, rng), mpe::ContractViolation);
+}
+
+}  // namespace

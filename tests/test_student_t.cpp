@@ -1,0 +1,104 @@
+#include "stats/student_t.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/normal.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using mpe::stats::Normal;
+using mpe::stats::StudentT;
+
+TEST(StudentT, CdfSymmetry) {
+  const StudentT t(5.0);
+  for (double x : {0.5, 1.0, 2.0, 4.0}) {
+    EXPECT_NEAR(t.cdf(x) + t.cdf(-x), 1.0, 1e-12);
+  }
+  EXPECT_NEAR(t.cdf(0.0), 0.5, 1e-12);
+}
+
+TEST(StudentT, CdfWithOneDofIsCauchy) {
+  const StudentT t(1.0);
+  for (double x : {-3.0, -1.0, 0.0, 1.0, 3.0}) {
+    const double cauchy = 0.5 + std::atan(x) / M_PI;
+    EXPECT_NEAR(t.cdf(x), cauchy, 1e-10) << "x=" << x;
+  }
+}
+
+TEST(StudentT, TwoSidedCriticalMatchesClassicTables) {
+  // Values from standard t tables (two-sided).
+  EXPECT_NEAR(StudentT(1).two_sided_critical(0.90), 6.3138, 2e-3);
+  EXPECT_NEAR(StudentT(4).two_sided_critical(0.90), 2.1318, 1e-3);
+  EXPECT_NEAR(StudentT(9).two_sided_critical(0.90), 1.8331, 1e-3);
+  EXPECT_NEAR(StudentT(9).two_sided_critical(0.95), 2.2622, 1e-3);
+  EXPECT_NEAR(StudentT(29).two_sided_critical(0.99), 2.7564, 1e-3);
+}
+
+TEST(StudentT, QuantileCdfRoundTrip) {
+  const StudentT t(7.0);
+  for (double q : {0.01, 0.1, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(t.cdf(t.quantile(q)), q, 1e-9) << "q=" << q;
+  }
+}
+
+TEST(StudentT, ApproachesNormalForLargeDof) {
+  const StudentT t(2000.0);
+  for (double q : {0.05, 0.5, 0.95}) {
+    EXPECT_NEAR(t.quantile(q), Normal::std_quantile(q), 2e-3);
+  }
+}
+
+TEST(StudentT, PdfIntegratesToOne) {
+  const StudentT t(3.0);
+  const int steps = 40000;
+  const double a = -60.0, b = 60.0;
+  double integral = 0.0;
+  const double h = (b - a) / steps;
+  for (int i = 0; i <= steps; ++i) {
+    const double w = (i == 0 || i == steps) ? 0.5 : 1.0;
+    integral += w * t.pdf(a + i * h);
+  }
+  integral *= h;
+  EXPECT_NEAR(integral, 1.0, 1e-3);  // heavy tails: generous tolerance
+}
+
+TEST(StudentT, SampleQuantilesMatchTheory) {
+  const StudentT t(6.0);
+  mpe::Rng rng(1234);
+  std::vector<double> xs(60000);
+  for (auto& x : xs) x = t.sample(rng);
+  std::sort(xs.begin(), xs.end());
+  const double q90 = xs[static_cast<std::size_t>(0.9 * xs.size())];
+  EXPECT_NEAR(q90, t.quantile(0.9), 0.05);
+}
+
+TEST(StudentT, RejectsBadArgs) {
+  EXPECT_THROW(StudentT(0.0), mpe::ContractViolation);
+  EXPECT_THROW(StudentT(-1.0), mpe::ContractViolation);
+  const StudentT t(3.0);
+  EXPECT_THROW(t.quantile(0.0), mpe::ContractViolation);
+  EXPECT_THROW(t.two_sided_critical(1.0), mpe::ContractViolation);
+}
+
+class TCriticalDecreasesWithDof : public ::testing::TestWithParam<double> {};
+
+TEST_P(TCriticalDecreasesWithDof, MonotoneInDof) {
+  const double l = GetParam();
+  double prev = StudentT(1.0).two_sided_critical(l);
+  for (double nu : {2.0, 3.0, 5.0, 10.0, 30.0, 100.0}) {
+    const double cur = StudentT(nu).two_sided_critical(l);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+  // Limit from below: always above the normal critical value.
+  EXPECT_GT(prev, Normal::two_sided_critical(l) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, TCriticalDecreasesWithDof,
+                         ::testing::Values(0.8, 0.9, 0.95, 0.99));
+
+}  // namespace

@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace {
+
+using mpe::Table;
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"Circuit", "Power"});
+  t.add_row({"c432", "1.818"});
+  t.add_row({"c6288", "126.62"});
+  std::ostringstream os;
+  os << t;
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Circuit"), std::string::npos);
+  EXPECT_NE(s.find("c6288"), std::string::npos);
+  // Every data line starts with the separator.
+  EXPECT_EQ(s.find("| c432"), s.find("c432") - 2);
+}
+
+TEST(Table, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), mpe::ContractViolation);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), mpe::ContractViolation);
+}
+
+TEST(Table, NumFormatsDigits) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::num(std::nan(""), 2), "n/a");
+}
+
+TEST(Table, PctFormatsPercent) {
+  EXPECT_EQ(Table::pct(0.053, 1), "5.3%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+  EXPECT_EQ(Table::pct(-0.062, 1), "-6.2%");
+}
+
+TEST(Table, IntegerFormats) {
+  EXPECT_EQ(Table::integer(2500), "2500");
+  EXPECT_EQ(Table::integer(-3), "-3");
+}
+
+TEST(Table, RowCountTracksAdds) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+#include "sim/technology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/netlist.hpp"
+
+namespace {
+
+namespace ckt = mpe::circuit;
+namespace sim = mpe::sim;
+
+ckt::Netlist tiny() {
+  ckt::Netlist nl("tiny");
+  nl.add_input("a");
+  nl.add_input("b");
+  nl.add_gate(ckt::GateType::kNand, "c", {"a", "b"});
+  nl.add_gate(ckt::GateType::kNot, "d", {"c"});
+  nl.mark_output("d");
+  nl.finalize();
+  return nl;
+}
+
+TEST(Technology, ToggleEnergyFormula) {
+  sim::Technology t;
+  t.vdd = 2.0;
+  // 0.5 * 10 fF * 4 V^2 = 20 fJ = 0.02 pJ.
+  EXPECT_NEAR(t.toggle_energy_pj(10.0), 0.02, 1e-12);
+}
+
+TEST(Technology, NodeCapStructure) {
+  const auto nl = tiny();
+  sim::Technology tech;
+  const auto caps = sim::node_capacitances(nl, tech);
+  ASSERT_EQ(caps.size(), nl.num_nodes());
+
+  const auto a = *nl.find("a");
+  const auto c = *nl.find("c");
+  const auto d = *nl.find("d");
+
+  // Input a: no driver cap; one NAND sink + wire.
+  const double nand_in =
+      tech.unit_input_cap_ff *
+      ckt::electrical(ckt::GateType::kNand).input_cap;
+  EXPECT_NEAR(caps[a], nand_in + tech.wire_cap_per_fanout_ff, 1e-12);
+
+  // Node c: driver cap + NOT sink + wire.
+  const double not_in =
+      tech.unit_input_cap_ff * ckt::electrical(ckt::GateType::kNot).input_cap;
+  EXPECT_NEAR(caps[c],
+              tech.unit_output_cap_ff + not_in + tech.wire_cap_per_fanout_ff,
+              1e-12);
+
+  // Node d: driver cap only (no sinks).
+  EXPECT_NEAR(caps[d], tech.unit_output_cap_ff, 1e-12);
+}
+
+TEST(Technology, CapsScaleWithFanout) {
+  ckt::Netlist nl("fan");
+  nl.add_input("a");
+  nl.add_input("b");
+  nl.add_gate(ckt::GateType::kAnd, "x", {"a", "b"});
+  for (int i = 0; i < 5; ++i) {
+    nl.add_gate(ckt::GateType::kNot, "y" + std::to_string(i), {"x"});
+  }
+  nl.finalize();
+  sim::Technology tech;
+  const auto caps = sim::node_capacitances(nl, tech);
+  const auto x = *nl.find("x");
+  const auto y0 = *nl.find("y0");
+  EXPECT_GT(caps[x], caps[y0]);  // fanout-5 node beats a sink-less node
+}
+
+TEST(Technology, AllCapsPositiveOnGeneratedCircuit) {
+  const auto nl = tiny();
+  const auto caps = sim::node_capacitances(nl, sim::Technology{});
+  for (double c : caps) EXPECT_GT(c, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,60 @@
+#include "maxpower/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace {
+
+namespace mp = mpe::maxpower;
+
+TEST(Theory, RequiredUnitsMatchesPaperFormula) {
+  // The paper: Y = 0.0001 -> x ~ 23,000 for 90% confidence.
+  const double x = mp::srs_required_units(0.0001, 0.90);
+  EXPECT_NEAR(x, std::log(0.1) / std::log(0.9999), 1e-9);
+  EXPECT_NEAR(x, 23025.0, 5.0);
+}
+
+TEST(Theory, PaperTableOneValues) {
+  // Spot-check more rows of Table 1's SRS column.
+  EXPECT_NEAR(mp::srs_required_units(0.00015, 0.90), 15349.0, 20.0);
+  EXPECT_NEAR(mp::srs_required_units(0.000038, 0.90), 60590.0, 100.0);
+}
+
+TEST(Theory, MoreQualifiedUnitsNeedFewerSamples) {
+  double prev = mp::srs_required_units(1e-5, 0.9);
+  for (double y : {1e-4, 1e-3, 1e-2, 0.1}) {
+    const double cur = mp::srs_required_units(y, 0.9);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Theory, HigherConfidenceNeedsMoreSamples) {
+  EXPECT_GT(mp::srs_required_units(0.001, 0.99),
+            mp::srs_required_units(0.001, 0.90));
+}
+
+TEST(Theory, HitProbabilityBasics) {
+  EXPECT_DOUBLE_EQ(mp::srs_hit_probability(0.0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(mp::srs_hit_probability(1.0, 1), 1.0);
+  EXPECT_NEAR(mp::srs_hit_probability(0.5, 2), 0.75, 1e-12);
+}
+
+TEST(Theory, HitProbabilityAtRequiredUnitsIsConfidence) {
+  const double y = 0.0002;
+  const double x = mp::srs_required_units(y, 0.9);
+  EXPECT_NEAR(mp::srs_hit_probability(y, static_cast<std::size_t>(x)), 0.9,
+              0.001);
+}
+
+TEST(Theory, ContractChecks) {
+  EXPECT_THROW(mp::srs_required_units(0.0, 0.9), mpe::ContractViolation);
+  EXPECT_THROW(mp::srs_required_units(1.0, 0.9), mpe::ContractViolation);
+  EXPECT_THROW(mp::srs_required_units(0.1, 0.0), mpe::ContractViolation);
+  EXPECT_THROW(mp::srs_hit_probability(1.5, 10), mpe::ContractViolation);
+}
+
+}  // namespace

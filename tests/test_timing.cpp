@@ -1,0 +1,101 @@
+#include "sim/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/arithmetic.hpp"
+#include "gen/datapath.hpp"
+#include "gen/trees.hpp"
+#include "sim/event_sim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace ckt = mpe::circuit;
+namespace sim = mpe::sim;
+
+ckt::Netlist chain(int k) {
+  ckt::Netlist nl("chain");
+  nl.add_input("a");
+  std::string prev = "a";
+  for (int i = 0; i < k; ++i) {
+    const std::string cur = "n" + std::to_string(i);
+    nl.add_gate(ckt::GateType::kNot, cur, {prev});
+    prev = cur;
+  }
+  nl.mark_output(prev);
+  nl.finalize();
+  return nl;
+}
+
+TEST(Timing, ChainUnitDelay) {
+  const auto nl = chain(5);
+  sim::Technology tech;
+  const auto t = sim::analyze_timing(nl, tech, sim::DelayModel::kUnit);
+  EXPECT_NEAR(t.critical_delay, 5.0 * tech.unit_delay_ns, 1e-12);
+  // Critical path: input + 5 gate outputs.
+  EXPECT_EQ(t.critical_path.size(), 6u);
+  EXPECT_TRUE(nl.is_input(t.critical_path.front()));
+  // Every chain node has zero slack.
+  for (auto n : t.critical_path) {
+    EXPECT_NEAR(t.slack[n], 0.0, 1e-12);
+  }
+}
+
+TEST(Timing, ArrivalMonotoneAlongPath) {
+  auto nl = mpe::gen::ripple_carry_adder(8);
+  const auto t = sim::analyze_timing(nl);
+  for (std::size_t i = 1; i < t.critical_path.size(); ++i) {
+    EXPECT_GE(t.arrival[t.critical_path[i]],
+              t.arrival[t.critical_path[i - 1]]);
+  }
+  EXPECT_GT(t.critical_delay, 0.0);
+}
+
+TEST(Timing, SlackNonNegativeEverywhere) {
+  auto nl = mpe::gen::array_multiplier(6);
+  const auto t = sim::analyze_timing(nl);
+  for (double s : t.slack) {
+    EXPECT_GE(s, -1e-9);
+  }
+}
+
+TEST(Timing, AdderCarryChainIsCritical) {
+  auto nl = mpe::gen::ripple_carry_adder(16);
+  const auto t = sim::analyze_timing(nl, sim::Technology{},
+                                     sim::DelayModel::kUnit);
+  // The critical delay grows with width (carry ripple), and the deepest
+  // node is near the top of the chain.
+  auto nl4 = mpe::gen::ripple_carry_adder(4);
+  const auto t4 = sim::analyze_timing(nl4, sim::Technology{},
+                                      sim::DelayModel::kUnit);
+  EXPECT_GT(t.critical_delay, 2.0 * t4.critical_delay);
+}
+
+TEST(Timing, BoundsEventSimulatorSettleTime) {
+  // The topological delay is an upper bound on any simulated settle time.
+  auto nl = mpe::gen::array_multiplier(6);
+  const auto t = sim::analyze_timing(nl);
+  sim::EventSimOptions opt;  // fanout-loaded inertial, same tech
+  sim::EventSimulator ev(nl, opt);
+  mpe::Rng rng(5);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<std::uint8_t> v1(nl.num_inputs()), v2(nl.num_inputs());
+    for (auto& b : v1) b = rng.bernoulli(0.5);
+    for (auto& b : v2) b = rng.bernoulli(0.5);
+    const auto r = ev.evaluate(v1, v2);
+    EXPECT_LE(r.settle_time_ns, t.critical_delay + 1e-9);
+  }
+}
+
+TEST(Timing, FasterArchitectureHasSmallerCriticalDelay) {
+  // Carry-lookahead beats ripple-carry on the same function.
+  auto ripple = mpe::gen::ripple_carry_adder(16, "r16");
+  auto cla = mpe::gen::carry_lookahead_adder(16, "c16");
+  const auto tr = sim::analyze_timing(ripple, sim::Technology{},
+                                      sim::DelayModel::kUnit);
+  const auto tc = sim::analyze_timing(cla, sim::Technology{},
+                                      sim::DelayModel::kUnit);
+  EXPECT_LT(tc.critical_delay, tr.critical_delay);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+#include "gen/trees.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "circuit/analysis.hpp"
+#include "util/contracts.hpp"
+
+namespace {
+
+namespace ckt = mpe::circuit;
+namespace gen = mpe::gen;
+
+TEST(ParityTree, ComputesParityExhaustive) {
+  auto nl = gen::parity_tree(6, 2);
+  for (int mask = 0; mask < 64; ++mask) {
+    std::vector<std::uint8_t> in(6);
+    int pop = 0;
+    for (int i = 0; i < 6; ++i) {
+      in[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>((mask >> i) & 1);
+      pop += (mask >> i) & 1;
+    }
+    const auto values = ckt::evaluate(nl, in);
+    EXPECT_EQ(values[*nl.find("parity")], pop & 1) << mask;
+  }
+}
+
+TEST(ParityTree, WideFaninVariant) {
+  auto nl = gen::parity_tree(9, 3);
+  std::vector<std::uint8_t> in(9, 1);
+  auto values = ckt::evaluate(nl, in);
+  EXPECT_EQ(values[*nl.find("parity")], 1);  // 9 ones: odd
+  in[0] = 0;
+  values = ckt::evaluate(nl, in);
+  EXPECT_EQ(values[*nl.find("parity")], 0);
+}
+
+TEST(ParityTree, DepthShrinksWithWiderFanin) {
+  const auto narrow = gen::parity_tree(32, 2, "p2");
+  const auto wide = gen::parity_tree(32, 4, "p4");
+  EXPECT_GT(narrow.depth(), wide.depth());
+}
+
+TEST(Decoder, OneHotExhaustive) {
+  auto nl = gen::decoder(3);
+  for (std::uint64_t code = 0; code < 8; ++code) {
+    std::vector<std::uint8_t> in(nl.num_inputs(), 0);
+    // Inputs are s0, s1, s2, en in declaration order.
+    for (int i = 0; i < 3; ++i) {
+      in[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>((code >> i) & 1);
+    }
+    in[3] = 1;  // enable
+    const auto values = ckt::evaluate(nl, in);
+    for (std::uint64_t o = 0; o < 8; ++o) {
+      EXPECT_EQ(values[*nl.find("y" + std::to_string(o))],
+                o == code ? 1 : 0)
+          << "code=" << code << " out=" << o;
+    }
+  }
+}
+
+TEST(Decoder, DisabledMeansAllZero) {
+  auto nl = gen::decoder(2);
+  std::vector<std::uint8_t> in(nl.num_inputs(), 0);
+  in[0] = 1;  // s0 = 1 but en = 0
+  const auto values = ckt::evaluate(nl, in);
+  for (int o = 0; o < 4; ++o) {
+    EXPECT_EQ(values[*nl.find("y" + std::to_string(o))], 0);
+  }
+}
+
+TEST(MuxTree, SelectsCorrectDataLine) {
+  auto nl = gen::mux_tree(3);
+  // Inputs: d0..d7 then s0..s2.
+  for (std::uint64_t sel = 0; sel < 8; ++sel) {
+    for (std::uint64_t hot = 0; hot < 8; ++hot) {
+      std::vector<std::uint8_t> in(nl.num_inputs(), 0);
+      in[hot] = 1;
+      for (int i = 0; i < 3; ++i) {
+        in[8 + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>((sel >> i) & 1);
+      }
+      const auto values = ckt::evaluate(nl, in);
+      EXPECT_EQ(values[*nl.find("y")], sel == hot ? 1 : 0)
+          << "sel=" << sel << " hot=" << hot;
+    }
+  }
+}
+
+TEST(Trees, ContractChecks) {
+  EXPECT_THROW(gen::parity_tree(1), mpe::ContractViolation);
+  EXPECT_THROW(gen::decoder(0), mpe::ContractViolation);
+  EXPECT_THROW(gen::decoder(11), mpe::ContractViolation);
+  EXPECT_THROW(gen::mux_tree(0), mpe::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+#include "sim/vcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/arithmetic.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace ckt = mpe::circuit;
+namespace sim = mpe::sim;
+
+ckt::Netlist inv_chain() {
+  ckt::Netlist nl("chain");
+  nl.add_input("a");
+  nl.add_gate(ckt::GateType::kNot, "n0", {"a"});
+  nl.add_gate(ckt::GateType::kNot, "n1", {"n0"});
+  nl.mark_output("n1");
+  nl.finalize();
+  return nl;
+}
+
+TEST(Vcd, RecordsTransitionsOfOneCycle) {
+  const auto nl = inv_chain();
+  sim::VcdRecorder rec(nl);
+  sim::EventSimOptions opt;
+  opt.delay_model = sim::DelayModel::kUnit;
+  const auto r = rec.record_cycle(std::vector<std::uint8_t>{0},
+                                  std::vector<std::uint8_t>{1}, opt);
+  EXPECT_EQ(r.toggles, 3u);            // a, n0, n1
+  EXPECT_EQ(rec.events().size(), 3u);  // one event per toggle
+  EXPECT_EQ(rec.cycles(), 1u);
+  // Events ordered by time; the input changes at t = 0.
+  EXPECT_DOUBLE_EQ(rec.events().front().time_ns, 0.0);
+  EXPECT_GT(rec.events().back().time_ns, 0.0);
+}
+
+TEST(Vcd, MultipleCyclesOffsetByClockPeriod) {
+  const auto nl = inv_chain();
+  sim::VcdRecorder rec(nl);
+  sim::EventSimOptions opt;
+  opt.delay_model = sim::DelayModel::kUnit;
+  const std::vector<std::uint8_t> lo = {0}, hi = {1};
+  rec.record_cycle(lo, hi, opt);
+  rec.record_cycle(hi, lo, opt);
+  EXPECT_EQ(rec.cycles(), 2u);
+  // The second cycle's first event starts one clock period in.
+  bool found_second_cycle = false;
+  for (const auto& e : rec.events()) {
+    if (e.time_ns >= opt.tech.clock_period_ns) found_second_cycle = true;
+  }
+  EXPECT_TRUE(found_second_cycle);
+}
+
+TEST(Vcd, DocumentStructure) {
+  const auto nl = inv_chain();
+  sim::VcdRecorder rec(nl);
+  sim::EventSimOptions opt;
+  opt.delay_model = sim::DelayModel::kUnit;
+  rec.record_cycle(std::vector<std::uint8_t>{0},
+                   std::vector<std::uint8_t>{1}, opt);
+  const std::string doc = rec.write_string();
+  EXPECT_NE(doc.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(doc.find("$scope module chain $end"), std::string::npos);
+  EXPECT_NE(doc.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(doc.find("$dumpvars"), std::string::npos);
+  // One $var per node.
+  std::size_t vars = 0, pos = 0;
+  while ((pos = doc.find("$var wire 1 ", pos)) != std::string::npos) {
+    ++vars;
+    pos += 5;
+  }
+  EXPECT_EQ(vars, nl.num_nodes());
+  // Timestamps present (t=0 and the settle times in ps).
+  EXPECT_NE(doc.find("#0"), std::string::npos);
+  EXPECT_NE(doc.find("#350"), std::string::npos);  // one unit delay = 350ps
+}
+
+TEST(Vcd, InitialValuesMatchSettledState) {
+  const auto nl = inv_chain();
+  sim::VcdRecorder rec(nl);
+  // v1 = 1: settled a=1, n0=0, n1=1.
+  rec.record_cycle(std::vector<std::uint8_t>{1},
+                   std::vector<std::uint8_t>{0});
+  const std::string doc = rec.write_string();
+  const auto dump = doc.find("$dumpvars");
+  ASSERT_NE(dump, std::string::npos);
+  // Node 0 = 'a' has VCD id '!' and initial value 1.
+  EXPECT_NE(doc.find("1!", dump), std::string::npos);
+}
+
+TEST(Vcd, TimestampsNondecreasing) {
+  auto nl = mpe::gen::array_multiplier(4);
+  sim::VcdRecorder rec(nl);
+  mpe::Rng rng(3);
+  std::vector<std::uint8_t> v1(nl.num_inputs()), v2(nl.num_inputs());
+  for (int c = 0; c < 3; ++c) {
+    for (auto& b : v1) b = rng.bernoulli(0.5);
+    for (auto& b : v2) b = rng.bernoulli(0.5);
+    rec.record_cycle(v1, v2);
+  }
+  double prev = 0.0;
+  for (const auto& e : rec.events()) {
+    EXPECT_GE(e.time_ns, prev - 1e-12);
+    prev = e.time_ns;
+  }
+}
+
+}  // namespace

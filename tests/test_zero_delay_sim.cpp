@@ -1,0 +1,115 @@
+#include "sim/zero_delay_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/builder.hpp"
+#include "gen/arithmetic.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace ckt = mpe::circuit;
+namespace sim = mpe::sim;
+
+ckt::Netlist inverter() {
+  ckt::Netlist nl("inv");
+  nl.add_input("a");
+  nl.add_gate(ckt::GateType::kNot, "z", {"a"});
+  nl.mark_output("z");
+  nl.finalize();
+  return nl;
+}
+
+TEST(ZeroDelaySim, NoChangeNoEnergy) {
+  const auto nl = inverter();
+  sim::ZeroDelaySimulator s(nl, sim::Technology{});
+  const auto r = s.evaluate(std::vector<std::uint8_t>{1},
+                            std::vector<std::uint8_t>{1});
+  EXPECT_EQ(r.toggles, 0u);
+  EXPECT_DOUBLE_EQ(r.energy_pj, 0.0);
+  EXPECT_DOUBLE_EQ(r.power_mw, 0.0);
+}
+
+TEST(ZeroDelaySim, InvertertogglesBothNodes) {
+  const auto nl = inverter();
+  sim::Technology tech;
+  sim::ZeroDelaySimulator s(nl, tech);
+  const auto r = s.evaluate(std::vector<std::uint8_t>{0},
+                            std::vector<std::uint8_t>{1});
+  EXPECT_EQ(r.toggles, 2u);  // input node and output node
+  const auto& caps = s.node_caps();
+  const double expected =
+      tech.toggle_energy_pj(caps[0]) + tech.toggle_energy_pj(caps[1]);
+  EXPECT_NEAR(r.energy_pj, expected, 1e-12);
+  EXPECT_NEAR(r.power_mw, expected / tech.clock_period_ns, 1e-12);
+}
+
+TEST(ZeroDelaySim, MaskedInputDoesNotPropagate) {
+  // AND with b = 0: toggling a toggles only the input node.
+  ckt::Netlist nl("and");
+  nl.add_input("a");
+  nl.add_input("b");
+  nl.add_gate(ckt::GateType::kAnd, "z", {"a", "b"});
+  nl.finalize();
+  sim::ZeroDelaySimulator s(nl, sim::Technology{});
+  const auto r = s.evaluate(std::vector<std::uint8_t>{0, 0},
+                            std::vector<std::uint8_t>{1, 0});
+  EXPECT_EQ(r.toggles, 1u);
+}
+
+TEST(ZeroDelaySim, SymmetricPairsGiveSameEnergy) {
+  // Energy of (v1 -> v2) equals (v2 -> v1): toggles are symmetric.
+  auto nl = mpe::gen::ripple_carry_adder(8);
+  sim::ZeroDelaySimulator s(nl, sim::Technology{});
+  mpe::Rng rng(3);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<std::uint8_t> v1(nl.num_inputs()), v2(nl.num_inputs());
+    for (auto& b : v1) b = rng.bernoulli(0.5);
+    for (auto& b : v2) b = rng.bernoulli(0.5);
+    const auto fwd = s.evaluate(v1, v2);
+    const auto bwd = s.evaluate(v2, v1);
+    EXPECT_EQ(fwd.toggles, bwd.toggles);
+    EXPECT_NEAR(fwd.energy_pj, bwd.energy_pj, 1e-9);
+  }
+}
+
+TEST(ZeroDelaySim, EnergyScalesWithVddSquared) {
+  auto nl = mpe::gen::ripple_carry_adder(4);
+  sim::Technology t1;
+  t1.vdd = 1.0;
+  sim::Technology t2 = t1;
+  t2.vdd = 2.0;
+  sim::ZeroDelaySimulator s1(nl, t1), s2(nl, t2);
+  std::vector<std::uint8_t> v1(nl.num_inputs(), 0), v2(nl.num_inputs(), 1);
+  const auto r1 = s1.evaluate(v1, v2);
+  const auto r2 = s2.evaluate(v1, v2);
+  EXPECT_NEAR(r2.energy_pj, 4.0 * r1.energy_pj, 1e-9);
+}
+
+TEST(ZeroDelaySim, PowerInverselyProportionalToClock) {
+  auto nl = mpe::gen::ripple_carry_adder(4);
+  sim::Technology t1;
+  t1.clock_period_ns = 10.0;
+  sim::Technology t2 = t1;
+  t2.clock_period_ns = 20.0;
+  sim::ZeroDelaySimulator s1(nl, t1), s2(nl, t2);
+  std::vector<std::uint8_t> v1(nl.num_inputs(), 0), v2(nl.num_inputs(), 1);
+  EXPECT_NEAR(s1.evaluate(v1, v2).power_mw,
+              2.0 * s2.evaluate(v1, v2).power_mw, 1e-9);
+}
+
+TEST(ZeroDelaySim, ReusableAcrossManyCalls) {
+  auto nl = mpe::gen::array_multiplier(4);
+  sim::ZeroDelaySimulator s(nl, sim::Technology{});
+  mpe::Rng rng(9);
+  double total = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::uint8_t> v1(nl.num_inputs()), v2(nl.num_inputs());
+    for (auto& b : v1) b = rng.bernoulli(0.5);
+    for (auto& b : v2) b = rng.bernoulli(0.5);
+    total += s.evaluate(v1, v2).power_mw;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+// mpe_cli — command-line front end to the library:
+//
+//   mpe_cli estimate  --circuit c880 [--epsilon 0.05] [--confidence 0.9]
+//                     [--tprob 0.5] [--seed 1]
+//   mpe_cli report    --circuit c3540 | --bench f.bench | --verilog f.v
+//   mpe_cli convert   --in f.bench --out f.v       (format by extension)
+//   mpe_cli timing    --circuit c1908 [--model zero|unit|loaded]
+//   mpe_cli vcd       --circuit c432 --out wave.vcd [--cycles 4] [--seed 1]
+//   mpe_cli maxdelay  --circuit c1908 [--epsilon 0.08]
+//
+// Circuits come from the built-in presets (--circuit), an ISCAS-85 .bench
+// file (--bench), or a structural Verilog file (--verilog).
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+
+#include "mpe.hpp"
+
+namespace {
+
+using namespace mpe;
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: mpe_cli <estimate|report|convert|timing|vcd|maxdelay> "
+      "[flags]\n"
+      "  common circuit flags: --circuit <preset> | --bench <file> | "
+      "--verilog <file>, --seed N\n"
+      "  estimate: --epsilon E --confidence L [--tprob P | --activity A]\n"
+      "  convert : --in <file.bench|file.v> --out <file.bench|file.v>\n"
+      "  timing  : --model zero|unit|loaded\n"
+      "  vcd     : --out <file.vcd> [--cycles N]\n"
+      "  maxdelay: --epsilon E\n");
+  std::exit(2);
+}
+
+circuit::Netlist load_circuit(const Cli& cli, std::uint64_t seed) {
+  if (cli.has("bench")) return circuit::read_bench_file(cli.get("bench", ""));
+  if (cli.has("verilog")) {
+    return circuit::read_verilog_file(cli.get("verilog", ""));
+  }
+  return gen::build_preset(cli.get("circuit", "c432"), seed);
+}
+
+int cmd_estimate(const Cli& cli) {
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  auto netlist = load_circuit(cli, seed);
+  sim::CyclePowerEvaluator evaluator(netlist);
+
+  std::unique_ptr<vec::PairGenerator> pairs;
+  if (cli.has("tprob")) {
+    pairs = std::make_unique<vec::TransitionProbPairGenerator>(
+        netlist.num_inputs(), cli.get_double("tprob", 0.5));
+  } else if (cli.has("activity")) {
+    pairs = std::make_unique<vec::HighActivityPairGenerator>(
+        netlist.num_inputs(), cli.get_double("activity", 0.3));
+  } else {
+    pairs = std::make_unique<vec::UniformPairGenerator>(netlist.num_inputs());
+  }
+  vec::StreamingPopulation population(*pairs, evaluator);
+
+  maxpower::EstimatorOptions options;
+  options.epsilon = cli.get_double("epsilon", 0.05);
+  options.confidence = cli.get_double("confidence", 0.90);
+  Rng rng(seed);
+  const auto r = maxpower::estimate_max_power(population, options, rng);
+
+  std::printf("circuit           : %s (%zu gates)\n", netlist.name().c_str(),
+              netlist.num_gates());
+  std::printf("input model       : %s\n", pairs->description().c_str());
+  std::printf("estimated max     : %.4f mW\n", r.estimate);
+  std::printf("confidence interval: [%.4f, %.4f] mW @ %.0f%%\n", r.ci.lower,
+              r.ci.upper, options.confidence * 100.0);
+  std::printf("rel. error bound  : %.2f%% (target %.2f%%)\n",
+              r.relative_error_bound * 100.0, options.epsilon * 100.0);
+  std::printf("vector pairs used : %zu (%zu hyper-samples)\n", r.units_used,
+              r.hyper_samples);
+  std::printf("converged         : %s\n", r.converged ? "yes" : "no");
+  return r.converged ? 0 : 1;
+}
+
+int cmd_report(const Cli& cli) {
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  auto netlist = load_circuit(cli, seed);
+  const auto st = netlist.stats();
+  std::printf("%s: %zu inputs, %zu outputs, %zu gates, depth %zu\n",
+              netlist.name().c_str(), st.num_inputs, st.num_outputs,
+              st.num_gates, st.depth);
+  std::printf("max fanin %zu, max fanout %zu, avg fanout %.2f\n",
+              st.max_fanin, st.max_fanout, st.avg_fanout);
+  for (std::size_t t = 0; t < circuit::kNumGateTypes; ++t) {
+    if (st.gates_by_type[t] == 0) continue;
+    std::printf("  %-5s %zu\n",
+                circuit::to_string(static_cast<circuit::GateType>(t)).c_str(),
+                st.gates_by_type[t]);
+  }
+  const auto timing = sim::analyze_timing(netlist);
+  std::printf("topological critical delay: %.3f ns\n", timing.critical_delay);
+
+  const vec::UniformPairGenerator pairs(netlist.num_inputs());
+  Rng rng(seed);
+  const auto prof = sim::profile_power(netlist, pairs, 300, {}, rng);
+  std::printf("avg power %.4f mW, sampled max %.4f mW; top consumers:\n",
+              prof.avg_power_mw, prof.max_power_mw);
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, prof.by_node.size());
+       ++i) {
+    std::printf("  %-16s %5.1f%% of energy\n",
+                netlist.node_name(prof.by_node[i].node).c_str(),
+                prof.by_node[i].share * 100.0);
+  }
+  return 0;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+int cmd_convert(const Cli& cli) {
+  const std::string in_path = cli.get("in", "");
+  const std::string out_path = cli.get("out", "");
+  if (in_path.empty() || out_path.empty()) usage();
+
+  circuit::Netlist netlist =
+      ends_with(in_path, ".v") ? circuit::read_verilog_file(in_path)
+                               : circuit::read_bench_file(in_path);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open for write: %s\n", out_path.c_str());
+    return 1;
+  }
+  if (ends_with(out_path, ".v")) {
+    circuit::write_verilog(out, netlist);
+  } else {
+    circuit::write_bench(out, netlist);
+  }
+  std::printf("%s (%zu gates) -> %s\n", in_path.c_str(), netlist.num_gates(),
+              out_path.c_str());
+  return 0;
+}
+
+int cmd_timing(const Cli& cli) {
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  auto netlist = load_circuit(cli, seed);
+  const std::string model = cli.get("model", "loaded");
+  sim::DelayModel dm = sim::DelayModel::kFanoutLoaded;
+  if (model == "zero") dm = sim::DelayModel::kZero;
+  else if (model == "unit") dm = sim::DelayModel::kUnit;
+  else if (model != "loaded") usage();
+
+  const auto t = sim::analyze_timing(netlist, sim::Technology{}, dm);
+  std::printf("critical delay (%s model): %.3f ns\n",
+              sim::to_string(dm), t.critical_delay);
+  std::printf("critical path (%zu nodes):\n", t.critical_path.size());
+  for (auto n : t.critical_path) {
+    std::printf("  %-20s arrival %.3f ns\n",
+                netlist.node_name(n).c_str(), t.arrival[n]);
+  }
+  return 0;
+}
+
+int cmd_vcd(const Cli& cli) {
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const auto cycles = static_cast<std::size_t>(cli.get_int("cycles", 4));
+  const std::string out_path = cli.get("out", "");
+  if (out_path.empty()) usage();
+
+  auto netlist = load_circuit(cli, seed);
+  sim::VcdRecorder recorder(netlist);
+  Rng rng(seed);
+  auto v1 = vec::random_vector(netlist.num_inputs(), rng);
+  double total_mw = 0.0;
+  for (std::size_t c = 0; c < cycles; ++c) {
+    const auto v2 = vec::random_vector(netlist.num_inputs(), rng);
+    total_mw += recorder.record_cycle(v1, v2).power_mw;
+    v1 = v2;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open for write: %s\n", out_path.c_str());
+    return 1;
+  }
+  recorder.write(out);
+  std::printf("wrote %s: %zu cycles, %zu transitions, avg power %.4f mW\n",
+              out_path.c_str(), recorder.cycles(), recorder.events().size(),
+              total_mw / static_cast<double>(cycles));
+  return 0;
+}
+
+int cmd_maxdelay(const Cli& cli) {
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  auto netlist = load_circuit(cli, seed);
+  sim::EventSimOptions options;
+  sim::EventSimulator simulator(netlist, options);
+  const vec::UniformPairGenerator pairs(netlist.num_inputs());
+  maxpower::EstimatorOptions est;
+  est.epsilon = cli.get_double("epsilon", 0.08);
+  Rng rng(seed);
+  const auto r = maxdelay::estimate_max_delay(pairs, simulator, est, rng);
+  const auto t = sim::analyze_timing(netlist);
+  std::printf("EVT max sensitizable delay: %.3f ns  [%.3f, %.3f] @ 90%%\n",
+              r.estimate, r.ci.lower, r.ci.upper);
+  std::printf("topological bound         : %.3f ns\n", t.critical_delay);
+  std::printf("vector pairs used         : %zu\n", r.units_used);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const Cli cli(argc - 1, argv + 1);
+  if (cmd == "estimate") return cmd_estimate(cli);
+  if (cmd == "report") return cmd_report(cli);
+  if (cmd == "convert") return cmd_convert(cli);
+  if (cmd == "timing") return cmd_timing(cli);
+  if (cmd == "vcd") return cmd_vcd(cli);
+  if (cmd == "maxdelay") return cmd_maxdelay(cli);
+  usage();
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}
