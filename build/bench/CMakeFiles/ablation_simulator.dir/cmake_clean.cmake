@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_simulator.dir/ablation_simulator.cpp.o"
+  "CMakeFiles/ablation_simulator.dir/ablation_simulator.cpp.o.d"
+  "ablation_simulator"
+  "ablation_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

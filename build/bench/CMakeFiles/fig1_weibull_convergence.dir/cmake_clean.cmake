@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_weibull_convergence.dir/fig1_weibull_convergence.cpp.o"
+  "CMakeFiles/fig1_weibull_convergence.dir/fig1_weibull_convergence.cpp.o.d"
+  "fig1_weibull_convergence"
+  "fig1_weibull_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_weibull_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_estimator_normality.dir/fig2_estimator_normality.cpp.o"
+  "CMakeFiles/fig2_estimator_normality.dir/fig2_estimator_normality.cpp.o.d"
+  "fig2_estimator_normality"
+  "fig2_estimator_normality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_estimator_normality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

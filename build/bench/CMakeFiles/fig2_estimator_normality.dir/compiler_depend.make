@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_estimator_normality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpe_bench_common.dir/common.cpp.o"
+  "CMakeFiles/mpe_bench_common.dir/common.cpp.o.d"
+  "libmpe_bench_common.a"
+  "libmpe_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpe_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpe_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_power_extension.dir/seq_power_extension.cpp.o"
+  "CMakeFiles/seq_power_extension.dir/seq_power_extension.cpp.o.d"
+  "seq_power_extension"
+  "seq_power_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_power_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_unconstrained_efficiency.dir/table1_unconstrained_efficiency.cpp.o"
+  "CMakeFiles/table1_unconstrained_efficiency.dir/table1_unconstrained_efficiency.cpp.o.d"
+  "table1_unconstrained_efficiency"
+  "table1_unconstrained_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_unconstrained_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

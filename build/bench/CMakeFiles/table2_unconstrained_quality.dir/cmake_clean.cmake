@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_unconstrained_quality.dir/table2_unconstrained_quality.cpp.o"
+  "CMakeFiles/table2_unconstrained_quality.dir/table2_unconstrained_quality.cpp.o.d"
+  "table2_unconstrained_quality"
+  "table2_unconstrained_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_unconstrained_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_constrained_high.dir/table3_constrained_high.cpp.o"
+  "CMakeFiles/table3_constrained_high.dir/table3_constrained_high.cpp.o.d"
+  "table3_constrained_high"
+  "table3_constrained_high.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_constrained_high.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

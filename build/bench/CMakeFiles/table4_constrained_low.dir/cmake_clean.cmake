@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_constrained_low.dir/table4_constrained_low.cpp.o"
+  "CMakeFiles/table4_constrained_low.dir/table4_constrained_low.cpp.o.d"
+  "table4_constrained_low"
+  "table4_constrained_low.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_constrained_low.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

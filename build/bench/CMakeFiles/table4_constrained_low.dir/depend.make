@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_constrained_low.
+# This may be replaced when dependencies are built.

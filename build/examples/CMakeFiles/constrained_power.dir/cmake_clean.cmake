@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constrained_power.dir/constrained_power.cpp.o"
+  "CMakeFiles/constrained_power.dir/constrained_power.cpp.o.d"
+  "constrained_power"
+  "constrained_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constrained_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

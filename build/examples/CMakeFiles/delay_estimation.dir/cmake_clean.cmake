@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_estimation.dir/delay_estimation.cpp.o"
+  "CMakeFiles/delay_estimation.dir/delay_estimation.cpp.o.d"
+  "delay_estimation"
+  "delay_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_power.dir/ecc_power.cpp.o"
+  "CMakeFiles/ecc_power.dir/ecc_power.cpp.o.d"
+  "ecc_power"
+  "ecc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evt_playground.dir/evt_playground.cpp.o"
+  "CMakeFiles/evt_playground.dir/evt_playground.cpp.o.d"
+  "evt_playground"
+  "evt_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evt_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

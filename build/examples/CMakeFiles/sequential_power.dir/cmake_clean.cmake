@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequential_power.dir/sequential_power.cpp.o"
+  "CMakeFiles/sequential_power.dir/sequential_power.cpp.o.d"
+  "sequential_power"
+  "sequential_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequential_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,84 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/analysis.cpp" "src/CMakeFiles/mpe.dir/circuit/analysis.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/circuit/analysis.cpp.o.d"
+  "/root/repo/src/circuit/bench_io.cpp" "src/CMakeFiles/mpe.dir/circuit/bench_io.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/circuit/bench_io.cpp.o.d"
+  "/root/repo/src/circuit/builder.cpp" "src/CMakeFiles/mpe.dir/circuit/builder.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/circuit/builder.cpp.o.d"
+  "/root/repo/src/circuit/gate.cpp" "src/CMakeFiles/mpe.dir/circuit/gate.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/circuit/gate.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/CMakeFiles/mpe.dir/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/prob_analysis.cpp" "src/CMakeFiles/mpe.dir/circuit/prob_analysis.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/circuit/prob_analysis.cpp.o.d"
+  "/root/repo/src/circuit/verilog_io.cpp" "src/CMakeFiles/mpe.dir/circuit/verilog_io.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/circuit/verilog_io.cpp.o.d"
+  "/root/repo/src/evt/block_maxima.cpp" "src/CMakeFiles/mpe.dir/evt/block_maxima.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/evt/block_maxima.cpp.o.d"
+  "/root/repo/src/evt/bootstrap.cpp" "src/CMakeFiles/mpe.dir/evt/bootstrap.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/evt/bootstrap.cpp.o.d"
+  "/root/repo/src/evt/confidence.cpp" "src/CMakeFiles/mpe.dir/evt/confidence.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/evt/confidence.cpp.o.d"
+  "/root/repo/src/evt/domain.cpp" "src/CMakeFiles/mpe.dir/evt/domain.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/evt/domain.cpp.o.d"
+  "/root/repo/src/evt/fisher.cpp" "src/CMakeFiles/mpe.dir/evt/fisher.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/evt/fisher.cpp.o.d"
+  "/root/repo/src/evt/pwm.cpp" "src/CMakeFiles/mpe.dir/evt/pwm.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/evt/pwm.cpp.o.d"
+  "/root/repo/src/evt/weibull_mle.cpp" "src/CMakeFiles/mpe.dir/evt/weibull_mle.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/evt/weibull_mle.cpp.o.d"
+  "/root/repo/src/gen/arithmetic.cpp" "src/CMakeFiles/mpe.dir/gen/arithmetic.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/gen/arithmetic.cpp.o.d"
+  "/root/repo/src/gen/datapath.cpp" "src/CMakeFiles/mpe.dir/gen/datapath.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/gen/datapath.cpp.o.d"
+  "/root/repo/src/gen/ecc.cpp" "src/CMakeFiles/mpe.dir/gen/ecc.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/gen/ecc.cpp.o.d"
+  "/root/repo/src/gen/presets.cpp" "src/CMakeFiles/mpe.dir/gen/presets.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/gen/presets.cpp.o.d"
+  "/root/repo/src/gen/random_dag.cpp" "src/CMakeFiles/mpe.dir/gen/random_dag.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/gen/random_dag.cpp.o.d"
+  "/root/repo/src/gen/trees.cpp" "src/CMakeFiles/mpe.dir/gen/trees.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/gen/trees.cpp.o.d"
+  "/root/repo/src/maxdelay/delay_estimator.cpp" "src/CMakeFiles/mpe.dir/maxdelay/delay_estimator.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/maxdelay/delay_estimator.cpp.o.d"
+  "/root/repo/src/maxpower/bounds.cpp" "src/CMakeFiles/mpe.dir/maxpower/bounds.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/maxpower/bounds.cpp.o.d"
+  "/root/repo/src/maxpower/estimator.cpp" "src/CMakeFiles/mpe.dir/maxpower/estimator.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/maxpower/estimator.cpp.o.d"
+  "/root/repo/src/maxpower/hyper_sample.cpp" "src/CMakeFiles/mpe.dir/maxpower/hyper_sample.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/maxpower/hyper_sample.cpp.o.d"
+  "/root/repo/src/maxpower/quantile_baseline.cpp" "src/CMakeFiles/mpe.dir/maxpower/quantile_baseline.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/maxpower/quantile_baseline.cpp.o.d"
+  "/root/repo/src/maxpower/search_baselines.cpp" "src/CMakeFiles/mpe.dir/maxpower/search_baselines.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/maxpower/search_baselines.cpp.o.d"
+  "/root/repo/src/maxpower/srs.cpp" "src/CMakeFiles/mpe.dir/maxpower/srs.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/maxpower/srs.cpp.o.d"
+  "/root/repo/src/maxpower/theory.cpp" "src/CMakeFiles/mpe.dir/maxpower/theory.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/maxpower/theory.cpp.o.d"
+  "/root/repo/src/seq/seq_bench_io.cpp" "src/CMakeFiles/mpe.dir/seq/seq_bench_io.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/seq/seq_bench_io.cpp.o.d"
+  "/root/repo/src/seq/seq_gen.cpp" "src/CMakeFiles/mpe.dir/seq/seq_gen.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/seq/seq_gen.cpp.o.d"
+  "/root/repo/src/seq/seq_netlist.cpp" "src/CMakeFiles/mpe.dir/seq/seq_netlist.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/seq/seq_netlist.cpp.o.d"
+  "/root/repo/src/seq/seq_presets.cpp" "src/CMakeFiles/mpe.dir/seq/seq_presets.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/seq/seq_presets.cpp.o.d"
+  "/root/repo/src/seq/seq_sim.cpp" "src/CMakeFiles/mpe.dir/seq/seq_sim.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/seq/seq_sim.cpp.o.d"
+  "/root/repo/src/sim/bit_parallel_sim.cpp" "src/CMakeFiles/mpe.dir/sim/bit_parallel_sim.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/sim/bit_parallel_sim.cpp.o.d"
+  "/root/repo/src/sim/delay.cpp" "src/CMakeFiles/mpe.dir/sim/delay.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/sim/delay.cpp.o.d"
+  "/root/repo/src/sim/event_sim.cpp" "src/CMakeFiles/mpe.dir/sim/event_sim.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/sim/event_sim.cpp.o.d"
+  "/root/repo/src/sim/power_eval.cpp" "src/CMakeFiles/mpe.dir/sim/power_eval.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/sim/power_eval.cpp.o.d"
+  "/root/repo/src/sim/power_profile.cpp" "src/CMakeFiles/mpe.dir/sim/power_profile.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/sim/power_profile.cpp.o.d"
+  "/root/repo/src/sim/technology.cpp" "src/CMakeFiles/mpe.dir/sim/technology.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/sim/technology.cpp.o.d"
+  "/root/repo/src/sim/timing.cpp" "src/CMakeFiles/mpe.dir/sim/timing.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/sim/timing.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/CMakeFiles/mpe.dir/sim/vcd.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/sim/vcd.cpp.o.d"
+  "/root/repo/src/sim/zero_delay_sim.cpp" "src/CMakeFiles/mpe.dir/sim/zero_delay_sim.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/sim/zero_delay_sim.cpp.o.d"
+  "/root/repo/src/stats/anderson_darling.cpp" "src/CMakeFiles/mpe.dir/stats/anderson_darling.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/stats/anderson_darling.cpp.o.d"
+  "/root/repo/src/stats/chi_squared.cpp" "src/CMakeFiles/mpe.dir/stats/chi_squared.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/stats/chi_squared.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/CMakeFiles/mpe.dir/stats/descriptive.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/stats/descriptive.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/CMakeFiles/mpe.dir/stats/ecdf.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/stats/ecdf.cpp.o.d"
+  "/root/repo/src/stats/frechet.cpp" "src/CMakeFiles/mpe.dir/stats/frechet.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/stats/frechet.cpp.o.d"
+  "/root/repo/src/stats/gev.cpp" "src/CMakeFiles/mpe.dir/stats/gev.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/stats/gev.cpp.o.d"
+  "/root/repo/src/stats/gumbel.cpp" "src/CMakeFiles/mpe.dir/stats/gumbel.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/stats/gumbel.cpp.o.d"
+  "/root/repo/src/stats/ks.cpp" "src/CMakeFiles/mpe.dir/stats/ks.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/stats/ks.cpp.o.d"
+  "/root/repo/src/stats/least_squares.cpp" "src/CMakeFiles/mpe.dir/stats/least_squares.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/stats/least_squares.cpp.o.d"
+  "/root/repo/src/stats/normal.cpp" "src/CMakeFiles/mpe.dir/stats/normal.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/stats/normal.cpp.o.d"
+  "/root/repo/src/stats/optimize.cpp" "src/CMakeFiles/mpe.dir/stats/optimize.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/stats/optimize.cpp.o.d"
+  "/root/repo/src/stats/student_t.cpp" "src/CMakeFiles/mpe.dir/stats/student_t.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/stats/student_t.cpp.o.d"
+  "/root/repo/src/stats/weibull.cpp" "src/CMakeFiles/mpe.dir/stats/weibull.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/stats/weibull.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/mpe.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/math.cpp" "src/CMakeFiles/mpe.dir/util/math.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/util/math.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/mpe.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/mpe.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/util/table.cpp.o.d"
+  "/root/repo/src/vectors/generators.cpp" "src/CMakeFiles/mpe.dir/vectors/generators.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/vectors/generators.cpp.o.d"
+  "/root/repo/src/vectors/input_vector.cpp" "src/CMakeFiles/mpe.dir/vectors/input_vector.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/vectors/input_vector.cpp.o.d"
+  "/root/repo/src/vectors/markov.cpp" "src/CMakeFiles/mpe.dir/vectors/markov.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/vectors/markov.cpp.o.d"
+  "/root/repo/src/vectors/parallel_db.cpp" "src/CMakeFiles/mpe.dir/vectors/parallel_db.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/vectors/parallel_db.cpp.o.d"
+  "/root/repo/src/vectors/population.cpp" "src/CMakeFiles/mpe.dir/vectors/population.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/vectors/population.cpp.o.d"
+  "/root/repo/src/vectors/power_db.cpp" "src/CMakeFiles/mpe.dir/vectors/power_db.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/vectors/power_db.cpp.o.d"
+  "/root/repo/src/vectors/serialize.cpp" "src/CMakeFiles/mpe.dir/vectors/serialize.cpp.o" "gcc" "src/CMakeFiles/mpe.dir/vectors/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

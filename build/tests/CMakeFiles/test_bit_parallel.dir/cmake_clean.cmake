@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bit_parallel.dir/test_bit_parallel.cpp.o"
+  "CMakeFiles/test_bit_parallel.dir/test_bit_parallel.cpp.o.d"
+  "test_bit_parallel"
+  "test_bit_parallel.pdb"
+  "test_bit_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bit_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

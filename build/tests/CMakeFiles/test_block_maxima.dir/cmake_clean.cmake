@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_maxima.dir/test_block_maxima.cpp.o"
+  "CMakeFiles/test_block_maxima.dir/test_block_maxima.cpp.o.d"
+  "test_block_maxima"
+  "test_block_maxima.pdb"
+  "test_block_maxima[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_maxima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chi_squared.dir/test_chi_squared.cpp.o"
+  "CMakeFiles/test_chi_squared.dir/test_chi_squared.cpp.o.d"
+  "test_chi_squared"
+  "test_chi_squared.pdb"
+  "test_chi_squared[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chi_squared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fisher.dir/test_fisher.cpp.o"
+  "CMakeFiles/test_fisher.dir/test_fisher.cpp.o.d"
+  "test_fisher"
+  "test_fisher.pdb"
+  "test_fisher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fisher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

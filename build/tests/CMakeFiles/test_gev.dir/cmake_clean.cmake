@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gev.dir/test_gev.cpp.o"
+  "CMakeFiles/test_gev.dir/test_gev.cpp.o.d"
+  "test_gev"
+  "test_gev.pdb"
+  "test_gev[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gumbel_frechet.dir/test_gumbel_frechet.cpp.o"
+  "CMakeFiles/test_gumbel_frechet.dir/test_gumbel_frechet.cpp.o.d"
+  "test_gumbel_frechet"
+  "test_gumbel_frechet.pdb"
+  "test_gumbel_frechet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gumbel_frechet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

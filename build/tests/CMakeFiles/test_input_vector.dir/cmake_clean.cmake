@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_input_vector.dir/test_input_vector.cpp.o"
+  "CMakeFiles/test_input_vector.dir/test_input_vector.cpp.o.d"
+  "test_input_vector"
+  "test_input_vector.pdb"
+  "test_input_vector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_input_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

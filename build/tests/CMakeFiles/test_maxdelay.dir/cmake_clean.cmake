@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maxdelay.dir/test_maxdelay.cpp.o"
+  "CMakeFiles/test_maxdelay.dir/test_maxdelay.cpp.o.d"
+  "test_maxdelay"
+  "test_maxdelay.pdb"
+  "test_maxdelay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maxdelay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_db.dir/test_parallel_db.cpp.o"
+  "CMakeFiles/test_parallel_db.dir/test_parallel_db.cpp.o.d"
+  "test_parallel_db"
+  "test_parallel_db.pdb"
+  "test_parallel_db[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

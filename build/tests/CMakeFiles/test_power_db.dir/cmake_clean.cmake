@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_db.dir/test_power_db.cpp.o"
+  "CMakeFiles/test_power_db.dir/test_power_db.cpp.o.d"
+  "test_power_db"
+  "test_power_db.pdb"
+  "test_power_db[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_eval.dir/test_power_eval.cpp.o"
+  "CMakeFiles/test_power_eval.dir/test_power_eval.cpp.o.d"
+  "test_power_eval"
+  "test_power_eval.pdb"
+  "test_power_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

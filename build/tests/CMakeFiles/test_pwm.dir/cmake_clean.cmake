@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pwm.dir/test_pwm.cpp.o"
+  "CMakeFiles/test_pwm.dir/test_pwm.cpp.o.d"
+  "test_pwm"
+  "test_pwm.pdb"
+  "test_pwm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pwm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

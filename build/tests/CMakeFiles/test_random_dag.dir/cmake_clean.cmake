@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_dag.dir/test_random_dag.cpp.o"
+  "CMakeFiles/test_random_dag.dir/test_random_dag.cpp.o.d"
+  "test_random_dag"
+  "test_random_dag.pdb"
+  "test_random_dag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roundtrip_fuzz.dir/test_roundtrip_fuzz.cpp.o"
+  "CMakeFiles/test_roundtrip_fuzz.dir/test_roundtrip_fuzz.cpp.o.d"
+  "test_roundtrip_fuzz"
+  "test_roundtrip_fuzz.pdb"
+  "test_roundtrip_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roundtrip_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seq_presets.dir/test_seq_presets.cpp.o"
+  "CMakeFiles/test_seq_presets.dir/test_seq_presets.cpp.o.d"
+  "test_seq_presets"
+  "test_seq_presets.pdb"
+  "test_seq_presets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seq_presets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_srs.dir/test_srs.cpp.o"
+  "CMakeFiles/test_srs.dir/test_srs.cpp.o.d"
+  "test_srs"
+  "test_srs.pdb"
+  "test_srs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_srs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

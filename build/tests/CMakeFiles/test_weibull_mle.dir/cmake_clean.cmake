@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weibull_mle.dir/test_weibull_mle.cpp.o"
+  "CMakeFiles/test_weibull_mle.dir/test_weibull_mle.cpp.o.d"
+  "test_weibull_mle"
+  "test_weibull_mle.pdb"
+  "test_weibull_mle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weibull_mle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

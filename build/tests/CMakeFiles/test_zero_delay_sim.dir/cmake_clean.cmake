@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zero_delay_sim.dir/test_zero_delay_sim.cpp.o"
+  "CMakeFiles/test_zero_delay_sim.dir/test_zero_delay_sim.cpp.o.d"
+  "test_zero_delay_sim"
+  "test_zero_delay_sim.pdb"
+  "test_zero_delay_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zero_delay_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

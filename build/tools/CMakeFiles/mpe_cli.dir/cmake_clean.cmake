@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpe_cli.dir/mpe_cli.cpp.o"
+  "CMakeFiles/mpe_cli.dir/mpe_cli.cpp.o.d"
+  "mpe_cli"
+  "mpe_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpe_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

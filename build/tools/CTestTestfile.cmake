@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_report "/root/repo/build/tools/mpe_cli" "report" "--circuit" "c432")
+set_tests_properties(cli_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_estimate "/root/repo/build/tools/mpe_cli" "estimate" "--circuit" "c432" "--epsilon" "0.15" "--seed" "3")
+set_tests_properties(cli_estimate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_timing "/root/repo/build/tools/mpe_cli" "timing" "--circuit" "c432" "--model" "unit")
+set_tests_properties(cli_timing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_vcd "/root/repo/build/tools/mpe_cli" "vcd" "--circuit" "c432" "--out" "cli_test.vcd" "--cycles" "2")
+set_tests_properties(cli_vcd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_maxdelay "/root/repo/build/tools/mpe_cli" "maxdelay" "--circuit" "c432" "--epsilon" "0.2")
+set_tests_properties(cli_maxdelay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/mpe_cli" "bogus")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
