@@ -15,7 +15,7 @@ CampaignOptions parse_common_flags(int argc, char** argv,
   // this parser for the population flags.
   cli.check_known({"pop", "runs", "seed", "epsilon", "confidence",
                    "circuits", "activity", "tprob", "samples", "reps",
-                   "mink"});
+                   "mink", "threads"});
   CampaignOptions opt = defaults;
   opt.population_size = static_cast<std::size_t>(
       cli.get_int("pop", static_cast<std::int64_t>(opt.population_size)));
@@ -27,6 +27,8 @@ CampaignOptions parse_common_flags(int argc, char** argv,
   opt.min_hyper_samples = static_cast<std::size_t>(cli.get_int(
       "mink", static_cast<std::int64_t>(opt.min_hyper_samples)));
   opt.confidence = cli.get_double("confidence", opt.confidence);
+  opt.threads = static_cast<unsigned>(
+      cli.get_int("threads", static_cast<std::int64_t>(opt.threads)));
   opt.min_activity = cli.get_double("activity", opt.min_activity);
   opt.transition_prob = cli.get_double("tprob", opt.transition_prob);
   if (cli.has("circuits")) {
@@ -52,9 +54,22 @@ std::vector<circuit::Netlist> build_circuits(const CampaignOptions& opt) {
   return out;
 }
 
+namespace {
+
+/// Per-circuit deterministic seed, independent of suite order.
+std::uint64_t circuit_seed(const circuit::Netlist& netlist,
+                           std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (char c : netlist.name()) {
+    h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
 vec::FinitePopulation build_population(const circuit::Netlist& netlist,
                                        const CampaignOptions& opt) {
-  sim::CyclePowerEvaluator evaluator(netlist);
   std::unique_ptr<vec::PairGenerator> generator;
   if (opt.kind == PopulationKind::kHighActivity) {
     generator = std::make_unique<vec::HighActivityPairGenerator>(
@@ -63,15 +78,14 @@ vec::FinitePopulation build_population(const circuit::Netlist& netlist,
     generator = std::make_unique<vec::TransitionProbPairGenerator>(
         netlist.num_inputs(), opt.transition_prob);
   }
-  vec::PowerDbOptions db;
+  // Chunked multi-threaded simulation; values depend only on the seed, not
+  // on opt.threads.
+  vec::ParallelPowerDbOptions db;
   db.population_size = opt.population_size;
-  // Per-circuit deterministic stream, independent of suite order.
-  std::uint64_t h = opt.seed;
-  for (char c : netlist.name()) {
-    h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
-  }
-  Rng rng(h);
-  return vec::build_power_database(*generator, evaluator, db, rng);
+  db.seed = circuit_seed(netlist, opt.seed);
+  db.threads = opt.threads;
+  return vec::build_power_database_parallel(netlist, *generator,
+                                            sim::PowerEvalOptions{}, db);
 }
 
 CircuitResult run_circuit_campaign(const circuit::Netlist& netlist,
@@ -93,14 +107,32 @@ CircuitResult run_circuit_campaign(const circuit::Netlist& netlist,
   est.confidence = opt.confidence;
   est.min_hyper_samples = opt.min_hyper_samples;
 
-  Rng rng(opt.seed * 0x9e3779b97f4a7c15ULL + 17);
+  // One pool for all runs; each run gets a counter-derived seed so results
+  // are reproducible regardless of the thread count.
+  std::unique_ptr<util::ThreadPool> pool;
+  maxpower::ParallelOptions par;
+  par.threads = opt.threads;
+  if (opt.threads != 1) {
+    const unsigned total =
+        opt.threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                         : opt.threads;
+    if (total > 1) {
+      pool = std::make_unique<util::ThreadPool>(total - 1);
+      par.pool = pool.get();
+    } else {
+      par.threads = 1;
+    }
+  }
+  const std::uint64_t est_seed = circuit_seed(netlist, opt.seed) ^
+                                 (opt.seed * 0x9e3779b97f4a7c15ULL + 17);
   res.units_min = static_cast<std::size_t>(-1);
   double units_sum = 0.0;
   double worst_abs = -1.0;
   double best_abs = 1e300;
   std::size_t over_eps = 0;
   for (std::size_t run = 0; run < opt.runs; ++run) {
-    const auto r = maxpower::estimate_max_power(population, est, rng);
+    const auto r = maxpower::estimate_max_power(
+        population, est, stream_seed(est_seed, run), par);
     const double rel = (r.estimate - res.true_max) / res.true_max;
     res.estimates.push_back(r.estimate);
     res.units.push_back(static_cast<double>(r.units_used));

@@ -36,6 +36,10 @@ struct CampaignOptions {
   double min_activity = 0.3;        ///< for kHighActivity
   double transition_prob = 0.5;     ///< for kTransitionProb
   std::vector<std::string> circuits;  ///< empty = full 9-circuit suite
+  /// Concurrency for population simulation and estimation runs
+  /// (0 = hardware_concurrency, 1 = serial). Only affects wall-clock time:
+  /// population values and estimates are seed-deterministic either way.
+  unsigned threads = 0;
 };
 
 /// Parses the common bench flags (--pop, --runs, --seed, --epsilon,

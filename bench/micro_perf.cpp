@@ -63,6 +63,59 @@ void BM_BitParallelBatch(benchmark::State& state, const std::string& name) {
   state.SetItemsProcessed(state.iterations() * 64);  // pairs per pass
 }
 
+// Streaming-population draw throughput: scalar (one netlist traversal per
+// unit) vs the 64-lane bit-parallel backend (1/64th of a traversal per
+// unit). Both paths produce identical value streams for the same seed.
+void BM_StreamingDrawBatch(benchmark::State& state, const std::string& name,
+                           bool bit_parallel) {
+  const auto& nl = preset(name);
+  sim::PowerEvalOptions eval_opt;
+  eval_opt.delay_model = sim::DelayModel::kZero;
+  sim::CyclePowerEvaluator eval(nl, eval_opt);
+  const vec::UniformPairGenerator gen(nl.num_inputs());
+  vec::StreamingPopulation pop(gen, eval);
+  if (bit_parallel) pop.enable_bit_parallel();
+  Rng rng(7);
+  std::vector<double> batch(256);
+  for (auto _ : state) {
+    pop.draw_batch(batch, rng);
+    benchmark::DoNotOptimize(batch.front());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * batch.size()));
+}
+
+// Full pipelined estimator over a bit-parallel streaming population (the
+// production configuration: every unit is freshly simulated): thread-count
+// scaling of the speculative hyper-sample waves. Items = simulated units
+// consumed by the stopping rule.
+void BM_EstimatorPipeline(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const auto& nl = preset("c7552");
+  sim::PowerEvalOptions eval_opt;
+  eval_opt.delay_model = sim::DelayModel::kZero;
+  sim::CyclePowerEvaluator eval(nl, eval_opt);
+  const vec::UniformPairGenerator gen(nl.num_inputs());
+  vec::StreamingPopulation pop(gen, eval);
+  pop.enable_bit_parallel();
+  maxpower::EstimatorOptions opt;
+  std::unique_ptr<util::ThreadPool> pool;
+  maxpower::ParallelOptions par;
+  par.threads = threads;
+  if (threads > 1) {
+    pool = std::make_unique<util::ThreadPool>(threads - 1);
+    par.pool = pool.get();
+  }
+  std::uint64_t seed = 1;
+  std::int64_t units = 0;
+  for (auto _ : state) {
+    const auto r = maxpower::estimate_max_power(pop, opt, seed++, par);
+    units += static_cast<std::int64_t>(r.units_used);
+    benchmark::DoNotOptimize(r.estimate);
+  }
+  state.SetItemsProcessed(units);
+}
+
 void BM_WeibullMle(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));
   const stats::ReversedWeibull g(3.0, 1.0, 10.0);
@@ -129,6 +182,18 @@ BENCHMARK_CAPTURE(BM_EventCycle, c3540_transport, std::string("c3540"),
 BENCHMARK_CAPTURE(BM_EventCycle, c7552_inertial, std::string("c7552"), true);
 BENCHMARK_CAPTURE(BM_BitParallelBatch, c3540, std::string("c3540"));
 BENCHMARK_CAPTURE(BM_BitParallelBatch, c7552, std::string("c7552"));
+BENCHMARK_CAPTURE(BM_StreamingDrawBatch, c7552_scalar, std::string("c7552"),
+                  false);
+BENCHMARK_CAPTURE(BM_StreamingDrawBatch, c7552_bitparallel,
+                  std::string("c7552"), true);
+BENCHMARK(BM_EstimatorPipeline)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 BENCHMARK(BM_WeibullMle)->Arg(10)->Arg(50)->Arg(500);
 BENCHMARK(BM_PwmFit)->Arg(10)->Arg(50)->Arg(500);
 BENCHMARK(BM_HyperSample);

@@ -1,9 +1,21 @@
 #!/usr/bin/env sh
-# Build, test, and regenerate every paper table/figure into bench_output.txt.
+# Build, test, and regenerate every paper table/figure into bench_output.txt,
+# plus a machine-readable perf snapshot into BENCH_pipeline.json.
 set -e
-cmake -B build -G Ninja
-cmake --build build
+
+# Respect an existing build/ configuration (whatever generator it was set up
+# with); configure with the default generator only when none exists yet.
+if [ ! -f build/CMakeCache.txt ]; then
+  cmake -B build -S .
+fi
+cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
 ctest --test-dir build --output-on-failure
+
+# Perf trajectory: google-benchmark JSON (per-benchmark real/cpu ns and
+# items_per_second) from the microbenchmark suite. See docs/PERF.md for how
+# to read it.
+build/bench/micro_perf --benchmark_format=json > BENCH_pipeline.json
+
 {
   for b in build/bench/*; do
     if [ -x "$b" ] && [ -f "$b" ]; then

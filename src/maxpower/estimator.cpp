@@ -1,5 +1,9 @@
 #include "maxpower/estimator.hpp"
 
+#include <algorithm>
+#include <memory>
+#include <thread>
+
 #include "evt/bootstrap.hpp"
 #include "util/contracts.hpp"
 
@@ -16,41 +20,119 @@ evt::ConfidenceInterval interval_of(const EstimatorOptions& options,
   return evt::t_interval(values, options.confidence);
 }
 
+void check_options(const EstimatorOptions& options) {
+  MPE_EXPECTS(options.epsilon > 0.0 && options.epsilon < 1.0);
+  MPE_EXPECTS(options.confidence > 0.0 && options.confidence < 1.0);
+  MPE_EXPECTS(options.min_hyper_samples >= 2);
+  MPE_EXPECTS(options.max_hyper_samples >= options.min_hyper_samples);
+}
+
+/// Folds one hyper-sample into the running result and applies the stopping
+/// rule. Returns true when the estimate has converged.
+bool accept_and_check(const EstimatorOptions& options,
+                      const HyperSampleResult& hs, Rng& interval_rng,
+                      EstimationResult& r) {
+  r.hyper_values.push_back(hs.estimate);
+  r.units_used += hs.units_used;
+  ++r.hyper_samples;
+  if (!hs.mle.converged) ++r.degenerate_fits;
+
+  if (r.hyper_samples < options.min_hyper_samples) return false;
+
+  r.ci = interval_of(options, r.hyper_values, interval_rng);
+  r.estimate = r.ci.center;
+  r.relative_error_bound = evt::relative_half_width(r.ci);
+  if (r.relative_error_bound <= options.epsilon) {
+    r.converged = true;
+    return true;
+  }
+  return false;
+}
+
+void finish_unconverged(const EstimatorOptions& options, Rng& interval_rng,
+                        EstimationResult& r) {
+  // Did not converge within the budget; report the latest interval.
+  if (r.hyper_values.size() >= 2) {
+    r.ci = interval_of(options, r.hyper_values, interval_rng);
+    r.estimate = r.ci.center;
+    r.relative_error_bound = evt::relative_half_width(r.ci);
+  }
+}
+
+/// RNG stream index reserved for the convergence-interval randomness (the
+/// bootstrap resampler); hyper-sample i uses stream i, which can never
+/// reach this one within the max_hyper_samples budget.
+constexpr std::uint64_t kIntervalStream = ~std::uint64_t{0} - 1;
+
 }  // namespace
 
 EstimationResult estimate_max_power(vec::Population& population,
                                     const EstimatorOptions& options,
                                     Rng& rng) {
-  MPE_EXPECTS(options.epsilon > 0.0 && options.epsilon < 1.0);
-  MPE_EXPECTS(options.confidence > 0.0 && options.confidence < 1.0);
-  MPE_EXPECTS(options.min_hyper_samples >= 2);
-  MPE_EXPECTS(options.max_hyper_samples >= options.min_hyper_samples);
+  check_options(options);
 
   EstimationResult r;
   while (r.hyper_samples < options.max_hyper_samples) {
     const HyperSampleResult hs =
         draw_hyper_sample(population, options.hyper, rng);
-    r.hyper_values.push_back(hs.estimate);
-    r.units_used += hs.units_used;
-    ++r.hyper_samples;
-    if (!hs.mle.converged) ++r.degenerate_fits;
+    if (accept_and_check(options, hs, rng, r)) return r;
+  }
+  finish_unconverged(options, rng, r);
+  return r;
+}
 
-    if (r.hyper_samples < options.min_hyper_samples) continue;
+EstimationResult estimate_max_power(vec::Population& population,
+                                    const EstimatorOptions& options,
+                                    std::uint64_t seed,
+                                    const ParallelOptions& parallel) {
+  check_options(options);
 
-    r.ci = interval_of(options, r.hyper_values, rng);
-    r.estimate = r.ci.center;
-    r.relative_error_bound = evt::relative_half_width(r.ci);
-    if (r.relative_error_bound <= options.epsilon) {
-      r.converged = true;
-      return r;
+  unsigned threads = parallel.threads;
+  if (parallel.pool != nullptr) {
+    threads = parallel.pool->participants();
+  } else if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // Concurrent speculation needs thread-safe draws; otherwise draw the wave
+  // sequentially (identical result, since streams are per-index anyway).
+  const bool concurrent = threads > 1 && population.concurrent_draw_safe();
+
+  // A local pool only when actually speculating concurrently and the caller
+  // did not provide one.
+  std::unique_ptr<util::ThreadPool> local_pool;
+  util::ThreadPool* pool = parallel.pool;
+  if (concurrent && pool == nullptr) {
+    local_pool = std::make_unique<util::ThreadPool>(threads - 1);
+    pool = local_pool.get();
+  }
+  const std::size_t wave = concurrent ? threads : 1;
+
+  Rng interval_rng(stream_seed(seed, kIntervalStream));
+  EstimationResult r;
+  std::vector<HyperSampleResult> batch;
+  std::size_t next_index = 0;
+  while (next_index < options.max_hyper_samples) {
+    const std::size_t count =
+        std::min(wave, options.max_hyper_samples - next_index);
+    batch.assign(count, HyperSampleResult{});
+    auto draw_one = [&](std::size_t j) {
+      Rng hyper_rng(stream_seed(seed, next_index + j));
+      batch[j] = draw_hyper_sample(population, options.hyper, hyper_rng);
+    };
+    if (concurrent && count > 1) {
+      pool->parallel_for(0, count, draw_one);
+    } else {
+      for (std::size_t j = 0; j < count; ++j) draw_one(j);
     }
+    // Stopping rule strictly in index order: hyper-samples past the
+    // convergence point are discarded, so the result cannot depend on the
+    // wave size or thread count.
+    for (std::size_t j = 0; j < count; ++j) {
+      if (accept_and_check(options, batch[j], interval_rng, r)) return r;
+    }
+    next_index += count;
   }
-  // Did not converge within the budget; report the latest interval.
-  if (r.hyper_values.size() >= 2) {
-    r.ci = interval_of(options, r.hyper_values, rng);
-    r.estimate = r.ci.center;
-    r.relative_error_bound = evt::relative_half_width(r.ci);
-  }
+  finish_unconverged(options, interval_rng, r);
   return r;
 }
 

@@ -3,12 +3,26 @@
 // confidence interval over their mean is narrower than the user's relative
 // error bound epsilon at confidence level l — the first method able to
 // estimate maximum power to *any* user-specified error and confidence.
+//
+// Two entry points:
+//   * estimate_max_power(pop, options, rng) — the sequential reference
+//     procedure, one shared RNG stream, exactly the paper's loop;
+//   * estimate_max_power(pop, options, seed, parallel) — the pipelined
+//     variant: hyper-sample i always draws from the counter-derived stream
+//     stream_seed(seed, i), waves of hyper-samples are computed
+//     speculatively (in parallel when the population allows it), and the
+//     stopping rule is applied in index order. The result is bit-identical
+//     for every thread count — block maxima over i.i.d. draws are
+//     order-insensitive, and the per-index streams make the schedule
+//     unobservable — with wasted speculation bounded by one wave.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "evt/confidence.hpp"
 #include "maxpower/hyper_sample.hpp"
+#include "util/thread_pool.hpp"
 #include "vectors/population.hpp"
 
 namespace mpe::maxpower {
@@ -47,8 +61,33 @@ struct EstimationResult {
   std::size_t degenerate_fits = 0;    ///< MLE fits flagged non-converged
 };
 
-/// Runs the iterative procedure against a population.
+/// Runs the iterative procedure against a population (sequential reference
+/// path; one shared RNG stream, exactly the paper's Figure-4 loop).
 EstimationResult estimate_max_power(vec::Population& population,
                                     const EstimatorOptions& options, Rng& rng);
+
+/// Execution policy for the pipelined estimator.
+struct ParallelOptions {
+  /// Total concurrency (caller included). 1 = run inline without a pool
+  /// (the default); 0 = std::thread::hardware_concurrency(). Only changes
+  /// wall-clock time, never the result.
+  unsigned threads = 1;
+  /// Optional externally owned pool; overrides `threads` with
+  /// pool->participants() and skips per-call pool construction. The pool
+  /// must outlive the call.
+  util::ThreadPool* pool = nullptr;
+};
+
+/// Pipelined variant: hyper-sample i is drawn from the counter-derived
+/// stream stream_seed(seed, i) and waves of up to `threads` hyper-samples
+/// are speculated concurrently, with the stopping rule applied in index
+/// order. Bit-identical for any thread count (including 1). Concurrent
+/// speculation requires population.concurrent_draw_safe(); otherwise the
+/// wave is drawn sequentially (same result, no draw-side speedup).
+/// Discarded speculative hyper-samples are not reported in units_used.
+EstimationResult estimate_max_power(vec::Population& population,
+                                    const EstimatorOptions& options,
+                                    std::uint64_t seed,
+                                    const ParallelOptions& parallel = {});
 
 }  // namespace mpe::maxpower

@@ -32,13 +32,20 @@ HyperSampleResult draw_hyper_sample(vec::Population& population,
   MPE_EXPECTS(options.m >= 3);
 
   HyperSampleResult out;
+  // One batched pull for all n*m units: draw_batch consumes the RNG in
+  // scalar order, so the maxima are identical to per-unit draws, but
+  // batch-capable populations (bit-parallel streaming, finite index
+  // sampling) amortize their per-unit cost.
+  std::vector<double> units(options.n * options.m);
+  population.draw_batch(units, rng);
   std::vector<double> maxima;
   maxima.reserve(options.m);
   double overall_max = -std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < options.m; ++i) {
-    double best = population.draw(rng);
+    const std::size_t base = i * options.n;
+    double best = units[base];
     for (std::size_t j = 1; j < options.n; ++j) {
-      best = std::max(best, population.draw(rng));
+      best = std::max(best, units[base + j]);
     }
     overall_max = std::max(overall_max, best);
     maxima.push_back(best);

@@ -1,6 +1,9 @@
 #include "maxpower/srs.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <span>
+#include <vector>
 
 #include "util/contracts.hpp"
 
@@ -11,10 +14,21 @@ SrsResult srs_estimate(vec::Population& population, std::size_t units,
   MPE_EXPECTS(units >= 1);
   SrsResult r;
   r.units_used = units;
-  r.estimate = population.draw(rng);
-  for (std::size_t i = 1; i < units; ++i) {
-    r.estimate = std::max(r.estimate, population.draw(rng));
+  // Chunked batch draws: identical value stream to per-unit draw() calls
+  // (draw_batch guarantees scalar RNG order), but batch-capable populations
+  // run up to 64 units per netlist traversal.
+  constexpr std::size_t kChunk = 4096;
+  std::vector<double> buf(std::min(units, kChunk));
+  double best = -std::numeric_limits<double>::infinity();
+  std::size_t remaining = units;
+  while (remaining > 0) {
+    const std::size_t take = std::min(remaining, buf.size());
+    const std::span<double> chunk(buf.data(), take);
+    population.draw_batch(chunk, rng);
+    best = std::max(best, *std::max_element(chunk.begin(), chunk.end()));
+    remaining -= take;
   }
+  r.estimate = best;
   return r;
 }
 

@@ -17,6 +17,7 @@
 #include "util/math.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 #include "stats/chi_squared.hpp"
 #include "stats/descriptive.hpp"

@@ -126,6 +126,13 @@ void Rng::jump() {
   has_spare_ = false;
 }
 
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 Rng Rng::split() {
   jump();
   Rng child(0);

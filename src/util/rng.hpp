@@ -63,4 +63,12 @@ class Rng {
   bool has_spare_ = false;
 };
 
+/// Counter-derived stream seed: hashes (seed, stream) through the splitmix64
+/// finalizer so that Rng(stream_seed(seed, i)) yields independent,
+/// reproducible streams for any set of indices. This is the determinism
+/// backbone of every parallel path (parallel DB build, the speculative
+/// estimator pipeline): work item i always sees the same stream no matter
+/// which thread runs it, or whether any threads are used at all.
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream);
+
 }  // namespace mpe

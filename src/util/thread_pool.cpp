@@ -1,0 +1,104 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <algorithm>
+#include <exception>
+
+namespace mpe::util {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& th : threads_) th.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t)>& body) {
+  parallel_for_slotted(
+      begin, end, [&body](unsigned, std::size_t index) { body(index); });
+}
+
+void ThreadPool::parallel_for_slotted(
+    std::size_t begin, std::size_t end,
+    const std::function<void(unsigned, std::size_t)>& body) {
+  if (begin >= end) return;
+
+  struct Shared {
+    std::atomic<std::size_t> next;
+    std::size_t end;
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->next.store(begin);
+  shared->end = end;
+
+  auto run_slot = [shared, &body](unsigned slot) {
+    for (;;) {
+      const std::size_t i = shared->next.fetch_add(1);
+      if (i >= shared->end || shared->failed.load(std::memory_order_relaxed))
+        break;
+      try {
+        body(slot, i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->error_mutex);
+        if (!shared->error) shared->error = std::current_exception();
+        shared->failed.store(true);
+        break;
+      }
+    }
+  };
+
+  // One helper per worker, but never more helpers than remaining indices
+  // (the caller claims work too, hence the -1).
+  const std::size_t count = end - begin;
+  const unsigned helpers = static_cast<unsigned>(
+      std::min<std::size_t>(size(), count > 0 ? count - 1 : 0));
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (unsigned h = 0; h < helpers; ++h) {
+    futures.push_back(submit([run_slot, h] { run_slot(h + 1); }));
+  }
+  run_slot(0);  // caller is slot 0
+  for (auto& f : futures) f.get();  // run_slot never throws; this just joins
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+}  // namespace mpe::util

@@ -1,0 +1,87 @@
+// Reusable worker-thread pool: the one shared threading primitive of the
+// library. Everything parallel (population builds, the speculative
+// estimator pipeline, benches) goes through this instead of spawning raw
+// std::thread fleets, so thread creation is paid once per pool, not once
+// per operation.
+//
+// Two entry points:
+//   * submit(f)        — run one task asynchronously, observe it via the
+//                        returned std::future (exceptions propagate);
+//   * parallel_for(..) — blocking loop over an index range; the caller
+//                        participates as a worker, indices are handed out
+//                        dynamically, and the first exception thrown by any
+//                        body is rethrown in the caller after all work stops.
+//
+// Determinism note: the pool never influences random streams. Callers that
+// need reproducible results derive a counter-based RNG stream per index
+// (see stream_seed() in util/rng.hpp) so the schedule cannot matter.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace mpe::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of pool worker threads.
+  unsigned size() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Maximum concurrent executors of a parallel_for: workers + the caller.
+  unsigned participants() const { return size() + 1; }
+
+  /// Enqueues one task; the future carries its result or exception.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Runs body(i) for every i in [begin, end), blocking until done. The
+  /// caller thread participates, so a pool with N workers runs at most
+  /// N + 1 bodies concurrently. Indices are claimed dynamically (no static
+  /// partitioning), which keeps irregular workloads balanced. If any body
+  /// throws, remaining indices are abandoned and the first exception is
+  /// rethrown here.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Like parallel_for, but also hands the body a dense worker slot id in
+  /// [0, participants()). Slot 0 is the caller. Use it to index per-worker
+  /// scratch state (e.g. one simulator instance per slot) without locking.
+  void parallel_for_slotted(
+      std::size_t begin, std::size_t end,
+      const std::function<void(unsigned slot, std::size_t index)>& body);
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace mpe::util

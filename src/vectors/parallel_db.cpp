@@ -1,28 +1,15 @@
 #include "vectors/parallel_db.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <mutex>
-#include <stdexcept>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "util/contracts.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mpe::vec {
-
-namespace {
-
-/// Counter-derived chunk seed (splitmix64 finalizer over seed and index).
-std::uint64_t chunk_seed(std::uint64_t seed, std::uint64_t chunk_index) {
-  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (chunk_index + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
 
 FinitePopulation build_power_database_parallel(
     const circuit::Netlist& netlist, const PairGenerator& generator,
@@ -40,43 +27,38 @@ FinitePopulation build_power_database_parallel(
   }
   const std::size_t total = options.population_size;
   const std::size_t num_chunks = (total + options.chunk - 1) / options.chunk;
-  threads = static_cast<unsigned>(
-      std::min<std::size_t>(threads, num_chunks));
+  threads =
+      static_cast<unsigned>(std::min<std::size_t>(threads, num_chunks));
 
   std::vector<double> values(total);
-  std::atomic<std::size_t> next_chunk{0};
-  std::atomic<bool> failed{false};
-  std::string error_message;
-  std::mutex error_mutex;
-
-  auto worker = [&]() {
-    try {
-      sim::CyclePowerEvaluator evaluator(netlist, eval_options);
-      for (;;) {
-        const std::size_t c = next_chunk.fetch_add(1);
-        if (c >= num_chunks || failed.load(std::memory_order_relaxed)) break;
-        Rng rng(chunk_seed(options.seed, c));
-        const std::size_t begin = c * options.chunk;
-        const std::size_t end = std::min(begin + options.chunk, total);
-        for (std::size_t i = begin; i < end; ++i) {
-          const VectorPair p = generator.generate(rng);
-          values[i] = evaluator.power_mw(p.first, p.second);
-        }
-      }
-    } catch (const std::exception& e) {
-      std::lock_guard<std::mutex> lock(error_mutex);
-      failed.store(true);
-      if (error_message.empty()) error_message = e.what();
+  auto simulate_chunk = [&](sim::CyclePowerEvaluator& evaluator,
+                            std::size_t c) {
+    Rng rng(stream_seed(options.seed, c));
+    const std::size_t begin = c * options.chunk;
+    const std::size_t end = std::min(begin + options.chunk, total);
+    for (std::size_t i = begin; i < end; ++i) {
+      const VectorPair p = generator.generate(rng);
+      values[i] = evaluator.power_mw(p.first, p.second);
     }
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
-  if (failed.load()) {
-    throw std::runtime_error("parallel population build failed: " +
-                             error_message);
+  if (threads <= 1) {
+    sim::CyclePowerEvaluator evaluator(netlist, eval_options);
+    for (std::size_t c = 0; c < num_chunks; ++c) simulate_chunk(evaluator, c);
+  } else {
+    // The pool caller participates, so `threads` total executors needs
+    // threads - 1 pool workers. Evaluators are per-slot: constructed lazily
+    // on a slot's first chunk, reused for all its later chunks.
+    util::ThreadPool pool(threads - 1);
+    std::vector<std::optional<sim::CyclePowerEvaluator>> evaluators(
+        pool.participants());
+    pool.parallel_for_slotted(0, num_chunks,
+                              [&](unsigned slot, std::size_t c) {
+                                auto& evaluator = evaluators[slot];
+                                if (!evaluator)
+                                  evaluator.emplace(netlist, eval_options);
+                                simulate_chunk(*evaluator, c);
+                              });
   }
 
   return FinitePopulation(

@@ -3,9 +3,10 @@
 // runtime, so this is the fast path for large |V|.
 //
 // Determinism: units are generated in fixed-size chunks, each chunk with
-// its own counter-derived RNG stream — the resulting population is
-// bit-identical for any thread count (including 1), and reproducible from
-// the seed alone.
+// its own counter-derived RNG stream (stream_seed() in util/rng.hpp) — the
+// resulting population is bit-identical for any thread count (including 1),
+// and reproducible from the seed alone. Work is scheduled on a
+// util::ThreadPool; one simulator instance is kept per worker slot.
 #pragma once
 
 #include <cstdint>

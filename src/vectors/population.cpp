@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/bit_parallel_sim.hpp"
 #include "util/contracts.hpp"
 
 namespace mpe::vec {
@@ -15,6 +16,12 @@ FinitePopulation::FinitePopulation(std::vector<double> values,
 
 double FinitePopulation::draw(Rng& rng) {
   return values_[rng.below(values_.size())];
+}
+
+void FinitePopulation::draw_batch(std::span<double> out, Rng& rng) {
+  // Same index-sampling stream as draw(), without the per-unit virtual call.
+  const std::size_t n = values_.size();
+  for (double& v : out) v = values_[rng.below(n)];
 }
 
 double FinitePopulation::qualified_fraction(double epsilon) const {
@@ -35,15 +42,80 @@ StreamingPopulation::StreamingPopulation(const PairGenerator& generator,
       "generator width must match the netlist primary input count");
 }
 
+StreamingPopulation::~StreamingPopulation() = default;
+
 double StreamingPopulation::draw(Rng& rng) {
   const VectorPair p = generator_.generate(rng);
-  ++draws_;
+  draws_.fetch_add(1, std::memory_order_relaxed);
   return evaluator_.power_mw(p.first, p.second);
 }
 
+std::unique_ptr<sim::BitParallelSimulator>
+StreamingPopulation::acquire_simulator() {
+  {
+    std::lock_guard<std::mutex> lock(sim_mutex_);
+    if (!idle_sims_.empty()) {
+      auto sim = std::move(idle_sims_.back());
+      idle_sims_.pop_back();
+      return sim;
+    }
+  }
+  return std::make_unique<sim::BitParallelSimulator>(
+      evaluator_.netlist(), evaluator_.options().tech);
+}
+
+void StreamingPopulation::release_simulator(
+    std::unique_ptr<sim::BitParallelSimulator> sim) {
+  std::lock_guard<std::mutex> lock(sim_mutex_);
+  idle_sims_.push_back(std::move(sim));
+}
+
+void StreamingPopulation::draw_batch(std::span<double> out, Rng& rng) {
+  if (!bit_enabled_) {
+    for (double& v : out) v = draw(rng);
+    return;
+  }
+  // Generate pairs in scalar order (identical RNG consumption), then
+  // evaluate up to 64 of them per levelized pass. The simulator instance
+  // and pair buffer are private to this call, so concurrent batches (each
+  // with its own Rng) never share mutable simulation state.
+  auto sim = acquire_simulator();
+  std::vector<VectorPair> pairs;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::size_t lanes = std::min<std::size_t>(
+        sim::BitParallelSimulator::kLanes, out.size() - done);
+    pairs.resize(lanes);
+    for (auto& p : pairs) p = generator_.generate(rng);
+    const auto results = sim->evaluate_batch(pairs);
+    for (std::size_t k = 0; k < lanes; ++k) {
+      out[done + k] = results[k].power_mw;
+    }
+    done += lanes;
+  }
+  draws_.fetch_add(out.size(), std::memory_order_relaxed);
+  release_simulator(std::move(sim));
+}
+
+bool StreamingPopulation::enable_bit_parallel() {
+  if (bit_enabled_) return true;
+  if (evaluator_.options().delay_model != sim::DelayModel::kZero) {
+    return false;  // event timing does not vectorize
+  }
+  // Construct the first simulator eagerly so a bad netlist fails here, not
+  // inside a worker thread.
+  idle_sims_.push_back(std::make_unique<sim::BitParallelSimulator>(
+      evaluator_.netlist(), evaluator_.options().tech));
+  bit_enabled_ = true;
+  return true;
+}
+
 std::string StreamingPopulation::description() const {
-  return "streaming population over " + evaluator_.netlist().name() + " (" +
-         generator_.description() + ")";
+  std::string desc = "streaming population over " +
+                     evaluator_.netlist().name() + " (" +
+                     generator_.description() + ")";
+  if (bit_enabled_) desc += " [bit-parallel x64]";
+  return desc;
 }
 
 }  // namespace mpe::vec

@@ -8,9 +8,18 @@
 //   * StreamingPopulation — unbounded: each draw generates a fresh vector
 //     pair and simulates it (category I.1/I.2 in production use, where the
 //     true maximum is unknown).
+//
+// Batched draws: the estimation hot path pulls units through draw_batch(),
+// which consumes the RNG in exactly the same order as the equivalent
+// sequence of scalar draw() calls — so batching is purely a performance
+// choice, never a statistical one. StreamingPopulation can route batches
+// through the 64-lane BitParallelSimulator (zero-delay evaluators only),
+// turning one full netlist traversal per unit into 1/64th of one.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -19,6 +28,10 @@
 #include "sim/power_eval.hpp"
 #include "util/rng.hpp"
 #include "vectors/generators.hpp"
+
+namespace mpe::sim {
+class BitParallelSimulator;
+}
 
 namespace mpe::vec {
 
@@ -29,6 +42,19 @@ class Population {
 
   /// Draws the power value of one randomly selected unit.
   virtual double draw(Rng& rng) = 0;
+
+  /// Fills `out` with out.size() draws. Guaranteed to consume `rng` in the
+  /// same order as out.size() scalar draw() calls, so scalar and batched
+  /// paths yield identical value streams for the same seed. Overrides may
+  /// only change *how* the values are computed, not *which* values.
+  virtual void draw_batch(std::span<double> out, Rng& rng) {
+    for (double& v : out) v = draw(rng);
+  }
+
+  /// True when draw_batch() may be called concurrently from multiple
+  /// threads (each with its own Rng). The parallel estimator falls back to
+  /// sequential drawing when this is false.
+  virtual bool concurrent_draw_safe() const { return false; }
 
   /// |V| when finite; nullopt for streaming populations.
   virtual std::optional<std::size_t> size() const = 0;
@@ -43,6 +69,9 @@ class FinitePopulation final : public Population {
   FinitePopulation(std::vector<double> values, std::string description);
 
   double draw(Rng& rng) override;
+  void draw_batch(std::span<double> out, Rng& rng) override;
+  /// Draws are index lookups into immutable storage: trivially concurrent.
+  bool concurrent_draw_safe() const override { return true; }
   std::optional<std::size_t> size() const override { return values_.size(); }
   std::string description() const override { return desc_; }
 
@@ -68,18 +97,47 @@ class StreamingPopulation final : public Population {
   /// Borrows the generator and evaluator; both must outlive this object.
   StreamingPopulation(const PairGenerator& generator,
                       sim::CyclePowerEvaluator& evaluator);
+  ~StreamingPopulation() override;
 
   double draw(Rng& rng) override;
+  void draw_batch(std::span<double> out, Rng& rng) override;
+  /// Bit-parallel batches are concurrent-safe: each call checks a simulator
+  /// instance out of an internal freelist, so independent threads simulate
+  /// on private state. The scalar path shares the borrowed evaluator and
+  /// stays single-threaded.
+  bool concurrent_draw_safe() const override { return bit_enabled_; }
   std::optional<std::size_t> size() const override { return std::nullopt; }
   std::string description() const override;
 
+  /// Routes draw_batch through the 64-lane zero-delay backend: generate up
+  /// to 64 vector pairs, then evaluate them in one levelized pass. Requires
+  /// the evaluator to use DelayModel::kZero (bit-parallel simulation cannot
+  /// model event timing); returns false and keeps the scalar path otherwise.
+  /// Batched values stay bit-identical to scalar draws because the packed
+  /// per-lane energy accumulation visits nodes in the same order as the
+  /// scalar zero-delay simulator.
+  bool enable_bit_parallel();
+
+  /// Whether the bit-parallel backend is active.
+  bool bit_parallel() const { return bit_enabled_; }
+
   /// Units simulated so far.
-  std::size_t draws() const { return draws_; }
+  std::size_t draws() const {
+    return draws_.load(std::memory_order_relaxed);
+  }
 
  private:
+  std::unique_ptr<sim::BitParallelSimulator> acquire_simulator();
+  void release_simulator(std::unique_ptr<sim::BitParallelSimulator> sim);
+
   const PairGenerator& generator_;
   sim::CyclePowerEvaluator& evaluator_;
-  std::size_t draws_ = 0;
+  bool bit_enabled_ = false;
+  /// Idle bit-parallel simulators; one is checked out per concurrent
+  /// draw_batch call, so the list grows to the peak thread count.
+  std::mutex sim_mutex_;
+  std::vector<std::unique_ptr<sim::BitParallelSimulator>> idle_sims_;
+  std::atomic<std::size_t> draws_{0};
 };
 
 }  // namespace mpe::vec

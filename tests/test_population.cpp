@@ -70,4 +70,93 @@ TEST(StreamingPopulation, WidthMismatchRejected) {
                mpe::ContractViolation);
 }
 
+TEST(FinitePopulation, DrawBatchMatchesScalarDraws) {
+  vec::FinitePopulation pop({1.0, 2.0, 3.0, 4.0, 5.0}, "test");
+  mpe::Rng scalar_rng(7), batch_rng(7);
+  std::vector<double> expected(257);
+  for (auto& v : expected) v = pop.draw(scalar_rng);
+  std::vector<double> batch(expected.size());
+  pop.draw_batch(batch, batch_rng);
+  EXPECT_EQ(batch, expected);
+}
+
+TEST(FinitePopulation, ConcurrentDrawSafe) {
+  vec::FinitePopulation pop({1.0, 2.0}, "test");
+  EXPECT_TRUE(pop.concurrent_draw_safe());
+}
+
+TEST(StreamingPopulation, ScalarBatchMatchesScalarDraws) {
+  auto nl = mpe::gen::parity_tree(12, 2);
+  mpe::sim::CyclePowerEvaluator eval(nl);
+  const vec::UniformPairGenerator gen(nl.num_inputs());
+  vec::StreamingPopulation pop(gen, eval);
+  EXPECT_FALSE(pop.concurrent_draw_safe());
+  mpe::Rng scalar_rng(5), batch_rng(5);
+  std::vector<double> expected(40);
+  for (auto& v : expected) v = pop.draw(scalar_rng);
+  std::vector<double> batch(expected.size());
+  pop.draw_batch(batch, batch_rng);
+  EXPECT_EQ(batch, expected);
+  EXPECT_EQ(pop.draws(), 80u);
+}
+
+TEST(StreamingPopulation, BitParallelBatchMatches64ScalarDraws) {
+  // The acceptance contract of the bit-parallel backend: same stream, same
+  // values, bit for bit — one levelized pass instead of 64.
+  auto nl = mpe::gen::parity_tree(24, 2);
+  mpe::sim::PowerEvalOptions opt;
+  opt.delay_model = mpe::sim::DelayModel::kZero;
+  mpe::sim::CyclePowerEvaluator scalar_eval(nl, opt);
+  mpe::sim::CyclePowerEvaluator batch_eval(nl, opt);
+  const vec::UniformPairGenerator gen(nl.num_inputs());
+  vec::StreamingPopulation scalar_pop(gen, scalar_eval);
+  vec::StreamingPopulation batch_pop(gen, batch_eval);
+  ASSERT_TRUE(batch_pop.enable_bit_parallel());
+  EXPECT_TRUE(batch_pop.bit_parallel());
+  EXPECT_TRUE(batch_pop.concurrent_draw_safe());
+
+  mpe::Rng scalar_rng(9), batch_rng(9);
+  std::vector<double> expected(64);
+  for (auto& v : expected) v = scalar_pop.draw(scalar_rng);
+  std::vector<double> batch(64);
+  batch_pop.draw_batch(batch, batch_rng);
+  EXPECT_EQ(batch, expected);
+  EXPECT_EQ(batch_pop.draws(), 64u);
+}
+
+TEST(StreamingPopulation, BitParallelHandlesPartialAndMultiWaveBatches) {
+  auto nl = mpe::gen::parity_tree(16, 2);
+  mpe::sim::PowerEvalOptions opt;
+  opt.delay_model = mpe::sim::DelayModel::kZero;
+  mpe::sim::CyclePowerEvaluator scalar_eval(nl, opt);
+  mpe::sim::CyclePowerEvaluator batch_eval(nl, opt);
+  const vec::UniformPairGenerator gen(nl.num_inputs());
+  vec::StreamingPopulation scalar_pop(gen, scalar_eval);
+  vec::StreamingPopulation batch_pop(gen, batch_eval);
+  ASSERT_TRUE(batch_pop.enable_bit_parallel());
+
+  for (std::size_t size : {1u, 63u, 65u, 200u}) {
+    mpe::Rng scalar_rng(size), batch_rng(size);
+    std::vector<double> expected(size);
+    for (auto& v : expected) v = scalar_pop.draw(scalar_rng);
+    std::vector<double> batch(size);
+    batch_pop.draw_batch(batch, batch_rng);
+    EXPECT_EQ(batch, expected) << "batch size " << size;
+  }
+}
+
+TEST(StreamingPopulation, BitParallelRejectedForEventDrivenEvaluator) {
+  auto nl = mpe::gen::parity_tree(12, 2);
+  mpe::sim::CyclePowerEvaluator eval(nl);  // default: event-driven
+  const vec::UniformPairGenerator gen(nl.num_inputs());
+  vec::StreamingPopulation pop(gen, eval);
+  EXPECT_FALSE(pop.enable_bit_parallel());
+  EXPECT_FALSE(pop.bit_parallel());
+  // Scalar batch still works.
+  mpe::Rng rng(2);
+  std::vector<double> batch(10);
+  pop.draw_batch(batch, rng);
+  EXPECT_EQ(pop.draws(), 10u);
+}
+
 }  // namespace

@@ -1,0 +1,111 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using mpe::util::ThreadPool;
+
+TEST(ThreadPool, SubmitReturnsFutureValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManySubmittedTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  // Each body writes its own slot: no shared mutable state, the
+  // TSan-friendly pattern the parallel pipeline uses throughout.
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(0, hits.size(),
+                    [&hits](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(hits.size()));
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForSharedAtomicAccumulator) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  pool.parallel_for(1, 101, [&sum](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&ran](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForSingleIndexRunsInCaller) {
+  ThreadPool pool(2);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.parallel_for(0, 1, [&seen](std::size_t) {
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("item 37");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool must remain usable after a failed loop.
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 10, [&counter](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, ParallelForSlottedSlotIdsAreDense) {
+  ThreadPool pool(3);
+  const unsigned participants = pool.participants();
+  EXPECT_EQ(participants, 4u);
+  // Per-slot accumulation without locks: the per-worker-state pattern used
+  // by the parallel DB builder.
+  std::vector<long> per_slot(participants, 0);
+  pool.parallel_for_slotted(0, 500, [&](unsigned slot, std::size_t i) {
+    ASSERT_LT(slot, participants);
+    per_slot[slot] += static_cast<long>(i);
+  });
+  EXPECT_EQ(std::accumulate(per_slot.begin(), per_slot.end(), 0L),
+            500L * 499L / 2L);
+}
+
+TEST(ThreadPool, DefaultSizeUsesHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+  EXPECT_EQ(pool.participants(), pool.size() + 1);
+}
+
+}  // namespace
