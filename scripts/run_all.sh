@@ -11,6 +11,24 @@ fi
 cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
 ctest --test-dir build --output-on-failure
 
+# Optional sanitizer leg (MPE_SANITIZERS=1): rebuild with ASan+UBSan and run
+# the whole suite, then rebuild with TSan and run the concurrency- and
+# fault-heavy tests. Separate build trees keep the main build warm.
+if [ "${MPE_SANITIZERS:-0}" = "1" ]; then
+  echo "== sanitizer leg: address,undefined =="
+  cmake -B build-asan -S . -DMPE_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$(nproc 2>/dev/null || echo 4)"
+  ctest --test-dir build-asan --output-on-failure
+
+  echo "== sanitizer leg: thread =="
+  cmake -B build-tsan -S . -DMPE_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$(nproc 2>/dev/null || echo 4)"
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'ThreadPool|ParallelEstimator|FaultInjection|RunControl|ParallelDb'
+fi
+
 # Perf trajectory: google-benchmark JSON (per-benchmark real/cpu ns and
 # items_per_second) from the microbenchmark suite. See docs/PERF.md for how
 # to read it.

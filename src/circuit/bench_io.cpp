@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/status.hpp"
+
 namespace mpe::circuit {
 
 namespace {
@@ -18,8 +20,10 @@ std::string strip(const std::string& s) {
 }
 
 [[noreturn]] void parse_error(std::size_t line_no, const std::string& what) {
-  throw std::runtime_error("bench parse error at line " +
-                           std::to_string(line_no) + ": " + what);
+  throw Error(ErrorCode::kParse,
+              "bench parse error at line " + std::to_string(line_no) + ": " +
+                  what,
+              ErrorContext{}.kv("line", line_no).str());
 }
 
 }  // namespace
@@ -109,7 +113,8 @@ Netlist read_bench_string(const std::string& text, const std::string& name) {
 Netlist read_bench_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("cannot open bench file: " + path);
+    throw Error(ErrorCode::kIo, "cannot open bench file",
+                ErrorContext{}.kv("path", path).str());
   }
   // Use the basename (without extension) as the netlist name.
   std::string name = path;

@@ -1,6 +1,7 @@
 #include "maxpower/estimator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <thread>
 
@@ -8,6 +9,28 @@
 #include "util/contracts.hpp"
 
 namespace mpe::maxpower {
+
+std::string_view to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kConverged: return "converged";
+    case StopReason::kMaxHyperSamples: return "max-hyper-samples";
+    case StopReason::kDeadlineExceeded: return "deadline-exceeded";
+    case StopReason::kCancelled: return "cancelled";
+    case StopReason::kDataFault: return "data-fault";
+  }
+  return "unknown";
+}
+
+void RunDiagnostics::note(Severity severity, ErrorCode code,
+                          std::string message, std::string context) {
+  if (records.size() >= kMaxRecords) return;
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.message = std::move(message);
+  d.context = std::move(context);
+  records.push_back(std::move(d));
+}
 
 namespace {
 
@@ -27,6 +50,86 @@ void check_options(const EstimatorOptions& options) {
   MPE_EXPECTS(options.max_hyper_samples >= options.min_hyper_samples);
 }
 
+/// Flags populations too small for the sampling design: with |V| < n*m the
+/// m "independent" samples heavily overlap, so the hyper-sample maxima are
+/// strongly correlated and the t interval is optimistic.
+void check_population(vec::Population& population,
+                      const EstimatorOptions& options, EstimationResult& r) {
+  const auto size = population.size();
+  const std::size_t need = options.hyper.n * options.hyper.m;
+  if (size.has_value() && *size < need) {
+    r.diagnostics.small_population = true;
+    r.diagnostics.note(Severity::kWarning, ErrorCode::kBadData,
+                       "population smaller than one hyper-sample (|V| < n*m); "
+                       "sample maxima are correlated",
+                       ErrorContext{}.kv("size", *size).kv("n*m", need).str());
+  }
+}
+
+/// True when the hyper-sample may be folded into the mean under the active
+/// degradation policy. Invalid or non-finite samples are never foldable.
+bool usable(const EstimatorOptions& options, const HyperSampleResult& hs) {
+  if (!hs.valid || !std::isfinite(hs.estimate)) return false;
+  if (hs.degenerate && options.hyper.degenerate_policy ==
+                           DegenerateFitPolicy::kDiscardRedraw) {
+    return false;
+  }
+  return true;
+}
+
+/// Diagnostics shared by accepted and discarded draws.
+void absorb_draw_diagnostics(const HyperSampleResult& hs,
+                             EstimationResult& r) {
+  r.diagnostics.nonfinite_units += hs.nonfinite_units;
+}
+
+void record_discard(const HyperSampleResult& hs, EstimationResult& r) {
+  ++r.diagnostics.discarded_hyper_samples;
+  r.diagnostics.note(
+      Severity::kWarning,
+      hs.valid ? ErrorCode::kNonConvergence : ErrorCode::kBadData,
+      hs.valid ? "degenerate fit discarded (redraw policy)"
+               : "hyper-sample invalid: a sample had no finite unit power",
+      ErrorContext{}
+          .kv("nonfinite_units", hs.nonfinite_units)
+          .kv("estimate", hs.estimate)
+          .str());
+}
+
+void record_stop(util::StopCause cause, EstimationResult& r) {
+  if (cause == util::StopCause::kCancelled) {
+    r.stop_reason = StopReason::kCancelled;
+    r.diagnostics.note(Severity::kWarning, ErrorCode::kCancelled,
+                       "run cancelled; returning partial result",
+                       ErrorContext{}.kv("hyper_samples", r.hyper_samples)
+                           .str());
+  } else {
+    r.stop_reason = StopReason::kDeadlineExceeded;
+    r.diagnostics.note(Severity::kWarning, ErrorCode::kDeadline,
+                       "deadline exceeded; returning partial result",
+                       ErrorContext{}.kv("hyper_samples", r.hyper_samples)
+                           .str());
+  }
+}
+
+void record_draw_fault(const Error& e, EstimationResult& r) {
+  r.stop_reason = StopReason::kDataFault;
+  r.diagnostics.note(Severity::kError, e.code(),
+                     "population draw failed: " + e.message(), e.context());
+}
+
+void record_redraws_exhausted(const EstimatorOptions& options,
+                              EstimationResult& r) {
+  r.stop_reason = StopReason::kDataFault;
+  r.diagnostics.note(
+      Severity::kError, ErrorCode::kBadData,
+      "redraw budget exhausted before enough usable hyper-samples",
+      ErrorContext{}
+          .kv("discarded", r.diagnostics.discarded_hyper_samples)
+          .kv("max_redraws", options.max_redraws)
+          .str());
+}
+
 /// Folds one hyper-sample into the running result and applies the stopping
 /// rule. Returns true when the estimate has converged.
 bool accept_and_check(const EstimatorOptions& options,
@@ -36,6 +139,9 @@ bool accept_and_check(const EstimatorOptions& options,
   r.units_used += hs.units_used;
   ++r.hyper_samples;
   if (!hs.mle.converged) ++r.degenerate_fits;
+  if (hs.degenerate) ++r.diagnostics.degenerate_fits;
+  if (hs.used_pwm) ++r.diagnostics.pwm_refits;
+  if (hs.constant_sample) ++r.diagnostics.constant_samples;
 
   if (r.hyper_samples < options.min_hyper_samples) return false;
 
@@ -44,6 +150,7 @@ bool accept_and_check(const EstimatorOptions& options,
   r.relative_error_bound = evt::relative_half_width(r.ci);
   if (r.relative_error_bound <= options.epsilon) {
     r.converged = true;
+    r.stop_reason = StopReason::kConverged;
     return true;
   }
   return false;
@@ -72,10 +179,38 @@ EstimationResult estimate_max_power(vec::Population& population,
   check_options(options);
 
   EstimationResult r;
-  while (r.hyper_samples < options.max_hyper_samples) {
-    const HyperSampleResult hs =
-        draw_hyper_sample(population, options.hyper, rng);
+  check_population(population, options, r);
+  // Draws beyond max_hyper_samples replace discarded hyper-samples; the cap
+  // bounds the run against populations that never yield a usable sample.
+  const std::size_t max_attempts =
+      options.max_hyper_samples + options.max_redraws;
+  std::size_t attempts = 0;
+  while (r.hyper_samples < options.max_hyper_samples &&
+         attempts < max_attempts) {
+    if (const util::StopCause cause = options.control.should_stop();
+        cause != util::StopCause::kNone) {
+      record_stop(cause, r);
+      finish_unconverged(options, rng, r);
+      return r;
+    }
+    HyperSampleResult hs;
+    try {
+      hs = draw_hyper_sample(population, options.hyper, rng);
+    } catch (const Error& e) {
+      record_draw_fault(e, r);
+      finish_unconverged(options, rng, r);
+      return r;
+    }
+    ++attempts;
+    absorb_draw_diagnostics(hs, r);
+    if (!usable(options, hs)) {
+      record_discard(hs, r);
+      continue;
+    }
     if (accept_and_check(options, hs, rng, r)) return r;
+  }
+  if (r.hyper_samples < options.max_hyper_samples) {
+    record_redraws_exhausted(options, r);
   }
   finish_unconverged(options, rng, r);
   return r;
@@ -109,28 +244,68 @@ EstimationResult estimate_max_power(vec::Population& population,
 
   Rng interval_rng(stream_seed(seed, kIntervalStream));
   EstimationResult r;
+  check_population(population, options, r);
+  const std::size_t max_attempts =
+      options.max_hyper_samples + options.max_redraws;
   std::vector<HyperSampleResult> batch;
   std::size_t next_index = 0;
-  while (next_index < options.max_hyper_samples) {
-    const std::size_t count =
-        std::min(wave, options.max_hyper_samples - next_index);
+  while (r.hyper_samples < options.max_hyper_samples &&
+         next_index < max_attempts) {
+    if (const util::StopCause cause = options.control.should_stop();
+        cause != util::StopCause::kNone) {
+      record_stop(cause, r);
+      finish_unconverged(options, interval_rng, r);
+      return r;
+    }
+    const std::size_t count = std::min(wave, max_attempts - next_index);
     batch.assign(count, HyperSampleResult{});
+    // A computed batch entry always has units_used = n*m > 0; entries
+    // abandoned by a mid-wave fault or stop keep the zero default, so the
+    // fold below can recognize them.
     auto draw_one = [&](std::size_t j) {
       Rng hyper_rng(stream_seed(seed, next_index + j));
       batch[j] = draw_hyper_sample(population, options.hyper, hyper_rng);
     };
-    if (concurrent && count > 1) {
-      pool->parallel_for(0, count, draw_one);
-    } else {
-      for (std::size_t j = 0; j < count; ++j) draw_one(j);
+    bool draw_faulted = false;
+    try {
+      if (concurrent && count > 1) {
+        pool->parallel_for(0, count, draw_one, &options.control);
+      } else {
+        for (std::size_t j = 0; j < count; ++j) {
+          if (options.control.should_stop() != util::StopCause::kNone) break;
+          draw_one(j);
+        }
+      }
+    } catch (const Error& e) {
+      // The wave is drained before parallel_for rethrows, so every entry is
+      // either fully computed or untouched; fold the computed prefix below,
+      // then stop.
+      record_draw_fault(e, r);
+      draw_faulted = true;
     }
     // Stopping rule strictly in index order: hyper-samples past the
     // convergence point are discarded, so the result cannot depend on the
-    // wave size or thread count.
+    // wave size or thread count. Discarded (unusable) hyper-samples simply
+    // advance the index stream — the next index *is* the redraw.
     for (std::size_t j = 0; j < count; ++j) {
+      if (batch[j].units_used == 0) break;  // not computed (fault/stop)
+      if (r.hyper_samples >= options.max_hyper_samples) break;
+      absorb_draw_diagnostics(batch[j], r);
+      if (!usable(options, batch[j])) {
+        record_discard(batch[j], r);
+        continue;
+      }
       if (accept_and_check(options, batch[j], interval_rng, r)) return r;
     }
+    if (draw_faulted) {
+      finish_unconverged(options, interval_rng, r);
+      return r;
+    }
     next_index += count;
+  }
+  if (r.hyper_samples < options.max_hyper_samples &&
+      r.stop_reason == StopReason::kMaxHyperSamples) {
+    record_redraws_exhausted(options, r);
   }
   finish_unconverged(options, interval_rng, r);
   return r;

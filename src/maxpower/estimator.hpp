@@ -22,6 +22,8 @@
 
 #include "evt/confidence.hpp"
 #include "maxpower/hyper_sample.hpp"
+#include "util/deadline.hpp"
+#include "util/status.hpp"
 #include "util/thread_pool.hpp"
 #include "vectors/population.hpp"
 
@@ -47,6 +49,49 @@ struct EstimatorOptions {
   /// Set to 2 for strict paper behavior.
   std::size_t min_hyper_samples = 3;
   std::size_t max_hyper_samples = 500; ///< hard stop against non-convergence
+  /// Extra draw budget for discarded hyper-samples (invalid draws, or
+  /// degenerate fits under DegenerateFitPolicy::kDiscardRedraw). When the
+  /// budget runs out before max_hyper_samples accepted hyper-samples exist,
+  /// the run stops with StopReason::kDataFault rather than looping forever
+  /// against a population that cannot produce usable samples.
+  std::size_t max_redraws = 16;
+  /// Deadline / cancellation brakes, polled once per hyper-sample (serial
+  /// path) or once per wave plus once per speculative index (parallel
+  /// path). Inert by default; runs stopped early report partial results
+  /// with StopReason::kDeadlineExceeded or kCancelled.
+  util::RunControl control;
+};
+
+/// Why an estimation run ended.
+enum class StopReason {
+  kConverged,         ///< met epsilon at the required confidence
+  kMaxHyperSamples,   ///< exhausted max_hyper_samples without converging
+  kDeadlineExceeded,  ///< wall-clock budget ran out (partial result)
+  kCancelled,         ///< cancellation requested (partial result)
+  kDataFault,         ///< population faults exhausted the redraw budget or a
+                      ///< draw threw mpe::Error (partial result)
+};
+
+std::string_view to_string(StopReason reason);
+
+/// Per-run health summary accumulated by the estimator. All counters refer
+/// to this run only; `records` holds at most kMaxRecords structured
+/// diagnostics (earliest first), so a pathological run cannot balloon it.
+struct RunDiagnostics {
+  std::size_t degenerate_fits = 0;   ///< accepted fits violating Smith's
+                                     ///< conditions (non-converged or
+                                     ///< alpha <= 2)
+  std::size_t pwm_refits = 0;        ///< accepted estimates from PWM fallback
+  std::size_t constant_samples = 0;  ///< accepted all-equal-maxima samples
+  std::size_t discarded_hyper_samples = 0;  ///< drawn but not folded in
+  std::size_t nonfinite_units = 0;   ///< NaN/Inf unit powers seen (all draws)
+  bool small_population = false;     ///< |V| < n*m: samples overlap heavily
+  std::vector<Diagnostic> records;
+
+  static constexpr std::size_t kMaxRecords = 32;
+  /// Appends a structured record, dropping it silently once the cap is hit.
+  void note(Severity severity, ErrorCode code, std::string message,
+            std::string context = "");
 };
 
 /// Result of one full estimation run.
@@ -59,6 +104,8 @@ struct EstimationResult {
   bool converged = false;             ///< met epsilon within max_hyper_samples
   std::vector<double> hyper_values;   ///< the individual P-hat_{i,MAX}
   std::size_t degenerate_fits = 0;    ///< MLE fits flagged non-converged
+  StopReason stop_reason = StopReason::kMaxHyperSamples;  ///< why it ended
+  RunDiagnostics diagnostics;         ///< per-run health summary
 };
 
 /// Runs the iterative procedure against a population (sequential reference

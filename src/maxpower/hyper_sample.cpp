@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
+#include "evt/pwm.hpp"
+#include "stats/gev.hpp"
 #include "stats/weibull.hpp"
 #include "util/contracts.hpp"
 
@@ -25,6 +28,29 @@ double finite_population_estimate(const stats::WeibullParams& params,
   return g.quantile(q_parent);
 }
 
+namespace {
+
+/// PWM analog of finite_population_estimate, on the GEV fitted to the sample
+/// maxima. Returns NaN when the fitted law has no usable quantile.
+double pwm_estimate(const stats::GevParams& params,
+                    std::optional<std::size_t> pop_size,
+                    const HyperSampleOptions& options) {
+  const stats::Gev g(params);
+  if (options.finite_correction && pop_size.has_value()) {
+    const double q_parent =
+        1.0 - 1.0 / static_cast<double>(*pop_size);
+    const double q = options.quantile_mode == FiniteQuantileMode::kExactPower
+                         ? std::pow(q_parent,
+                                    static_cast<double>(options.n))
+                         : q_parent;
+    return g.quantile(q);
+  }
+  // Endpoint path: finite only for Weibull-type (xi < 0) fits.
+  return g.right_endpoint();
+}
+
+}  // namespace
+
 HyperSampleResult draw_hyper_sample(vec::Population& population,
                                     const HyperSampleOptions& options,
                                     Rng& rng) {
@@ -38,20 +64,54 @@ HyperSampleResult draw_hyper_sample(vec::Population& population,
   // sampling) amortize their per-unit cost.
   std::vector<double> units(options.n * options.m);
   population.draw_batch(units, rng);
+  out.units_used = options.n * options.m;
+
+  // Block maxima over the finite draws only: a NaN or Inf unit must never
+  // reach the fit (Inf would poison the estimate outright; NaN's comparison
+  // behavior silently depends on its position in the block). A sample with
+  // no finite unit at all leaves the hyper-sample invalid — the estimator
+  // discards it rather than fabricating a value.
   std::vector<double> maxima;
   maxima.reserve(options.m);
   double overall_max = -std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < options.m; ++i) {
     const std::size_t base = i * options.n;
-    double best = units[base];
-    for (std::size_t j = 1; j < options.n; ++j) {
-      best = std::max(best, units[base + j]);
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < options.n; ++j) {
+      const double u = units[base + j];
+      if (!std::isfinite(u)) {
+        ++out.nonfinite_units;
+        continue;
+      }
+      best = std::max(best, u);
+    }
+    if (!std::isfinite(best)) {
+      out.valid = false;
+      continue;
     }
     overall_max = std::max(overall_max, best);
     maxima.push_back(best);
   }
-  out.units_used = options.n * options.m;
+  if (!out.valid) {
+    out.degenerate = true;
+    out.sample_max = std::isfinite(overall_max) ? overall_max : 0.0;
+    out.estimate = out.sample_max;
+    return out;
+  }
   out.sample_max = overall_max;
+
+  // A constant sample (all maxima equal — e.g. a stuck-at population) has
+  // zero spread: the 3-parameter likelihood is undefined, so skip the fit
+  // and report the common value, flagged degenerate.
+  const auto [lo_it, hi_it] = std::minmax_element(maxima.begin(), maxima.end());
+  if (*lo_it == *hi_it) {
+    out.constant_sample = true;
+    out.degenerate = true;
+    out.mle.params.mu = *hi_it;
+    out.mu_hat = *hi_it;
+    out.estimate = *hi_it;
+    return out;
+  }
 
   out.mle = evt::fit_weibull_mle(maxima, options.mle);
   out.mu_hat = out.mle.params.mu;
@@ -73,8 +133,29 @@ HyperSampleResult draw_hyper_sample(vec::Population& population,
     }
     out.estimate = out.mu_hat;
   }
+  out.degenerate = !out.mle.converged || out.mle.alpha_below_two;
+
+  if (out.degenerate &&
+      options.degenerate_policy == DegenerateFitPolicy::kPwmFallback) {
+    const evt::PwmResult pwm = evt::fit_gev_pwm(maxima);
+    if (pwm.valid) {
+      const double candidate = pwm_estimate(pwm.params, pop_size, options);
+      if (std::isfinite(candidate)) {
+        out.estimate = candidate;
+        out.used_pwm = true;
+      }
+    }
+  }
+
   // The estimate can never be below the best unit actually observed.
   out.estimate = std::max(out.estimate, overall_max);
+  // Last-resort guard: whatever path produced the estimate, a non-finite
+  // value must not leave this function — degrade to the observed maximum
+  // (a valid lower bound) and flag the fit.
+  if (!std::isfinite(out.estimate)) {
+    out.estimate = overall_max;
+    out.degenerate = true;
+  }
   return out;
 }
 

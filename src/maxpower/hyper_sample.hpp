@@ -36,6 +36,24 @@ inline evt::WeibullMleOptions raw_mle_options() {
   return opt;
 }
 
+/// What to do with a hyper-sample whose Weibull fit is degenerate — the MLE
+/// failed to converge, or the fitted shape has alpha <= 2 so Smith's
+/// asymptotic-normality conditions for the non-regular MLE are violated.
+enum class DegenerateFitPolicy {
+  /// The paper's (implicit) behavior: fold the raw fit into the mean anyway
+  /// and only count it. Default, and the only policy the bit-exact golden
+  /// tests run under.
+  kUseAnyway,
+  /// Refit the sample maxima with the closed-form PWM/L-moment estimator
+  /// (evt/pwm) and take the corresponding quantile from the fitted GEV; the
+  /// raw MLE diagnostics are kept for inspection. Falls back to the MLE
+  /// estimate when the PWM fit is itself degenerate.
+  kPwmFallback,
+  /// Discard the hyper-sample and draw a fresh one in its place (bounded by
+  /// EstimatorOptions::max_redraws across the run).
+  kDiscardRedraw,
+};
+
 /// Options for one hyper-sample.
 struct HyperSampleOptions {
   std::size_t n = 30;  ///< sample size (units per sample maximum)
@@ -49,6 +67,9 @@ struct HyperSampleOptions {
   /// finite_correction == false), where a raw ridge fit would report an
   /// unbounded endpoint. Ignored when the quantile path is taken.
   double endpoint_ridge_tolerance = 0.5;
+  /// Degradation policy for degenerate fits (see DegenerateFitPolicy). The
+  /// kDiscardRedraw policy is applied by the estimator loop, not here.
+  DegenerateFitPolicy degenerate_policy = DegenerateFitPolicy::kUseAnyway;
 };
 
 /// Result of one hyper-sample (one P-hat_{i,MAX}).
@@ -57,7 +78,19 @@ struct HyperSampleResult {
   double mu_hat = 0.0;              ///< raw MLE endpoint (no correction)
   evt::WeibullMleResult mle;        ///< full fit diagnostics
   std::size_t units_used = 0;       ///< n * m
-  double sample_max = 0.0;          ///< largest unit power seen in this run
+  double sample_max = 0.0;          ///< largest finite unit power seen
+  /// False when the draw was unusable — some sample had no finite unit at
+  /// all, so no set of m maxima could be formed. The estimator must discard
+  /// invalid hyper-samples regardless of policy.
+  bool valid = true;
+  /// Raw fit was degenerate: non-converged, or fitted alpha <= 2.
+  bool degenerate = false;
+  /// Estimate came from the PWM fallback instead of the raw MLE.
+  bool used_pwm = false;
+  /// All m maxima were equal; the fit was skipped and the estimate is that
+  /// common value (flagged degenerate).
+  bool constant_sample = false;
+  std::size_t nonfinite_units = 0;  ///< NaN/Inf draws excluded from maxima
 };
 
 /// Draws one hyper-sample from the population.

@@ -14,8 +14,10 @@
 
 #include "util/cli.hpp"
 #include "util/contracts.hpp"
+#include "util/deadline.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
+#include "util/status.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -66,6 +68,7 @@
 #include "sim/bit_parallel_sim.hpp"
 #include "sim/zero_delay_sim.hpp"
 
+#include "vectors/fault_injection.hpp"
 #include "vectors/generators.hpp"
 #include "vectors/input_vector.hpp"
 #include "vectors/markov.hpp"

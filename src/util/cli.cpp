@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "util/contracts.hpp"
+#include "util/status.hpp"
 
 namespace mpe {
 
@@ -10,7 +10,8 @@ Cli::Cli(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
-      throw std::invalid_argument("unexpected positional argument: " + arg);
+      throw Error(ErrorCode::kUsage, "unexpected positional argument",
+                  ErrorContext{}.kv("argument", arg).str());
     }
     arg = arg.substr(2);
     const auto eq = arg.find('=');
@@ -32,16 +33,29 @@ std::string Cli::get(const std::string& name,
   return it == values_.end() ? fallback : it->second;
 }
 
+namespace {
+
+[[noreturn]] void malformed(const char* what, const std::string& name,
+                            const std::string& value) {
+  throw Error(ErrorCode::kUsage,
+              std::string("malformed ") + what + " for --" + name,
+              ErrorContext{}.kv("flag", name).kv("value", value).str());
+}
+
+}  // namespace
+
 std::int64_t Cli::get_int(const std::string& name,
                           std::int64_t fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   std::size_t pos = 0;
-  const std::int64_t v = std::stoll(it->second, &pos);
-  if (pos != it->second.size()) {
-    throw std::invalid_argument("malformed integer for --" + name + ": " +
-                                it->second);
+  std::int64_t v = 0;
+  try {
+    v = std::stoll(it->second, &pos);
+  } catch (const std::exception&) {
+    malformed("integer", name, it->second);
   }
+  if (pos != it->second.size()) malformed("integer", name, it->second);
   return v;
 }
 
@@ -49,11 +63,13 @@ double Cli::get_double(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   std::size_t pos = 0;
-  const double v = std::stod(it->second, &pos);
-  if (pos != it->second.size()) {
-    throw std::invalid_argument("malformed number for --" + name + ": " +
-                                it->second);
+  double v = 0.0;
+  try {
+    v = std::stod(it->second, &pos);
+  } catch (const std::exception&) {
+    malformed("number", name, it->second);
   }
+  if (pos != it->second.size()) malformed("number", name, it->second);
   return v;
 }
 
@@ -66,7 +82,8 @@ void Cli::check_known(const std::set<std::string>& known) const {
     }
   }
   if (!unknown.empty()) {
-    throw std::invalid_argument("unknown flag(s): " + unknown);
+    throw Error(ErrorCode::kUsage, "unknown flag(s): " + unknown,
+                ErrorContext{}.kv("flags", unknown).str());
   }
 }
 

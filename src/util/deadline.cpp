@@ -1,0 +1,44 @@
+#include "util/deadline.hpp"
+
+namespace mpe::util {
+
+CancellationToken CancellationToken::create() {
+  CancellationToken token;
+  token.flag_ = std::make_shared<std::atomic<bool>>(false);
+  return token;
+}
+
+void CancellationToken::request_stop() const {
+  if (flag_) flag_->store(true, std::memory_order_release);
+}
+
+bool CancellationToken::stop_requested() const {
+  return flag_ && flag_->load(std::memory_order_acquire);
+}
+
+Deadline Deadline::after(std::chrono::nanoseconds budget) {
+  return at(std::chrono::steady_clock::now() + budget);
+}
+
+Deadline Deadline::at(std::chrono::steady_clock::time_point when) {
+  Deadline d;
+  d.when_ = when;
+  if (d.unlimited()) {
+    // The requested instant collided with the "unlimited" sentinel; nudge by
+    // one tick so the deadline still fires (it is already long past anyway).
+    d.when_ += std::chrono::nanoseconds(1);
+  }
+  return d;
+}
+
+bool Deadline::expired() const {
+  return !unlimited() && std::chrono::steady_clock::now() >= when_;
+}
+
+std::chrono::nanoseconds Deadline::remaining() const {
+  if (unlimited()) return std::chrono::nanoseconds::max();
+  const auto left = when_ - std::chrono::steady_clock::now();
+  return left.count() > 0 ? left : std::chrono::nanoseconds::zero();
+}
+
+}  // namespace mpe::util

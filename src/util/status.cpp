@@ -1,0 +1,132 @@
+#include "util/status.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace mpe {
+
+std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kNonConvergence: return "non-convergence";
+    case ErrorCode::kUsage: return "usage";
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kBadData: return "bad-data";
+    case ErrorCode::kPrecondition: return "precondition";
+    case ErrorCode::kDeadline: return "deadline";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kFaultInjected: return "fault-injected";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+int exit_code(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return 0;
+    case ErrorCode::kNonConvergence: return 1;
+    case ErrorCode::kUsage: return 2;
+    case ErrorCode::kParse: return 3;
+    case ErrorCode::kIo: return 4;
+    case ErrorCode::kBadData: return 5;
+    case ErrorCode::kPrecondition: return 6;
+    case ErrorCode::kDeadline: return 7;
+    case ErrorCode::kCancelled: return 8;
+    case ErrorCode::kFaultInjected: return 9;
+    case ErrorCode::kInternal: return 10;
+  }
+  return 10;
+}
+
+std::string_view to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string format(const Diagnostic& diagnostic) {
+  std::string out;
+  out += to_string(diagnostic.severity);
+  out += " [";
+  out += to_string(diagnostic.code);
+  out += "] ";
+  out += diagnostic.message;
+  if (!diagnostic.context.empty()) {
+    out += " (";
+    out += diagnostic.context;
+    out += ')';
+  }
+  return out;
+}
+
+ErrorContext& ErrorContext::kv(std::string_view key, std::string_view value) {
+  if (!out_.empty()) out_ += ' ';
+  out_ += key;
+  out_ += '=';
+  if (value.find(' ') != std::string_view::npos) {
+    out_ += '"';
+    out_ += value;
+    out_ += '"';
+  } else {
+    out_ += value;
+  }
+  return *this;
+}
+
+ErrorContext& ErrorContext::kv(std::string_view key, std::int64_t value) {
+  return kv(key, std::string_view(std::to_string(value)));
+}
+
+ErrorContext& ErrorContext::kv(std::string_view key, std::uint64_t value) {
+  return kv(key, std::string_view(std::to_string(value)));
+}
+
+ErrorContext& ErrorContext::kv(std::string_view key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return kv(key, std::string_view(buf));
+}
+
+namespace {
+
+Diagnostic make_diagnostic(ErrorCode code, const std::string& message,
+                           const std::string& context) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = Severity::kError;
+  d.message = message;
+  d.context = context;
+  return d;
+}
+
+}  // namespace
+
+Error::Error(ErrorCode code, const std::string& message,
+             const std::string& context)
+    : std::runtime_error(format(make_diagnostic(code, message, context))),
+      diagnostic_(make_diagnostic(code, message, context)) {}
+
+Diagnostic classify_exception(const std::exception& e) {
+  if (const auto* err = dynamic_cast<const Error*>(&e)) {
+    return err->diagnostic();
+  }
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.message = e.what();
+  if (dynamic_cast<const ContractViolation*>(&e) != nullptr) {
+    d.code = ErrorCode::kPrecondition;
+  } else if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) {
+    d.code = ErrorCode::kUsage;
+  } else {
+    d.code = ErrorCode::kInternal;
+  }
+  return d;
+}
+
+}  // namespace mpe

@@ -1,0 +1,106 @@
+// Structured diagnostics: the library-wide error taxonomy. Every failure a
+// caller may want to react to programmatically carries an ErrorCode; the
+// mpe::Error exception type transports a code plus a key=value context
+// string alongside the human-readable message, and the CLI front ends map
+// codes to stable process exit codes. Error derives from std::runtime_error
+// so code (and tests) written against the old ad-hoc throws keep working.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpe {
+
+/// Library-wide failure taxonomy. Values are append-only: exit codes and
+/// log scrapers depend on them staying stable.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kNonConvergence,  ///< estimator exhausted its budget without meeting epsilon
+  kUsage,           ///< bad command line (unknown flag, missing argument)
+  kParse,           ///< malformed input text (bench/verilog/population header)
+  kIo,              ///< OS-level I/O failure (open, truncated stream, write)
+  kBadData,         ///< well-formed input with semantically invalid payload
+  kPrecondition,    ///< caller violated a documented precondition
+  kDeadline,        ///< wall-clock budget exhausted
+  kCancelled,       ///< cooperative cancellation requested
+  kFaultInjected,   ///< synthetic fault from the fault-injection harness
+  kInternal,        ///< invariant failure / unclassified exception
+};
+
+/// Stable short name ("parse", "io", ...) for logs and CLI output.
+std::string_view to_string(ErrorCode code);
+
+/// Process exit code for a CLI front end terminating with `code`.
+/// 0 = success, 1 = non-convergence, 2 = usage, 3 = parse, 4 = I/O,
+/// 5 = bad data, 6 = precondition, 7 = deadline, 8 = cancelled,
+/// 9 = injected fault, 10 = internal.
+int exit_code(ErrorCode code);
+
+/// Severity of one diagnostic record.
+enum class Severity : std::uint8_t { kInfo = 0, kWarning, kError };
+
+std::string_view to_string(Severity severity);
+
+/// One structured diagnostic record: what happened, how bad it is, and the
+/// machine-readable context it happened in.
+struct Diagnostic {
+  ErrorCode code = ErrorCode::kOk;
+  Severity severity = Severity::kInfo;
+  std::string message;
+  std::string context;  ///< "key=value key2=value2" pairs, may be empty
+};
+
+/// Renders "error [parse] bench parse error (file=a.bench line=12)".
+std::string format(const Diagnostic& diagnostic);
+
+/// Incremental builder for the "key=value" context string carried by
+/// Diagnostic and Error. Values containing spaces are quoted.
+class ErrorContext {
+ public:
+  ErrorContext& kv(std::string_view key, std::string_view value);
+  ErrorContext& kv(std::string_view key, const char* value) {
+    return kv(key, std::string_view(value));
+  }
+  ErrorContext& kv(std::string_view key, std::int64_t value);
+  ErrorContext& kv(std::string_view key, std::uint64_t value);
+  ErrorContext& kv(std::string_view key, int value) {
+    return kv(key, static_cast<std::int64_t>(value));
+  }
+  ErrorContext& kv(std::string_view key, double value);
+
+  std::string str() && { return std::move(out_); }
+  const std::string& str() const& { return out_; }
+
+ private:
+  std::string out_;
+};
+
+/// The library's typed exception: a runtime_error carrying an ErrorCode and
+/// a structured context string. what() returns the formatted diagnostic so
+/// untyped `catch (const std::exception&)` handlers still print everything.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& message,
+        const std::string& context = "");
+  Error(ErrorCode code, const std::string& message, const ErrorContext& ctx)
+      : Error(code, message, ctx.str()) {}
+
+  ErrorCode code() const { return diagnostic_.code; }
+  const std::string& message() const { return diagnostic_.message; }
+  const std::string& context() const { return diagnostic_.context; }
+  const Diagnostic& diagnostic() const { return diagnostic_; }
+
+ private:
+  Diagnostic diagnostic_;
+};
+
+/// Classifies an arbitrary exception into a Diagnostic: mpe::Error keeps its
+/// code, ContractViolation maps to kPrecondition, std::invalid_argument to
+/// kUsage, everything else to kInternal. Used by CLI front ends to turn any
+/// escaping exception into a structured report and a stable exit code.
+Diagnostic classify_exception(const std::exception& e);
+
+}  // namespace mpe

@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <exception>
 
+#include "util/deadline.hpp"
+
 namespace mpe::util {
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -49,15 +51,20 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(
     std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t)>& body) {
+    const std::function<void(std::size_t)>& body,
+    const RunControl* control) {
   parallel_for_slotted(
-      begin, end, [&body](unsigned, std::size_t index) { body(index); });
+      begin, end, [&body](unsigned, std::size_t index) { body(index); },
+      control);
 }
 
 void ThreadPool::parallel_for_slotted(
     std::size_t begin, std::size_t end,
-    const std::function<void(unsigned, std::size_t)>& body) {
+    const std::function<void(unsigned, std::size_t)>& body,
+    const RunControl* control) {
   if (begin >= end) return;
+  // Polling a dead control is pure overhead; drop it up front.
+  if (control != nullptr && !control->active()) control = nullptr;
 
   struct Shared {
     std::atomic<std::size_t> next;
@@ -70,8 +77,12 @@ void ThreadPool::parallel_for_slotted(
   shared->next.store(begin);
   shared->end = end;
 
-  auto run_slot = [shared, &body](unsigned slot) {
+  auto run_slot = [shared, &body, control](unsigned slot) {
     for (;;) {
+      if (control != nullptr &&
+          control->should_stop() != StopCause::kNone) {
+        break;
+      }
       const std::size_t i = shared->next.fetch_add(1);
       if (i >= shared->end || shared->failed.load(std::memory_order_relaxed))
         break;

@@ -12,6 +12,14 @@
 //                        dynamically, and the first exception thrown by any
 //                        body is rethrown in the caller after all work stops.
 //
+// Exception contract: when a body throws, the remaining indices are
+// abandoned, every in-flight body finishes (the wave is drained), the first
+// exception is rethrown in the caller, and the pool stays fully reusable.
+// Cancellation: an optional RunControl makes workers stop claiming new
+// indices once the deadline expires or cancellation is requested; the loop
+// then returns normally with some indices unvisited (the caller polls the
+// same control to learn why).
+//
 // Determinism note: the pool never influences random streams. Callers that
 // need reproducible results derive a counter-based RNG stream per index
 // (see stream_seed() in util/rng.hpp) so the schedule cannot matter.
@@ -28,6 +36,8 @@
 #include <vector>
 
 namespace mpe::util {
+
+struct RunControl;
 
 class ThreadPool {
  public:
@@ -62,16 +72,20 @@ class ThreadPool {
   /// N + 1 bodies concurrently. Indices are claimed dynamically (no static
   /// partitioning), which keeps irregular workloads balanced. If any body
   /// throws, remaining indices are abandoned and the first exception is
-  /// rethrown here.
+  /// rethrown here. With a non-null `control`, workers stop claiming new
+  /// indices once it requests a stop (the loop returns normally; unvisited
+  /// indices are simply skipped).
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body,
+                    const RunControl* control = nullptr);
 
   /// Like parallel_for, but also hands the body a dense worker slot id in
   /// [0, participants()). Slot 0 is the caller. Use it to index per-worker
   /// scratch state (e.g. one simulator instance per slot) without locking.
   void parallel_for_slotted(
       std::size_t begin, std::size_t end,
-      const std::function<void(unsigned slot, std::size_t index)>& body);
+      const std::function<void(unsigned slot, std::size_t index)>& body,
+      const RunControl* control = nullptr);
 
  private:
   void enqueue(std::function<void()> job);

@@ -1,0 +1,68 @@
+#include "vectors/fault_injection.hpp"
+
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "util/contracts.hpp"
+#include "util/status.hpp"
+
+namespace mpe::vec {
+
+FaultInjectingPopulation::FaultInjectingPopulation(
+    Population& inner, std::vector<FaultSpec> faults)
+    : inner_(inner), faults_(std::move(faults)) {
+  for (const FaultSpec& f : faults_) MPE_EXPECTS(f.period >= 1);
+}
+
+double FaultInjectingPopulation::apply(double value, std::uint64_t index) {
+  for (const FaultSpec& f : faults_) {
+    if (index < f.start_index) continue;
+    if ((index - f.phase) % f.period != 0) continue;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    switch (f.kind) {
+      case FaultKind::kNan:
+        value = std::numeric_limits<double>::quiet_NaN();
+        break;
+      case FaultKind::kPosInf:
+        value = std::numeric_limits<double>::infinity();
+        break;
+      case FaultKind::kStuckAt:
+        value = f.stuck_value;
+        break;
+      case FaultKind::kThrow:
+        throw Error(ErrorCode::kFaultInjected, "injected throwing draw",
+                    ErrorContext{}
+                        .kv("draw", index)
+                        .kv("period", f.period)
+                        .str());
+      case FaultKind::kSlowDraw:
+        std::this_thread::sleep_for(std::chrono::microseconds(f.slow_micros));
+        break;
+    }
+  }
+  return value;
+}
+
+double FaultInjectingPopulation::draw(Rng& rng) {
+  const std::uint64_t index = counter_.fetch_add(1, std::memory_order_relaxed);
+  return apply(inner_.draw(rng), index);
+}
+
+void FaultInjectingPopulation::draw_batch(std::span<double> out, Rng& rng) {
+  // Claim the whole batch's counter range up front so concurrent batches see
+  // disjoint, contiguous draw indices.
+  const std::uint64_t base =
+      counter_.fetch_add(out.size(), std::memory_order_relaxed);
+  inner_.draw_batch(out, rng);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = apply(out[i], base + i);
+  }
+}
+
+std::string FaultInjectingPopulation::description() const {
+  return inner_.description() + " [fault-injected x" +
+         std::to_string(faults_.size()) + "]";
+}
+
+}  // namespace mpe::vec

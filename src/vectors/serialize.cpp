@@ -1,9 +1,13 @@
 #include "vectors/serialize.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
-#include <stdexcept>
+#include <optional>
 #include <vector>
+
+#include "util/status.hpp"
 
 namespace mpe::vec {
 
@@ -27,7 +31,7 @@ void write_u64(std::ostream& out, std::uint64_t v) {
 std::uint32_t read_u32(std::istream& in) {
   unsigned char buf[4];
   in.read(reinterpret_cast<char*>(buf), 4);
-  if (!in) throw std::runtime_error("population stream truncated");
+  if (!in) throw Error(ErrorCode::kIo, "population stream truncated");
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
   return v;
@@ -36,21 +40,43 @@ std::uint32_t read_u32(std::istream& in) {
 std::uint64_t read_u64(std::istream& in) {
   unsigned char buf[8];
   in.read(reinterpret_cast<char*>(buf), 8);
-  if (!in) throw std::runtime_error("population stream truncated");
+  if (!in) throw Error(ErrorCode::kIo, "population stream truncated");
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
   return v;
 }
 
+/// Bytes between the current read position and the end of the stream, or
+/// nullopt when the stream is not seekable. Used to reject headers whose
+/// declared sizes cannot possibly fit before anything is allocated.
+std::optional<std::uint64_t> remaining_bytes(std::istream& in) {
+  const std::istream::pos_type cur = in.tellg();
+  if (cur == std::istream::pos_type(-1)) return std::nullopt;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(cur);
+  if (end == std::istream::pos_type(-1) || end < cur) return std::nullopt;
+  return static_cast<std::uint64_t>(end - cur);
+}
+
 }  // namespace
 
 void save_population(std::ostream& out, const FinitePopulation& population) {
+  const auto values = population.values();
+  // Refuse to persist poisoned data: the load path rejects non-finite
+  // powers, so writing them would only defer the failure to a reader.
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) {
+      throw Error(ErrorCode::kBadData,
+                  "population contains a non-finite power value",
+                  ErrorContext{}.kv("index", i).kv("value", values[i]).str());
+    }
+  }
   write_u32(out, kMagic);
   write_u32(out, kVersion);
   const std::string desc = population.description();
   write_u64(out, desc.size());
   out.write(desc.data(), static_cast<std::streamsize>(desc.size()));
-  const auto values = population.values();
   write_u64(out, values.size());
   // Doubles are stored bit-exactly via their IEEE-754 representation.
   for (double v : values) {
@@ -59,40 +85,67 @@ void save_population(std::ostream& out, const FinitePopulation& population) {
     __builtin_memcpy(&bits, &v, sizeof bits);
     write_u64(out, bits);
   }
-  if (!out) throw std::runtime_error("failed writing population stream");
+  if (!out) throw Error(ErrorCode::kIo, "failed writing population stream");
 }
 
 void save_population_file(const std::string& path,
                           const FinitePopulation& population) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  if (!out) {
+    throw Error(ErrorCode::kIo, "cannot open for write",
+                ErrorContext{}.kv("path", path).str());
+  }
   save_population(out, population);
 }
 
 FinitePopulation load_population(std::istream& in) {
   if (read_u32(in) != kMagic) {
-    throw std::runtime_error("not a population file (bad magic)");
+    throw Error(ErrorCode::kParse, "not a population file (bad magic)");
   }
   const std::uint32_t version = read_u32(in);
   if (version != kVersion) {
-    throw std::runtime_error("unsupported population file version " +
-                             std::to_string(version));
+    throw Error(ErrorCode::kParse, "unsupported population file version",
+                ErrorContext{}.kv("version", std::uint64_t{version}).str());
   }
   const std::uint64_t desc_len = read_u64(in);
   if (desc_len > (1u << 20)) {
-    throw std::runtime_error("population description implausibly large");
+    throw Error(ErrorCode::kBadData, "population description implausibly large",
+                ErrorContext{}.kv("desc_len", desc_len).str());
+  }
+  if (const auto left = remaining_bytes(in);
+      left.has_value() && desc_len > *left) {
+    throw Error(ErrorCode::kBadData,
+                "description length exceeds remaining stream size",
+                ErrorContext{}.kv("desc_len", desc_len).kv("left", *left)
+                    .str());
   }
   std::string desc(desc_len, '\0');
   in.read(desc.data(), static_cast<std::streamsize>(desc_len));
-  if (!in) throw std::runtime_error("population stream truncated");
+  if (!in) throw Error(ErrorCode::kIo, "population stream truncated");
   const std::uint64_t count = read_u64(in);
-  if (count == 0) throw std::runtime_error("population file has no values");
+  if (count == 0) {
+    throw Error(ErrorCode::kBadData, "population file has no values");
+  }
+  if (const auto left = remaining_bytes(in);
+      left.has_value() && count > *left / 8) {
+    throw Error(ErrorCode::kBadData,
+                "value count exceeds remaining stream size",
+                ErrorContext{}.kv("count", count).kv("left", *left).str());
+  }
   std::vector<double> values;
-  values.reserve(count);
+  // Grow in bounded steps so a lying header on a non-seekable stream cannot
+  // force one huge up-front allocation; truncation is detected per read.
+  constexpr std::uint64_t kReserveChunk = 1u << 20;
+  values.reserve(static_cast<std::size_t>(std::min(count, kReserveChunk)));
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::uint64_t bits = read_u64(in);
     double v;
     __builtin_memcpy(&v, &bits, sizeof v);
+    if (!std::isfinite(v)) {
+      throw Error(ErrorCode::kBadData,
+                  "non-finite power value in population file",
+                  ErrorContext{}.kv("index", i).kv("value", v).str());
+    }
     values.push_back(v);
   }
   return FinitePopulation(std::move(values), std::move(desc));
@@ -100,7 +153,10 @@ FinitePopulation load_population(std::istream& in) {
 
 FinitePopulation load_population_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  if (!in) {
+    throw Error(ErrorCode::kIo, "cannot open for read",
+                ErrorContext{}.kv("path", path).str());
+  }
   return load_population(in);
 }
 

@@ -4,9 +4,13 @@
 
 #include <stdexcept>
 
+#include "util/status.hpp"
+
 namespace {
 
 using mpe::Cli;
+using mpe::Error;
+using mpe::ErrorCode;
 
 Cli make(std::initializer_list<const char*> args) {
   std::vector<const char*> argv = {"prog"};
@@ -47,19 +51,35 @@ TEST(Cli, NegativeNumbersAsValues) {
 
 TEST(Cli, RejectsMalformedNumbers) {
   const Cli cli = make({"--pop", "12x"});
-  EXPECT_THROW(cli.get_int("pop", 0), std::invalid_argument);
+  EXPECT_THROW(cli.get_int("pop", 0), Error);
   const Cli cli2 = make({"--eps", "0.5y"});
-  EXPECT_THROW(cli2.get_double("eps", 0.0), std::invalid_argument);
+  EXPECT_THROW(cli2.get_double("eps", 0.0), Error);
 }
 
 TEST(Cli, RejectsPositionalArguments) {
-  EXPECT_THROW(make({"positional"}), std::invalid_argument);
+  EXPECT_THROW(make({"positional"}), Error);
 }
 
 TEST(Cli, CheckKnownFlagsUnknown) {
   const Cli cli = make({"--pop", "10", "--typo", "1"});
-  EXPECT_THROW(cli.check_known({"pop"}), std::invalid_argument);
+  EXPECT_THROW(cli.check_known({"pop"}), Error);
   EXPECT_NO_THROW(cli.check_known({"pop", "typo"}));
+}
+
+TEST(Cli, UsageErrorsCarryTypedCodeAndContext) {
+  try {
+    make({"--pop", "12x"}).get_int("pop", 0);
+    FAIL() << "expected mpe::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUsage);
+    EXPECT_EQ(mpe::exit_code(e.code()), 2);
+    EXPECT_NE(e.context().find("value=12x"), std::string::npos) << e.context();
+  }
+}
+
+TEST(Cli, ErrorsRemainRuntimeErrors) {
+  // Typed errors stay catchable through the legacy std::runtime_error net.
+  EXPECT_THROW(make({"oops"}), std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,162 @@
+#include "util/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using mpe::util::CancellationToken;
+using mpe::util::Deadline;
+using mpe::util::RunControl;
+using mpe::util::StopCause;
+
+TEST(CancellationTokenTest, DefaultConstructedIsInert) {
+  const CancellationToken token;
+  EXPECT_FALSE(token.cancellable());
+  EXPECT_FALSE(token.stop_requested());
+  token.request_stop();  // no-op, must not crash
+  EXPECT_FALSE(token.stop_requested());
+}
+
+TEST(CancellationTokenTest, CreateMakesLiveToken) {
+  const CancellationToken token = CancellationToken::create();
+  EXPECT_TRUE(token.cancellable());
+  EXPECT_FALSE(token.stop_requested());
+  token.request_stop();
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(CancellationTokenTest, CopiesShareOneFlag) {
+  const CancellationToken a = CancellationToken::create();
+  const CancellationToken b = a;
+  EXPECT_FALSE(b.stop_requested());
+  a.request_stop();
+  EXPECT_TRUE(b.stop_requested());
+}
+
+TEST(CancellationTokenTest, RequestStopIsIdempotent) {
+  const CancellationToken token = CancellationToken::create();
+  token.request_stop();
+  token.request_stop();
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(DeadlineTest, DefaultConstructedIsUnlimited) {
+  const Deadline d;
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining(), 1h);
+}
+
+TEST(DeadlineTest, AfterExpiresOnceBudgetElapses) {
+  const Deadline d = Deadline::after(1ms);
+  EXPECT_FALSE(d.unlimited());
+  std::this_thread::sleep_for(5ms);
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining(), 0ns);
+}
+
+TEST(DeadlineTest, GenerousBudgetNotExpiredImmediately) {
+  const Deadline d = Deadline::after(1h);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining(), 0ns);
+}
+
+TEST(DeadlineTest, AtExpiresAtGivenInstant) {
+  const Deadline d = Deadline::at(std::chrono::steady_clock::now() - 1s);
+  EXPECT_FALSE(d.unlimited());
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(RunControlTest, DefaultIsInactiveAndNeverStops) {
+  const RunControl control;
+  EXPECT_FALSE(control.active());
+  EXPECT_EQ(control.should_stop(), StopCause::kNone);
+}
+
+TEST(RunControlTest, CancellationWinsOverDeadline) {
+  RunControl control;
+  control.cancel = CancellationToken::create();
+  control.deadline = Deadline::after(0ns);
+  std::this_thread::sleep_for(1ms);
+  control.cancel.request_stop();
+  // Both brakes fired; cancellation is reported first.
+  EXPECT_EQ(control.should_stop(), StopCause::kCancelled);
+}
+
+TEST(RunControlTest, DeadlineReportedWhenOnlyClockFires) {
+  RunControl control;
+  control.deadline = Deadline::after(0ns);
+  std::this_thread::sleep_for(1ms);
+  EXPECT_TRUE(control.active());
+  EXPECT_EQ(control.should_stop(), StopCause::kDeadline);
+}
+
+TEST(RunControlTest, LiveTokenAloneMakesControlActive) {
+  RunControl control;
+  control.cancel = CancellationToken::create();
+  EXPECT_TRUE(control.active());
+  EXPECT_EQ(control.should_stop(), StopCause::kNone);
+}
+
+TEST(RunControlThreadPool, PreCancelledControlRunsNoBodies) {
+  mpe::util::ThreadPool pool(3);
+  RunControl control;
+  control.cancel = CancellationToken::create();
+  control.cancel.request_stop();
+  std::atomic<int> ran{0};
+  pool.parallel_for(0, 1000, [&](std::size_t) { ++ran; }, &control);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(RunControlThreadPool, MidLoopCancellationSkipsRemainingIndices) {
+  mpe::util::ThreadPool pool(3);
+  RunControl control;
+  control.cancel = CancellationToken::create();
+  std::atomic<int> ran{0};
+  pool.parallel_for(
+      0, 100000,
+      [&](std::size_t) {
+        if (++ran == 8) control.cancel.request_stop();
+      },
+      &control);
+  // The loop returned normally well short of the full range; in-flight
+  // bodies may still have finished, so allow a small overshoot.
+  EXPECT_GE(ran.load(), 8);
+  EXPECT_LT(ran.load(), 100000);
+  EXPECT_EQ(control.should_stop(), StopCause::kCancelled);
+}
+
+TEST(RunControlThreadPool, ExpiredDeadlineStopsSlottedLoop) {
+  mpe::util::ThreadPool pool(2);
+  RunControl control;
+  control.deadline = Deadline::after(0ns);
+  std::this_thread::sleep_for(1ms);
+  std::atomic<int> ran{0};
+  pool.parallel_for_slotted(
+      0, 1000, [&](unsigned, std::size_t) { ++ran; }, &control);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(RunControlThreadPool, NullControlVisitsEveryIndex) {
+  mpe::util::ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  pool.parallel_for(0, 500, [&](std::size_t) { ++ran; }, nullptr);
+  EXPECT_EQ(ran.load(), 500);
+}
+
+TEST(RunControlThreadPool, InertControlVisitsEveryIndex) {
+  mpe::util::ThreadPool pool(3);
+  const RunControl control;  // inert: dropped up front, zero polling cost
+  std::atomic<int> ran{0};
+  pool.parallel_for(0, 500, [&](std::size_t) { ++ran; }, &control);
+  EXPECT_EQ(ran.load(), 500);
+}
+
+}  // namespace

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "stats/weibull.hpp"
 #include "util/contracts.hpp"
+#include "util/deadline.hpp"
 #include "util/rng.hpp"
 #include "vectors/population.hpp"
 
@@ -155,6 +158,143 @@ TEST(Estimator, BootstrapAndTTrackEachOther) {
   // Same population, same seed stream: estimates agree to within a few
   // percent even though the stopping rules differ.
   EXPECT_NEAR(rb.estimate, rt.estimate, 0.1 * rt.estimate);
+}
+
+// --- Graceful degradation ---------------------------------------------------
+
+TEST(Estimator, ConstantPopulationConvergesToCommonValueFlagged) {
+  // Zero-spread population: every hyper-sample is constant, the fit is
+  // skipped, and the mean of identical values converges trivially — the run
+  // must finish with the common value and loud diagnostics, not NaN.
+  mpe::vec::FinitePopulation pop(std::vector<double>(500, 7.5), "stuck");
+  mp::EstimatorOptions opt;
+  mpe::Rng rng(31);
+  const auto r = mp::estimate_max_power(pop, opt, rng);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.estimate, 7.5);
+  EXPECT_EQ(r.stop_reason, mp::StopReason::kConverged);
+  EXPECT_GT(r.diagnostics.constant_samples, 0u);
+  EXPECT_GT(r.diagnostics.degenerate_fits, 0u);
+}
+
+TEST(Estimator, SmallPopulationFlaggedButStillEstimates) {
+  // 100 < n*m = 300: the samples overlap heavily, so the result must carry
+  // the small-population warning while still producing a finite estimate.
+  auto pop = weibull_population(100, 33);
+  mp::EstimatorOptions opt;
+  mpe::Rng rng(34);
+  const auto r = mp::estimate_max_power(pop, opt, rng);
+  EXPECT_TRUE(r.diagnostics.small_population);
+  EXPECT_TRUE(std::isfinite(r.estimate));
+  EXPECT_FALSE(r.diagnostics.records.empty());
+}
+
+TEST(Estimator, HeavyTailWithPwmPolicyStaysFinite) {
+  // alpha = 1.2 <= 2: Smith's MLE conditions fail on most hyper-samples.
+  // The PWM policy must keep every folded value finite and count its work.
+  auto pop = weibull_population(30000, 35, /*alpha=*/1.2, /*mu=*/10.0);
+  mp::EstimatorOptions opt;
+  opt.hyper.degenerate_policy = mp::DegenerateFitPolicy::kPwmFallback;
+  opt.epsilon = 1e-9;  // unattainable: fold max_hyper_samples values
+  opt.max_hyper_samples = 10;
+  mpe::Rng rng(36);
+  const auto r = mp::estimate_max_power(pop, opt, rng);
+  EXPECT_EQ(r.hyper_samples, 10u);
+  EXPECT_TRUE(std::isfinite(r.estimate));
+  for (double v : r.hyper_values) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(r.diagnostics.degenerate_fits, 0u);
+  EXPECT_GT(r.diagnostics.pwm_refits, 0u);
+}
+
+TEST(Estimator, DiscardRedrawExhaustsBudgetOnHopelessPopulation) {
+  // Every hyper-sample from a constant population is degenerate, so the
+  // redraw policy can never accept one: the run must stop at the redraw
+  // budget with an explicit data-fault stop reason — not loop forever.
+  mpe::vec::FinitePopulation pop(std::vector<double>(500, 3.0), "stuck");
+  mp::EstimatorOptions opt;
+  opt.hyper.degenerate_policy = mp::DegenerateFitPolicy::kDiscardRedraw;
+  opt.max_hyper_samples = 4;
+  opt.max_redraws = 2;
+  mpe::Rng rng(37);
+  const auto r = mp::estimate_max_power(pop, opt, rng);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.hyper_samples, 0u);
+  EXPECT_EQ(r.stop_reason, mp::StopReason::kDataFault);
+  EXPECT_EQ(r.diagnostics.discarded_hyper_samples, 6u);  // max + redraws
+}
+
+TEST(Estimator, DiscardRedrawStillConvergesOnHealthyPopulation) {
+  auto pop = weibull_population(40000, 39);
+  mp::EstimatorOptions opt;
+  opt.hyper.degenerate_policy = mp::DegenerateFitPolicy::kDiscardRedraw;
+  mpe::Rng rng(40);
+  const auto r = mp::estimate_max_power(pop, opt, rng);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(std::isfinite(r.estimate));
+}
+
+TEST(Estimator, ExpiredDeadlineReturnsPartialResult) {
+  auto pop = weibull_population(20000, 41);
+  mp::EstimatorOptions opt;
+  opt.control.deadline = mpe::util::Deadline::after(std::chrono::nanoseconds{0});
+  mpe::Rng rng(42);
+  const auto r = mp::estimate_max_power(pop, opt, rng);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.stop_reason, mp::StopReason::kDeadlineExceeded);
+  EXPECT_EQ(r.hyper_samples, 0u);
+  EXPECT_FALSE(r.diagnostics.records.empty());
+}
+
+TEST(Estimator, PreCancelledRunReturnsImmediately) {
+  auto pop = weibull_population(20000, 43);
+  mp::EstimatorOptions opt;
+  opt.control.cancel = mpe::util::CancellationToken::create();
+  opt.control.cancel.request_stop();
+  mpe::Rng rng(44);
+  const auto r = mp::estimate_max_power(pop, opt, rng);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.stop_reason, mp::StopReason::kCancelled);
+  EXPECT_EQ(r.hyper_samples, 0u);
+}
+
+TEST(Estimator, ParallelDeadlineReturnsPartialResult) {
+  auto pop = weibull_population(20000, 45);
+  mp::EstimatorOptions opt;
+  opt.control.deadline = mpe::util::Deadline::after(std::chrono::nanoseconds{0});
+  mp::ParallelOptions par;
+  par.threads = 4;
+  const auto r = mp::estimate_max_power(pop, opt, std::uint64_t{46}, par);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.stop_reason, mp::StopReason::kDeadlineExceeded);
+}
+
+TEST(Estimator, ParallelCancellationReturnsPartialResult) {
+  auto pop = weibull_population(20000, 47);
+  mp::EstimatorOptions opt;
+  opt.control.cancel = mpe::util::CancellationToken::create();
+  opt.control.cancel.request_stop();
+  mp::ParallelOptions par;
+  par.threads = 4;
+  const auto r = mp::estimate_max_power(pop, opt, std::uint64_t{48}, par);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.stop_reason, mp::StopReason::kCancelled);
+  EXPECT_EQ(r.hyper_samples, 0u);
+}
+
+TEST(Estimator, PartlyPoisonedPopulationStillConverges) {
+  mpe::Rng gen(49);
+  std::vector<double> vals(30000);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    vals[i] = (i % 20 == 19) ? std::numeric_limits<double>::quiet_NaN()
+                             : 10.0 - std::pow(gen.uniform(0.0, 1.0), 1.5);
+  }
+  mpe::vec::FinitePopulation pop(std::move(vals), "partly poisoned");
+  mp::EstimatorOptions opt;
+  mpe::Rng rng(50);
+  const auto r = mp::estimate_max_power(pop, opt, rng);
+  EXPECT_TRUE(std::isfinite(r.estimate));
+  EXPECT_GT(r.diagnostics.nonfinite_units, 0u);
+  for (double v : r.hyper_values) EXPECT_TRUE(std::isfinite(v));
 }
 
 TEST(Estimator, ContractChecks) {

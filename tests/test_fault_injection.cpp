@@ -1,0 +1,236 @@
+// Robustness proof for the estimators: under injected NaN/Inf/stuck-at,
+// throwing, and slow draws, both entry points return a flagged finite
+// result (or a typed partial) at 1, 2, and 8 threads — never a crash, a
+// deadlock, or a silent NaN.
+#include "vectors/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "maxpower/estimator.hpp"
+#include "stats/weibull.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "vectors/population.hpp"
+
+namespace {
+
+namespace mp = mpe::maxpower;
+using mpe::vec::FaultInjectingPopulation;
+using mpe::vec::FaultKind;
+using mpe::vec::FaultSpec;
+
+mpe::vec::FinitePopulation weibull_population(std::size_t size,
+                                              std::uint64_t seed,
+                                              double alpha = 3.0,
+                                              double mu = 10.0) {
+  const mpe::stats::ReversedWeibull g(alpha, 1.0, mu);
+  mpe::Rng rng(seed);
+  std::vector<double> vals(size);
+  for (auto& v : vals) v = g.sample(rng);
+  return mpe::vec::FinitePopulation(std::move(vals), "synthetic weibull");
+}
+
+FaultSpec spec(FaultKind kind, std::uint64_t period, std::uint64_t phase = 0,
+               std::uint64_t start = 0) {
+  FaultSpec s;
+  s.kind = kind;
+  s.period = period;
+  s.phase = phase;
+  s.start_index = start;
+  return s;
+}
+
+// The result is sane: finite everywhere a value was produced, and never a
+// poisoned mean.
+void expect_sane(const mp::EstimationResult& r) {
+  for (double v : r.hyper_values) {
+    EXPECT_TRUE(std::isfinite(v)) << "poisoned hyper value " << v;
+  }
+  if (!r.hyper_values.empty()) {
+    EXPECT_TRUE(std::isfinite(r.estimate)) << "poisoned estimate";
+  }
+}
+
+TEST(FaultInjection, FaultFreeDecoratorIsBitIdenticalPassthrough) {
+  auto inner1 = weibull_population(20000, 101);
+  auto inner2 = weibull_population(20000, 101);
+  FaultInjectingPopulation decorated(inner2, {});
+  mp::EstimatorOptions opt;
+  const auto base = mp::estimate_max_power(inner1, opt, std::uint64_t{77});
+  const auto r = mp::estimate_max_power(decorated, opt, std::uint64_t{77});
+  EXPECT_EQ(base.estimate, r.estimate);
+  EXPECT_EQ(base.units_used, r.units_used);
+  EXPECT_EQ(base.hyper_samples, r.hyper_samples);
+  EXPECT_EQ(decorated.injected(), 0u);
+}
+
+TEST(FaultInjection, ScheduleIsDeterministicForSingleConsumer) {
+  auto inner = weibull_population(5000, 7);
+  FaultInjectingPopulation pop(inner, {spec(FaultKind::kNan, 10, 3)});
+  mpe::Rng rng(1);
+  std::vector<double> out(100);
+  pop.draw_batch(out, rng);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const bool should_fault = (i >= 3) && ((i - 3) % 10 == 0);
+    EXPECT_EQ(std::isnan(out[i]), should_fault) << "draw " << i;
+  }
+  EXPECT_EQ(pop.draws(), 100u);
+  EXPECT_EQ(pop.injected(), 10u);
+}
+
+TEST(FaultInjection, StartIndexDelaysFaults) {
+  auto inner = weibull_population(5000, 7);
+  FaultInjectingPopulation pop(inner, {spec(FaultKind::kNan, 1, 0, 50)});
+  mpe::Rng rng(1);
+  std::vector<double> out(80);
+  pop.draw_batch(out, rng);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(std::isnan(out[i]), i >= 50) << "draw " << i;
+  }
+}
+
+TEST(FaultInjection, StuckAtReplacesValue) {
+  auto inner = weibull_population(5000, 7);
+  auto s = spec(FaultKind::kStuckAt, 4);
+  s.stuck_value = -1.25;
+  FaultInjectingPopulation pop(inner, {s});
+  mpe::Rng rng(1);
+  std::vector<double> out(12);
+  pop.draw_batch(out, rng);
+  for (std::size_t i = 0; i < out.size(); i += 4) {
+    EXPECT_EQ(out[i], -1.25) << "draw " << i;
+  }
+}
+
+TEST(FaultInjection, ThrowFaultCarriesTypedCode) {
+  auto inner = weibull_population(5000, 7);
+  FaultInjectingPopulation pop(inner, {spec(FaultKind::kThrow, 1)});
+  mpe::Rng rng(1);
+  try {
+    pop.draw(rng);
+    FAIL() << "expected mpe::Error";
+  } catch (const mpe::Error& e) {
+    EXPECT_EQ(e.code(), mpe::ErrorCode::kFaultInjected);
+  }
+}
+
+// --- Estimator under fire, serial entry point -------------------------------
+
+TEST(FaultInjection, SerialEstimatorSurvivesNanFaults) {
+  auto inner = weibull_population(20000, 101);
+  FaultInjectingPopulation pop(inner, {spec(FaultKind::kNan, 97)});
+  mp::EstimatorOptions opt;
+  mpe::Rng rng(14);
+  const auto r = mp::estimate_max_power(pop, opt, rng);
+  expect_sane(r);
+  EXPECT_GT(r.diagnostics.nonfinite_units, 0u);
+  EXPECT_GT(r.hyper_samples, 0u);
+}
+
+TEST(FaultInjection, SerialEstimatorSurvivesThrowingDraw) {
+  auto inner = weibull_population(20000, 101);
+  // First two hyper-samples (2 * 300 units) complete, the third throws.
+  FaultInjectingPopulation pop(inner, {spec(FaultKind::kThrow, 1, 0, 700)});
+  mp::EstimatorOptions opt;
+  opt.epsilon = 1e-9;  // unattainable: forces the run into the fault
+  mpe::Rng rng(14);
+  mp::EstimationResult r;
+  EXPECT_NO_THROW(r = mp::estimate_max_power(pop, opt, rng));
+  EXPECT_EQ(r.stop_reason, mp::StopReason::kDataFault);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.hyper_samples, 2u);
+  expect_sane(r);
+  EXPECT_FALSE(r.diagnostics.records.empty());
+}
+
+// --- Estimator under fire, parallel entry point, threads 1/2/8 --------------
+
+class FaultInjectionThreads : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FaultInjectionThreads, SurvivesNanFaults) {
+  auto inner = weibull_population(20000, 101);
+  FaultInjectingPopulation pop(inner, {spec(FaultKind::kNan, 97)});
+  mp::EstimatorOptions opt;
+  mp::ParallelOptions par;
+  par.threads = GetParam();
+  const auto r = mp::estimate_max_power(pop, opt, std::uint64_t{14}, par);
+  expect_sane(r);
+  EXPECT_GT(r.diagnostics.nonfinite_units, 0u);
+}
+
+TEST_P(FaultInjectionThreads, SurvivesInfFaults) {
+  auto inner = weibull_population(20000, 103);
+  FaultInjectingPopulation pop(inner, {spec(FaultKind::kPosInf, 61, 5)});
+  mp::EstimatorOptions opt;
+  mp::ParallelOptions par;
+  par.threads = GetParam();
+  const auto r = mp::estimate_max_power(pop, opt, std::uint64_t{15}, par);
+  expect_sane(r);
+  EXPECT_GT(r.diagnostics.nonfinite_units, 0u);
+}
+
+TEST_P(FaultInjectionThreads, SurvivesStuckAtFaults) {
+  auto inner = weibull_population(20000, 107);
+  auto s = spec(FaultKind::kStuckAt, 37);
+  s.stuck_value = 0.0;
+  FaultInjectingPopulation pop(inner, {s});
+  mp::EstimatorOptions opt;
+  mp::ParallelOptions par;
+  par.threads = GetParam();
+  const auto r = mp::estimate_max_power(pop, opt, std::uint64_t{16}, par);
+  expect_sane(r);
+  EXPECT_GT(r.hyper_samples, 0u);
+}
+
+TEST_P(FaultInjectionThreads, SurvivesThrowingDraws) {
+  auto inner = weibull_population(20000, 109);
+  FaultInjectingPopulation pop(inner, {spec(FaultKind::kThrow, 1, 0, 700)});
+  mp::EstimatorOptions opt;
+  opt.epsilon = 1e-9;  // unattainable: forces the run into the fault
+  mp::ParallelOptions par;
+  par.threads = GetParam();
+  mp::EstimationResult r;
+  EXPECT_NO_THROW(
+      r = mp::estimate_max_power(pop, opt, std::uint64_t{17}, par));
+  EXPECT_EQ(r.stop_reason, mp::StopReason::kDataFault);
+  EXPECT_FALSE(r.converged);
+  expect_sane(r);
+  EXPECT_FALSE(r.diagnostics.records.empty());
+}
+
+TEST_P(FaultInjectionThreads, SurvivesSlowDraws) {
+  auto inner = weibull_population(20000, 113);
+  auto s = spec(FaultKind::kSlowDraw, 101);
+  s.slow_micros = 200;
+  FaultInjectingPopulation pop(inner, {s});
+  mp::EstimatorOptions opt;
+  mp::ParallelOptions par;
+  par.threads = GetParam();
+  const auto r = mp::estimate_max_power(pop, opt, std::uint64_t{18}, par);
+  expect_sane(r);
+  EXPECT_GT(r.hyper_samples, 0u);
+}
+
+TEST_P(FaultInjectionThreads, SurvivesCombinedFaultStorm) {
+  auto inner = weibull_population(20000, 127);
+  auto stuck = spec(FaultKind::kStuckAt, 53, 11);
+  stuck.stuck_value = 0.0;
+  FaultInjectingPopulation pop(
+      inner,
+      {spec(FaultKind::kNan, 89), spec(FaultKind::kPosInf, 71, 3), stuck});
+  mp::EstimatorOptions opt;
+  mp::ParallelOptions par;
+  par.threads = GetParam();
+  const auto r = mp::estimate_max_power(pop, opt, std::uint64_t{19}, par);
+  expect_sane(r);
+  EXPECT_GT(r.diagnostics.nonfinite_units, 0u);
+  EXPECT_GT(pop.injected(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, FaultInjectionThreads,
+                         ::testing::Values(1u, 2u, 8u));
+
+}  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "stats/weibull.hpp"
 #include "util/contracts.hpp"
@@ -128,6 +129,84 @@ TEST(HyperSample, LargerNSharpensSampleMaxima) {
     s100 += mp::draw_hyper_sample(pop, n100, r2).sample_max;
   }
   EXPECT_GT(s100, s30);  // maxima of bigger samples sit higher
+}
+
+TEST(HyperSample, AllEqualMaximaYieldFlaggedConstantSample) {
+  // A stuck-at population: every unit is 5.0, so all m maxima coincide and
+  // the 3-parameter likelihood is undefined. The draw must report the common
+  // value, flagged, instead of throwing or returning NaN.
+  mpe::vec::FinitePopulation pop(std::vector<double>(64, 5.0), "stuck");
+  mp::HyperSampleOptions opt;
+  mpe::Rng rng(2);
+  const auto hs = mp::draw_hyper_sample(pop, opt, rng);
+  EXPECT_TRUE(hs.valid);
+  EXPECT_TRUE(hs.constant_sample);
+  EXPECT_TRUE(hs.degenerate);
+  EXPECT_EQ(hs.estimate, 5.0);
+  EXPECT_EQ(hs.sample_max, 5.0);
+}
+
+TEST(HyperSample, MinimumMOfThreeProducesFiniteEstimate) {
+  auto pop = weibull_population(5000, 19);
+  mp::HyperSampleOptions opt;
+  opt.m = 3;  // the smallest legal hyper-sample
+  opt.n = 2;
+  mpe::Rng rng(20);
+  const auto hs = mp::draw_hyper_sample(pop, opt, rng);
+  EXPECT_EQ(hs.units_used, 6u);
+  EXPECT_TRUE(std::isfinite(hs.estimate));
+  EXPECT_GE(hs.estimate, hs.sample_max);
+}
+
+TEST(HyperSample, NanUnitsAreExcludedFromMaxima) {
+  mpe::Rng gen(21);
+  std::vector<double> vals(4000);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    // Every tenth unit poisoned; plenty of finite units per sample remain.
+    vals[i] = (i % 10 == 9) ? std::numeric_limits<double>::quiet_NaN()
+                            : gen.uniform(1.0, 9.0);
+  }
+  mpe::vec::FinitePopulation pop(std::move(vals), "partly poisoned");
+  mp::HyperSampleOptions opt;
+  mpe::Rng rng(22);
+  const auto hs = mp::draw_hyper_sample(pop, opt, rng);
+  EXPECT_TRUE(hs.valid);
+  EXPECT_GT(hs.nonfinite_units, 0u);
+  EXPECT_TRUE(std::isfinite(hs.estimate));
+  EXPECT_TRUE(std::isfinite(hs.sample_max));
+}
+
+TEST(HyperSample, AllNanPopulationIsInvalidNotFatal) {
+  mpe::vec::FinitePopulation pop(
+      std::vector<double>(64, std::numeric_limits<double>::quiet_NaN()),
+      "all nan");
+  mp::HyperSampleOptions opt;
+  mpe::Rng rng(23);
+  const auto hs = mp::draw_hyper_sample(pop, opt, rng);
+  EXPECT_FALSE(hs.valid);
+  EXPECT_TRUE(hs.degenerate);
+  EXPECT_TRUE(std::isfinite(hs.estimate));
+  EXPECT_EQ(hs.nonfinite_units, hs.units_used);
+}
+
+TEST(HyperSample, PwmFallbackEngagesOnHeavyTailedPopulation) {
+  // alpha = 1.2 < 2 violates Smith's conditions: most raw fits come back
+  // with alpha_below_two set. Under kPwmFallback the estimate must switch
+  // to the L-moment fit for at least some draws, and stay finite always.
+  auto pop = weibull_population(30000, 25, /*alpha=*/1.2, /*mu=*/10.0);
+  mp::HyperSampleOptions opt;
+  opt.degenerate_policy = mp::DegenerateFitPolicy::kPwmFallback;
+  mpe::Rng rng(26);
+  int degenerate = 0, used_pwm = 0;
+  for (int r = 0; r < 30; ++r) {
+    const auto hs = mp::draw_hyper_sample(pop, opt, rng);
+    EXPECT_TRUE(std::isfinite(hs.estimate));
+    EXPECT_GE(hs.estimate, hs.sample_max);
+    if (hs.degenerate) ++degenerate;
+    if (hs.used_pwm) ++used_pwm;
+  }
+  EXPECT_GT(degenerate, 0);
+  EXPECT_GT(used_pwm, 0);
 }
 
 TEST(HyperSample, ContractChecks) {

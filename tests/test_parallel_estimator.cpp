@@ -36,7 +36,11 @@ void expect_identical(const mp::EstimationResult& a,
   EXPECT_EQ(a.units_used, b.units_used);
   EXPECT_EQ(a.hyper_samples, b.hyper_samples);
   EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.stop_reason, b.stop_reason);
   EXPECT_EQ(a.degenerate_fits, b.degenerate_fits);
+  EXPECT_EQ(a.diagnostics.degenerate_fits, b.diagnostics.degenerate_fits);
+  EXPECT_EQ(a.diagnostics.discarded_hyper_samples,
+            b.diagnostics.discarded_hyper_samples);
   ASSERT_EQ(a.hyper_values.size(), b.hyper_values.size());
   for (std::size_t i = 0; i < a.hyper_values.size(); ++i) {
     EXPECT_EQ(a.hyper_values[i], b.hyper_values[i]) << "hyper value " << i;

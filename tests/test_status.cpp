@@ -1,0 +1,127 @@
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace {
+
+using mpe::classify_exception;
+using mpe::Diagnostic;
+using mpe::Error;
+using mpe::ErrorCode;
+using mpe::ErrorContext;
+using mpe::exit_code;
+using mpe::Severity;
+
+TEST(Status, ErrorCodeNamesAreStable) {
+  EXPECT_EQ(mpe::to_string(ErrorCode::kOk), "ok");
+  EXPECT_EQ(mpe::to_string(ErrorCode::kNonConvergence), "non-convergence");
+  EXPECT_EQ(mpe::to_string(ErrorCode::kUsage), "usage");
+  EXPECT_EQ(mpe::to_string(ErrorCode::kParse), "parse");
+  EXPECT_EQ(mpe::to_string(ErrorCode::kIo), "io");
+  EXPECT_EQ(mpe::to_string(ErrorCode::kBadData), "bad-data");
+  EXPECT_EQ(mpe::to_string(ErrorCode::kPrecondition), "precondition");
+  EXPECT_EQ(mpe::to_string(ErrorCode::kDeadline), "deadline");
+  EXPECT_EQ(mpe::to_string(ErrorCode::kCancelled), "cancelled");
+  EXPECT_EQ(mpe::to_string(ErrorCode::kFaultInjected), "fault-injected");
+  EXPECT_EQ(mpe::to_string(ErrorCode::kInternal), "internal");
+}
+
+TEST(Status, ExitCodesAreStable) {
+  EXPECT_EQ(exit_code(ErrorCode::kOk), 0);
+  EXPECT_EQ(exit_code(ErrorCode::kNonConvergence), 1);
+  EXPECT_EQ(exit_code(ErrorCode::kUsage), 2);
+  EXPECT_EQ(exit_code(ErrorCode::kParse), 3);
+  EXPECT_EQ(exit_code(ErrorCode::kIo), 4);
+  EXPECT_EQ(exit_code(ErrorCode::kBadData), 5);
+  EXPECT_EQ(exit_code(ErrorCode::kPrecondition), 6);
+  EXPECT_EQ(exit_code(ErrorCode::kDeadline), 7);
+  EXPECT_EQ(exit_code(ErrorCode::kCancelled), 8);
+  EXPECT_EQ(exit_code(ErrorCode::kFaultInjected), 9);
+  EXPECT_EQ(exit_code(ErrorCode::kInternal), 10);
+}
+
+TEST(Status, ErrorContextBuildsKeyValuePairs) {
+  const std::string ctx = ErrorContext{}
+                              .kv("file", "a.bench")
+                              .kv("line", 12)
+                              .kv("count", std::uint64_t{7})
+                              .str();
+  EXPECT_EQ(ctx, "file=a.bench line=12 count=7");
+}
+
+TEST(Status, ErrorContextQuotesValuesWithSpaces) {
+  const std::string ctx = ErrorContext{}.kv("reason", "no such file").str();
+  EXPECT_EQ(ctx, "reason=\"no such file\"");
+}
+
+TEST(Status, ErrorContextFormatsDoubles) {
+  const std::string ctx = ErrorContext{}.kv("alpha", 1.5).str();
+  EXPECT_EQ(ctx, "alpha=1.5");
+}
+
+TEST(Status, ErrorCarriesCodeMessageContext) {
+  const Error e(ErrorCode::kParse, "bad magic",
+                ErrorContext{}.kv("path", "pop.bin"));
+  EXPECT_EQ(e.code(), ErrorCode::kParse);
+  EXPECT_EQ(e.message(), "bad magic");
+  EXPECT_EQ(e.context(), "path=pop.bin");
+  // what() is the formatted diagnostic: generic handlers see everything.
+  const std::string what = e.what();
+  EXPECT_NE(what.find("parse"), std::string::npos) << what;
+  EXPECT_NE(what.find("bad magic"), std::string::npos) << what;
+  EXPECT_NE(what.find("path=pop.bin"), std::string::npos) << what;
+}
+
+TEST(Status, ErrorIsARuntimeError) {
+  EXPECT_THROW(throw Error(ErrorCode::kIo, "boom"), std::runtime_error);
+}
+
+TEST(Status, FormatRendersSeverityCodeMessageContext) {
+  Diagnostic d;
+  d.code = ErrorCode::kDeadline;
+  d.severity = Severity::kWarning;
+  d.message = "deadline exceeded";
+  d.context = "hyper_samples=3";
+  const std::string out = format(d);
+  EXPECT_EQ(out, "warning [deadline] deadline exceeded (hyper_samples=3)");
+}
+
+TEST(Status, FormatOmitsEmptyContext) {
+  Diagnostic d;
+  d.code = ErrorCode::kIo;
+  d.severity = Severity::kError;
+  d.message = "cannot open";
+  EXPECT_EQ(format(d), "error [io] cannot open");
+}
+
+TEST(Status, ClassifyKeepsTypedErrorCode) {
+  const Error e(ErrorCode::kBadData, "nan in payload");
+  const Diagnostic d = classify_exception(e);
+  EXPECT_EQ(d.code, ErrorCode::kBadData);
+  EXPECT_EQ(d.message, "nan in payload");
+}
+
+TEST(Status, ClassifyMapsContractViolationToPrecondition) {
+  const mpe::ContractViolation v("Precondition failed: (epsilon > 0)");
+  const Diagnostic d = classify_exception(v);
+  EXPECT_EQ(d.code, ErrorCode::kPrecondition);
+}
+
+TEST(Status, ClassifyMapsInvalidArgumentToUsage) {
+  const std::invalid_argument e("stoi");
+  const Diagnostic d = classify_exception(e);
+  EXPECT_EQ(d.code, ErrorCode::kUsage);
+}
+
+TEST(Status, ClassifyMapsUnknownExceptionsToInternal) {
+  const std::runtime_error e("mystery");
+  const Diagnostic d = classify_exception(e);
+  EXPECT_EQ(d.code, ErrorCode::kInternal);
+  EXPECT_EQ(d.message, "mystery");
+}
+
+}  // namespace

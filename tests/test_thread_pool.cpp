@@ -87,6 +87,67 @@ TEST(ThreadPool, ParallelForPropagatesFirstException) {
   EXPECT_EQ(counter.load(), 10);
 }
 
+TEST(ThreadPool, ParallelForDrainsWaveBeforeRethrow) {
+  // The exception contract: the first exception is rethrown only after every
+  // in-flight body has finished, so no body is running once the caller
+  // regains control (the estimator relies on this to fold a consistent
+  // computed prefix).
+  ThreadPool pool(3);
+  std::atomic<int> in_flight{0};
+  try {
+    pool.parallel_for(0, 200, [&](std::size_t i) {
+      ++in_flight;
+      if (i == 10) {
+        --in_flight;
+        throw std::runtime_error("fault");
+      }
+      --in_flight;
+    });
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error&) {
+    EXPECT_EQ(in_flight.load(), 0) << "bodies still running after rethrow";
+  }
+}
+
+TEST(ThreadPool, ParallelForSlottedPropagatesFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for_slotted(0, 100,
+                                         [](unsigned, std::size_t i) {
+                                           if (i == 42) {
+                                             throw std::runtime_error(
+                                                 "item 42");
+                                           }
+                                         }),
+               std::runtime_error);
+  // Reusable afterwards, like the plain variant.
+  std::atomic<int> counter{0};
+  pool.parallel_for_slotted(0, 10,
+                            [&counter](unsigned, std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, ParallelForAllBodiesThrowStillRethrowsOnce) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(0, 50,
+                                 [](std::size_t) {
+                                   throw std::runtime_error("every body");
+                                 }),
+               std::runtime_error);
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 10, [&counter](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, SubmitStillWorksAfterFailedParallelFor) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 20,
+                        [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  auto f = pool.submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
 TEST(ThreadPool, ParallelForSlottedSlotIdsAreDense) {
   ThreadPool pool(3);
   const unsigned participants = pool.participants();

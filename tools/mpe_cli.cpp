@@ -30,11 +30,16 @@ using namespace mpe;
       "  common circuit flags: --circuit <preset> | --bench <file> | "
       "--verilog <file>, --seed N\n"
       "  estimate: --epsilon E --confidence L [--tprob P | --activity A]\n"
+      "            [--deadline-ms N] [--fit-policy use|pwm|redraw]\n"
+      "            [--max-hyper K]\n"
       "  convert : --in <file.bench|file.v> --out <file.bench|file.v>\n"
       "  timing  : --model zero|unit|loaded\n"
       "  vcd     : --out <file.vcd> [--cycles N]\n"
-      "  maxdelay: --epsilon E\n");
-  std::exit(2);
+      "  maxdelay: --epsilon E\n"
+      "exit codes: 0 ok, 1 non-convergence, 2 usage, 3 parse, 4 io,\n"
+      "            5 bad data, 6 precondition, 7 deadline, 8 cancelled,\n"
+      "            9 injected fault, 10 internal\n");
+  std::exit(exit_code(ErrorCode::kUsage));
 }
 
 circuit::Netlist load_circuit(const Cli& cli, std::uint64_t seed) {
@@ -46,6 +51,9 @@ circuit::Netlist load_circuit(const Cli& cli, std::uint64_t seed) {
 }
 
 int cmd_estimate(const Cli& cli) {
+  cli.check_known({"circuit", "bench", "verilog", "seed", "epsilon",
+                   "confidence", "tprob", "activity", "max-hyper",
+                   "fit-policy", "deadline-ms"});
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   auto netlist = load_circuit(cli, seed);
   sim::CyclePowerEvaluator evaluator(netlist);
@@ -65,6 +73,24 @@ int cmd_estimate(const Cli& cli) {
   maxpower::EstimatorOptions options;
   options.epsilon = cli.get_double("epsilon", 0.05);
   options.confidence = cli.get_double("confidence", 0.90);
+  options.max_hyper_samples =
+      static_cast<std::size_t>(cli.get_int("max-hyper", 500));
+  const std::string policy = cli.get("fit-policy", "use");
+  if (policy == "pwm") {
+    options.hyper.degenerate_policy =
+        maxpower::DegenerateFitPolicy::kPwmFallback;
+  } else if (policy == "redraw") {
+    options.hyper.degenerate_policy =
+        maxpower::DegenerateFitPolicy::kDiscardRedraw;
+  } else if (policy != "use") {
+    throw Error(ErrorCode::kUsage, "unknown --fit-policy (use|pwm|redraw)",
+                ErrorContext{}.kv("value", policy).str());
+  }
+  const auto deadline_ms = cli.get_int("deadline-ms", 0);
+  if (deadline_ms > 0) {
+    options.control.deadline =
+        util::Deadline::after(std::chrono::milliseconds(deadline_ms));
+  }
   Rng rng(seed);
   const auto r = maxpower::estimate_max_power(population, options, rng);
 
@@ -78,11 +104,37 @@ int cmd_estimate(const Cli& cli) {
               r.relative_error_bound * 100.0, options.epsilon * 100.0);
   std::printf("vector pairs used : %zu (%zu hyper-samples)\n", r.units_used,
               r.hyper_samples);
-  std::printf("converged         : %s\n", r.converged ? "yes" : "no");
-  return r.converged ? 0 : 1;
+  std::printf("converged         : %s (%s)\n", r.converged ? "yes" : "no",
+              std::string(maxpower::to_string(r.stop_reason)).c_str());
+  const auto& diag = r.diagnostics;
+  if (diag.degenerate_fits || diag.pwm_refits || diag.constant_samples ||
+      diag.discarded_hyper_samples || diag.nonfinite_units ||
+      diag.small_population) {
+    std::printf(
+        "fit health        : %zu degenerate, %zu pwm-refit, %zu constant, "
+        "%zu discarded, %zu non-finite units%s\n",
+        diag.degenerate_fits, diag.pwm_refits, diag.constant_samples,
+        diag.discarded_hyper_samples, diag.nonfinite_units,
+        diag.small_population ? ", small population" : "");
+  }
+  for (const auto& record : diag.records) {
+    std::fprintf(stderr, "%s\n", format(record).c_str());
+  }
+  if (r.converged) return 0;
+  switch (r.stop_reason) {
+    case maxpower::StopReason::kDeadlineExceeded:
+      return exit_code(ErrorCode::kDeadline);
+    case maxpower::StopReason::kCancelled:
+      return exit_code(ErrorCode::kCancelled);
+    case maxpower::StopReason::kDataFault:
+      return exit_code(ErrorCode::kBadData);
+    default:
+      return exit_code(ErrorCode::kNonConvergence);
+  }
 }
 
 int cmd_report(const Cli& cli) {
+  cli.check_known({"circuit", "bench", "verilog", "seed"});
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   auto netlist = load_circuit(cli, seed);
   const auto st = netlist.stats();
@@ -120,6 +172,7 @@ bool ends_with(const std::string& s, const char* suffix) {
 }
 
 int cmd_convert(const Cli& cli) {
+  cli.check_known({"in", "out"});
   const std::string in_path = cli.get("in", "");
   const std::string out_path = cli.get("out", "");
   if (in_path.empty() || out_path.empty()) usage();
@@ -129,8 +182,8 @@ int cmd_convert(const Cli& cli) {
                                : circuit::read_bench_file(in_path);
   std::ofstream out(out_path);
   if (!out) {
-    std::fprintf(stderr, "cannot open for write: %s\n", out_path.c_str());
-    return 1;
+    throw Error(ErrorCode::kIo, "cannot open for write",
+                ErrorContext{}.kv("path", out_path).str());
   }
   if (ends_with(out_path, ".v")) {
     circuit::write_verilog(out, netlist);
@@ -143,6 +196,7 @@ int cmd_convert(const Cli& cli) {
 }
 
 int cmd_timing(const Cli& cli) {
+  cli.check_known({"circuit", "bench", "verilog", "seed", "model"});
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   auto netlist = load_circuit(cli, seed);
   const std::string model = cli.get("model", "loaded");
@@ -163,6 +217,7 @@ int cmd_timing(const Cli& cli) {
 }
 
 int cmd_vcd(const Cli& cli) {
+  cli.check_known({"circuit", "bench", "verilog", "seed", "out", "cycles"});
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const auto cycles = static_cast<std::size_t>(cli.get_int("cycles", 4));
   const std::string out_path = cli.get("out", "");
@@ -180,8 +235,8 @@ int cmd_vcd(const Cli& cli) {
   }
   std::ofstream out(out_path);
   if (!out) {
-    std::fprintf(stderr, "cannot open for write: %s\n", out_path.c_str());
-    return 1;
+    throw Error(ErrorCode::kIo, "cannot open for write",
+                ErrorContext{}.kv("path", out_path).str());
   }
   recorder.write(out);
   std::printf("wrote %s: %zu cycles, %zu transitions, avg power %.4f mW\n",
@@ -191,6 +246,7 @@ int cmd_vcd(const Cli& cli) {
 }
 
 int cmd_maxdelay(const Cli& cli) {
+  cli.check_known({"circuit", "bench", "verilog", "seed", "epsilon"});
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   auto netlist = load_circuit(cli, seed);
   sim::EventSimOptions options;
@@ -222,6 +278,10 @@ int main(int argc, char** argv) try {
   if (cmd == "maxdelay") return cmd_maxdelay(cli);
   usage();
 } catch (const std::exception& e) {
-  std::fprintf(stderr, "error: %s\n", e.what());
-  return 1;
+  // Structured report + stable exit code for every escaping failure:
+  // usage/parse/io/bad-data each land on their own code so scripts can
+  // branch on $? instead of scraping stderr.
+  const mpe::Diagnostic d = mpe::classify_exception(e);
+  std::fprintf(stderr, "mpe_cli: %s\n", mpe::format(d).c_str());
+  return mpe::exit_code(d.code);
 }
