@@ -116,6 +116,58 @@ void BM_EstimatorPipeline(benchmark::State& state) {
   state.SetItemsProcessed(units);
 }
 
+// Same pipeline with the observability layer fully on (global metrics
+// registry enabled, a live tracer capturing every hyper-sample event):
+// compare against BM_EstimatorPipeline/threads:1 to read the
+// instrumentation overhead, which must stay within ~2%. Kept as a separate
+// benchmark so the tracked BM_EstimatorPipeline series stays comparable
+// across commits.
+void BM_EstimatorPipelineInstrumented(benchmark::State& state) {
+  const auto& nl = preset("c7552");
+  sim::PowerEvalOptions eval_opt;
+  eval_opt.delay_model = sim::DelayModel::kZero;
+  sim::CyclePowerEvaluator eval(nl, eval_opt);
+  const vec::UniformPairGenerator gen(nl.num_inputs());
+  vec::StreamingPopulation pop(gen, eval);
+  pop.enable_bit_parallel();
+  auto& reg = util::MetricRegistry::global();
+  const bool was_enabled = reg.enabled();
+  reg.enable(true);
+  std::uint64_t seed = 1;
+  std::int64_t units = 0;
+  for (auto _ : state) {
+    util::Tracer tracer(4096);
+    maxpower::EstimatorOptions opt;
+    opt.tracer = &tracer;
+    const auto r = maxpower::estimate_max_power(pop, opt, seed++, {});
+    units += static_cast<std::int64_t>(r.units_used);
+    benchmark::DoNotOptimize(r.estimate);
+  }
+  reg.enable(was_enabled);
+  state.SetItemsProcessed(units);
+}
+
+// The raw cost of one enabled metric update and one trace event, for the
+// overhead budget arithmetic in docs/OBSERVABILITY.md.
+void BM_MetricCounterInc(benchmark::State& state) {
+  util::MetricRegistry reg;
+  reg.enable(true);
+  util::Counter c = reg.counter("mpe_bench_total");
+  for (auto _ : state) {
+    c.inc();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_TraceEvent(benchmark::State& state) {
+  util::Tracer tracer(4096);
+  const std::string fields = util::JsonFields{}.add("k", 1).body();
+  for (auto _ : state) {
+    tracer.event("bench", fields);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
 void BM_WeibullMle(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));
   const stats::ReversedWeibull g(3.0, 1.0, 10.0);
@@ -194,6 +246,11 @@ BENCHMARK(BM_EstimatorPipeline)
     ->Arg(8)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
+BENCHMARK(BM_EstimatorPipelineInstrumented)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+BENCHMARK(BM_MetricCounterInc);
+BENCHMARK(BM_TraceEvent);
 BENCHMARK(BM_WeibullMle)->Arg(10)->Arg(50)->Arg(500);
 BENCHMARK(BM_PwmFit)->Arg(10)->Arg(50)->Arg(500);
 BENCHMARK(BM_HyperSample);

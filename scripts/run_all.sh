@@ -9,7 +9,14 @@ if [ ! -f build/CMakeCache.txt ]; then
   cmake -B build -S .
 fi
 cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
-ctest --test-dir build --output-on-failure
+# Fast tier-1 suite first (everything unlabeled), then the slower
+# statistical self-validation leg (label catalog in tests/CMakeLists.txt).
+# MPE_SKIP_STAT=1 opts out of the stat leg for quick iteration.
+ctest --test-dir build --output-on-failure -LE stat
+if [ "${MPE_SKIP_STAT:-0}" != "1" ]; then
+  echo "== statistical validation leg (MPE_SKIP_STAT=1 skips) =="
+  ctest --test-dir build --output-on-failure -L stat
+fi
 
 # Optional sanitizer leg (MPE_SANITIZERS=1): rebuild with ASan+UBSan and run
 # the whole suite, then rebuild with TSan and run the concurrency- and

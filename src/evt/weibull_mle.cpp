@@ -7,6 +7,7 @@
 
 #include "util/contracts.hpp"
 #include "util/math.hpp"
+#include "util/metrics.hpp"
 
 namespace mpe::evt {
 
@@ -108,6 +109,42 @@ FixedMuFit fit_weibull_mle_fixed_mu(std::span<const double> maxima, double mu,
   return fit;
 }
 
+namespace {
+
+/// Fit-outcome metrics (thread-safe; fits run concurrently inside the
+/// parallel estimator). Catalog in docs/OBSERVABILITY.md.
+struct MleMetrics {
+  util::Counter fits;
+  util::Counter nonconverged;
+  util::Counter alpha_below_two;
+  util::Counter ridge_fallbacks;
+  util::Counter profile_evals;
+  util::Histogram evals_per_fit;
+
+  MleMetrics() {
+    auto& reg = util::MetricRegistry::global();
+    fits = reg.counter("mpe_mle_fits_total");
+    nonconverged = reg.counter("mpe_mle_nonconverged_total");
+    alpha_below_two = reg.counter("mpe_mle_alpha_below_two_total");
+    ridge_fallbacks = reg.counter("mpe_mle_ridge_fallback_total");
+    profile_evals = reg.counter("mpe_mle_profile_evals_total");
+    evals_per_fit = reg.histogram("mpe_mle_profile_evals_per_fit");
+  }
+};
+
+void record_fit(const WeibullMleResult& out) {
+  static MleMetrics m;
+  m.fits.inc();
+  if (!out.converged) m.nonconverged.inc();
+  if (out.alpha_below_two) m.alpha_below_two.inc();
+  if (out.ridge_fallback) m.ridge_fallbacks.inc();
+  m.profile_evals.inc(static_cast<std::uint64_t>(out.profile_evaluations));
+  m.evals_per_fit.observe(
+      static_cast<std::uint64_t>(out.profile_evaluations));
+}
+
+}  // namespace
+
 WeibullMleResult fit_weibull_mle(std::span<const double> maxima,
                                  const WeibullMleOptions& opt) {
   MPE_EXPECTS(maxima.size() >= 3);
@@ -121,6 +158,7 @@ WeibullMleResult fit_weibull_mle(std::span<const double> maxima,
     out.params = {opt.alpha_max, 1.0, xmax};
     out.converged = false;
     out.mu_at_lower_bound = true;
+    record_fit(out);
     return out;
   }
 
@@ -214,6 +252,7 @@ WeibullMleResult fit_weibull_mle(std::span<const double> maxima,
   // maximum ran into the upper search bound.
   out.converged = inner.converged && !out.mu_at_lower_bound &&
                   (!out.mu_at_upper_bound || out.ridge_fallback);
+  record_fit(out);
   return out;
 }
 

@@ -1,12 +1,15 @@
 #include "maxpower/estimator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <thread>
 
 #include "evt/bootstrap.hpp"
 #include "util/contracts.hpp"
+#include "util/jsonl.hpp"
+#include "util/metrics.hpp"
 
 namespace mpe::maxpower {
 
@@ -32,7 +35,140 @@ void RunDiagnostics::note(Severity severity, ErrorCode code,
   records.push_back(std::move(d));
 }
 
+std::string RunDiagnostics::to_json() const {
+  std::string records_json = "[";
+  for (const Diagnostic& d : records) {
+    if (records_json.size() > 1) records_json += ',';
+    records_json += util::JsonFields{}
+                        .add("severity", to_string(d.severity))
+                        .add("code", to_string(d.code))
+                        .add("message", d.message)
+                        .add("context", d.context)
+                        .object();
+  }
+  records_json += ']';
+  return util::JsonFields{}
+      .add("degenerate_fits", degenerate_fits)
+      .add("pwm_refits", pwm_refits)
+      .add("constant_samples", constant_samples)
+      .add("discarded_hyper_samples", discarded_hyper_samples)
+      .add("nonfinite_units", nonfinite_units)
+      .add("small_population", small_population)
+      .raw("records", records_json)
+      .object();
+}
+
 namespace {
+
+/// Estimator-level metric handles, registered once against the global
+/// registry (docs/OBSERVABILITY.md catalogs every series).
+struct EstimatorMetrics {
+  util::Counter runs_serial;
+  util::Counter runs_parallel;
+  util::Counter converged_serial;
+  util::Counter converged_parallel;
+  util::Counter hyper_accepted;
+  util::Counter hyper_discarded;
+  util::Counter units;
+  util::Counter waves;
+  util::Counter speculation_wasted;
+  util::Histogram hyper_per_run;
+  util::Histogram run_wall_ns;
+
+  EstimatorMetrics() {
+    auto& reg = util::MetricRegistry::global();
+    runs_serial = reg.counter("mpe_estimator_runs_total", "path=serial");
+    runs_parallel = reg.counter("mpe_estimator_runs_total", "path=parallel");
+    converged_serial =
+        reg.counter("mpe_estimator_converged_runs_total", "path=serial");
+    converged_parallel =
+        reg.counter("mpe_estimator_converged_runs_total", "path=parallel");
+    hyper_accepted = reg.counter("mpe_estimator_hyper_samples_total");
+    hyper_discarded = reg.counter("mpe_estimator_hyper_discarded_total");
+    units = reg.counter("mpe_estimator_units_total");
+    waves = reg.counter("mpe_estimator_waves_total");
+    speculation_wasted =
+        reg.counter("mpe_estimator_speculation_wasted_total");
+    hyper_per_run = reg.histogram("mpe_estimator_hyper_samples_per_run");
+    run_wall_ns = reg.histogram("mpe_estimator_run_wall_ns");
+  }
+};
+
+EstimatorMetrics& em() {
+  static EstimatorMetrics m;
+  return m;
+}
+
+/// Per-run instrumentation scope shared by both entry points: emits the
+/// run_config event and the closing "run" span into options.tracer (when
+/// set) and folds the run outcome into the global metrics. Pure observer —
+/// it reads the result, never writes it.
+class RunScope {
+ public:
+  RunScope(const EstimatorOptions& options, vec::Population& population,
+           bool parallel_path, unsigned threads)
+      : options_(options),
+        parallel_(parallel_path),
+        start_(std::chrono::steady_clock::now()),
+        span_(options.tracer != nullptr ? options.tracer->span("run")
+                                        : util::Tracer().span("run")) {
+    if (options_.tracer != nullptr) {
+      util::JsonFields f;
+      f.add("path", parallel_ ? "parallel" : "serial")
+          .add("threads", threads)
+          .add("epsilon", options_.epsilon)
+          .add("confidence", options_.confidence)
+          .add("n", options_.hyper.n)
+          .add("m", options_.hyper.m)
+          .add("min_hyper_samples", options_.min_hyper_samples)
+          .add("max_hyper_samples", options_.max_hyper_samples)
+          .add("interval", options_.interval == IntervalKind::kBootstrap
+                               ? "bootstrap"
+                               : "student-t")
+          .add("population", population.description());
+      const auto size = population.size();
+      if (size.has_value()) f.add("population_size", *size);
+      options_.tracer->event("run_config", f.body());
+    }
+  }
+
+  /// Records the finished run. Call exactly once, with the final result.
+  void finish(const EstimationResult& r) {
+    auto& m = em();
+    (parallel_ ? m.runs_parallel : m.runs_serial).inc();
+    if (r.converged) {
+      (parallel_ ? m.converged_parallel : m.converged_serial).inc();
+    }
+    m.units.inc(r.units_used);
+    m.hyper_per_run.observe(r.hyper_samples);
+    if (util::MetricRegistry::global().enabled()) {
+      const auto wall = std::chrono::steady_clock::now() - start_;
+      m.run_wall_ns.observe(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(wall)
+              .count()));
+    }
+    if (options_.tracer != nullptr) {
+      span_.note(util::JsonFields{}
+                     .add("stop_reason", to_string(r.stop_reason))
+                     .add("converged", r.converged)
+                     .add("estimate", r.estimate)
+                     .add("rel_error_bound", r.relative_error_bound)
+                     .add("hyper_samples", r.hyper_samples)
+                     .add("units_used", r.units_used)
+                     .add("degenerate_fits", r.diagnostics.degenerate_fits)
+                     .add("discarded",
+                          r.diagnostics.discarded_hyper_samples)
+                     .body());
+      span_.finish();
+    }
+  }
+
+ private:
+  const EstimatorOptions& options_;
+  bool parallel_;
+  std::chrono::steady_clock::time_point start_;
+  util::Tracer::Span span_;
+};
 
 evt::ConfidenceInterval interval_of(const EstimatorOptions& options,
                                     std::span<const double> values,
@@ -83,7 +219,9 @@ void absorb_draw_diagnostics(const HyperSampleResult& hs,
   r.diagnostics.nonfinite_units += hs.nonfinite_units;
 }
 
-void record_discard(const HyperSampleResult& hs, EstimationResult& r) {
+void record_discard(const EstimatorOptions& options,
+                    const HyperSampleResult& hs, EstimationResult& r) {
+  em().hyper_discarded.inc();
   ++r.diagnostics.discarded_hyper_samples;
   r.diagnostics.note(
       Severity::kWarning,
@@ -94,9 +232,19 @@ void record_discard(const HyperSampleResult& hs, EstimationResult& r) {
           .kv("nonfinite_units", hs.nonfinite_units)
           .kv("estimate", hs.estimate)
           .str());
+  if (options.tracer != nullptr) {
+    options.tracer->event("hyper_sample_discarded",
+                          util::JsonFields{}
+                              .add("valid", hs.valid)
+                              .add("degenerate", hs.degenerate)
+                              .add("nonfinite_units", hs.nonfinite_units)
+                              .add("estimate", hs.estimate)
+                              .body());
+  }
 }
 
-void record_stop(util::StopCause cause, EstimationResult& r) {
+void record_stop(const EstimatorOptions& options, util::StopCause cause,
+                 EstimationResult& r) {
   if (cause == util::StopCause::kCancelled) {
     r.stop_reason = StopReason::kCancelled;
     r.diagnostics.note(Severity::kWarning, ErrorCode::kCancelled,
@@ -110,12 +258,30 @@ void record_stop(util::StopCause cause, EstimationResult& r) {
                        ErrorContext{}.kv("hyper_samples", r.hyper_samples)
                            .str());
   }
+  if (options.tracer != nullptr) {
+    options.tracer->event(
+        "run_stop",
+        util::JsonFields{}
+            .add("cause", cause == util::StopCause::kCancelled
+                              ? "cancelled"
+                              : "deadline")
+            .add("hyper_samples", r.hyper_samples)
+            .body());
+  }
 }
 
-void record_draw_fault(const Error& e, EstimationResult& r) {
+void record_draw_fault(const EstimatorOptions& options, const Error& e,
+                       EstimationResult& r) {
   r.stop_reason = StopReason::kDataFault;
   r.diagnostics.note(Severity::kError, e.code(),
                      "population draw failed: " + e.message(), e.context());
+  if (options.tracer != nullptr) {
+    options.tracer->event("draw_fault",
+                          util::JsonFields{}
+                              .add("code", to_string(e.code()))
+                              .add("message", e.message())
+                              .body());
+  }
 }
 
 void record_redraws_exhausted(const EstimatorOptions& options,
@@ -128,6 +294,14 @@ void record_redraws_exhausted(const EstimatorOptions& options,
           .kv("discarded", r.diagnostics.discarded_hyper_samples)
           .kv("max_redraws", options.max_redraws)
           .str());
+  if (options.tracer != nullptr) {
+    options.tracer->event(
+        "run_stop",
+        util::JsonFields{}
+            .add("cause", "redraws-exhausted")
+            .add("discarded", r.diagnostics.discarded_hyper_samples)
+            .body());
+  }
 }
 
 /// Folds one hyper-sample into the running result and applies the stopping
@@ -135,6 +309,7 @@ void record_redraws_exhausted(const EstimatorOptions& options,
 bool accept_and_check(const EstimatorOptions& options,
                       const HyperSampleResult& hs, Rng& interval_rng,
                       EstimationResult& r) {
+  em().hyper_accepted.inc();
   r.hyper_values.push_back(hs.estimate);
   r.units_used += hs.units_used;
   ++r.hyper_samples;
@@ -143,17 +318,33 @@ bool accept_and_check(const EstimatorOptions& options,
   if (hs.used_pwm) ++r.diagnostics.pwm_refits;
   if (hs.constant_sample) ++r.diagnostics.constant_samples;
 
-  if (r.hyper_samples < options.min_hyper_samples) return false;
-
-  r.ci = interval_of(options, r.hyper_values, interval_rng);
-  r.estimate = r.ci.center;
-  r.relative_error_bound = evt::relative_half_width(r.ci);
-  if (r.relative_error_bound <= options.epsilon) {
-    r.converged = true;
-    r.stop_reason = StopReason::kConverged;
-    return true;
+  const bool check = r.hyper_samples >= options.min_hyper_samples;
+  if (check) {
+    r.ci = interval_of(options, r.hyper_values, interval_rng);
+    r.estimate = r.ci.center;
+    r.relative_error_bound = evt::relative_half_width(r.ci);
+    if (r.relative_error_bound <= options.epsilon) {
+      r.converged = true;
+      r.stop_reason = StopReason::kConverged;
+    }
   }
-  return false;
+  if (options.tracer != nullptr) {
+    util::JsonFields f;
+    f.add("k", r.hyper_samples)
+        .add("estimate", hs.estimate)
+        .add("mu_hat", hs.mu_hat)
+        .add("sample_max", hs.sample_max)
+        .add("units", hs.units_used)
+        .add("mle_converged", hs.mle.converged)
+        .add("degenerate", hs.degenerate)
+        .add("used_pwm", hs.used_pwm)
+        .add("constant_sample", hs.constant_sample)
+        .add("alpha", hs.mle.params.alpha)
+        .add("profile_evals", hs.mle.profile_evaluations);
+    if (check) f.add("rel_error_bound", r.relative_error_bound);
+    options.tracer->event("hyper_sample", f.body());
+  }
+  return r.converged;
 }
 
 void finish_unconverged(const EstimatorOptions& options, Rng& interval_rng,
@@ -171,13 +362,9 @@ void finish_unconverged(const EstimatorOptions& options, Rng& interval_rng,
 /// reach this one within the max_hyper_samples budget.
 constexpr std::uint64_t kIntervalStream = ~std::uint64_t{0} - 1;
 
-}  // namespace
-
-EstimationResult estimate_max_power(vec::Population& population,
-                                    const EstimatorOptions& options,
-                                    Rng& rng) {
-  check_options(options);
-
+EstimationResult estimate_serial_impl(vec::Population& population,
+                                      const EstimatorOptions& options,
+                                      Rng& rng) {
   EstimationResult r;
   check_population(population, options, r);
   // Draws beyond max_hyper_samples replace discarded hyper-samples; the cap
@@ -189,7 +376,7 @@ EstimationResult estimate_max_power(vec::Population& population,
          attempts < max_attempts) {
     if (const util::StopCause cause = options.control.should_stop();
         cause != util::StopCause::kNone) {
-      record_stop(cause, r);
+      record_stop(options, cause, r);
       finish_unconverged(options, rng, r);
       return r;
     }
@@ -197,14 +384,14 @@ EstimationResult estimate_max_power(vec::Population& population,
     try {
       hs = draw_hyper_sample(population, options.hyper, rng);
     } catch (const Error& e) {
-      record_draw_fault(e, r);
+      record_draw_fault(options, e, r);
       finish_unconverged(options, rng, r);
       return r;
     }
     ++attempts;
     absorb_draw_diagnostics(hs, r);
     if (!usable(options, hs)) {
-      record_discard(hs, r);
+      record_discard(options, hs, r);
       continue;
     }
     if (accept_and_check(options, hs, rng, r)) return r;
@@ -213,6 +400,112 @@ EstimationResult estimate_max_power(vec::Population& population,
     record_redraws_exhausted(options, r);
   }
   finish_unconverged(options, rng, r);
+  return r;
+}
+
+EstimationResult estimate_parallel_impl(vec::Population& population,
+                                        const EstimatorOptions& options,
+                                        std::uint64_t seed, bool concurrent,
+                                        util::ThreadPool* pool,
+                                        std::size_t wave) {
+  Rng interval_rng(stream_seed(seed, kIntervalStream));
+  EstimationResult r;
+  check_population(population, options, r);
+  const std::size_t max_attempts =
+      options.max_hyper_samples + options.max_redraws;
+  std::vector<HyperSampleResult> batch;
+  std::size_t next_index = 0;
+  std::size_t wave_number = 0;
+  while (r.hyper_samples < options.max_hyper_samples &&
+         next_index < max_attempts) {
+    if (const util::StopCause cause = options.control.should_stop();
+        cause != util::StopCause::kNone) {
+      record_stop(options, cause, r);
+      finish_unconverged(options, interval_rng, r);
+      return r;
+    }
+    const std::size_t count = std::min(wave, max_attempts - next_index);
+    batch.assign(count, HyperSampleResult{});
+    // A computed batch entry always has units_used = n*m > 0; entries
+    // abandoned by a mid-wave fault or stop keep the zero default, so the
+    // fold below can recognize them.
+    auto draw_one = [&](std::size_t j) {
+      Rng hyper_rng(stream_seed(seed, next_index + j));
+      batch[j] = draw_hyper_sample(population, options.hyper, hyper_rng);
+    };
+    em().waves.inc();
+    auto wave_span = options.tracer != nullptr
+                         ? options.tracer->span("wave")
+                         : util::Tracer().span("wave");
+    bool draw_faulted = false;
+    try {
+      if (concurrent && count > 1) {
+        pool->parallel_for(0, count, draw_one, &options.control);
+      } else {
+        for (std::size_t j = 0; j < count; ++j) {
+          if (options.control.should_stop() != util::StopCause::kNone) break;
+          draw_one(j);
+        }
+      }
+    } catch (const Error& e) {
+      // The wave is drained before parallel_for rethrows, so every entry is
+      // either fully computed or untouched; fold the computed prefix below,
+      // then stop.
+      record_draw_fault(options, e, r);
+      draw_faulted = true;
+    }
+    wave_span.note(util::JsonFields{}
+                       .add("wave", wave_number)
+                       .add("first_index", next_index)
+                       .add("count", count)
+                       .add("concurrent", concurrent && count > 1)
+                       .body());
+    wave_span.finish();
+    ++wave_number;
+    // Stopping rule strictly in index order: hyper-samples past the
+    // convergence point are discarded, so the result cannot depend on the
+    // wave size or thread count. Discarded (unusable) hyper-samples simply
+    // advance the index stream — the next index *is* the redraw.
+    bool done = false;
+    for (std::size_t j = 0; j < count; ++j) {
+      if (batch[j].units_used == 0) break;  // not computed (fault/stop)
+      if (done || r.hyper_samples >= options.max_hyper_samples) {
+        // Computed speculatively but never folded: count the waste so the
+        // metrics show what the wave size costs.
+        em().speculation_wasted.inc();
+        continue;
+      }
+      absorb_draw_diagnostics(batch[j], r);
+      if (!usable(options, batch[j])) {
+        record_discard(options, batch[j], r);
+        continue;
+      }
+      done = accept_and_check(options, batch[j], interval_rng, r);
+    }
+    if (done) return r;
+    if (draw_faulted) {
+      finish_unconverged(options, interval_rng, r);
+      return r;
+    }
+    next_index += count;
+  }
+  if (r.hyper_samples < options.max_hyper_samples &&
+      r.stop_reason == StopReason::kMaxHyperSamples) {
+    record_redraws_exhausted(options, r);
+  }
+  finish_unconverged(options, interval_rng, r);
+  return r;
+}
+
+}  // namespace
+
+EstimationResult estimate_max_power(vec::Population& population,
+                                    const EstimatorOptions& options,
+                                    Rng& rng) {
+  check_options(options);
+  RunScope scope(options, population, /*parallel_path=*/false, 1);
+  EstimationResult r = estimate_serial_impl(population, options, rng);
+  scope.finish(r);
   return r;
 }
 
@@ -242,72 +535,10 @@ EstimationResult estimate_max_power(vec::Population& population,
   }
   const std::size_t wave = concurrent ? threads : 1;
 
-  Rng interval_rng(stream_seed(seed, kIntervalStream));
-  EstimationResult r;
-  check_population(population, options, r);
-  const std::size_t max_attempts =
-      options.max_hyper_samples + options.max_redraws;
-  std::vector<HyperSampleResult> batch;
-  std::size_t next_index = 0;
-  while (r.hyper_samples < options.max_hyper_samples &&
-         next_index < max_attempts) {
-    if (const util::StopCause cause = options.control.should_stop();
-        cause != util::StopCause::kNone) {
-      record_stop(cause, r);
-      finish_unconverged(options, interval_rng, r);
-      return r;
-    }
-    const std::size_t count = std::min(wave, max_attempts - next_index);
-    batch.assign(count, HyperSampleResult{});
-    // A computed batch entry always has units_used = n*m > 0; entries
-    // abandoned by a mid-wave fault or stop keep the zero default, so the
-    // fold below can recognize them.
-    auto draw_one = [&](std::size_t j) {
-      Rng hyper_rng(stream_seed(seed, next_index + j));
-      batch[j] = draw_hyper_sample(population, options.hyper, hyper_rng);
-    };
-    bool draw_faulted = false;
-    try {
-      if (concurrent && count > 1) {
-        pool->parallel_for(0, count, draw_one, &options.control);
-      } else {
-        for (std::size_t j = 0; j < count; ++j) {
-          if (options.control.should_stop() != util::StopCause::kNone) break;
-          draw_one(j);
-        }
-      }
-    } catch (const Error& e) {
-      // The wave is drained before parallel_for rethrows, so every entry is
-      // either fully computed or untouched; fold the computed prefix below,
-      // then stop.
-      record_draw_fault(e, r);
-      draw_faulted = true;
-    }
-    // Stopping rule strictly in index order: hyper-samples past the
-    // convergence point are discarded, so the result cannot depend on the
-    // wave size or thread count. Discarded (unusable) hyper-samples simply
-    // advance the index stream — the next index *is* the redraw.
-    for (std::size_t j = 0; j < count; ++j) {
-      if (batch[j].units_used == 0) break;  // not computed (fault/stop)
-      if (r.hyper_samples >= options.max_hyper_samples) break;
-      absorb_draw_diagnostics(batch[j], r);
-      if (!usable(options, batch[j])) {
-        record_discard(batch[j], r);
-        continue;
-      }
-      if (accept_and_check(options, batch[j], interval_rng, r)) return r;
-    }
-    if (draw_faulted) {
-      finish_unconverged(options, interval_rng, r);
-      return r;
-    }
-    next_index += count;
-  }
-  if (r.hyper_samples < options.max_hyper_samples &&
-      r.stop_reason == StopReason::kMaxHyperSamples) {
-    record_redraws_exhausted(options, r);
-  }
-  finish_unconverged(options, interval_rng, r);
+  RunScope scope(options, population, /*parallel_path=*/true, threads);
+  EstimationResult r = estimate_parallel_impl(population, options, seed,
+                                              concurrent, pool, wave);
+  scope.finish(r);
   return r;
 }
 

@@ -25,6 +25,7 @@
 #include "util/deadline.hpp"
 #include "util/status.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 #include "vectors/population.hpp"
 
 namespace mpe::maxpower {
@@ -60,6 +61,15 @@ struct EstimatorOptions {
   /// path). Inert by default; runs stopped early report partial results
   /// with StopReason::kDeadlineExceeded or kCancelled.
   util::RunControl control;
+  /// Observability hook (non-owning, may be null): when set, the estimator
+  /// emits structured run events — a run_config event, one event per
+  /// accepted/discarded hyper-sample carrying its fit diagnostics, wave
+  /// events on the parallel path, and a closing "run" span with wall/CPU
+  /// time. Tracing never perturbs results: goldens are bit-identical with
+  /// it on or off (see test_run_report). Serialize with
+  /// maxpower::write_run_report (docs/OBSERVABILITY.md documents the
+  /// schema). The tracer must outlive the call.
+  util::Tracer* tracer = nullptr;
 };
 
 /// Why an estimation run ended.
@@ -92,6 +102,12 @@ struct RunDiagnostics {
   /// Appends a structured record, dropping it silently once the cap is hit.
   void note(Severity severity, ErrorCode code, std::string message,
             std::string context = "");
+
+  /// Machine-readable serialization: one JSON object with the counters,
+  /// flags, and the structured records array. Stable field names (they are
+  /// part of the run-report schema); round-trips through
+  /// run_diagnostics_from_json (maxpower/run_report.hpp).
+  std::string to_json() const;
 };
 
 /// Result of one full estimation run.

@@ -9,6 +9,7 @@
 #include "stats/gev.hpp"
 #include "stats/weibull.hpp"
 #include "util/contracts.hpp"
+#include "util/metrics.hpp"
 
 namespace mpe::maxpower {
 
@@ -47,6 +48,37 @@ double pwm_estimate(const stats::GevParams& params,
   }
   // Endpoint path: finite only for Weibull-type (xi < 0) fits.
   return g.right_endpoint();
+}
+
+/// Hyper-sample outcome metrics (thread-safe; draws run concurrently
+/// inside the parallel estimator). Catalog in docs/OBSERVABILITY.md.
+struct HyperMetrics {
+  util::Counter draws;
+  util::Counter invalid;
+  util::Counter degenerate;
+  util::Counter constant;
+  util::Counter pwm_refits;
+  util::Counter nonfinite_units;
+
+  HyperMetrics() {
+    auto& reg = util::MetricRegistry::global();
+    draws = reg.counter("mpe_hyper_draws_total");
+    invalid = reg.counter("mpe_hyper_invalid_total");
+    degenerate = reg.counter("mpe_hyper_degenerate_total");
+    constant = reg.counter("mpe_hyper_constant_sample_total");
+    pwm_refits = reg.counter("mpe_hyper_pwm_refit_total");
+    nonfinite_units = reg.counter("mpe_hyper_nonfinite_units_total");
+  }
+};
+
+void record_hyper(const HyperSampleResult& out) {
+  static HyperMetrics m;
+  m.draws.inc();
+  if (!out.valid) m.invalid.inc();
+  if (out.degenerate) m.degenerate.inc();
+  if (out.constant_sample) m.constant.inc();
+  if (out.used_pwm) m.pwm_refits.inc();
+  if (out.nonfinite_units > 0) m.nonfinite_units.inc(out.nonfinite_units);
 }
 
 }  // namespace
@@ -96,6 +128,7 @@ HyperSampleResult draw_hyper_sample(vec::Population& population,
     out.degenerate = true;
     out.sample_max = std::isfinite(overall_max) ? overall_max : 0.0;
     out.estimate = out.sample_max;
+    record_hyper(out);
     return out;
   }
   out.sample_max = overall_max;
@@ -110,6 +143,7 @@ HyperSampleResult draw_hyper_sample(vec::Population& population,
     out.mle.params.mu = *hi_it;
     out.mu_hat = *hi_it;
     out.estimate = *hi_it;
+    record_hyper(out);
     return out;
   }
 
@@ -156,6 +190,7 @@ HyperSampleResult draw_hyper_sample(vec::Population& population,
     out.estimate = overall_max;
     out.degenerate = true;
   }
+  record_hyper(out);
   return out;
 }
 

@@ -1,0 +1,58 @@
+// Versioned JSONL run report: the serialization layer of the observability
+// stack. A report is a sequence of one-line JSON objects sharing the
+// envelope
+//
+//   {"schema":"mpe.run_report","v":1,"seq":N,"type":"<type>", ...}
+//
+// where `seq` starts at 0 and increases by exactly 1 per line, and `type`
+// is one of:
+//   * run_header  — estimator configuration and population description
+//   * event       — one retained trace event (only when a tracer is given)
+//   * diagnostics — the RunDiagnostics health summary (see
+//                   RunDiagnostics::to_json)
+//   * metric      — one metric series from a registry snapshot (only when a
+//                   registry is given)
+//   * result      — the EstimationResult summary; always the last line
+//
+// Field names inside each type are part of the schema: adding a field is a
+// backward-compatible change, renaming or removing one requires bumping
+// kRunReportSchemaVersion (test_run_report pins the current field sets and
+// fails loudly when they drift without a bump). docs/OBSERVABILITY.md holds
+// the human-readable catalog.
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "maxpower/estimator.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace mpe::maxpower {
+
+/// Version of the run-report line schema. Bump when any emitted field is
+/// renamed, removed, or changes meaning; additions do not require a bump.
+inline constexpr int kRunReportSchemaVersion = 1;
+
+/// What a report should contain beyond the mandatory header / diagnostics /
+/// result lines.
+struct RunReportOptions {
+  const util::Tracer* tracer = nullptr;          ///< emit `event` lines
+  const util::MetricRegistry* metrics = nullptr; ///< emit `metric` lines
+  std::string_view population;  ///< population description for the header
+};
+
+/// Writes one complete JSONL run report to `out`. Lines are '\n'-terminated;
+/// the stream is not flushed. Throws mpe::Error(kIo) when the stream enters
+/// a failed state.
+void write_run_report(std::ostream& out, const EstimationResult& result,
+                      const EstimatorOptions& options,
+                      const RunReportOptions& report = {});
+
+/// Parses the JSON produced by RunDiagnostics::to_json back into a
+/// RunDiagnostics (the round-trip counterpart; unknown fields are ignored,
+/// missing fields keep their defaults). Throws mpe::Error(kParse) on
+/// malformed JSON.
+RunDiagnostics run_diagnostics_from_json(std::string_view json);
+
+}  // namespace mpe::maxpower

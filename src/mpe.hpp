@@ -15,7 +15,10 @@
 #include "util/cli.hpp"
 #include "util/contracts.hpp"
 #include "util/deadline.hpp"
+#include "util/jsonl.hpp"
 #include "util/math.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
 #include "util/table.hpp"
@@ -81,6 +84,7 @@
 #include "maxpower/estimator.hpp"
 #include "maxpower/hyper_sample.hpp"
 #include "maxpower/quantile_baseline.hpp"
+#include "maxpower/run_report.hpp"
 #include "maxpower/srs.hpp"
 #include "maxpower/search_baselines.hpp"
 #include "maxpower/theory.hpp"

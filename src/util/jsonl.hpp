@@ -1,0 +1,117 @@
+// Minimal JSON support for the observability layer: an append-only field
+// builder for emitting one-line JSON objects (the JSONL run report, trace
+// event payloads, RunDiagnostics::to_json) and a small recursive-descent
+// parser used by the schema/round-trip tests and by report consumers that
+// want to read a run report back.
+//
+// This is deliberately not a general JSON library: the writer only produces
+// flat `"key":value` sequences (nesting is composed by embedding an already
+// rendered fragment), and the parser materializes everything eagerly into a
+// JsonValue tree. Both are diagnostic-grade — the hot paths never touch
+// them; reports are rendered once per run, after estimation finishes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpe::util {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes, control
+/// characters, backslash; UTF-8 passes through untouched).
+std::string json_escape(std::string_view s);
+
+/// Renders a double the way the report wants it: finite values via
+/// round-trippable shortest form, NaN/Inf as the strings "nan"/"inf"/"-inf"
+/// (JSON has no literal for them; consumers get a string instead of an
+/// invalid token).
+std::string json_number(double value);
+
+/// Incremental builder for the body of a one-line JSON object. Keys are
+/// escaped; string values are escaped and quoted; `raw` splices an already
+/// rendered JSON fragment (for nested objects/arrays).
+class JsonFields {
+ public:
+  JsonFields& add(std::string_view key, std::string_view value);
+  JsonFields& add(std::string_view key, const char* value) {
+    return add(key, std::string_view(value));
+  }
+  JsonFields& add(std::string_view key, bool value);
+  JsonFields& add(std::string_view key, double value);
+  JsonFields& add(std::string_view key, std::int64_t value);
+  JsonFields& add(std::string_view key, std::uint64_t value);
+  JsonFields& add(std::string_view key, int value) {
+    return add(key, static_cast<std::int64_t>(value));
+  }
+  JsonFields& add(std::string_view key, unsigned value) {
+    return add(key, static_cast<std::uint64_t>(value));
+  }
+  /// Splices `fragment` (a rendered JSON value: object, array, number...)
+  /// verbatim as the value of `key`.
+  JsonFields& raw(std::string_view key, std::string_view fragment);
+
+  bool empty() const { return out_.empty(); }
+  /// The accumulated `"k":v,...` body, without surrounding braces.
+  const std::string& body() const& { return out_; }
+  /// The body wrapped in braces: a complete JSON object.
+  std::string object() const { return "{" + out_ + "}"; }
+
+ private:
+  void key(std::string_view k);
+  std::string out_;
+};
+
+/// Parsed JSON value. Numbers are kept as double (adequate for report
+/// fields; sequence numbers stay exact below 2^53).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  static JsonValue null();
+  static JsonValue boolean(bool b);
+  static JsonValue number(double d);
+  static JsonValue string(std::string s);
+  static JsonValue array(std::vector<JsonValue> items);
+  static JsonValue object(std::map<std::string, JsonValue> members);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& as_array() const { return array_; }
+  const std::map<std::string, JsonValue>& as_object() const { return object_; }
+
+  /// Object member access; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// True when the object has `key` (any value).
+  bool has(std::string_view key) const { return find(key) != nullptr; }
+
+  /// Member keys in sorted order (empty for non-objects) — what the golden
+  /// schema test compares against its recorded field lists.
+  std::vector<std::string> keys() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one complete JSON value from `text` (surrounding whitespace
+/// allowed, trailing garbage rejected). Throws mpe::Error(kParse) on
+/// malformed input.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace mpe::util

@@ -1,0 +1,196 @@
+#include "util/metrics.hpp"
+
+#include <bit>
+
+#include "util/contracts.hpp"
+
+namespace mpe::util {
+
+std::string_view to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+const MetricsSnapshot::Series* MetricsSnapshot::find(
+    std::string_view name, std::string_view labels) const {
+  for (const auto& s : series) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::value(std::string_view name,
+                              std::string_view labels) const {
+  const Series* s = find(name, labels);
+  return s == nullptr ? 0.0 : s->value;
+}
+
+namespace {
+
+/// Process-unique registry ids so the thread-local shard cache can never
+/// confuse a dead registry with a new one living at the same address.
+std::uint64_t next_registry_uid() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+MetricRegistry::MetricRegistry() : uid_(next_registry_uid()) {}
+
+MetricRegistry::~MetricRegistry() = default;
+
+MetricRegistry& MetricRegistry::global() {
+  // Leaked intentionally: worker threads may report metrics during static
+  // destruction of other objects, and dangling shard-cache entries must
+  // never be revived by a destroyed-and-reconstructed registry.
+  static MetricRegistry* instance = new MetricRegistry();
+  return *instance;
+}
+
+std::uint32_t MetricRegistry::register_series(MetricKind kind,
+                                              std::string_view name,
+                                              std::string_view labels,
+                                              std::uint32_t num_cells) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& s : series_) {
+    if (s.name == name && s.labels == labels) {
+      MPE_EXPECTS_MSG(s.kind == kind,
+                      "metric series re-registered under a different kind");
+      return s.first_cell;
+    }
+  }
+  MPE_EXPECTS_MSG(next_cell_ + num_cells <= kBlockCells * kMaxBlocks,
+                  "metric cell space exhausted");
+  const std::uint32_t first = next_cell_;
+  next_cell_ += num_cells;
+  // Existing shards must cover the new cells before the handle escapes.
+  for (auto& shard : shards_) grow_shard_locked(*shard, next_cell_);
+  series_.push_back(SeriesInfo{kind, std::string(name), std::string(labels),
+                               first, num_cells});
+  return first;
+}
+
+void MetricRegistry::grow_shard_locked(Shard& shard, std::uint32_t cells) {
+  const std::size_t blocks_needed =
+      (static_cast<std::size_t>(cells) + kBlockCells - 1) / kBlockCells;
+  for (std::size_t b = 0; b < blocks_needed; ++b) {
+    if (shard.blocks[b].load(std::memory_order_relaxed) != nullptr) continue;
+    shard.storage.push_back(std::make_unique<Block>());
+    shard.blocks[b].store(shard.storage.back().get(),
+                          std::memory_order_release);
+  }
+}
+
+MetricRegistry::Shard& MetricRegistry::local_shard() {
+  struct CacheEntry {
+    std::uint64_t uid;
+    Shard* shard;
+  };
+  // One entry per (thread, registry) pair; entries for dead registries are
+  // never matched again (uids are unique) and the list stays tiny.
+  thread_local std::vector<CacheEntry> cache;
+  for (const auto& e : cache) {
+    if (e.uid == uid_) return *e.shard;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard& shard = *shards_.back();
+  grow_shard_locked(shard, next_cell_);
+  cache.push_back(CacheEntry{uid_, &shard});
+  return shard;
+}
+
+Counter MetricRegistry::counter(std::string_view name,
+                                std::string_view labels) {
+  return Counter(this, register_series(MetricKind::kCounter, name, labels, 1));
+}
+
+Gauge MetricRegistry::gauge(std::string_view name, std::string_view labels) {
+  return Gauge(this, register_series(MetricKind::kGauge, name, labels, 1));
+}
+
+Histogram MetricRegistry::histogram(std::string_view name,
+                                    std::string_view labels) {
+  // Layout: [count, sum, bucket 0 .. bucket 63].
+  return Histogram(
+      this, register_series(MetricKind::kHistogram, name, labels,
+                            2 + static_cast<std::uint32_t>(
+                                    HistogramData::kBuckets)));
+}
+
+void Histogram::observe(std::uint64_t value) {
+  if (reg_ == nullptr || !reg_->enabled()) return;
+  const std::uint32_t bucket = static_cast<std::uint32_t>(
+      std::bit_width(value));  // 0 for value == 0
+  reg_->cell(cell_).fetch_add(1, std::memory_order_relaxed);
+  reg_->cell(cell_ + 1).fetch_add(value, std::memory_order_relaxed);
+  reg_->cell(cell_ + 2 + bucket).fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t MetricRegistry::sum_cell_locked(std::uint32_t index) const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    const Block* b =
+        shard->blocks[index / kBlockCells].load(std::memory_order_acquire);
+    if (b != nullptr) {
+      total += b->cells[index % kBlockCells].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+MetricsSnapshot MetricRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  out.series.reserve(series_.size());
+  for (const auto& info : series_) {
+    MetricsSnapshot::Series s;
+    s.kind = info.kind;
+    s.name = info.name;
+    s.labels = info.labels;
+    switch (info.kind) {
+      case MetricKind::kCounter:
+        s.value = static_cast<double>(sum_cell_locked(info.first_cell));
+        break;
+      case MetricKind::kGauge:
+        s.value = static_cast<double>(
+            static_cast<std::int64_t>(sum_cell_locked(info.first_cell)));
+        break;
+      case MetricKind::kHistogram: {
+        s.histogram.count = sum_cell_locked(info.first_cell);
+        s.histogram.sum = sum_cell_locked(info.first_cell + 1);
+        for (std::size_t b = 0; b < HistogramData::kBuckets; ++b) {
+          s.histogram.buckets[b] = sum_cell_locked(
+              info.first_cell + 2 + static_cast<std::uint32_t>(b));
+        }
+        s.value = s.histogram.mean();
+        break;
+      }
+    }
+    out.series.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    for (std::size_t b = 0; b * kBlockCells < next_cell_; ++b) {
+      Block* blk = shard->blocks[b].load(std::memory_order_acquire);
+      if (blk == nullptr) continue;
+      for (auto& c : blk->cells) c.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t MetricRegistry::series_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_.size();
+}
+
+}  // namespace mpe::util

@@ -1,0 +1,217 @@
+// Lightweight metrics for the estimation pipeline: counters, gauges, and
+// histograms registered by (kind, name, labels) in a MetricRegistry and
+// updated through cheap copyable handles.
+//
+// Design constraints, in order:
+//   1. Instrumentation must never perturb results — metrics never touch RNG
+//      streams, never branch estimation control flow, and never block a
+//      worker on another worker.
+//   2. Near-zero cost when disabled: every update starts with one relaxed
+//      atomic load of the registry's enabled flag and returns immediately
+//      when it is off (the default).
+//   3. Lock-free when enabled: each thread writes its own shard of atomic
+//      cells; the only mutex is taken on the cold paths (series
+//      registration, first touch by a new thread, snapshot/reset).
+//
+// Storage model: every series occupies a fixed run of 64-bit cells (counter
+// and gauge: one cell; histogram: count + sum + 64 log2 buckets). Shards
+// hold the cells in fixed-capacity block tables so a concurrent snapshot
+// can walk them without synchronizing with writers: block pointers are
+// installed once (under the registry mutex, before any handle that needs
+// them exists) and never move.
+//
+// Metric naming convention (see docs/OBSERVABILITY.md for the catalog):
+// snake_case with an `mpe_` prefix and a `_total` suffix for counters;
+// labels are a single pre-rendered "key=value" string (series identity is
+// the exact string, no label parsing happens anywhere).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpe::util {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+std::string_view to_string(MetricKind kind);
+
+/// Merged view of one histogram series. Bucket b counts observations v with
+/// bit_width(v) == b: bucket 0 holds v = 0, bucket b >= 1 holds
+/// v in [2^(b-1), 2^b). Values are whatever unit the series documents
+/// (nanoseconds for the *_ns series, plain counts otherwise).
+struct HistogramData {
+  static constexpr std::size_t kBuckets = 64;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  /// Mean observation; 0 when empty.
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Point-in-time merged view of every registered series.
+struct MetricsSnapshot {
+  struct Series {
+    MetricKind kind = MetricKind::kCounter;
+    std::string name;
+    std::string labels;       ///< "" or "key=value"
+    double value = 0.0;       ///< counter: total; gauge: signed level
+    HistogramData histogram;  ///< histogram series only
+  };
+  std::vector<Series> series;
+
+  /// First series matching (name, labels); nullptr when absent.
+  const Series* find(std::string_view name,
+                     std::string_view labels = "") const;
+  /// Counter/gauge value of (name, labels); 0 when absent.
+  double value(std::string_view name, std::string_view labels = "") const;
+};
+
+class MetricRegistry;
+
+/// Monotonically increasing event count. Handles are cheap to copy and
+/// remain valid for the registry's lifetime; a default-constructed handle
+/// no-ops.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1);
+
+ private:
+  friend class MetricRegistry;
+  Counter(MetricRegistry* reg, std::uint32_t cell) : reg_(reg), cell_(cell) {}
+  MetricRegistry* reg_ = nullptr;
+  std::uint32_t cell_ = 0;
+};
+
+/// Signed level tracked as +/- deltas (e.g. queue depth). Merged value is
+/// the sum of all deltas across threads.
+class Gauge {
+ public:
+  Gauge() = default;
+  void add(std::int64_t delta);
+  void sub(std::int64_t delta) { add(-delta); }
+
+ private:
+  friend class MetricRegistry;
+  Gauge(MetricRegistry* reg, std::uint32_t cell) : reg_(reg), cell_(cell) {}
+  MetricRegistry* reg_ = nullptr;
+  std::uint32_t cell_ = 0;
+};
+
+/// Log2-bucketed distribution of unsigned observations (durations, sizes).
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(std::uint64_t value);
+
+ private:
+  friend class MetricRegistry;
+  Histogram(MetricRegistry* reg, std::uint32_t cell)
+      : reg_(reg), cell_(cell) {}
+  MetricRegistry* reg_ = nullptr;
+  std::uint32_t cell_ = 0;
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry();
+  ~MetricRegistry();
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// The process-wide registry all library instrumentation reports to.
+  /// Disabled by default; the CLI (or a test) turns it on.
+  static MetricRegistry& global();
+
+  void enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Returns the handle for (kind, name, labels), registering the series on
+  /// first use. Same identity always yields the same underlying series.
+  /// Registering the same (name, labels) under two different kinds is a
+  /// precondition violation.
+  Counter counter(std::string_view name, std::string_view labels = "");
+  Gauge gauge(std::string_view name, std::string_view labels = "");
+  Histogram histogram(std::string_view name, std::string_view labels = "");
+
+  /// Merges all thread shards into a consistent-enough point-in-time view
+  /// (concurrent writers may or may not be included; each cell is read
+  /// atomically).
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every cell in every shard. Series registrations are kept.
+  void reset();
+
+  /// Number of registered series (tests).
+  std::size_t series_count() const;
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  static constexpr std::size_t kBlockCells = 256;
+  static constexpr std::size_t kMaxBlocks = 256;  // 65536 cells total
+
+  struct Block {
+    std::array<std::atomic<std::uint64_t>, kBlockCells> cells{};
+  };
+  struct Shard {
+    // Fixed table of once-installed block pointers: hot-path reads need no
+    // lock because entries are written before any handle that uses them is
+    // returned (or before the shard is published, for late-created shards).
+    std::array<std::atomic<Block*>, kMaxBlocks> blocks{};
+    std::vector<std::unique_ptr<Block>> storage;  // owns; mutated under mutex
+  };
+
+  struct SeriesInfo {
+    MetricKind kind;
+    std::string name;
+    std::string labels;
+    std::uint32_t first_cell;
+    std::uint32_t num_cells;
+  };
+
+  std::uint32_t register_series(MetricKind kind, std::string_view name,
+                                std::string_view labels,
+                                std::uint32_t num_cells);
+  Shard& local_shard();
+  void grow_shard_locked(Shard& shard, std::uint32_t cells);
+  std::atomic<std::uint64_t>& cell(std::uint32_t index) {
+    Shard& s = local_shard();
+    Block* b = s.blocks[index / kBlockCells].load(std::memory_order_acquire);
+    return b->cells[index % kBlockCells];
+  }
+  std::uint64_t sum_cell_locked(std::uint32_t index) const;
+
+  std::atomic<bool> enabled_{false};
+  const std::uint64_t uid_;  ///< process-unique, keys the thread-local cache
+  mutable std::mutex mutex_;
+  std::vector<SeriesInfo> series_;
+  std::uint32_t next_cell_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+inline void Counter::inc(std::uint64_t n) {
+  if (reg_ == nullptr || !reg_->enabled()) return;
+  reg_->cell(cell_).fetch_add(n, std::memory_order_relaxed);
+}
+
+inline void Gauge::add(std::int64_t delta) {
+  if (reg_ == nullptr || !reg_->enabled()) return;
+  // Two's-complement wraparound makes fetch_add on the unsigned cell exact.
+  reg_->cell(cell_).fetch_add(static_cast<std::uint64_t>(delta),
+                              std::memory_order_relaxed);
+}
+
+}  // namespace mpe::util

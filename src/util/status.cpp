@@ -24,6 +24,14 @@ std::string_view to_string(ErrorCode code) {
   return "unknown";
 }
 
+ErrorCode error_code_from_string(std::string_view name) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    const auto code = static_cast<ErrorCode>(c);
+    if (to_string(code) == name) return code;
+  }
+  return ErrorCode::kInternal;
+}
+
 int exit_code(ErrorCode code) {
   switch (code) {
     case ErrorCode::kOk: return 0;
@@ -48,6 +56,12 @@ std::string_view to_string(Severity severity) {
     case Severity::kError: return "error";
   }
   return "unknown";
+}
+
+Severity severity_from_string(std::string_view name) {
+  if (name == "warning") return Severity::kWarning;
+  if (name == "error") return Severity::kError;
+  return Severity::kInfo;
 }
 
 std::string format(const Diagnostic& diagnostic) {

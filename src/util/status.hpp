@@ -33,6 +33,10 @@ enum class ErrorCode : std::uint8_t {
 /// Stable short name ("parse", "io", ...) for logs and CLI output.
 std::string_view to_string(ErrorCode code);
 
+/// Inverse of to_string(ErrorCode); kInternal for unknown names (so readers
+/// of a report written by a newer library version degrade gracefully).
+ErrorCode error_code_from_string(std::string_view name);
+
 /// Process exit code for a CLI front end terminating with `code`.
 /// 0 = success, 1 = non-convergence, 2 = usage, 3 = parse, 4 = I/O,
 /// 5 = bad data, 6 = precondition, 7 = deadline, 8 = cancelled,
@@ -43,6 +47,9 @@ int exit_code(ErrorCode code);
 enum class Severity : std::uint8_t { kInfo = 0, kWarning, kError };
 
 std::string_view to_string(Severity severity);
+
+/// Inverse of to_string(Severity); kInfo for unknown names.
+Severity severity_from_string(std::string_view name);
 
 /// One structured diagnostic record: what happened, how bad it is, and the
 /// machine-readable context it happened in.

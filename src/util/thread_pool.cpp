@@ -2,11 +2,51 @@
 
 #include <atomic>
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 #include "util/deadline.hpp"
+#include "util/metrics.hpp"
 
 namespace mpe::util {
+
+namespace {
+
+/// Pool health metrics: task throughput, instantaneous queue depth, and
+/// queue wait time (enqueue -> dequeue, steady clock). Gauge deltas are
+/// balanced across enqueue/dequeue so the merged depth is exact even when
+/// different threads perform the two halves. Catalog in
+/// docs/OBSERVABILITY.md.
+struct PoolMetrics {
+  util::Counter tasks;
+  util::Counter parallel_fors;
+  util::Counter parallel_indices;
+  util::Gauge queue_depth;
+  util::Histogram task_wait_ns;
+
+  PoolMetrics() {
+    auto& reg = util::MetricRegistry::global();
+    tasks = reg.counter("mpe_pool_tasks_total");
+    parallel_fors = reg.counter("mpe_pool_parallel_for_total");
+    parallel_indices = reg.counter("mpe_pool_parallel_indices_total");
+    queue_depth = reg.gauge("mpe_pool_queue_depth");
+    task_wait_ns = reg.histogram("mpe_pool_task_wait_ns");
+  }
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
@@ -28,24 +68,39 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> job) {
+  Task task{std::move(job), 0};
+  if (MetricRegistry::global().enabled()) {
+    task.enqueue_ns = steady_now_ns();
+    pool_metrics().tasks.inc();
+    pool_metrics().queue_depth.add(1);
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(job));
+    queue_.push_back(std::move(task));
   }
   cv_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> job;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
-      job = std::move(queue_.front());
+      task = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    // enqueue_ns == 0 marks a task enqueued while metrics were off; skip it
+    // rather than record a bogus epoch-sized wait (and keep the gauge
+    // balanced: only entries that added a delta subtract one).
+    if (task.enqueue_ns != 0 && MetricRegistry::global().enabled()) {
+      pool_metrics().queue_depth.sub(1);
+      const std::uint64_t now = steady_now_ns();
+      pool_metrics().task_wait_ns.observe(
+          now > task.enqueue_ns ? now - task.enqueue_ns : 0);
+    }
+    task.job();
   }
 }
 
@@ -65,6 +120,9 @@ void ThreadPool::parallel_for_slotted(
   if (begin >= end) return;
   // Polling a dead control is pure overhead; drop it up front.
   if (control != nullptr && !control->active()) control = nullptr;
+  pool_metrics().parallel_fors.inc();
+  pool_metrics().parallel_indices.inc(
+      static_cast<std::uint64_t>(end - begin));
 
   struct Shared {
     std::atomic<std::size_t> next;

@@ -27,6 +27,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -88,11 +89,19 @@ class ThreadPool {
       const RunControl* control = nullptr);
 
  private:
+  /// Queue entry: the job plus its enqueue timestamp (steady-clock ns),
+  /// captured only while metrics are enabled (0 otherwise) so the disabled
+  /// path never pays for a clock read. Feeds mpe_pool_task_wait_ns.
+  struct Task {
+    std::function<void()> job;
+    std::uint64_t enqueue_ns = 0;
+  };
+
   void enqueue(std::function<void()> job);
   void worker_loop();
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

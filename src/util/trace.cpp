@@ -1,0 +1,110 @@
+#include "util/trace.hpp"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <time.h>
+#endif
+
+namespace mpe::util {
+
+std::int64_t thread_cpu_now_ns() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+  }
+#endif
+  return -1;
+}
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity), start_(std::chrono::steady_clock::now()) {
+  ring_.reserve(capacity_);
+}
+
+void Tracer::push(std::string_view name, std::string fields,
+                  std::int64_t dur_ns, std::int64_t cpu_ns) {
+  const auto now = std::chrono::steady_clock::now();
+  TraceEvent e;
+  e.wall_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_)
+          .count();
+  e.dur_ns = dur_ns;
+  e.cpu_ns = cpu_ns;
+  e.name = std::string(name);
+  e.fields = std::move(fields);
+  std::lock_guard<std::mutex> lock(mutex_);
+  e.seq = next_seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+  } else {
+    ring_[static_cast<std::size_t>(e.seq % capacity_)] = std::move(e);
+  }
+}
+
+void Tracer::event(std::string_view name, std::string fields) {
+  if (!enabled()) return;
+  push(name, std::move(fields), -1, -1);
+}
+
+Tracer::Span Tracer::span(std::string_view name) {
+  Span s;
+  if (!enabled()) return s;
+  s.tracer_ = this;
+  s.name_ = std::string(name);
+  s.wall_begin_ = std::chrono::steady_clock::now();
+  s.cpu_begin_ns_ = thread_cpu_now_ns();
+  return s;
+}
+
+Tracer::Span::Span(Span&& other) noexcept
+    : tracer_(std::exchange(other.tracer_, nullptr)),
+      name_(std::move(other.name_)),
+      fields_(std::move(other.fields_)),
+      wall_begin_(other.wall_begin_),
+      cpu_begin_ns_(other.cpu_begin_ns_) {}
+
+void Tracer::Span::finish() {
+  Tracer* t = std::exchange(tracer_, nullptr);
+  if (t == nullptr) return;
+  const auto wall_end = std::chrono::steady_clock::now();
+  const std::int64_t dur_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall_end -
+                                                           wall_begin_)
+          .count();
+  std::int64_t cpu_ns = -1;
+  if (cpu_begin_ns_ >= 0) {
+    const std::int64_t cpu_end = thread_cpu_now_ns();
+    if (cpu_end >= 0) cpu_ns = cpu_end - cpu_begin_ns_;
+  }
+  t->push(name_, std::move(fields_), dur_ns, cpu_ns);
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_ || capacity_ == 0) {
+    out = ring_;  // not yet wrapped: already oldest-first
+  } else {
+    // Oldest retained event is next_seq_ - capacity_, stored at its seq
+    // modulo capacity.
+    for (std::uint64_t seq = next_seq_ - capacity_; seq < next_seq_; ++seq) {
+      out.push_back(ring_[static_cast<std::size_t>(seq % capacity_)]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Tracer::total_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_ > ring_.size() ? next_seq_ - ring_.size() : 0;
+}
+
+}  // namespace mpe::util

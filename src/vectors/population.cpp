@@ -4,8 +4,42 @@
 
 #include "sim/bit_parallel_sim.hpp"
 #include "util/contracts.hpp"
+#include "util/metrics.hpp"
 
 namespace mpe::vec {
+
+namespace {
+
+/// Draw-path metrics, labeled by population kind. Batched paths count once
+/// per batch (one add of the batch size), keeping the per-unit hot loops
+/// untouched. Catalog in docs/OBSERVABILITY.md.
+struct PopulationMetrics {
+  util::Counter finite_units;
+  util::Counter finite_batches;
+  util::Counter streaming_units;
+  util::Counter streaming_batches;
+  util::Counter bit_parallel_passes;
+
+  PopulationMetrics() {
+    auto& reg = util::MetricRegistry::global();
+    finite_units = reg.counter("mpe_population_units_total", "kind=finite");
+    finite_batches =
+        reg.counter("mpe_population_batches_total", "kind=finite");
+    streaming_units =
+        reg.counter("mpe_population_units_total", "kind=streaming");
+    streaming_batches =
+        reg.counter("mpe_population_batches_total", "kind=streaming");
+    bit_parallel_passes =
+        reg.counter("mpe_population_bit_parallel_passes_total");
+  }
+};
+
+PopulationMetrics& pm() {
+  static PopulationMetrics m;
+  return m;
+}
+
+}  // namespace
 
 FinitePopulation::FinitePopulation(std::vector<double> values,
                                    std::string description)
@@ -15,6 +49,7 @@ FinitePopulation::FinitePopulation(std::vector<double> values,
 }
 
 double FinitePopulation::draw(Rng& rng) {
+  pm().finite_units.inc();
   return values_[rng.below(values_.size())];
 }
 
@@ -22,6 +57,8 @@ void FinitePopulation::draw_batch(std::span<double> out, Rng& rng) {
   // Same index-sampling stream as draw(), without the per-unit virtual call.
   const std::size_t n = values_.size();
   for (double& v : out) v = values_[rng.below(n)];
+  pm().finite_units.inc(out.size());
+  pm().finite_batches.inc();
 }
 
 double FinitePopulation::qualified_fraction(double epsilon) const {
@@ -47,6 +84,7 @@ StreamingPopulation::~StreamingPopulation() = default;
 double StreamingPopulation::draw(Rng& rng) {
   const VectorPair p = generator_.generate(rng);
   draws_.fetch_add(1, std::memory_order_relaxed);
+  pm().streaming_units.inc();
   return evaluator_.power_mw(p.first, p.second);
 }
 
@@ -71,6 +109,7 @@ void StreamingPopulation::release_simulator(
 }
 
 void StreamingPopulation::draw_batch(std::span<double> out, Rng& rng) {
+  pm().streaming_batches.inc();
   if (!bit_enabled_) {
     for (double& v : out) v = draw(rng);
     return;
@@ -92,8 +131,10 @@ void StreamingPopulation::draw_batch(std::span<double> out, Rng& rng) {
       out[done + k] = results[k].power_mw;
     }
     done += lanes;
+    pm().bit_parallel_passes.inc();
   }
   draws_.fetch_add(out.size(), std::memory_order_relaxed);
+  pm().streaming_units.inc(out.size());
   release_simulator(std::move(sim));
 }
 

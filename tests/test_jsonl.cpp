@@ -1,0 +1,106 @@
+#include "util/jsonl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/status.hpp"
+
+namespace {
+
+using mpe::Error;
+using mpe::ErrorCode;
+using mpe::util::json_escape;
+using mpe::util::json_number;
+using mpe::util::JsonFields;
+using mpe::util::JsonValue;
+using mpe::util::parse_json;
+
+TEST(JsonEscape, ControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(JsonNumber, RoundTripsThroughParse) {
+  for (double v : {0.0, 1.0, -2.5, 0.1, 1e-300, 9.8196310902247124,
+                   std::numeric_limits<double>::max()}) {
+    const JsonValue parsed = parse_json(json_number(v));
+    ASSERT_TRUE(parsed.is_number()) << json_number(v);
+    EXPECT_EQ(parsed.as_number(), v) << json_number(v);
+  }
+}
+
+TEST(JsonNumber, NonFiniteBecomesString) {
+  EXPECT_EQ(json_number(std::nan("")), "\"nan\"");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "\"inf\"");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()),
+            "\"-inf\"");
+}
+
+TEST(JsonFieldsTest, BuildsFlatObject) {
+  const std::string obj = JsonFields{}
+                              .add("s", "x\"y")
+                              .add("b", true)
+                              .add("i", -3)
+                              .add("u", 7u)
+                              .add("d", 0.5)
+                              .raw("a", "[1,2]")
+                              .object();
+  const JsonValue v = parse_json(obj);
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("s")->as_string(), "x\"y");
+  EXPECT_TRUE(v.find("b")->as_bool());
+  EXPECT_EQ(v.find("i")->as_number(), -3.0);
+  EXPECT_EQ(v.find("u")->as_number(), 7.0);
+  EXPECT_EQ(v.find("d")->as_number(), 0.5);
+  ASSERT_TRUE(v.find("a")->is_array());
+  EXPECT_EQ(v.find("a")->as_array().size(), 2u);
+}
+
+TEST(JsonFieldsTest, EmptyObject) {
+  EXPECT_TRUE(JsonFields{}.empty());
+  EXPECT_EQ(JsonFields{}.object(), "{}");
+}
+
+TEST(ParseJson, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json(" false ").as_bool());
+  EXPECT_EQ(parse_json("-1.5e2").as_number(), -150.0);
+  EXPECT_EQ(parse_json("\"a\\u0041b\"").as_string(), "aAb");
+}
+
+TEST(ParseJson, NestedStructure) {
+  const JsonValue v = parse_json(R"({"a":[1,{"b":null}],"c":{}})");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.find("a");
+  ASSERT_TRUE(a != nullptr && a->is_array());
+  EXPECT_EQ(a->as_array()[0].as_number(), 1.0);
+  EXPECT_TRUE(a->as_array()[1].find("b")->is_null());
+  EXPECT_TRUE(v.find("c")->is_object());
+  EXPECT_EQ(v.keys(), (std::vector<std::string>{"a", "c"}));
+}
+
+TEST(ParseJson, MalformedInputThrowsParseError) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\":}", "tru", "1 2",
+                          "\"unterminated", "{\"a\" 1}", "nan"}) {
+    try {
+      parse_json(bad);
+      FAIL() << "expected parse error for: " << bad;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kParse) << bad;
+    }
+  }
+}
+
+TEST(ParseJson, FindOnNonObjectIsNull) {
+  EXPECT_EQ(parse_json("[1]").find("a"), nullptr);
+  EXPECT_FALSE(parse_json("3").has("a"));
+  EXPECT_TRUE(parse_json("3").keys().empty());
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using mpe::util::Counter;
+using mpe::util::Gauge;
+using mpe::util::Histogram;
+using mpe::util::HistogramData;
+using mpe::util::MetricKind;
+using mpe::util::MetricRegistry;
+using mpe::util::MetricsSnapshot;
+
+TEST(Metrics, DisabledByDefaultAndUpdatesAreDropped) {
+  MetricRegistry reg;
+  EXPECT_FALSE(reg.enabled());
+  Counter c = reg.counter("mpe_test_total");
+  c.inc(5);
+  EXPECT_EQ(reg.snapshot().value("mpe_test_total"), 0.0);
+}
+
+TEST(Metrics, DefaultConstructedHandlesNoOp) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.inc();
+  g.add(3);
+  h.observe(1);  // must not crash
+}
+
+TEST(Metrics, CounterAccumulates) {
+  MetricRegistry reg;
+  reg.enable(true);
+  Counter c = reg.counter("mpe_test_total");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(reg.snapshot().value("mpe_test_total"), 42.0);
+}
+
+TEST(Metrics, LabelsSeparateSeries) {
+  MetricRegistry reg;
+  reg.enable(true);
+  Counter a = reg.counter("mpe_test_total", "kind=a");
+  Counter b = reg.counter("mpe_test_total", "kind=b");
+  a.inc(1);
+  b.inc(2);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.value("mpe_test_total", "kind=a"), 1.0);
+  EXPECT_EQ(snap.value("mpe_test_total", "kind=b"), 2.0);
+  EXPECT_EQ(snap.find("mpe_test_total", "kind=missing"), nullptr);
+}
+
+TEST(Metrics, SameIdentityYieldsSameSeries) {
+  MetricRegistry reg;
+  reg.enable(true);
+  Counter a = reg.counter("mpe_test_total");
+  Counter b = reg.counter("mpe_test_total");
+  a.inc();
+  b.inc();
+  EXPECT_EQ(reg.snapshot().value("mpe_test_total"), 2.0);
+  EXPECT_EQ(reg.series_count(), 1u);
+}
+
+TEST(Metrics, GaugeTracksSignedLevel) {
+  MetricRegistry reg;
+  reg.enable(true);
+  Gauge g = reg.gauge("mpe_test_depth");
+  g.add(5);
+  g.sub(2);
+  EXPECT_EQ(reg.snapshot().value("mpe_test_depth"), 3.0);
+  g.sub(4);  // below zero: deltas stay exact through wraparound
+  EXPECT_EQ(reg.snapshot().value("mpe_test_depth"), -1.0);
+}
+
+TEST(Metrics, HistogramBucketsByLog2) {
+  MetricRegistry reg;
+  reg.enable(true);
+  Histogram h = reg.histogram("mpe_test_ns");
+  h.observe(0);   // bucket 0
+  h.observe(1);   // bucket 1: [1, 2)
+  h.observe(2);   // bucket 2: [2, 4)
+  h.observe(3);   // bucket 2
+  h.observe(1024);  // bucket 11: [1024, 2048)
+  const MetricsSnapshot snap = reg.snapshot();
+  const auto* s = snap.find("mpe_test_ns");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, MetricKind::kHistogram);
+  EXPECT_EQ(s->histogram.count, 5u);
+  EXPECT_EQ(s->histogram.sum, 1030u);
+  EXPECT_EQ(s->histogram.buckets[0], 1u);
+  EXPECT_EQ(s->histogram.buckets[1], 1u);
+  EXPECT_EQ(s->histogram.buckets[2], 2u);
+  EXPECT_EQ(s->histogram.buckets[11], 1u);
+  EXPECT_DOUBLE_EQ(s->histogram.mean(), 206.0);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsSeries) {
+  MetricRegistry reg;
+  reg.enable(true);
+  Counter c = reg.counter("mpe_test_total");
+  c.inc(9);
+  reg.reset();
+  EXPECT_EQ(reg.series_count(), 1u);
+  EXPECT_EQ(reg.snapshot().value("mpe_test_total"), 0.0);
+  c.inc();  // handle survives reset
+  EXPECT_EQ(reg.snapshot().value("mpe_test_total"), 1.0);
+}
+
+TEST(Metrics, EnableToggleStopsAndResumesRecording) {
+  MetricRegistry reg;
+  reg.enable(true);
+  Counter c = reg.counter("mpe_test_total");
+  c.inc();
+  reg.enable(false);
+  c.inc(100);
+  reg.enable(true);
+  c.inc();
+  EXPECT_EQ(reg.snapshot().value("mpe_test_total"), 2.0);
+}
+
+TEST(Metrics, ConcurrentWritersMergeExactly) {
+  MetricRegistry reg;
+  reg.enable(true);
+  Counter c = reg.counter("mpe_test_total");
+  Histogram h = reg.histogram("mpe_test_hist");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c, &h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.observe(i % 7);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.value("mpe_test_total"), kThreads * kPerThread);
+  EXPECT_EQ(snap.find("mpe_test_hist")->histogram.count,
+            kThreads * kPerThread);
+}
+
+TEST(Metrics, TwoRegistriesAreIndependent) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.enable(true);
+  b.enable(true);
+  Counter ca = a.counter("mpe_test_total");
+  Counter cb = b.counter("mpe_test_total");
+  ca.inc(1);
+  cb.inc(2);
+  EXPECT_EQ(a.snapshot().value("mpe_test_total"), 1.0);
+  EXPECT_EQ(b.snapshot().value("mpe_test_total"), 2.0);
+}
+
+TEST(Metrics, GlobalRegistryIsSingleton) {
+  EXPECT_EQ(&MetricRegistry::global(), &MetricRegistry::global());
+}
+
+TEST(Metrics, SnapshotCarriesKindNameLabels) {
+  MetricRegistry reg;
+  reg.enable(true);
+  (void)reg.counter("mpe_a_total", "x=1");
+  (void)reg.gauge("mpe_b_depth");
+  (void)reg.histogram("mpe_c_ns");
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.series.size(), 3u);
+  EXPECT_EQ(snap.series[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(snap.series[0].name, "mpe_a_total");
+  EXPECT_EQ(snap.series[0].labels, "x=1");
+  EXPECT_EQ(snap.series[1].kind, MetricKind::kGauge);
+  EXPECT_EQ(snap.series[2].kind, MetricKind::kHistogram);
+}
+
+TEST(Metrics, KindNamesAreStable) {
+  EXPECT_EQ(mpe::util::to_string(MetricKind::kCounter), "counter");
+  EXPECT_EQ(mpe::util::to_string(MetricKind::kGauge), "gauge");
+  EXPECT_EQ(mpe::util::to_string(MetricKind::kHistogram), "histogram");
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Statistical self-validation of fit_weibull_mle: across a 50-seed sweep of
+// synthetic reversed-Weibull samples with known (alpha, beta, mu), the fit
+// must recover the true parameters within tolerance bands that tighten as
+// the sample size m grows (root-m consistency, coarsely).
+//
+// The bands were calibrated empirically against this exact generator and
+// seed set (median / worst-case errors measured, then given ~2x headroom),
+// so the suite is deterministic: same seeds, same draws, same fits.
+#include "evt/weibull_mle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "maxpower/hyper_sample.hpp"
+#include "stats/weibull.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+constexpr double kAlpha = 3.0;
+constexpr double kBeta = 1.0;
+constexpr double kMu = 10.0;
+constexpr std::uint64_t kSeeds = 50;
+
+struct SweepErrors {
+  std::vector<double> mu_abs;
+  std::vector<double> alpha_abs;
+  std::size_t nonconverged = 0;
+
+  double median_mu() const { return median(mu_abs); }
+  double median_alpha() const { return median(alpha_abs); }
+  double max_mu() const {
+    return *std::max_element(mu_abs.begin(), mu_abs.end());
+  }
+
+  static double median(std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  }
+};
+
+SweepErrors run_sweep(std::size_t m) {
+  const mpe::stats::ReversedWeibull g(kAlpha, kBeta, kMu);
+  SweepErrors errors;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    mpe::Rng rng(seed);
+    std::vector<double> sample(m);
+    for (auto& v : sample) v = g.sample(rng);
+    const auto fit =
+        mpe::evt::fit_weibull_mle(sample, mpe::maxpower::raw_mle_options());
+    if (!fit.converged) ++errors.nonconverged;
+    errors.mu_abs.push_back(std::fabs(fit.params.mu - kMu));
+    errors.alpha_abs.push_back(std::fabs(fit.params.alpha - kAlpha));
+  }
+  return errors;
+}
+
+// Measured medians: m=50 -> 0.148, m=200 -> 0.056, m=800 -> 0.033; worst
+// cases 0.34 / 0.24 / 0.13. Bands sit ~2x above those.
+TEST(MleRecovery, EndpointWithinTighteningBands) {
+  const SweepErrors e50 = run_sweep(50);
+  const SweepErrors e200 = run_sweep(200);
+  const SweepErrors e800 = run_sweep(800);
+
+  EXPECT_LT(e50.median_mu(), 0.30);
+  EXPECT_LT(e200.median_mu(), 0.12);
+  EXPECT_LT(e800.median_mu(), 0.07);
+
+  EXPECT_LT(e50.max_mu(), 0.70);
+  EXPECT_LT(e200.max_mu(), 0.50);
+  EXPECT_LT(e800.max_mu(), 0.30);
+
+  // The bands must actually tighten, not just pass individually.
+  EXPECT_LT(e800.median_mu(), e200.median_mu());
+  EXPECT_LT(e200.median_mu(), e50.median_mu());
+}
+
+// Measured medians: m=50 -> 0.52, m=200 -> 0.19, m=800 -> 0.10.
+TEST(MleRecovery, ShapeWithinTighteningBands) {
+  const SweepErrors e50 = run_sweep(50);
+  const SweepErrors e200 = run_sweep(200);
+  const SweepErrors e800 = run_sweep(800);
+
+  EXPECT_LT(e50.median_alpha(), 1.00);
+  EXPECT_LT(e200.median_alpha(), 0.45);
+  EXPECT_LT(e800.median_alpha(), 0.25);
+
+  EXPECT_LT(e800.median_alpha(), e200.median_alpha());
+  EXPECT_LT(e200.median_alpha(), e50.median_alpha());
+}
+
+TEST(MleRecovery, AllFitsConvergeOnCleanSamples) {
+  for (std::size_t m : {50u, 200u, 800u}) {
+    EXPECT_EQ(run_sweep(m).nonconverged, 0u) << "m = " << m;
+  }
+}
+
+// Smith's regularity condition alpha > 2 holds at the true shape 3.0; the
+// fits must land on the regular side too, or downstream confidence theory
+// would silently not apply to these samples.
+TEST(MleRecovery, FittedShapeSatisfiesSmithCondition) {
+  for (std::size_t m : {200u, 800u}) {
+    const mpe::stats::ReversedWeibull g(kAlpha, kBeta, kMu);
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      mpe::Rng rng(seed);
+      std::vector<double> sample(m);
+      for (auto& v : sample) v = g.sample(rng);
+      const auto fit = mpe::evt::fit_weibull_mle(
+          sample, mpe::maxpower::raw_mle_options());
+      EXPECT_FALSE(fit.alpha_below_two) << "m = " << m << " seed = " << seed;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+#include "util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/jsonl.hpp"
+
+namespace {
+
+using mpe::util::JsonFields;
+using mpe::util::TraceEvent;
+using mpe::util::Tracer;
+
+TEST(Trace, DisabledTracerRetainsNothing) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.event("x");
+  { auto s = t.span("y"); }
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.total_events(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Trace, PointEventsCarryNameAndFields) {
+  Tracer t(16);
+  t.event("first", JsonFields{}.add("k", 1).body());
+  t.event("second");
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "first");
+  EXPECT_EQ(events[0].fields, "\"k\":1");
+  EXPECT_EQ(events[0].dur_ns, -1);  // point event: no duration
+  EXPECT_EQ(events[1].name, "second");
+  EXPECT_TRUE(events[1].fields.empty());
+}
+
+TEST(Trace, SequenceNumbersAreStrictlyIncreasingFromZero) {
+  Tracer t(8);
+  for (int i = 0; i < 5; ++i) t.event("e");
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);
+  }
+}
+
+TEST(Trace, RingEvictsOldestAndCountsDrops) {
+  Tracer t(4);
+  for (int i = 0; i < 10; ++i) {
+    t.event("e", JsonFields{}.add("i", i).body());
+  }
+  EXPECT_EQ(t.total_events(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first, and the retained window is the most recent 4.
+  EXPECT_EQ(events.front().seq, 6u);
+  EXPECT_EQ(events.back().seq, 9u);
+  EXPECT_EQ(events.back().fields, "\"i\":9");
+}
+
+TEST(Trace, SpanRecordsDurations) {
+  Tracer t(4);
+  {
+    auto s = t.span("work");
+    s.note(JsonFields{}.add("n", 3).body());
+  }
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_GE(events[0].dur_ns, 0);
+  EXPECT_EQ(events[0].fields, "\"n\":3");
+}
+
+TEST(Trace, SpanFinishIsIdempotent) {
+  Tracer t(4);
+  auto s = t.span("once");
+  s.finish();
+  s.finish();  // second finish must not emit again
+  EXPECT_EQ(t.total_events(), 1u);
+}
+
+TEST(Trace, MovedFromSpanDoesNotDoubleEmit) {
+  Tracer t(4);
+  {
+    auto s1 = t.span("moved");
+    auto s2 = std::move(s1);
+  }  // only s2's destructor emits
+  EXPECT_EQ(t.total_events(), 1u);
+}
+
+TEST(Trace, WallTimesAreMonotonic) {
+  Tracer t(8);
+  t.event("a");
+  t.event("b");
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_LE(events[0].wall_ns, events[1].wall_ns);
+  EXPECT_GE(events[0].wall_ns, 0);
+}
+
+TEST(Trace, ThreadCpuClockReportsWhenAvailable) {
+  const std::int64_t cpu = mpe::util::thread_cpu_now_ns();
+  if (cpu >= 0) {
+    EXPECT_GE(mpe::util::thread_cpu_now_ns(), cpu);
+  }
+}
+
+}  // namespace

@@ -31,7 +31,7 @@ using namespace mpe;
       "--verilog <file>, --seed N\n"
       "  estimate: --epsilon E --confidence L [--tprob P | --activity A]\n"
       "            [--deadline-ms N] [--fit-policy use|pwm|redraw]\n"
-      "            [--max-hyper K]\n"
+      "            [--max-hyper K] [--metrics-out FILE|-] [--trace]\n"
       "  convert : --in <file.bench|file.v> --out <file.bench|file.v>\n"
       "  timing  : --model zero|unit|loaded\n"
       "  vcd     : --out <file.vcd> [--cycles N]\n"
@@ -53,7 +53,7 @@ circuit::Netlist load_circuit(const Cli& cli, std::uint64_t seed) {
 int cmd_estimate(const Cli& cli) {
   cli.check_known({"circuit", "bench", "verilog", "seed", "epsilon",
                    "confidence", "tprob", "activity", "max-hyper",
-                   "fit-policy", "deadline-ms"});
+                   "fit-policy", "deadline-ms", "metrics-out", "trace"});
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   auto netlist = load_circuit(cli, seed);
   sim::CyclePowerEvaluator evaluator(netlist);
@@ -91,8 +91,44 @@ int cmd_estimate(const Cli& cli) {
     options.control.deadline =
         util::Deadline::after(std::chrono::milliseconds(deadline_ms));
   }
+
+  // Observability: --metrics-out FILE (or `-` for stdout) writes the JSONL
+  // run report; --trace additionally captures per-hyper-sample events into
+  // it and prints the diagnostics JSON to stderr. Neither flag changes the
+  // estimate (instrumentation is read-only; see docs/OBSERVABILITY.md).
+  const std::string metrics_out = cli.get("metrics-out", "");
+  const bool trace_on = cli.has("trace");
+  util::Tracer tracer(trace_on || !metrics_out.empty() ? 4096 : 0);
+  if (tracer.enabled()) options.tracer = &tracer;
+  if (!metrics_out.empty()) util::MetricRegistry::global().enable(true);
+
   Rng rng(seed);
   const auto r = maxpower::estimate_max_power(population, options, rng);
+
+  if (!metrics_out.empty()) {
+    maxpower::RunReportOptions ropt;
+    ropt.tracer = &tracer;
+    ropt.metrics = &util::MetricRegistry::global();
+    const std::string pop_desc = population.description();
+    ropt.population = pop_desc;
+    if (metrics_out == "-") {
+      maxpower::write_run_report(std::cout, r, options, ropt);
+    } else {
+      std::ofstream out(metrics_out);
+      if (!out) {
+        throw Error(ErrorCode::kIo, "cannot open metrics output for write",
+                    ErrorContext{}.kv("path", metrics_out).str());
+      }
+      maxpower::write_run_report(out, r, options, ropt);
+      if (!out.good()) {
+        throw Error(ErrorCode::kIo, "metrics output write failed",
+                    ErrorContext{}.kv("path", metrics_out).str());
+      }
+    }
+  }
+  if (trace_on) {
+    std::fprintf(stderr, "diagnostics: %s\n", r.diagnostics.to_json().c_str());
+  }
 
   std::printf("circuit           : %s (%zu gates)\n", netlist.name().c_str(),
               netlist.num_gates());
