@@ -10,12 +10,19 @@ if [ ! -f build/CMakeCache.txt ]; then
 fi
 cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
 # Fast tier-1 suite first (everything unlabeled), then the slower
-# statistical self-validation leg (label catalog in tests/CMakeLists.txt).
-# MPE_SKIP_STAT=1 opts out of the stat leg for quick iteration.
-ctest --test-dir build --output-on-failure -LE stat
+# statistical self-validation and durability legs (label catalog in
+# tests/CMakeLists.txt). MPE_SKIP_STAT=1 / MPE_SKIP_RECOVERY=1 opt out of
+# the labeled legs for quick iteration.
+ctest --test-dir build --output-on-failure -LE 'stat|recovery'
 if [ "${MPE_SKIP_STAT:-0}" != "1" ]; then
   echo "== statistical validation leg (MPE_SKIP_STAT=1 skips) =="
   ctest --test-dir build --output-on-failure -L stat
+fi
+if [ "${MPE_SKIP_RECOVERY:-0}" != "1" ]; then
+  echo "== recovery / durability leg (MPE_SKIP_RECOVERY=1 skips) =="
+  # Checkpoint/resume bit-identity, retry policy, campaign ledger suites,
+  # plus the script-driven kill -9 -> resume -> golden-compare smoke test.
+  ctest --test-dir build --output-on-failure -L recovery
 fi
 
 # Optional sanitizer leg (MPE_SANITIZERS=1): rebuild with ASan+UBSan and run

@@ -1,0 +1,394 @@
+#include "maxpower/campaign.hpp"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "circuit/bench_io.hpp"
+#include "circuit/verilog_io.hpp"
+#include "gen/presets.hpp"
+#include "sim/power_eval.hpp"
+#include "util/atomic_file.hpp"
+#include "util/jsonl.hpp"
+#include "util/rng.hpp"
+#include "vectors/generators.hpp"
+
+namespace mpe::maxpower {
+
+namespace {
+
+bool valid_job_name(const std::string& name) {
+  if (name.empty() || name.size() > 128) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  // "." / ".." would escape the state directory.
+  return name != "." && name != "..";
+}
+
+void ensure_directory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return;
+  throw Error(ErrorCode::kIo, "cannot create campaign state directory",
+              ErrorContext{}.kv("path", path).kv("errno", std::strerror(errno))
+                  .str());
+}
+
+double number_field(const util::JsonValue& obj, std::string_view key,
+                    double fallback, std::size_t line_no) {
+  const util::JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    throw Error(ErrorCode::kBadData, "manifest field must be a number",
+                ErrorContext{}.kv("field", key).kv("line", line_no).str());
+  }
+  return v->as_number();
+}
+
+std::string string_field(const util::JsonValue& obj, std::string_view key,
+                         std::size_t line_no) {
+  const util::JsonValue* v = obj.find(key);
+  if (v == nullptr) return {};
+  if (!v->is_string()) {
+    throw Error(ErrorCode::kBadData, "manifest field must be a string",
+                ErrorContext{}.kv("field", key).kv("line", line_no).str());
+  }
+  return v->as_string();
+}
+
+/// Everything a built-in job's population stands on; kept alive for the
+/// whole job so retry attempts share one population (and its fault
+/// counters, when tests decorate it).
+struct JobRuntime {
+  std::unique_ptr<circuit::Netlist> netlist;
+  std::unique_ptr<sim::CyclePowerEvaluator> evaluator;
+  std::unique_ptr<vec::PairGenerator> pairs;
+  std::unique_ptr<vec::StreamingPopulation> streaming;
+  vec::Population* population = nullptr;  ///< the one the estimator sees
+};
+
+JobRuntime build_runtime(const CampaignJob& job) {
+  JobRuntime rt;
+  if (job.population != nullptr) {
+    rt.population = job.population;
+    return rt;
+  }
+  if (!job.bench.empty()) {
+    rt.netlist = std::make_unique<circuit::Netlist>(
+        circuit::read_bench_file(job.bench));
+  } else if (!job.verilog.empty()) {
+    rt.netlist = std::make_unique<circuit::Netlist>(
+        circuit::read_verilog_file(job.verilog));
+  } else {
+    rt.netlist = std::make_unique<circuit::Netlist>(
+        gen::build_preset(job.circuit.empty() ? "c432" : job.circuit,
+                          job.seed));
+  }
+  rt.evaluator = std::make_unique<sim::CyclePowerEvaluator>(*rt.netlist);
+  if (job.activity >= 0.0) {
+    rt.pairs = std::make_unique<vec::HighActivityPairGenerator>(
+        rt.netlist->num_inputs(), job.activity);
+  } else {
+    rt.pairs = std::make_unique<vec::TransitionProbPairGenerator>(
+        rt.netlist->num_inputs(), job.tprob);
+  }
+  rt.streaming =
+      std::make_unique<vec::StreamingPopulation>(*rt.pairs, *rt.evaluator);
+  rt.population = rt.streaming.get();
+  return rt;
+}
+
+/// Failure code of one finished-but-not-converged run. kDataFault runs
+/// carry the underlying cause in the diagnostics records; surface the most
+/// recent coded record so the retry classifier can tell an injected
+/// transient (retryable) from genuinely bad data (fatal).
+ErrorCode classify_result(const EstimationResult& r) {
+  switch (r.stop_reason) {
+    case StopReason::kConverged:
+      return ErrorCode::kOk;
+    case StopReason::kDeadlineExceeded:
+      return ErrorCode::kDeadline;
+    case StopReason::kCancelled:
+      return ErrorCode::kCancelled;
+    case StopReason::kDataFault: {
+      const auto& records = r.diagnostics.records;
+      for (auto it = records.rbegin(); it != records.rend(); ++it) {
+        if (it->code != ErrorCode::kOk) return it->code;
+      }
+      return ErrorCode::kBadData;
+    }
+    case StopReason::kMaxHyperSamples:
+    default:
+      return ErrorCode::kNonConvergence;
+  }
+}
+
+/// The ledger: job name -> last recorded status. Malformed lines (a torn
+/// append after a crash, a hand edit) are skipped, not fatal: an unreadable
+/// record can never mark a job done, so the affected job simply re-runs —
+/// from its checkpoint, which is the authoritative working state.
+std::map<std::string, std::string> read_ledger(const std::string& path) {
+  std::map<std::string, std::string> last;
+  if (!util::file_exists(path)) return last;
+  std::istringstream in(util::read_file(path));
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    util::JsonValue v;
+    try {
+      v = util::parse_json(line);
+    } catch (const Error&) {
+      continue;
+    }
+    const util::JsonValue* job = v.find("job");
+    const util::JsonValue* status = v.find("status");
+    if (job == nullptr || !job->is_string() || status == nullptr ||
+        !status->is_string()) {
+      continue;  // footer or foreign line; not a job record
+    }
+    last[job->as_string()] = status->as_string();
+  }
+  return last;
+}
+
+void append_report_line(const std::string& path, const std::string& line) {
+  // Heal a torn previous append first: if the file does not end in a
+  // newline (the process died mid-write), terminate the partial line so
+  // this record does not get fused onto it.
+  bool needs_newline = false;
+  if (util::file_exists(path)) {
+    std::ifstream probe(path, std::ios::binary | std::ios::ate);
+    if (probe && probe.tellg() > 0) {
+      probe.seekg(-1, std::ios::end);
+      char last = '\n';
+      probe.get(last);
+      needs_newline = last != '\n';
+    }
+  }
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    throw Error(ErrorCode::kIo, "cannot open campaign report for append",
+                ErrorContext{}.kv("path", path).str());
+  }
+  if (needs_newline) out << '\n';
+  out << line << '\n';
+  out.flush();
+  if (!out.good()) {
+    throw Error(ErrorCode::kIo, "campaign report append failed",
+                ErrorContext{}.kv("path", path).str());
+  }
+}
+
+std::string job_report_line(const CampaignJobOutcome& outcome) {
+  util::JsonFields f;
+  f.add("schema", "mpe.campaign");
+  f.add("v", std::uint64_t{1});
+  f.add("job", outcome.name);
+  f.add("status", to_string(outcome.status));
+  f.add("attempts", static_cast<std::uint64_t>(outcome.attempts));
+  if (outcome.error != ErrorCode::kOk) f.add("error", to_string(outcome.error));
+  if (outcome.status == JobStatus::kDone) {
+    f.add("estimate", outcome.result.estimate);
+    f.add("hyper_samples",
+          static_cast<std::uint64_t>(outcome.result.hyper_samples));
+    f.add("units", static_cast<std::uint64_t>(outcome.result.units_used));
+    f.add("converged", outcome.result.converged);
+  }
+  return f.object();
+}
+
+}  // namespace
+
+std::string_view to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kDone: return "done";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kStopped: return "stopped";
+    case JobStatus::kSkipped: return "skipped";
+  }
+  return "failed";
+}
+
+std::vector<CampaignJob> parse_campaign_manifest(std::string_view text) {
+  static constexpr std::string_view kKnown[] = {
+      "job", "circuit", "bench", "verilog", "seed",
+      "epsilon", "confidence", "tprob", "activity", "max_hyper"};
+  std::vector<CampaignJob> jobs;
+  std::map<std::string, bool> seen;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    util::JsonValue v;
+    try {
+      v = util::parse_json(line);
+    } catch (const Error& e) {
+      throw Error(ErrorCode::kParse, "malformed campaign manifest line",
+                  ErrorContext{}.kv("line", line_no)
+                      .kv("detail", e.message()).str());
+    }
+    if (!v.is_object()) {
+      throw Error(ErrorCode::kParse, "manifest line is not a JSON object",
+                  ErrorContext{}.kv("line", line_no).str());
+    }
+    for (const auto& key : v.keys()) {
+      bool known = false;
+      for (auto k : kKnown) known = known || key == k;
+      if (!known) {
+        throw Error(ErrorCode::kBadData, "unknown campaign manifest field",
+                    ErrorContext{}.kv("field", key).kv("line", line_no).str());
+      }
+    }
+    CampaignJob job;
+    job.name = string_field(v, "job", line_no);
+    if (!valid_job_name(job.name)) {
+      throw Error(ErrorCode::kBadData,
+                  "manifest job name missing or invalid "
+                  "(want [A-Za-z0-9._-]{1,128})",
+                  ErrorContext{}.kv("line", line_no).kv("job", job.name).str());
+    }
+    if (seen[job.name]) {
+      throw Error(ErrorCode::kBadData, "duplicate job name in manifest",
+                  ErrorContext{}.kv("job", job.name).kv("line", line_no).str());
+    }
+    seen[job.name] = true;
+    job.circuit = string_field(v, "circuit", line_no);
+    job.bench = string_field(v, "bench", line_no);
+    job.verilog = string_field(v, "verilog", line_no);
+    job.seed = static_cast<std::uint64_t>(
+        number_field(v, "seed", 1.0, line_no));
+    job.epsilon = number_field(v, "epsilon", 0.05, line_no);
+    job.confidence = number_field(v, "confidence", 0.90, line_no);
+    job.tprob = number_field(v, "tprob", 0.5, line_no);
+    job.activity = number_field(v, "activity", -1.0, line_no);
+    job.max_hyper_samples = static_cast<std::size_t>(
+        number_field(v, "max_hyper", 500.0, line_no));
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<CampaignJob> load_campaign_manifest(const std::string& path) {
+  return parse_campaign_manifest(util::read_file(path));
+}
+
+CampaignResult run_campaign(std::vector<CampaignJob>& jobs,
+                            const CampaignOptions& options) {
+  if (options.state_dir.empty()) {
+    throw Error(ErrorCode::kPrecondition,
+                "CampaignOptions::state_dir must be set");
+  }
+  ensure_directory(options.state_dir);
+  const std::string report_path = options.report_path.empty()
+                                      ? options.state_dir + "/campaign.jsonl"
+                                      : options.report_path;
+  const auto ledger = read_ledger(report_path);
+
+  CampaignResult result;
+  Rng jitter_rng(options.jitter_seed);
+  for (auto& job : jobs) {
+    if (!valid_job_name(job.name)) {
+      throw Error(ErrorCode::kBadData, "invalid campaign job name",
+                  ErrorContext{}.kv("job", job.name).str());
+    }
+    CampaignJobOutcome outcome;
+    outcome.name = job.name;
+
+    if (const auto it = ledger.find(job.name);
+        it != ledger.end() && it->second == "done") {
+      outcome.status = JobStatus::kSkipped;
+      ++result.skipped;
+      result.jobs.push_back(std::move(outcome));
+      continue;  // ledger says done: nothing to re-run, nothing to append
+    }
+
+    const util::StopCause before = options.control.should_stop();
+    if (before != util::StopCause::kNone) {
+      result.stopped = before;
+      break;
+    }
+
+    EstimatorOptions est;
+    est.epsilon = job.epsilon;
+    est.confidence = job.confidence;
+    est.max_hyper_samples = job.max_hyper_samples;
+    est.control = options.control;
+    est.checkpoint_path = options.state_dir + "/" + job.name + ".ckpt";
+    est.checkpoint_every_k = options.checkpoint_every_k;
+    ParallelOptions par;
+    par.threads = options.threads;
+
+    // Build once per job: retry attempts share the population, so stateful
+    // decorators (fault-injection counters) advance across attempts and a
+    // transient fault does not re-fire on the retry.
+    JobRuntime runtime;
+    try {
+      runtime = build_runtime(job);
+    } catch (const Error& e) {
+      outcome.status = JobStatus::kFailed;
+      outcome.error = e.code();
+      ++result.failed;
+      append_report_line(report_path, job_report_line(outcome));
+      result.jobs.push_back(std::move(outcome));
+      continue;
+    }
+
+    EstimationResult best;
+    const auto attempt = [&]() -> ErrorCode {
+      try {
+        best = estimate_max_power(*runtime.population, est, job.seed, par);
+        return classify_result(best);
+      } catch (const Error& e) {
+        return e.code();
+      } catch (const std::exception&) {
+        return ErrorCode::kInternal;
+      }
+    };
+    const util::RetryOutcome retried = util::retry_with_backoff(
+        options.retry, options.control, jitter_rng, attempt);
+
+    outcome.attempts = retried.attempts;
+    const util::StopCause after = options.control.should_stop();
+    if (retried.ok) {
+      outcome.status = JobStatus::kDone;
+      outcome.result = std::move(best);
+      ++result.done;
+    } else if (retried.stopped != util::StopCause::kNone ||
+               after != util::StopCause::kNone ||
+               retried.last_error == ErrorCode::kCancelled ||
+               retried.last_error == ErrorCode::kDeadline) {
+      // The job was interrupted, not broken: its checkpoint stays on disk
+      // and the next invocation resumes it.
+      outcome.status = JobStatus::kStopped;
+      outcome.error = retried.last_error;
+    } else {
+      outcome.status = JobStatus::kFailed;
+      outcome.error = retried.last_error;
+      ++result.failed;
+    }
+    append_report_line(report_path, job_report_line(outcome));
+    const bool was_stopped = outcome.status == JobStatus::kStopped;
+    result.jobs.push_back(std::move(outcome));
+    if (was_stopped) {
+      result.stopped = after != util::StopCause::kNone
+                           ? after
+                           : (retried.stopped != util::StopCause::kNone
+                                  ? retried.stopped
+                                  : util::StopCause::kCancelled);
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace mpe::maxpower

@@ -1,0 +1,116 @@
+// Resilient multi-circuit campaign runner: estimate maximum power for a
+// manifest of circuits, surviving crashes, transient faults, and operator
+// interrupts without losing or repeating work.
+//
+// Durability model (docs/ROBUSTNESS.md, "Durability & resume"):
+//   * Each job checkpoints its estimation run independently to
+//     <state_dir>/<job>.ckpt (maxpower/checkpoint.hpp), so a crash mid-job
+//     loses at most checkpoint_every_k hyper-samples of that one job.
+//   * The campaign appends one JSONL line per finished job to the report
+//     file. Re-invoking the campaign reads the report first, skips jobs
+//     already recorded as done, retries failed ones, and resumes in-flight
+//     ones from their checkpoints — the report is the campaign's ledger,
+//     the checkpoints are its working state.
+//   * Transient failures (I/O hiccups, injected faults) are retried under a
+//     jittered-exponential-backoff RetryPolicy (util/retry.hpp); fatal ones
+//     (parse errors, bad data, precondition violations) fail the job
+//     immediately. Cancellation or a deadline stops the campaign between
+//     attempts and between jobs, recording the in-flight job as stopped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "maxpower/estimator.hpp"
+#include "util/deadline.hpp"
+#include "util/retry.hpp"
+#include "vectors/population.hpp"
+
+namespace mpe::maxpower {
+
+/// One campaign job: which circuit, which input model, which estimator
+/// budget. Parsed from a manifest line (see load_campaign_manifest) or
+/// constructed directly by tests.
+struct CampaignJob {
+  std::string name;      ///< unique job id: report key + checkpoint filename
+  std::string circuit;   ///< generator preset name (gen::build_preset)
+  std::string bench;     ///< ISCAS-85 .bench path (overrides circuit)
+  std::string verilog;   ///< structural Verilog path (overrides circuit)
+  std::uint64_t seed = 1;
+  double epsilon = 0.05;
+  double confidence = 0.90;
+  /// Input model: transition probability unless activity is set.
+  double tprob = 0.5;
+  double activity = -1.0;  ///< >= 0 selects the high-activity generator
+  std::size_t max_hyper_samples = 500;
+  /// Test hook: when non-null the campaign estimates against this
+  /// population instead of building one from the circuit fields. Non-owning;
+  /// must outlive the campaign. Built-in or injected, the population is
+  /// constructed ONCE per job, so stateful decorators (fault injection
+  /// counters) persist across retry attempts — a transient fault does not
+  /// re-fire on the retry.
+  vec::Population* population = nullptr;
+};
+
+/// Campaign-wide configuration.
+struct CampaignOptions {
+  /// Directory for per-job checkpoints and (by default) the report. Created
+  /// if missing. Must be non-empty.
+  std::string state_dir;
+  /// JSONL ledger path; empty means <state_dir>/campaign.jsonl.
+  std::string report_path;
+  util::RetryPolicy retry;
+  util::RunControl control;  ///< polled between jobs, attempts, and samples
+  /// Forwarded to the pipelined estimator (result-invariant).
+  unsigned threads = 1;
+  std::size_t checkpoint_every_k = 1;
+  /// Seed for retry backoff jitter (deterministic replay in tests).
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// Terminal status of one job within a campaign invocation.
+enum class JobStatus : std::uint8_t {
+  kDone,     ///< converged; result recorded
+  kFailed,   ///< fatal error or retries exhausted
+  kStopped,  ///< cancellation/deadline cut the job short (checkpoint kept)
+  kSkipped,  ///< already done per the report ledger; not re-run
+};
+
+std::string_view to_string(JobStatus status);
+
+/// Outcome of one job.
+struct CampaignJobOutcome {
+  std::string name;
+  JobStatus status = JobStatus::kFailed;
+  std::size_t attempts = 0;            ///< estimation attempts this invocation
+  ErrorCode error = ErrorCode::kOk;    ///< last failure code (kFailed/kStopped)
+  EstimationResult result;             ///< valid when status == kDone
+};
+
+/// Outcome of one campaign invocation.
+struct CampaignResult {
+  std::vector<CampaignJobOutcome> jobs;
+  std::size_t done = 0;     ///< jobs completed this invocation
+  std::size_t failed = 0;
+  std::size_t skipped = 0;  ///< jobs skipped via the ledger
+  util::StopCause stopped = util::StopCause::kNone;  ///< set when cut short
+};
+
+/// Parses a campaign manifest: one JSON object per line, `#` comments and
+/// blank lines ignored. Recognized fields: "job" (required, unique),
+/// "circuit" | "bench" | "verilog", "seed", "epsilon", "confidence",
+/// "tprob", "activity", "max_hyper". Throws mpe::Error(kParse) on malformed
+/// JSON, kBadData on missing/duplicate names or unknown fields.
+std::vector<CampaignJob> load_campaign_manifest(const std::string& path);
+std::vector<CampaignJob> parse_campaign_manifest(std::string_view text);
+
+/// Runs every job not already recorded as done in the report ledger.
+/// Appends one JSONL line per job processed this invocation (schema
+/// "mpe.campaign" v1; see docs/ROBUSTNESS.md). Throws only for campaign-
+/// level failures (unusable state_dir, unreadable ledger); per-job failures
+/// are reported in the result, never thrown.
+CampaignResult run_campaign(std::vector<CampaignJob>& jobs,
+                            const CampaignOptions& options);
+
+}  // namespace mpe::maxpower

@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "evt/bootstrap.hpp"
+#include "maxpower/checkpoint.hpp"
+#include "util/atomic_file.hpp"
 #include "util/contracts.hpp"
 #include "util/jsonl.hpp"
 #include "util/metrics.hpp"
@@ -362,21 +364,142 @@ void finish_unconverged(const EstimatorOptions& options, Rng& interval_rng,
 /// reach this one within the max_hyper_samples budget.
 constexpr std::uint64_t kIntervalStream = ~std::uint64_t{0} - 1;
 
+/// Durable-run-state hook shared by both estimator paths. Inert (every call
+/// a no-op) when EstimatorOptions::checkpoint_path is empty, so the
+/// checkpoint feature costs one branch per accept when disabled. When
+/// enabled it captures a full state snapshot at every accept boundary —
+/// result, loop/interval RNG state, next stream index — and persists every
+/// k-th one atomically; stop paths flush the latest snapshot so a resumed
+/// run never loses an accepted hyper-sample to a graceful stop.
+class CheckpointSink {
+ public:
+  CheckpointSink(const EstimatorOptions& options, vec::Population& population,
+                 std::uint64_t base_seed, bool parallel_path)
+      : options_(options), enabled_(!options.checkpoint_path.empty()) {
+    if (!enabled_) return;
+    snapshot_.fingerprint = run_fingerprint(options, base_seed, parallel_path,
+                                            population.description());
+    snapshot_.base_seed = base_seed;
+    snapshot_.parallel_path = parallel_path;
+  }
+
+  bool enabled() const { return enabled_; }
+
+  /// Loads an existing checkpoint into (`r`, `next_index`, `rng_state`).
+  /// Returns false when there is no checkpoint (fresh run). Throws
+  /// mpe::Error(kPrecondition) when the file belongs to a different run
+  /// configuration, kCorruptData/kParse/kIo when it is unusable — resuming
+  /// the wrong state silently is never an option.
+  bool try_resume(EstimationResult& r, std::uint64_t& next_index,
+                  Rng::State& rng_state, bool& complete) {
+    if (!enabled_ || !util::file_exists(options_.checkpoint_path)) {
+      return false;
+    }
+    RunCheckpoint loaded = load_checkpoint_file(options_.checkpoint_path);
+    if (loaded.fingerprint != snapshot_.fingerprint ||
+        loaded.parallel_path != snapshot_.parallel_path) {
+      throw Error(
+          ErrorCode::kPrecondition,
+          "checkpoint was written by a different run configuration; "
+          "refusing to resume",
+          ErrorContext{}
+              .kv("path", options_.checkpoint_path)
+              .kv("expected_fingerprint", snapshot_.fingerprint)
+              .kv("found_fingerprint", loaded.fingerprint)
+              .str());
+    }
+    r = std::move(loaded.result);
+    next_index = loaded.next_index;
+    rng_state = loaded.rng;
+    complete = loaded.complete;
+    snapshot_.accepted_indices = std::move(loaded.accepted_indices);
+    if (options_.tracer != nullptr) {
+      options_.tracer->event("run_resumed",
+                             util::JsonFields{}
+                                 .add("hyper_samples", r.hyper_samples)
+                                 .add("next_index", next_index)
+                                 .add("complete", complete)
+                                 .body());
+    }
+    return true;
+  }
+
+  /// Captures the accept-boundary snapshot: `r` immediately after
+  /// accept_and_check, the loop/interval RNG at that instant, the next
+  /// index the resumed loop should consume, and the index that produced
+  /// this hyper-sample. Persists every k-th accept, and always when the run
+  /// just converged (`complete`).
+  void on_accept(const EstimationResult& r, const Rng::State& rng_state,
+                 std::uint64_t next_index, std::uint64_t sample_index,
+                 bool complete) {
+    if (!enabled_) return;
+    snapshot_.accepted_indices.push_back(sample_index);
+    snapshot_.result = r;
+    snapshot_.rng = rng_state;
+    snapshot_.next_index = next_index;
+    snapshot_.complete = complete;
+    dirty_ = true;
+    ++accepts_since_write_;
+    const std::size_t every =
+        options_.checkpoint_every_k > 0 ? options_.checkpoint_every_k : 1;
+    if (complete || accepts_since_write_ >= every) write();
+  }
+
+  /// Persists the newest captured snapshot if it has not been written yet.
+  /// Called on every non-converged exit (deadline, cancel, fault, budget)
+  /// so resumable state is on disk before the partial result is returned.
+  void flush() {
+    if (enabled_ && dirty_) write();
+  }
+
+ private:
+  void write() {
+    save_checkpoint_file(options_.checkpoint_path, snapshot_);
+    dirty_ = false;
+    accepts_since_write_ = 0;
+  }
+
+  const EstimatorOptions& options_;
+  bool enabled_ = false;
+  bool dirty_ = false;
+  std::size_t accepts_since_write_ = 0;
+  RunCheckpoint snapshot_;
+};
+
 EstimationResult estimate_serial_impl(vec::Population& population,
                                       const EstimatorOptions& options,
                                       Rng& rng) {
   EstimationResult r;
-  check_population(population, options, r);
+  CheckpointSink ckpt(options, population, /*base_seed=*/0,
+                      /*parallel_path=*/false);
+  std::size_t attempts = 0;
+  bool resumed = false;
+  if (ckpt.enabled()) {
+    std::uint64_t next_index = 0;
+    Rng::State rng_state;
+    bool complete = false;
+    if (ckpt.try_resume(r, next_index, rng_state, complete)) {
+      // A complete checkpoint is the final result of a converged run:
+      // return it without drawing anything.
+      if (complete) return r;
+      attempts = static_cast<std::size_t>(next_index);
+      rng.set_state(rng_state);
+      resumed = true;
+    }
+  }
+  // The restored diagnostics already carry the population-size note from
+  // the original run start; only a fresh run records it.
+  if (!resumed) check_population(population, options, r);
   // Draws beyond max_hyper_samples replace discarded hyper-samples; the cap
   // bounds the run against populations that never yield a usable sample.
   const std::size_t max_attempts =
       options.max_hyper_samples + options.max_redraws;
-  std::size_t attempts = 0;
   while (r.hyper_samples < options.max_hyper_samples &&
          attempts < max_attempts) {
     if (const util::StopCause cause = options.control.should_stop();
         cause != util::StopCause::kNone) {
       record_stop(options, cause, r);
+      ckpt.flush();
       finish_unconverged(options, rng, r);
       return r;
     }
@@ -385,6 +508,7 @@ EstimationResult estimate_serial_impl(vec::Population& population,
       hs = draw_hyper_sample(population, options.hyper, rng);
     } catch (const Error& e) {
       record_draw_fault(options, e, r);
+      ckpt.flush();
       finish_unconverged(options, rng, r);
       return r;
     }
@@ -394,11 +518,14 @@ EstimationResult estimate_serial_impl(vec::Population& population,
       record_discard(options, hs, r);
       continue;
     }
-    if (accept_and_check(options, hs, rng, r)) return r;
+    const bool done = accept_and_check(options, hs, rng, r);
+    ckpt.on_accept(r, rng.state(), attempts, attempts - 1, done);
+    if (done) return r;
   }
   if (r.hyper_samples < options.max_hyper_samples) {
     record_redraws_exhausted(options, r);
   }
+  ckpt.flush();
   finish_unconverged(options, rng, r);
   return r;
 }
@@ -410,17 +537,31 @@ EstimationResult estimate_parallel_impl(vec::Population& population,
                                         std::size_t wave) {
   Rng interval_rng(stream_seed(seed, kIntervalStream));
   EstimationResult r;
-  check_population(population, options, r);
+  CheckpointSink ckpt(options, population, seed, /*parallel_path=*/true);
+  std::size_t next_index = 0;
+  bool resumed = false;
+  if (ckpt.enabled()) {
+    std::uint64_t resume_index = 0;
+    Rng::State rng_state;
+    bool complete = false;
+    if (ckpt.try_resume(r, resume_index, rng_state, complete)) {
+      if (complete) return r;
+      next_index = static_cast<std::size_t>(resume_index);
+      interval_rng.set_state(rng_state);
+      resumed = true;
+    }
+  }
+  if (!resumed) check_population(population, options, r);
   const std::size_t max_attempts =
       options.max_hyper_samples + options.max_redraws;
   std::vector<HyperSampleResult> batch;
-  std::size_t next_index = 0;
   std::size_t wave_number = 0;
   while (r.hyper_samples < options.max_hyper_samples &&
          next_index < max_attempts) {
     if (const util::StopCause cause = options.control.should_stop();
         cause != util::StopCause::kNone) {
       record_stop(options, cause, r);
+      ckpt.flush();
       finish_unconverged(options, interval_rng, r);
       return r;
     }
@@ -481,9 +622,15 @@ EstimationResult estimate_parallel_impl(vec::Population& population,
         continue;
       }
       done = accept_and_check(options, batch[j], interval_rng, r);
+      // The resume point is the index after this accept; unfolded entries
+      // later in the wave are re-drawn on resume from their per-index
+      // streams, reproducing the same values.
+      ckpt.on_accept(r, interval_rng.state(), next_index + j + 1,
+                     next_index + j, done);
     }
     if (done) return r;
     if (draw_faulted) {
+      ckpt.flush();
       finish_unconverged(options, interval_rng, r);
       return r;
     }
@@ -493,6 +640,7 @@ EstimationResult estimate_parallel_impl(vec::Population& population,
       r.stop_reason == StopReason::kMaxHyperSamples) {
     record_redraws_exhausted(options, r);
   }
+  ckpt.flush();
   finish_unconverged(options, interval_rng, r);
   return r;
 }

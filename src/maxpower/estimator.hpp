@@ -70,6 +70,24 @@ struct EstimatorOptions {
   /// maxpower::write_run_report (docs/OBSERVABILITY.md documents the
   /// schema). The tracer must outlive the call.
   util::Tracer* tracer = nullptr;
+  /// Durable run state (docs/ROBUSTNESS.md, "Durability & resume"). When
+  /// non-empty, the estimator checkpoints the run to this path after
+  /// accepted hyper-samples via the atomic tmp+fsync+rename pattern, and on
+  /// entry resumes from an existing checkpoint instead of re-simulating the
+  /// completed prefix: the resumed run's EstimationResult is bit-identical
+  /// to an uninterrupted run at any thread count. A checkpoint written by a
+  /// different configuration (fingerprint mismatch) raises
+  /// mpe::Error(kPrecondition); a corrupt one raises kCorruptData — never a
+  /// silently wrong resume. Budget fields (max_hyper_samples, RunControl)
+  /// are outside the fingerprint, so a stopped run can be resumed with a
+  /// bigger budget. Empty (the default) disables checkpointing entirely.
+  std::string checkpoint_path;
+  /// Accepted hyper-samples between checkpoint writes. 1 (the default)
+  /// persists every accept — maximal durability, and still negligible next
+  /// to the n*m simulations behind each hyper-sample. Larger values trade
+  /// re-simulated work after a crash for fewer writes. The final state
+  /// (converged, or the last accept before a stop) is always flushed.
+  std::size_t checkpoint_every_k = 1;
 };
 
 /// Why an estimation run ended.

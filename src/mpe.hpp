@@ -12,13 +12,16 @@
 //   maxdelay— EVT-based maximum-delay estimation (extension)
 #pragma once
 
+#include "util/atomic_file.hpp"
 #include "util/cli.hpp"
 #include "util/contracts.hpp"
+#include "util/crc32.hpp"
 #include "util/deadline.hpp"
 #include "util/jsonl.hpp"
 #include "util/math.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
+#include "util/retry.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
 #include "util/table.hpp"
@@ -81,6 +84,8 @@
 #include "vectors/serialize.hpp"
 
 #include "maxpower/bounds.hpp"
+#include "maxpower/campaign.hpp"
+#include "maxpower/checkpoint.hpp"
 #include "maxpower/estimator.hpp"
 #include "maxpower/hyper_sample.hpp"
 #include "maxpower/quantile_baseline.hpp"

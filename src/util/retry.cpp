@@ -1,0 +1,78 @@
+#include "util/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+namespace mpe::util {
+
+std::chrono::nanoseconds backoff_delay(const RetryPolicy& policy,
+                                       std::size_t failures, Rng& rng) {
+  if (failures == 0) return std::chrono::nanoseconds::zero();
+  const double base = static_cast<double>(policy.initial_backoff.count());
+  // Grow in double precision and clamp before converting back, so a large
+  // failure count cannot overflow the nanosecond count.
+  double scaled =
+      base * std::pow(policy.multiplier, static_cast<double>(failures - 1));
+  const double cap = static_cast<double>(policy.max_backoff.count());
+  scaled = std::min(scaled, cap);
+  if (policy.jitter > 0.0) {
+    scaled *= rng.uniform(1.0 - policy.jitter, 1.0 + policy.jitter);
+    scaled = std::min(scaled, cap);
+  }
+  scaled = std::max(scaled, 0.0);
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(scaled));
+}
+
+bool default_retryable(ErrorCode code) {
+  return code == ErrorCode::kIo || code == ErrorCode::kFaultInjected;
+}
+
+StopCause interruptible_sleep(std::chrono::nanoseconds duration,
+                              const RunControl& control) {
+  constexpr auto kSlice = std::chrono::milliseconds(10);
+  auto remaining = duration;
+  while (remaining.count() > 0) {
+    const StopCause cause = control.should_stop();
+    if (cause != StopCause::kNone) return cause;
+    const auto nap = std::min<std::chrono::nanoseconds>(remaining, kSlice);
+    std::this_thread::sleep_for(nap);
+    remaining -= nap;
+  }
+  return control.should_stop();
+}
+
+RetryOutcome retry_with_backoff(
+    const RetryPolicy& policy, const RunControl& control, Rng& jitter_rng,
+    const std::function<ErrorCode()>& attempt,
+    const std::function<bool(ErrorCode)>& retryable) {
+  RetryOutcome outcome;
+  const std::size_t max_attempts = std::max<std::size_t>(1, policy.max_attempts);
+  for (std::size_t failures = 0; outcome.attempts < max_attempts;) {
+    const StopCause cause = control.should_stop();
+    if (cause != StopCause::kNone) {
+      outcome.stopped = cause;
+      return outcome;
+    }
+    ++outcome.attempts;
+    const ErrorCode code = attempt();
+    if (code == ErrorCode::kOk) {
+      outcome.ok = true;
+      outcome.last_error = ErrorCode::kOk;
+      return outcome;
+    }
+    outcome.last_error = code;
+    if (!retryable(code) || outcome.attempts >= max_attempts) return outcome;
+    ++failures;
+    const StopCause slept =
+        interruptible_sleep(backoff_delay(policy, failures, jitter_rng),
+                            control);
+    if (slept != StopCause::kNone) {
+      outcome.stopped = slept;
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace mpe::util

@@ -1,0 +1,71 @@
+// Bounded, jittered retry with exponential backoff for campaign jobs.
+//
+// The campaign runner (maxpower/campaign.hpp) classifies each job failure as
+// retryable (I/O hiccup, injected transient fault) or fatal (parse error,
+// precondition violation), and re-runs retryable ones under this policy.
+// Backoff is deterministic given a seeded Rng — jitter comes from the
+// caller's stream, not wall clock — so campaign tests replay exactly.
+// Sleeps are sliced and poll a RunControl, so cancellation or a deadline
+// aborts a backoff wait within one slice rather than at its end.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+
+#include "util/deadline.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace mpe::util {
+
+/// Backoff policy for one job. Defaults: 3 attempts, 100ms initial delay
+/// doubling per failure, capped at 5s, +/-10% jitter.
+struct RetryPolicy {
+  std::size_t max_attempts = 3;  ///< total tries (first attempt included)
+  std::chrono::nanoseconds initial_backoff = std::chrono::milliseconds(100);
+  double multiplier = 2.0;       ///< delay growth per consecutive failure
+  std::chrono::nanoseconds max_backoff = std::chrono::seconds(5);
+  /// Uniform jitter fraction: the delay is scaled by a factor drawn from
+  /// [1 - jitter, 1 + jitter]. 0 disables jitter entirely (no rng draw).
+  double jitter = 0.1;
+};
+
+/// Delay before retry number `failures` (1 = after the first failure):
+/// initial_backoff * multiplier^(failures-1), capped at max_backoff, then
+/// jittered with a draw from `rng` (exactly one uniform draw when
+/// policy.jitter > 0, none otherwise — the draw count is part of the
+/// deterministic-replay contract).
+std::chrono::nanoseconds backoff_delay(const RetryPolicy& policy,
+                                       std::size_t failures, Rng& rng);
+
+/// Default retryability classification: transient faults worth another
+/// attempt (kIo, kFaultInjected) are retryable; everything else — bad
+/// input, precondition violations, corruption, cancellation — is fatal.
+bool default_retryable(ErrorCode code);
+
+/// Sleeps for `duration`, polling `control` about every 10ms. Returns the
+/// stop cause that interrupted the sleep, or StopCause::kNone if it ran to
+/// completion.
+StopCause interruptible_sleep(std::chrono::nanoseconds duration,
+                              const RunControl& control);
+
+/// Outcome of retry_with_backoff.
+struct RetryOutcome {
+  bool ok = false;            ///< the operation eventually returned true
+  std::size_t attempts = 0;   ///< attempts actually made
+  StopCause stopped = StopCause::kNone;  ///< set when a brake cut the loop
+  ErrorCode last_error = ErrorCode::kOk;  ///< code of the last failure
+};
+
+/// Runs `attempt` up to policy.max_attempts times. The callable reports one
+/// attempt: return kOk for success, or the failure's ErrorCode. A failure
+/// that `retryable` rejects ends the loop immediately (fatal); a retryable
+/// one sleeps backoff_delay(...) and tries again. The sleep polls `control`;
+/// cancellation or deadline expiry abandons the loop with `stopped` set.
+RetryOutcome retry_with_backoff(
+    const RetryPolicy& policy, const RunControl& control, Rng& jitter_rng,
+    const std::function<ErrorCode()>& attempt,
+    const std::function<bool(ErrorCode)>& retryable = default_retryable);
+
+}  // namespace mpe::util

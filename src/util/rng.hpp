@@ -57,6 +57,27 @@ class Rng {
   /// Returns an independent child generator (jumps this one first).
   Rng split();
 
+  /// Complete serializable generator state: the four xoshiro words plus the
+  /// cached spare normal. Restoring it makes the generator continue the
+  /// exact output sequence from the capture point — the mechanism that lets
+  /// a resumed estimation run stay bit-identical to an uninterrupted one
+  /// (maxpower/checkpoint).
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    double spare_normal = 0.0;
+    bool has_spare = false;
+  };
+
+  State state() const { return {s_, spare_normal_, has_spare_}; }
+  void set_state(const State& state) {
+    s_ = state.s;
+    spare_normal_ = state.spare_normal;
+    has_spare_ = state.has_spare;
+    // All-zero xoshiro state would lock the generator at zero forever; a
+    // corrupt checkpoint must not be able to smuggle it in.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
+
  private:
   std::array<std::uint64_t, 4> s_{};
   double spare_normal_ = 0.0;

@@ -20,12 +20,13 @@ std::string_view to_string(ErrorCode code) {
     case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kFaultInjected: return "fault-injected";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kCorruptData: return "corrupt-data";
   }
   return "unknown";
 }
 
 ErrorCode error_code_from_string(std::string_view name) {
-  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kCorruptData); ++c) {
     const auto code = static_cast<ErrorCode>(c);
     if (to_string(code) == name) return code;
   }
@@ -45,6 +46,7 @@ int exit_code(ErrorCode code) {
     case ErrorCode::kCancelled: return 8;
     case ErrorCode::kFaultInjected: return 9;
     case ErrorCode::kInternal: return 10;
+    case ErrorCode::kCorruptData: return 11;
   }
   return 10;
 }

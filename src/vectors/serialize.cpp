@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "util/crc32.hpp"
 #include "util/status.hpp"
 
 namespace mpe::vec {
@@ -15,36 +16,77 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x4d504544;  // "MPED"
 constexpr std::uint32_t kVersion = 1;
+// Integrity trailer appended after the payload: a marker word plus the
+// CRC-32 of every byte before the trailer. Legacy files (written before the
+// trailer existed) simply end at the payload and still load; a present but
+// wrong trailer is ErrorCode::kCorruptData.
+constexpr std::uint32_t kTrailerMagic = 0x4345504d;  // "MPEC"
 
-void write_u32(std::ostream& out, std::uint32_t v) {
+void write_u32_raw(std::ostream& out, std::uint32_t v) {
   char buf[4];
   for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
   out.write(buf, 4);
 }
 
-void write_u64(std::ostream& out, std::uint64_t v) {
-  char buf[8];
-  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
-  out.write(buf, 8);
-}
+/// Write side with a running CRC over every byte emitted.
+struct Writer {
+  std::ostream& out;
+  util::Crc32 crc;
 
-std::uint32_t read_u32(std::istream& in) {
-  unsigned char buf[4];
-  in.read(reinterpret_cast<char*>(buf), 4);
-  if (!in) throw Error(ErrorCode::kIo, "population stream truncated");
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
-  return v;
-}
+  void bytes(const char* data, std::size_t len) {
+    crc.update(data, len);
+    out.write(data, static_cast<std::streamsize>(len));
+  }
 
-std::uint64_t read_u64(std::istream& in) {
-  unsigned char buf[8];
-  in.read(reinterpret_cast<char*>(buf), 8);
-  if (!in) throw Error(ErrorCode::kIo, "population stream truncated");
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
-  return v;
-}
+  void u32(std::uint32_t v) {
+    char buf[4];
+    for (int i = 0; i < 4; ++i) {
+      buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+    bytes(buf, 4);
+  }
+
+  void u64(std::uint64_t v) {
+    char buf[8];
+    for (int i = 0; i < 8; ++i) {
+      buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+    bytes(buf, 8);
+  }
+};
+
+/// Read side with a running CRC over every byte consumed, so the trailer
+/// check needs no second pass (and works on non-seekable streams).
+struct Reader {
+  std::istream& in;
+  util::Crc32 crc;
+
+  void bytes(char* data, std::size_t len) {
+    in.read(data, static_cast<std::streamsize>(len));
+    if (!in) throw Error(ErrorCode::kIo, "population stream truncated");
+    crc.update(data, len);
+  }
+
+  std::uint32_t u32() {
+    unsigned char buf[4];
+    bytes(reinterpret_cast<char*>(buf), 4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t u64() {
+    unsigned char buf[8];
+    bytes(reinterpret_cast<char*>(buf), 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+    }
+    return v;
+  }
+};
 
 /// Bytes between the current read position and the end of the stream, or
 /// nullopt when the stream is not seekable. Used to reject headers whose
@@ -72,19 +114,23 @@ void save_population(std::ostream& out, const FinitePopulation& population) {
                   ErrorContext{}.kv("index", i).kv("value", values[i]).str());
     }
   }
-  write_u32(out, kMagic);
-  write_u32(out, kVersion);
+  Writer w{out, {}};
+  w.u32(kMagic);
+  w.u32(kVersion);
   const std::string desc = population.description();
-  write_u64(out, desc.size());
-  out.write(desc.data(), static_cast<std::streamsize>(desc.size()));
-  write_u64(out, values.size());
+  w.u64(desc.size());
+  w.bytes(desc.data(), desc.size());
+  w.u64(values.size());
   // Doubles are stored bit-exactly via their IEEE-754 representation.
   for (double v : values) {
     std::uint64_t bits;
     static_assert(sizeof bits == sizeof v);
     __builtin_memcpy(&bits, &v, sizeof bits);
-    write_u64(out, bits);
+    w.u64(bits);
   }
+  // Trailer: marker + CRC of everything above. Written outside the CRC.
+  write_u32_raw(out, kTrailerMagic);
+  write_u32_raw(out, w.crc.value());
   if (!out) throw Error(ErrorCode::kIo, "failed writing population stream");
 }
 
@@ -99,15 +145,16 @@ void save_population_file(const std::string& path,
 }
 
 FinitePopulation load_population(std::istream& in) {
-  if (read_u32(in) != kMagic) {
+  Reader r{in, {}};
+  if (r.u32() != kMagic) {
     throw Error(ErrorCode::kParse, "not a population file (bad magic)");
   }
-  const std::uint32_t version = read_u32(in);
+  const std::uint32_t version = r.u32();
   if (version != kVersion) {
     throw Error(ErrorCode::kParse, "unsupported population file version",
                 ErrorContext{}.kv("version", std::uint64_t{version}).str());
   }
-  const std::uint64_t desc_len = read_u64(in);
+  const std::uint64_t desc_len = r.u64();
   if (desc_len > (1u << 20)) {
     throw Error(ErrorCode::kBadData, "population description implausibly large",
                 ErrorContext{}.kv("desc_len", desc_len).str());
@@ -120,9 +167,8 @@ FinitePopulation load_population(std::istream& in) {
                     .str());
   }
   std::string desc(desc_len, '\0');
-  in.read(desc.data(), static_cast<std::streamsize>(desc_len));
-  if (!in) throw Error(ErrorCode::kIo, "population stream truncated");
-  const std::uint64_t count = read_u64(in);
+  r.bytes(desc.data(), desc_len);
+  const std::uint64_t count = r.u64();
   if (count == 0) {
     throw Error(ErrorCode::kBadData, "population file has no values");
   }
@@ -138,7 +184,7 @@ FinitePopulation load_population(std::istream& in) {
   constexpr std::uint64_t kReserveChunk = 1u << 20;
   values.reserve(static_cast<std::size_t>(std::min(count, kReserveChunk)));
   for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint64_t bits = read_u64(in);
+    const std::uint64_t bits = r.u64();
     double v;
     __builtin_memcpy(&v, &bits, sizeof v);
     if (!std::isfinite(v)) {
@@ -147,6 +193,42 @@ FinitePopulation load_population(std::istream& in) {
                   ErrorContext{}.kv("index", i).kv("value", v).str());
     }
     values.push_back(v);
+  }
+  // Integrity trailer. Legacy files end exactly at the payload: EOF here
+  // means a pre-trailer file and is accepted as-is. Anything else must be a
+  // complete, matching trailer — a partial or mismatched one means the
+  // payload cannot be trusted.
+  const std::uint32_t payload_crc = r.crc.value();
+  char first;
+  in.read(&first, 1);
+  if (in.gcount() == 0) {
+    return FinitePopulation(std::move(values), std::move(desc));
+  }
+  unsigned char tail[8];
+  tail[0] = static_cast<unsigned char>(first);
+  in.read(reinterpret_cast<char*>(tail) + 1, 7);
+  if (in.gcount() != 7) {
+    throw Error(ErrorCode::kCorruptData,
+                "population file has a truncated integrity trailer");
+  }
+  std::uint32_t marker = 0;
+  std::uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    marker |= static_cast<std::uint32_t>(tail[i]) << (8 * i);
+    stored_crc |= static_cast<std::uint32_t>(tail[4 + i]) << (8 * i);
+  }
+  if (marker != kTrailerMagic) {
+    throw Error(ErrorCode::kCorruptData,
+                "population file has trailing bytes that are not an "
+                "integrity trailer");
+  }
+  if (stored_crc != payload_crc) {
+    throw Error(ErrorCode::kCorruptData,
+                "population file CRC mismatch",
+                ErrorContext{}
+                    .kv("stored", std::uint64_t{stored_crc})
+                    .kv("computed", std::uint64_t{payload_crc})
+                    .str());
   }
   return FinitePopulation(std::move(values), std::move(desc));
 }

@@ -1,0 +1,194 @@
+// util/retry: deterministic seeded jitter, backoff growth and cap,
+// bounded attempts, fatal-vs-retryable classification, and prompt
+// cancellation of backoff sleeps.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "util/retry.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+namespace ut = mpe::util;
+
+TEST(RetryBackoff, DeterministicForSameSeed) {
+  ut::RetryPolicy policy;
+  mpe::Rng a(42), b(42);
+  for (std::size_t f = 1; f <= 6; ++f) {
+    EXPECT_EQ(ut::backoff_delay(policy, f, a).count(),
+              ut::backoff_delay(policy, f, b).count())
+        << "failure " << f;
+  }
+}
+
+TEST(RetryBackoff, GrowsExponentiallyWithinJitterBand) {
+  ut::RetryPolicy policy;  // 100ms initial, x2, 10% jitter, 5s cap
+  mpe::Rng rng(7);
+  for (std::size_t f = 1; f <= 5; ++f) {
+    const auto d = ut::backoff_delay(policy, f, rng);
+    const double nominal = 100e6 * std::pow(2.0, static_cast<double>(f - 1));
+    EXPECT_GE(static_cast<double>(d.count()), 0.9 * nominal) << f;
+    EXPECT_LE(static_cast<double>(d.count()), 1.1 * nominal) << f;
+  }
+}
+
+TEST(RetryBackoff, CappedAtMaxBackoffEvenWithJitter) {
+  ut::RetryPolicy policy;
+  policy.max_backoff = 400ms;
+  mpe::Rng rng(11);
+  for (std::size_t f = 1; f <= 20; ++f) {
+    const auto d = ut::backoff_delay(policy, f, rng);
+    EXPECT_LE(d, policy.max_backoff) << "failure " << f;
+  }
+  // Far past the cap the nominal delay saturates exactly (minus jitter).
+  const auto deep = ut::backoff_delay(policy, 50, rng);
+  EXPECT_GE(static_cast<double>(deep.count()),
+            0.9 * static_cast<double>(policy.max_backoff.count()));
+}
+
+TEST(RetryBackoff, ZeroJitterConsumesNoRandomness) {
+  ut::RetryPolicy policy;
+  policy.jitter = 0.0;
+  mpe::Rng used(5), untouched(5);
+  const auto d = ut::backoff_delay(policy, 3, used);
+  EXPECT_EQ(d, 400ms);  // 100ms * 2^2, exact: no jitter applied
+  // The rng was not drawn from: both streams still produce the same next
+  // value (the draw count is part of the deterministic-replay contract).
+  EXPECT_EQ(used.uniform(0.0, 1.0), untouched.uniform(0.0, 1.0));
+}
+
+TEST(RetryBackoff, ZeroFailuresMeansNoDelay) {
+  ut::RetryPolicy policy;
+  mpe::Rng rng(1);
+  EXPECT_EQ(ut::backoff_delay(policy, 0, rng).count(), 0);
+}
+
+TEST(RetryClassification, DefaultRetryableIsTransientOnly) {
+  EXPECT_TRUE(ut::default_retryable(mpe::ErrorCode::kIo));
+  EXPECT_TRUE(ut::default_retryable(mpe::ErrorCode::kFaultInjected));
+  EXPECT_FALSE(ut::default_retryable(mpe::ErrorCode::kParse));
+  EXPECT_FALSE(ut::default_retryable(mpe::ErrorCode::kBadData));
+  EXPECT_FALSE(ut::default_retryable(mpe::ErrorCode::kPrecondition));
+  EXPECT_FALSE(ut::default_retryable(mpe::ErrorCode::kCorruptData));
+  EXPECT_FALSE(ut::default_retryable(mpe::ErrorCode::kCancelled));
+  EXPECT_FALSE(ut::default_retryable(mpe::ErrorCode::kDeadline));
+  EXPECT_FALSE(ut::default_retryable(mpe::ErrorCode::kInternal));
+}
+
+ut::RetryPolicy fast_policy() {
+  ut::RetryPolicy p;
+  p.initial_backoff = 1ms;
+  p.max_backoff = 2ms;
+  return p;
+}
+
+TEST(RetryLoop, GivesUpAfterMaxAttempts) {
+  mpe::Rng rng(3);
+  std::size_t calls = 0;
+  const auto outcome = ut::retry_with_backoff(
+      fast_policy(), {}, rng, [&] {
+        ++calls;
+        return mpe::ErrorCode::kIo;  // always retryable, never succeeds
+      });
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(outcome.last_error, mpe::ErrorCode::kIo);
+  EXPECT_EQ(outcome.stopped, ut::StopCause::kNone);
+}
+
+TEST(RetryLoop, FatalErrorStopsImmediately) {
+  mpe::Rng rng(3);
+  std::size_t calls = 0;
+  const auto outcome = ut::retry_with_backoff(
+      fast_policy(), {}, rng, [&] {
+        ++calls;
+        return mpe::ErrorCode::kParse;  // fatal by default
+      });
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(outcome.last_error, mpe::ErrorCode::kParse);
+}
+
+TEST(RetryLoop, TransientFailureSucceedsOnRetry) {
+  mpe::Rng rng(3);
+  std::size_t calls = 0;
+  const auto outcome = ut::retry_with_backoff(
+      fast_policy(), {}, rng, [&] {
+        return ++calls < 2 ? mpe::ErrorCode::kFaultInjected
+                           : mpe::ErrorCode::kOk;
+      });
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 2u);
+  EXPECT_EQ(outcome.last_error, mpe::ErrorCode::kOk);
+}
+
+TEST(RetryLoop, CustomClassifierOverridesDefault) {
+  mpe::Rng rng(3);
+  std::size_t calls = 0;
+  const auto outcome = ut::retry_with_backoff(
+      fast_policy(), {}, rng,
+      [&] {
+        ++calls;
+        return mpe::ErrorCode::kBadData;
+      },
+      [](mpe::ErrorCode code) { return code == mpe::ErrorCode::kBadData; });
+  EXPECT_EQ(calls, 3u);  // retried despite being fatal by default
+}
+
+TEST(RetryLoop, CancellationAbortsBackoffSleepPromptly) {
+  ut::RetryPolicy slow;
+  slow.initial_backoff = 30s;  // would stall the test if not interruptible
+  slow.max_backoff = 30s;
+  ut::RunControl control;
+  control.cancel = ut::CancellationToken::create();
+  mpe::Rng rng(3);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(50ms);
+    control.cancel.request_stop();
+  });
+  const auto outcome = ut::retry_with_backoff(
+      slow, control, rng, [&] { return mpe::ErrorCode::kIo; });
+  canceller.join();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, 5s) << "backoff sleep ignored cancellation";
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.stopped, ut::StopCause::kCancelled);
+  EXPECT_EQ(outcome.attempts, 1u);
+}
+
+TEST(RetryLoop, ExpiredDeadlineSkipsTheFirstAttempt) {
+  ut::RunControl control;
+  control.deadline = ut::Deadline::after(0ns);
+  mpe::Rng rng(3);
+  std::size_t calls = 0;
+  const auto outcome = ut::retry_with_backoff(
+      fast_policy(), control, rng, [&] {
+        ++calls;
+        return mpe::ErrorCode::kOk;
+      });
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(calls, 0u);
+  EXPECT_EQ(outcome.stopped, ut::StopCause::kDeadline);
+}
+
+TEST(InterruptibleSleep, RunsToCompletionWhenUncontested) {
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(ut::interruptible_sleep(20ms, {}), ut::StopCause::kNone);
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 20ms);
+}
+
+TEST(InterruptibleSleep, AlreadyCancelledReturnsImmediately) {
+  ut::RunControl control;
+  control.cancel = ut::CancellationToken::create();
+  control.cancel.request_stop();
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(ut::interruptible_sleep(30s, control), ut::StopCause::kCancelled);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 1s);
+}
+
+}  // namespace

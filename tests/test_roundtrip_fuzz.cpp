@@ -120,18 +120,52 @@ TEST(SerializeFuzz, HealthyRoundTripSurvives) {
 
 TEST(SerializeFuzz, EveryTruncationThrowsTypedError) {
   const std::string blob = healthy_blob(16, 7);
+  // Cutting off exactly the 8-byte integrity trailer produces a valid
+  // legacy (pre-trailer) file, which must still load; every other prefix
+  // must be rejected with a typed error.
+  const std::size_t legacy_len = blob.size() - 8;
   for (std::size_t len = 0; len < blob.size(); ++len) {
     std::istringstream in(blob.substr(0, len), std::ios::binary);
+    if (len == legacy_len) {
+      const auto pop = vec::load_population(in);
+      EXPECT_EQ(pop.size(), 16u);
+      continue;
+    }
     try {
       vec::load_population(in);
       FAIL() << "truncation at " << len << " bytes loaded successfully";
     } catch (const mpe::Error& e) {
-      // Truncation surfaces as an I/O or bad-data error, never internal.
+      // Truncation surfaces as an I/O, bad-data, or corrupt-data error,
+      // never internal.
       EXPECT_TRUE(e.code() == mpe::ErrorCode::kIo ||
                   e.code() == mpe::ErrorCode::kBadData ||
-                  e.code() == mpe::ErrorCode::kParse)
+                  e.code() == mpe::ErrorCode::kParse ||
+                  e.code() == mpe::ErrorCode::kCorruptData)
           << "len=" << len << " code=" << mpe::to_string(e.code());
     }
+  }
+}
+
+TEST(SerializeFuzz, PayloadBitFlipCaughtByCrc) {
+  const std::string blob = healthy_blob(16, 21);
+  // Flip one bit inside a stored double. The value stays finite for almost
+  // every flip, so without the CRC the load would silently succeed with a
+  // wrong payload.
+  const std::size_t desc_len = std::strlen("fuzz population");
+  const std::size_t payload_off = 4 + 4 + 8 + desc_len + 8;
+  ASSERT_LT(payload_off + 8, blob.size());
+  std::string mutated = blob;
+  mutated[payload_off + 3] = static_cast<char>(mutated[payload_off + 3] ^ 1);
+  std::istringstream in(mutated, std::ios::binary);
+  try {
+    vec::load_population(in);
+    FAIL() << "bit-flipped payload accepted";
+  } catch (const mpe::Error& e) {
+    // kBadData when the flip makes the double non-finite, kCorruptData
+    // when the CRC catches it.
+    EXPECT_TRUE(e.code() == mpe::ErrorCode::kCorruptData ||
+                e.code() == mpe::ErrorCode::kBadData)
+        << mpe::to_string(e.code());
   }
 }
 

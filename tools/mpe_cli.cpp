@@ -7,10 +7,18 @@
 //   mpe_cli timing    --circuit c1908 [--model zero|unit|loaded]
 //   mpe_cli vcd       --circuit c432 --out wave.vcd [--cycles 4] [--seed 1]
 //   mpe_cli maxdelay  --circuit c1908 [--epsilon 0.08]
+//   mpe_cli campaign  --manifest jobs.jsonl --state-dir dir [--retries N]
 //
 // Circuits come from the built-in presets (--circuit), an ISCAS-85 .bench
 // file (--bench), or a structural Verilog file (--verilog).
+//
+// SIGINT/SIGTERM trip a cooperative cancellation token: in-flight
+// estimation winds down at the next hyper-sample boundary, the final
+// checkpoint and any report output are flushed, and the process exits with
+// the cancelled exit code (8). A second signal force-exits immediately.
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <fstream>
@@ -22,23 +30,44 @@ namespace {
 
 using namespace mpe;
 
+// Signal -> cooperative cancellation. The token is created live before
+// main() dispatches, so the handler only ever touches a fully constructed
+// shared atomic flag (an async-signal-safe store).
+util::CancellationToken g_cancel = util::CancellationToken::create();
+volatile std::sig_atomic_t g_signal_count = 0;
+
+void handle_signal(int) {
+  if (g_signal_count++ > 0) std::_Exit(8 /* exit_code(kCancelled) */);
+  g_cancel.request_stop();
+}
+
+void install_signal_handlers() {
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+}
+
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage: mpe_cli <estimate|report|convert|timing|vcd|maxdelay> "
+      "usage: mpe_cli <estimate|report|convert|timing|vcd|maxdelay|campaign> "
       "[flags]\n"
       "  common circuit flags: --circuit <preset> | --bench <file> | "
       "--verilog <file>, --seed N\n"
       "  estimate: --epsilon E --confidence L [--tprob P | --activity A]\n"
       "            [--deadline-ms N] [--fit-policy use|pwm|redraw]\n"
       "            [--max-hyper K] [--metrics-out FILE|-] [--trace]\n"
+      "            [--checkpoint FILE [--checkpoint-every K] "
+      "[--threads N]]\n"
       "  convert : --in <file.bench|file.v> --out <file.bench|file.v>\n"
       "  timing  : --model zero|unit|loaded\n"
       "  vcd     : --out <file.vcd> [--cycles N]\n"
       "  maxdelay: --epsilon E\n"
+      "  campaign: --manifest <jobs.jsonl> --state-dir <dir> [--report F]\n"
+      "            [--retries N] [--threads N] [--deadline-ms N]\n"
+      "            [--checkpoint-every K]\n"
       "exit codes: 0 ok, 1 non-convergence, 2 usage, 3 parse, 4 io,\n"
       "            5 bad data, 6 precondition, 7 deadline, 8 cancelled,\n"
-      "            9 injected fault, 10 internal\n");
+      "            9 injected fault, 10 internal, 11 corrupt data\n");
   std::exit(exit_code(ErrorCode::kUsage));
 }
 
@@ -53,7 +82,8 @@ circuit::Netlist load_circuit(const Cli& cli, std::uint64_t seed) {
 int cmd_estimate(const Cli& cli) {
   cli.check_known({"circuit", "bench", "verilog", "seed", "epsilon",
                    "confidence", "tprob", "activity", "max-hyper",
-                   "fit-policy", "deadline-ms", "metrics-out", "trace"});
+                   "fit-policy", "deadline-ms", "metrics-out", "trace",
+                   "checkpoint", "checkpoint-every", "threads"});
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   auto netlist = load_circuit(cli, seed);
   sim::CyclePowerEvaluator evaluator(netlist);
@@ -91,6 +121,15 @@ int cmd_estimate(const Cli& cli) {
     options.control.deadline =
         util::Deadline::after(std::chrono::milliseconds(deadline_ms));
   }
+  // SIGINT/SIGTERM wind the run down cooperatively (see file header).
+  options.control.cancel = g_cancel;
+  // Durable run state: --checkpoint FILE persists progress atomically and
+  // resumes from an existing checkpoint (docs/ROBUSTNESS.md).
+  options.checkpoint_path = cli.get("checkpoint", "");
+  if (cli.has("checkpoint-every")) {
+    options.checkpoint_every_k = static_cast<std::size_t>(
+        std::max<long long>(1, cli.get_int("checkpoint-every", 1)));
+  }
 
   // Observability: --metrics-out FILE (or `-` for stdout) writes the JSONL
   // run report; --trace additionally captures per-hyper-sample events into
@@ -102,8 +141,19 @@ int cmd_estimate(const Cli& cli) {
   if (tracer.enabled()) options.tracer = &tracer;
   if (!metrics_out.empty()) util::MetricRegistry::global().enable(true);
 
-  Rng rng(seed);
-  const auto r = maxpower::estimate_max_power(population, options, rng);
+  // --threads selects the pipelined estimator (bit-identical across thread
+  // counts, so a checkpoint taken at --threads 8 resumes at --threads 1 and
+  // vice versa); without it the sequential reference path runs.
+  maxpower::EstimationResult r;
+  if (cli.has("threads") || !options.checkpoint_path.empty()) {
+    maxpower::ParallelOptions par;
+    par.threads = static_cast<unsigned>(
+        std::max<long long>(0, cli.get_int("threads", 1)));
+    r = maxpower::estimate_max_power(population, options, seed, par);
+  } else {
+    Rng rng(seed);
+    r = maxpower::estimate_max_power(population, options, rng);
+  }
 
   if (!metrics_out.empty()) {
     maxpower::RunReportOptions ropt;
@@ -167,6 +217,67 @@ int cmd_estimate(const Cli& cli) {
     default:
       return exit_code(ErrorCode::kNonConvergence);
   }
+}
+
+int cmd_campaign(const Cli& cli) {
+  cli.check_known({"manifest", "state-dir", "report", "retries", "threads",
+                   "deadline-ms", "checkpoint-every", "seed"});
+  const std::string manifest = cli.get("manifest", "");
+  maxpower::CampaignOptions options;
+  options.state_dir = cli.get("state-dir", "");
+  if (manifest.empty() || options.state_dir.empty()) usage();
+  options.report_path = cli.get("report", "");
+  options.retry.max_attempts = static_cast<std::size_t>(
+      std::max<long long>(1, cli.get_int("retries", 3)));
+  options.threads = static_cast<unsigned>(
+      std::max<long long>(0, cli.get_int("threads", 1)));
+  if (cli.has("checkpoint-every")) {
+    options.checkpoint_every_k = static_cast<std::size_t>(
+        std::max<long long>(1, cli.get_int("checkpoint-every", 1)));
+  }
+  const auto deadline_ms = cli.get_int("deadline-ms", 0);
+  if (deadline_ms > 0) {
+    options.control.deadline =
+        util::Deadline::after(std::chrono::milliseconds(deadline_ms));
+  }
+  options.control.cancel = g_cancel;
+
+  auto jobs = maxpower::load_campaign_manifest(manifest);
+  const auto result = maxpower::run_campaign(jobs, options);
+
+  for (const auto& job : result.jobs) {
+    if (job.status == maxpower::JobStatus::kDone) {
+      std::printf("%-20s done     %.4f mW (%zu hyper-samples, %zu attempts)\n",
+                  job.name.c_str(), job.result.estimate,
+                  job.result.hyper_samples, job.attempts);
+    } else if (job.status == maxpower::JobStatus::kSkipped) {
+      std::printf("%-20s skipped  (already done per report)\n",
+                  job.name.c_str());
+    } else {
+      std::printf("%-20s %-8s [%s] after %zu attempt(s)\n", job.name.c_str(),
+                  std::string(maxpower::to_string(job.status)).c_str(),
+                  std::string(to_string(job.error)).c_str(), job.attempts);
+    }
+  }
+  std::printf("campaign: %zu done, %zu skipped, %zu failed of %zu jobs\n",
+              result.done, result.skipped, result.failed, result.jobs.size());
+
+  if (result.stopped == util::StopCause::kCancelled) {
+    return exit_code(ErrorCode::kCancelled);
+  }
+  if (result.stopped == util::StopCause::kDeadline) {
+    return exit_code(ErrorCode::kDeadline);
+  }
+  if (result.failed > 0) {
+    for (const auto& job : result.jobs) {
+      if (job.status == maxpower::JobStatus::kFailed) {
+        return exit_code(job.error == ErrorCode::kOk
+                             ? ErrorCode::kNonConvergence
+                             : job.error);
+      }
+    }
+  }
+  return 0;
 }
 
 int cmd_report(const Cli& cli) {
@@ -303,10 +414,12 @@ int cmd_maxdelay(const Cli& cli) {
 }  // namespace
 
 int main(int argc, char** argv) try {
+  install_signal_handlers();
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   const Cli cli(argc - 1, argv + 1);
   if (cmd == "estimate") return cmd_estimate(cli);
+  if (cmd == "campaign") return cmd_campaign(cli);
   if (cmd == "report") return cmd_report(cli);
   if (cmd == "convert") return cmd_convert(cli);
   if (cmd == "timing") return cmd_timing(cli);
