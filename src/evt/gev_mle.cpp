@@ -1,0 +1,90 @@
+#include "evt/gev_mle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/optimize.hpp"
+
+namespace mpe::evt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Negative mean log-likelihood of (xi, mu, log sigma) on the sample.
+/// Parameterized in log sigma so the simplex can never propose sigma <= 0;
+/// out-of-support points (a maximum outside the GEV support) return +inf,
+/// which Nelder–Mead treats as infeasible.
+double neg_log_likelihood(std::span<const double> maxima, double xi,
+                          double mu, double log_sigma, double xi_cap) {
+  if (!std::isfinite(xi) || std::fabs(xi) > xi_cap) return kInf;
+  if (!std::isfinite(log_sigma) || std::fabs(log_sigma) > 700.0) return kInf;
+  const stats::Gev g(xi, mu, std::exp(log_sigma));
+  double sum = 0.0;
+  for (double x : maxima) {
+    const double lp = g.log_pdf(x);
+    if (!std::isfinite(lp)) return kInf;
+    sum += lp;
+  }
+  return -sum / static_cast<double>(maxima.size());
+}
+
+}  // namespace
+
+GevMleResult fit_gev_mle(std::span<const double> maxima,
+                         const GevMleOptions& opt) {
+  GevMleResult out;
+  if (maxima.size() < 3) return out;
+  const auto [lo, hi] = std::minmax_element(maxima.begin(), maxima.end());
+  if (*lo == *hi) return out;  // zero spread: likelihood is unbounded
+
+  // Starting point: the PWM fit when usable, otherwise Gumbel-flavored
+  // moment heuristics (scale from the sample spread).
+  stats::GevParams start;
+  const PwmResult pwm = fit_gev_pwm(maxima);
+  if (pwm.valid && std::isfinite(pwm.params.sigma) && pwm.params.sigma > 0.0) {
+    start = pwm.params;
+    start.xi = std::clamp(start.xi, -opt.xi_cap, opt.xi_cap);
+  } else {
+    out.from_pwm_start = false;
+    const double sd = stats::stddev(maxima);
+    start.xi = 0.0;
+    start.sigma = sd > 0.0 ? sd : (*hi - *lo);
+    start.mu = stats::mean(maxima) - 0.57722 * start.sigma;
+  }
+  // Nudge the start inside the support: for xi < 0 the PWM endpoint can sit
+  // below the sample maximum, which would make the start infeasible.
+  if (start.xi < 0.0) {
+    const double endpoint = start.mu - start.sigma / start.xi;
+    if (endpoint <= *hi) {
+      start.mu += (*hi - endpoint) + 1e-6 * (*hi - *lo);
+    }
+  }
+
+  const auto objective = [&](const std::vector<double>& x) {
+    return neg_log_likelihood(maxima, x[0], x[1], x[2], opt.xi_cap);
+  };
+  stats::NelderMeadOptions nm;
+  nm.max_iter = opt.max_iter;
+  nm.ftol = opt.ftol;
+  const auto fit = stats::nelder_mead(
+      objective, {start.xi, start.mu, std::log(start.sigma)}, nm);
+
+  out.iterations = fit.iterations;
+  if (!std::isfinite(fit.f)) {
+    // Even the start was infeasible; report the (clamped) start unfitted.
+    out.params = start;
+    return out;
+  }
+  out.params.xi = fit.x[0];
+  out.params.mu = fit.x[1];
+  out.params.sigma = std::exp(fit.x[2]);
+  out.log_likelihood = -fit.f * static_cast<double>(maxima.size());
+  out.converged = fit.converged;
+  return out;
+}
+
+}  // namespace mpe::evt

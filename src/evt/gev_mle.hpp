@@ -1,0 +1,47 @@
+// Maximum-likelihood estimation of the full GEV family (xi free in sign),
+// complementing the paper's reversed-Weibull profile MLE (evt/weibull_mle,
+// which assumes a finite endpoint) and the closed-form PWM estimator
+// (evt/pwm). Following the standard treatment (e.g. Hosking 1985; Hansen's
+// survey of the three limiting families), the likelihood is maximized
+// numerically from the PWM fit as the starting point — PWM is consistent,
+// so the local optimum Nelder–Mead converges to is the MLE for all
+// practical samples, while degenerate samples fail closed via `converged`.
+//
+// Used by the engine's GEV TailFitter: unlike the Weibull MLE it does not
+// force a bounded tail, so near-Gumbel data fit cleanly instead of riding
+// the Weibull->Gumbel likelihood ridge.
+#pragma once
+
+#include <span>
+
+#include "evt/pwm.hpp"
+#include "stats/gev.hpp"
+
+namespace mpe::evt {
+
+/// Outcome of one GEV maximum-likelihood fit.
+struct GevMleResult {
+  stats::GevParams params;      ///< fitted (xi, mu, sigma)
+  double log_likelihood = 0.0;  ///< attained log-likelihood
+  bool converged = false;       ///< optimizer met its tolerance
+  bool from_pwm_start = true;   ///< false when PWM was unusable and the fit
+                                ///< started from moment heuristics
+  int iterations = 0;           ///< simplex iterations consumed
+};
+
+/// Options for the likelihood maximization.
+struct GevMleOptions {
+  int max_iter = 4000;
+  double ftol = 1e-10;
+  /// Shape search is restricted to |xi| <= xi_cap: beyond that the GEV
+  /// likelihood for m ~ 10 maxima is dominated by single points and the
+  /// fit is meaningless for endpoint/quantile work.
+  double xi_cap = 5.0;
+};
+
+/// Fits a GEV to `maxima` (m >= 3, not all equal) by maximum likelihood.
+/// Never throws on hard data; inspect `converged`.
+GevMleResult fit_gev_mle(std::span<const double> maxima,
+                         const GevMleOptions& opt = {});
+
+}  // namespace mpe::evt

@@ -1,5 +1,6 @@
 #include "maxdelay/delay_estimator.hpp"
 
+#include "maxpower/engine.hpp"
 #include "util/contracts.hpp"
 
 namespace mpe::maxdelay {
@@ -26,7 +27,10 @@ maxpower::EstimationResult estimate_max_delay(
     const vec::PairGenerator& generator, sim::EventSimulator& simulator,
     const maxpower::EstimatorOptions& options, Rng& rng) {
   DelayPopulation pop(generator, simulator);
-  return maxpower::estimate_max_power(pop, options, rng);
+  // Same engine as max-power estimation: settle times are just another unit
+  // stream, so the default strategy composition applies unchanged.
+  const maxpower::Engine engine(maxpower::EngineConfig{options, nullptr, {}});
+  return engine.run(pop, rng);
 }
 
 }  // namespace mpe::maxdelay

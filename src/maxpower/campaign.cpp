@@ -13,6 +13,9 @@
 #include "circuit/bench_io.hpp"
 #include "circuit/verilog_io.hpp"
 #include "gen/presets.hpp"
+#include "maxpower/engine.hpp"
+#include "maxpower/stopping.hpp"
+#include "maxpower/tail_fitter.hpp"
 #include "sim/power_eval.hpp"
 #include "util/atomic_file.hpp"
 #include "util/jsonl.hpp"
@@ -218,8 +221,8 @@ std::string_view to_string(JobStatus status) {
 
 std::vector<CampaignJob> parse_campaign_manifest(std::string_view text) {
   static constexpr std::string_view kKnown[] = {
-      "job", "circuit", "bench", "verilog", "seed",
-      "epsilon", "confidence", "tprob", "activity", "max_hyper"};
+      "job", "circuit", "bench", "verilog", "seed", "epsilon",
+      "confidence", "tprob", "activity", "max_hyper", "fitter", "stop"};
   std::vector<CampaignJob> jobs;
   std::map<std::string, bool> seen;
   std::istringstream in{std::string(text)};
@@ -273,6 +276,20 @@ std::vector<CampaignJob> parse_campaign_manifest(std::string_view text) {
     job.activity = number_field(v, "activity", -1.0, line_no);
     job.max_hyper_samples = static_cast<std::size_t>(
         number_field(v, "max_hyper", 500.0, line_no));
+    job.fitter = string_field(v, "fitter", line_no);
+    if (!job.fitter.empty() && !tail_fitter_kind_from_name(job.fitter)) {
+      throw Error(ErrorCode::kBadData,
+                  "unknown fitter (want mle | pwm | gev)",
+                  ErrorContext{}.kv("fitter", job.fitter)
+                      .kv("line", line_no).str());
+    }
+    job.stop = string_field(v, "stop", line_no);
+    if (!job.stop.empty() && !interval_kind_from_name(job.stop)) {
+      throw Error(ErrorCode::kBadData,
+                  "unknown stopping rule (want t | bootstrap)",
+                  ErrorContext{}.kv("stop", job.stop)
+                      .kv("line", line_no).str());
+    }
     jobs.push_back(std::move(job));
   }
   return jobs;
@@ -325,6 +342,18 @@ CampaignResult run_campaign(std::vector<CampaignJob>& jobs,
     est.control = options.control;
     est.checkpoint_path = options.state_dir + "/" + job.name + ".ckpt";
     est.checkpoint_every_k = options.checkpoint_every_k;
+    if (!job.stop.empty()) {
+      est.interval = *interval_kind_from_name(job.stop);
+    }
+    EngineConfig cfg;
+    if (!job.fitter.empty()) {
+      // "mle" stays on the default (null) fitter so an explicit request for
+      // the default does not perturb the checkpoint fingerprint.
+      const TailFitterKind kind = *tail_fitter_kind_from_name(job.fitter);
+      if (kind != TailFitterKind::kWeibullMle) cfg.fitter = make_tail_fitter(kind);
+    }
+    cfg.options = est;
+    const Engine engine(cfg);
     ParallelOptions par;
     par.threads = options.threads;
 
@@ -346,7 +375,7 @@ CampaignResult run_campaign(std::vector<CampaignJob>& jobs,
     EstimationResult best;
     const auto attempt = [&]() -> ErrorCode {
       try {
-        best = estimate_max_power(*runtime.population, est, job.seed, par);
+        best = engine.run(*runtime.population, job.seed, par);
         return classify_result(best);
       } catch (const Error& e) {
         return e.code();

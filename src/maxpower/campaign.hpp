@@ -44,6 +44,13 @@ struct CampaignJob {
   double tprob = 0.5;
   double activity = -1.0;  ///< >= 0 selects the high-activity generator
   std::size_t max_hyper_samples = 500;
+  /// Engine strategy overrides (maxpower/engine.hpp). Empty selects the
+  /// defaults (Weibull-MLE fit, Student-t stopping). Validated at manifest
+  /// parse time: "mle" | "pwm" | "gev" and "t" | "bootstrap" respectively.
+  /// Note a non-default fitter changes the run fingerprint, so a job cannot
+  /// silently resume a checkpoint written under a different composition.
+  std::string fitter;
+  std::string stop;
   /// Test hook: when non-null the campaign estimates against this
   /// population instead of building one from the circuit fields. Non-owning;
   /// must outlive the campaign. Built-in or injected, the population is
@@ -100,8 +107,10 @@ struct CampaignResult {
 /// Parses a campaign manifest: one JSON object per line, `#` comments and
 /// blank lines ignored. Recognized fields: "job" (required, unique),
 /// "circuit" | "bench" | "verilog", "seed", "epsilon", "confidence",
-/// "tprob", "activity", "max_hyper". Throws mpe::Error(kParse) on malformed
-/// JSON, kBadData on missing/duplicate names or unknown fields.
+/// "tprob", "activity", "max_hyper", "fitter" ("mle" | "pwm" | "gev"),
+/// "stop" ("t" | "bootstrap"). Throws mpe::Error(kParse) on malformed
+/// JSON, kBadData on missing/duplicate names, unknown fields, or an
+/// unrecognized fitter/stop name.
 std::vector<CampaignJob> load_campaign_manifest(const std::string& path);
 std::vector<CampaignJob> parse_campaign_manifest(std::string_view text);
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "maxpower/options_fields.hpp"
 #include "util/atomic_file.hpp"
 #include "util/contracts.hpp"
 #include "util/crc32.hpp"
@@ -147,36 +148,55 @@ std::uint64_t fnv1a(std::string_view s) {
 
 }  // namespace
 
+namespace {
+
+/// options_fields visitor that renders the fingerprinted subset in the
+/// canonical order and format (doubles via "%.17g", everything else as
+/// decimal integers). Non-fingerprinted fields are skipped, which is the
+/// whole exclusion mechanism: the flag lives next to the field in
+/// visit_estimator_options, not in a second hand-maintained list here.
+struct FingerprintVisitor {
+  std::string& canon;
+
+  void number(const char* name, const double& v, bool fingerprinted) {
+    if (fingerprinted) fp_num(canon, name, v);
+  }
+  template <typename T>
+  void integer(const char* name, const T& v, bool fingerprinted) {
+    if (fingerprinted) fp_u64(canon, name, static_cast<std::uint64_t>(v));
+  }
+  void flag(const char* name, const bool& v, bool fingerprinted) {
+    if (fingerprinted) fp_u64(canon, name, v ? 1 : 0);
+  }
+  template <typename E>
+  void enumeration(const char* name, const E& v, bool fingerprinted) {
+    if (fingerprinted) fp_u64(canon, name, static_cast<std::uint64_t>(v));
+  }
+};
+
+}  // namespace
+
 std::uint64_t run_fingerprint(const EstimatorOptions& options,
                               std::uint64_t base_seed, bool parallel_path,
                               std::string_view population) {
+  return run_fingerprint(options, base_seed, parallel_path, population, {});
+}
+
+std::uint64_t run_fingerprint(const EstimatorOptions& options,
+                              std::uint64_t base_seed, bool parallel_path,
+                              std::string_view population,
+                              std::string_view strategies) {
   std::string canon;
   canon.reserve(512);
   canon += parallel_path ? "path=parallel;" : "path=serial;";
   fp_u64(canon, "seed", base_seed);
-  fp_num(canon, "epsilon", options.epsilon);
-  fp_num(canon, "confidence", options.confidence);
-  fp_u64(canon, "interval", static_cast<std::uint64_t>(options.interval));
-  fp_u64(canon, "min_hyper", options.min_hyper_samples);
-  fp_u64(canon, "max_redraws", options.max_redraws);
-  const HyperSampleOptions& h = options.hyper;
-  fp_u64(canon, "n", h.n);
-  fp_u64(canon, "m", h.m);
-  fp_u64(canon, "finite_correction", h.finite_correction ? 1 : 0);
-  fp_u64(canon, "quantile_mode", static_cast<std::uint64_t>(h.quantile_mode));
-  fp_u64(canon, "degenerate_policy",
-         static_cast<std::uint64_t>(h.degenerate_policy));
-  fp_num(canon, "endpoint_ridge_tolerance", h.endpoint_ridge_tolerance);
-  fp_num(canon, "mle.lo_frac", h.mle.lo_frac);
-  fp_num(canon, "mle.hi_frac", h.mle.hi_frac);
-  fp_u64(canon, "mle.grid_points",
-         static_cast<std::uint64_t>(h.mle.grid_points));
-  fp_num(canon, "mle.alpha_min", h.mle.alpha_min);
-  fp_num(canon, "mle.alpha_max", h.mle.alpha_max);
-  fp_num(canon, "mle.ridge_spread_factor", h.mle.ridge_spread_factor);
-  fp_num(canon, "mle.ridge_tolerance", h.mle.ridge_tolerance);
+  visit_estimator_options(options, FingerprintVisitor{canon});
   canon += "population=";
   canon += population;
+  if (!strategies.empty()) {
+    canon += ";strategies=";
+    canon += strategies;
+  }
   return fnv1a(canon);
 }
 

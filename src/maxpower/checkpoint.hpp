@@ -69,12 +69,27 @@ struct RunCheckpoint {
 /// result-affecting EstimatorOptions fields (epsilon, confidence, interval
 /// kind, min_hyper_samples, max_redraws, the full hyper-sample and MLE
 /// configuration), the base seed, the execution path, and the population
-/// description. Excluded on purpose: max_hyper_samples and RunControl
-/// (budgets — extending them is the point of resuming), thread counts (the
-/// pipelined path is bit-identical across them), tracer/checkpoint wiring.
+/// description. The option field list is not maintained here — it is the
+/// fingerprinted subset of visit_estimator_options
+/// (maxpower/options_fields.hpp), the same visitor that serializes options,
+/// so the two cannot drift apart. Excluded on purpose: max_hyper_samples
+/// and RunControl (budgets — extending them is the point of resuming),
+/// thread counts (the pipelined path is bit-identical across them),
+/// tracer/checkpoint wiring.
 std::uint64_t run_fingerprint(const EstimatorOptions& options,
                               std::uint64_t base_seed, bool parallel_path,
                               std::string_view population);
+
+/// As above, additionally folding a non-default engine strategy composition
+/// (maxpower/engine.hpp strategy_canon) into the fingerprint. An empty
+/// `strategies` yields exactly the 4-argument fingerprint, so default-path
+/// checkpoints (including pre-engine ones) keep their fingerprints; a
+/// non-default fitter or stopping chain refuses to resume a checkpoint
+/// written under a different composition.
+std::uint64_t run_fingerprint(const EstimatorOptions& options,
+                              std::uint64_t base_seed, bool parallel_path,
+                              std::string_view population,
+                              std::string_view strategies);
 
 /// Serializes the checkpoint (magic, version, payload, CRC32 trailer).
 std::string encode_checkpoint(const RunCheckpoint& checkpoint);

@@ -1,0 +1,87 @@
+// The estimation engine: ONE run loop for the paper's iterative procedure
+// (Figure 4), composed from four pluggable layers instead of two hand-woven
+// code paths:
+//
+//   UnitSource       — where unit values come from (maxpower/unit_source.hpp)
+//   TailFitter       — how sample maxima become one estimate
+//                      (maxpower/tail_fitter.hpp)
+//   StoppingRule[]   — when the run ends (maxpower/stopping.hpp)
+//   ExecutionPolicy  — how draws are scheduled: the serial reference path
+//                      (caller RNG, exactly the paper's loop) or the
+//                      speculative pipelined path (per-index RNG streams,
+//                      waves on a thread pool). Internal to the engine —
+//                      selected by which run() overload is called.
+//
+// Cross-cutting services (tracing, metrics, checkpointing, run control)
+// live in one RunContext (maxpower/run_context.hpp) threaded through the
+// loop once. Both legacy estimate_max_power entry points are thin wrappers
+// over an Engine with the default strategy composition, and every golden is
+// bit-identical to the pre-engine implementation: same RNG consumption
+// order, same fold order, same trace events, same checkpoints.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "maxpower/estimator.hpp"
+
+namespace mpe::maxpower {
+
+class StoppingRule;  // maxpower/stopping.hpp
+class TailFitter;    // maxpower/tail_fitter.hpp
+class UnitSource;    // maxpower/unit_source.hpp
+
+/// Full engine configuration: the estimator options plus the strategy
+/// composition. Defaults reproduce the paper (and the legacy entry points)
+/// exactly.
+struct EngineConfig {
+  EstimatorOptions options;
+  /// Tail-fit strategy; null selects the paper's reversed-Weibull MLE
+  /// (default_tail_fitter()).
+  std::shared_ptr<const TailFitter> fitter;
+  /// Termination chain, consulted in order; empty selects
+  /// default_stopping_chain() — budget, run control, then the
+  /// options.interval convergence rule. A non-empty chain REPLACES the
+  /// default: include HyperBudgetRule (or an equivalent) or the run is
+  /// bounded only by the budget epilogue's attempt cap.
+  std::vector<std::shared_ptr<StoppingRule>> stopping;
+};
+
+/// The layered estimation engine. An Engine is cheap to construct and
+/// reusable; run() is const and may be called repeatedly. The built-in
+/// strategies are stateless, so one Engine can serve concurrent runs —
+/// custom stateful StoppingRules are the one exception (use one Engine per
+/// run in that case).
+///
+/// Checkpoint compatibility: the default composition fingerprints runs
+/// exactly as the legacy entry points did, so pre-engine checkpoints
+/// resume. A non-default fitter or stopping chain folds the strategy names
+/// into the fingerprint — resuming a run under a different composition is a
+/// hard kPrecondition refusal, never a silently different continuation.
+class Engine {
+ public:
+  Engine() = default;
+  explicit Engine(EngineConfig config) : config_(std::move(config)) {}
+
+  const EngineConfig& config() const { return config_; }
+
+  /// Sequential reference path: one shared RNG stream, exactly the paper's
+  /// Figure-4 loop.
+  EstimationResult run(UnitSource& source, Rng& rng) const;
+  EstimationResult run(vec::Population& population, Rng& rng) const;
+
+  /// Pipelined path: hyper-sample i draws from the counter-derived stream
+  /// stream_seed(seed, i); waves of hyper-samples are computed
+  /// speculatively (in parallel when the source allows it) and the stopping
+  /// chain is applied in index order. Bit-identical for every thread count.
+  EstimationResult run(UnitSource& source, std::uint64_t seed,
+                       const ParallelOptions& parallel = {}) const;
+  EstimationResult run(vec::Population& population, std::uint64_t seed,
+                       const ParallelOptions& parallel = {}) const;
+
+ private:
+  EngineConfig config_;
+};
+
+}  // namespace mpe::maxpower

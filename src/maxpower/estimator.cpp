@@ -1,17 +1,7 @@
 #include "maxpower/estimator.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <memory>
-#include <thread>
-
-#include "evt/bootstrap.hpp"
-#include "maxpower/checkpoint.hpp"
-#include "util/atomic_file.hpp"
-#include "util/contracts.hpp"
+#include "maxpower/engine.hpp"
 #include "util/jsonl.hpp"
-#include "util/metrics.hpp"
 
 namespace mpe::maxpower {
 
@@ -60,634 +50,25 @@ std::string RunDiagnostics::to_json() const {
       .object();
 }
 
-namespace {
-
-/// Estimator-level metric handles, registered once against the global
-/// registry (docs/OBSERVABILITY.md catalogs every series).
-struct EstimatorMetrics {
-  util::Counter runs_serial;
-  util::Counter runs_parallel;
-  util::Counter converged_serial;
-  util::Counter converged_parallel;
-  util::Counter hyper_accepted;
-  util::Counter hyper_discarded;
-  util::Counter units;
-  util::Counter waves;
-  util::Counter speculation_wasted;
-  util::Histogram hyper_per_run;
-  util::Histogram run_wall_ns;
-
-  EstimatorMetrics() {
-    auto& reg = util::MetricRegistry::global();
-    runs_serial = reg.counter("mpe_estimator_runs_total", "path=serial");
-    runs_parallel = reg.counter("mpe_estimator_runs_total", "path=parallel");
-    converged_serial =
-        reg.counter("mpe_estimator_converged_runs_total", "path=serial");
-    converged_parallel =
-        reg.counter("mpe_estimator_converged_runs_total", "path=parallel");
-    hyper_accepted = reg.counter("mpe_estimator_hyper_samples_total");
-    hyper_discarded = reg.counter("mpe_estimator_hyper_discarded_total");
-    units = reg.counter("mpe_estimator_units_total");
-    waves = reg.counter("mpe_estimator_waves_total");
-    speculation_wasted =
-        reg.counter("mpe_estimator_speculation_wasted_total");
-    hyper_per_run = reg.histogram("mpe_estimator_hyper_samples_per_run");
-    run_wall_ns = reg.histogram("mpe_estimator_run_wall_ns");
-  }
-};
-
-EstimatorMetrics& em() {
-  static EstimatorMetrics m;
-  return m;
-}
-
-/// Per-run instrumentation scope shared by both entry points: emits the
-/// run_config event and the closing "run" span into options.tracer (when
-/// set) and folds the run outcome into the global metrics. Pure observer —
-/// it reads the result, never writes it.
-class RunScope {
- public:
-  RunScope(const EstimatorOptions& options, vec::Population& population,
-           bool parallel_path, unsigned threads)
-      : options_(options),
-        parallel_(parallel_path),
-        start_(std::chrono::steady_clock::now()),
-        span_(options.tracer != nullptr ? options.tracer->span("run")
-                                        : util::Tracer().span("run")) {
-    if (options_.tracer != nullptr) {
-      util::JsonFields f;
-      f.add("path", parallel_ ? "parallel" : "serial")
-          .add("threads", threads)
-          .add("epsilon", options_.epsilon)
-          .add("confidence", options_.confidence)
-          .add("n", options_.hyper.n)
-          .add("m", options_.hyper.m)
-          .add("min_hyper_samples", options_.min_hyper_samples)
-          .add("max_hyper_samples", options_.max_hyper_samples)
-          .add("interval", options_.interval == IntervalKind::kBootstrap
-                               ? "bootstrap"
-                               : "student-t")
-          .add("population", population.description());
-      const auto size = population.size();
-      if (size.has_value()) f.add("population_size", *size);
-      options_.tracer->event("run_config", f.body());
-    }
-  }
-
-  /// Records the finished run. Call exactly once, with the final result.
-  void finish(const EstimationResult& r) {
-    auto& m = em();
-    (parallel_ ? m.runs_parallel : m.runs_serial).inc();
-    if (r.converged) {
-      (parallel_ ? m.converged_parallel : m.converged_serial).inc();
-    }
-    m.units.inc(r.units_used);
-    m.hyper_per_run.observe(r.hyper_samples);
-    if (util::MetricRegistry::global().enabled()) {
-      const auto wall = std::chrono::steady_clock::now() - start_;
-      m.run_wall_ns.observe(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(wall)
-              .count()));
-    }
-    if (options_.tracer != nullptr) {
-      span_.note(util::JsonFields{}
-                     .add("stop_reason", to_string(r.stop_reason))
-                     .add("converged", r.converged)
-                     .add("estimate", r.estimate)
-                     .add("rel_error_bound", r.relative_error_bound)
-                     .add("hyper_samples", r.hyper_samples)
-                     .add("units_used", r.units_used)
-                     .add("degenerate_fits", r.diagnostics.degenerate_fits)
-                     .add("discarded",
-                          r.diagnostics.discarded_hyper_samples)
-                     .body());
-      span_.finish();
-    }
-  }
-
- private:
-  const EstimatorOptions& options_;
-  bool parallel_;
-  std::chrono::steady_clock::time_point start_;
-  util::Tracer::Span span_;
-};
-
-evt::ConfidenceInterval interval_of(const EstimatorOptions& options,
-                                    std::span<const double> values,
-                                    Rng& rng) {
-  if (options.interval == IntervalKind::kBootstrap) {
-    return evt::bootstrap_mean_interval(values, options.confidence, rng);
-  }
-  return evt::t_interval(values, options.confidence);
-}
-
-void check_options(const EstimatorOptions& options) {
-  MPE_EXPECTS(options.epsilon > 0.0 && options.epsilon < 1.0);
-  MPE_EXPECTS(options.confidence > 0.0 && options.confidence < 1.0);
-  MPE_EXPECTS(options.min_hyper_samples >= 2);
-  MPE_EXPECTS(options.max_hyper_samples >= options.min_hyper_samples);
-}
-
-/// Flags populations too small for the sampling design: with |V| < n*m the
-/// m "independent" samples heavily overlap, so the hyper-sample maxima are
-/// strongly correlated and the t interval is optimistic.
-void check_population(vec::Population& population,
-                      const EstimatorOptions& options, EstimationResult& r) {
-  const auto size = population.size();
-  const std::size_t need = options.hyper.n * options.hyper.m;
-  if (size.has_value() && *size < need) {
-    r.diagnostics.small_population = true;
-    r.diagnostics.note(Severity::kWarning, ErrorCode::kBadData,
-                       "population smaller than one hyper-sample (|V| < n*m); "
-                       "sample maxima are correlated",
-                       ErrorContext{}.kv("size", *size).kv("n*m", need).str());
-  }
-}
-
-/// True when the hyper-sample may be folded into the mean under the active
-/// degradation policy. Invalid or non-finite samples are never foldable.
-bool usable(const EstimatorOptions& options, const HyperSampleResult& hs) {
-  if (!hs.valid || !std::isfinite(hs.estimate)) return false;
-  if (hs.degenerate && options.hyper.degenerate_policy ==
-                           DegenerateFitPolicy::kDiscardRedraw) {
-    return false;
-  }
-  return true;
-}
-
-/// Diagnostics shared by accepted and discarded draws.
-void absorb_draw_diagnostics(const HyperSampleResult& hs,
-                             EstimationResult& r) {
-  r.diagnostics.nonfinite_units += hs.nonfinite_units;
-}
-
-void record_discard(const EstimatorOptions& options,
-                    const HyperSampleResult& hs, EstimationResult& r) {
-  em().hyper_discarded.inc();
-  ++r.diagnostics.discarded_hyper_samples;
-  r.diagnostics.note(
-      Severity::kWarning,
-      hs.valid ? ErrorCode::kNonConvergence : ErrorCode::kBadData,
-      hs.valid ? "degenerate fit discarded (redraw policy)"
-               : "hyper-sample invalid: a sample had no finite unit power",
-      ErrorContext{}
-          .kv("nonfinite_units", hs.nonfinite_units)
-          .kv("estimate", hs.estimate)
-          .str());
-  if (options.tracer != nullptr) {
-    options.tracer->event("hyper_sample_discarded",
-                          util::JsonFields{}
-                              .add("valid", hs.valid)
-                              .add("degenerate", hs.degenerate)
-                              .add("nonfinite_units", hs.nonfinite_units)
-                              .add("estimate", hs.estimate)
-                              .body());
-  }
-}
-
-void record_stop(const EstimatorOptions& options, util::StopCause cause,
-                 EstimationResult& r) {
-  if (cause == util::StopCause::kCancelled) {
-    r.stop_reason = StopReason::kCancelled;
-    r.diagnostics.note(Severity::kWarning, ErrorCode::kCancelled,
-                       "run cancelled; returning partial result",
-                       ErrorContext{}.kv("hyper_samples", r.hyper_samples)
-                           .str());
-  } else {
-    r.stop_reason = StopReason::kDeadlineExceeded;
-    r.diagnostics.note(Severity::kWarning, ErrorCode::kDeadline,
-                       "deadline exceeded; returning partial result",
-                       ErrorContext{}.kv("hyper_samples", r.hyper_samples)
-                           .str());
-  }
-  if (options.tracer != nullptr) {
-    options.tracer->event(
-        "run_stop",
-        util::JsonFields{}
-            .add("cause", cause == util::StopCause::kCancelled
-                              ? "cancelled"
-                              : "deadline")
-            .add("hyper_samples", r.hyper_samples)
-            .body());
-  }
-}
-
-void record_draw_fault(const EstimatorOptions& options, const Error& e,
-                       EstimationResult& r) {
-  r.stop_reason = StopReason::kDataFault;
-  r.diagnostics.note(Severity::kError, e.code(),
-                     "population draw failed: " + e.message(), e.context());
-  if (options.tracer != nullptr) {
-    options.tracer->event("draw_fault",
-                          util::JsonFields{}
-                              .add("code", to_string(e.code()))
-                              .add("message", e.message())
-                              .body());
-  }
-}
-
-void record_redraws_exhausted(const EstimatorOptions& options,
-                              EstimationResult& r) {
-  r.stop_reason = StopReason::kDataFault;
-  r.diagnostics.note(
-      Severity::kError, ErrorCode::kBadData,
-      "redraw budget exhausted before enough usable hyper-samples",
-      ErrorContext{}
-          .kv("discarded", r.diagnostics.discarded_hyper_samples)
-          .kv("max_redraws", options.max_redraws)
-          .str());
-  if (options.tracer != nullptr) {
-    options.tracer->event(
-        "run_stop",
-        util::JsonFields{}
-            .add("cause", "redraws-exhausted")
-            .add("discarded", r.diagnostics.discarded_hyper_samples)
-            .body());
-  }
-}
-
-/// Folds one hyper-sample into the running result and applies the stopping
-/// rule. Returns true when the estimate has converged.
-bool accept_and_check(const EstimatorOptions& options,
-                      const HyperSampleResult& hs, Rng& interval_rng,
-                      EstimationResult& r) {
-  em().hyper_accepted.inc();
-  r.hyper_values.push_back(hs.estimate);
-  r.units_used += hs.units_used;
-  ++r.hyper_samples;
-  if (!hs.mle.converged) ++r.degenerate_fits;
-  if (hs.degenerate) ++r.diagnostics.degenerate_fits;
-  if (hs.used_pwm) ++r.diagnostics.pwm_refits;
-  if (hs.constant_sample) ++r.diagnostics.constant_samples;
-
-  const bool check = r.hyper_samples >= options.min_hyper_samples;
-  if (check) {
-    r.ci = interval_of(options, r.hyper_values, interval_rng);
-    r.estimate = r.ci.center;
-    r.relative_error_bound = evt::relative_half_width(r.ci);
-    if (r.relative_error_bound <= options.epsilon) {
-      r.converged = true;
-      r.stop_reason = StopReason::kConverged;
-    }
-  }
-  if (options.tracer != nullptr) {
-    util::JsonFields f;
-    f.add("k", r.hyper_samples)
-        .add("estimate", hs.estimate)
-        .add("mu_hat", hs.mu_hat)
-        .add("sample_max", hs.sample_max)
-        .add("units", hs.units_used)
-        .add("mle_converged", hs.mle.converged)
-        .add("degenerate", hs.degenerate)
-        .add("used_pwm", hs.used_pwm)
-        .add("constant_sample", hs.constant_sample)
-        .add("alpha", hs.mle.params.alpha)
-        .add("profile_evals", hs.mle.profile_evaluations);
-    if (check) f.add("rel_error_bound", r.relative_error_bound);
-    options.tracer->event("hyper_sample", f.body());
-  }
-  return r.converged;
-}
-
-void finish_unconverged(const EstimatorOptions& options, Rng& interval_rng,
-                        EstimationResult& r) {
-  // Did not converge within the budget; report the latest interval.
-  if (r.hyper_values.size() >= 2) {
-    r.ci = interval_of(options, r.hyper_values, interval_rng);
-    r.estimate = r.ci.center;
-    r.relative_error_bound = evt::relative_half_width(r.ci);
-  }
-}
-
-/// RNG stream index reserved for the convergence-interval randomness (the
-/// bootstrap resampler); hyper-sample i uses stream i, which can never
-/// reach this one within the max_hyper_samples budget.
-constexpr std::uint64_t kIntervalStream = ~std::uint64_t{0} - 1;
-
-/// Durable-run-state hook shared by both estimator paths. Inert (every call
-/// a no-op) when EstimatorOptions::checkpoint_path is empty, so the
-/// checkpoint feature costs one branch per accept when disabled. When
-/// enabled it captures a full state snapshot at every accept boundary —
-/// result, loop/interval RNG state, next stream index — and persists every
-/// k-th one atomically; stop paths flush the latest snapshot so a resumed
-/// run never loses an accepted hyper-sample to a graceful stop.
-class CheckpointSink {
- public:
-  CheckpointSink(const EstimatorOptions& options, vec::Population& population,
-                 std::uint64_t base_seed, bool parallel_path)
-      : options_(options), enabled_(!options.checkpoint_path.empty()) {
-    if (!enabled_) return;
-    snapshot_.fingerprint = run_fingerprint(options, base_seed, parallel_path,
-                                            population.description());
-    snapshot_.base_seed = base_seed;
-    snapshot_.parallel_path = parallel_path;
-  }
-
-  bool enabled() const { return enabled_; }
-
-  /// Loads an existing checkpoint into (`r`, `next_index`, `rng_state`).
-  /// Returns false when there is no checkpoint (fresh run). Throws
-  /// mpe::Error(kPrecondition) when the file belongs to a different run
-  /// configuration, kCorruptData/kParse/kIo when it is unusable — resuming
-  /// the wrong state silently is never an option.
-  bool try_resume(EstimationResult& r, std::uint64_t& next_index,
-                  Rng::State& rng_state, bool& complete) {
-    if (!enabled_ || !util::file_exists(options_.checkpoint_path)) {
-      return false;
-    }
-    RunCheckpoint loaded = load_checkpoint_file(options_.checkpoint_path);
-    if (loaded.fingerprint != snapshot_.fingerprint ||
-        loaded.parallel_path != snapshot_.parallel_path) {
-      throw Error(
-          ErrorCode::kPrecondition,
-          "checkpoint was written by a different run configuration; "
-          "refusing to resume",
-          ErrorContext{}
-              .kv("path", options_.checkpoint_path)
-              .kv("expected_fingerprint", snapshot_.fingerprint)
-              .kv("found_fingerprint", loaded.fingerprint)
-              .str());
-    }
-    r = std::move(loaded.result);
-    next_index = loaded.next_index;
-    rng_state = loaded.rng;
-    complete = loaded.complete;
-    snapshot_.accepted_indices = std::move(loaded.accepted_indices);
-    if (options_.tracer != nullptr) {
-      options_.tracer->event("run_resumed",
-                             util::JsonFields{}
-                                 .add("hyper_samples", r.hyper_samples)
-                                 .add("next_index", next_index)
-                                 .add("complete", complete)
-                                 .body());
-    }
-    return true;
-  }
-
-  /// Captures the accept-boundary snapshot: `r` immediately after
-  /// accept_and_check, the loop/interval RNG at that instant, the next
-  /// index the resumed loop should consume, and the index that produced
-  /// this hyper-sample. Persists every k-th accept, and always when the run
-  /// just converged (`complete`).
-  void on_accept(const EstimationResult& r, const Rng::State& rng_state,
-                 std::uint64_t next_index, std::uint64_t sample_index,
-                 bool complete) {
-    if (!enabled_) return;
-    snapshot_.accepted_indices.push_back(sample_index);
-    snapshot_.result = r;
-    snapshot_.rng = rng_state;
-    snapshot_.next_index = next_index;
-    snapshot_.complete = complete;
-    dirty_ = true;
-    ++accepts_since_write_;
-    const std::size_t every =
-        options_.checkpoint_every_k > 0 ? options_.checkpoint_every_k : 1;
-    if (complete || accepts_since_write_ >= every) write();
-  }
-
-  /// Persists the newest captured snapshot if it has not been written yet.
-  /// Called on every non-converged exit (deadline, cancel, fault, budget)
-  /// so resumable state is on disk before the partial result is returned.
-  void flush() {
-    if (enabled_ && dirty_) write();
-  }
-
- private:
-  void write() {
-    save_checkpoint_file(options_.checkpoint_path, snapshot_);
-    dirty_ = false;
-    accepts_since_write_ = 0;
-  }
-
-  const EstimatorOptions& options_;
-  bool enabled_ = false;
-  bool dirty_ = false;
-  std::size_t accepts_since_write_ = 0;
-  RunCheckpoint snapshot_;
-};
-
-EstimationResult estimate_serial_impl(vec::Population& population,
-                                      const EstimatorOptions& options,
-                                      Rng& rng) {
-  EstimationResult r;
-  CheckpointSink ckpt(options, population, /*base_seed=*/0,
-                      /*parallel_path=*/false);
-  std::size_t attempts = 0;
-  bool resumed = false;
-  if (ckpt.enabled()) {
-    std::uint64_t next_index = 0;
-    Rng::State rng_state;
-    bool complete = false;
-    if (ckpt.try_resume(r, next_index, rng_state, complete)) {
-      // A complete checkpoint is the final result of a converged run:
-      // return it without drawing anything.
-      if (complete) return r;
-      attempts = static_cast<std::size_t>(next_index);
-      rng.set_state(rng_state);
-      resumed = true;
-    }
-  }
-  // The restored diagnostics already carry the population-size note from
-  // the original run start; only a fresh run records it.
-  if (!resumed) check_population(population, options, r);
-  // Draws beyond max_hyper_samples replace discarded hyper-samples; the cap
-  // bounds the run against populations that never yield a usable sample.
-  const std::size_t max_attempts =
-      options.max_hyper_samples + options.max_redraws;
-  while (r.hyper_samples < options.max_hyper_samples &&
-         attempts < max_attempts) {
-    if (const util::StopCause cause = options.control.should_stop();
-        cause != util::StopCause::kNone) {
-      record_stop(options, cause, r);
-      ckpt.flush();
-      finish_unconverged(options, rng, r);
-      return r;
-    }
-    HyperSampleResult hs;
-    try {
-      hs = draw_hyper_sample(population, options.hyper, rng);
-    } catch (const Error& e) {
-      record_draw_fault(options, e, r);
-      ckpt.flush();
-      finish_unconverged(options, rng, r);
-      return r;
-    }
-    ++attempts;
-    absorb_draw_diagnostics(hs, r);
-    if (!usable(options, hs)) {
-      record_discard(options, hs, r);
-      continue;
-    }
-    const bool done = accept_and_check(options, hs, rng, r);
-    ckpt.on_accept(r, rng.state(), attempts, attempts - 1, done);
-    if (done) return r;
-  }
-  if (r.hyper_samples < options.max_hyper_samples) {
-    record_redraws_exhausted(options, r);
-  }
-  ckpt.flush();
-  finish_unconverged(options, rng, r);
-  return r;
-}
-
-EstimationResult estimate_parallel_impl(vec::Population& population,
-                                        const EstimatorOptions& options,
-                                        std::uint64_t seed, bool concurrent,
-                                        util::ThreadPool* pool,
-                                        std::size_t wave) {
-  Rng interval_rng(stream_seed(seed, kIntervalStream));
-  EstimationResult r;
-  CheckpointSink ckpt(options, population, seed, /*parallel_path=*/true);
-  std::size_t next_index = 0;
-  bool resumed = false;
-  if (ckpt.enabled()) {
-    std::uint64_t resume_index = 0;
-    Rng::State rng_state;
-    bool complete = false;
-    if (ckpt.try_resume(r, resume_index, rng_state, complete)) {
-      if (complete) return r;
-      next_index = static_cast<std::size_t>(resume_index);
-      interval_rng.set_state(rng_state);
-      resumed = true;
-    }
-  }
-  if (!resumed) check_population(population, options, r);
-  const std::size_t max_attempts =
-      options.max_hyper_samples + options.max_redraws;
-  std::vector<HyperSampleResult> batch;
-  std::size_t wave_number = 0;
-  while (r.hyper_samples < options.max_hyper_samples &&
-         next_index < max_attempts) {
-    if (const util::StopCause cause = options.control.should_stop();
-        cause != util::StopCause::kNone) {
-      record_stop(options, cause, r);
-      ckpt.flush();
-      finish_unconverged(options, interval_rng, r);
-      return r;
-    }
-    const std::size_t count = std::min(wave, max_attempts - next_index);
-    batch.assign(count, HyperSampleResult{});
-    // A computed batch entry always has units_used = n*m > 0; entries
-    // abandoned by a mid-wave fault or stop keep the zero default, so the
-    // fold below can recognize them.
-    auto draw_one = [&](std::size_t j) {
-      Rng hyper_rng(stream_seed(seed, next_index + j));
-      batch[j] = draw_hyper_sample(population, options.hyper, hyper_rng);
-    };
-    em().waves.inc();
-    auto wave_span = options.tracer != nullptr
-                         ? options.tracer->span("wave")
-                         : util::Tracer().span("wave");
-    bool draw_faulted = false;
-    try {
-      if (concurrent && count > 1) {
-        pool->parallel_for(0, count, draw_one, &options.control);
-      } else {
-        for (std::size_t j = 0; j < count; ++j) {
-          if (options.control.should_stop() != util::StopCause::kNone) break;
-          draw_one(j);
-        }
-      }
-    } catch (const Error& e) {
-      // The wave is drained before parallel_for rethrows, so every entry is
-      // either fully computed or untouched; fold the computed prefix below,
-      // then stop.
-      record_draw_fault(options, e, r);
-      draw_faulted = true;
-    }
-    wave_span.note(util::JsonFields{}
-                       .add("wave", wave_number)
-                       .add("first_index", next_index)
-                       .add("count", count)
-                       .add("concurrent", concurrent && count > 1)
-                       .body());
-    wave_span.finish();
-    ++wave_number;
-    // Stopping rule strictly in index order: hyper-samples past the
-    // convergence point are discarded, so the result cannot depend on the
-    // wave size or thread count. Discarded (unusable) hyper-samples simply
-    // advance the index stream — the next index *is* the redraw.
-    bool done = false;
-    for (std::size_t j = 0; j < count; ++j) {
-      if (batch[j].units_used == 0) break;  // not computed (fault/stop)
-      if (done || r.hyper_samples >= options.max_hyper_samples) {
-        // Computed speculatively but never folded: count the waste so the
-        // metrics show what the wave size costs.
-        em().speculation_wasted.inc();
-        continue;
-      }
-      absorb_draw_diagnostics(batch[j], r);
-      if (!usable(options, batch[j])) {
-        record_discard(options, batch[j], r);
-        continue;
-      }
-      done = accept_and_check(options, batch[j], interval_rng, r);
-      // The resume point is the index after this accept; unfolded entries
-      // later in the wave are re-drawn on resume from their per-index
-      // streams, reproducing the same values.
-      ckpt.on_accept(r, interval_rng.state(), next_index + j + 1,
-                     next_index + j, done);
-    }
-    if (done) return r;
-    if (draw_faulted) {
-      ckpt.flush();
-      finish_unconverged(options, interval_rng, r);
-      return r;
-    }
-    next_index += count;
-  }
-  if (r.hyper_samples < options.max_hyper_samples &&
-      r.stop_reason == StopReason::kMaxHyperSamples) {
-    record_redraws_exhausted(options, r);
-  }
-  ckpt.flush();
-  finish_unconverged(options, interval_rng, r);
-  return r;
-}
-
-}  // namespace
+// Both entry points are thin wrappers over the layered engine
+// (maxpower/engine.hpp) with the default strategy composition — the
+// paper's reversed-Weibull MLE fitter and the budget / run-control /
+// options.interval stopping chain. Results are bit-identical to the
+// pre-engine implementations.
 
 EstimationResult estimate_max_power(vec::Population& population,
                                     const EstimatorOptions& options,
                                     Rng& rng) {
-  check_options(options);
-  RunScope scope(options, population, /*parallel_path=*/false, 1);
-  EstimationResult r = estimate_serial_impl(population, options, rng);
-  scope.finish(r);
-  return r;
+  Engine engine(EngineConfig{options, nullptr, {}});
+  return engine.run(population, rng);
 }
 
 EstimationResult estimate_max_power(vec::Population& population,
                                     const EstimatorOptions& options,
                                     std::uint64_t seed,
                                     const ParallelOptions& parallel) {
-  check_options(options);
-
-  unsigned threads = parallel.threads;
-  if (parallel.pool != nullptr) {
-    threads = parallel.pool->participants();
-  } else if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  // Concurrent speculation needs thread-safe draws; otherwise draw the wave
-  // sequentially (identical result, since streams are per-index anyway).
-  const bool concurrent = threads > 1 && population.concurrent_draw_safe();
-
-  // A local pool only when actually speculating concurrently and the caller
-  // did not provide one.
-  std::unique_ptr<util::ThreadPool> local_pool;
-  util::ThreadPool* pool = parallel.pool;
-  if (concurrent && pool == nullptr) {
-    local_pool = std::make_unique<util::ThreadPool>(threads - 1);
-    pool = local_pool.get();
-  }
-  const std::size_t wave = concurrent ? threads : 1;
-
-  RunScope scope(options, population, /*parallel_path=*/true, threads);
-  EstimationResult r = estimate_parallel_impl(population, options, seed,
-                                              concurrent, pool, wave);
-  scope.finish(r);
-  return r;
+  Engine engine(EngineConfig{options, nullptr, {}});
+  return engine.run(population, seed, parallel);
 }
 
 }  // namespace mpe::maxpower

@@ -5,8 +5,8 @@
 #include <limits>
 #include <vector>
 
-#include "evt/pwm.hpp"
-#include "stats/gev.hpp"
+#include "maxpower/tail_fitter.hpp"
+#include "maxpower/unit_source.hpp"
 #include "stats/weibull.hpp"
 #include "util/contracts.hpp"
 #include "util/metrics.hpp"
@@ -31,27 +31,9 @@ double finite_population_estimate(const stats::WeibullParams& params,
 
 namespace {
 
-/// PWM analog of finite_population_estimate, on the GEV fitted to the sample
-/// maxima. Returns NaN when the fitted law has no usable quantile.
-double pwm_estimate(const stats::GevParams& params,
-                    std::optional<std::size_t> pop_size,
-                    const HyperSampleOptions& options) {
-  const stats::Gev g(params);
-  if (options.finite_correction && pop_size.has_value()) {
-    const double q_parent =
-        1.0 - 1.0 / static_cast<double>(*pop_size);
-    const double q = options.quantile_mode == FiniteQuantileMode::kExactPower
-                         ? std::pow(q_parent,
-                                    static_cast<double>(options.n))
-                         : q_parent;
-    return g.quantile(q);
-  }
-  // Endpoint path: finite only for Weibull-type (xi < 0) fits.
-  return g.right_endpoint();
-}
-
 /// Hyper-sample outcome metrics (thread-safe; draws run concurrently
-/// inside the parallel estimator). Catalog in docs/OBSERVABILITY.md.
+/// inside the speculative execution policy). Catalog in
+/// docs/OBSERVABILITY.md.
 struct HyperMetrics {
   util::Counter draws;
   util::Counter invalid;
@@ -83,19 +65,19 @@ void record_hyper(const HyperSampleResult& out) {
 
 }  // namespace
 
-HyperSampleResult draw_hyper_sample(vec::Population& population,
+HyperSampleResult draw_hyper_sample(UnitSource& source,
                                     const HyperSampleOptions& options,
-                                    Rng& rng) {
+                                    const TailFitter& fitter, Rng& rng) {
   MPE_EXPECTS(options.n >= 2);
   MPE_EXPECTS(options.m >= 3);
 
   HyperSampleResult out;
-  // One batched pull for all n*m units: draw_batch consumes the RNG in
-  // scalar order, so the maxima are identical to per-unit draws, but
-  // batch-capable populations (bit-parallel streaming, finite index
-  // sampling) amortize their per-unit cost.
+  // One batched pull for all n*m units: fill() consumes the RNG in scalar
+  // order, so the maxima are identical to per-unit draws, but batch-capable
+  // sources (bit-parallel streaming, finite index sampling) amortize their
+  // per-unit cost.
   std::vector<double> units(options.n * options.m);
-  population.draw_batch(units, rng);
+  source.fill(units, rng);
   out.units_used = options.n * options.m;
 
   // Block maxima over the finite draws only: a NaN or Inf unit must never
@@ -147,39 +129,14 @@ HyperSampleResult draw_hyper_sample(vec::Population& population,
     return out;
   }
 
-  out.mle = evt::fit_weibull_mle(maxima, options.mle);
-  out.mu_hat = out.mle.params.mu;
-
-  const auto pop_size = population.size();
-  if (options.finite_correction && pop_size.has_value()) {
-    out.estimate = finite_population_estimate(out.mle.params, *pop_size,
-                                              options.n,
-                                              options.quantile_mode);
-  } else {
-    // Endpoint path: a raw ridge fit would report an unbounded endpoint, so
-    // refit with ridge stabilization when the user's options have none.
-    if (options.mle.ridge_tolerance <= 0.0 &&
-        options.endpoint_ridge_tolerance > 0.0) {
-      evt::WeibullMleOptions stabilized = options.mle;
-      stabilized.ridge_tolerance = options.endpoint_ridge_tolerance;
-      out.mle = evt::fit_weibull_mle(maxima, stabilized);
-      out.mu_hat = out.mle.params.mu;
-    }
-    out.estimate = out.mu_hat;
-  }
-  out.degenerate = !out.mle.converged || out.mle.alpha_below_two;
-
-  if (out.degenerate &&
-      options.degenerate_policy == DegenerateFitPolicy::kPwmFallback) {
-    const evt::PwmResult pwm = evt::fit_gev_pwm(maxima);
-    if (pwm.valid) {
-      const double candidate = pwm_estimate(pwm.params, pop_size, options);
-      if (std::isfinite(candidate)) {
-        out.estimate = candidate;
-        out.used_pwm = true;
-      }
-    }
-  }
+  // Fit layer: the strategy sees only the maxima and the fit context.
+  const TailFitContext context{options, source.population_size()};
+  const TailFitOutcome fit = fitter.fit(maxima, context);
+  out.estimate = fit.estimate;
+  out.mu_hat = fit.mu_hat;
+  out.mle = fit.mle;
+  out.degenerate = fit.degenerate;
+  out.used_pwm = fit.used_pwm;
 
   // The estimate can never be below the best unit actually observed.
   out.estimate = std::max(out.estimate, overall_max);
@@ -192,6 +149,13 @@ HyperSampleResult draw_hyper_sample(vec::Population& population,
   }
   record_hyper(out);
   return out;
+}
+
+HyperSampleResult draw_hyper_sample(vec::Population& population,
+                                    const HyperSampleOptions& options,
+                                    Rng& rng) {
+  PopulationUnitSource source(population);
+  return draw_hyper_sample(source, options, default_tail_fitter(), rng);
 }
 
 }  // namespace mpe::maxpower

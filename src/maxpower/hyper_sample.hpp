@@ -13,6 +13,9 @@
 
 namespace mpe::maxpower {
 
+class UnitSource;  // maxpower/unit_source.hpp
+class TailFitter;  // maxpower/tail_fitter.hpp
+
 /// How the finite-population quantile is chosen.
 enum class FiniteQuantileMode {
   /// The paper's rule: G^{-1}(1 - 1/|V|) on the fitted sample-maxima law
@@ -93,7 +96,17 @@ struct HyperSampleResult {
   std::size_t nonfinite_units = 0;  ///< NaN/Inf draws excluded from maxima
 };
 
-/// Draws one hyper-sample from the population.
+/// Draws one hyper-sample from a unit source, fitting the tail with the
+/// given strategy (maxpower/tail_fitter.hpp). The shared pipeline —
+/// batched draw, block-maxima formation, constant-sample short-circuit,
+/// observed-max clamp, non-finite guard — is identical for every fitter.
+HyperSampleResult draw_hyper_sample(UnitSource& source,
+                                    const HyperSampleOptions& options,
+                                    const TailFitter& fitter, Rng& rng);
+
+/// Draws one hyper-sample from the population with the paper's default
+/// reversed-Weibull MLE fitter. Equivalent to wrapping `population` in a
+/// PopulationUnitSource and passing default_tail_fitter().
 HyperSampleResult draw_hyper_sample(vec::Population& population,
                                     const HyperSampleOptions& options,
                                     Rng& rng);

@@ -1,0 +1,88 @@
+#include "maxpower/options_fields.hpp"
+
+#include <cmath>
+#include <type_traits>
+
+#include "util/jsonl.hpp"
+#include "util/status.hpp"
+
+namespace mpe::maxpower {
+
+namespace {
+
+struct JsonWriteVisitor {
+  util::JsonFields& f;
+
+  void number(const char* name, const double& v, bool) { f.add(name, v); }
+  template <typename T>
+  void integer(const char* name, const T& v, bool) {
+    f.add(name, static_cast<std::uint64_t>(v));
+  }
+  void flag(const char* name, const bool& v, bool) { f.add(name, v); }
+  template <typename E>
+  void enumeration(const char* name, const E& v, bool) {
+    f.add(name, static_cast<std::uint64_t>(v));
+  }
+};
+
+[[noreturn]] void bad_field(const char* name, const char* why) {
+  throw Error(ErrorCode::kParse,
+              std::string("estimator options JSON: field '") + name + "' " +
+                  why);
+}
+
+struct JsonReadVisitor {
+  const util::JsonValue& obj;
+
+  double require_number(const char* name) const {
+    const util::JsonValue* v = obj.find(name);
+    if (v == nullptr) bad_field(name, "missing");
+    if (!v->is_number()) bad_field(name, "is not a number");
+    return v->as_number();
+  }
+
+  void number(const char* name, double& v, bool) const {
+    v = require_number(name);
+  }
+  template <typename T>
+  void integer(const char* name, T& v, bool) const {
+    const double d = require_number(name);
+    if (d < 0.0 || d != std::floor(d)) {
+      bad_field(name, "is not a non-negative integer");
+    }
+    v = static_cast<T>(d);
+  }
+  void flag(const char* name, bool& v, bool) const {
+    const util::JsonValue* j = obj.find(name);
+    if (j == nullptr) bad_field(name, "missing");
+    if (!j->is_bool()) bad_field(name, "is not a boolean");
+    v = j->as_bool();
+  }
+  template <typename E>
+  void enumeration(const char* name, E& v, bool) const {
+    const double d = require_number(name);
+    if (d < 0.0 || d != std::floor(d)) bad_field(name, "is not an enum value");
+    v = static_cast<E>(static_cast<std::underlying_type_t<E>>(d));
+  }
+};
+
+}  // namespace
+
+std::string estimator_options_to_json(const EstimatorOptions& options) {
+  util::JsonFields f;
+  visit_estimator_options(options, JsonWriteVisitor{f});
+  return f.object();
+}
+
+EstimatorOptions estimator_options_from_json(std::string_view json) {
+  const util::JsonValue parsed = util::parse_json(json);
+  if (!parsed.is_object()) {
+    throw Error(ErrorCode::kParse,
+                "estimator options JSON: not a JSON object");
+  }
+  EstimatorOptions options;
+  visit_estimator_options(options, JsonReadVisitor{parsed});
+  return options;
+}
+
+}  // namespace mpe::maxpower

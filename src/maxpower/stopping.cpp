@@ -1,0 +1,99 @@
+#include "maxpower/stopping.hpp"
+
+#include "evt/bootstrap.hpp"
+#include "evt/confidence.hpp"
+
+namespace mpe::maxpower {
+
+namespace {
+
+evt::ConfidenceInterval interval_of(IntervalKind kind,
+                                    const EstimatorOptions& options,
+                                    std::span<const double> values,
+                                    Rng& rng) {
+  if (kind == IntervalKind::kBootstrap) {
+    return evt::bootstrap_mean_interval(values, options.confidence, rng);
+  }
+  return evt::t_interval(values, options.confidence);
+}
+
+}  // namespace
+
+std::optional<StopReason> HyperBudgetRule::pre_draw(
+    const EstimatorOptions& options, const EstimationResult& r,
+    std::size_t cursor) {
+  // Draws beyond max_hyper_samples replace discarded hyper-samples; the
+  // attempt cap bounds the run against populations that never yield a
+  // usable sample. The engine's epilogue turns "budget spent with too few
+  // accepted samples" into a kDataFault redraws-exhausted stop.
+  const std::size_t max_attempts =
+      options.max_hyper_samples + options.max_redraws;
+  if (r.hyper_samples >= options.max_hyper_samples || cursor >= max_attempts) {
+    return StopReason::kMaxHyperSamples;
+  }
+  return std::nullopt;
+}
+
+std::optional<StopReason> RunControlRule::pre_draw(
+    const EstimatorOptions& options, const EstimationResult& r,
+    std::size_t cursor) {
+  (void)r;
+  (void)cursor;
+  switch (options.control.should_stop()) {
+    case util::StopCause::kCancelled:
+      return StopReason::kCancelled;
+    case util::StopCause::kDeadline:
+      return StopReason::kDeadlineExceeded;
+    case util::StopCause::kNone:
+      break;
+  }
+  return std::nullopt;
+}
+
+std::string_view IntervalRule::name() const {
+  if (!kind_.has_value()) return "interval";
+  return *kind_ == IntervalKind::kBootstrap ? "bootstrap" : "t";
+}
+
+IntervalKind IntervalRule::kind_of(const EstimatorOptions& options) const {
+  return kind_.has_value() ? *kind_ : options.interval;
+}
+
+std::optional<StopReason> IntervalRule::post_accept(
+    const EstimatorOptions& options, EstimationResult& r, Rng& interval_rng) {
+  if (r.hyper_samples < options.min_hyper_samples) return std::nullopt;
+  r.ci = interval_of(kind_of(options), options, r.hyper_values, interval_rng);
+  r.estimate = r.ci.center;
+  r.relative_error_bound = evt::relative_half_width(r.ci);
+  if (r.relative_error_bound <= options.epsilon) {
+    r.converged = true;
+    r.stop_reason = StopReason::kConverged;
+    return StopReason::kConverged;
+  }
+  return std::nullopt;
+}
+
+void IntervalRule::finalize(const EstimatorOptions& options,
+                            EstimationResult& r, Rng& interval_rng) {
+  // Did not converge within the budget; report the latest interval.
+  if (r.hyper_values.size() >= 2) {
+    r.ci =
+        interval_of(kind_of(options), options, r.hyper_values, interval_rng);
+    r.estimate = r.ci.center;
+    r.relative_error_bound = evt::relative_half_width(r.ci);
+  }
+}
+
+std::vector<std::shared_ptr<StoppingRule>> default_stopping_chain() {
+  return {std::make_shared<HyperBudgetRule>(),
+          std::make_shared<RunControlRule>(),
+          std::make_shared<IntervalRule>()};
+}
+
+std::optional<IntervalKind> interval_kind_from_name(std::string_view name) {
+  if (name == "t") return IntervalKind::kStudentT;
+  if (name == "bootstrap") return IntervalKind::kBootstrap;
+  return std::nullopt;
+}
+
+}  // namespace mpe::maxpower

@@ -46,6 +46,7 @@
 #include "evt/confidence.hpp"
 #include "evt/domain.hpp"
 #include "evt/fisher.hpp"
+#include "evt/gev_mle.hpp"
 #include "evt/pwm.hpp"
 #include "evt/weibull_mle.hpp"
 
@@ -86,13 +87,19 @@
 #include "maxpower/bounds.hpp"
 #include "maxpower/campaign.hpp"
 #include "maxpower/checkpoint.hpp"
+#include "maxpower/engine.hpp"
 #include "maxpower/estimator.hpp"
 #include "maxpower/hyper_sample.hpp"
+#include "maxpower/options_fields.hpp"
 #include "maxpower/quantile_baseline.hpp"
+#include "maxpower/run_context.hpp"
 #include "maxpower/run_report.hpp"
 #include "maxpower/srs.hpp"
 #include "maxpower/search_baselines.hpp"
+#include "maxpower/stopping.hpp"
+#include "maxpower/tail_fitter.hpp"
 #include "maxpower/theory.hpp"
+#include "maxpower/unit_source.hpp"
 
 #include "maxdelay/delay_estimator.hpp"
 

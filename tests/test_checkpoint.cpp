@@ -200,6 +200,29 @@ TEST(CheckpointFingerprint, SensitiveToResultShapingOptionsOnly) {
   EXPECT_NE(mp::run_fingerprint(a, 7, true, "other"), fp);  // population
 }
 
+TEST(CheckpointFingerprint, VisitorFieldsMarkedFingerprintedAreFolded) {
+  // The fingerprint is the fingerprinted subset of
+  // visit_estimator_options — the same visitor that (de)serializes the
+  // options — so this asserts the marks, not a hand-maintained list: a
+  // deep fingerprinted field (the MLE grid) must perturb the print, and
+  // the two fields marked non-fingerprinted (budget/cadence) must not.
+  mp::EstimatorOptions a;
+  const std::uint64_t fp = mp::run_fingerprint(a, 3, false, "pop");
+
+  mp::EstimatorOptions grid = a;
+  grid.hyper.mle.grid_points += 1;  // fingerprinted: shapes every fit
+  EXPECT_NE(mp::run_fingerprint(grid, 3, false, "pop"), fp);
+
+  mp::EstimatorOptions interval = a;
+  interval.interval = mp::IntervalKind::kBootstrap;  // fingerprinted enum
+  EXPECT_NE(mp::run_fingerprint(interval, 3, false, "pop"), fp);
+
+  mp::EstimatorOptions budget = a;
+  budget.max_hyper_samples *= 2;  // not fingerprinted: resumable budget
+  budget.checkpoint_every_k += 4;  // not fingerprinted: write cadence
+  EXPECT_EQ(mp::run_fingerprint(budget, 3, false, "pop"), fp);
+}
+
 // --- Resume bit-identity ----------------------------------------------------
 
 TEST(CheckpointResume, SerialResumeBitIdentical) {

@@ -1,0 +1,363 @@
+// Strategy-seam tests for the layered estimation engine: equivalence with
+// the legacy entry points on both paper input categories, custom
+// user-supplied StoppingRule / TailFitter through the public API, the
+// alternative built-in strategies end-to-end, and the strategy-aware
+// checkpoint fingerprint.
+#include "maxpower/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gen/presets.hpp"
+#include "maxpower/checkpoint.hpp"
+#include "maxpower/estimator.hpp"
+#include "maxpower/options_fields.hpp"
+#include "maxpower/stopping.hpp"
+#include "maxpower/tail_fitter.hpp"
+#include "maxpower/unit_source.hpp"
+#include "sim/power_eval.hpp"
+#include "stats/weibull.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "vectors/generators.hpp"
+#include "vectors/markov.hpp"
+#include "vectors/population.hpp"
+#include "vectors/power_db.hpp"
+
+namespace {
+
+namespace mp = mpe::maxpower;
+namespace vec = mpe::vec;
+
+mpe::vec::FinitePopulation weibull_population(std::size_t size,
+                                              std::uint64_t seed,
+                                              double alpha = 3.0,
+                                              double mu = 10.0) {
+  const mpe::stats::ReversedWeibull g(alpha, 1.0, mu);
+  mpe::Rng rng(seed);
+  std::vector<double> vals(size);
+  for (auto& v : vals) v = g.sample(rng);
+  return mpe::vec::FinitePopulation(std::move(vals), "synthetic weibull");
+}
+
+void expect_bit_identical(const mp::EstimationResult& a,
+                          const mp::EstimationResult& b) {
+  EXPECT_EQ(a.estimate, b.estimate);
+  EXPECT_EQ(a.hyper_samples, b.hyper_samples);
+  EXPECT_EQ(a.units_used, b.units_used);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.stop_reason, b.stop_reason);
+  EXPECT_EQ(a.relative_error_bound, b.relative_error_bound);
+  EXPECT_EQ(a.ci.half_width, b.ci.half_width);
+  ASSERT_EQ(a.hyper_values.size(), b.hyper_values.size());
+  for (std::size_t i = 0; i < a.hyper_values.size(); ++i) {
+    EXPECT_EQ(a.hyper_values[i], b.hyper_values[i]) << "hyper value " << i;
+  }
+}
+
+// --- Equivalence with the legacy entry points -----------------------------
+
+TEST(Engine, DefaultCompositionMatchesLegacySerial) {
+  auto pop = weibull_population(20000, 101);
+  mp::EstimatorOptions opt;
+  mpe::Rng r1(14), r2(14);
+  const auto legacy = mp::estimate_max_power(pop, opt, r1);
+  const mp::Engine engine(mp::EngineConfig{opt, nullptr, {}});
+  const auto ours = engine.run(pop, r2);
+  expect_bit_identical(legacy, ours);
+  // Both consumed the caller RNG identically.
+  EXPECT_EQ(r1.state().s, r2.state().s);
+}
+
+TEST(Engine, DefaultCompositionMatchesLegacyParallel) {
+  auto pop = weibull_population(20000, 102);
+  mp::EstimatorOptions opt;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    mp::ParallelOptions par;
+    par.threads = threads;
+    const auto legacy = mp::estimate_max_power(pop, opt, 77, par);
+    const mp::Engine engine(mp::EngineConfig{opt, nullptr, {}});
+    const auto ours = engine.run(pop, 77, par);
+    expect_bit_identical(legacy, ours);
+  }
+}
+
+TEST(Engine, EquivalenceOnUnconstrainedStreamingPopulation) {
+  // Paper category I.1: unconstrained sequences, units generated on the
+  // fly. Engine and legacy must agree bit-for-bit on the same stream.
+  const auto nl = mpe::gen::build_preset("c432", 9);
+  mpe::sim::CyclePowerEvaluator e1(nl), e2(nl);
+  const vec::TransitionProbPairGenerator g(nl.num_inputs(), 0.5);
+  vec::StreamingPopulation p1(g, e1), p2(g, e2);
+  mp::EstimatorOptions opt;
+  opt.epsilon = 0.10;
+  opt.max_hyper_samples = 12;
+  mpe::Rng r1(21), r2(21);
+  const auto legacy = mp::estimate_max_power(p1, opt, r1);
+  const mp::Engine engine(mp::EngineConfig{opt, nullptr, {}});
+  const auto ours = engine.run(p2, r2);
+  expect_bit_identical(legacy, ours);
+}
+
+TEST(Engine, EquivalenceOnConstrainedMarkovPopulation) {
+  // Paper category I.2: constrained (Markov) input statistics via a
+  // pre-built power database.
+  const auto nl = mpe::gen::build_preset("c432", 5);
+  mpe::sim::CyclePowerEvaluator eval(nl);
+  const vec::MarkovPairGenerator gen(nl.num_inputs(), 0.2, 0.6);
+  vec::PowerDbOptions db;
+  db.population_size = 4000;
+  mpe::Rng build_rng(1);
+  auto pop = vec::build_power_database(gen, eval, db, build_rng);
+  mp::EstimatorOptions opt;
+  opt.epsilon = 0.08;
+  mpe::Rng r1(2), r2(2);
+  const auto legacy = mp::estimate_max_power(pop, opt, r1);
+  const mp::Engine engine(mp::EngineConfig{opt, nullptr, {}});
+  const auto ours = engine.run(pop, r2);
+  expect_bit_identical(legacy, ours);
+}
+
+// --- Custom strategies through the public API -----------------------------
+
+// Stops unconditionally after a fixed number of accepted hyper-samples,
+// ignoring the interval entirely.
+class FixedCountRule final : public mp::StoppingRule {
+ public:
+  explicit FixedCountRule(std::size_t target) : target_(target) {}
+  std::string_view name() const override { return "fixed-count"; }
+  std::optional<mp::StopReason> post_accept(const mp::EstimatorOptions&,
+                                            mp::EstimationResult& r,
+                                            mpe::Rng&) override {
+    if (r.hyper_samples < target_) return std::nullopt;
+    r.converged = true;
+    r.stop_reason = mp::StopReason::kConverged;
+    return mp::StopReason::kConverged;
+  }
+
+ private:
+  std::size_t target_;
+};
+
+TEST(Engine, CustomStoppingRuleThroughPublicApi) {
+  auto pop = weibull_population(20000, 103);
+  mp::EngineConfig cfg;
+  cfg.options.epsilon = 1e-12;  // the default interval rule would never stop
+  cfg.stopping = {std::make_shared<mp::HyperBudgetRule>(),
+                  std::make_shared<mp::RunControlRule>(),
+                  std::make_shared<FixedCountRule>(7)};
+  const mp::Engine engine(cfg);
+  mpe::Rng rng(31);
+  const auto r = engine.run(pop, rng);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.hyper_samples, 7u);
+  EXPECT_EQ(r.stop_reason, mp::StopReason::kConverged);
+
+  // Same custom chain on the pipelined path, invariant across threads.
+  mp::ParallelOptions par1, par8;
+  par1.threads = 1;
+  par8.threads = 8;
+  const auto p1 = engine.run(pop, 55, par1);
+  const auto p8 = engine.run(pop, 55, par8);
+  EXPECT_EQ(p1.hyper_samples, 7u);
+  expect_bit_identical(p1, p8);
+}
+
+// Ignores the maxima and reports a constant far above the population: every
+// hyper-value is identical, so the Student-t interval converges immediately
+// at min_hyper_samples.
+class ConstantFitter final : public mp::TailFitter {
+ public:
+  std::string_view name() const override { return "constant"; }
+  mp::TailFitOutcome fit(std::span<const double>,
+                         const mp::TailFitContext&) const override {
+    mp::TailFitOutcome out;
+    out.estimate = 1.0e6;  // above any drawn unit, so the max clamp is moot
+    out.mu_hat = 1.0e6;
+    out.mle.converged = true;
+    out.mle.params.alpha = 3.0;
+    return out;
+  }
+};
+
+TEST(Engine, CustomTailFitterThroughPublicApi) {
+  auto pop = weibull_population(20000, 104);
+  mp::EngineConfig cfg;
+  cfg.fitter = std::make_shared<ConstantFitter>();
+  const mp::Engine engine(cfg);
+  mpe::Rng rng(41);
+  const auto r = engine.run(pop, rng);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.hyper_samples, cfg.options.min_hyper_samples);
+  EXPECT_EQ(r.estimate, 1.0e6);
+  for (double v : r.hyper_values) EXPECT_EQ(v, 1.0e6);
+}
+
+// --- Built-in alternative strategies end-to-end ---------------------------
+
+TEST(Engine, PwmFitterConverges) {
+  auto pop = weibull_population(40000, 105);
+  mp::EngineConfig cfg;
+  cfg.fitter = mp::make_tail_fitter(mp::TailFitterKind::kPwm);
+  const mp::Engine engine(cfg);
+  mpe::Rng rng(51);
+  const auto r = engine.run(pop, rng);
+  EXPECT_TRUE(r.converged);
+  const double rel = std::fabs(r.estimate - pop.true_max()) / pop.true_max();
+  EXPECT_LT(rel, 0.15);
+}
+
+TEST(Engine, GevFitterConvergesAndIsThreadInvariant) {
+  auto pop = weibull_population(40000, 106);
+  mp::EngineConfig cfg;
+  cfg.fitter = mp::make_tail_fitter(mp::TailFitterKind::kGevMle);
+  const mp::Engine engine(cfg);
+  mpe::Rng rng(61);
+  const auto serial = engine.run(pop, rng);
+  EXPECT_TRUE(serial.converged);
+  const double rel =
+      std::fabs(serial.estimate - pop.true_max()) / pop.true_max();
+  EXPECT_LT(rel, 0.15);
+
+  mp::ParallelOptions par1, par2, par8;
+  par1.threads = 1;
+  par2.threads = 2;
+  par8.threads = 8;
+  const auto p1 = engine.run(pop, 66, par1);
+  const auto p2 = engine.run(pop, 66, par2);
+  const auto p8 = engine.run(pop, 66, par8);
+  expect_bit_identical(p1, p2);
+  expect_bit_identical(p1, p8);
+}
+
+TEST(Engine, PinnedBootstrapRuleMatchesOptionsBootstrap) {
+  // An explicit IntervalRule(kBootstrap) chain must reproduce the legacy
+  // options.interval = kBootstrap run exactly (same interval RNG stream).
+  auto pop = weibull_population(20000, 107);
+  mp::EstimatorOptions legacy_opt;
+  legacy_opt.interval = mp::IntervalKind::kBootstrap;
+  mpe::Rng r1(71), r2(71);
+  const auto legacy = mp::estimate_max_power(pop, legacy_opt, r1);
+
+  mp::EngineConfig cfg;  // options.interval left at kStudentT: the pin wins
+  cfg.stopping = {
+      std::make_shared<mp::HyperBudgetRule>(),
+      std::make_shared<mp::RunControlRule>(),
+      std::make_shared<mp::IntervalRule>(mp::IntervalKind::kBootstrap)};
+  const mp::Engine engine(cfg);
+  const auto ours = engine.run(pop, r2);
+  expect_bit_identical(legacy, ours);
+}
+
+// --- UnitSource layer -----------------------------------------------------
+
+TEST(Engine, PopulationUnitSourceReportsPopulationFacts) {
+  auto pop = weibull_population(5000, 108);
+  mp::PopulationUnitSource src(pop);
+  EXPECT_TRUE(src.concurrent_fill_safe());
+  ASSERT_TRUE(src.population_size().has_value());
+  EXPECT_EQ(*src.population_size(), 5000u);
+  EXPECT_EQ(src.description(), pop.description());
+  mpe::Rng a(1), b(1);
+  std::vector<double> via_source(64), via_pop(64);
+  src.fill(std::span<double>(via_source), a);
+  pop.draw_batch(std::span<double>(via_pop), b);
+  EXPECT_EQ(via_source, via_pop);
+}
+
+// --- Strategy-aware checkpoint fingerprint --------------------------------
+
+TEST(Engine, StrategyCompositionChangesFingerprint) {
+  mp::EstimatorOptions opt;
+  const auto base = mp::run_fingerprint(opt, 9, true, "pop");
+  // Empty strategies == the 4-argument (legacy/default) fingerprint.
+  EXPECT_EQ(mp::run_fingerprint(opt, 9, true, "pop", ""), base);
+  const auto gev = mp::run_fingerprint(opt, 9, true, "pop", "fitter=gev");
+  EXPECT_NE(gev, base);
+  EXPECT_NE(mp::run_fingerprint(opt, 9, true, "pop", "fitter=pwm"), gev);
+}
+
+TEST(Engine, NonDefaultFitterRefusesDefaultCheckpoint) {
+  auto pop = weibull_population(20000, 109);
+  const std::string path = ::testing::TempDir() + "engine_fp_refusal.ckpt";
+  std::remove(path.c_str());
+
+  mp::EstimatorOptions opt;
+  opt.epsilon = 1e-12;  // never converges: checkpoint survives the run
+  opt.max_hyper_samples = 4;
+  opt.checkpoint_path = path;
+  const mp::Engine def(mp::EngineConfig{opt, nullptr, {}});
+  const auto partial = def.run(pop, 88, {});
+  EXPECT_FALSE(partial.converged);
+
+  mp::EngineConfig cfg;
+  cfg.options = opt;
+  cfg.fitter = mp::make_tail_fitter(mp::TailFitterKind::kGevMle);
+  const mp::Engine gev(cfg);
+  try {
+    (void)gev.run(pop, 88, {});
+    FAIL() << "expected kPrecondition refusal";
+  } catch (const mpe::Error& e) {
+    EXPECT_EQ(e.code(), mpe::ErrorCode::kPrecondition);
+  }
+  std::remove(path.c_str());
+}
+
+// --- Options field visitor ------------------------------------------------
+
+TEST(Engine, OptionsJsonRoundTripPreservesFingerprint) {
+  mp::EstimatorOptions opt;
+  opt.epsilon = 0.037;
+  opt.confidence = 0.955;
+  opt.interval = mp::IntervalKind::kBootstrap;
+  opt.min_hyper_samples = 3;
+  opt.max_hyper_samples = 123;
+  opt.max_redraws = 17;
+  opt.hyper.n = 77;
+  opt.hyper.m = 13;
+  opt.hyper.finite_correction = false;
+  opt.hyper.degenerate_policy = mp::DegenerateFitPolicy::kPwmFallback;
+  opt.hyper.endpoint_ridge_tolerance = 0.125;
+  opt.hyper.mle.grid_points = 99;
+  opt.checkpoint_every_k = 5;
+
+  const std::string json = mp::estimator_options_to_json(opt);
+  const mp::EstimatorOptions back = mp::estimator_options_from_json(json);
+  EXPECT_EQ(back.epsilon, opt.epsilon);
+  EXPECT_EQ(back.confidence, opt.confidence);
+  EXPECT_EQ(back.interval, opt.interval);
+  EXPECT_EQ(back.min_hyper_samples, opt.min_hyper_samples);
+  EXPECT_EQ(back.max_hyper_samples, opt.max_hyper_samples);
+  EXPECT_EQ(back.max_redraws, opt.max_redraws);
+  EXPECT_EQ(back.hyper.n, opt.hyper.n);
+  EXPECT_EQ(back.hyper.m, opt.hyper.m);
+  EXPECT_EQ(back.hyper.finite_correction, opt.hyper.finite_correction);
+  EXPECT_EQ(back.hyper.degenerate_policy, opt.hyper.degenerate_policy);
+  EXPECT_EQ(back.hyper.endpoint_ridge_tolerance,
+            opt.hyper.endpoint_ridge_tolerance);
+  EXPECT_EQ(back.hyper.mle.grid_points, opt.hyper.mle.grid_points);
+  EXPECT_EQ(back.checkpoint_every_k, opt.checkpoint_every_k);
+  // The same visitor feeds the fingerprint, so round-tripping is identity.
+  EXPECT_EQ(mp::run_fingerprint(back, 1, false, "p"),
+            mp::run_fingerprint(opt, 1, false, "p"));
+}
+
+TEST(Engine, NameParsersAcceptKnownRejectUnknown) {
+  EXPECT_EQ(mp::tail_fitter_kind_from_name("mle"),
+            mp::TailFitterKind::kWeibullMle);
+  EXPECT_EQ(mp::tail_fitter_kind_from_name("pwm"), mp::TailFitterKind::kPwm);
+  EXPECT_EQ(mp::tail_fitter_kind_from_name("gev"),
+            mp::TailFitterKind::kGevMle);
+  EXPECT_FALSE(mp::tail_fitter_kind_from_name("weibull").has_value());
+  EXPECT_EQ(mp::interval_kind_from_name("t"), mp::IntervalKind::kStudentT);
+  EXPECT_EQ(mp::interval_kind_from_name("bootstrap"),
+            mp::IntervalKind::kBootstrap);
+  EXPECT_FALSE(mp::interval_kind_from_name("student").has_value());
+}
+
+}  // namespace

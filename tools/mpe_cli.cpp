@@ -55,6 +55,7 @@ void install_signal_handlers() {
       "--verilog <file>, --seed N\n"
       "  estimate: --epsilon E --confidence L [--tprob P | --activity A]\n"
       "            [--deadline-ms N] [--fit-policy use|pwm|redraw]\n"
+      "            [--fitter mle|pwm|gev] [--stop t|bootstrap]\n"
       "            [--max-hyper K] [--metrics-out FILE|-] [--trace]\n"
       "            [--checkpoint FILE [--checkpoint-every K] "
       "[--threads N]]\n"
@@ -82,8 +83,9 @@ circuit::Netlist load_circuit(const Cli& cli, std::uint64_t seed) {
 int cmd_estimate(const Cli& cli) {
   cli.check_known({"circuit", "bench", "verilog", "seed", "epsilon",
                    "confidence", "tprob", "activity", "max-hyper",
-                   "fit-policy", "deadline-ms", "metrics-out", "trace",
-                   "checkpoint", "checkpoint-every", "threads"});
+                   "fit-policy", "fitter", "stop", "deadline-ms",
+                   "metrics-out", "trace", "checkpoint", "checkpoint-every",
+                   "threads"});
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   auto netlist = load_circuit(cli, seed);
   sim::CyclePowerEvaluator evaluator(netlist);
@@ -116,6 +118,30 @@ int cmd_estimate(const Cli& cli) {
     throw Error(ErrorCode::kUsage, "unknown --fit-policy (use|pwm|redraw)",
                 ErrorContext{}.kv("value", policy).str());
   }
+  // Engine strategy selection: --stop picks the interval/stopping rule,
+  // --fitter swaps the tail fitter (maxpower/engine.hpp). "mle" maps to the
+  // default (null) fitter so it does not perturb checkpoint fingerprints.
+  maxpower::EngineConfig engine_cfg;
+  const std::string stop_name = cli.get("stop", "");
+  if (!stop_name.empty()) {
+    const auto kind = maxpower::interval_kind_from_name(stop_name);
+    if (!kind) {
+      throw Error(ErrorCode::kUsage, "unknown --stop (t|bootstrap)",
+                  ErrorContext{}.kv("value", stop_name).str());
+    }
+    options.interval = *kind;
+  }
+  const std::string fitter_name = cli.get("fitter", "");
+  if (!fitter_name.empty()) {
+    const auto kind = maxpower::tail_fitter_kind_from_name(fitter_name);
+    if (!kind) {
+      throw Error(ErrorCode::kUsage, "unknown --fitter (mle|pwm|gev)",
+                  ErrorContext{}.kv("value", fitter_name).str());
+    }
+    if (*kind != maxpower::TailFitterKind::kWeibullMle) {
+      engine_cfg.fitter = maxpower::make_tail_fitter(*kind);
+    }
+  }
   const auto deadline_ms = cli.get_int("deadline-ms", 0);
   if (deadline_ms > 0) {
     options.control.deadline =
@@ -144,15 +170,17 @@ int cmd_estimate(const Cli& cli) {
   // --threads selects the pipelined estimator (bit-identical across thread
   // counts, so a checkpoint taken at --threads 8 resumes at --threads 1 and
   // vice versa); without it the sequential reference path runs.
+  engine_cfg.options = options;
+  const maxpower::Engine engine(engine_cfg);
   maxpower::EstimationResult r;
   if (cli.has("threads") || !options.checkpoint_path.empty()) {
     maxpower::ParallelOptions par;
     par.threads = static_cast<unsigned>(
         std::max<long long>(0, cli.get_int("threads", 1)));
-    r = maxpower::estimate_max_power(population, options, seed, par);
+    r = engine.run(population, seed, par);
   } else {
     Rng rng(seed);
-    r = maxpower::estimate_max_power(population, options, rng);
+    r = engine.run(population, rng);
   }
 
   if (!metrics_out.empty()) {
