@@ -1,0 +1,84 @@
+#include "maxpower/compiled_unit_source.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace mpe::maxpower {
+
+struct CompiledUnitSource::Slot {
+  sim::CompiledSimulator sim;
+  std::vector<vec::VectorPair> pairs;
+  std::vector<sim::CycleResult> results;
+
+  Slot(std::shared_ptr<const sim::GateProgram> program,
+       sim::SimdKernel kernel)
+      : sim(std::move(program), kernel) {}
+};
+
+CompiledUnitSource::CompiledUnitSource(const circuit::Netlist& netlist,
+                                       const vec::PairGenerator& generator,
+                                       sim::Technology tech,
+                                       sim::SimdKernel kernel)
+    : generator_(generator),
+      program_(sim::GateProgram::compile(netlist, tech)),
+      kernel_(kernel) {
+  MPE_EXPECTS_MSG(
+      generator.width() == netlist.num_inputs(),
+      "generator width must match the netlist primary input count");
+  // Construct the first slot eagerly so an unavailable kernel or a bad
+  // netlist fails here, not inside a worker thread.
+  release_slot(std::make_unique<Slot>(program_, kernel_));
+}
+
+CompiledUnitSource::~CompiledUnitSource() = default;
+
+std::unique_ptr<CompiledUnitSource::Slot> CompiledUnitSource::acquire_slot() {
+  {
+    std::lock_guard<std::mutex> lock(slot_mutex_);
+    if (!idle_slots_.empty()) {
+      auto slot = std::move(idle_slots_.back());
+      idle_slots_.pop_back();
+      return slot;
+    }
+  }
+  return std::make_unique<Slot>(program_, kernel_);
+}
+
+void CompiledUnitSource::release_slot(std::unique_ptr<Slot> slot) {
+  std::lock_guard<std::mutex> lock(slot_mutex_);
+  idle_slots_.push_back(std::move(slot));
+}
+
+void CompiledUnitSource::fill(std::span<double> out, Rng& rng) {
+  auto slot = acquire_slot();
+  const std::size_t max_lanes = slot->sim.lanes();
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::size_t lanes =
+        std::min<std::size_t>(max_lanes, out.size() - done);
+    slot->pairs.resize(lanes);
+    for (auto& p : slot->pairs) generator_.generate_into(rng, p);
+    slot->sim.evaluate_batch(
+        std::span<const vec::VectorPair>(slot->pairs), slot->results);
+    for (std::size_t k = 0; k < lanes; ++k) {
+      out[done + k] = slot->results[k].power_mw;
+    }
+    done += lanes;
+  }
+  draws_.fetch_add(out.size(), std::memory_order_relaxed);
+  release_slot(std::move(slot));
+}
+
+std::string CompiledUnitSource::description() const {
+  return "compiled unit source over " + program_->circuit_name() + " (" +
+         generator_.description() + ") [" +
+         std::string(sim::to_string(kernel_)) + " x" +
+         std::to_string(sim::kernel_lanes(kernel_)) + "]";
+}
+
+std::size_t CompiledUnitSource::draws() const {
+  return draws_.load(std::memory_order_relaxed);
+}
+
+}  // namespace mpe::maxpower

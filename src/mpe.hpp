@@ -73,6 +73,9 @@
 #include "sim/timing.hpp"
 #include "sim/vcd.hpp"
 #include "sim/bit_parallel_sim.hpp"
+#include "sim/cpu_dispatch.hpp"
+#include "sim/gate_program.hpp"
+#include "sim/simd_sim.hpp"
 #include "sim/zero_delay_sim.hpp"
 
 #include "vectors/fault_injection.hpp"
@@ -86,6 +89,7 @@
 
 #include "maxpower/bounds.hpp"
 #include "maxpower/campaign.hpp"
+#include "maxpower/compiled_unit_source.hpp"
 #include "maxpower/checkpoint.hpp"
 #include "maxpower/engine.hpp"
 #include "maxpower/estimator.hpp"

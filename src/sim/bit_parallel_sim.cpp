@@ -70,15 +70,15 @@ void BitParallelSimulator::settle(std::span<const vec::VectorPair> pairs,
   }
 }
 
-std::vector<CycleResult> BitParallelSimulator::evaluate_batch(
-    std::span<const vec::VectorPair> pairs) {
+void BitParallelSimulator::evaluate_batch(
+    std::span<const vec::VectorPair> pairs, std::vector<CycleResult>& out) {
   MPE_EXPECTS(!pairs.empty());
   MPE_EXPECTS_MSG(pairs.size() <= kLanes, "at most 64 pairs per batch");
 
   settle(pairs, /*second=*/false, word1_);
   settle(pairs, /*second=*/true, word2_);
 
-  std::vector<CycleResult> results(pairs.size());
+  out.assign(pairs.size(), CycleResult{});
   const std::uint64_t lane_mask =
       pairs.size() == kLanes ? ~0ULL : ((1ULL << pairs.size()) - 1);
   for (circuit::NodeId n = 0; n < netlist_.num_nodes(); ++n) {
@@ -86,14 +86,20 @@ std::vector<CycleResult> BitParallelSimulator::evaluate_batch(
     const double e = energy_per_toggle_[n];
     while (toggled != 0) {
       const int k = std::countr_zero(toggled);
-      results[static_cast<std::size_t>(k)].energy_pj += e;
-      ++results[static_cast<std::size_t>(k)].toggles;
+      out[static_cast<std::size_t>(k)].energy_pj += e;
+      ++out[static_cast<std::size_t>(k)].toggles;
       toggled &= toggled - 1;
     }
   }
-  for (auto& r : results) {
+  for (auto& r : out) {
     r.power_mw = r.energy_pj / tech_.clock_period_ns;
   }
+}
+
+std::vector<CycleResult> BitParallelSimulator::evaluate_batch(
+    std::span<const vec::VectorPair> pairs) {
+  std::vector<CycleResult> results;
+  evaluate_batch(pairs, results);
   return results;
 }
 

@@ -22,8 +22,14 @@ class BitParallelSimulator {
  public:
   BitParallelSimulator(const circuit::Netlist& netlist, Technology tech);
 
-  /// Evaluates up to 64 vector pairs in one levelized pass. Returns one
-  /// CycleResult per input pair (settle_time is 0 under zero delay).
+  /// Evaluates up to 64 vector pairs in one levelized pass, filling `out`
+  /// with one CycleResult per input pair (settle_time is 0 under zero
+  /// delay). The out-param form lets draw_batch hot loops reuse one result
+  /// vector across passes instead of allocating per batch.
+  void evaluate_batch(std::span<const vec::VectorPair> pairs,
+                      std::vector<CycleResult>& out);
+
+  /// Allocating convenience wrapper over the out-param overload.
   std::vector<CycleResult> evaluate_batch(
       std::span<const vec::VectorPair> pairs);
 

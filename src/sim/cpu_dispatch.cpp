@@ -1,0 +1,73 @@
+#include "sim/cpu_dispatch.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mpe::sim {
+
+std::size_t kernel_lanes(SimdKernel k) {
+  switch (k) {
+    case SimdKernel::kScalar64: return 64;
+    case SimdKernel::kAvx2x256: return 256;
+    case SimdKernel::kAvx512x512: return 512;
+  }
+  return 64;
+}
+
+const char* to_string(SimdKernel k) {
+  switch (k) {
+    case SimdKernel::kScalar64: return "scalar64";
+    case SimdKernel::kAvx2x256: return "avx2x256";
+    case SimdKernel::kAvx512x512: return "avx512x512";
+  }
+  return "scalar64";
+}
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+    __builtin_cpu_init();
+    f.avx2 = __builtin_cpu_supports("avx2");
+    f.avx512 = __builtin_cpu_supports("avx512f") &&
+               __builtin_cpu_supports("avx512dq") &&
+               __builtin_cpu_supports("avx512bw") &&
+               __builtin_cpu_supports("avx512vl");
+#endif
+    return f;
+  }();
+  return features;
+}
+
+std::vector<SimdKernel> available_kernels() {
+  std::vector<SimdKernel> kernels;
+  const CpuFeatures& f = cpu_features();
+#if defined(MPE_HAVE_AVX512_KERNEL)
+  if (f.avx512) kernels.push_back(SimdKernel::kAvx512x512);
+#endif
+#if defined(MPE_HAVE_AVX2_KERNEL)
+  if (f.avx2) kernels.push_back(SimdKernel::kAvx2x256);
+#endif
+  (void)f;
+  kernels.push_back(SimdKernel::kScalar64);
+  return kernels;
+}
+
+SimdKernel best_kernel() {
+  const char* force = std::getenv("MPE_FORCE_SCALAR");
+  if (force != nullptr && force[0] != '\0' &&
+      std::strcmp(force, "0") != 0) {
+    return SimdKernel::kScalar64;
+  }
+  return available_kernels().front();
+}
+
+bool kernel_available(SimdKernel k) {
+  for (SimdKernel candidate : available_kernels()) {
+    if (candidate == k) return true;
+  }
+  return false;
+}
+
+}  // namespace mpe::sim

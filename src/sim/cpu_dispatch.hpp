@@ -1,0 +1,51 @@
+// Runtime kernel dispatch for the compiled gate-tape simulator. The library
+// is always built for the baseline ISA; only the kernel translation units
+// (sim/simd_sim_avx2.cpp, sim/simd_sim_avx512.cpp) are compiled with wider
+// instruction sets, and this module decides — once, at runtime, via CPUID —
+// which of those kernels the current machine can actually execute. Policy
+// and layout details in docs/PERF.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpe::sim {
+
+/// A compiled-simulator kernel variant. The number is the lane count: how
+/// many vector pairs one tape evaluation processes.
+enum class SimdKernel {
+  kScalar64,   ///< portable 64-bit words; bit-identical reference
+  kAvx2x256,   ///< 4 x 64-bit words per node via AVX2
+  kAvx512x512, ///< 8 x 64-bit words per node via AVX-512F/DQ/BW/VL
+};
+
+/// Lanes (vector pairs per tape pass) of a kernel variant.
+std::size_t kernel_lanes(SimdKernel k);
+
+/// Stable lowercase name ("scalar64", "avx2x256", "avx512x512").
+const char* to_string(SimdKernel k);
+
+/// CPU capability snapshot, detected once per process.
+struct CpuFeatures {
+  bool avx2 = false;
+  bool avx512 = false;  ///< F + DQ + BW + VL (the Skylake-SP baseline set)
+};
+
+/// Detects the host CPU's SIMD capabilities (CPUID on x86; all-false
+/// elsewhere). Cached after the first call.
+const CpuFeatures& cpu_features();
+
+/// Kernels this binary can run on this host, widest first. Always contains
+/// kScalar64: a kernel is listed only when both the translation unit was
+/// built (compiler support) and the CPU reports the feature set.
+std::vector<SimdKernel> available_kernels();
+
+/// The kernel the compiled backend selects by default: the widest available,
+/// unless the environment variable MPE_FORCE_SCALAR is set to a non-empty
+/// value other than "0", which pins kScalar64 (the CI scalar-fallback leg).
+SimdKernel best_kernel();
+
+/// True when `k` is in available_kernels().
+bool kernel_available(SimdKernel k);
+
+}  // namespace mpe::sim

@@ -1,0 +1,114 @@
+#include "sim/gate_program.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/contracts.hpp"
+
+namespace mpe::sim {
+
+namespace {
+
+GateOp lower_opcode(circuit::GateType type, std::size_t arity) {
+  using circuit::GateType;
+  switch (type) {
+    case GateType::kBuf: return GateOp::kBuf;
+    case GateType::kNot: return GateOp::kNot;
+    case GateType::kAnd: return arity == 2 ? GateOp::kAnd2 : GateOp::kAndN;
+    case GateType::kNand: return arity == 2 ? GateOp::kNand2 : GateOp::kNandN;
+    case GateType::kOr: return arity == 2 ? GateOp::kOr2 : GateOp::kOrN;
+    case GateType::kNor: return arity == 2 ? GateOp::kNor2 : GateOp::kNorN;
+    case GateType::kXor: return arity == 2 ? GateOp::kXor2 : GateOp::kXorN;
+    case GateType::kXnor: return arity == 2 ? GateOp::kXnor2 : GateOp::kXnorN;
+  }
+  MPE_ENSURES(false);
+  return GateOp::kBuf;
+}
+
+}  // namespace
+
+const char* to_string(GateOp op) {
+  switch (op) {
+    case GateOp::kBuf: return "buf";
+    case GateOp::kNot: return "not";
+    case GateOp::kAnd2: return "and2";
+    case GateOp::kNand2: return "nand2";
+    case GateOp::kOr2: return "or2";
+    case GateOp::kNor2: return "nor2";
+    case GateOp::kXor2: return "xor2";
+    case GateOp::kXnor2: return "xnor2";
+    case GateOp::kAndN: return "andN";
+    case GateOp::kNandN: return "nandN";
+    case GateOp::kOrN: return "orN";
+    case GateOp::kNorN: return "norN";
+    case GateOp::kXorN: return "xorN";
+    case GateOp::kXnorN: return "xnorN";
+  }
+  return "?";
+}
+
+std::shared_ptr<const GateProgram> GateProgram::compile(
+    const circuit::Netlist& netlist, Technology tech) {
+  MPE_EXPECTS(netlist.finalized());
+  auto program = std::shared_ptr<GateProgram>(new GateProgram());
+  GateProgram& p = *program;
+  p.tech_ = tech;
+  p.name_ = netlist.name();
+
+  const auto caps = node_capacitances(netlist, tech);
+  p.energy_per_toggle_.resize(caps.size());
+  for (std::size_t n = 0; n < caps.size(); ++n) {
+    p.energy_per_toggle_[n] = tech.toggle_energy_pj(caps[n]);
+  }
+  p.input_node_.assign(netlist.inputs().begin(), netlist.inputs().end());
+
+  // Group the already level-ordered topo sequence into per-level buckets,
+  // then sort each level by opcode. Gates within a level have no mutual
+  // dependencies, so any within-level order evaluates identically; sorting
+  // maximizes run length (one dispatch per run) and keeps each run's fanin
+  // spans contiguous in the flat array.
+  const auto& topo = netlist.topo_order();
+  std::vector<std::vector<circuit::GateId>> by_level;
+  for (circuit::GateId g : topo) {
+    const std::size_t lvl = netlist.level(netlist.gate(g).output);
+    if (lvl >= by_level.size()) by_level.resize(lvl + 1);
+    by_level[lvl].push_back(g);
+  }
+
+  p.output_.reserve(topo.size());
+  p.fanin_begin_.reserve(topo.size());
+  p.fanin_count_.reserve(topo.size());
+
+  for (auto& level : by_level) {
+    if (level.empty()) continue;
+    std::stable_sort(level.begin(), level.end(),
+                     [&](circuit::GateId a, circuit::GateId b) {
+                       const auto& ga = netlist.gate(a);
+                       const auto& gb = netlist.gate(b);
+                       return static_cast<std::uint8_t>(
+                                  lower_opcode(ga.type, ga.inputs.size())) <
+                              static_cast<std::uint8_t>(
+                                  lower_opcode(gb.type, gb.inputs.size()));
+                     });
+    bool new_level = true;
+    for (circuit::GateId g : level) {
+      const circuit::Gate& gate = netlist.gate(g);
+      const GateOp op = lower_opcode(gate.type, gate.inputs.size());
+      const auto record = static_cast<std::uint32_t>(p.output_.size());
+      if (new_level || p.segments_.back().op != op) {
+        p.segments_.push_back({op, record, record});
+        new_level = false;
+      }
+      p.segments_.back().end = record + 1;
+      p.output_.push_back(gate.output);
+      p.fanin_begin_.push_back(static_cast<std::uint32_t>(p.fanin_.size()));
+      p.fanin_count_.push_back(static_cast<std::uint16_t>(gate.inputs.size()));
+      p.fanin_.insert(p.fanin_.end(), gate.inputs.begin(), gate.inputs.end());
+    }
+    ++p.num_levels_;
+  }
+  MPE_ENSURES(p.output_.size() == netlist.num_gates());
+  return program;
+}
+
+}  // namespace mpe::sim

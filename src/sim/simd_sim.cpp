@@ -1,0 +1,215 @@
+#include "sim/simd_sim.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "sim/simd_sim_impl.hpp"
+#include "sim/simd_sim_kernels.hpp"
+#include "util/contracts.hpp"
+
+namespace mpe::sim {
+
+namespace detail {
+
+namespace {
+
+/// Portable fallback: one 64-bit word per node, plain integer ops. The
+/// reference the wider kernels must match bit for bit.
+struct ScalarOps {
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWords = 1;
+  static Word load(const std::uint64_t* p) { return *p; }
+  static void store(std::uint64_t* p, Word w) { *p = w; }
+  static Word and_(Word a, Word b) { return a & b; }
+  static Word or_(Word a, Word b) { return a | b; }
+  static Word xor_(Word a, Word b) { return a ^ b; }
+  static Word not_(Word a) { return ~a; }
+  static Word ones() { return ~0ULL; }
+  static void epilogue(const GateProgram& p, const std::uint64_t* state1,
+                       const std::uint64_t* state2, double* lane_energy,
+                       std::uint64_t* lane_toggles) {
+    const double* energy = p.energy_per_toggle().data();
+    const std::size_t num_nodes = p.num_nodes();
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+      std::uint64_t toggled = state1[n] ^ state2[n];
+      const double e = energy[n];
+      while (toggled != 0) {
+        const int k = std::countr_zero(toggled);
+        lane_energy[k] += e;
+        ++lane_toggles[k];
+        toggled &= toggled - 1;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void run_tape_scalar64(const GateProgram& p, std::uint64_t* state1,
+                       std::uint64_t* state2, double* lane_energy,
+                       std::uint64_t* lane_toggles) {
+  run_tape_kernel<ScalarOps>(p, state1, state2, lane_energy, lane_toggles);
+}
+
+}  // namespace detail
+
+CompiledSimulator::CompiledSimulator(
+    std::shared_ptr<const GateProgram> program, SimdKernel kernel)
+    : program_(std::move(program)), kernel_(kernel) {
+  MPE_EXPECTS(program_ != nullptr);
+  MPE_EXPECTS_MSG(kernel_available(kernel_),
+                  "requested SIMD kernel is not available on this host");
+  lanes_ = kernel_lanes(kernel_);
+  words_per_node_ = lanes_ / 64;
+  // One allocation for both settled-state arrays, rounded up so each can be
+  // 64-byte aligned for the widest vector loads.
+  const std::size_t words_per_state = program_->num_nodes() * words_per_node_;
+  state_storage_.assign(2 * words_per_state + 2 * 8, 0);
+  auto align_up = [](std::uint64_t* p) {
+    auto addr = reinterpret_cast<std::uintptr_t>(p);
+    return reinterpret_cast<std::uint64_t*>((addr + 63) & ~std::uintptr_t{63});
+  };
+  state1_ = align_up(state_storage_.data());
+  state2_ = align_up(state1_ + words_per_state);
+  lane_energy_.assign(lanes_, 0.0);
+  lane_toggles_.assign(lanes_, 0);
+}
+
+namespace {
+
+/// Packs the low bits of 8 consecutive 0/1 bytes into 8 result bits
+/// (bit i = byte i). The multiplier places byte k's LSB at bit 56 + k;
+/// all 64 partial-product bit positions are distinct, so no carries.
+inline std::uint64_t pack8(const std::uint8_t* p) {
+  std::uint64_t x;
+  std::memcpy(&x, p, 8);
+  return ((x & 0x0101010101010101ULL) * 0x0102040810204080ULL) >> 56;
+}
+
+/// In-place transpose of a 64x64 bit matrix with LSB-first columns:
+/// afterwards bit j of a[i] is the old bit i of a[j]. Radix-swap of
+/// off-diagonal blocks at strides 32,16,...,1 (Hacker's Delight 7-3,
+/// mirrored for LSB-first bit order).
+void transpose64(std::uint64_t a[64]) {
+  std::uint64_t m = 0x00000000FFFFFFFFULL;
+  for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = ((a[k] >> j) ^ a[k + j]) & m;
+      a[k + j] ^= t;
+      a[k] ^= t << j;
+    }
+  }
+}
+
+}  // namespace
+
+void CompiledSimulator::pack_inputs(std::span<const vec::VectorPair> pairs) {
+  const auto& input_node = program_->input_node();
+  const std::size_t width = input_node.size();
+  const std::size_t kW = words_per_node_;
+  const std::size_t in_words = (width + 63) / 64;
+  pack_rows_.resize(2 * 64 * in_words);
+  // Bit-transpose pack, one 64-lane word column at a time: pack each lane's
+  // 0/1 bytes into a bit row (8 bytes per multiply), transpose each 64x64
+  // block, then store whole words into the input node rows. ~6 word ops per
+  // 64 input bits instead of one read-modify-write store per bit.
+  for (std::size_t w = 0; w < kW; ++w) {
+    std::uint64_t* rows1 = pack_rows_.data();
+    std::uint64_t* rows2 = rows1 + 64 * in_words;
+    for (std::size_t j = 0; j < 64; ++j) {
+      std::uint64_t* r1 = rows1 + j * in_words;
+      std::uint64_t* r2 = rows2 + j * in_words;
+      const std::size_t k = w * 64 + j;
+      if (k >= pairs.size()) {
+        std::memset(r1, 0, in_words * sizeof(std::uint64_t));
+        std::memset(r2, 0, in_words * sizeof(std::uint64_t));
+        continue;
+      }
+      const auto& v1 = pairs[k].first;
+      const auto& v2 = pairs[k].second;
+      MPE_EXPECTS_MSG(v1.size() == width && v2.size() == width,
+                      "pair width must match the netlist input count");
+      std::memset(r1, 0, in_words * sizeof(std::uint64_t));
+      std::memset(r2, 0, in_words * sizeof(std::uint64_t));
+      std::size_t i = 0;
+      for (; i + 8 <= width; i += 8) {
+        r1[i >> 6] |= pack8(v1.data() + i) << (i & 63);
+        r2[i >> 6] |= pack8(v2.data() + i) << (i & 63);
+      }
+      for (; i < width; ++i) {
+        r1[i >> 6] |= static_cast<std::uint64_t>(v1[i] & 1) << (i & 63);
+        r2[i >> 6] |= static_cast<std::uint64_t>(v2[i] & 1) << (i & 63);
+      }
+    }
+    for (std::size_t b = 0; b < in_words; ++b) {
+      const std::size_t count = std::min<std::size_t>(64, width - 64 * b);
+      std::uint64_t t1[64];
+      std::uint64_t t2[64];
+      for (std::size_t j = 0; j < 64; ++j) {
+        t1[j] = rows1[j * in_words + b];
+        t2[j] = rows2[j * in_words + b];
+      }
+      transpose64(t1);
+      transpose64(t2);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t row = input_node[64 * b + i] * kW + w;
+        state1_[row] = t1[i];
+        state2_[row] = t2[i];
+      }
+    }
+  }
+}
+
+void CompiledSimulator::evaluate_batch(std::span<const vec::VectorPair> pairs,
+                                       std::vector<CycleResult>& out) {
+  MPE_EXPECTS(!pairs.empty());
+  MPE_EXPECTS_MSG(pairs.size() <= lanes_,
+                  "at most lanes() pairs per compiled batch");
+  pack_inputs(pairs);
+  std::memset(lane_energy_.data(), 0, lanes_ * sizeof(double));
+  std::memset(lane_toggles_.data(), 0, lanes_ * sizeof(std::uint64_t));
+
+  switch (kernel_) {
+    case SimdKernel::kScalar64:
+      detail::run_tape_scalar64(*program_, state1_, state2_,
+                                lane_energy_.data(), lane_toggles_.data());
+      break;
+    case SimdKernel::kAvx2x256:
+#if defined(MPE_HAVE_AVX2_KERNEL)
+      detail::run_tape_avx2x256(*program_, state1_, state2_,
+                                lane_energy_.data(), lane_toggles_.data());
+      break;
+#else
+      MPE_ENSURES(false);
+      break;
+#endif
+    case SimdKernel::kAvx512x512:
+#if defined(MPE_HAVE_AVX512_KERNEL)
+      detail::run_tape_avx512x512(*program_, state1_, state2_,
+                                  lane_energy_.data(), lane_toggles_.data());
+      break;
+#else
+      MPE_ENSURES(false);
+      break;
+#endif
+  }
+
+  out.resize(pairs.size());
+  const double period = program_->technology().clock_period_ns;
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    CycleResult& r = out[k];
+    r.energy_pj = lane_energy_[k];
+    r.toggles = static_cast<std::size_t>(lane_toggles_[k]);
+    r.power_mw = r.energy_pj / period;
+    r.settle_time_ns = 0.0;
+  }
+}
+
+std::vector<CycleResult> CompiledSimulator::evaluate_batch(
+    std::span<const vec::VectorPair> pairs) {
+  std::vector<CycleResult> out;
+  evaluate_batch(pairs, out);
+  return out;
+}
+
+}  // namespace mpe::sim

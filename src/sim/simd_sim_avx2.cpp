@@ -1,0 +1,114 @@
+// AVX2 kernel: 256 lanes (4 x 64-bit words per node). This TU is the only
+// place AVX2 intrinsics/codegen may appear; it is compiled with -mavx2 and
+// must only be entered after cpu_dispatch reports AVX2 (see
+// simd_sim_kernels.hpp).
+#if defined(MPE_HAVE_AVX2_KERNEL)
+
+#include <immintrin.h>
+
+#include <bit>
+
+#include "sim/simd_sim_impl.hpp"
+#include "sim/simd_sim_kernels.hpp"
+
+namespace mpe::sim::detail {
+
+namespace {
+
+struct Avx2Ops {
+  using Word = __m256i;
+  static constexpr std::size_t kWords = 4;
+  static Word load(const std::uint64_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(std::uint64_t* p, Word w) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), w);
+  }
+  static Word and_(Word a, Word b) { return _mm256_and_si256(a, b); }
+  static Word or_(Word a, Word b) { return _mm256_or_si256(a, b); }
+  static Word xor_(Word a, Word b) { return _mm256_xor_si256(a, b); }
+  static Word ones() { return _mm256_set1_epi64x(-1); }
+  static Word not_(Word a) { return _mm256_xor_si256(a, ones()); }
+
+  // Column-wise epilogue: one 64-lane word column at a time. Energy shifts
+  // each lane's toggle bit to bit 63 (sllv) and lets blendv_pd select on
+  // the sign bit — selected lanes add `energy`, others add +0.0, which
+  // leaves a finite accumulator bit-unchanged (the scalar "skip" exactly).
+  // Each lane lives in exactly one column and nodes are walked ascending
+  // within it, so the per-lane addition chain is the scalar oracle's.
+  // Toggle counts use vertical (bit-sliced) counters: plane[j] bit k
+  // contributes 2^j to lane k, flushed before 6 planes can overflow —
+  // exact integer counts at ~2 word ops per node instead of 16 vector
+  // read-modify-writes.
+  static void epilogue(const GateProgram& p, const std::uint64_t* state1,
+                       const std::uint64_t* state2, double* lane_energy,
+                       std::uint64_t* lane_toggles) {
+    const double* energy = p.energy_per_toggle().data();
+    const std::size_t num_nodes = p.num_nodes();
+    __m256i shift[16];
+    for (int g = 0; g < 16; ++g) {
+      shift[g] = _mm256_set_epi64x(60 - 4 * g, 61 - 4 * g, 62 - 4 * g,
+                                   63 - 4 * g);
+    }
+    const __m256d zero = _mm256_setzero_pd();
+    for (std::size_t w = 0; w < kWords; ++w) {
+      double* le = lane_energy + w * 64;
+      std::uint64_t* lt = lane_toggles + w * 64;
+      __m256d eacc[16];
+      for (int g = 0; g < 16; ++g) eacc[g] = _mm256_loadu_pd(le + 4 * g);
+      std::uint64_t plane[6] = {0, 0, 0, 0, 0, 0};
+      int pending = 0;
+      const auto flush = [&] {
+        for (int j = 0; j < 6; ++j) {
+          std::uint64_t bits = plane[j];
+          plane[j] = 0;
+          while (bits != 0) {
+            const int k = std::countr_zero(bits);
+            lt[k] += 1ULL << j;
+            bits &= bits - 1;
+          }
+        }
+        pending = 0;
+      };
+      const std::uint64_t* s1 = state1 + w;
+      const std::uint64_t* s2 = state2 + w;
+      for (std::size_t n = 0; n < num_nodes; ++n) {
+        const std::uint64_t toggled = s1[n * kWords] ^ s2[n * kWords];
+        if (toggled == 0) continue;
+        const __m256i t =
+            _mm256_set1_epi64x(static_cast<long long>(toggled));
+        const __m256d e = _mm256_set1_pd(energy[n]);
+        // The 16 per-group mask shifts are independent, so the sllv/blendv
+        // chains overlap freely; a handful of accumulators spill to the
+        // stack, but store-forwarded reloads beat any serialized variant.
+        for (int g = 0; g < 16; ++g) {
+          const __m256i v = _mm256_sllv_epi64(t, shift[g]);
+          eacc[g] = _mm256_add_pd(
+              eacc[g], _mm256_blendv_pd(zero, e, _mm256_castsi256_pd(v)));
+        }
+        // Ripple-add one bit into the sliced counters (usually 1-2 planes).
+        std::uint64_t carry = toggled;
+        for (int j = 0; j < 6 && carry != 0; ++j) {
+          const std::uint64_t tmp = plane[j] & carry;
+          plane[j] ^= carry;
+          carry = tmp;
+        }
+        if (++pending == 63) flush();
+      }
+      flush();
+      for (int g = 0; g < 16; ++g) _mm256_storeu_pd(le + 4 * g, eacc[g]);
+    }
+  }
+};
+
+}  // namespace
+
+void run_tape_avx2x256(const GateProgram& p, std::uint64_t* state1,
+                       std::uint64_t* state2, double* lane_energy,
+                       std::uint64_t* lane_toggles) {
+  run_tape_kernel<Avx2Ops>(p, state1, state2, lane_energy, lane_toggles);
+}
+
+}  // namespace mpe::sim::detail
+
+#endif  // MPE_HAVE_AVX2_KERNEL

@@ -1,0 +1,87 @@
+// AVX-512 kernel: 512 lanes (8 x 64-bit words per node). The epilogue is
+// where AVX-512 shines: each 64-bit toggle word is literally eight
+// __mmask8 registers, so per-lane energy/toggle accumulation is a masked
+// add per 8 lanes with no mask expansion at all — and masked adds leave
+// untoggled lanes bit-untouched, which is exactly the scalar "skip"
+// semantics the bit-identity contract requires. Compiled with
+// -mavx512f/dq/bw/vl; entered only after cpu_dispatch reports the set.
+#if defined(MPE_HAVE_AVX512_KERNEL)
+
+#include <immintrin.h>
+
+#include "sim/simd_sim_impl.hpp"
+#include "sim/simd_sim_kernels.hpp"
+
+namespace mpe::sim::detail {
+
+namespace {
+
+struct Avx512Ops {
+  using Word = __m512i;
+  static constexpr std::size_t kWords = 8;
+  static Word load(const std::uint64_t* p) {
+    return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+  }
+  static void store(std::uint64_t* p, Word w) {
+    _mm512_storeu_si512(reinterpret_cast<void*>(p), w);
+  }
+  static Word and_(Word a, Word b) { return _mm512_and_si512(a, b); }
+  static Word or_(Word a, Word b) { return _mm512_or_si512(a, b); }
+  static Word xor_(Word a, Word b) { return _mm512_xor_si512(a, b); }
+  static Word ones() { return _mm512_set1_epi64(-1); }
+  static Word not_(Word a) { return _mm512_xor_si512(a, ones()); }
+
+  // Column-wise epilogue: one 64-lane word column at a time, with all 16
+  // accumulator vectors (8 energy, 8 toggle-count) held in zmm registers
+  // across the whole node walk — the accumulators touch memory exactly
+  // twice per column instead of twice per node. Each lane lives in exactly
+  // one column and nodes are walked ascending within it, so the per-lane
+  // addition chain is the scalar oracle's, and the masked adds leave
+  // untoggled lanes bit-untouched.
+  static void epilogue(const GateProgram& p, const std::uint64_t* state1,
+                       const std::uint64_t* state2, double* lane_energy,
+                       std::uint64_t* lane_toggles) {
+    const double* energy = p.energy_per_toggle().data();
+    const std::size_t num_nodes = p.num_nodes();
+    const __m512i one = _mm512_set1_epi64(1);
+    for (std::size_t w = 0; w < kWords; ++w) {
+      double* le = lane_energy + w * 64;
+      std::uint64_t* lt = lane_toggles + w * 64;
+      __m512d eacc[8];
+      __m512i tacc[8];
+      for (std::size_t g = 0; g < 8; ++g) {
+        eacc[g] = _mm512_loadu_pd(le + 8 * g);
+        tacc[g] = _mm512_loadu_si512(
+            reinterpret_cast<const void*>(lt + 8 * g));
+      }
+      const std::uint64_t* s1 = state1 + w;
+      const std::uint64_t* s2 = state2 + w;
+      for (std::size_t n = 0; n < num_nodes; ++n) {
+        const std::uint64_t toggled = s1[n * kWords] ^ s2[n * kWords];
+        if (toggled == 0) continue;
+        const __m512d e = _mm512_set1_pd(energy[n]);
+        for (std::size_t g = 0; g < 8; ++g) {
+          const auto mask = static_cast<__mmask8>(toggled >> (8 * g));
+          eacc[g] = _mm512_mask_add_pd(eacc[g], mask, eacc[g], e);
+          tacc[g] = _mm512_mask_add_epi64(tacc[g], mask, tacc[g], one);
+        }
+      }
+      for (std::size_t g = 0; g < 8; ++g) {
+        _mm512_storeu_pd(le + 8 * g, eacc[g]);
+        _mm512_storeu_si512(reinterpret_cast<void*>(lt + 8 * g), tacc[g]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void run_tape_avx512x512(const GateProgram& p, std::uint64_t* state1,
+                         std::uint64_t* state2, double* lane_energy,
+                         std::uint64_t* lane_toggles) {
+  run_tape_kernel<Avx512Ops>(p, state1, state2, lane_energy, lane_toggles);
+}
+
+}  // namespace mpe::sim::detail
+
+#endif  // MPE_HAVE_AVX512_KERNEL

@@ -1,0 +1,170 @@
+// Internal: the generic gate-tape kernel, shared by every ISA translation
+// unit. Each TU instantiates run_tape_kernel<Ops> with its own word-block
+// operations (64-bit scalar words, AVX2 __m256i, AVX-512 __m512i). The
+// tape walk is identical everywhere — only the word width and the energy
+// epilogue differ — which is what keeps all kernel variants bit-identical:
+//
+//  * gate evaluation is pure bitwise logic, so lane values cannot depend on
+//    the word width;
+//  * per-lane energy accumulates over nodes in ascending node-id order in
+//    every variant — the same IEEE addition chain the scalar
+//    ZeroDelaySimulator performs — and masked/blended adds contribute
+//    exactly 0.0 (or are skipped) for untoggled lanes, which leaves finite
+//    accumulators bit-unchanged.
+//
+// An Ops policy provides:
+//   using Word = ...;                  // one 64*kWords-lane block
+//   static constexpr std::size_t kWords;       // 64-bit words per block
+//   static Word load(const std::uint64_t* p);
+//   static void store(std::uint64_t* p, Word w);
+//   static Word and_(Word, Word); or_(...); xor_(...); not_(Word);
+//   static Word ones();
+//   static void epilogue(const GateProgram& p, const std::uint64_t* state1,
+//                        const std::uint64_t* state2, double* lane_energy,
+//                        std::uint64_t* lane_toggles);
+//       // For every lane k and node n (ascending) whose settled bit differs
+//       // between the two states: lane_energy[k] += energy_per_toggle[n]
+//       // and ++lane_toggles[k]. Owning the whole loop (rather than a
+//       // per-node hook) lets wide ISAs keep per-lane accumulators in
+//       // registers across the node walk.
+//
+// This header is not part of the public API.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/gate_program.hpp"
+
+namespace mpe::sim::detail {
+
+/// Evaluates the tape over one settled state array. `state` holds
+/// Ops::kWords uint64 words per node, indexed state[node * kWords]. Input
+/// node words must already be packed by the caller.
+template <typename Ops>
+void settle_tape(const GateProgram& p, std::uint64_t* state) {
+  using W = typename Ops::Word;
+  constexpr std::size_t kW = Ops::kWords;
+  const std::uint32_t* outputs = p.output().data();
+  const std::uint32_t* fanin = p.fanin().data();
+  const std::uint32_t* fanin_begin = p.fanin_begin().data();
+  const std::uint16_t* fanin_count = p.fanin_count().data();
+
+  for (const GateProgram::Segment& seg : p.segments()) {
+    switch (seg.op) {
+      case GateOp::kBuf:
+        for (std::uint32_t g = seg.begin; g != seg.end; ++g) {
+          const std::uint32_t* f = fanin + fanin_begin[g];
+          Ops::store(state + outputs[g] * kW,
+                     Ops::load(state + f[0] * kW));
+        }
+        break;
+      case GateOp::kNot:
+        for (std::uint32_t g = seg.begin; g != seg.end; ++g) {
+          const std::uint32_t* f = fanin + fanin_begin[g];
+          Ops::store(state + outputs[g] * kW,
+                     Ops::not_(Ops::load(state + f[0] * kW)));
+        }
+        break;
+      case GateOp::kAnd2:
+        for (std::uint32_t g = seg.begin; g != seg.end; ++g) {
+          const std::uint32_t* f = fanin + fanin_begin[g];
+          Ops::store(state + outputs[g] * kW,
+                     Ops::and_(Ops::load(state + f[0] * kW),
+                               Ops::load(state + f[1] * kW)));
+        }
+        break;
+      case GateOp::kNand2:
+        for (std::uint32_t g = seg.begin; g != seg.end; ++g) {
+          const std::uint32_t* f = fanin + fanin_begin[g];
+          Ops::store(state + outputs[g] * kW,
+                     Ops::not_(Ops::and_(Ops::load(state + f[0] * kW),
+                                         Ops::load(state + f[1] * kW))));
+        }
+        break;
+      case GateOp::kOr2:
+        for (std::uint32_t g = seg.begin; g != seg.end; ++g) {
+          const std::uint32_t* f = fanin + fanin_begin[g];
+          Ops::store(state + outputs[g] * kW,
+                     Ops::or_(Ops::load(state + f[0] * kW),
+                              Ops::load(state + f[1] * kW)));
+        }
+        break;
+      case GateOp::kNor2:
+        for (std::uint32_t g = seg.begin; g != seg.end; ++g) {
+          const std::uint32_t* f = fanin + fanin_begin[g];
+          Ops::store(state + outputs[g] * kW,
+                     Ops::not_(Ops::or_(Ops::load(state + f[0] * kW),
+                                        Ops::load(state + f[1] * kW))));
+        }
+        break;
+      case GateOp::kXor2:
+        for (std::uint32_t g = seg.begin; g != seg.end; ++g) {
+          const std::uint32_t* f = fanin + fanin_begin[g];
+          Ops::store(state + outputs[g] * kW,
+                     Ops::xor_(Ops::load(state + f[0] * kW),
+                               Ops::load(state + f[1] * kW)));
+        }
+        break;
+      case GateOp::kXnor2:
+        for (std::uint32_t g = seg.begin; g != seg.end; ++g) {
+          const std::uint32_t* f = fanin + fanin_begin[g];
+          Ops::store(state + outputs[g] * kW,
+                     Ops::not_(Ops::xor_(Ops::load(state + f[0] * kW),
+                                         Ops::load(state + f[1] * kW))));
+        }
+        break;
+      case GateOp::kAndN:
+      case GateOp::kNandN:
+        for (std::uint32_t g = seg.begin; g != seg.end; ++g) {
+          const std::uint32_t* f = fanin + fanin_begin[g];
+          W acc = Ops::ones();
+          for (std::uint16_t i = 0; i < fanin_count[g]; ++i) {
+            acc = Ops::and_(acc, Ops::load(state + f[i] * kW));
+          }
+          if (seg.op == GateOp::kNandN) acc = Ops::not_(acc);
+          Ops::store(state + outputs[g] * kW, acc);
+        }
+        break;
+      case GateOp::kOrN:
+      case GateOp::kNorN:
+        for (std::uint32_t g = seg.begin; g != seg.end; ++g) {
+          const std::uint32_t* f = fanin + fanin_begin[g];
+          W acc = Ops::xor_(Ops::ones(), Ops::ones());  // zero
+          for (std::uint16_t i = 0; i < fanin_count[g]; ++i) {
+            acc = Ops::or_(acc, Ops::load(state + f[i] * kW));
+          }
+          if (seg.op == GateOp::kNorN) acc = Ops::not_(acc);
+          Ops::store(state + outputs[g] * kW, acc);
+        }
+        break;
+      case GateOp::kXorN:
+      case GateOp::kXnorN:
+        for (std::uint32_t g = seg.begin; g != seg.end; ++g) {
+          const std::uint32_t* f = fanin + fanin_begin[g];
+          W acc = Ops::xor_(Ops::ones(), Ops::ones());  // zero
+          for (std::uint16_t i = 0; i < fanin_count[g]; ++i) {
+            acc = Ops::xor_(acc, Ops::load(state + f[i] * kW));
+          }
+          if (seg.op == GateOp::kXnorN) acc = Ops::not_(acc);
+          Ops::store(state + outputs[g] * kW, acc);
+        }
+        break;
+    }
+  }
+}
+
+/// Full batch kernel: settle both packed state arrays through the tape,
+/// then run the energy/toggle epilogue over nodes in ascending node-id
+/// order. `state1`/`state2` must have the primary-input words packed for
+/// the first/second vectors of every pair; lane_energy/lane_toggles must be
+/// zeroed and 64*Ops::kWords long.
+template <typename Ops>
+void run_tape_kernel(const GateProgram& p, std::uint64_t* state1,
+                     std::uint64_t* state2, double* lane_energy,
+                     std::uint64_t* lane_toggles) {
+  settle_tape<Ops>(p, state1);
+  settle_tape<Ops>(p, state2);
+  Ops::epilogue(p, state1, state2, lane_energy, lane_toggles);
+}
+
+}  // namespace mpe::sim::detail

@@ -1,0 +1,36 @@
+// Internal: entry points of the ISA-specific kernel translation units.
+// Only these TUs are compiled with wider-than-baseline instruction sets
+// (per-TU -mavx2 / -mavx512* flags in src/CMakeLists.txt); calling one is
+// only legal after sim::cpu_dispatch reports the matching CPU feature.
+// Not part of the public API.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/gate_program.hpp"
+
+namespace mpe::sim::detail {
+
+// Each kernel settles both packed state arrays through the tape and
+// accumulates per-lane energies [pJ] and toggle counts (see
+// simd_sim_impl.hpp for the exact contract). State arrays hold
+// (lanes / 64) uint64 words per node; lane accumulators are `lanes` long
+// and must be zeroed by the caller.
+
+void run_tape_scalar64(const GateProgram& p, std::uint64_t* state1,
+                       std::uint64_t* state2, double* lane_energy,
+                       std::uint64_t* lane_toggles);
+
+#if defined(MPE_HAVE_AVX2_KERNEL)
+void run_tape_avx2x256(const GateProgram& p, std::uint64_t* state1,
+                       std::uint64_t* state2, double* lane_energy,
+                       std::uint64_t* lane_toggles);
+#endif
+
+#if defined(MPE_HAVE_AVX512_KERNEL)
+void run_tape_avx512x512(const GateProgram& p, std::uint64_t* state1,
+                         std::uint64_t* state2, double* lane_energy,
+                         std::uint64_t* lane_toggles);
+#endif
+
+}  // namespace mpe::sim::detail

@@ -16,10 +16,6 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-inline std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
@@ -28,22 +24,6 @@ Rng::Rng(std::uint64_t seed) {
   // All-zero state is the one invalid state for xoshiro; splitmix64 cannot
   // produce four zero outputs in a row, but guard anyway.
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
-}
-
-Rng::result_type Rng::operator()() {
-  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
 }
 
 double Rng::uniform(double lo, double hi) {
@@ -72,11 +52,6 @@ std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
   MPE_EXPECTS(lo <= hi);
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
   return lo + static_cast<std::int64_t>(below(span));
-}
-
-bool Rng::bernoulli(double p) {
-  MPE_EXPECTS(p >= 0.0 && p <= 1.0);
-  return uniform() < p;
 }
 
 double Rng::normal() {

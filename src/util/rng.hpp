@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <array>
 
+#include "util/contracts.hpp"
+
 namespace mpe {
 
 /// xoshiro256++ generator. Satisfies std::uniform_random_bit_generator so it
@@ -23,11 +25,25 @@ class Rng {
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ULL; }
 
-  /// Next raw 64-bit output.
-  result_type operator()();
+  /// Next raw 64-bit output. Inline: the generator step is a handful of
+  /// shifts/xors, and per-bit callers (vector-pair generation) sit on the
+  /// simulation hot path where an out-of-line call per bit dominates.
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1) with 53 random bits.
-  double uniform();
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
@@ -39,7 +55,10 @@ class Rng {
   std::int64_t range(std::int64_t lo, std::int64_t hi);
 
   /// Bernoulli trial with success probability p.
-  bool bernoulli(double p);
+  bool bernoulli(double p) {
+    MPE_EXPECTS(p >= 0.0 && p <= 1.0);
+    return uniform() < p;
+  }
 
   /// Standard normal variate (Marsaglia polar method, cached spare).
   double normal();
@@ -79,6 +98,10 @@ class Rng {
   }
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> s_{};
   double spare_normal_ = 0.0;
   bool has_spare_ = false;

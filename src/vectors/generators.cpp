@@ -15,6 +15,24 @@ VectorPair UniformPairGenerator::generate(Rng& rng) const {
   return VectorPair{random_vector(width_, rng), random_vector(width_, rng)};
 }
 
+void UniformPairGenerator::generate_into(Rng& rng, VectorPair& out) const {
+  // Same bit stream as generate(): width_ Bernoulli(0.5) draws per vector.
+  // bernoulli(0.5) tests uniform() < 0.5, i.e. (x >> 11) * 2^-53 < 0.5 with
+  // x the raw rng() word; every (x >> 11) * 2^-53 is exact, so the test is
+  // equivalent to x >> 11 < 2^52, i.e. x < 2^63 — bit 63 of x is clear.
+  // Reading the sign bit directly gives the identical value for every x
+  // while skipping the int-to-double convert, multiply, and FP compare on
+  // this hot path.
+  out.first.resize(width_);
+  for (auto& bit : out.first) {
+    bit = static_cast<std::uint8_t>(~rng() >> 63);
+  }
+  out.second.resize(width_);
+  for (auto& bit : out.second) {
+    bit = static_cast<std::uint8_t>(~rng() >> 63);
+  }
+}
+
 std::string UniformPairGenerator::description() const {
   return "uniform pairs, width " + std::to_string(width_);
 }
@@ -50,6 +68,30 @@ VectorPair HighActivityPairGenerator::generate(Rng& rng) const {
   return p;
 }
 
+void HighActivityPairGenerator::generate_into(Rng& rng,
+                                              VectorPair& out) const {
+  // In-place mirror of generate(): identical rejection loop, identical RNG
+  // consumption, no per-attempt allocations.
+  out.first.resize(width_);
+  out.second.resize(width_);
+  for (int attempt = 0; attempt < 10'000; ++attempt) {
+    for (auto& bit : out.first) bit = rng.bernoulli(0.5) ? 1 : 0;
+    for (auto& bit : out.second) bit = rng.bernoulli(0.5) ? 1 : 0;
+    if (out.activity() >= min_activity_) return;
+  }
+  for (auto& bit : out.first) bit = rng.bernoulli(0.5) ? 1 : 0;
+  out.second = out.first;
+  const auto flips =
+      static_cast<std::size_t>(min_activity_ * static_cast<double>(width_)) + 1;
+  for (std::size_t f = 0; f < flips && f < width_; ++f) {
+    std::size_t idx;
+    do {
+      idx = rng.below(width_);
+    } while (out.second[idx] != out.first[idx]);
+    out.second[idx] ^= 1;
+  }
+}
+
 std::string HighActivityPairGenerator::description() const {
   return "high-activity pairs (>= " + std::to_string(min_activity_) +
          "), width " + std::to_string(width_);
@@ -68,6 +110,17 @@ VectorPair TransitionProbPairGenerator::generate(Rng& rng) const {
   p.first = biased_vector(width_, p1_, rng);
   p.second = flip_with_probability(p.first, transition_prob_, rng);
   return p;
+}
+
+void TransitionProbPairGenerator::generate_into(Rng& rng,
+                                                VectorPair& out) const {
+  // biased_vector then flip_with_probability, with storage reuse.
+  out.first.resize(width_);
+  for (auto& bit : out.first) bit = rng.bernoulli(p1_) ? 1 : 0;
+  out.second = out.first;
+  for (auto& bit : out.second) {
+    if (rng.bernoulli(transition_prob_)) bit ^= 1;
+  }
 }
 
 std::string TransitionProbPairGenerator::description() const {

@@ -25,6 +25,14 @@ class PairGenerator {
   /// Draws one vector pair.
   virtual VectorPair generate(Rng& rng) const = 0;
 
+  /// Draws one vector pair into `out`, reusing its storage. Consumes the
+  /// RNG exactly like generate(), so the two forms are interchangeable in
+  /// any seeded stream; batched draw paths use this to avoid four
+  /// allocations per unit. The default delegates to generate().
+  virtual void generate_into(Rng& rng, VectorPair& out) const {
+    out = generate(rng);
+  }
+
   /// Primary-input width the pairs are generated for.
   virtual std::size_t width() const = 0;
 
@@ -37,6 +45,7 @@ class UniformPairGenerator final : public PairGenerator {
  public:
   explicit UniformPairGenerator(std::size_t width);
   VectorPair generate(Rng& rng) const override;
+  void generate_into(Rng& rng, VectorPair& out) const override;
   std::size_t width() const override { return width_; }
   std::string description() const override;
 
@@ -49,6 +58,7 @@ class HighActivityPairGenerator final : public PairGenerator {
  public:
   HighActivityPairGenerator(std::size_t width, double min_activity);
   VectorPair generate(Rng& rng) const override;
+  void generate_into(Rng& rng, VectorPair& out) const override;
   std::size_t width() const override { return width_; }
   std::string description() const override;
   double min_activity() const { return min_activity_; }
@@ -65,6 +75,7 @@ class TransitionProbPairGenerator final : public PairGenerator {
   TransitionProbPairGenerator(std::size_t width, double transition_prob,
                               double p1 = 0.5);
   VectorPair generate(Rng& rng) const override;
+  void generate_into(Rng& rng, VectorPair& out) const override;
   std::size_t width() const override { return width_; }
   std::string description() const override;
   double transition_prob() const { return transition_prob_; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "sim/bit_parallel_sim.hpp"
+#include "sim/gate_program.hpp"
+#include "sim/simd_sim.hpp"
 #include "util/contracts.hpp"
 #include "util/metrics.hpp"
 
@@ -88,66 +90,129 @@ double StreamingPopulation::draw(Rng& rng) {
   return evaluator_.power_mw(p.first, p.second);
 }
 
-std::unique_ptr<sim::BitParallelSimulator>
-StreamingPopulation::acquire_simulator() {
-  {
-    std::lock_guard<std::mutex> lock(sim_mutex_);
-    if (!idle_sims_.empty()) {
-      auto sim = std::move(idle_sims_.back());
-      idle_sims_.pop_back();
-      return sim;
+/// One checked-out unit of batched simulation state: the simulator itself
+/// plus the pair/result scratch vectors, so steady-state draw_batch passes
+/// make no heap allocations at all.
+struct StreamingPopulation::Slot {
+  std::unique_ptr<sim::BitParallelSimulator> bit_sim;
+  std::unique_ptr<sim::CompiledSimulator> compiled_sim;
+  std::vector<VectorPair> pairs;
+  std::vector<sim::CycleResult> results;
+
+  std::size_t lanes() const {
+    return compiled_sim ? compiled_sim->lanes()
+                        : sim::BitParallelSimulator::kLanes;
+  }
+
+  void evaluate(std::span<const VectorPair> batch) {
+    if (compiled_sim) {
+      compiled_sim->evaluate_batch(batch, results);
+    } else {
+      bit_sim->evaluate_batch(batch, results);
     }
   }
-  return std::make_unique<sim::BitParallelSimulator>(
-      evaluator_.netlist(), evaluator_.options().tech);
+};
+
+std::unique_ptr<StreamingPopulation::Slot>
+StreamingPopulation::make_slot() const {
+  auto slot = std::make_unique<Slot>();
+  if (backend_ == Backend::kCompiled) {
+    slot->compiled_sim =
+        std::make_unique<sim::CompiledSimulator>(program_, kernel_);
+  } else {
+    slot->bit_sim = std::make_unique<sim::BitParallelSimulator>(
+        evaluator_.netlist(), evaluator_.options().tech);
+  }
+  return slot;
 }
 
-void StreamingPopulation::release_simulator(
-    std::unique_ptr<sim::BitParallelSimulator> sim) {
+std::unique_ptr<StreamingPopulation::Slot>
+StreamingPopulation::acquire_slot() {
+  {
+    std::lock_guard<std::mutex> lock(sim_mutex_);
+    if (!idle_slots_.empty()) {
+      auto slot = std::move(idle_slots_.back());
+      idle_slots_.pop_back();
+      return slot;
+    }
+  }
+  return make_slot();
+}
+
+void StreamingPopulation::release_slot(std::unique_ptr<Slot> slot) {
   std::lock_guard<std::mutex> lock(sim_mutex_);
-  idle_sims_.push_back(std::move(sim));
+  idle_slots_.push_back(std::move(slot));
 }
 
 void StreamingPopulation::draw_batch(std::span<double> out, Rng& rng) {
   pm().streaming_batches.inc();
-  if (!bit_enabled_) {
+  if (backend_ == Backend::kScalar) {
     for (double& v : out) v = draw(rng);
     return;
   }
   // Generate pairs in scalar order (identical RNG consumption), then
-  // evaluate up to 64 of them per levelized pass. The simulator instance
-  // and pair buffer are private to this call, so concurrent batches (each
-  // with its own Rng) never share mutable simulation state.
-  auto sim = acquire_simulator();
-  std::vector<VectorPair> pairs;
+  // evaluate up to `lanes` of them per levelized pass. The slot (simulator
+  // plus scratch buffers) is private to this call, so concurrent batches
+  // (each with its own Rng) never share mutable simulation state, and its
+  // buffers persist across passes and batches — the steady-state loop is
+  // allocation-free.
+  auto slot = acquire_slot();
+  const std::size_t max_lanes = slot->lanes();
   std::size_t done = 0;
   while (done < out.size()) {
-    const std::size_t lanes = std::min<std::size_t>(
-        sim::BitParallelSimulator::kLanes, out.size() - done);
-    pairs.resize(lanes);
-    for (auto& p : pairs) p = generator_.generate(rng);
-    const auto results = sim->evaluate_batch(pairs);
+    const std::size_t lanes =
+        std::min<std::size_t>(max_lanes, out.size() - done);
+    slot->pairs.resize(lanes);
+    for (auto& p : slot->pairs) generator_.generate_into(rng, p);
+    slot->evaluate(std::span<const VectorPair>(slot->pairs));
     for (std::size_t k = 0; k < lanes; ++k) {
-      out[done + k] = results[k].power_mw;
+      out[done + k] = slot->results[k].power_mw;
     }
     done += lanes;
     pm().bit_parallel_passes.inc();
   }
   draws_.fetch_add(out.size(), std::memory_order_relaxed);
   pm().streaming_units.inc(out.size());
-  release_simulator(std::move(sim));
+  release_slot(std::move(slot));
 }
 
 bool StreamingPopulation::enable_bit_parallel() {
-  if (bit_enabled_) return true;
+  if (backend_ == Backend::kBitParallel) return true;
   if (evaluator_.options().delay_model != sim::DelayModel::kZero) {
     return false;  // event timing does not vectorize
   }
-  // Construct the first simulator eagerly so a bad netlist fails here, not
+  backend_ = Backend::kBitParallel;
+  program_.reset();
+  {
+    std::lock_guard<std::mutex> lock(sim_mutex_);
+    idle_slots_.clear();
+  }
+  // Construct the first slot eagerly so a bad netlist fails here, not
   // inside a worker thread.
-  idle_sims_.push_back(std::make_unique<sim::BitParallelSimulator>(
-      evaluator_.netlist(), evaluator_.options().tech));
-  bit_enabled_ = true;
+  release_slot(make_slot());
+  return true;
+}
+
+bool StreamingPopulation::enable_compiled(
+    std::optional<sim::SimdKernel> kernel) {
+  if (evaluator_.options().delay_model != sim::DelayModel::kZero) {
+    return false;  // the gate tape is a zero-delay construct
+  }
+  const sim::SimdKernel k = kernel.value_or(sim::best_kernel());
+  if (!sim::kernel_available(k)) return false;
+  if (backend_ == Backend::kCompiled && kernel_ == k) return true;
+  // Compile once per circuit; slots share the immutable tape.
+  if (!program_) {
+    program_ = sim::GateProgram::compile(evaluator_.netlist(),
+                                         evaluator_.options().tech);
+  }
+  backend_ = Backend::kCompiled;
+  kernel_ = k;
+  {
+    std::lock_guard<std::mutex> lock(sim_mutex_);
+    idle_slots_.clear();
+  }
+  release_slot(make_slot());
   return true;
 }
 
@@ -155,7 +220,17 @@ std::string StreamingPopulation::description() const {
   std::string desc = "streaming population over " +
                      evaluator_.netlist().name() + " (" +
                      generator_.description() + ")";
-  if (bit_enabled_) desc += " [bit-parallel x64]";
+  switch (backend_) {
+    case Backend::kScalar:
+      break;
+    case Backend::kBitParallel:
+      desc += " [bit-parallel x64]";
+      break;
+    case Backend::kCompiled:
+      desc += " [compiled tape, " + std::string(sim::to_string(kernel_)) +
+              " x" + std::to_string(sim::kernel_lanes(kernel_)) + "]";
+      break;
+  }
   return desc;
 }
 

@@ -13,8 +13,9 @@
 // which consumes the RNG in exactly the same order as the equivalent
 // sequence of scalar draw() calls — so batching is purely a performance
 // choice, never a statistical one. StreamingPopulation can route batches
-// through the 64-lane BitParallelSimulator (zero-delay evaluators only),
-// turning one full netlist traversal per unit into 1/64th of one.
+// through the 64-lane BitParallelSimulator or the compiled wide-SIMD
+// gate-tape backend (zero-delay evaluators only), turning one full netlist
+// traversal per unit into 1/64th..1/512th of one tape pass.
 #pragma once
 
 #include <atomic>
@@ -25,12 +26,14 @@
 #include <string>
 #include <vector>
 
+#include "sim/cpu_dispatch.hpp"
 #include "sim/power_eval.hpp"
 #include "util/rng.hpp"
 #include "vectors/generators.hpp"
 
 namespace mpe::sim {
 class BitParallelSimulator;
+class GateProgram;
 }
 
 namespace mpe::vec {
@@ -94,6 +97,14 @@ class FinitePopulation final : public Population {
 /// Unbounded population: simulate a fresh random unit per draw.
 class StreamingPopulation final : public Population {
  public:
+  /// How draw_batch evaluates its units. All backends produce bit-identical
+  /// value streams for the same seed; they differ only in throughput.
+  enum class Backend {
+    kScalar,       ///< per-unit scalar draw() through the borrowed evaluator
+    kBitParallel,  ///< 64-lane word-per-node interpreter (BitParallelSimulator)
+    kCompiled,     ///< SoA gate tape + runtime-dispatched SIMD kernel
+  };
+
   /// Borrows the generator and evaluator; both must outlive this object.
   StreamingPopulation(const PairGenerator& generator,
                       sim::CyclePowerEvaluator& evaluator);
@@ -101,11 +112,13 @@ class StreamingPopulation final : public Population {
 
   double draw(Rng& rng) override;
   void draw_batch(std::span<double> out, Rng& rng) override;
-  /// Bit-parallel batches are concurrent-safe: each call checks a simulator
-  /// instance out of an internal freelist, so independent threads simulate
-  /// on private state. The scalar path shares the borrowed evaluator and
-  /// stays single-threaded.
-  bool concurrent_draw_safe() const override { return bit_enabled_; }
+  /// Batched backends are concurrent-safe: each call checks a simulation
+  /// slot (simulator + scratch buffers) out of an internal freelist, so
+  /// independent threads simulate on private state. The scalar path shares
+  /// the borrowed evaluator and stays single-threaded.
+  bool concurrent_draw_safe() const override {
+    return backend_ != Backend::kScalar;
+  }
   std::optional<std::size_t> size() const override { return std::nullopt; }
   std::string description() const override;
 
@@ -118,8 +131,24 @@ class StreamingPopulation final : public Population {
   /// scalar zero-delay simulator.
   bool enable_bit_parallel();
 
-  /// Whether the bit-parallel backend is active.
-  bool bit_parallel() const { return bit_enabled_; }
+  /// Routes draw_batch through the compiled gate tape: the netlist is
+  /// lowered once into an SoA program and each batch is evaluated
+  /// 64/256/512 lanes at a time by the widest kernel the host supports
+  /// (or the explicitly requested one). Same zero-delay requirement and
+  /// same bit-identity guarantee as enable_bit_parallel(); returns false
+  /// and leaves the current backend untouched when the delay model is not
+  /// kZero or the requested kernel is unavailable on this host.
+  bool enable_compiled(
+      std::optional<sim::SimdKernel> kernel = std::nullopt);
+
+  /// The active draw_batch backend.
+  Backend backend() const { return backend_; }
+
+  /// Whether a batched (bit-parallel or compiled) backend is active.
+  bool bit_parallel() const { return backend_ != Backend::kScalar; }
+
+  /// Kernel evaluating compiled batches; meaningful only under kCompiled.
+  sim::SimdKernel compiled_kernel() const { return kernel_; }
 
   /// Units simulated so far.
   std::size_t draws() const {
@@ -127,16 +156,21 @@ class StreamingPopulation final : public Population {
   }
 
  private:
-  std::unique_ptr<sim::BitParallelSimulator> acquire_simulator();
-  void release_simulator(std::unique_ptr<sim::BitParallelSimulator> sim);
+  struct Slot;  // simulator + reusable pair/result buffers
+  std::unique_ptr<Slot> acquire_slot();
+  void release_slot(std::unique_ptr<Slot> slot);
+  std::unique_ptr<Slot> make_slot() const;
 
   const PairGenerator& generator_;
   sim::CyclePowerEvaluator& evaluator_;
-  bool bit_enabled_ = false;
-  /// Idle bit-parallel simulators; one is checked out per concurrent
-  /// draw_batch call, so the list grows to the peak thread count.
+  Backend backend_ = Backend::kScalar;
+  sim::SimdKernel kernel_ = sim::SimdKernel::kScalar64;
+  /// Shared immutable tape under kCompiled; compiled once per circuit.
+  std::shared_ptr<const sim::GateProgram> program_;
+  /// Idle simulation slots; one is checked out per concurrent draw_batch
+  /// call, so the list grows to the peak thread count.
   std::mutex sim_mutex_;
-  std::vector<std::unique_ptr<sim::BitParallelSimulator>> idle_sims_;
+  std::vector<std::unique_ptr<Slot>> idle_slots_;
   std::atomic<std::size_t> draws_{0};
 };
 
