@@ -1,0 +1,138 @@
+#!/usr/bin/env sh
+# Distributed-campaign chaos smoke test (docs/ROBUSTNESS.md, "Distributed
+# campaigns"): run a coordinator + 3 worker fleet over a small manifest and
+# kill -9 random participants — workers AND the coordinator — at seeded
+# random points, restarting the fleet each round. The campaign must still
+# converge, its ledger must pass the exactly-once audit, and its canonical
+# merged output must be BYTE-IDENTICAL to a single-process `campaign` run of
+# the same manifest.
+#
+# The kill schedule is a seeded LCG, so a failing schedule reproduces with
+# the same seed. Wherever a kill lands — mid-job, mid-ledger-append, between
+# lease grant and first heartbeat — durability rests on the same two
+# invariants the in-process tests assert: checkpoints make job work
+# resumable, and the sealed ledger + coordinator dedup make completion
+# records exactly-once.
+#
+# usage: dist_chaos_smoke.sh [path-to-mpe_cli] [work-dir] [seed]
+set -eu
+
+CLI=${1:-build/tools/mpe_cli}
+WORK=${2:-build/dist_chaos_smoke}
+SEED=${3:-20260808}
+ORIG_SEED=$SEED
+
+rm -rf "$WORK"
+mkdir -p "$WORK/golden" "$WORK/dist"
+SOCK="$WORK/coord.sock"
+MANIFEST="$WORK/jobs.jsonl"
+
+# Epsilons chosen so each job runs a few hundred milliseconds: long enough
+# that kills land mid-job, short enough that the test stays a smoke test.
+cat > "$MANIFEST" << 'EOF'
+{"job":"a1","circuit":"c432","seed":3,"epsilon":0.03}
+{"job":"a2","circuit":"c432","seed":4,"epsilon":0.03}
+{"job":"a3","circuit":"c880","seed":5,"epsilon":0.03}
+{"job":"a4","circuit":"c432","seed":6,"epsilon":0.025}
+{"job":"a5","circuit":"c880","seed":7,"epsilon":0.03}
+{"job":"a6","circuit":"c432","seed":8,"epsilon":0.03}
+EOF
+
+# --- Golden: single-process campaign of the same manifest ------------------
+"$CLI" campaign --manifest "$MANIFEST" --state-dir "$WORK/golden" > /dev/null
+"$CLI" ledger-audit --report "$WORK/golden/campaign.jsonl" \
+  --merged-out "$WORK/golden_merged.jsonl" > /dev/null
+
+# --- Chaos rounds ----------------------------------------------------------
+lcg() { SEED=$(( (SEED * 1103515245 + 12345) % 2147483648 )); }
+
+COORD=""
+W_PIDS=""
+
+start_fleet() {
+  "$CLI" campaign-coordinator --manifest "$MANIFEST" \
+    --state-dir "$WORK/dist" --socket "$SOCK" --lease-ms 1000 \
+    > /dev/null 2>&1 &
+  COORD=$!
+  W_PIDS=""
+  for i in 0 1 2; do
+    "$CLI" campaign-worker --socket "$SOCK" --state-dir "$WORK/dist" \
+      --worker-id "w$i" --heartbeat-ms 200 > /dev/null 2>&1 &
+    W_PIDS="$W_PIDS $!"
+  done
+}
+
+kill_fleet() {
+  kill -9 $COORD $W_PIDS 2> /dev/null || true
+  for p in $COORD $W_PIDS; do
+    wait "$p" 2> /dev/null || true
+  done
+}
+
+sleep_ms() {
+  awk "BEGIN { printf \"%.3f\", $1 / 1000 }" | xargs sleep
+}
+
+FINISHED=0
+ROUND=0
+CHAOS_ROUNDS=6
+while [ "$ROUND" -lt "$CHAOS_ROUNDS" ] && [ "$FINISHED" -eq 0 ]; do
+  ROUND=$(( ROUND + 1 ))
+  start_fleet
+  lcg; DELAY=$(( 150 + SEED % 700 ))
+  lcg; VICTIM=$(( SEED % 4 ))
+  sleep_ms "$DELAY"
+  if [ "$VICTIM" -eq 3 ]; then
+    kill -9 "$COORD" 2> /dev/null || true  # coordinator down mid-campaign
+  else
+    set -- $W_PIDS
+    eval "kill -9 \$$(( VICTIM + 1 )) 2> /dev/null || true"  # one worker down
+  fi
+  # Let the survivors make progress (lease expiry, reassignment, resume)
+  # before the round is torn down — itself a second, compound kill.
+  lcg; sleep_ms $(( 200 + SEED % 600 ))
+  if ! kill -0 "$COORD" 2> /dev/null && [ "$VICTIM" -ne 3 ]; then
+    set +e
+    wait "$COORD"
+    [ $? -eq 0 ] && FINISHED=1  # campaign completed under chaos
+    set -e
+  fi
+  kill_fleet
+done
+
+# --- Clean final round: must converge on whatever state chaos left --------
+if [ "$FINISHED" -eq 0 ]; then
+  start_fleet
+  i=0
+  while kill -0 "$COORD" 2> /dev/null && [ "$i" -lt 1200 ]; do
+    i=$(( i + 1 ))
+    sleep 0.1
+  done
+  set +e
+  wait "$COORD"
+  RC=$?
+  set -e
+  if [ "$RC" -ne 0 ]; then
+    echo "dist_chaos_smoke: FAIL coordinator exit $RC after chaos" >&2
+    kill_fleet
+    exit 1
+  fi
+  # Workers drain on their own once the coordinator is done; reap residue.
+  sleep 0.5
+  kill_fleet
+fi
+
+# --- Verdict ---------------------------------------------------------------
+# The audit proves exactly-once (divergent duplicate "done" records or
+# done->failed regressions exit 11); the byte-compare proves the fleet
+# computed exactly what one process would have.
+"$CLI" ledger-audit --report "$WORK/dist/campaign.jsonl" \
+  --merged-out "$WORK/dist_merged.jsonl" > /dev/null
+
+if ! cmp -s "$WORK/golden_merged.jsonl" "$WORK/dist_merged.jsonl"; then
+  echo "dist_chaos_smoke: FAIL merged ledger differs from single-process run" >&2
+  diff "$WORK/golden_merged.jsonl" "$WORK/dist_merged.jsonl" >&2 || true
+  exit 1
+fi
+echo "dist_chaos_smoke: OK (seed $ORIG_SEED, $ROUND chaos rounds," \
+  "merged ledger byte-identical to single-process run)"

@@ -20,8 +20,12 @@ if [ "${MPE_SKIP_STAT:-0}" != "1" ]; then
 fi
 if [ "${MPE_SKIP_RECOVERY:-0}" != "1" ]; then
   echo "== recovery / durability leg (MPE_SKIP_RECOVERY=1 skips) =="
-  # Checkpoint/resume bit-identity, retry policy, campaign ledger suites,
-  # plus the script-driven kill -9 -> resume -> golden-compare smoke test.
+  # Checkpoint/resume bit-identity, retry policy, campaign ledger and dist
+  # coordinator/worker suites, plus the two script-driven kill -9 smokes:
+  # single-process resume -> golden-compare (recovery_smoke.sh) and the
+  # distributed chaos harness (dist_chaos_smoke.sh), which kills random
+  # workers and coordinators under a seeded schedule and requires the
+  # merged ledger to be byte-identical to a single-process campaign.
   ctest --test-dir build --output-on-failure -L recovery
 fi
 

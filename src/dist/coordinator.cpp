@@ -1,0 +1,389 @@
+#include "dist/coordinator.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "dist/transport.hpp"
+#include "maxpower/ledger.hpp"
+#include "util/status.hpp"
+
+namespace mpe::dist {
+
+namespace {
+
+using maxpower::CampaignJobOutcome;
+using maxpower::JobStatus;
+
+void ensure_directory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return;
+  throw Error(ErrorCode::kIo, "cannot create campaign state directory",
+              ErrorContext{}.kv("path", path).kv("errno", std::strerror(errno))
+                  .str());
+}
+
+}  // namespace
+
+CoordinatorCore::CoordinatorCore(CoordinatorConfig config)
+    : config_(std::move(config)), jitter_rng_(config_.jitter_seed) {
+  if (config_.state_dir.empty()) {
+    throw Error(ErrorCode::kPrecondition,
+                "CoordinatorConfig::state_dir must be set");
+  }
+  if (config_.max_assignments == 0) config_.max_assignments = 1;
+  ensure_directory(config_.state_dir);
+  report_path_ = config_.report_path.empty()
+                     ? config_.state_dir + "/campaign.jsonl"
+                     : config_.report_path;
+
+  jobs_.reserve(config_.jobs.size());
+  for (std::size_t i = 0; i < config_.jobs.size(); ++i) {
+    const auto& job = config_.jobs[i];
+    if (!maxpower::valid_campaign_job_name(job.name)) {
+      throw Error(ErrorCode::kBadData, "invalid campaign job name",
+                  ErrorContext{}.kv("job", job.name).str());
+    }
+    if (!by_name_.emplace(job.name, i).second) {
+      throw Error(ErrorCode::kBadData, "duplicate job name in manifest",
+                  ErrorContext{}.kv("job", job.name).str());
+    }
+    JobState state;
+    state.index = i;
+    state.outcome.name = job.name;
+    jobs_.push_back(std::move(state));
+  }
+
+  // The ledger is the only durable coordinator state: a restarted
+  // coordinator rediscovers completed work here, and in-flight work through
+  // lease adoption (see handle/kHeartbeat).
+  const maxpower::LedgerReadResult ledger_read =
+      maxpower::read_ledger_file(report_path_);
+  quarantined_ = ledger_read.corrupt.size();
+  maxpower::quarantine_ledger_lines(report_path_, ledger_read.corrupt);
+  for (const auto& [name, status] : ledger_read.final_status()) {
+    if (status != "done") continue;  // failed/stopped jobs re-run
+    if (auto* state = find(name)) {
+      state->phase = JobPhase::kDone;
+      state->skipped = true;
+      state->outcome.status = JobStatus::kSkipped;
+    }
+  }
+}
+
+CoordinatorCore::JobState* CoordinatorCore::find(const std::string& job) {
+  const auto it = by_name_.find(job);
+  return it == by_name_.end() ? nullptr : &jobs_[it->second];
+}
+
+std::string CoordinatorCore::grant(JobState& state, const std::string& worker,
+                                   Clock::time_point now) {
+  state.phase = JobPhase::kLeased;
+  state.holder = worker;
+  state.lease_expiry = now + config_.lease;
+  ++state.assignments;
+  ++leases_granted_;
+  return encode_lease(
+      config_.jobs[state.index].name,
+      maxpower::campaign_job_to_json(config_.jobs[state.index]),
+      static_cast<std::uint64_t>(config_.lease.count()),
+      static_cast<std::uint64_t>(config_.job_deadline.count()));
+}
+
+void CoordinatorCore::record(JobState& state,
+                             const CampaignJobOutcome& outcome) {
+  state.outcome = outcome;
+  state.phase = outcome.status == JobStatus::kDone ? JobPhase::kDone
+                                                   : JobPhase::kFailed;
+  state.holder.clear();
+  maxpower::append_ledger_line(report_path_,
+                               maxpower::campaign_record_line(outcome));
+}
+
+void CoordinatorCore::release(JobState& state, Clock::time_point now,
+                              bool count_backoff) {
+  state.phase = JobPhase::kPending;
+  state.holder.clear();
+  if (count_backoff) {
+    // Expiry usually means the worker died mid-job; pace the re-grant so a
+    // crash loop cannot thrash the fleet.
+    state.earliest_grant =
+        now + std::chrono::duration_cast<Clock::duration>(util::backoff_delay(
+                  config_.reassign, state.assignments, jitter_rng_));
+  } else {
+    state.earliest_grant = now;  // graceful hand-back: regrant immediately
+  }
+}
+
+void CoordinatorCore::tick(Clock::time_point now) {
+  for (auto& state : jobs_) {
+    if (state.phase != JobPhase::kLeased || now < state.lease_expiry) continue;
+    if (state.assignments >= config_.max_assignments) {
+      // This job has burned its whole lease budget (workers keep dying under
+      // it, or it stalls past every lease): record it failed so the
+      // campaign can terminate.
+      CampaignJobOutcome outcome;
+      outcome.name = config_.jobs[state.index].name;
+      outcome.status = JobStatus::kFailed;
+      outcome.attempts = state.assignments;
+      outcome.error = ErrorCode::kDeadline;
+      record(state, outcome);
+    } else {
+      release(state, now, /*count_backoff=*/true);
+    }
+  }
+}
+
+std::string CoordinatorCore::handle(const Message& msg, Clock::time_point now) {
+  tick(now);
+  switch (msg.kind) {
+    case MessageKind::kHello:
+      if (msg.proto != kProtocolVersion) {
+        return encode_error("protocol version mismatch");
+      }
+      return encode_ack();
+
+    case MessageKind::kRequest: {
+      if (draining_) return encode_drain();
+      JobState* next = nullptr;
+      Clock::time_point soonest = Clock::time_point::max();
+      for (auto& state : jobs_) {
+        if (state.phase != JobPhase::kPending) continue;
+        if (state.earliest_grant <= now) {
+          next = &state;
+          break;  // manifest order, like the single-process loop
+        }
+        soonest = std::min(soonest, state.earliest_grant);
+      }
+      if (next != nullptr) return grant(*next, msg.worker, now);
+      if (finished()) return encode_drain();
+      // Nothing grantable *yet*: pending jobs are backoff-gated or leased
+      // elsewhere. Tell the worker when to come back.
+      std::chrono::milliseconds wait{250};
+      if (soonest != Clock::time_point::max()) {
+        wait = std::chrono::duration_cast<std::chrono::milliseconds>(soonest -
+                                                                     now);
+      }
+      wait = std::clamp(wait, std::chrono::milliseconds{50},
+                        std::chrono::milliseconds{1000});
+      return encode_wait(static_cast<std::uint64_t>(wait.count()));
+    }
+
+    case MessageKind::kHeartbeat: {
+      JobState* state = find(msg.job);
+      if (state == nullptr) return encode_revoke(msg.job);
+      if (state->phase == JobPhase::kLeased && state->holder == msg.worker) {
+        state->lease_expiry = now + config_.lease;
+        return encode_ack();
+      }
+      if (state->phase == JobPhase::kPending) {
+        // A worker is actively running a job we think nobody holds: this
+        // coordinator restarted (or the lease expired before a re-grant).
+        // Adopt the lease instead of re-granting — the work in flight is
+        // exactly the work we want done.
+        std::string ignored = grant(*state, msg.worker, now);
+        (void)ignored;
+        return encode_ack();
+      }
+      // Done/failed, or leased to someone else: this holder is stale.
+      return encode_revoke(msg.job);
+    }
+
+    case MessageKind::kResult: {
+      JobState* state = find(msg.job);
+      if (state == nullptr) return encode_error("result for unknown job");
+      const CampaignJobOutcome& outcome = msg.outcome;
+      switch (outcome.status) {
+        case JobStatus::kDone:
+          if (state->phase == JobPhase::kDone) {
+            // At-least-once delivery meets state dedup: re-sent (or stale-
+            // holder) done reports are acked without a second ledger append.
+            return encode_ack();
+          }
+          record(*state, outcome);
+          return encode_ack();
+        case JobStatus::kFailed:
+          if (state->phase == JobPhase::kDone ||
+              state->phase == JobPhase::kFailed) {
+            return encode_ack();  // already terminal
+          }
+          if (state->phase == JobPhase::kLeased &&
+              state->holder != msg.worker) {
+            // A stale holder's failure must not kill a job the current
+            // holder may yet finish.
+            return encode_ack();
+          }
+          record(*state, outcome);
+          return encode_ack();
+        case JobStatus::kStopped:
+          // Graceful hand-back (worker drain / revoked lease): the job goes
+          // straight back to the pool, checkpoint intact.
+          if (state->phase == JobPhase::kLeased &&
+              state->holder == msg.worker) {
+            release(*state, now, /*count_backoff=*/false);
+          }
+          return encode_ack();
+        case JobStatus::kSkipped:
+          return encode_ack();
+      }
+      return encode_ack();
+    }
+
+    case MessageKind::kLease:
+    case MessageKind::kWait:
+    case MessageKind::kDrain:
+    case MessageKind::kAck:
+    case MessageKind::kRevoke:
+    case MessageKind::kError:
+      break;  // coordinator-to-worker kinds are invalid inbound
+  }
+  return encode_error("unexpected message kind");
+}
+
+bool CoordinatorCore::any_leased() const {
+  return std::any_of(jobs_.begin(), jobs_.end(), [](const JobState& s) {
+    return s.phase == JobPhase::kLeased;
+  });
+}
+
+bool CoordinatorCore::finished() const {
+  return std::all_of(jobs_.begin(), jobs_.end(), [](const JobState& s) {
+    return s.phase == JobPhase::kDone || s.phase == JobPhase::kFailed;
+  });
+}
+
+maxpower::CampaignResult CoordinatorCore::summary() const {
+  maxpower::CampaignResult result;
+  result.quarantined = quarantined_;
+  for (const auto& state : jobs_) {
+    if (state.phase == JobPhase::kDone && state.skipped) {
+      ++result.skipped;
+    } else if (state.phase == JobPhase::kDone) {
+      ++result.done;
+    } else if (state.phase == JobPhase::kFailed) {
+      ++result.failed;
+    }
+    if (state.phase == JobPhase::kDone || state.phase == JobPhase::kFailed) {
+      result.jobs.push_back(state.outcome);
+    }
+  }
+  return result;
+}
+
+JobPhase CoordinatorCore::phase(const std::string& job) const {
+  const auto it = by_name_.find(job);
+  if (it == by_name_.end()) {
+    throw Error(ErrorCode::kBadData, "unknown job",
+                ErrorContext{}.kv("job", job).str());
+  }
+  return jobs_[it->second].phase;
+}
+
+maxpower::CampaignResult serve_campaign(
+    CoordinatorCore& core, const CoordinatorServerOptions& options) {
+  using Clock = CoordinatorCore::Clock;
+  UnixListener listener(options.socket_path);
+  std::vector<std::unique_ptr<LineChannel>> conns;
+
+  const auto drain_grace = options.drain_grace.count() > 0
+                               ? options.drain_grace
+                               : std::chrono::milliseconds{30000};
+  Clock::time_point drain_deadline = Clock::time_point::max();
+
+  for (;;) {
+    const auto now = Clock::now();
+    core.tick(now);
+    if (options.control.should_stop() != util::StopCause::kNone &&
+        !core.draining()) {
+      core.begin_drain();
+    }
+    if (core.draining() && drain_deadline == Clock::time_point::max()) {
+      drain_deadline = now + drain_grace;
+    }
+    if (core.finished()) break;
+    if (core.draining() && (!core.any_leased() || now >= drain_deadline)) {
+      break;
+    }
+
+    if (auto conn = listener.accept(options.poll)) {
+      conns.push_back(std::move(conn));
+    }
+
+    for (auto& conn : conns) {
+      // Drain every line this peer already delivered; a worker only has one
+      // message in flight, but a batch can pile up while we were busy.
+      for (;;) {
+        std::string line;
+        const auto status =
+            conn->recv_line(line, std::chrono::milliseconds{0});
+        if (status == LineChannel::RecvStatus::kClosed) {
+          conn->close();  // peer gone; lease expiry covers its jobs
+          break;
+        }
+        if (status != LineChannel::RecvStatus::kLine) break;
+        std::string reply;
+        try {
+          reply = core.handle(decode_message(line), Clock::now());
+        } catch (const Error& e) {
+          reply = encode_error(e.what());
+        }
+        if (!conn->send_line(reply)) {
+          conn->close();
+          break;
+        }
+        if (!conn->line_buffered()) break;
+      }
+    }
+    std::erase_if(conns, [](const auto& c) { return !c->valid(); });
+  }
+
+  maxpower::CampaignResult result = core.summary();
+  if (core.draining() && !core.finished()) {
+    result.stopped = options.control.should_stop() != util::StopCause::kNone
+                         ? options.control.should_stop()
+                         : util::StopCause::kCancelled;
+  }
+  // Linger briefly so connected workers learn the campaign is over from a
+  // drain reply instead of burning their whole redial budget against a
+  // vanished socket. Heartbeats get revoke (stop wasted work on stale
+  // leases); everything else gets drain. Exit as soon as every worker has
+  // hung up, or after a hard cap.
+  const auto linger_deadline = Clock::now() + std::chrono::milliseconds{2000};
+  while (!conns.empty() && Clock::now() < linger_deadline) {
+    if (auto conn = listener.accept(std::chrono::milliseconds{10})) {
+      conns.push_back(std::move(conn));
+    }
+    for (auto& conn : conns) {
+      for (;;) {
+        std::string line;
+        const auto status =
+            conn->recv_line(line, std::chrono::milliseconds{0});
+        if (status == LineChannel::RecvStatus::kClosed) {
+          conn->close();
+          break;
+        }
+        if (status != LineChannel::RecvStatus::kLine) break;
+        bool heartbeat = false;
+        std::string job;
+        try {
+          const Message msg = decode_message(line);
+          heartbeat = msg.kind == MessageKind::kHeartbeat;
+          job = msg.job;
+        } catch (const Error&) {
+        }
+        if (!conn->send_line(heartbeat ? encode_revoke(job)
+                                       : encode_drain())) {
+          conn->close();
+          break;
+        }
+      }
+    }
+    std::erase_if(conns, [](const auto& c) { return !c->valid(); });
+  }
+  return result;
+}
+
+}  // namespace mpe::dist

@@ -1,0 +1,151 @@
+// Campaign coordinator: partitions a campaign manifest into job leases and
+// serves them to workers over the dist protocol, surviving the death of any
+// participant — including itself.
+//
+// Fault model and the exactly-once argument (docs/ROBUSTNESS.md,
+// "Distributed campaigns"):
+//   * A lease is a time-bounded claim on one job. Workers renew it by
+//     heartbeating; a worker that dies (kill -9, network gone) simply stops
+//     renewing, the lease expires, and the job returns to the pending pool
+//     after a jittered backoff (util/retry's policy — same taxonomy as
+//     job-level retries). Reassignment is bounded: a job that burns
+//     max_assignments leases is recorded failed, so a worker-killing job
+//     cannot grind the fleet forever.
+//   * All durable state is the append-only sealed ledger (maxpower/ledger)
+//     plus the per-job checkpoints workers write through the engine. The
+//     coordinator itself is stateless across restarts: a restarted
+//     coordinator re-reads the ledger, treats recorded-done jobs as
+//     skipped, and *adopts* leases from workers that heartbeat for a job it
+//     does not think is leased — so in-flight work survives a coordinator
+//     kill -9 without re-execution.
+//   * "done" results are accepted from stale lease holders too (the engine
+//     is deterministic, so a late result is byte-identical to the one the
+//     current holder would produce), deduplicated against job state, and
+//     appended to the ledger exactly once. Workers re-send results until
+//     acked; at-least-once delivery + state dedup = exactly-once ledger.
+//
+// CoordinatorCore is a pure state machine over injected time — every
+// transition takes an explicit `now` — so lease expiry, backoff gating, and
+// drain are unit-testable without sockets or sleeps. serve_campaign() wraps
+// it in the poll loop that owns real connections and the wall clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dist/protocol.hpp"
+#include "maxpower/campaign.hpp"
+#include "util/deadline.hpp"
+#include "util/retry.hpp"
+#include "util/rng.hpp"
+
+namespace mpe::dist {
+
+struct CoordinatorConfig {
+  std::vector<maxpower::CampaignJob> jobs;  ///< manifest order
+  /// Shared with workers: per-job checkpoints live here; the ledger
+  /// defaults to <state_dir>/campaign.jsonl.
+  std::string state_dir;
+  std::string report_path;
+  /// Lease duration; workers must heartbeat well within it. Also the upper
+  /// bound on how stale a dead worker's claim can get.
+  std::chrono::milliseconds lease{5000};
+  /// Per-job wall-clock budget shipped inside each lease (0 = none).
+  std::chrono::milliseconds job_deadline{0};
+  /// A job's total lease grants (first assignment included) before the
+  /// coordinator gives up and records it failed.
+  std::size_t max_assignments = 5;
+  /// Backoff between reassignments of one job (expiry storms should not
+  /// thrash); initial_backoff/multiplier/max_backoff/jitter are used.
+  util::RetryPolicy reassign;
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// Where one job stands inside the coordinator.
+enum class JobPhase : std::uint8_t { kPending, kLeased, kDone, kFailed };
+
+/// The deterministic heart of the coordinator. Not thread-safe; one owner.
+class CoordinatorCore {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Reads the ledger (quarantining corrupt records), marks recorded-done
+  /// jobs, and creates the state directory. Throws on unusable config.
+  explicit CoordinatorCore(CoordinatorConfig config);
+
+  /// Handles one decoded worker message at time `now`; returns the encoded
+  /// reply line. Appends ledger records for terminal transitions.
+  std::string handle(const Message& msg, Clock::time_point now);
+
+  /// Expires overdue leases; records jobs that exhausted their assignment
+  /// budget as failed. Call once per loop iteration.
+  void tick(Clock::time_point now);
+
+  /// Stops granting leases (SIGTERM drain). In-flight leases keep being
+  /// served so running jobs can finish and report.
+  void begin_drain() { draining_ = true; }
+  bool draining() const { return draining_; }
+
+  bool any_leased() const;
+  /// True when every job is terminal (done or failed, including
+  /// ledger-skipped ones).
+  bool finished() const;
+
+  /// Jobs granted since construction (monotonic; includes re-grants).
+  std::size_t leases_granted() const { return leases_granted_; }
+
+  /// Invocation summary in run_campaign's shape: skipped = done per the
+  /// pre-existing ledger, done/failed = transitions this run.
+  maxpower::CampaignResult summary() const;
+
+  JobPhase phase(const std::string& job) const;  ///< test/observability hook
+
+ private:
+  struct JobState {
+    std::size_t index = 0;  ///< into config_.jobs
+    JobPhase phase = JobPhase::kPending;
+    bool skipped = false;   ///< done per the ledger before this run
+    std::string holder;
+    Clock::time_point lease_expiry{};
+    Clock::time_point earliest_grant{};
+    std::size_t assignments = 0;
+    maxpower::CampaignJobOutcome outcome;
+  };
+
+  JobState* find(const std::string& job);
+  std::string grant(JobState& state, const std::string& worker,
+                    Clock::time_point now);
+  void record(JobState& state, const maxpower::CampaignJobOutcome& outcome);
+  void release(JobState& state, Clock::time_point now, bool count_backoff);
+
+  CoordinatorConfig config_;
+  std::string report_path_;
+  std::vector<JobState> jobs_;
+  std::map<std::string, std::size_t> by_name_;
+  Rng jitter_rng_;
+  bool draining_ = false;
+  std::size_t quarantined_ = 0;
+  std::size_t leases_granted_ = 0;
+};
+
+/// Socket-server options for serve_campaign.
+struct CoordinatorServerOptions {
+  std::string socket_path;   ///< Unix-domain socket to listen on
+  util::RunControl control;  ///< cancellation → graceful drain
+  /// Outer poll granularity: accept/expiry latency, not correctness.
+  std::chrono::milliseconds poll{20};
+  /// Hard cap on how long a drain waits for in-flight leases before the
+  /// coordinator exits anyway (0 = wait a full lease duration).
+  std::chrono::milliseconds drain_grace{0};
+};
+
+/// Runs the coordinator loop until the campaign finishes or a drain
+/// completes. Returns the invocation summary (CampaignResult::stopped set
+/// when the run was cut short by drain).
+maxpower::CampaignResult serve_campaign(CoordinatorCore& core,
+                                        const CoordinatorServerOptions& options);
+
+}  // namespace mpe::dist

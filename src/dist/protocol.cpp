@@ -1,0 +1,226 @@
+#include "dist/protocol.hpp"
+
+#include "util/jsonl.hpp"
+
+namespace mpe::dist {
+
+namespace {
+
+util::JsonFields header(MessageKind kind) {
+  util::JsonFields f;
+  f.add("schema", "mpe.dist");
+  f.add("v", kProtocolVersion);
+  f.add("type", to_string(kind));
+  return f;
+}
+
+std::string required_string(const util::JsonValue& v, std::string_view key) {
+  const util::JsonValue* field = v.find(key);
+  if (field == nullptr || !field->is_string()) {
+    throw Error(ErrorCode::kBadData, "message field missing or not a string",
+                ErrorContext{}.kv("field", key).str());
+  }
+  return field->as_string();
+}
+
+std::uint64_t number_or(const util::JsonValue& v, std::string_view key,
+                        std::uint64_t fallback) {
+  const util::JsonValue* field = v.find(key);
+  if (field == nullptr) return fallback;
+  if (!field->is_number()) {
+    throw Error(ErrorCode::kBadData, "message field must be a number",
+                ErrorContext{}.kv("field", key).str());
+  }
+  return static_cast<std::uint64_t>(field->as_number());
+}
+
+}  // namespace
+
+std::string_view to_string(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kHello: return "hello";
+    case MessageKind::kRequest: return "request";
+    case MessageKind::kHeartbeat: return "heartbeat";
+    case MessageKind::kResult: return "result";
+    case MessageKind::kLease: return "lease";
+    case MessageKind::kWait: return "wait";
+    case MessageKind::kDrain: return "drain";
+    case MessageKind::kAck: return "ack";
+    case MessageKind::kRevoke: return "revoke";
+    case MessageKind::kError: return "error";
+  }
+  return "error";
+}
+
+std::string encode_hello(std::string_view worker) {
+  auto f = header(MessageKind::kHello);
+  f.add("worker", worker);
+  f.add("proto", kProtocolVersion);
+  return f.object();
+}
+
+std::string encode_request(std::string_view worker) {
+  auto f = header(MessageKind::kRequest);
+  f.add("worker", worker);
+  return f.object();
+}
+
+std::string encode_heartbeat(std::string_view worker, std::string_view job) {
+  auto f = header(MessageKind::kHeartbeat);
+  f.add("worker", worker);
+  f.add("job", job);
+  return f.object();
+}
+
+std::string encode_result(std::string_view worker,
+                          const maxpower::CampaignJobOutcome& outcome) {
+  auto f = header(MessageKind::kResult);
+  f.add("worker", worker);
+  f.add("job", outcome.name);
+  f.add("status", maxpower::to_string(outcome.status));
+  f.add("attempts", static_cast<std::uint64_t>(outcome.attempts));
+  if (outcome.error != ErrorCode::kOk) {
+    f.add("error", mpe::to_string(outcome.error));
+  }
+  if (outcome.status == maxpower::JobStatus::kDone) {
+    f.add("estimate", outcome.result.estimate);
+    f.add("hyper_samples",
+          static_cast<std::uint64_t>(outcome.result.hyper_samples));
+    f.add("units", static_cast<std::uint64_t>(outcome.result.units_used));
+    f.add("converged", outcome.result.converged);
+  }
+  return f.object();
+}
+
+std::string encode_lease(std::string_view job, std::string_view spec_json,
+                         std::uint64_t lease_ms,
+                         std::uint64_t job_deadline_ms) {
+  auto f = header(MessageKind::kLease);
+  f.add("job", job);
+  f.add("spec", spec_json);  // shipped as a string; parsed by the worker
+  f.add("lease_ms", lease_ms);
+  if (job_deadline_ms > 0) f.add("job_deadline_ms", job_deadline_ms);
+  return f.object();
+}
+
+std::string encode_wait(std::uint64_t ms) {
+  auto f = header(MessageKind::kWait);
+  f.add("ms", ms);
+  return f.object();
+}
+
+std::string encode_drain() { return header(MessageKind::kDrain).object(); }
+
+std::string encode_ack() { return header(MessageKind::kAck).object(); }
+
+std::string encode_revoke(std::string_view job) {
+  auto f = header(MessageKind::kRevoke);
+  f.add("job", job);
+  return f.object();
+}
+
+std::string encode_error(std::string_view detail) {
+  auto f = header(MessageKind::kError);
+  f.add("detail", detail);
+  return f.object();
+}
+
+Message decode_message(std::string_view line) {
+  util::JsonValue v;
+  try {
+    v = util::parse_json(line);
+  } catch (const Error& e) {
+    throw Error(ErrorCode::kParse, "malformed dist message",
+                ErrorContext{}.kv("detail", e.message()).str());
+  }
+  if (!v.is_object()) {
+    throw Error(ErrorCode::kBadData, "dist message is not a JSON object");
+  }
+  const std::string type = required_string(v, "type");
+  Message msg;
+  bool known = false;
+  for (int k = 0; k <= static_cast<int>(MessageKind::kError); ++k) {
+    if (type == to_string(static_cast<MessageKind>(k))) {
+      msg.kind = static_cast<MessageKind>(k);
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    throw Error(ErrorCode::kBadData, "unknown dist message type",
+                ErrorContext{}.kv("type", type).str());
+  }
+  switch (msg.kind) {
+    case MessageKind::kHello:
+      msg.worker = required_string(v, "worker");
+      msg.proto = number_or(v, "proto", 0);
+      break;
+    case MessageKind::kRequest:
+      msg.worker = required_string(v, "worker");
+      break;
+    case MessageKind::kHeartbeat:
+      msg.worker = required_string(v, "worker");
+      msg.job = required_string(v, "job");
+      break;
+    case MessageKind::kResult: {
+      msg.worker = required_string(v, "worker");
+      msg.job = required_string(v, "job");
+      msg.outcome.name = msg.job;
+      msg.outcome.worker = msg.worker;
+      const std::string status = required_string(v, "status");
+      const auto parsed = maxpower::job_status_from_name(status);
+      if (!parsed) {
+        throw Error(ErrorCode::kBadData, "unknown job status in result",
+                    ErrorContext{}.kv("status", status).str());
+      }
+      msg.outcome.status = *parsed;
+      msg.outcome.attempts =
+          static_cast<std::size_t>(number_or(v, "attempts", 0));
+      if (const auto* e = v.find("error"); e != nullptr && e->is_string()) {
+        msg.outcome.error = error_code_from_string(e->as_string());
+      }
+      if (msg.outcome.status == maxpower::JobStatus::kDone) {
+        const util::JsonValue* est = v.find("estimate");
+        if (est == nullptr || !est->is_number()) {
+          throw Error(ErrorCode::kBadData, "done result without estimate");
+        }
+        msg.outcome.result.estimate = est->as_number();
+        msg.outcome.result.hyper_samples =
+            static_cast<std::size_t>(number_or(v, "hyper_samples", 0));
+        msg.outcome.result.units_used =
+            static_cast<std::size_t>(number_or(v, "units", 0));
+        if (const auto* c = v.find("converged");
+            c != nullptr && c->is_bool()) {
+          msg.outcome.result.converged = c->as_bool();
+        }
+      }
+      break;
+    }
+    case MessageKind::kLease:
+      msg.job = required_string(v, "job");
+      msg.spec = required_string(v, "spec");
+      msg.ms = number_or(v, "lease_ms", 0);
+      msg.job_deadline_ms = number_or(v, "job_deadline_ms", 0);
+      if (msg.ms == 0) {
+        throw Error(ErrorCode::kBadData, "lease without lease_ms");
+      }
+      break;
+    case MessageKind::kWait:
+      msg.ms = number_or(v, "ms", 0);
+      break;
+    case MessageKind::kRevoke:
+      msg.job = required_string(v, "job");
+      break;
+    case MessageKind::kError:
+      if (const auto* d = v.find("detail"); d != nullptr && d->is_string()) {
+        msg.detail = d->as_string();
+      }
+      break;
+    case MessageKind::kDrain:
+    case MessageKind::kAck:
+      break;
+  }
+  return msg;
+}
+
+}  // namespace mpe::dist

@@ -1,0 +1,91 @@
+// Wire protocol of the distributed campaign control plane (one JSON object
+// per line over dist/transport channels, schema tag "mpe.dist" v1).
+//
+// Worker -> coordinator:
+//   hello      {worker, proto}        introduce + version handshake
+//   request    {worker}               ask for a lease
+//   heartbeat  {worker, job}          renew the lease on `job`
+//   result     {worker, job, status, attempts, [error], [estimate,
+//               hyper_samples, units, converged]}
+//                                     report a terminal job outcome
+//
+// Coordinator -> worker:
+//   lease      {job, spec, lease_ms, [job_deadline_ms]}
+//                                     grant: run `spec` (a manifest-format
+//                                     job object, shipped as a string) and
+//                                     heartbeat at least every lease_ms
+//   wait       {ms}                   nothing grantable now; retry in ~ms
+//   drain      {}                     no more work ever; exit cleanly
+//   ack        {}                     heartbeat/result accepted
+//   revoke     {job}                  lease no longer held (expired and
+//                                     reassigned, or job already done):
+//                                     stop work, keep the checkpoint
+//   error      {detail}               protocol violation; peer should drop
+//
+// Exactly-once interplay: `result` is delivered at-least-once (workers
+// re-send after reconnects until acked) and the coordinator dedupes by job
+// state before appending to the ledger — together that yields exactly-once
+// ledger effects. Result payload doubles survive the round trip bit-exactly
+// (util/jsonl renders shortest round-trippable form).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "maxpower/campaign.hpp"
+
+namespace mpe::dist {
+
+/// Protocol revision; bumped on any incompatible message change.
+inline constexpr std::uint64_t kProtocolVersion = 1;
+
+enum class MessageKind : std::uint8_t {
+  kHello,
+  kRequest,
+  kHeartbeat,
+  kResult,
+  kLease,
+  kWait,
+  kDrain,
+  kAck,
+  kRevoke,
+  kError,
+};
+
+std::string_view to_string(MessageKind kind);
+
+/// One decoded message. Only the fields relevant to `kind` are meaningful.
+struct Message {
+  MessageKind kind = MessageKind::kError;
+  std::string worker;             ///< hello/request/heartbeat/result
+  std::string job;                ///< heartbeat/result/lease/revoke
+  std::string spec;               ///< lease: manifest-format job JSON
+  std::string detail;             ///< error
+  std::uint64_t proto = 0;        ///< hello
+  std::uint64_t ms = 0;           ///< lease: lease_ms; wait: backoff hint
+  std::uint64_t job_deadline_ms = 0;  ///< lease: 0 = no per-job deadline
+  /// result: terminal outcome (status/attempts/error + result payload for
+  /// done jobs). outcome.name == job.
+  maxpower::CampaignJobOutcome outcome;
+};
+
+std::string encode_hello(std::string_view worker);
+std::string encode_request(std::string_view worker);
+std::string encode_heartbeat(std::string_view worker, std::string_view job);
+std::string encode_result(std::string_view worker,
+                          const maxpower::CampaignJobOutcome& outcome);
+std::string encode_lease(std::string_view job, std::string_view spec_json,
+                         std::uint64_t lease_ms,
+                         std::uint64_t job_deadline_ms);
+std::string encode_wait(std::uint64_t ms);
+std::string encode_drain();
+std::string encode_ack();
+std::string encode_revoke(std::string_view job);
+std::string encode_error(std::string_view detail);
+
+/// Parses and validates one message line. Throws mpe::Error(kParse) on
+/// malformed JSON, kBadData on a missing/mistyped field or unknown kind.
+Message decode_message(std::string_view line);
+
+}  // namespace mpe::dist

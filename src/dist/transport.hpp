@@ -1,0 +1,93 @@
+// Byte transport for the distributed campaign control plane: newline-framed
+// JSON messages (the same one-object-per-line convention as util/jsonl and
+// the campaign ledger) over local stream sockets.
+//
+// Two shapes are supported:
+//   * UnixListener / connect_unix — a coordinator listening on a filesystem
+//     socket path, workers dialing in. This is the production transport for
+//     a multi-process fleet on one host.
+//   * socketpair_channel — a pre-connected pair for in-process tests and
+//     for parent-spawned workers talking over inherited fds (the stdio-pipe
+//     shape: LineChannel works over any stream fd).
+//
+// Everything here is deliberately robust to peer death rather than fast:
+// sends report a closed peer as `false` (never SIGPIPE, never throw —
+// worker death is an expected event, handled by lease expiry, not by
+// exception control flow), and receives are poll(2)-bounded so a silent
+// peer can never wedge the coordinator loop.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace mpe::dist {
+
+/// One newline-framed message channel over a stream fd (socket or pipe).
+/// Owns the fd. Not thread-safe; each channel belongs to one loop.
+class LineChannel {
+ public:
+  explicit LineChannel(int fd);
+  ~LineChannel();
+  LineChannel(LineChannel&& other) noexcept;
+  LineChannel& operator=(LineChannel&& other) noexcept;
+  LineChannel(const LineChannel&) = delete;
+  LineChannel& operator=(const LineChannel&) = delete;
+
+  /// Sends `line` plus the '\n' frame terminator. Returns false when the
+  /// peer is gone (EPIPE/ECONNRESET) or the channel is closed; never raises
+  /// SIGPIPE, never throws. `line` must not contain '\n'.
+  bool send_line(std::string_view line);
+
+  enum class RecvStatus { kLine, kTimeout, kClosed };
+
+  /// Receives one complete line (without the terminator) into `line`,
+  /// waiting up to `timeout` for bytes to arrive. kClosed means the peer
+  /// hung up and no buffered line remains.
+  RecvStatus recv_line(std::string& line, std::chrono::milliseconds timeout);
+
+  /// True when at least one complete buffered line is ready (no syscall).
+  bool line_buffered() const;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+/// Listening end of a Unix-domain socket. Binding unlinks a stale socket
+/// file first (a crashed coordinator must be restartable in place).
+class UnixListener {
+ public:
+  explicit UnixListener(const std::string& path);  ///< throws Error(kIo)
+  ~UnixListener();
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Accepts one connection, waiting up to `timeout`; nullptr on timeout.
+  /// Throws mpe::Error(kIo) only for unrecoverable listener failures.
+  std::unique_ptr<LineChannel> accept(std::chrono::milliseconds timeout);
+
+  const std::string& path() const { return path_; }
+  int fd() const { return fd_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Dials a Unix-domain socket. nullptr when the coordinator is not (yet)
+/// there — callers retry under their backoff policy.
+std::unique_ptr<LineChannel> connect_unix(const std::string& path);
+
+/// A connected channel pair (AF_UNIX socketpair) for in-process tests and
+/// pipe-shaped deployments. Throws mpe::Error(kIo) on OS failure.
+std::pair<std::unique_ptr<LineChannel>, std::unique_ptr<LineChannel>>
+socketpair_channel();
+
+}  // namespace mpe::dist

@@ -1,0 +1,275 @@
+#include "dist/worker.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "dist/protocol.hpp"
+#include "dist/transport.hpp"
+#include "maxpower/campaign.hpp"
+#include "util/rng.hpp"
+
+namespace mpe::dist {
+
+namespace {
+
+using maxpower::CampaignJob;
+using maxpower::CampaignJobOutcome;
+using maxpower::JobStatus;
+
+constexpr auto kReplyTimeout = std::chrono::milliseconds{5000};
+/// Upper bound on report delivery attempts (each may include a full redial
+/// cycle); far beyond anything a live coordinator needs.
+constexpr std::size_t kMaxReportAttempts = 20;
+
+void ensure_directory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return;
+  throw Error(ErrorCode::kIo, "cannot create worker state directory",
+              ErrorContext{}.kv("path", path).kv("errno", std::strerror(errno))
+                  .str());
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// All of one worker invocation's moving parts, so the helpers below can
+/// share the channel and counters without a parameter parade.
+struct WorkerLoop {
+  const WorkerConfig& cfg;
+  WorkerSummary sum;
+  std::unique_ptr<LineChannel> ch;
+  Rng rng;
+
+  explicit WorkerLoop(const WorkerConfig& config)
+      : cfg(config),
+        // Distinct workers must draw distinct backoff jitter or a killed
+        // fleet redials in lockstep.
+        rng(stream_seed(config.jitter_seed, fnv1a(config.worker_id))) {}
+
+  bool cancelled() const {
+    return cfg.control.should_stop() != util::StopCause::kNone;
+  }
+
+  /// One dial + hello handshake. Leaves `ch` valid on success.
+  bool dial_once() {
+    ch = connect_unix(cfg.socket_path);
+    if (!ch) return false;
+    if (!ch->send_line(encode_hello(cfg.worker_id))) {
+      ch.reset();
+      return false;
+    }
+    std::string line;
+    if (ch->recv_line(line, kReplyTimeout) != LineChannel::RecvStatus::kLine) {
+      ch.reset();
+      return false;
+    }
+    try {
+      const Message reply = decode_message(line);
+      if (reply.kind == MessageKind::kAck) return true;
+    } catch (const Error&) {
+    }
+    ch.reset();
+    return false;  // version mismatch or garbage: treat as unreachable
+  }
+
+  /// Dials under the connect_retry policy until connected, cancelled, or
+  /// out of attempts.
+  bool connect_with_backoff() {
+    for (std::size_t failures = 0;; ++failures) {
+      if (cancelled()) return false;
+      if (dial_once()) return true;
+      if (failures + 1 >= cfg.connect_retry.max_attempts) return false;
+      if (util::interruptible_sleep(
+              util::backoff_delay(cfg.connect_retry, failures + 1, rng),
+              cfg.control) != util::StopCause::kNone) {
+        return false;
+      }
+    }
+  }
+
+  /// Sends one message and waits for its reply. The protocol is strictly
+  /// one-request-one-reply per worker, so any hiccup (peer death, timeout)
+  /// drops the channel to resynchronize the pairing; nullopt tells the
+  /// caller to redial and resend.
+  std::optional<Message> transact(const std::string& line) {
+    if (!ch) return std::nullopt;
+    if (!ch->send_line(line)) {
+      ch.reset();
+      return std::nullopt;
+    }
+    std::string reply;
+    if (ch->recv_line(reply, kReplyTimeout) !=
+        LineChannel::RecvStatus::kLine) {
+      ch.reset();
+      return std::nullopt;
+    }
+    try {
+      return decode_message(reply);
+    } catch (const Error&) {
+      ch.reset();
+      return std::nullopt;
+    }
+  }
+
+  /// Delivers a terminal outcome at-least-once: resend across redials until
+  /// the coordinator answers. Any answer settles it — ack is the normal
+  /// case; revoke/error means the coordinator has moved past this job and
+  /// resending would change nothing.
+  bool report_until_acked(const CampaignJobOutcome& outcome) {
+    const std::string line = encode_result(cfg.worker_id, outcome);
+    for (std::size_t attempt = 0; attempt < kMaxReportAttempts; ++attempt) {
+      if (!ch) {
+        if (cancelled()) return false;  // drain: don't block exit on redial
+        if (!connect_with_backoff()) return false;
+      }
+      const auto reply = transact(line);
+      if (reply) return true;
+    }
+    return false;
+  }
+
+  /// Runs one leased job on a helper thread while this thread keeps the
+  /// lease alive, then reports the outcome.
+  void execute_lease(const Message& lease) {
+    ++sum.leases;
+    CampaignJob job;
+    try {
+      job = maxpower::parse_campaign_job_line(lease.spec);
+    } catch (const Error& e) {
+      CampaignJobOutcome bad;
+      bad.name = lease.job;
+      bad.status = JobStatus::kFailed;
+      bad.error = e.code();
+      bad.worker = cfg.worker_id;
+      ++sum.failed;
+      report_until_acked(bad);
+      return;
+    }
+
+    // The job gets its own cancellation token so a revoked lease (or worker
+    // drain) can stop just this run; worker-level deadline still applies.
+    const util::CancellationToken job_cancel = util::CancellationToken::create();
+    maxpower::JobRunOptions options;
+    options.state_dir = cfg.state_dir;
+    options.retry = cfg.job_retry;
+    options.control.cancel = job_cancel;
+    options.control.deadline = cfg.control.deadline;
+    if (lease.job_deadline_ms > 0) {
+      options.job_deadline = util::Deadline::after(
+          std::chrono::milliseconds(lease.job_deadline_ms));
+    }
+    options.threads = cfg.threads;
+    options.checkpoint_every_k = cfg.checkpoint_every_k;
+
+    Rng job_rng(rng());  // independent stream; main thread keeps using rng
+    CampaignJobOutcome outcome;
+    std::atomic<bool> finished{false};
+    std::thread runner([&] {
+      outcome = maxpower::run_campaign_job(job, options, job_rng);
+      outcome.worker = cfg.worker_id;
+      finished.store(true, std::memory_order_release);
+    });
+
+    bool revoked = false;
+    auto last_beat = std::chrono::steady_clock::now() - cfg.heartbeat;
+    while (!finished.load(std::memory_order_acquire)) {
+      if (cancelled()) job_cancel.request_stop();
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_beat >= cfg.heartbeat) {
+        last_beat = now;
+        // A dead channel is not fatal mid-job: the engine keeps computing
+        // while we redial once per beat; on success the heartbeat re-adopts
+        // the lease from a restarted coordinator.
+        if (!ch && !cancelled()) dial_once();
+        if (ch) {
+          const auto reply =
+              transact(encode_heartbeat(cfg.worker_id, lease.job));
+          if (reply && reply->kind == MessageKind::kRevoke) {
+            revoked = true;
+            job_cancel.request_stop();
+          }
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    runner.join();
+
+    if (revoked && outcome.status != JobStatus::kDone) {
+      // Someone else owns the job now; our partial run is irrelevant (the
+      // checkpoint already captured it). A *completed* run is still worth
+      // reporting: done results are deterministic and accepted from stale
+      // holders.
+      ++sum.stopped;
+      return;
+    }
+    switch (outcome.status) {
+      case JobStatus::kDone: ++sum.done; break;
+      case JobStatus::kFailed: ++sum.failed; break;
+      default: ++sum.stopped; break;
+    }
+    report_until_acked(outcome);
+  }
+
+  WorkerSummary run() {
+    for (;;) {
+      if (cancelled()) {
+        sum.exit_error = ErrorCode::kCancelled;
+        return sum;
+      }
+      if (!ch && !connect_with_backoff()) {
+        sum.exit_error =
+            cancelled() ? ErrorCode::kCancelled : ErrorCode::kIo;
+        return sum;
+      }
+      const auto reply = transact(encode_request(cfg.worker_id));
+      if (!reply) continue;  // channel dropped: redial on the next pass
+      switch (reply->kind) {
+        case MessageKind::kLease:
+          execute_lease(*reply);
+          break;
+        case MessageKind::kWait: {
+          const auto ms = std::clamp<std::uint64_t>(reply->ms, 10, 2000);
+          util::interruptible_sleep(std::chrono::milliseconds(ms),
+                                    cfg.control);
+          break;
+        }
+        case MessageKind::kDrain:
+          sum.drained = true;
+          return sum;
+        case MessageKind::kError:
+          sum.exit_error = ErrorCode::kBadData;
+          return sum;
+        default:
+          break;  // unexpected but harmless; ask again
+      }
+    }
+  }
+};
+
+}  // namespace
+
+WorkerSummary run_worker(const WorkerConfig& config) {
+  if (config.socket_path.empty() || config.worker_id.empty() ||
+      config.state_dir.empty()) {
+    throw Error(ErrorCode::kPrecondition,
+                "WorkerConfig socket_path/worker_id/state_dir must be set");
+  }
+  ensure_directory(config.state_dir);
+  WorkerLoop loop(config);
+  return loop.run();
+}
+
+}  // namespace mpe::dist

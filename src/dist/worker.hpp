@@ -1,0 +1,72 @@
+// Campaign worker: dials the coordinator, runs leased jobs through the
+// exact same per-job path as the single-process campaign
+// (maxpower::run_campaign_job), and reports results until acked.
+//
+// Crash posture (docs/ROBUSTNESS.md, "Distributed campaigns"):
+//   * kill -9 at any point loses at most checkpoint_every_k hyper-samples
+//     of the in-flight job: the engine checkpoints through the same
+//     CRC-trailed atomic path as a local run, and the next lease holder
+//     resumes the checkpoint bit-identically.
+//   * A vanished coordinator does not kill the worker: the job keeps
+//     running, heartbeats quietly fail, and the worker redials under a
+//     backoff policy — when the (restarted) coordinator answers, the
+//     heartbeat re-adopts the lease and the result lands as if nothing
+//     happened.
+//   * Results are re-sent across reconnects until the coordinator acks
+//     (at-least-once delivery; the coordinator dedupes), so a result can be
+//     delayed but never lost while the worker lives — and if the worker
+//     dies first, the checkpoint is the result, one resume away.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "util/deadline.hpp"
+#include "util/retry.hpp"
+#include "util/status.hpp"
+
+namespace mpe::dist {
+
+struct WorkerConfig {
+  std::string socket_path;  ///< coordinator's Unix-domain socket
+  std::string worker_id;    ///< unique within the fleet; stamped on results
+  std::string state_dir;    ///< shared checkpoint directory (created if absent)
+  unsigned threads = 1;     ///< engine threads per job (result-invariant)
+  std::size_t checkpoint_every_k = 1;
+  /// Lease renewal cadence; must be well under the coordinator's lease
+  /// duration or healthy workers will look dead.
+  std::chrono::milliseconds heartbeat{1000};
+  /// Dial/redial backoff. max_attempts bounds how long a worker survives a
+  /// coordinator that never comes back (consecutive failures reset on any
+  /// successful exchange).
+  util::RetryPolicy connect_retry{
+      .max_attempts = 40,
+      .initial_backoff = std::chrono::milliseconds(50),
+      .multiplier = 2.0,
+      .max_backoff = std::chrono::milliseconds(2000),
+      .jitter = 0.1,
+  };
+  util::RetryPolicy job_retry;  ///< per-job transient retries (engine level)
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+  util::RunControl control;  ///< SIGTERM drain: finish/stop job, report, exit
+};
+
+/// What one worker process did before exiting.
+struct WorkerSummary {
+  std::size_t leases = 0;   ///< leases accepted
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::size_t stopped = 0;  ///< jobs cut short (drain/revoke); lease released
+  bool drained = false;     ///< coordinator said the campaign is over
+  /// kOk on a clean exit; kIo when the coordinator never became reachable;
+  /// kCancelled when the worker's own RunControl brake ended the run.
+  ErrorCode exit_error = ErrorCode::kOk;
+};
+
+/// Runs the worker loop until the coordinator drains it, its RunControl
+/// fires, or the coordinator stays unreachable past connect_retry. Throws
+/// mpe::Error only for unusable configuration.
+WorkerSummary run_worker(const WorkerConfig& config);
+
+}  // namespace mpe::dist

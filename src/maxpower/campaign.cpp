@@ -4,7 +4,6 @@
 
 #include <cerrno>
 #include <cstring>
-#include <fstream>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -14,6 +13,7 @@
 #include "circuit/verilog_io.hpp"
 #include "gen/presets.hpp"
 #include "maxpower/engine.hpp"
+#include "maxpower/ledger.hpp"
 #include "maxpower/stopping.hpp"
 #include "maxpower/tail_fitter.hpp"
 #include "sim/power_eval.hpp"
@@ -25,17 +25,6 @@
 namespace mpe::maxpower {
 
 namespace {
-
-bool valid_job_name(const std::string& name) {
-  if (name.empty() || name.size() > 128) return false;
-  for (char c : name) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
-    if (!ok) return false;
-  }
-  // "." / ".." would escape the state directory.
-  return name != "." && name != "..";
-}
 
 void ensure_directory(const std::string& path) {
   if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return;
@@ -133,81 +122,70 @@ ErrorCode classify_result(const EstimationResult& r) {
   }
 }
 
-/// The ledger: job name -> last recorded status. Malformed lines (a torn
-/// append after a crash, a hand edit) are skipped, not fatal: an unreadable
-/// record can never mark a job done, so the affected job simply re-runs —
-/// from its checkpoint, which is the authoritative working state.
-std::map<std::string, std::string> read_ledger(const std::string& path) {
-  std::map<std::string, std::string> last;
-  if (!util::file_exists(path)) return last;
-  std::istringstream in(util::read_file(path));
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    util::JsonValue v;
-    try {
-      v = util::parse_json(line);
-    } catch (const Error&) {
-      continue;
-    }
-    const util::JsonValue* job = v.find("job");
-    const util::JsonValue* status = v.find("status");
-    if (job == nullptr || !job->is_string() || status == nullptr ||
-        !status->is_string()) {
-      continue;  // footer or foreign line; not a job record
-    }
-    last[job->as_string()] = status->as_string();
+CampaignJob parse_campaign_job_object(const util::JsonValue& v,
+                                      std::size_t line_no) {
+  static constexpr std::string_view kKnown[] = {
+      "job", "circuit", "bench", "verilog", "seed", "epsilon",
+      "confidence", "tprob", "activity", "max_hyper", "fitter", "stop"};
+  if (!v.is_object()) {
+    throw Error(ErrorCode::kParse, "manifest line is not a JSON object",
+                ErrorContext{}.kv("line", line_no).str());
   }
-  return last;
-}
-
-void append_report_line(const std::string& path, const std::string& line) {
-  // Heal a torn previous append first: if the file does not end in a
-  // newline (the process died mid-write), terminate the partial line so
-  // this record does not get fused onto it.
-  bool needs_newline = false;
-  if (util::file_exists(path)) {
-    std::ifstream probe(path, std::ios::binary | std::ios::ate);
-    if (probe && probe.tellg() > 0) {
-      probe.seekg(-1, std::ios::end);
-      char last = '\n';
-      probe.get(last);
-      needs_newline = last != '\n';
+  for (const auto& key : v.keys()) {
+    bool known = false;
+    for (auto k : kKnown) known = known || key == k;
+    if (!known) {
+      throw Error(ErrorCode::kBadData, "unknown campaign manifest field",
+                  ErrorContext{}.kv("field", key).kv("line", line_no).str());
     }
   }
-  std::ofstream out(path, std::ios::app);
-  if (!out) {
-    throw Error(ErrorCode::kIo, "cannot open campaign report for append",
-                ErrorContext{}.kv("path", path).str());
+  CampaignJob job;
+  job.name = string_field(v, "job", line_no);
+  if (!valid_campaign_job_name(job.name)) {
+    throw Error(ErrorCode::kBadData,
+                "manifest job name missing or invalid "
+                "(want [A-Za-z0-9._-]{1,128})",
+                ErrorContext{}.kv("line", line_no).kv("job", job.name).str());
   }
-  if (needs_newline) out << '\n';
-  out << line << '\n';
-  out.flush();
-  if (!out.good()) {
-    throw Error(ErrorCode::kIo, "campaign report append failed",
-                ErrorContext{}.kv("path", path).str());
+  job.circuit = string_field(v, "circuit", line_no);
+  job.bench = string_field(v, "bench", line_no);
+  job.verilog = string_field(v, "verilog", line_no);
+  job.seed = static_cast<std::uint64_t>(number_field(v, "seed", 1.0, line_no));
+  job.epsilon = number_field(v, "epsilon", 0.05, line_no);
+  job.confidence = number_field(v, "confidence", 0.90, line_no);
+  job.tprob = number_field(v, "tprob", 0.5, line_no);
+  job.activity = number_field(v, "activity", -1.0, line_no);
+  job.max_hyper_samples = static_cast<std::size_t>(
+      number_field(v, "max_hyper", 500.0, line_no));
+  job.fitter = string_field(v, "fitter", line_no);
+  if (!job.fitter.empty() && !tail_fitter_kind_from_name(job.fitter)) {
+    throw Error(ErrorCode::kBadData,
+                "unknown fitter (want mle | pwm | gev)",
+                ErrorContext{}.kv("fitter", job.fitter)
+                    .kv("line", line_no).str());
   }
-}
-
-std::string job_report_line(const CampaignJobOutcome& outcome) {
-  util::JsonFields f;
-  f.add("schema", "mpe.campaign");
-  f.add("v", std::uint64_t{1});
-  f.add("job", outcome.name);
-  f.add("status", to_string(outcome.status));
-  f.add("attempts", static_cast<std::uint64_t>(outcome.attempts));
-  if (outcome.error != ErrorCode::kOk) f.add("error", to_string(outcome.error));
-  if (outcome.status == JobStatus::kDone) {
-    f.add("estimate", outcome.result.estimate);
-    f.add("hyper_samples",
-          static_cast<std::uint64_t>(outcome.result.hyper_samples));
-    f.add("units", static_cast<std::uint64_t>(outcome.result.units_used));
-    f.add("converged", outcome.result.converged);
+  job.stop = string_field(v, "stop", line_no);
+  if (!job.stop.empty() && !interval_kind_from_name(job.stop)) {
+    throw Error(ErrorCode::kBadData,
+                "unknown stopping rule (want t | bootstrap)",
+                ErrorContext{}.kv("stop", job.stop)
+                    .kv("line", line_no).str());
   }
-  return f.object();
+  return job;
 }
 
 }  // namespace
+
+bool valid_campaign_job_name(const std::string& name) {
+  if (name.empty() || name.size() > 128) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  // "." / ".." would escape the state directory.
+  return name != "." && name != "..";
+}
 
 std::string_view to_string(JobStatus status) {
   switch (status) {
@@ -219,10 +197,43 @@ std::string_view to_string(JobStatus status) {
   return "failed";
 }
 
+std::optional<JobStatus> job_status_from_name(std::string_view name) {
+  if (name == "done") return JobStatus::kDone;
+  if (name == "failed") return JobStatus::kFailed;
+  if (name == "stopped") return JobStatus::kStopped;
+  if (name == "skipped") return JobStatus::kSkipped;
+  return std::nullopt;
+}
+
+std::string campaign_job_to_json(const CampaignJob& job) {
+  util::JsonFields f;
+  f.add("job", job.name);
+  if (!job.circuit.empty()) f.add("circuit", job.circuit);
+  if (!job.bench.empty()) f.add("bench", job.bench);
+  if (!job.verilog.empty()) f.add("verilog", job.verilog);
+  f.add("seed", job.seed);
+  f.add("epsilon", job.epsilon);
+  f.add("confidence", job.confidence);
+  f.add("tprob", job.tprob);
+  if (job.activity >= 0.0) f.add("activity", job.activity);
+  f.add("max_hyper", static_cast<std::uint64_t>(job.max_hyper_samples));
+  if (!job.fitter.empty()) f.add("fitter", job.fitter);
+  if (!job.stop.empty()) f.add("stop", job.stop);
+  return f.object();
+}
+
+CampaignJob parse_campaign_job_line(std::string_view json_line) {
+  util::JsonValue v;
+  try {
+    v = util::parse_json(json_line);
+  } catch (const Error& e) {
+    throw Error(ErrorCode::kParse, "malformed campaign job line",
+                ErrorContext{}.kv("detail", e.message()).str());
+  }
+  return parse_campaign_job_object(v, 1);
+}
+
 std::vector<CampaignJob> parse_campaign_manifest(std::string_view text) {
-  static constexpr std::string_view kKnown[] = {
-      "job", "circuit", "bench", "verilog", "seed", "epsilon",
-      "confidence", "tprob", "activity", "max_hyper", "fitter", "stop"};
   std::vector<CampaignJob> jobs;
   std::map<std::string, bool> seen;
   std::istringstream in{std::string(text)};
@@ -240,56 +251,12 @@ std::vector<CampaignJob> parse_campaign_manifest(std::string_view text) {
                   ErrorContext{}.kv("line", line_no)
                       .kv("detail", e.message()).str());
     }
-    if (!v.is_object()) {
-      throw Error(ErrorCode::kParse, "manifest line is not a JSON object",
-                  ErrorContext{}.kv("line", line_no).str());
-    }
-    for (const auto& key : v.keys()) {
-      bool known = false;
-      for (auto k : kKnown) known = known || key == k;
-      if (!known) {
-        throw Error(ErrorCode::kBadData, "unknown campaign manifest field",
-                    ErrorContext{}.kv("field", key).kv("line", line_no).str());
-      }
-    }
-    CampaignJob job;
-    job.name = string_field(v, "job", line_no);
-    if (!valid_job_name(job.name)) {
-      throw Error(ErrorCode::kBadData,
-                  "manifest job name missing or invalid "
-                  "(want [A-Za-z0-9._-]{1,128})",
-                  ErrorContext{}.kv("line", line_no).kv("job", job.name).str());
-    }
+    CampaignJob job = parse_campaign_job_object(v, line_no);
     if (seen[job.name]) {
       throw Error(ErrorCode::kBadData, "duplicate job name in manifest",
                   ErrorContext{}.kv("job", job.name).kv("line", line_no).str());
     }
     seen[job.name] = true;
-    job.circuit = string_field(v, "circuit", line_no);
-    job.bench = string_field(v, "bench", line_no);
-    job.verilog = string_field(v, "verilog", line_no);
-    job.seed = static_cast<std::uint64_t>(
-        number_field(v, "seed", 1.0, line_no));
-    job.epsilon = number_field(v, "epsilon", 0.05, line_no);
-    job.confidence = number_field(v, "confidence", 0.90, line_no);
-    job.tprob = number_field(v, "tprob", 0.5, line_no);
-    job.activity = number_field(v, "activity", -1.0, line_no);
-    job.max_hyper_samples = static_cast<std::size_t>(
-        number_field(v, "max_hyper", 500.0, line_no));
-    job.fitter = string_field(v, "fitter", line_no);
-    if (!job.fitter.empty() && !tail_fitter_kind_from_name(job.fitter)) {
-      throw Error(ErrorCode::kBadData,
-                  "unknown fitter (want mle | pwm | gev)",
-                  ErrorContext{}.kv("fitter", job.fitter)
-                      .kv("line", line_no).str());
-    }
-    job.stop = string_field(v, "stop", line_no);
-    if (!job.stop.empty() && !interval_kind_from_name(job.stop)) {
-      throw Error(ErrorCode::kBadData,
-                  "unknown stopping rule (want t | bootstrap)",
-                  ErrorContext{}.kv("stop", job.stop)
-                      .kv("line", line_no).str());
-    }
     jobs.push_back(std::move(job));
   }
   return jobs;
@@ -297,6 +264,109 @@ std::vector<CampaignJob> parse_campaign_manifest(std::string_view text) {
 
 std::vector<CampaignJob> load_campaign_manifest(const std::string& path) {
   return parse_campaign_manifest(util::read_file(path));
+}
+
+std::string campaign_record_line(const CampaignJobOutcome& outcome) {
+  util::JsonFields f;
+  f.add("schema", "mpe.campaign");
+  f.add("v", std::uint64_t{1});
+  f.add("job", outcome.name);
+  f.add("status", to_string(outcome.status));
+  f.add("attempts", static_cast<std::uint64_t>(outcome.attempts));
+  if (!outcome.worker.empty()) f.add("worker", outcome.worker);
+  if (outcome.error != ErrorCode::kOk) f.add("error", to_string(outcome.error));
+  if (outcome.status == JobStatus::kDone) {
+    f.add("estimate", outcome.result.estimate);
+    f.add("hyper_samples",
+          static_cast<std::uint64_t>(outcome.result.hyper_samples));
+    f.add("units", static_cast<std::uint64_t>(outcome.result.units_used));
+    f.add("converged", outcome.result.converged);
+  }
+  return seal_ledger_line(f.object());
+}
+
+CampaignJobOutcome run_campaign_job(CampaignJob& job,
+                                    const JobRunOptions& options,
+                                    Rng& jitter_rng) {
+  CampaignJobOutcome outcome;
+  outcome.name = job.name;
+
+  EstimatorOptions est;
+  est.epsilon = job.epsilon;
+  est.confidence = job.confidence;
+  est.max_hyper_samples = job.max_hyper_samples;
+  est.control = options.control;
+  // The tighter of the campaign deadline and the per-job budget wins; the
+  // cancellation token is shared either way.
+  if (!options.job_deadline.unlimited() &&
+      options.job_deadline.remaining() < est.control.deadline.remaining()) {
+    est.control.deadline = options.job_deadline;
+  }
+  est.checkpoint_path = options.state_dir + "/" + job.name + ".ckpt";
+  est.checkpoint_every_k = options.checkpoint_every_k;
+  if (!job.stop.empty()) {
+    est.interval = *interval_kind_from_name(job.stop);
+  }
+  EngineConfig cfg;
+  if (!job.fitter.empty()) {
+    // "mle" stays on the default (null) fitter so an explicit request for
+    // the default does not perturb the checkpoint fingerprint.
+    const TailFitterKind kind = *tail_fitter_kind_from_name(job.fitter);
+    if (kind != TailFitterKind::kWeibullMle) cfg.fitter = make_tail_fitter(kind);
+  }
+  cfg.options = est;
+  const Engine engine(cfg);
+  ParallelOptions par;
+  par.threads = options.threads;
+
+  // Build once per job: retry attempts share the population, so stateful
+  // decorators (fault-injection counters) advance across attempts and a
+  // transient fault does not re-fire on the retry.
+  JobRuntime runtime;
+  try {
+    runtime = build_runtime(job);
+  } catch (const Error& e) {
+    outcome.status = JobStatus::kFailed;
+    outcome.error = e.code();
+    return outcome;
+  } catch (const std::exception&) {
+    outcome.status = JobStatus::kFailed;
+    outcome.error = ErrorCode::kInternal;
+    return outcome;
+  }
+
+  EstimationResult best;
+  const auto attempt = [&]() -> ErrorCode {
+    try {
+      best = engine.run(*runtime.population, job.seed, par);
+      return classify_result(best);
+    } catch (const Error& e) {
+      return e.code();
+    } catch (const std::exception&) {
+      return ErrorCode::kInternal;
+    }
+  };
+  const util::RetryOutcome retried = util::retry_with_backoff(
+      options.retry, options.control, jitter_rng, attempt);
+
+  outcome.attempts = retried.attempts;
+  const util::StopCause after = options.control.should_stop();
+  if (retried.ok) {
+    outcome.status = JobStatus::kDone;
+    outcome.result = std::move(best);
+  } else if (retried.stopped != util::StopCause::kNone ||
+             after != util::StopCause::kNone ||
+             retried.last_error == ErrorCode::kCancelled ||
+             retried.last_error == ErrorCode::kDeadline) {
+    // The job was interrupted, not broken: its checkpoint stays on disk
+    // and the next invocation resumes it.
+    outcome.status = JobStatus::kStopped;
+    outcome.error = retried.last_error;
+  } else {
+    outcome.status = JobStatus::kFailed;
+    outcome.error = retried.last_error;
+  }
+  return outcome;
 }
 
 CampaignResult run_campaign(std::vector<CampaignJob>& jobs,
@@ -309,20 +379,33 @@ CampaignResult run_campaign(std::vector<CampaignJob>& jobs,
   const std::string report_path = options.report_path.empty()
                                       ? options.state_dir + "/campaign.jsonl"
                                       : options.report_path;
-  const auto ledger = read_ledger(report_path);
+  const LedgerReadResult ledger_read = read_ledger_file(report_path);
+  // Corrupt records are set aside, never trusted: an unreadable record can
+  // never mark a job done, so the affected job re-runs from its checkpoint
+  // and the ledger self-heals with a fresh sealed record.
+  quarantine_ledger_lines(report_path, ledger_read.corrupt);
+  const auto ledger = ledger_read.final_status();
 
   CampaignResult result;
+  result.quarantined = ledger_read.corrupt.size();
   Rng jitter_rng(options.jitter_seed);
+
+  JobRunOptions job_options;
+  job_options.state_dir = options.state_dir;
+  job_options.retry = options.retry;
+  job_options.control = options.control;
+  job_options.threads = options.threads;
+  job_options.checkpoint_every_k = options.checkpoint_every_k;
+
   for (auto& job : jobs) {
-    if (!valid_job_name(job.name)) {
+    if (!valid_campaign_job_name(job.name)) {
       throw Error(ErrorCode::kBadData, "invalid campaign job name",
                   ErrorContext{}.kv("job", job.name).str());
     }
-    CampaignJobOutcome outcome;
-    outcome.name = job.name;
-
     if (const auto it = ledger.find(job.name);
         it != ledger.end() && it->second == "done") {
+      CampaignJobOutcome outcome;
+      outcome.name = job.name;
       outcome.status = JobStatus::kSkipped;
       ++result.skipped;
       result.jobs.push_back(std::move(outcome));
@@ -335,84 +418,19 @@ CampaignResult run_campaign(std::vector<CampaignJob>& jobs,
       break;
     }
 
-    EstimatorOptions est;
-    est.epsilon = job.epsilon;
-    est.confidence = job.confidence;
-    est.max_hyper_samples = job.max_hyper_samples;
-    est.control = options.control;
-    est.checkpoint_path = options.state_dir + "/" + job.name + ".ckpt";
-    est.checkpoint_every_k = options.checkpoint_every_k;
-    if (!job.stop.empty()) {
-      est.interval = *interval_kind_from_name(job.stop);
-    }
-    EngineConfig cfg;
-    if (!job.fitter.empty()) {
-      // "mle" stays on the default (null) fitter so an explicit request for
-      // the default does not perturb the checkpoint fingerprint.
-      const TailFitterKind kind = *tail_fitter_kind_from_name(job.fitter);
-      if (kind != TailFitterKind::kWeibullMle) cfg.fitter = make_tail_fitter(kind);
-    }
-    cfg.options = est;
-    const Engine engine(cfg);
-    ParallelOptions par;
-    par.threads = options.threads;
-
-    // Build once per job: retry attempts share the population, so stateful
-    // decorators (fault-injection counters) advance across attempts and a
-    // transient fault does not re-fire on the retry.
-    JobRuntime runtime;
-    try {
-      runtime = build_runtime(job);
-    } catch (const Error& e) {
-      outcome.status = JobStatus::kFailed;
-      outcome.error = e.code();
-      ++result.failed;
-      append_report_line(report_path, job_report_line(outcome));
-      result.jobs.push_back(std::move(outcome));
-      continue;
-    }
-
-    EstimationResult best;
-    const auto attempt = [&]() -> ErrorCode {
-      try {
-        best = engine.run(*runtime.population, job.seed, par);
-        return classify_result(best);
-      } catch (const Error& e) {
-        return e.code();
-      } catch (const std::exception&) {
-        return ErrorCode::kInternal;
-      }
-    };
-    const util::RetryOutcome retried = util::retry_with_backoff(
-        options.retry, options.control, jitter_rng, attempt);
-
-    outcome.attempts = retried.attempts;
-    const util::StopCause after = options.control.should_stop();
-    if (retried.ok) {
-      outcome.status = JobStatus::kDone;
-      outcome.result = std::move(best);
-      ++result.done;
-    } else if (retried.stopped != util::StopCause::kNone ||
-               after != util::StopCause::kNone ||
-               retried.last_error == ErrorCode::kCancelled ||
-               retried.last_error == ErrorCode::kDeadline) {
-      // The job was interrupted, not broken: its checkpoint stays on disk
-      // and the next invocation resumes it.
-      outcome.status = JobStatus::kStopped;
-      outcome.error = retried.last_error;
-    } else {
-      outcome.status = JobStatus::kFailed;
-      outcome.error = retried.last_error;
-      ++result.failed;
-    }
-    append_report_line(report_path, job_report_line(outcome));
+    CampaignJobOutcome outcome = run_campaign_job(job, job_options, jitter_rng);
+    if (outcome.status == JobStatus::kDone) ++result.done;
+    if (outcome.status == JobStatus::kFailed) ++result.failed;
+    append_ledger_line(report_path, campaign_record_line(outcome));
     const bool was_stopped = outcome.status == JobStatus::kStopped;
+    const ErrorCode stop_error = outcome.error;
     result.jobs.push_back(std::move(outcome));
     if (was_stopped) {
+      const util::StopCause after = options.control.should_stop();
       result.stopped = after != util::StopCause::kNone
                            ? after
-                           : (retried.stopped != util::StopCause::kNone
-                                  ? retried.stopped
+                           : (stop_error == ErrorCode::kDeadline
+                                  ? util::StopCause::kDeadline
                                   : util::StopCause::kCancelled);
       break;
     }

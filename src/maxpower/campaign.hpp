@@ -19,7 +19,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "maxpower/estimator.hpp"
@@ -85,6 +87,7 @@ enum class JobStatus : std::uint8_t {
 };
 
 std::string_view to_string(JobStatus status);
+std::optional<JobStatus> job_status_from_name(std::string_view name);
 
 /// Outcome of one job.
 struct CampaignJobOutcome {
@@ -93,6 +96,7 @@ struct CampaignJobOutcome {
   std::size_t attempts = 0;            ///< estimation attempts this invocation
   ErrorCode error = ErrorCode::kOk;    ///< last failure code (kFailed/kStopped)
   EstimationResult result;             ///< valid when status == kDone
+  std::string worker;                  ///< executing worker id (distributed)
 };
 
 /// Outcome of one campaign invocation.
@@ -101,6 +105,7 @@ struct CampaignResult {
   std::size_t done = 0;     ///< jobs completed this invocation
   std::size_t failed = 0;
   std::size_t skipped = 0;  ///< jobs skipped via the ledger
+  std::size_t quarantined = 0;  ///< corrupt ledger records set aside
   util::StopCause stopped = util::StopCause::kNone;  ///< set when cut short
 };
 
@@ -114,11 +119,53 @@ struct CampaignResult {
 std::vector<CampaignJob> load_campaign_manifest(const std::string& path);
 std::vector<CampaignJob> parse_campaign_manifest(std::string_view text);
 
+/// Serializes one job back to its manifest JSON line (inverse of
+/// parse_campaign_manifest for a single job; the `population` test hook is
+/// not serialized). Used by the distributed coordinator to ship a job spec
+/// inside a lease.
+std::string campaign_job_to_json(const CampaignJob& job);
+
+/// Parses a single manifest-format JSON object (one job). Same validation
+/// as parse_campaign_manifest. Throws mpe::Error(kParse/kBadData).
+CampaignJob parse_campaign_job_line(std::string_view json_line);
+
+/// True when `name` is usable as a job id (ledger key + checkpoint
+/// filename): [A-Za-z0-9._-]{1,128}, not "." or "..".
+bool valid_campaign_job_name(const std::string& name);
+
+/// Renders the sealed "mpe.campaign" ledger record for one outcome (see
+/// maxpower/ledger.hpp for the seal). Shared by run_campaign and the
+/// distributed coordinator so both write byte-compatible ledgers.
+std::string campaign_record_line(const CampaignJobOutcome& outcome);
+
+/// How one job is executed (the per-job slice of CampaignOptions). Shared
+/// by the single-process campaign loop and the distributed worker so a job
+/// runs under the exact same engine configuration either way — that shared
+/// construction is what makes distributed results bit-identical.
+struct JobRunOptions {
+  std::string state_dir;     ///< required: per-job checkpoints live here
+  util::RetryPolicy retry;
+  util::RunControl control;  ///< campaign-/worker-level brakes
+  util::Deadline job_deadline;  ///< per-job budget; combined with control
+  unsigned threads = 1;
+  std::size_t checkpoint_every_k = 1;
+};
+
+/// Runs one job to a terminal outcome (never throws; failures land in the
+/// outcome). Retries transient failures under options.retry using
+/// `jitter_rng` for backoff jitter. The job's checkpoint path is
+/// <state_dir>/<name>.ckpt; a pre-existing checkpoint is resumed.
+CampaignJobOutcome run_campaign_job(CampaignJob& job,
+                                    const JobRunOptions& options,
+                                    Rng& jitter_rng);
+
 /// Runs every job not already recorded as done in the report ledger.
-/// Appends one JSONL line per job processed this invocation (schema
-/// "mpe.campaign" v1; see docs/ROBUSTNESS.md). Throws only for campaign-
-/// level failures (unusable state_dir, unreadable ledger); per-job failures
-/// are reported in the result, never thrown.
+/// Appends one sealed JSONL line per job processed this invocation (schema
+/// "mpe.campaign" v1 + CRC seal; see docs/ROBUSTNESS.md). Corrupt ledger
+/// records are quarantined to <report>.quarantine and the affected jobs
+/// re-run from their checkpoints. Throws only for campaign-level failures
+/// (unusable state_dir, unreadable ledger); per-job failures are reported
+/// in the result, never thrown.
 CampaignResult run_campaign(std::vector<CampaignJob>& jobs,
                             const CampaignOptions& options);
 

@@ -1,0 +1,254 @@
+#include "maxpower/ledger.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/atomic_file.hpp"
+#include "util/crc32.hpp"
+#include "util/jsonl.hpp"
+
+namespace mpe::maxpower {
+
+namespace {
+
+// A seal is the exact byte suffix `,"crc":"xxxxxxxx"}` — 8 hex digits of
+// the CRC-32 of everything before the `,`.
+constexpr std::string_view kSealPrefix = ",\"crc\":\"";
+constexpr std::size_t kSealLen = kSealPrefix.size() + 8 + 2;  // + hex + `"}`
+
+std::string crc_hex(std::uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%08x", crc);
+  return std::string(buf, 8);
+}
+
+bool is_hex(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+}
+
+}  // namespace
+
+std::string seal_ledger_line(std::string_view line) {
+  if (line.size() < 3 || line.front() != '{' || line.back() != '}') {
+    throw Error(ErrorCode::kPrecondition,
+                "seal_ledger_line wants a rendered {...} record");
+  }
+  const std::string_view body = line.substr(0, line.size() - 1);
+  std::string out(body);
+  out += kSealPrefix;
+  out += crc_hex(util::crc32(body));
+  out += "\"}";
+  return out;
+}
+
+bool ledger_line_sealed(std::string_view line) {
+  if (line.size() < kSealLen + 2 || line.back() != '}') return false;
+  const std::size_t seal_at = line.size() - kSealLen;
+  if (line.substr(seal_at, kSealPrefix.size()) != kSealPrefix) return false;
+  const std::string_view hex = line.substr(seal_at + kSealPrefix.size(), 8);
+  for (char c : hex) {
+    if (!is_hex(c)) return false;
+  }
+  return line[line.size() - 2] == '"';
+}
+
+bool verify_ledger_line(std::string_view line) {
+  if (!ledger_line_sealed(line)) return false;
+  const std::size_t seal_at = line.size() - kSealLen;
+  const std::string_view body = line.substr(0, seal_at);
+  const std::string_view hex = line.substr(seal_at + kSealPrefix.size(), 8);
+  return crc_hex(util::crc32(body)) == hex;
+}
+
+std::map<std::string, std::string> LedgerReadResult::final_status() const {
+  std::map<std::string, std::string> last;
+  for (const auto& r : records) last[r.job] = r.status;
+  return last;
+}
+
+LedgerReadResult read_ledger_text(std::string_view text) {
+  LedgerReadResult out;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const bool sealed = ledger_line_sealed(line);
+    if (sealed && !verify_ledger_line(line)) {
+      out.corrupt.push_back(line);  // bit rot inside a sealed record
+      continue;
+    }
+    util::JsonValue v;
+    try {
+      v = util::parse_json(line);
+    } catch (const Error&) {
+      out.corrupt.push_back(line);  // torn append or hand-mangled line
+      continue;
+    }
+    const util::JsonValue* job = v.find("job");
+    const util::JsonValue* status = v.find("status");
+    if (!v.is_object() || job == nullptr || !job->is_string() ||
+        status == nullptr || !status->is_string()) {
+      ++out.ignored;  // footer or foreign schema; not a job record
+      continue;
+    }
+    LedgerRecord rec;
+    rec.job = job->as_string();
+    rec.status = status->as_string();
+    rec.line = line;
+    rec.sealed = sealed;
+    if (!sealed) ++out.legacy;
+    if (const auto* e = v.find("estimate"); e != nullptr && e->is_number()) {
+      rec.estimate = e->as_number();
+    }
+    if (const auto* h = v.find("hyper_samples");
+        h != nullptr && h->is_number()) {
+      rec.hyper_samples = static_cast<std::uint64_t>(h->as_number());
+    }
+    if (const auto* u = v.find("units"); u != nullptr && u->is_number()) {
+      rec.units = static_cast<std::uint64_t>(u->as_number());
+    }
+    if (const auto* c = v.find("converged"); c != nullptr && c->is_bool()) {
+      rec.converged = c->as_bool();
+    }
+    if (const auto* e = v.find("error"); e != nullptr && e->is_string()) {
+      rec.error = e->as_string();
+    }
+    out.records.push_back(std::move(rec));
+  }
+  return out;
+}
+
+LedgerReadResult read_ledger_file(const std::string& path) {
+  if (!util::file_exists(path)) return {};
+  return read_ledger_text(util::read_file(path));
+}
+
+void append_ledger_line(const std::string& path, const std::string& line) {
+  // Heal a torn previous append first: if the file does not end in a
+  // newline (the process died mid-write), terminate the partial line so
+  // this record does not get fused onto it.
+  bool needs_newline = false;
+  if (util::file_exists(path)) {
+    std::ifstream probe(path, std::ios::binary | std::ios::ate);
+    if (probe && probe.tellg() > 0) {
+      probe.seekg(-1, std::ios::end);
+      char last = '\n';
+      probe.get(last);
+      needs_newline = last != '\n';
+    }
+  }
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    throw Error(ErrorCode::kIo, "cannot open campaign ledger for append",
+                ErrorContext{}.kv("path", path).str());
+  }
+  if (needs_newline) out << '\n';
+  out << line << '\n';
+  out.flush();
+  if (!out.good()) {
+    throw Error(ErrorCode::kIo, "campaign ledger append failed",
+                ErrorContext{}.kv("path", path).str());
+  }
+}
+
+std::size_t quarantine_ledger_lines(const std::string& ledger_path,
+                                    const std::vector<std::string>& lines) {
+  if (lines.empty()) return 0;
+  std::ofstream out(ledger_path + ".quarantine", std::ios::app);
+  if (!out) return 0;  // best effort: losing the quarantine copy is not fatal
+  std::size_t written = 0;
+  for (const auto& line : lines) {
+    out << line << '\n';
+    if (out.good()) ++written;
+  }
+  return written;
+}
+
+LedgerAudit audit_ledger(const LedgerReadResult& ledger) {
+  LedgerAudit audit;
+  struct JobTrail {
+    bool has_done = false;
+    LedgerRecord first_done;
+    std::string last_status;
+  };
+  std::map<std::string, JobTrail> trails;
+  for (const auto& rec : ledger.records) {
+    JobTrail& trail = trails[rec.job];
+    if (rec.status == "done") {
+      if (!trail.has_done) {
+        trail.has_done = true;
+        trail.first_done = rec;
+      } else {
+        // "done" payloads are deterministic: any divergence means a job's
+        // post-checkpoint tail ran twice with different state — the
+        // exactly-once property the ledger exists to guarantee.
+        const LedgerRecord& a = trail.first_done;
+        if (a.estimate != rec.estimate ||
+            a.hyper_samples != rec.hyper_samples || a.units != rec.units ||
+            a.converged != rec.converged) {
+          audit.violations.push_back(
+              "divergent done records for job '" + rec.job + "'");
+        } else {
+          ++audit.duplicate_done;
+        }
+      }
+    } else if (trail.has_done) {
+      audit.violations.push_back("job '" + rec.job + "' regressed from done"
+                                 " to '" + rec.status + "'");
+    }
+    trail.last_status = rec.status;
+  }
+  for (const auto& [job, trail] : trails) {
+    (void)job;
+    if (trail.has_done) {
+      ++audit.done_jobs;
+    } else if (trail.last_status == "failed") {
+      ++audit.failed_jobs;
+    }
+  }
+  return audit;
+}
+
+std::string merge_ledger(const LedgerReadResult& ledger) {
+  struct JobFinal {
+    bool has_done = false;
+    LedgerRecord done;
+    LedgerRecord last;
+  };
+  std::map<std::string, JobFinal> jobs;  // sorted by job name
+  for (const auto& rec : ledger.records) {
+    JobFinal& fin = jobs[rec.job];
+    if (rec.status == "done" && !fin.has_done) {
+      fin.has_done = true;
+      fin.done = rec;
+    }
+    fin.last = rec;
+  }
+  std::string out;
+  for (const auto& [job, fin] : jobs) {
+    util::JsonFields f;
+    f.add("schema", "mpe.campaign.merged");
+    f.add("v", std::uint64_t{1});
+    f.add("job", job);
+    if (fin.has_done) {
+      f.add("status", "done");
+      f.add("estimate", fin.done.estimate);
+      f.add("hyper_samples", fin.done.hyper_samples);
+      f.add("units", fin.done.units);
+      f.add("converged", fin.done.converged);
+    } else if (fin.last.status == "failed") {
+      f.add("status", "failed");
+      if (!fin.last.error.empty()) f.add("error", fin.last.error);
+    } else {
+      continue;  // still owed work (stopped / in-flight): not terminal
+    }
+    out += f.object();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mpe::maxpower

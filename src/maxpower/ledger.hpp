@@ -1,0 +1,121 @@
+// The campaign ledger: an append-only JSONL file of job outcome records
+// ("mpe.campaign" schema) that is the durable source of truth for which
+// jobs of a campaign are done, failed, or still owed work. This module owns
+// the record-level integrity and merge semantics shared by the
+// single-process runner (maxpower/campaign) and the distributed
+// coordinator (dist/coordinator):
+//
+//   * Sealing — every record appended by this library carries a trailing
+//     "crc" field: the CRC-32 (util/crc32) of the record's bytes up to that
+//     field. A flipped bit *anywhere* in the file is detected, not just a
+//     torn final line. Legacy records without the field still load (they
+//     predate the seal), but cannot be distinguished from tampering, so
+//     verified and legacy records are reported separately.
+//   * Quarantine — corrupt lines (unparseable, or failing their CRC) are
+//     returned to the caller instead of aborting the read. A corrupt record
+//     can never mark a job done, so the affected job simply re-runs — from
+//     its checkpoint, which is the authoritative working state — and the
+//     ledger self-heals with a fresh record. Callers append quarantined
+//     lines to a side file for the operator.
+//   * Exactly-once audit — "done" is absorbing and its payload is
+//     deterministic (the engine is bit-identical across thread counts,
+//     resumes, and hosts), so any two "done" records for one job must agree
+//     byte-for-byte on the result fields. audit_ledger() verifies that, and
+//     flags regressions (a job failing *after* it was done).
+//   * Merge — merge_ledger() collapses the ledger to one canonical line per
+//     job, sorted by job name, with only the deterministic result fields.
+//     A distributed campaign and a single-process run of the same manifest
+//     produce byte-identical merged output (the chaos harness asserts it).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace mpe::maxpower {
+
+/// Appends the CRC-32 seal to a rendered one-line JSON record. `line` must
+/// be a complete `{...}` object with at least one field and no "crc" field
+/// yet. The checksum covers every byte before the inserted `,"crc"` — i.e.
+/// the original line minus its closing brace.
+std::string seal_ledger_line(std::string_view line);
+
+/// True when `line` ends in a seal (`,"crc":"xxxxxxxx"}`).
+bool ledger_line_sealed(std::string_view line);
+
+/// True when `line` is sealed and the seal matches its bytes.
+bool verify_ledger_line(std::string_view line);
+
+/// One job record read back from a ledger.
+struct LedgerRecord {
+  std::string job;
+  std::string status;     ///< "done" | "failed" | "stopped" | ...
+  std::string line;       ///< the raw line as stored (seal included)
+  bool sealed = false;    ///< carried a CRC field (and it verified)
+  // Result payload (valid when status == "done").
+  double estimate = 0.0;
+  std::uint64_t hyper_samples = 0;
+  std::uint64_t units = 0;
+  bool converged = false;
+  std::string error;      ///< failure code name, empty when none
+};
+
+/// Everything a ledger read produces. `records` preserves file order;
+/// `corrupt` holds quarantined lines (bad JSON, failed CRC) in file order;
+/// `ignored` counts well-formed lines that are not job records (foreign
+/// schemas, footers).
+struct LedgerReadResult {
+  std::vector<LedgerRecord> records;
+  std::vector<std::string> corrupt;
+  std::size_t ignored = 0;
+  std::size_t legacy = 0;  ///< accepted records without a seal
+
+  /// Last recorded status per job (what the campaign skip logic keys on).
+  std::map<std::string, std::string> final_status() const;
+};
+
+/// Parses ledger text. Never throws on content: every line is either a
+/// record, quarantined, or ignored.
+LedgerReadResult read_ledger_text(std::string_view text);
+
+/// Reads and parses a ledger file. A missing file is an empty ledger;
+/// an unreadable one throws mpe::Error(kIo).
+LedgerReadResult read_ledger_file(const std::string& path);
+
+/// Appends `line` (already sealed or not — the caller chooses) to the
+/// ledger at `path`, healing a torn final line first so a record is never
+/// fused onto a partial one. Throws mpe::Error(kIo) on failure.
+void append_ledger_line(const std::string& path, const std::string& line);
+
+/// Appends quarantined lines to `<ledger>.quarantine` (best effort: a
+/// failure to quarantine must not fail the campaign). Returns the number of
+/// lines written.
+std::size_t quarantine_ledger_lines(const std::string& ledger_path,
+                                    const std::vector<std::string>& lines);
+
+/// Exactly-once audit findings.
+struct LedgerAudit {
+  /// Human-readable violations; empty means the ledger is consistent.
+  /// Checked: duplicate "done" records for one job must carry identical
+  /// result payloads, and no job may regress from "done" to another status.
+  std::vector<std::string> violations;
+  std::size_t done_jobs = 0;
+  std::size_t failed_jobs = 0;    ///< final status "failed"
+  std::size_t duplicate_done = 0; ///< benign identical re-appends deduped
+  bool ok() const { return violations.empty(); }
+};
+
+LedgerAudit audit_ledger(const LedgerReadResult& ledger);
+
+/// Renders the canonical merged result set: one line per job that reached a
+/// terminal state, sorted by job name, schema "mpe.campaign.merged" v1 with
+/// only deterministic fields (job, status, and for done jobs the result
+/// payload; for failed jobs the error code). Byte-identical across any
+/// execution schedule of the same manifest.
+std::string merge_ledger(const LedgerReadResult& ledger);
+
+}  // namespace mpe::maxpower

@@ -10,6 +10,7 @@
 //   vec     — vector pairs, pair generators, populations, power databases
 //   maxpower— the DAC'98 estimator, SRS and quantile baselines
 //   maxdelay— EVT-based maximum-delay estimation (extension)
+//   dist    — distributed campaign control plane (coordinator/worker)
 #pragma once
 
 #include "util/atomic_file.hpp"
@@ -94,6 +95,7 @@
 #include "maxpower/engine.hpp"
 #include "maxpower/estimator.hpp"
 #include "maxpower/hyper_sample.hpp"
+#include "maxpower/ledger.hpp"
 #include "maxpower/options_fields.hpp"
 #include "maxpower/quantile_baseline.hpp"
 #include "maxpower/run_context.hpp"
@@ -106,6 +108,11 @@
 #include "maxpower/unit_source.hpp"
 
 #include "maxdelay/delay_estimator.hpp"
+
+#include "dist/coordinator.hpp"
+#include "dist/protocol.hpp"
+#include "dist/transport.hpp"
+#include "dist/worker.hpp"
 
 #include "seq/seq_bench_io.hpp"
 #include "seq/seq_gen.hpp"

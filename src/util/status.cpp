@@ -21,12 +21,13 @@ std::string_view to_string(ErrorCode code) {
     case ErrorCode::kFaultInjected: return "fault-injected";
     case ErrorCode::kInternal: return "internal";
     case ErrorCode::kCorruptData: return "corrupt-data";
+    case ErrorCode::kJobsFailed: return "jobs-failed";
   }
   return "unknown";
 }
 
 ErrorCode error_code_from_string(std::string_view name) {
-  for (int c = 0; c <= static_cast<int>(ErrorCode::kCorruptData); ++c) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kJobsFailed); ++c) {
     const auto code = static_cast<ErrorCode>(c);
     if (to_string(code) == name) return code;
   }
@@ -47,6 +48,7 @@ int exit_code(ErrorCode code) {
     case ErrorCode::kFaultInjected: return 9;
     case ErrorCode::kInternal: return 10;
     case ErrorCode::kCorruptData: return 11;
+    case ErrorCode::kJobsFailed: return 12;
   }
   return 10;
 }

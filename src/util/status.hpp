@@ -30,6 +30,8 @@ enum class ErrorCode : std::uint8_t {
   kInternal,        ///< invariant failure / unclassified exception
   kCorruptData,     ///< durable state failed its integrity check (bad CRC,
                     ///< truncated checkpoint, torn trailer)
+  kJobsFailed,      ///< a campaign finished, but at least one job ended
+                    ///< fatally-failed (per-job codes are in the ledger)
 };
 
 /// Stable short name ("parse", "io", ...) for logs and CLI output.
@@ -42,7 +44,7 @@ ErrorCode error_code_from_string(std::string_view name);
 /// Process exit code for a CLI front end terminating with `code`.
 /// 0 = success, 1 = non-convergence, 2 = usage, 3 = parse, 4 = I/O,
 /// 5 = bad data, 6 = precondition, 7 = deadline, 8 = cancelled,
-/// 9 = injected fault, 10 = internal, 11 = corrupt data.
+/// 9 = injected fault, 10 = internal, 11 = corrupt data, 12 = jobs failed.
 int exit_code(ErrorCode code);
 
 /// Severity of one diagnostic record.

@@ -286,6 +286,54 @@ TEST(CampaignRun, TornFinalLedgerLineIsTolerated) {
   EXPECT_TRUE(again.jobs[0].result.converged);
 }
 
+TEST(CampaignRun, CorruptMidLedgerRecordIsQuarantinedAndTheJobReruns) {
+  const std::string dir = fresh_state_dir("campaign_bitrot");
+  auto pop_a = weibull_population(20000, 808, "pop-rot-a");
+  auto pop_b = weibull_population(20000, 809, "pop-rot-b");
+  std::vector<mp::CampaignJob> jobs(2);
+  jobs[0].name = "rot-a";
+  jobs[0].population = &pop_a;
+  jobs[1].name = "rot-b";
+  jobs[1].population = &pop_b;
+  (void)mp::run_campaign(jobs, fast_options(dir));
+
+  // Bit rot lands in the MIDDLE of the file — the first job's record, not a
+  // torn tail. The per-record CRC catches it; the record is quarantined and
+  // only that job re-runs (from its complete checkpoint: zero extra draws).
+  const std::string path = dir + "/campaign.jsonl";
+  std::string ledger = mpe::util::read_file(path);
+  ledger[ledger.find("rot-a") + 2] ^= 0x04;
+  mpe::util::atomic_write_file(path, ledger);
+
+  const auto again = mp::run_campaign(jobs, fast_options(dir));
+  EXPECT_EQ(again.quarantined, 1u);
+  EXPECT_EQ(again.done, 1u) << "damaged record's job must re-run";
+  EXPECT_EQ(again.skipped, 1u) << "intact record must still skip";
+  EXPECT_TRUE(mpe::util::file_exists(path + ".quarantine"));
+  // The re-run healed the ledger: a third invocation skips everything.
+  const auto third = mp::run_campaign(jobs, fast_options(dir));
+  EXPECT_EQ(third.skipped, 2u);
+}
+
+TEST(CampaignRun, LegacyCrclessLedgerStillSkipsDoneJobs) {
+  const std::string dir = fresh_state_dir("campaign_legacy");
+  auto pop = weibull_population(20000, 910, "pop-legacy");
+  std::vector<mp::CampaignJob> jobs(1);
+  jobs[0].name = "old-job";
+  jobs[0].population = &pop;
+  // A ledger written before the CRC seal existed: bare JSON records.
+  std::filesystem::create_directories(dir);
+  mpe::util::atomic_write_file(
+      dir + "/campaign.jsonl",
+      "{\"schema\":\"mpe.campaign\",\"v\":1,\"job\":\"old-job\","
+      "\"status\":\"done\",\"attempts\":1,\"estimate\":5.0,"
+      "\"hyper_samples\":8,\"units\":2000,\"converged\":true}\n");
+
+  const auto result = mp::run_campaign(jobs, fast_options(dir));
+  EXPECT_EQ(result.skipped, 1u) << "legacy records must keep their meaning";
+  EXPECT_EQ(result.quarantined, 0u);
+}
+
 TEST(CampaignRun, MissingStateDirIsPrecondition) {
   std::vector<mp::CampaignJob> jobs;
   mp::CampaignOptions opt;  // state_dir unset

@@ -1,0 +1,455 @@
+// dist/: transport framing, protocol round-trips (including bit-exact
+// doubles over the wire), the CoordinatorCore lease state machine under a
+// synthetic clock (grant order, heartbeat renewal, expiry + bounded
+// reassignment, adoption after coordinator restart, exactly-once result
+// dedup, drain), and an in-process coordinator + worker fleet over a real
+// Unix socket whose merged ledger must be byte-identical to a
+// single-process campaign of the same manifest.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "dist/coordinator.hpp"
+#include "dist/protocol.hpp"
+#include "dist/transport.hpp"
+#include "dist/worker.hpp"
+#include "maxpower/campaign.hpp"
+#include "maxpower/ledger.hpp"
+#include "util/atomic_file.hpp"
+
+namespace {
+
+namespace mp = mpe::maxpower;
+namespace md = mpe::dist;
+using namespace std::chrono_literals;
+using Clock = md::CoordinatorCore::Clock;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+mp::CampaignJob tiny_job(const std::string& name, std::uint64_t seed) {
+  mp::CampaignJob job;
+  job.name = name;
+  job.circuit = "c432";
+  job.seed = seed;
+  job.epsilon = 0.2;
+  job.confidence = 0.8;
+  job.max_hyper_samples = 100;
+  return job;
+}
+
+md::CoordinatorConfig two_job_config(const std::string& dir) {
+  md::CoordinatorConfig config;
+  config.jobs = {tiny_job("j1", 3), tiny_job("j2", 4)};
+  config.state_dir = dir;
+  config.lease = 5000ms;
+  config.reassign.initial_backoff = 100ms;
+  config.reassign.max_backoff = 400ms;
+  return config;
+}
+
+md::Message request(const std::string& worker) {
+  md::Message m;
+  m.kind = md::MessageKind::kRequest;
+  m.worker = worker;
+  return m;
+}
+
+md::Message heartbeat(const std::string& worker, const std::string& job) {
+  md::Message m;
+  m.kind = md::MessageKind::kHeartbeat;
+  m.worker = worker;
+  m.job = job;
+  return m;
+}
+
+md::Message done_result(const std::string& worker, const std::string& job,
+                        double estimate) {
+  md::Message m;
+  m.kind = md::MessageKind::kResult;
+  m.worker = worker;
+  m.job = job;
+  m.outcome.name = job;
+  m.outcome.worker = worker;
+  m.outcome.status = mp::JobStatus::kDone;
+  m.outcome.attempts = 1;
+  m.outcome.result.estimate = estimate;
+  m.outcome.result.hyper_samples = 12;
+  m.outcome.result.units_used = 3000;
+  m.outcome.result.converged = true;
+  return m;
+}
+
+md::MessageKind reply_kind(const std::string& line) {
+  return md::decode_message(line).kind;
+}
+
+// ---------------------------------------------------------------- transport
+
+TEST(Transport, LineFramingOverSocketpair) {
+  auto [a, b] = md::socketpair_channel();
+  ASSERT_TRUE(a->send_line("one"));
+  ASSERT_TRUE(a->send_line("two"));
+  std::string line;
+  ASSERT_EQ(b->recv_line(line, 1000ms), md::LineChannel::RecvStatus::kLine);
+  EXPECT_EQ(line, "one");
+  EXPECT_TRUE(b->line_buffered());
+  ASSERT_EQ(b->recv_line(line, 0ms), md::LineChannel::RecvStatus::kLine);
+  EXPECT_EQ(line, "two");
+  EXPECT_EQ(b->recv_line(line, 0ms), md::LineChannel::RecvStatus::kTimeout);
+}
+
+TEST(Transport, PeerDeathIsAStatusNotASignal) {
+  auto [a, b] = md::socketpair_channel();
+  b->close();
+  std::string line;
+  EXPECT_EQ(a->recv_line(line, 100ms), md::LineChannel::RecvStatus::kClosed);
+  // send into a closed peer: false, not SIGPIPE (first send may succeed
+  // into the kernel buffer; a follow-up must fail).
+  a->send_line("x");
+  EXPECT_FALSE(a->send_line("y") && a->send_line("z"));
+}
+
+TEST(Transport, UnixListenerAcceptTimesOutCleanly) {
+  const std::string sock = fresh_dir("t_listen") + ".sock";
+  md::UnixListener listener(sock);
+  EXPECT_EQ(listener.accept(20ms), nullptr);
+  auto dialer = md::connect_unix(sock);
+  ASSERT_NE(dialer, nullptr);
+  auto served = listener.accept(1000ms);
+  ASSERT_NE(served, nullptr);
+  ASSERT_TRUE(dialer->send_line("hi"));
+  std::string line;
+  ASSERT_EQ(served->recv_line(line, 1000ms),
+            md::LineChannel::RecvStatus::kLine);
+  EXPECT_EQ(line, "hi");
+}
+
+// ----------------------------------------------------------------- protocol
+
+TEST(Protocol, ResultPayloadDoublesSurviveTheWireBitExactly) {
+  mp::CampaignJobOutcome outcome;
+  outcome.name = "j";
+  outcome.worker = "w";
+  outcome.status = mp::JobStatus::kDone;
+  outcome.attempts = 2;
+  outcome.result.estimate = 0.1 + 0.2;  // famously non-representable
+  outcome.result.hyper_samples = 17;
+  outcome.result.units_used = 4250;
+  outcome.result.converged = true;
+  const md::Message decoded =
+      md::decode_message(md::encode_result("w", outcome));
+  EXPECT_EQ(decoded.kind, md::MessageKind::kResult);
+  EXPECT_EQ(decoded.outcome.result.estimate, outcome.result.estimate);
+  EXPECT_EQ(decoded.outcome.result.hyper_samples, 17u);
+  EXPECT_EQ(decoded.outcome.status, mp::JobStatus::kDone);
+}
+
+TEST(Protocol, LeaseCarriesSpecAsAParseableJobObject) {
+  const mp::CampaignJob job = tiny_job("j9", 42);
+  const md::Message lease = md::decode_message(
+      md::encode_lease(job.name, mp::campaign_job_to_json(job), 5000, 0));
+  EXPECT_EQ(lease.kind, md::MessageKind::kLease);
+  EXPECT_EQ(lease.ms, 5000u);
+  const mp::CampaignJob parsed = mp::parse_campaign_job_line(lease.spec);
+  EXPECT_EQ(parsed.name, "j9");
+  EXPECT_EQ(parsed.seed, 42u);
+  EXPECT_EQ(parsed.epsilon, job.epsilon);
+}
+
+TEST(Protocol, MalformedAndMistypedMessagesThrow) {
+  EXPECT_THROW((void)md::decode_message("not json"), mpe::Error);
+  EXPECT_THROW((void)md::decode_message(R"({"type":"warp"})"), mpe::Error);
+  EXPECT_THROW((void)md::decode_message(R"({"type":"heartbeat"})"),
+               mpe::Error);  // missing worker/job
+  EXPECT_THROW(
+      (void)md::decode_message(
+          R"({"type":"result","worker":"w","job":"j","status":"done"})"),
+      mpe::Error);  // done without estimate
+}
+
+// ----------------------------------------- coordinator core (synthetic time)
+
+TEST(CoordinatorCore, GrantsInManifestOrderThenWaits) {
+  md::CoordinatorCore core(two_job_config(fresh_dir("cc_order")));
+  const auto t0 = Clock::now();
+  const md::Message l1 = md::decode_message(core.handle(request("w0"), t0));
+  ASSERT_EQ(l1.kind, md::MessageKind::kLease);
+  EXPECT_EQ(l1.job, "j1");
+  const md::Message l2 = md::decode_message(core.handle(request("w1"), t0));
+  ASSERT_EQ(l2.kind, md::MessageKind::kLease);
+  EXPECT_EQ(l2.job, "j2");
+  EXPECT_EQ(reply_kind(core.handle(request("w2"), t0)),
+            md::MessageKind::kWait);
+  EXPECT_EQ(core.leases_granted(), 2u);
+}
+
+TEST(CoordinatorCore, HeartbeatRenewsALeasePastItsOriginalExpiry) {
+  md::CoordinatorCore core(two_job_config(fresh_dir("cc_renew")));
+  const auto t0 = Clock::now();
+  core.handle(request("w0"), t0);  // leases j1 for 5s
+  EXPECT_EQ(reply_kind(core.handle(heartbeat("w0", "j1"), t0 + 4s)),
+            md::MessageKind::kAck);
+  core.tick(t0 + 8s);  // original expiry was t0+5s; renewal moved it to t0+9s
+  EXPECT_EQ(core.phase("j1"), md::JobPhase::kLeased);
+  core.tick(t0 + 10s);  // renewed lease now expired
+  EXPECT_EQ(core.phase("j1"), md::JobPhase::kPending);
+}
+
+TEST(CoordinatorCore, ExpiredLeaseReassignsAfterBackoff) {
+  md::CoordinatorCore core(two_job_config(fresh_dir("cc_expire")));
+  const auto t0 = Clock::now();
+  core.handle(request("w0"), t0);
+  core.tick(t0 + 6s);  // w0 died: lease expired
+  EXPECT_EQ(core.phase("j1"), md::JobPhase::kPending);
+  // Immediately after expiry the job is backoff-gated; j2 is granted
+  // instead, preserving overall progress.
+  const md::Message next = md::decode_message(core.handle(request("w1"), t0 + 6s));
+  ASSERT_EQ(next.kind, md::MessageKind::kLease);
+  EXPECT_EQ(next.job, "j2");
+  // Once the (jittered, <=440ms here) backoff elapses, j1 is regranted.
+  const md::Message regrant =
+      md::decode_message(core.handle(request("w1"), t0 + 7s));
+  ASSERT_EQ(regrant.kind, md::MessageKind::kLease);
+  EXPECT_EQ(regrant.job, "j1");
+}
+
+TEST(CoordinatorCore, AssignmentBudgetExhaustionFailsTheJob) {
+  auto config = two_job_config(fresh_dir("cc_budget"));
+  config.jobs = {tiny_job("j1", 3)};
+  config.max_assignments = 2;
+  const std::string ledger_path = config.state_dir + "/campaign.jsonl";
+  md::CoordinatorCore core(std::move(config));
+  auto t = Clock::now();
+  for (int round = 0; round < 2; ++round) {
+    t += 10s;
+    core.tick(t);  // expires the previous lease; gates it behind backoff
+    t += 1s;       // past the (<=440ms jittered) reassignment backoff
+    ASSERT_EQ(reply_kind(core.handle(request("w0"), t)),
+              md::MessageKind::kLease)
+        << "round " << round;
+    t += 6s;  // the worker dies; lease expires
+  }
+  core.tick(t);
+  EXPECT_EQ(core.phase("j1"), md::JobPhase::kFailed);
+  EXPECT_TRUE(core.finished());
+  const auto ledger = mp::read_ledger_file(ledger_path);
+  ASSERT_EQ(ledger.records.size(), 1u);
+  EXPECT_EQ(ledger.records[0].status, "failed");
+  EXPECT_TRUE(ledger.records[0].sealed);
+  EXPECT_EQ(core.summary().failed, 1u);
+}
+
+TEST(CoordinatorCore, RestartedCoordinatorAdoptsHeartbeatedLeases) {
+  const std::string dir = fresh_dir("cc_adopt");
+  {
+    md::CoordinatorCore first(two_job_config(dir));
+    first.handle(request("w0"), Clock::now());  // w0 is running j1
+  }  // coordinator killed; worker w0 never noticed
+  md::CoordinatorCore second(two_job_config(dir));
+  EXPECT_EQ(second.phase("j1"), md::JobPhase::kPending);
+  const auto t1 = Clock::now();
+  EXPECT_EQ(reply_kind(second.handle(heartbeat("w0", "j1"), t1)),
+            md::MessageKind::kAck);
+  EXPECT_EQ(second.phase("j1"), md::JobPhase::kLeased);
+  // The adopted lease keeps j1 off the grant path for other workers.
+  const md::Message other = md::decode_message(second.handle(request("w1"), t1));
+  ASSERT_EQ(other.kind, md::MessageKind::kLease);
+  EXPECT_EQ(other.job, "j2");
+}
+
+TEST(CoordinatorCore, DoneResultsAreDedupedToOneLedgerRecord) {
+  auto config = two_job_config(fresh_dir("cc_dedupe"));
+  const std::string ledger_path = config.state_dir + "/campaign.jsonl";
+  md::CoordinatorCore core(std::move(config));
+  const auto t0 = Clock::now();
+  core.handle(request("w0"), t0);
+  const md::Message result = done_result("w0", "j1", 7.25);
+  EXPECT_EQ(reply_kind(core.handle(result, t0 + 1s)), md::MessageKind::kAck);
+  // The worker never saw the ack and re-sends; at-least-once delivery must
+  // not create a second ledger record.
+  EXPECT_EQ(reply_kind(core.handle(result, t0 + 2s)), md::MessageKind::kAck);
+  const auto ledger = mp::read_ledger_file(ledger_path);
+  ASSERT_EQ(ledger.records.size(), 1u);
+  EXPECT_EQ(ledger.records[0].job, "j1");
+  EXPECT_EQ(ledger.records[0].estimate, 7.25);
+  EXPECT_TRUE(mp::audit_ledger(ledger).ok());
+}
+
+TEST(CoordinatorCore, StaleHolderIsRevokedButItsDoneResultCounts) {
+  auto config = two_job_config(fresh_dir("cc_stale"));
+  const std::string ledger_path = config.state_dir + "/campaign.jsonl";
+  md::CoordinatorCore core(std::move(config));
+  const auto t0 = Clock::now();
+  core.handle(request("w0"), t0);
+  core.tick(t0 + 6s);                      // w0 presumed dead
+  core.handle(request("w1"), t0 + 7s);     // j1 regranted to w1
+  // w0 was only partitioned, not dead: its heartbeat is refused...
+  EXPECT_EQ(reply_kind(core.handle(heartbeat("w0", "j1"), t0 + 8s)),
+            md::MessageKind::kRevoke);
+  // ...but its completed, deterministic result is accepted...
+  EXPECT_EQ(reply_kind(core.handle(done_result("w0", "j1", 7.25), t0 + 8s)),
+            md::MessageKind::kAck);
+  EXPECT_EQ(core.phase("j1"), md::JobPhase::kDone);
+  // ...and w1's identical result later dedupes silently.
+  EXPECT_EQ(reply_kind(core.handle(done_result("w1", "j1", 7.25), t0 + 9s)),
+            md::MessageKind::kAck);
+  const auto ledger = mp::read_ledger_file(ledger_path);
+  ASSERT_EQ(ledger.records.size(), 1u);
+}
+
+TEST(CoordinatorCore, LedgerDoneJobsAreSkippedOnConstruction) {
+  auto config = two_job_config(fresh_dir("cc_resume"));
+  const std::string ledger_path = config.state_dir + "/campaign.jsonl";
+  {
+    md::CoordinatorCore first(two_job_config(config.state_dir));
+    first.handle(request("w0"), Clock::now());
+    first.handle(done_result("w0", "j1", 7.25), Clock::now());
+  }
+  md::CoordinatorCore second(std::move(config));
+  EXPECT_EQ(second.phase("j1"), md::JobPhase::kDone);
+  const auto summary = second.summary();
+  EXPECT_EQ(summary.skipped, 1u);
+  // Only j2 is still owed work.
+  const md::Message lease =
+      md::decode_message(second.handle(request("w1"), Clock::now()));
+  ASSERT_EQ(lease.kind, md::MessageKind::kLease);
+  EXPECT_EQ(lease.job, "j2");
+}
+
+TEST(CoordinatorCore, CorruptLedgerRecordsAreQuarantinedAndJobsRerun) {
+  auto config = two_job_config(fresh_dir("cc_corrupt"));
+  const std::string ledger_path = config.state_dir + "/campaign.jsonl";
+  {
+    md::CoordinatorCore first(two_job_config(config.state_dir));
+    first.handle(request("w0"), Clock::now());
+    first.handle(done_result("w0", "j1", 7.25), Clock::now());
+  }
+  // Bit rot lands on j1's done record.
+  std::string text = mpe::util::read_file(ledger_path);
+  text[text.size() / 2] ^= 0x20;
+  mpe::util::atomic_write_file(ledger_path, text);
+
+  md::CoordinatorCore second(std::move(config));
+  EXPECT_EQ(second.phase("j1"), md::JobPhase::kPending);  // must re-run
+  EXPECT_EQ(second.summary().quarantined, 1u);
+  EXPECT_TRUE(mpe::util::file_exists(ledger_path + ".quarantine"));
+}
+
+TEST(CoordinatorCore, DrainStopsGrantsButServesInFlightLeases) {
+  md::CoordinatorCore core(two_job_config(fresh_dir("cc_drain")));
+  const auto t0 = Clock::now();
+  core.handle(request("w0"), t0);
+  core.begin_drain();
+  EXPECT_EQ(reply_kind(core.handle(request("w1"), t0)),
+            md::MessageKind::kDrain);
+  // The in-flight lease still heartbeats and completes normally.
+  EXPECT_EQ(reply_kind(core.handle(heartbeat("w0", "j1"), t0 + 1s)),
+            md::MessageKind::kAck);
+  EXPECT_EQ(reply_kind(core.handle(done_result("w0", "j1", 7.25), t0 + 2s)),
+            md::MessageKind::kAck);
+  EXPECT_FALSE(core.finished());  // j2 never ran: drain cut it
+  EXPECT_FALSE(core.any_leased());
+}
+
+TEST(CoordinatorCore, StoppedResultReleasesTheLeaseForImmediateRegrant) {
+  md::CoordinatorCore core(two_job_config(fresh_dir("cc_release")));
+  const auto t0 = Clock::now();
+  core.handle(request("w0"), t0);
+  md::Message stopped;
+  stopped.kind = md::MessageKind::kResult;
+  stopped.worker = "w0";
+  stopped.job = "j1";
+  stopped.outcome.name = "j1";
+  stopped.outcome.status = mp::JobStatus::kStopped;
+  EXPECT_EQ(reply_kind(core.handle(stopped, t0 + 1s)), md::MessageKind::kAck);
+  EXPECT_EQ(core.phase("j1"), md::JobPhase::kPending);
+  // Graceful hand-back carries no crash signal: no backoff gate.
+  const md::Message regrant =
+      md::decode_message(core.handle(request("w1"), t0 + 1s));
+  ASSERT_EQ(regrant.kind, md::MessageKind::kLease);
+  EXPECT_EQ(regrant.job, "j1");
+}
+
+// ------------------------------------------------- end-to-end over a socket
+
+TEST(DistEndToEnd, FleetMergesByteIdenticalToSingleProcessCampaign) {
+  // Single-process golden run.
+  const std::string solo_dir = fresh_dir("e2e_solo");
+  std::vector<mp::CampaignJob> solo_jobs = {tiny_job("a", 3), tiny_job("b", 4),
+                                            tiny_job("c", 5)};
+  mp::CampaignOptions solo_options;
+  solo_options.state_dir = solo_dir;
+  const auto solo = mp::run_campaign(solo_jobs, solo_options);
+  ASSERT_EQ(solo.done, 3u);
+  const std::string golden =
+      mp::merge_ledger(mp::read_ledger_file(solo_dir + "/campaign.jsonl"));
+
+  // Distributed run: one coordinator thread, two worker threads.
+  const std::string dist_dir = fresh_dir("e2e_dist");
+  const std::string sock = dist_dir + ".sock";
+  md::CoordinatorConfig config;
+  config.jobs = {tiny_job("a", 3), tiny_job("b", 4), tiny_job("c", 5)};
+  config.state_dir = dist_dir;
+  config.lease = 2000ms;
+  md::CoordinatorCore core(std::move(config));
+  md::CoordinatorServerOptions server;
+  server.socket_path = sock;
+  mp::CampaignResult dist_result;
+  std::thread coordinator(
+      [&] { dist_result = md::serve_campaign(core, server); });
+
+  auto worker_main = [&](const std::string& id) {
+    md::WorkerConfig worker;
+    worker.socket_path = sock;
+    worker.worker_id = id;
+    worker.state_dir = dist_dir;
+    worker.heartbeat = 100ms;
+    return md::run_worker(worker);
+  };
+  md::WorkerSummary s0, s1;
+  std::thread w0([&] { s0 = worker_main("w0"); });
+  std::thread w1([&] { s1 = worker_main("w1"); });
+  coordinator.join();
+  w0.join();
+  w1.join();
+
+  EXPECT_EQ(dist_result.done, 3u);
+  EXPECT_EQ(dist_result.failed, 0u);
+  EXPECT_EQ(s0.done + s1.done, 3u);
+  EXPECT_TRUE(s0.drained);
+  EXPECT_TRUE(s1.drained);
+
+  const auto ledger = mp::read_ledger_file(dist_dir + "/campaign.jsonl");
+  const auto audit = mp::audit_ledger(ledger);
+  EXPECT_TRUE(audit.ok()) << (audit.violations.empty()
+                                  ? ""
+                                  : audit.violations.front());
+  // The tentpole guarantee: scheduling nondeterminism (which worker ran
+  // what, in which order) must not leak into the merged results.
+  EXPECT_EQ(mp::merge_ledger(ledger), golden);
+}
+
+TEST(DistEndToEnd, WorkerGivesUpCleanlyWhenNoCoordinatorExists) {
+  md::WorkerConfig worker;
+  worker.socket_path = fresh_dir("e2e_nobody") + ".sock";
+  worker.worker_id = "w0";
+  worker.state_dir = fresh_dir("e2e_nobody_state");
+  worker.connect_retry.max_attempts = 3;
+  worker.connect_retry.initial_backoff = 10ms;
+  worker.connect_retry.max_backoff = 20ms;
+  const auto summary = md::run_worker(worker);
+  EXPECT_EQ(summary.exit_error, mpe::ErrorCode::kIo);
+  EXPECT_EQ(summary.leases, 0u);
+}
+
+}  // namespace

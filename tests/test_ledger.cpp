@@ -1,0 +1,211 @@
+// maxpower/ledger: per-record CRC seals, corruption quarantine anywhere in
+// the file (not just the torn final line), legacy CRC-less compatibility,
+// the exactly-once audit, and the canonical merge used to prove a
+// distributed campaign byte-identical to a single-process run.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+#include "maxpower/campaign.hpp"
+#include "maxpower/ledger.hpp"
+#include "util/atomic_file.hpp"
+
+namespace {
+
+namespace mp = mpe::maxpower;
+
+std::string record(const std::string& job, const std::string& status,
+                   double estimate = 0.0) {
+  mp::CampaignJobOutcome outcome;
+  outcome.name = job;
+  outcome.status = *mp::job_status_from_name(status);
+  outcome.attempts = 1;
+  if (outcome.status == mp::JobStatus::kDone) {
+    outcome.result.estimate = estimate;
+    outcome.result.hyper_samples = 10;
+    outcome.result.units_used = 2500;
+    outcome.result.converged = true;
+  } else if (outcome.status == mp::JobStatus::kFailed) {
+    outcome.error = mpe::ErrorCode::kNonConvergence;
+  }
+  return mp::campaign_record_line(outcome);
+}
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  std::filesystem::remove(path + ".quarantine", ec);
+  return path;
+}
+
+TEST(LedgerSeal, SealAppendsCrcSuffixAndVerifies) {
+  const std::string sealed = record("j1", "done", 4.5);
+  EXPECT_TRUE(mp::ledger_line_sealed(sealed));
+  EXPECT_TRUE(mp::verify_ledger_line(sealed));
+  // The seal is a strict suffix: stripping it recovers a valid object that
+  // seals back to the identical line.
+  const std::string body = sealed.substr(0, sealed.size() - 18) + "}";
+  EXPECT_EQ(mp::seal_ledger_line(body), sealed);
+}
+
+TEST(LedgerSeal, AnySingleBitFlipIsDetected) {
+  const std::string sealed = record("j1", "done", 4.5);
+  const std::size_t seal_at = sealed.size() - 18;
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    std::string mutated = sealed;
+    mutated[i] ^= 0x01;
+    if (i < seal_at) {
+      // A body flip leaves the seal syntax intact, so the line still claims
+      // to be sealed — and CRC-32 catches every single-bit error.
+      EXPECT_TRUE(mp::ledger_line_sealed(mutated)) << "flip at byte " << i;
+      EXPECT_FALSE(mp::verify_ledger_line(mutated)) << "flip at byte " << i;
+    } else if (mp::ledger_line_sealed(mutated)) {
+      // A flip inside the seal either breaks its syntax (the record demotes
+      // to legacy/corrupt handling) or survives as hex — which must then
+      // fail verification.
+      EXPECT_FALSE(mp::verify_ledger_line(mutated)) << "flip at byte " << i;
+    }
+  }
+}
+
+TEST(LedgerSeal, RejectsNonObjectInput) {
+  EXPECT_THROW((void)mp::seal_ledger_line("not json"), mpe::Error);
+  EXPECT_THROW((void)mp::seal_ledger_line("{}"), mpe::Error);
+}
+
+TEST(LedgerRead, MidFileCorruptionIsQuarantinedNotFatal) {
+  std::string text = record("a", "done", 1.0) + "\n";
+  std::string bad = record("b", "done", 2.0);
+  bad[bad.size() / 2] ^= 0x40;  // bit rot in the middle of the file
+  text += bad + "\n";
+  text += record("c", "done", 3.0) + "\n";
+
+  const auto read = mp::read_ledger_text(text);
+  ASSERT_EQ(read.records.size(), 2u);
+  EXPECT_EQ(read.records[0].job, "a");
+  EXPECT_EQ(read.records[1].job, "c");
+  ASSERT_EQ(read.corrupt.size(), 1u);
+  EXPECT_EQ(read.corrupt[0], bad);
+  // The corrupt record cannot mark job b done.
+  const auto final = read.final_status();
+  EXPECT_EQ(final.count("b"), 0u);
+}
+
+TEST(LedgerRead, LegacyUnsealedRecordsStillLoad) {
+  // Ledgers written before the CRC seal have bare JSON records; they must
+  // keep loading (reported as legacy, not corrupt).
+  const std::string text =
+      R"({"schema":"mpe.campaign","v":1,"job":"old","status":"done",)"
+      R"("attempts":1,"estimate":5.25,"hyper_samples":8,"units":2000,)"
+      R"("converged":true})" "\n" +
+      record("new", "done", 6.5) + "\n";
+  const auto read = mp::read_ledger_text(text);
+  ASSERT_EQ(read.records.size(), 2u);
+  EXPECT_EQ(read.legacy, 1u);
+  EXPECT_TRUE(read.corrupt.empty());
+  EXPECT_FALSE(read.records[0].sealed);
+  EXPECT_TRUE(read.records[1].sealed);
+  EXPECT_EQ(read.final_status().at("old"), "done");
+}
+
+TEST(LedgerRead, TornFinalLineAndForeignSchemasAreHandled) {
+  const std::string text = record("a", "done", 1.0) + "\n" +
+                           R"({"schema":"mpe.footer","note":"not a job"})" +
+                           "\n" + R"({"schema":"mpe.campaign","v":1,"jo)";
+  const auto read = mp::read_ledger_text(text);
+  EXPECT_EQ(read.records.size(), 1u);
+  EXPECT_EQ(read.ignored, 1u);          // foreign schema line
+  EXPECT_EQ(read.corrupt.size(), 1u);   // torn tail
+}
+
+TEST(LedgerFile, AppendHealsTornTailAndQuarantineSidecars) {
+  const std::string path = temp_path("ledger_heal.jsonl");
+  // Simulate a crash mid-append: no trailing newline.
+  mpe::util::atomic_write_file(path, record("a", "done", 1.0) + "\n" +
+                                         R"({"schema":"mpe.campaign","v":1)");
+  mp::append_ledger_line(path, record("b", "done", 2.0));
+
+  const auto read = mp::read_ledger_file(path);
+  ASSERT_EQ(read.records.size(), 2u);  // b was NOT fused onto the torn line
+  EXPECT_EQ(read.records[1].job, "b");
+  ASSERT_EQ(read.corrupt.size(), 1u);
+
+  EXPECT_EQ(mp::quarantine_ledger_lines(path, read.corrupt), 1u);
+  const std::string side = mpe::util::read_file(path + ".quarantine");
+  EXPECT_NE(side.find(R"("v":1)"), std::string::npos);
+}
+
+TEST(LedgerAudit, CleanLedgerPasses) {
+  const auto read = mp::read_ledger_text(record("a", "done", 1.0) + "\n" +
+                                         record("b", "failed") + "\n");
+  const auto audit = mp::audit_ledger(read);
+  EXPECT_TRUE(audit.ok());
+  EXPECT_EQ(audit.done_jobs, 1u);
+  EXPECT_EQ(audit.failed_jobs, 1u);
+  EXPECT_EQ(audit.duplicate_done, 0u);
+}
+
+TEST(LedgerAudit, IdenticalDuplicateDoneIsBenign) {
+  // At-least-once result delivery can legitimately append the same done
+  // record twice (e.g. a resumed job re-reporting its checkpointed result).
+  const std::string done = record("a", "done", 1.5);
+  const auto read = mp::read_ledger_text(done + "\n" + done + "\n");
+  const auto audit = mp::audit_ledger(read);
+  EXPECT_TRUE(audit.ok());
+  EXPECT_EQ(audit.done_jobs, 1u);
+  EXPECT_EQ(audit.duplicate_done, 1u);
+}
+
+TEST(LedgerAudit, DivergentDoneRecordsAreAViolation) {
+  // Two done records disagreeing on the payload means a job's
+  // post-checkpoint tail ran twice with different state — the exactly-once
+  // property was broken and the audit must say so.
+  const auto read = mp::read_ledger_text(record("a", "done", 1.5) + "\n" +
+                                         record("a", "done", 2.5) + "\n");
+  const auto audit = mp::audit_ledger(read);
+  ASSERT_EQ(audit.violations.size(), 1u);
+  EXPECT_NE(audit.violations[0].find("divergent"), std::string::npos);
+}
+
+TEST(LedgerAudit, RegressionFromDoneIsAViolation) {
+  const auto read = mp::read_ledger_text(record("a", "done", 1.5) + "\n" +
+                                         record("a", "failed") + "\n");
+  const auto audit = mp::audit_ledger(read);
+  ASSERT_EQ(audit.violations.size(), 1u);
+  EXPECT_NE(audit.violations[0].find("regressed"), std::string::npos);
+}
+
+TEST(LedgerMerge, CanonicalAcrossAppendOrderAndNoise) {
+  // The same terminal facts in a different append order — with retries,
+  // stopped records, and duplicate dones sprinkled in — must merge to the
+  // identical canonical bytes.
+  const std::string ledger1 = record("b", "done", 2.0) + "\n" +
+                              record("a", "done", 1.0) + "\n" +
+                              record("c", "failed") + "\n";
+  const std::string ledger2 = record("c", "stopped") + "\n" +
+                              record("a", "done", 1.0) + "\n" +
+                              record("c", "failed") + "\n" +
+                              record("b", "done", 2.0) + "\n" +
+                              record("b", "done", 2.0) + "\n";
+  const std::string merged1 = mp::merge_ledger(mp::read_ledger_text(ledger1));
+  const std::string merged2 = mp::merge_ledger(mp::read_ledger_text(ledger2));
+  EXPECT_EQ(merged1, merged2);
+  EXPECT_NE(merged1.find("mpe.campaign.merged"), std::string::npos);
+  // Deterministic fields only: per-invocation noise must not leak in.
+  EXPECT_EQ(merged1.find("attempts"), std::string::npos);
+  EXPECT_EQ(merged1.find("worker"), std::string::npos);
+  EXPECT_EQ(merged1.find("crc"), std::string::npos);
+}
+
+TEST(LedgerMerge, InFlightJobsAreExcluded) {
+  const auto read = mp::read_ledger_text(record("a", "done", 1.0) + "\n" +
+                                         record("b", "stopped") + "\n");
+  const std::string merged = mp::merge_ledger(read);
+  EXPECT_NE(merged.find("\"job\":\"a\""), std::string::npos);
+  EXPECT_EQ(merged.find("\"job\":\"b\""), std::string::npos);
+}
+
+}  // namespace

@@ -66,6 +66,43 @@ TEST(RetryBackoff, ZeroFailuresMeansNoDelay) {
   EXPECT_EQ(ut::backoff_delay(policy, 0, rng).count(), 0);
 }
 
+TEST(RetryBackoff, ExactlyOneJitterDrawPerCall) {
+  // The deterministic-replay contract is stronger than "same seed, same
+  // delays": each jittered call consumes exactly one uniform draw, so a
+  // replay that interleaves other rng users stays aligned.
+  ut::RetryPolicy policy;  // jitter 0.1
+  mpe::Rng used(21), mirror(21);
+  (void)ut::backoff_delay(policy, 4, used);
+  (void)mirror.uniform();  // advance the mirror by hand: one draw
+  EXPECT_EQ(used(), mirror());
+}
+
+TEST(RetryBackoff, CapSaturationAtTheBoundaryAttempt) {
+  // 100ms * 2^(f-1) with a 400ms cap: failure 3 lands exactly ON the cap
+  // (uncapped nominal == max_backoff) and failure 4 is the first past it.
+  // Both must yield precisely max_backoff with jitter disabled.
+  ut::RetryPolicy policy;
+  policy.max_backoff = 400ms;
+  policy.jitter = 0.0;
+  mpe::Rng rng(1);
+  EXPECT_EQ(ut::backoff_delay(policy, 2, rng), 200ms);  // below the cap
+  EXPECT_EQ(ut::backoff_delay(policy, 3, rng), 400ms);  // boundary: == cap
+  EXPECT_EQ(ut::backoff_delay(policy, 4, rng), 400ms);  // first saturated
+  EXPECT_EQ(ut::backoff_delay(policy, 63, rng), 400ms); // deep saturation
+}
+
+TEST(RetryBackoff, UpwardJitterAtTheBoundaryIsRecapped) {
+  // At the boundary attempt the nominal delay already equals the cap, so
+  // any upward jitter would exceed it — the post-jitter re-cap must clamp.
+  ut::RetryPolicy policy;
+  policy.max_backoff = 400ms;
+  policy.jitter = 0.5;  // up to +50%
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    mpe::Rng rng(seed);
+    EXPECT_LE(ut::backoff_delay(policy, 3, rng), policy.max_backoff) << seed;
+  }
+}
+
 TEST(RetryClassification, DefaultRetryableIsTransientOnly) {
   EXPECT_TRUE(ut::default_retryable(mpe::ErrorCode::kIo));
   EXPECT_TRUE(ut::default_retryable(mpe::ErrorCode::kFaultInjected));
@@ -137,6 +174,8 @@ TEST(RetryLoop, CustomClassifierOverridesDefault) {
       },
       [](mpe::ErrorCode code) { return code == mpe::ErrorCode::kBadData; });
   EXPECT_EQ(calls, 3u);  // retried despite being fatal by default
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.last_error, mpe::ErrorCode::kBadData);
 }
 
 TEST(RetryLoop, CancellationAbortsBackoffSleepPromptly) {
@@ -188,7 +227,35 @@ TEST(InterruptibleSleep, AlreadyCancelledReturnsImmediately) {
   control.cancel.request_stop();
   const auto t0 = std::chrono::steady_clock::now();
   EXPECT_EQ(ut::interruptible_sleep(30s, control), ut::StopCause::kCancelled);
+  // An already-tripped token must short-circuit before the first slice —
+  // well under the ~10ms polling granularity, let alone the full duration.
   EXPECT_LT(std::chrono::steady_clock::now() - t0, 1s);
+}
+
+TEST(InterruptibleSleep, AlreadyExpiredDeadlineReturnsImmediately) {
+  ut::RunControl control;
+  control.deadline = ut::Deadline::after(0ns);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(ut::interruptible_sleep(30s, control), ut::StopCause::kDeadline);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 1s);
+}
+
+TEST(InterruptibleSleep, MidSleepCancellationWakesWithinASlice) {
+  ut::RunControl control;
+  control.cancel = ut::CancellationToken::create();
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(30ms);
+    control.cancel.request_stop();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(ut::interruptible_sleep(30s, control), ut::StopCause::kCancelled);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  canceller.join();
+  // Wakeup latency after the trip is bounded by the polling slice, not the
+  // requested duration; 5s leaves three orders of magnitude of headroom on
+  // a loaded CI box.
+  EXPECT_LT(elapsed, 5s);
+  EXPECT_GE(elapsed, 25ms);  // but it did sleep until the trip
 }
 
 }  // namespace

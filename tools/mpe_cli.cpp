@@ -9,6 +9,14 @@
 //   mpe_cli maxdelay  --circuit c1908 [--epsilon 0.08]
 //   mpe_cli campaign  --manifest jobs.jsonl --state-dir dir [--retries N]
 //
+// Distributed campaigns (docs/ROBUSTNESS.md, "Distributed campaigns"):
+//
+//   mpe_cli campaign-coordinator --manifest jobs.jsonl --state-dir dir
+//                                --socket /path/sock [--lease-ms N] ...
+//   mpe_cli campaign-worker      --socket /path/sock --state-dir dir
+//                                --worker-id w0 [--threads N] ...
+//   mpe_cli ledger-audit         --report campaign.jsonl [--merged-out F|-]
+//
 // Circuits come from the built-in presets (--circuit), an ISCAS-85 .bench
 // file (--bench), or a structural Verilog file (--verilog).
 //
@@ -37,7 +45,9 @@ util::CancellationToken g_cancel = util::CancellationToken::create();
 volatile std::sig_atomic_t g_signal_count = 0;
 
 void handle_signal(int) {
-  if (g_signal_count++ > 0) std::_Exit(8 /* exit_code(kCancelled) */);
+  const std::sig_atomic_t prior = g_signal_count;
+  g_signal_count = prior + 1;  // ++ on volatile is deprecated in C++20
+  if (prior > 0) std::_Exit(8 /* exit_code(kCancelled) */);
   g_cancel.request_stop();
 }
 
@@ -49,8 +59,8 @@ void install_signal_handlers() {
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage: mpe_cli <estimate|report|convert|timing|vcd|maxdelay|campaign> "
-      "[flags]\n"
+      "usage: mpe_cli <estimate|report|convert|timing|vcd|maxdelay|campaign|"
+      "campaign-coordinator|campaign-worker|ledger-audit> [flags]\n"
       "  common circuit flags: --circuit <preset> | --bench <file> | "
       "--verilog <file>, --seed N\n"
       "  estimate: --epsilon E --confidence L [--tprob P | --activity A]\n"
@@ -68,9 +78,18 @@ void install_signal_handlers() {
       "  campaign: --manifest <jobs.jsonl> --state-dir <dir> [--report F]\n"
       "            [--retries N] [--threads N] [--deadline-ms N]\n"
       "            [--checkpoint-every K]\n"
+      "  campaign-coordinator: --manifest <jobs.jsonl> --state-dir <dir>\n"
+      "            --socket <path> [--report F] [--lease-ms N]\n"
+      "            [--job-deadline-ms N] [--max-assign N]\n"
+      "  campaign-worker: --socket <path> --state-dir <dir> --worker-id ID\n"
+      "            [--threads N] [--retries N] [--heartbeat-ms N]\n"
+      "            [--checkpoint-every K]\n"
+      "  ledger-audit: --report <campaign.jsonl> [--merged-out FILE|-]\n"
+      "            [--strict]\n"
       "exit codes: 0 ok, 1 non-convergence, 2 usage, 3 parse, 4 io,\n"
       "            5 bad data, 6 precondition, 7 deadline, 8 cancelled,\n"
-      "            9 injected fault, 10 internal, 11 corrupt data\n");
+      "            9 injected fault, 10 internal, 11 corrupt data,\n"
+      "            12 jobs failed\n");
   std::exit(exit_code(ErrorCode::kUsage));
 }
 
@@ -350,14 +369,126 @@ int cmd_campaign(const Cli& cli) {
   if (result.stopped == util::StopCause::kDeadline) {
     return exit_code(ErrorCode::kDeadline);
   }
-  if (result.failed > 0) {
-    for (const auto& job : result.jobs) {
-      if (job.status == maxpower::JobStatus::kFailed) {
-        return exit_code(job.error == ErrorCode::kOk
-                             ? ErrorCode::kNonConvergence
-                             : job.error);
-      }
+  // Any fatally-failed job surfaces as the dedicated "jobs failed" exit
+  // code (12): distinct from per-job causes (those live in the ledger) and
+  // from campaign-level interruptions, so orchestration can branch on $?.
+  if (result.failed > 0) return exit_code(ErrorCode::kJobsFailed);
+  return 0;
+}
+
+int cmd_campaign_coordinator(const Cli& cli) {
+  cli.check_known({"manifest", "state-dir", "socket", "report", "lease-ms",
+                   "job-deadline-ms", "max-assign", "drain-grace-ms"});
+  dist::CoordinatorConfig config;
+  const std::string manifest = cli.get("manifest", "");
+  config.state_dir = cli.get("state-dir", "");
+  const std::string socket_path = cli.get("socket", "");
+  if (manifest.empty() || config.state_dir.empty() || socket_path.empty()) {
+    usage();
+  }
+  config.report_path = cli.get("report", "");
+  config.lease = std::chrono::milliseconds(
+      std::max<long long>(100, cli.get_int("lease-ms", 5000)));
+  const auto job_deadline_ms = cli.get_int("job-deadline-ms", 0);
+  if (job_deadline_ms > 0) {
+    config.job_deadline = std::chrono::milliseconds(job_deadline_ms);
+  }
+  config.max_assignments = static_cast<std::size_t>(
+      std::max<long long>(1, cli.get_int("max-assign", 5)));
+  config.jobs = maxpower::load_campaign_manifest(manifest);
+
+  dist::CoordinatorCore core(std::move(config));
+  dist::CoordinatorServerOptions server;
+  server.socket_path = socket_path;
+  server.control.cancel = g_cancel;  // SIGINT/SIGTERM -> graceful drain
+  const auto drain_grace_ms = cli.get_int("drain-grace-ms", 0);
+  if (drain_grace_ms > 0) {
+    server.drain_grace = std::chrono::milliseconds(drain_grace_ms);
+  }
+  const auto result = dist::serve_campaign(core, server);
+
+  std::printf(
+      "coordinator: %zu done, %zu skipped, %zu failed; %zu leases granted\n",
+      result.done, result.skipped, result.failed, core.leases_granted());
+  if (result.stopped == util::StopCause::kCancelled) {
+    return exit_code(ErrorCode::kCancelled);
+  }
+  if (result.stopped == util::StopCause::kDeadline) {
+    return exit_code(ErrorCode::kDeadline);
+  }
+  if (result.failed > 0) return exit_code(ErrorCode::kJobsFailed);
+  return 0;
+}
+
+int cmd_campaign_worker(const Cli& cli) {
+  cli.check_known({"socket", "state-dir", "worker-id", "threads", "retries",
+                   "heartbeat-ms", "checkpoint-every", "deadline-ms"});
+  dist::WorkerConfig config;
+  config.socket_path = cli.get("socket", "");
+  config.state_dir = cli.get("state-dir", "");
+  config.worker_id = cli.get("worker-id", "");
+  if (config.socket_path.empty() || config.state_dir.empty() ||
+      config.worker_id.empty()) {
+    usage();
+  }
+  config.threads = static_cast<unsigned>(
+      std::max<long long>(0, cli.get_int("threads", 1)));
+  config.job_retry.max_attempts = static_cast<std::size_t>(
+      std::max<long long>(1, cli.get_int("retries", 3)));
+  config.heartbeat = std::chrono::milliseconds(
+      std::max<long long>(50, cli.get_int("heartbeat-ms", 1000)));
+  if (cli.has("checkpoint-every")) {
+    config.checkpoint_every_k = static_cast<std::size_t>(
+        std::max<long long>(1, cli.get_int("checkpoint-every", 1)));
+  }
+  const auto deadline_ms = cli.get_int("deadline-ms", 0);
+  if (deadline_ms > 0) {
+    config.control.deadline =
+        util::Deadline::after(std::chrono::milliseconds(deadline_ms));
+  }
+  config.control.cancel = g_cancel;
+
+  const auto summary = dist::run_worker(config);
+  std::printf("worker %s: %zu leases, %zu done, %zu failed, %zu stopped%s\n",
+              config.worker_id.c_str(), summary.leases, summary.done,
+              summary.failed, summary.stopped,
+              summary.drained ? " (drained)" : "");
+  if (summary.exit_error != ErrorCode::kOk) {
+    return exit_code(summary.exit_error);
+  }
+  return 0;
+}
+
+int cmd_ledger_audit(const Cli& cli) {
+  cli.check_known({"report", "merged-out", "strict"});
+  const std::string report = cli.get("report", "");
+  if (report.empty()) usage();
+
+  const auto ledger = maxpower::read_ledger_file(report);
+  const auto audit = maxpower::audit_ledger(ledger);
+  std::printf(
+      "ledger: %zu records (%zu legacy), %zu corrupt, %zu ignored; "
+      "%zu done, %zu failed, %zu duplicate-done\n",
+      ledger.records.size(), ledger.legacy, ledger.corrupt.size(),
+      ledger.ignored, audit.done_jobs, audit.failed_jobs,
+      audit.duplicate_done);
+  for (const auto& violation : audit.violations) {
+    std::fprintf(stderr, "violation: %s\n", violation.c_str());
+  }
+
+  const std::string merged_out = cli.get("merged-out", "");
+  if (!merged_out.empty()) {
+    const std::string merged = maxpower::merge_ledger(ledger);
+    if (merged_out == "-") {
+      std::fwrite(merged.data(), 1, merged.size(), stdout);
+    } else {
+      util::atomic_write_file(merged_out, merged);
     }
+  }
+
+  if (!audit.ok()) return exit_code(ErrorCode::kCorruptData);
+  if (cli.has("strict") && !ledger.corrupt.empty()) {
+    return exit_code(ErrorCode::kCorruptData);
   }
   return 0;
 }
@@ -502,6 +633,9 @@ int main(int argc, char** argv) try {
   const Cli cli(argc - 1, argv + 1);
   if (cmd == "estimate") return cmd_estimate(cli);
   if (cmd == "campaign") return cmd_campaign(cli);
+  if (cmd == "campaign-coordinator") return cmd_campaign_coordinator(cli);
+  if (cmd == "campaign-worker") return cmd_campaign_worker(cli);
+  if (cmd == "ledger-audit") return cmd_ledger_audit(cli);
   if (cmd == "report") return cmd_report(cli);
   if (cmd == "convert") return cmd_convert(cli);
   if (cmd == "timing") return cmd_timing(cli);
