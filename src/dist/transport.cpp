@@ -1,6 +1,9 @@
 #include "dist/transport.hpp"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -115,6 +118,14 @@ LineChannel::RecvStatus LineChannel::recv_line(
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
     if (n > 0) {
       buf_.append(chunk, static_cast<std::size_t>(n));
+      // Backpressure against frame-less floods: a peer that streams past
+      // the limit without ever terminating a line is dropped, the same as
+      // one that hung up. The partial buffer is discarded with the channel.
+      if (recv_limit_ > 0 && buf_.size() > recv_limit_ &&
+          buf_.find('\n') == std::string::npos) {
+        close();
+        return RecvStatus::kClosed;
+      }
       continue;
     }
     if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -183,6 +194,114 @@ std::unique_ptr<LineChannel> connect_unix(const std::string& path) {
     ::close(fd);
     return nullptr;
   }
+  return std::make_unique<LineChannel>(fd);
+}
+
+namespace {
+
+sockaddr_in make_tcp_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw Error(ErrorCode::kUsage, "invalid IPv4 host address",
+                ErrorContext{}.kv("host", host).str());
+  }
+  return addr;
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+TcpListener::TcpListener(std::uint16_t port, const std::string& host) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw Error(ErrorCode::kIo, "cannot create TCP listening socket",
+                ErrorContext{}.kv("errno", std::strerror(errno)).str());
+  }
+  set_cloexec(fd_);
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr;
+  try {
+    addr = make_tcp_addr(host, port);
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd_, 64) < 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw Error(ErrorCode::kIo, "cannot bind/listen on TCP port",
+                ErrorContext{}.kv("host", host)
+                    .kv("port", static_cast<std::uint64_t>(port))
+                    .kv("errno", detail)
+                    .str());
+  }
+  // Port 0 asks the kernel for an ephemeral port; read the real one back so
+  // tests and smoke scripts can hand it to clients.
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+}
+
+TcpListener::~TcpListener() { close(); }
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::unique_ptr<LineChannel> TcpListener::accept(
+    std::chrono::milliseconds timeout) {
+  if (fd_ < 0) {
+    throw Error(ErrorCode::kIo, "accept on a closed listener");
+  }
+  if (!poll_fd(fd_, POLLIN, timeout)) return nullptr;
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ECONNABORTED) {
+      return nullptr;  // transient: the dialer vanished between poll and accept
+    }
+    throw Error(ErrorCode::kIo, "accept failed",
+                ErrorContext{}.kv("errno", std::strerror(errno)).str());
+  }
+  set_nodelay(conn);
+  return std::make_unique<LineChannel>(conn);
+}
+
+std::unique_ptr<LineChannel> connect_tcp(const std::string& host,
+                                         std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  set_cloexec(fd);
+  sockaddr_in addr;
+  try {
+    addr = make_tcp_addr(host, port);
+  } catch (...) {
+    ::close(fd);
+    throw;  // a malformed host is a caller bug, not a retryable miss
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ::close(fd);
+    return nullptr;
+  }
+  set_nodelay(fd);
   return std::make_unique<LineChannel>(fd);
 }
 

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -50,6 +51,12 @@ class LineChannel {
   /// True when at least one complete buffered line is ready (no syscall).
   bool line_buffered() const;
 
+  /// Caps the receive buffer: when a peer streams more than `bytes` without
+  /// a newline, the channel closes and recv_line reports kClosed. 0 (the
+  /// default) means unlimited. Servers facing untrusted peers set this so a
+  /// frame-less flood can never grow memory without bound.
+  void set_recv_limit(std::size_t bytes) { recv_limit_ = bytes; }
+
   int fd() const { return fd_; }
   bool valid() const { return fd_ >= 0; }
   void close();
@@ -57,6 +64,7 @@ class LineChannel {
  private:
   int fd_ = -1;
   std::string buf_;
+  std::size_t recv_limit_ = 0;
 };
 
 /// Listening end of a Unix-domain socket. Binding unlinks a stale socket
@@ -84,6 +92,37 @@ class UnixListener {
 /// Dials a Unix-domain socket. nullptr when the coordinator is not (yet)
 /// there — callers retry under their backoff policy.
 std::unique_ptr<LineChannel> connect_unix(const std::string& path);
+
+/// Listening end of a TCP socket (the multi-host seam of ROADMAP item 3;
+/// the line protocol is identical to the Unix transport). Binds `host`
+/// (an IPv4 literal, loopback by default) with SO_REUSEADDR; port 0 asks
+/// the kernel for an ephemeral port, readable back via port().
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port,
+                       const std::string& host = "127.0.0.1");
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Accepts one connection, waiting up to `timeout`; nullptr on timeout.
+  /// Accepted channels have TCP_NODELAY set (request/reply lines are tiny).
+  std::unique_ptr<LineChannel> accept(std::chrono::milliseconds timeout);
+
+  /// The bound port (the kernel's pick when constructed with port 0).
+  std::uint16_t port() const { return port_; }
+  int fd() const { return fd_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Dials host:port (IPv4 literal). nullptr when the server is not (yet)
+/// reachable — callers retry under their backoff policy.
+std::unique_ptr<LineChannel> connect_tcp(const std::string& host,
+                                         std::uint16_t port);
 
 /// A connected channel pair (AF_UNIX socketpair) for in-process tests and
 /// pipe-shaped deployments. Throws mpe::Error(kIo) on OS failure.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/contracts.hpp"
+#include "util/math.hpp"
 
 namespace mpe::evt {
 
@@ -47,7 +48,7 @@ PwmResult fit_gev_pwm(std::span<const double> maxima) {
     return r;
   }
 
-  const double gamma_1pk = std::exp(std::lgamma(1.0 + k));
+  const double gamma_1pk = std::exp(math::log_gamma(1.0 + k));
   const double sigma = numer * k / (gamma_1pk * (1.0 - std::pow(2.0, -k)));
   if (!(sigma > 0.0) || !std::isfinite(sigma)) return r;
   const double mu = b0 + sigma * (gamma_1pk - 1.0) / k;

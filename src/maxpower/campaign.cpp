@@ -83,7 +83,14 @@ JobRuntime build_runtime(const CampaignJob& job) {
         gen::build_preset(job.circuit.empty() ? "c432" : job.circuit,
                           job.seed));
   }
-  rt.evaluator = std::make_unique<sim::CyclePowerEvaluator>(*rt.netlist);
+  sim::PowerEvalOptions eval_opt;
+  if (job.delay == "zero") {
+    eval_opt.delay_model = sim::DelayModel::kZero;
+  } else if (job.delay == "unit") {
+    eval_opt.delay_model = sim::DelayModel::kUnit;
+  }  // empty / "loaded" keep the kFanoutLoaded default
+  rt.evaluator =
+      std::make_unique<sim::CyclePowerEvaluator>(*rt.netlist, eval_opt);
   if (job.activity >= 0.0) {
     rt.pairs = std::make_unique<vec::HighActivityPairGenerator>(
         rt.netlist->num_inputs(), job.activity);
@@ -93,6 +100,12 @@ JobRuntime build_runtime(const CampaignJob& job) {
   }
   rt.streaming =
       std::make_unique<vec::StreamingPopulation>(*rt.pairs, *rt.evaluator);
+  // Zero-delay jobs take the fastest batched backend available; backends
+  // are result-invariant for a seed, so this never perturbs a golden.
+  if (eval_opt.delay_model == sim::DelayModel::kZero &&
+      !rt.streaming->enable_compiled()) {
+    rt.streaming->enable_bit_parallel();
+  }
   rt.population = rt.streaming.get();
   return rt;
 }
@@ -126,7 +139,8 @@ CampaignJob parse_campaign_job_object(const util::JsonValue& v,
                                       std::size_t line_no) {
   static constexpr std::string_view kKnown[] = {
       "job", "circuit", "bench", "verilog", "seed", "epsilon",
-      "confidence", "tprob", "activity", "max_hyper", "fitter", "stop"};
+      "confidence", "tprob", "activity", "max_hyper", "fitter", "stop",
+      "delay"};
   if (!v.is_object()) {
     throw Error(ErrorCode::kParse, "manifest line is not a JSON object",
                 ErrorContext{}.kv("line", line_no).str());
@@ -169,6 +183,14 @@ CampaignJob parse_campaign_job_object(const util::JsonValue& v,
     throw Error(ErrorCode::kBadData,
                 "unknown stopping rule (want t | bootstrap)",
                 ErrorContext{}.kv("stop", job.stop)
+                    .kv("line", line_no).str());
+  }
+  job.delay = string_field(v, "delay", line_no);
+  if (!job.delay.empty() && job.delay != "zero" && job.delay != "unit" &&
+      job.delay != "loaded") {
+    throw Error(ErrorCode::kBadData,
+                "unknown delay model (want zero | unit | loaded)",
+                ErrorContext{}.kv("delay", job.delay)
                     .kv("line", line_no).str());
   }
   return job;
@@ -219,6 +241,7 @@ std::string campaign_job_to_json(const CampaignJob& job) {
   f.add("max_hyper", static_cast<std::uint64_t>(job.max_hyper_samples));
   if (!job.fitter.empty()) f.add("fitter", job.fitter);
   if (!job.stop.empty()) f.add("stop", job.stop);
+  if (!job.delay.empty()) f.add("delay", job.delay);
   return f.object();
 }
 

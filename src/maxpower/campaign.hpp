@@ -53,6 +53,13 @@ struct CampaignJob {
   /// silently resume a checkpoint written under a different composition.
   std::string fitter;
   std::string stop;
+  /// Simulation delay model: "zero" | "unit" | "loaded"; empty selects
+  /// loaded (the historical campaign default). Zero-delay jobs are routed
+  /// through the fastest batched backend available (compiled gate tape,
+  /// falling back to the 64-lane interpreter) — all backends produce
+  /// bit-identical value streams for a seed, so this is a speed knob, not a
+  /// semantics knob, within one delay model.
+  std::string delay;
   /// Test hook: when non-null the campaign estimates against this
   /// population instead of building one from the circuit fields. Non-owning;
   /// must outlive the campaign. Built-in or injected, the population is
@@ -113,9 +120,10 @@ struct CampaignResult {
 /// blank lines ignored. Recognized fields: "job" (required, unique),
 /// "circuit" | "bench" | "verilog", "seed", "epsilon", "confidence",
 /// "tprob", "activity", "max_hyper", "fitter" ("mle" | "pwm" | "gev"),
-/// "stop" ("t" | "bootstrap"). Throws mpe::Error(kParse) on malformed
+/// "stop" ("t" | "bootstrap"), "delay" ("zero" | "unit" | "loaded").
+/// Throws mpe::Error(kParse) on malformed
 /// JSON, kBadData on missing/duplicate names, unknown fields, or an
-/// unrecognized fitter/stop name.
+/// unrecognized fitter/stop/delay name.
 std::vector<CampaignJob> load_campaign_manifest(const std::string& path);
 std::vector<CampaignJob> parse_campaign_manifest(std::string_view text);
 

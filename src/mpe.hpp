@@ -113,6 +113,10 @@
 #include "dist/protocol.hpp"
 #include "dist/transport.hpp"
 #include "dist/worker.hpp"
+#include "server/circuit_cache.hpp"
+#include "server/server.hpp"
+#include "server/server_core.hpp"
+#include "server/server_protocol.hpp"
 
 #include "seq/seq_bench_io.hpp"
 #include "seq/seq_gen.hpp"

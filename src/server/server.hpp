@@ -1,0 +1,97 @@
+// Estimation-as-a-service: a long-lived daemon that keeps parsed circuits
+// and compiled gate tapes hot across requests.
+//
+// A Server binds a Unix-domain socket, a TCP port (ROADMAP item 3's
+// multi-host seam), or both, and runs the mpe.server line protocol
+// (server_protocol.hpp) over them. Scheduling decisions — admission,
+// bounded queues, fairness, deadlines, cancellation, drain — live in the
+// pure ServerCore state machine; this file owns only the impure shell:
+// sockets, the executor thread pool, wall clocks, and signal-driven drain.
+//
+// Job execution mirrors the campaign runner's engine construction exactly
+// (same EstimatorOptions, same fitter/stopping mapping, same pipelined
+// run), so a job submitted to the server returns byte-identical numbers to
+// `mpe_cli estimate`/`mpe_cli campaign` for the same (circuit, seed,
+// options) — the server adds reuse, not variance. The one divergence is
+// the circuit source: netlists (and, for zero-delay jobs, compiled tapes)
+// come from the shared bounded-LRU CircuitCache instead of being rebuilt
+// per job.
+//
+// Lifecycle: serve() blocks until the RunControl in the options trips
+// (SIGTERM/SIGINT in the CLI). It then drains like the distributed
+// coordinator: queued jobs are answered `stopped` immediately, running
+// jobs finish (bounded by drain_grace) and report, then the loop exits.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "server/circuit_cache.hpp"
+#include "server/server_core.hpp"
+#include "util/deadline.hpp"
+
+namespace mpe::server {
+
+struct ServerOptions {
+  /// Unix-domain socket path; bound when non-empty.
+  std::string unix_socket;
+  /// Bind a TCP listener when true; port 0 asks for an ephemeral port
+  /// (read it back via Server::tcp_port()).
+  bool tcp = false;
+  std::uint16_t tcp_port = 0;
+  std::string tcp_host = "127.0.0.1";
+  /// Checkpoint directory for server-run jobs; empty disables checkpoints
+  /// (the server stays stateless on disk).
+  std::string state_dir;
+  /// Resident entries in the shared circuit cache.
+  std::size_t cache_capacity = 16;
+  /// Admission / scheduling configuration. The cache and metrics pointers
+  /// are overwritten by the server (it owns the cache).
+  ServerConfig scheduler;
+  /// Serving brake: request_stop() (or deadline expiry) begins the drain.
+  util::RunControl control;
+  /// Loop granularity when idle: latency floor for accepts and replies.
+  std::chrono::milliseconds poll{20};
+  /// How long running jobs may finish after drain begins.
+  std::chrono::milliseconds drain_grace{30000};
+  /// Per-connection receive-buffer cap (frame-less flood protection).
+  std::size_t recv_limit = 256 * 1024;
+  /// Trace each job and stream its events to the submitter (0 disables;
+  /// otherwise the per-job tracer ring capacity).
+  std::size_t trace_capacity = 256;
+};
+
+/// What one serve() invocation did (logged by the CLI on exit).
+struct ServerReport {
+  ServerStats stats;               ///< terminal scheduler + cache counters
+  std::uint64_t connections = 0;   ///< connections ever accepted
+  bool drained = false;            ///< drain completed before the grace cut
+};
+
+class Server {
+ public:
+  /// Binds the requested listeners (throws Error(kIo/kUsage) on failure)
+  /// but does not serve yet — construct, read tcp_port(), then serve().
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound TCP port (the kernel's pick when options asked for 0), or 0
+  /// when no TCP listener was requested.
+  std::uint16_t tcp_port() const;
+
+  /// Runs the serving loop until the control trips and the drain finishes.
+  ServerReport serve();
+
+  const CircuitCache& cache() const { return cache_; }
+
+ private:
+  struct Impl;
+  ServerOptions options_;
+  CircuitCache cache_;
+  Impl* impl_;  ///< listeners + loop state (socket headers stay out of here)
+};
+
+}  // namespace mpe::server

@@ -1,0 +1,331 @@
+#include "server/server_core.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace mpe::server {
+
+namespace {
+
+/// Renders one finite double the way the rest of the scrape format expects
+/// (shortest round-trippable form is overkill here; %.17g is stable).
+std::string render_value(double v) {
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+std::string render_metrics_text(const util::MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& s : snapshot.series) {
+    std::string id = s.name;
+    if (!s.labels.empty()) {
+      id += '{';
+      id += s.labels;
+      id += '}';
+    }
+    if (s.kind == util::MetricKind::kHistogram) {
+      out += id + "_count " + std::to_string(s.histogram.count) + "\n";
+      out += id + "_sum " + std::to_string(s.histogram.sum) + "\n";
+    } else {
+      out += id + " " + render_value(s.value) + "\n";
+    }
+  }
+  return out;
+}
+
+ServerCore::ServerCore(ServerConfig config) : config_(std::move(config)) {
+  if (config_.max_active == 0) config_.max_active = 1;
+  if (config_.max_queued_per_client == 0) config_.max_queued_per_client = 1;
+  if (config_.max_queued_total == 0) config_.max_queued_total = 1;
+}
+
+void ServerCore::connect(std::size_t conn, Clock::time_point /*now*/) {
+  clients_.emplace(conn, Client{});
+  rr_.push_back(conn);
+}
+
+void ServerCore::disconnect(std::size_t conn, Clock::time_point /*now*/) {
+  const auto it = clients_.find(conn);
+  if (it == clients_.end()) return;
+  queued_total_ -= it->second.queue.size();
+  clients_.erase(it);
+  if (const auto pos = std::find(rr_.begin(), rr_.end(), conn);
+      pos != rr_.end()) {
+    const auto idx = static_cast<std::size_t>(pos - rr_.begin());
+    rr_.erase(pos);
+    if (rr_next_ > idx) --rr_next_;
+    if (!rr_.empty()) rr_next_ %= rr_.size();
+  }
+  // Running jobs of this connection become orphans: stop them early (their
+  // result has no reader) and drop the result when complete() arrives.
+  for (Job& job : running_) {
+    if (job.conn != conn) continue;
+    job.orphaned = true;
+    job.cancel.request_stop();
+  }
+}
+
+Outbound ServerCore::stopped_result(const Job& job, ErrorCode code) {
+  maxpower::CampaignJobOutcome outcome;
+  outcome.name = job.id;
+  outcome.status = maxpower::JobStatus::kStopped;
+  outcome.error = code;
+  return Outbound{job.conn, encode_result(job.id, outcome, "")};
+}
+
+bool ServerCore::has_active_id(const Client& client, std::size_t conn,
+                               const std::string& id) const {
+  for (const Job& job : client.queue) {
+    if (job.id == id) return true;
+  }
+  for (const Job& job : running_) {
+    if (job.conn == conn && job.id == id && !job.orphaned) return true;
+  }
+  return false;
+}
+
+std::vector<Outbound> ServerCore::handle_submit(std::size_t conn,
+                                                Client& client,
+                                                const ServerMessage& msg,
+                                                Clock::time_point now) {
+  ++totals_.submits;
+  const auto reject = [&](ErrorCode code, std::string_view detail) {
+    ++totals_.rejected;
+    return std::vector<Outbound>{
+        {conn, encode_rejected(msg.id, code, detail)}};
+  };
+  if (draining_) {
+    return reject(ErrorCode::kCancelled, "server draining");
+  }
+  if (!maxpower::valid_campaign_job_name(msg.id)) {
+    return reject(ErrorCode::kBadData,
+                  "invalid job id (want [A-Za-z0-9._-]{1,128})");
+  }
+  if (has_active_id(client, conn, msg.id)) {
+    return reject(ErrorCode::kBadData, "duplicate active job id");
+  }
+  maxpower::CampaignJob spec;
+  try {
+    spec = maxpower::parse_campaign_job_line(msg.spec);
+  } catch (const Error& e) {
+    return reject(e.code(), e.what());
+  }
+  if (client.queue.size() >= config_.max_queued_per_client ||
+      queued_total_ >= config_.max_queued_total) {
+    return reject(ErrorCode::kResourceExhausted,
+                  "job queue full; retry later");
+  }
+
+  Job job;
+  job.ticket = next_ticket_++;
+  job.conn = conn;
+  job.id = msg.id;
+  job.spec = std::move(spec);
+  job.spec.name = msg.id;  // the request id IS the job id everywhere
+  job.cancel = util::CancellationToken::create();
+  std::chrono::milliseconds budget{msg.deadline_ms};
+  if (budget.count() == 0) budget = config_.default_deadline;
+  if (config_.max_deadline.count() > 0 &&
+      (budget.count() == 0 || budget > config_.max_deadline)) {
+    budget = config_.max_deadline;
+  }
+  if (budget.count() > 0) job.deadline = now + budget;
+  client.queue.push_back(std::move(job));
+  ++queued_total_;
+  ++totals_.accepted;
+  return {{conn, encode_accepted(msg.id)}};
+}
+
+std::vector<Outbound> ServerCore::handle(std::size_t conn,
+                                         const ServerMessage& msg,
+                                         Clock::time_point now) {
+  const auto it = clients_.find(conn);
+  if (it == clients_.end()) {
+    return {{conn, encode_error("unknown connection")}};
+  }
+  Client& client = it->second;
+
+  switch (msg.kind) {
+    case ServerMessageKind::kHello: {
+      if (msg.proto != kServerProtocolVersion) {
+        return {{conn, encode_error("unsupported protocol version")}};
+      }
+      client.hello = true;
+      client.name = msg.client;
+      return {{conn, encode_welcome()}};
+    }
+    case ServerMessageKind::kSubmit: {
+      if (!client.hello) {
+        return {{conn, encode_error("hello required before submit")}};
+      }
+      return handle_submit(conn, client, msg, now);
+    }
+    case ServerMessageKind::kCancel: {
+      // Idempotent: cancelling an unknown/finished job still acks.
+      for (auto job = client.queue.begin(); job != client.queue.end();
+           ++job) {
+        if (job->id != msg.id) continue;
+        Outbound result = stopped_result(*job, ErrorCode::kCancelled);
+        client.queue.erase(job);
+        --queued_total_;
+        ++totals_.stopped;
+        return {std::move(result), {conn, encode_ack(msg.id)}};
+      }
+      for (Job& job : running_) {
+        if (job.conn != conn || job.id != msg.id || job.orphaned) continue;
+        job.cancelled = true;
+        job.cancel.request_stop();
+        break;  // result arrives via complete()
+      }
+      return {{conn, encode_ack(msg.id)}};
+    }
+    case ServerMessageKind::kScrape: {
+      const std::string text =
+          config_.metrics != nullptr
+              ? render_metrics_text(config_.metrics->snapshot())
+              : std::string{};
+      return {{conn, encode_metrics(text)}};
+    }
+    case ServerMessageKind::kStats:
+      return {{conn, encode_server_stats(stats())}};
+    default:
+      return {{conn, encode_error("unexpected message kind")}};
+  }
+}
+
+std::optional<ServerCore::Started> ServerCore::next_job(
+    Clock::time_point /*now*/) {
+  if (running_.size() >= config_.max_active || queued_total_ == 0 ||
+      rr_.empty()) {
+    return std::nullopt;
+  }
+  // Fair round-robin: scan from the cursor, grant the first connection with
+  // queued work, and park the cursor just past it so the next grant starts
+  // with the following connection.
+  for (std::size_t step = 0; step < rr_.size(); ++step) {
+    const std::size_t slot = (rr_next_ + step) % rr_.size();
+    const auto it = clients_.find(rr_[slot]);
+    if (it == clients_.end() || it->second.queue.empty()) continue;
+    Job job = std::move(it->second.queue.front());
+    it->second.queue.pop_front();
+    --queued_total_;
+    rr_next_ = (slot + 1) % rr_.size();
+    Started started;
+    started.ticket = job.ticket;
+    started.conn = job.conn;
+    started.job = job.spec;
+    started.cancel = job.cancel;
+    started.deadline = job.deadline;
+    started.threads = config_.threads_per_job == 0 ? 1u
+                                                   : config_.threads_per_job;
+    running_.push_back(std::move(job));
+    return started;
+  }
+  return std::nullopt;
+}
+
+std::vector<Outbound> ServerCore::complete(
+    std::uint64_t ticket, const maxpower::CampaignJobOutcome& outcome,
+    const std::string& report, Clock::time_point /*now*/) {
+  const auto it =
+      std::find_if(running_.begin(), running_.end(),
+                   [&](const Job& j) { return j.ticket == ticket; });
+  if (it == running_.end()) return {};
+  Job job = std::move(*it);
+  running_.erase(it);
+
+  // The core's own intent (cancel/deadline) wins over whatever StopCause
+  // the engine reported, so a job cancelled a microsecond before it
+  // converged still reads as cancelled.
+  maxpower::CampaignJobOutcome final = outcome;
+  final.name = job.id;
+  if (final.status == maxpower::JobStatus::kStopped) {
+    if (job.cancelled) final.error = ErrorCode::kCancelled;
+    else if (job.deadline_hit) final.error = ErrorCode::kDeadline;
+  }
+  switch (final.status) {
+    case maxpower::JobStatus::kDone: ++totals_.done; break;
+    case maxpower::JobStatus::kFailed: ++totals_.failed; break;
+    default: ++totals_.stopped; break;
+  }
+  if (job.orphaned) return {};  // nobody is listening
+  return {{job.conn, encode_result(job.id, final, report)}};
+}
+
+std::vector<Outbound> ServerCore::tick(Clock::time_point now) {
+  std::vector<Outbound> out;
+  for (auto& [conn, client] : clients_) {
+    for (auto it = client.queue.begin(); it != client.queue.end();) {
+      if (it->deadline > now) {
+        ++it;
+        continue;
+      }
+      out.push_back(stopped_result(*it, ErrorCode::kDeadline));
+      it = client.queue.erase(it);
+      --queued_total_;
+      ++totals_.stopped;
+    }
+  }
+  for (Job& job : running_) {
+    if (job.deadline_hit || job.deadline > now) continue;
+    job.deadline_hit = true;
+    job.cancel.request_stop();  // result still arrives via complete()
+  }
+  return out;
+}
+
+std::vector<Outbound> ServerCore::begin_drain(Clock::time_point /*now*/) {
+  std::vector<Outbound> out;
+  if (draining_) return out;
+  draining_ = true;
+  for (auto& [conn, client] : clients_) {
+    for (Job& job : client.queue) {
+      out.push_back(stopped_result(job, ErrorCode::kCancelled));
+      ++totals_.stopped;
+    }
+    queued_total_ -= client.queue.size();
+    client.queue.clear();
+    out.push_back({conn, encode_drain()});
+  }
+  return out;
+}
+
+ServerStats ServerCore::stats() const {
+  ServerStats s = totals_;
+  s.queued = queued_total_;
+  s.running = running_.size();
+  s.clients = 0;
+  for (const auto& [conn, client] : clients_) {
+    if (client.hello) ++s.clients;
+  }
+  s.draining = draining_;
+  if (config_.cache != nullptr) {
+    const CircuitCache::Stats cs = config_.cache->stats();
+    s.cache_hits = cs.hits;
+    s.cache_misses = cs.misses;
+    s.cache_evictions = cs.evictions;
+    s.cache_size = cs.size;
+    s.cache_capacity = cs.capacity;
+  }
+  return s;
+}
+
+std::optional<ServerJobPhase> ServerCore::phase(std::size_t conn,
+                                                const std::string& id) const {
+  if (const auto it = clients_.find(conn); it != clients_.end()) {
+    for (const Job& job : it->second.queue) {
+      if (job.id == id) return ServerJobPhase::kQueued;
+    }
+  }
+  for (const Job& job : running_) {
+    if (job.conn == conn && job.id == id) return ServerJobPhase::kRunning;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mpe::server

@@ -1,0 +1,351 @@
+#include "server/server_protocol.hpp"
+
+#include <cmath>
+
+#include "util/jsonl.hpp"
+
+namespace mpe::server {
+
+namespace {
+
+util::JsonFields header(ServerMessageKind kind) {
+  util::JsonFields f;
+  f.add("schema", "mpe.server");
+  f.add("v", kServerProtocolVersion);
+  f.add("type", to_string(kind));
+  return f;
+}
+
+std::string required_string(const util::JsonValue& v, std::string_view key,
+                            std::size_t max_bytes) {
+  const util::JsonValue* field = v.find(key);
+  if (field == nullptr || !field->is_string()) {
+    throw Error(ErrorCode::kBadData, "message field missing or not a string",
+                ErrorContext{}.kv("field", key).str());
+  }
+  std::string out = field->as_string();
+  if (out.size() > max_bytes) {
+    throw Error(ErrorCode::kBadData, "message field too large",
+                ErrorContext{}.kv("field", key)
+                    .kv("bytes", static_cast<std::uint64_t>(out.size()))
+                    .kv("max", static_cast<std::uint64_t>(max_bytes))
+                    .str());
+  }
+  return out;
+}
+
+std::string optional_string(const util::JsonValue& v, std::string_view key,
+                            std::size_t max_bytes) {
+  const util::JsonValue* field = v.find(key);
+  if (field == nullptr) return {};
+  if (!field->is_string()) {
+    throw Error(ErrorCode::kBadData, "message field must be a string",
+                ErrorContext{}.kv("field", key).str());
+  }
+  std::string out = field->as_string();
+  if (out.size() > max_bytes) {
+    throw Error(ErrorCode::kBadData, "message field too large",
+                ErrorContext{}.kv("field", key).str());
+  }
+  return out;
+}
+
+std::uint64_t number_or(const util::JsonValue& v, std::string_view key,
+                        std::uint64_t fallback) {
+  const util::JsonValue* field = v.find(key);
+  if (field == nullptr) return fallback;
+  if (!field->is_number()) {
+    throw Error(ErrorCode::kBadData, "message field must be a number",
+                ErrorContext{}.kv("field", key).str());
+  }
+  const double raw = field->as_number();
+  if (!std::isfinite(raw) || raw < 0.0) {
+    throw Error(ErrorCode::kBadData,
+                "message field must be a non-negative finite number",
+                ErrorContext{}.kv("field", key).str());
+  }
+  return static_cast<std::uint64_t>(raw);
+}
+
+double finite_number(const util::JsonValue& v, std::string_view key) {
+  const util::JsonValue* field = v.find(key);
+  if (field == nullptr || !field->is_number()) {
+    throw Error(ErrorCode::kBadData, "message field missing or not a number",
+                ErrorContext{}.kv("field", key).str());
+  }
+  const double raw = field->as_number();
+  if (!std::isfinite(raw)) {
+    throw Error(ErrorCode::kBadData, "message field must be finite",
+                ErrorContext{}.kv("field", key).str());
+  }
+  return raw;
+}
+
+}  // namespace
+
+std::string_view to_string(ServerMessageKind kind) {
+  switch (kind) {
+    case ServerMessageKind::kHello: return "hello";
+    case ServerMessageKind::kSubmit: return "submit";
+    case ServerMessageKind::kCancel: return "cancel";
+    case ServerMessageKind::kScrape: return "scrape";
+    case ServerMessageKind::kStats: return "stats";
+    case ServerMessageKind::kWelcome: return "welcome";
+    case ServerMessageKind::kAccepted: return "accepted";
+    case ServerMessageKind::kRejected: return "rejected";
+    case ServerMessageKind::kAck: return "ack";
+    case ServerMessageKind::kEvent: return "event";
+    case ServerMessageKind::kResult: return "result";
+    case ServerMessageKind::kMetrics: return "metrics";
+    case ServerMessageKind::kServerStats: return "server-stats";
+    case ServerMessageKind::kDrain: return "drain";
+    case ServerMessageKind::kError: return "error";
+  }
+  return "error";
+}
+
+std::string encode_hello(std::string_view client) {
+  auto f = header(ServerMessageKind::kHello);
+  f.add("client", client);
+  f.add("proto", kServerProtocolVersion);
+  return f.object();
+}
+
+std::string encode_submit(std::string_view id, std::string_view spec_json,
+                          std::uint64_t deadline_ms) {
+  auto f = header(ServerMessageKind::kSubmit);
+  f.add("id", id);
+  f.add("spec", spec_json);  // shipped as a string; parsed by the server
+  if (deadline_ms > 0) f.add("deadline_ms", deadline_ms);
+  return f.object();
+}
+
+std::string encode_cancel(std::string_view id) {
+  auto f = header(ServerMessageKind::kCancel);
+  f.add("id", id);
+  return f.object();
+}
+
+std::string encode_scrape() {
+  return header(ServerMessageKind::kScrape).object();
+}
+
+std::string encode_stats() {
+  return header(ServerMessageKind::kStats).object();
+}
+
+std::string encode_welcome() {
+  auto f = header(ServerMessageKind::kWelcome);
+  f.add("proto", kServerProtocolVersion);
+  return f.object();
+}
+
+std::string encode_accepted(std::string_view id) {
+  auto f = header(ServerMessageKind::kAccepted);
+  f.add("id", id);
+  return f.object();
+}
+
+std::string encode_rejected(std::string_view id, ErrorCode code,
+                            std::string_view detail) {
+  auto f = header(ServerMessageKind::kRejected);
+  f.add("id", id);
+  f.add("code", mpe::to_string(code));
+  if (!detail.empty()) f.add("detail", detail);
+  return f.object();
+}
+
+std::string encode_ack(std::string_view id) {
+  auto f = header(ServerMessageKind::kAck);
+  f.add("id", id);
+  return f.object();
+}
+
+std::string encode_event(std::string_view id, std::uint64_t seq,
+                         std::string_view name, std::string_view fields) {
+  auto f = header(ServerMessageKind::kEvent);
+  f.add("id", id);
+  f.add("seq", seq);
+  f.add("name", name);
+  if (!fields.empty()) f.add("fields", fields);
+  return f.object();
+}
+
+std::string encode_result(std::string_view id,
+                          const maxpower::CampaignJobOutcome& outcome,
+                          std::string_view report) {
+  auto f = header(ServerMessageKind::kResult);
+  f.add("id", id);
+  f.add("status", maxpower::to_string(outcome.status));
+  if (outcome.error != ErrorCode::kOk) {
+    f.add("code", mpe::to_string(outcome.error));
+  }
+  if (outcome.status == maxpower::JobStatus::kDone) {
+    f.add("estimate", outcome.result.estimate);
+    f.add("ci_lower", outcome.result.ci.lower);
+    f.add("ci_upper", outcome.result.ci.upper);
+    f.add("hyper_samples",
+          static_cast<std::uint64_t>(outcome.result.hyper_samples));
+    f.add("units", static_cast<std::uint64_t>(outcome.result.units_used));
+    f.add("converged", outcome.result.converged);
+  }
+  if (!report.empty()) f.add("report", report);
+  return f.object();
+}
+
+std::string encode_metrics(std::string_view text) {
+  auto f = header(ServerMessageKind::kMetrics);
+  f.add("text", text);
+  return f.object();
+}
+
+std::string encode_server_stats(const ServerStats& s) {
+  auto f = header(ServerMessageKind::kServerStats);
+  f.add("submits", s.submits);
+  f.add("accepted", s.accepted);
+  f.add("rejected", s.rejected);
+  f.add("done", s.done);
+  f.add("failed", s.failed);
+  f.add("stopped", s.stopped);
+  f.add("queued", s.queued);
+  f.add("running", s.running);
+  f.add("clients", s.clients);
+  f.add("cache_hits", s.cache_hits);
+  f.add("cache_misses", s.cache_misses);
+  f.add("cache_evictions", s.cache_evictions);
+  f.add("cache_size", s.cache_size);
+  f.add("cache_capacity", s.cache_capacity);
+  f.add("draining", s.draining);
+  return f.object();
+}
+
+std::string encode_drain() { return header(ServerMessageKind::kDrain).object(); }
+
+std::string encode_error(std::string_view detail) {
+  auto f = header(ServerMessageKind::kError);
+  f.add("detail", detail);
+  return f.object();
+}
+
+ServerMessage decode_server_message(std::string_view line) {
+  util::JsonValue v;
+  try {
+    v = util::parse_json(line);
+  } catch (const Error& e) {
+    throw Error(ErrorCode::kParse, "malformed server message",
+                ErrorContext{}.kv("detail", e.message()).str());
+  }
+  if (!v.is_object()) {
+    throw Error(ErrorCode::kBadData, "server message is not a JSON object");
+  }
+  const std::string type = required_string(v, "type", 64);
+  ServerMessage msg;
+  bool known = false;
+  for (int k = 0; k <= static_cast<int>(ServerMessageKind::kError); ++k) {
+    if (type == to_string(static_cast<ServerMessageKind>(k))) {
+      msg.kind = static_cast<ServerMessageKind>(k);
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    throw Error(ErrorCode::kBadData, "unknown server message type",
+                ErrorContext{}.kv("type", type).str());
+  }
+  switch (msg.kind) {
+    case ServerMessageKind::kHello:
+      msg.client = required_string(v, "client", kMaxIdBytes);
+      msg.proto = number_or(v, "proto", 0);
+      break;
+    case ServerMessageKind::kSubmit:
+      msg.id = required_string(v, "id", kMaxIdBytes);
+      msg.spec = required_string(v, "spec", kMaxSpecBytes);
+      msg.deadline_ms = number_or(v, "deadline_ms", 0);
+      if (msg.deadline_ms > kMaxDeadlineMs) {
+        throw Error(ErrorCode::kBadData, "deadline_ms out of range",
+                    ErrorContext{}.kv("deadline_ms", msg.deadline_ms)
+                        .kv("max", kMaxDeadlineMs)
+                        .str());
+      }
+      break;
+    case ServerMessageKind::kCancel:
+    case ServerMessageKind::kAccepted:
+    case ServerMessageKind::kAck:
+      msg.id = required_string(v, "id", kMaxIdBytes);
+      break;
+    case ServerMessageKind::kScrape:
+    case ServerMessageKind::kStats:
+    case ServerMessageKind::kDrain:
+      break;
+    case ServerMessageKind::kWelcome:
+      msg.proto = number_or(v, "proto", 0);
+      break;
+    case ServerMessageKind::kRejected:
+      msg.id = required_string(v, "id", kMaxIdBytes);
+      msg.code = error_code_from_string(required_string(v, "code", 64));
+      msg.detail = optional_string(v, "detail", 4096);
+      break;
+    case ServerMessageKind::kEvent:
+      msg.id = required_string(v, "id", kMaxIdBytes);
+      msg.seq = number_or(v, "seq", 0);
+      msg.name = required_string(v, "name", 256);
+      msg.fields = optional_string(v, "fields", 4096);
+      break;
+    case ServerMessageKind::kResult: {
+      msg.id = required_string(v, "id", kMaxIdBytes);
+      const std::string status = required_string(v, "status", 64);
+      const auto parsed = maxpower::job_status_from_name(status);
+      if (!parsed) {
+        throw Error(ErrorCode::kBadData, "unknown job status in result",
+                    ErrorContext{}.kv("status", status).str());
+      }
+      msg.status = *parsed;
+      if (const auto* c = v.find("code"); c != nullptr && c->is_string()) {
+        msg.code = error_code_from_string(c->as_string());
+      }
+      if (msg.status == maxpower::JobStatus::kDone) {
+        msg.estimate = finite_number(v, "estimate");
+        msg.ci_lower = finite_number(v, "ci_lower");
+        msg.ci_upper = finite_number(v, "ci_upper");
+        msg.hyper_samples = number_or(v, "hyper_samples", 0);
+        msg.units = number_or(v, "units", 0);
+        if (const auto* c = v.find("converged");
+            c != nullptr && c->is_bool()) {
+          msg.converged = c->as_bool();
+        }
+      }
+      // The report can be a full JSONL run report: bounded, but generous.
+      msg.text = optional_string(v, "report", 4 * kMaxSpecBytes);
+      break;
+    }
+    case ServerMessageKind::kMetrics:
+      msg.text = optional_string(v, "text", 4 * kMaxSpecBytes);
+      break;
+    case ServerMessageKind::kServerStats:
+      msg.stats.submits = number_or(v, "submits", 0);
+      msg.stats.accepted = number_or(v, "accepted", 0);
+      msg.stats.rejected = number_or(v, "rejected", 0);
+      msg.stats.done = number_or(v, "done", 0);
+      msg.stats.failed = number_or(v, "failed", 0);
+      msg.stats.stopped = number_or(v, "stopped", 0);
+      msg.stats.queued = number_or(v, "queued", 0);
+      msg.stats.running = number_or(v, "running", 0);
+      msg.stats.clients = number_or(v, "clients", 0);
+      msg.stats.cache_hits = number_or(v, "cache_hits", 0);
+      msg.stats.cache_misses = number_or(v, "cache_misses", 0);
+      msg.stats.cache_evictions = number_or(v, "cache_evictions", 0);
+      msg.stats.cache_size = number_or(v, "cache_size", 0);
+      msg.stats.cache_capacity = number_or(v, "cache_capacity", 0);
+      if (const auto* d = v.find("draining");
+          d != nullptr && d->is_bool()) {
+        msg.stats.draining = d->as_bool();
+      }
+      break;
+    case ServerMessageKind::kError:
+      msg.detail = optional_string(v, "detail", 4096);
+      break;
+  }
+  return msg;
+}
+
+}  // namespace mpe::server

@@ -1,0 +1,154 @@
+// Wire protocol of the estimation service (one JSON object per line over
+// dist/transport channels — Unix or TCP — schema tag "mpe.server" v1).
+//
+// Client -> server:
+//   hello   {client, proto}          introduce + version handshake
+//   submit  {id, spec, [deadline_ms]}
+//                                    enqueue one job. `spec` is a
+//                                    manifest-format campaign job object
+//                                    shipped as a string (the same shape
+//                                    dist leases use); `id` is the
+//                                    client-chosen request key echoed on
+//                                    every reply about this job
+//   cancel  {id}                     cancel a queued or running job
+//   scrape  {}                       fetch the metrics registry as text
+//   stats   {}                       fetch scheduler + cache counters
+//
+// Server -> client:
+//   welcome {proto}                  hello accepted
+//   accepted{id}                     job admitted (a result WILL follow,
+//                                    exactly once)
+//   rejected{id, code, detail}       job refused: no result will follow.
+//                                    code "resource-exhausted" is
+//                                    backpressure — retry later
+//   ack     {id}                     cancel acknowledged (idempotent)
+//   event   {id, seq, name, [fields]}
+//                                    one streamed trace event of a running
+//                                    job; seq is strictly increasing per job
+//   result  {id, status, [code], [estimate, ci_lower, ci_upper,
+//            hyper_samples, units, converged], [report]}
+//                                    terminal outcome, exactly once per
+//                                    accepted submit; `report` is the full
+//                                    JSONL run report in a string
+//   metrics {text}                   scrape reply (text scrape format)
+//   server-stats {...}               stats reply (see ServerStats)
+//   drain   {}                       server is shutting down; no more
+//                                    submits will be accepted
+//   error   {detail}                 protocol violation; fix and resend
+//
+// Validation is strict and bounded: unknown types, missing fields,
+// out-of-range values, and oversized payloads all throw (kParse/kBadData)
+// so the serving loop can answer with a structured `error` line instead of
+// crashing — the fuzz suite in tests/test_server_protocol.cpp holds it to
+// that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "maxpower/campaign.hpp"
+#include "util/status.hpp"
+
+namespace mpe::server {
+
+/// Protocol revision; bumped on any incompatible message change.
+inline constexpr std::uint64_t kServerProtocolVersion = 1;
+
+/// Hard caps enforced at decode time (never trust a peer's sizes).
+inline constexpr std::size_t kMaxSpecBytes = 64 * 1024;
+inline constexpr std::size_t kMaxIdBytes = 128;
+inline constexpr std::uint64_t kMaxDeadlineMs = 86'400'000;  // one day
+
+enum class ServerMessageKind : std::uint8_t {
+  kHello,
+  kSubmit,
+  kCancel,
+  kScrape,
+  kStats,
+  kWelcome,
+  kAccepted,
+  kRejected,
+  kAck,
+  kEvent,
+  kResult,
+  kMetrics,
+  kServerStats,
+  kDrain,
+  kError,
+};
+
+std::string_view to_string(ServerMessageKind kind);
+
+/// Scheduler + cache counters shipped in a server-stats reply.
+struct ServerStats {
+  std::uint64_t submits = 0;    ///< submit messages admitted or refused
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t stopped = 0;    ///< cancelled / deadline-expired jobs
+  std::uint64_t queued = 0;     ///< currently queued
+  std::uint64_t running = 0;    ///< currently running
+  std::uint64_t clients = 0;    ///< live connections that said hello
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_size = 0;
+  std::uint64_t cache_capacity = 0;
+  bool draining = false;
+};
+
+/// One decoded message. Only the fields relevant to `kind` are meaningful.
+struct ServerMessage {
+  ServerMessageKind kind = ServerMessageKind::kError;
+  std::string client;   ///< hello
+  std::string id;       ///< submit/cancel/accepted/rejected/ack/event/result
+  std::string spec;     ///< submit: manifest-format job JSON
+  std::string detail;   ///< rejected/error
+  std::string text;     ///< metrics: scrape text; result: run report JSONL
+  std::string name;     ///< event: trace event name
+  std::string fields;   ///< event: trace event fields JSON (may be empty)
+  std::uint64_t proto = 0;        ///< hello/welcome
+  std::uint64_t deadline_ms = 0;  ///< submit: 0 = server default
+  std::uint64_t seq = 0;          ///< event
+  ErrorCode code = ErrorCode::kOk;            ///< rejected/result
+  maxpower::JobStatus status = maxpower::JobStatus::kFailed;  ///< result
+  double estimate = 0.0;          ///< result (done)
+  double ci_lower = 0.0;          ///< result (done)
+  double ci_upper = 0.0;          ///< result (done)
+  std::uint64_t hyper_samples = 0;  ///< result (done)
+  std::uint64_t units = 0;          ///< result (done)
+  bool converged = false;           ///< result (done)
+  ServerStats stats;              ///< server-stats
+};
+
+std::string encode_hello(std::string_view client);
+std::string encode_submit(std::string_view id, std::string_view spec_json,
+                          std::uint64_t deadline_ms = 0);
+std::string encode_cancel(std::string_view id);
+std::string encode_scrape();
+std::string encode_stats();
+std::string encode_welcome();
+std::string encode_accepted(std::string_view id);
+std::string encode_rejected(std::string_view id, ErrorCode code,
+                            std::string_view detail);
+std::string encode_ack(std::string_view id);
+std::string encode_event(std::string_view id, std::uint64_t seq,
+                         std::string_view name, std::string_view fields);
+/// Renders the terminal reply for `outcome` (status/code plus the result
+/// payload when done). `report` may be empty (no report captured).
+std::string encode_result(std::string_view id,
+                          const maxpower::CampaignJobOutcome& outcome,
+                          std::string_view report);
+std::string encode_metrics(std::string_view text);
+std::string encode_server_stats(const ServerStats& stats);
+std::string encode_drain();
+std::string encode_error(std::string_view detail);
+
+/// Parses and validates one message line. Throws mpe::Error(kParse) on
+/// malformed JSON, kBadData on missing/mistyped/out-of-range fields or an
+/// unknown kind.
+ServerMessage decode_server_message(std::string_view line);
+
+}  // namespace mpe::server

@@ -16,7 +16,7 @@ double ChiSquared::pdf(double x) const {
                                 : (k_ == 2.0 ? 0.5 : 0.0);
   const double half_k = 0.5 * k_;
   return std::exp((half_k - 1.0) * std::log(x) - 0.5 * x -
-                  half_k * std::log(2.0) - std::lgamma(half_k));
+                  half_k * std::log(2.0) - math::log_gamma(half_k));
 }
 
 double ChiSquared::cdf(double x) const {

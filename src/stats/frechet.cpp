@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/contracts.hpp"
+#include "util/math.hpp"
 
 namespace mpe::stats {
 
@@ -43,7 +44,7 @@ double Frechet::sample(Rng& rng) const {
 
 double Frechet::mean() const {
   MPE_EXPECTS_MSG(alpha_ > 1.0, "Frechet mean requires alpha > 1");
-  return mu_ + sigma_ * std::exp(std::lgamma(1.0 - 1.0 / alpha_));
+  return mu_ + sigma_ * std::exp(math::log_gamma(1.0 - 1.0 / alpha_));
 }
 
 }  // namespace mpe::stats

@@ -11,8 +11,8 @@ namespace mpe::stats {
 StudentT::StudentT(double nu) : nu_(nu) { MPE_EXPECTS(nu > 0.0); }
 
 double StudentT::pdf(double t) const {
-  const double lognorm = std::lgamma(0.5 * (nu_ + 1.0)) -
-                         std::lgamma(0.5 * nu_) -
+  const double lognorm = math::log_gamma(0.5 * (nu_ + 1.0)) -
+                         math::log_gamma(0.5 * nu_) -
                          0.5 * std::log(nu_ * M_PI);
   return std::exp(lognorm -
                   0.5 * (nu_ + 1.0) * std::log1p(t * t / nu_));

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/contracts.hpp"
+#include "util/math.hpp"
 
 namespace mpe::stats {
 
@@ -51,12 +52,12 @@ double ReversedWeibull::sigma() const {
 }
 
 double ReversedWeibull::mean() const {
-  return p_.mu - sigma() * std::exp(std::lgamma(1.0 + 1.0 / p_.alpha));
+  return p_.mu - sigma() * std::exp(math::log_gamma(1.0 + 1.0 / p_.alpha));
 }
 
 double ReversedWeibull::variance() const {
-  const double g1 = std::exp(std::lgamma(1.0 + 1.0 / p_.alpha));
-  const double g2 = std::exp(std::lgamma(1.0 + 2.0 / p_.alpha));
+  const double g1 = std::exp(math::log_gamma(1.0 + 1.0 / p_.alpha));
+  const double g2 = std::exp(math::log_gamma(1.0 + 2.0 / p_.alpha));
   const double s = sigma();
   return s * s * (g2 - g1 * g1);
 }

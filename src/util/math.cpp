@@ -7,9 +7,20 @@
 
 namespace mpe::math {
 
+double log_gamma(double x) {
+#if defined(__GLIBC__) || defined(__linux__) || defined(__APPLE__)
+  // lgamma_r returns the sign through its out-parameter instead of writing
+  // the global signgam, so concurrent callers do not race.
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 double log_beta(double a, double b) {
   MPE_EXPECTS(a > 0.0 && b > 0.0);
-  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+  return log_gamma(a) + log_gamma(b) - log_gamma(a + b);
 }
 
 namespace {

@@ -12,6 +12,12 @@ namespace mpe::math {
 /// Machine-independent "tiny" used to guard divisions in continued fractions.
 inline constexpr double kTiny = 1e-300;
 
+/// Natural log of |Gamma(x)|. Unlike std::lgamma, this is thread-safe:
+/// glibc's lgamma writes the process-global `signgam`, which is a data race
+/// when independent estimation runs share a process (the mpe_server
+/// executor pool). All in-tree code must call this instead of std::lgamma.
+double log_gamma(double x);
+
 /// Natural log of the beta function B(a, b).
 double log_beta(double a, double b);
 

@@ -22,12 +22,13 @@ std::string_view to_string(ErrorCode code) {
     case ErrorCode::kInternal: return "internal";
     case ErrorCode::kCorruptData: return "corrupt-data";
     case ErrorCode::kJobsFailed: return "jobs-failed";
+    case ErrorCode::kResourceExhausted: return "resource-exhausted";
   }
   return "unknown";
 }
 
 ErrorCode error_code_from_string(std::string_view name) {
-  for (int c = 0; c <= static_cast<int>(ErrorCode::kJobsFailed); ++c) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kResourceExhausted); ++c) {
     const auto code = static_cast<ErrorCode>(c);
     if (to_string(code) == name) return code;
   }
@@ -49,6 +50,7 @@ int exit_code(ErrorCode code) {
     case ErrorCode::kInternal: return 10;
     case ErrorCode::kCorruptData: return 11;
     case ErrorCode::kJobsFailed: return 12;
+    case ErrorCode::kResourceExhausted: return 13;
   }
   return 10;
 }

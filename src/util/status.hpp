@@ -32,6 +32,9 @@ enum class ErrorCode : std::uint8_t {
                     ///< truncated checkpoint, torn trailer)
   kJobsFailed,      ///< a campaign finished, but at least one job ended
                     ///< fatally-failed (per-job codes are in the ledger)
+  kResourceExhausted,  ///< admission control refused the work: a bounded
+                       ///< queue or per-client budget is full (backpressure;
+                       ///< retry later, never queue unboundedly)
 };
 
 /// Stable short name ("parse", "io", ...) for logs and CLI output.
@@ -44,7 +47,8 @@ ErrorCode error_code_from_string(std::string_view name);
 /// Process exit code for a CLI front end terminating with `code`.
 /// 0 = success, 1 = non-convergence, 2 = usage, 3 = parse, 4 = I/O,
 /// 5 = bad data, 6 = precondition, 7 = deadline, 8 = cancelled,
-/// 9 = injected fault, 10 = internal, 11 = corrupt data, 12 = jobs failed.
+/// 9 = injected fault, 10 = internal, 11 = corrupt data, 12 = jobs failed,
+/// 13 = resource exhausted.
 int exit_code(ErrorCode code);
 
 /// Severity of one diagnostic record.

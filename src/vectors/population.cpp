@@ -195,13 +195,21 @@ bool StreamingPopulation::enable_bit_parallel() {
 
 bool StreamingPopulation::enable_compiled(
     std::optional<sim::SimdKernel> kernel) {
+  return enable_compiled_with(nullptr, kernel);
+}
+
+bool StreamingPopulation::enable_compiled_with(
+    std::shared_ptr<const sim::GateProgram> program,
+    std::optional<sim::SimdKernel> kernel) {
   if (evaluator_.options().delay_model != sim::DelayModel::kZero) {
     return false;  // the gate tape is a zero-delay construct
   }
   const sim::SimdKernel k = kernel.value_or(sim::best_kernel());
   if (!sim::kernel_available(k)) return false;
+  if (program != nullptr) program_ = std::move(program);
   if (backend_ == Backend::kCompiled && kernel_ == k) return true;
-  // Compile once per circuit; slots share the immutable tape.
+  // Compile once per circuit; slots share the immutable tape (which may
+  // have been adopted from a cache rather than compiled here).
   if (!program_) {
     program_ = sim::GateProgram::compile(evaluator_.netlist(),
                                          evaluator_.options().tech);

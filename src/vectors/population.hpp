@@ -141,6 +141,22 @@ class StreamingPopulation final : public Population {
   bool enable_compiled(
       std::optional<sim::SimdKernel> kernel = std::nullopt);
 
+  /// Like enable_compiled(), but adopts an already-compiled tape instead of
+  /// lowering the netlist again — the parse-once/serve-thousands seam used
+  /// by the server's circuit cache. `program` must have been compiled from
+  /// this population's netlist and technology (callers key their caches by
+  /// circuit content to guarantee it). A null program behaves exactly like
+  /// enable_compiled().
+  bool enable_compiled_with(
+      std::shared_ptr<const sim::GateProgram> program,
+      std::optional<sim::SimdKernel> kernel = std::nullopt);
+
+  /// The immutable compiled tape (null until a compiled backend is
+  /// enabled). Shareable across populations of the same circuit.
+  std::shared_ptr<const sim::GateProgram> compiled_program() const {
+    return program_;
+  }
+
   /// The active draw_batch backend.
   Backend backend() const { return backend_; }
 

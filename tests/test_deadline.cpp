@@ -55,9 +55,10 @@ TEST(DeadlineTest, DefaultConstructedIsUnlimited) {
 }
 
 TEST(DeadlineTest, AfterExpiresOnceBudgetElapses) {
-  const Deadline d = Deadline::after(1ms);
+  // A zero budget is already elapsed at the first check (expired() uses >=
+  // against a monotonic clock), so no wall-clock sleep is needed.
+  const Deadline d = Deadline::after(0ns);
   EXPECT_FALSE(d.unlimited());
-  std::this_thread::sleep_for(5ms);
   EXPECT_TRUE(d.expired());
   EXPECT_EQ(d.remaining(), 0ns);
 }
@@ -83,8 +84,7 @@ TEST(RunControlTest, DefaultIsInactiveAndNeverStops) {
 TEST(RunControlTest, CancellationWinsOverDeadline) {
   RunControl control;
   control.cancel = CancellationToken::create();
-  control.deadline = Deadline::after(0ns);
-  std::this_thread::sleep_for(1ms);
+  control.deadline = Deadline::at(std::chrono::steady_clock::now() - 1ms);
   control.cancel.request_stop();
   // Both brakes fired; cancellation is reported first.
   EXPECT_EQ(control.should_stop(), StopCause::kCancelled);
@@ -92,8 +92,7 @@ TEST(RunControlTest, CancellationWinsOverDeadline) {
 
 TEST(RunControlTest, DeadlineReportedWhenOnlyClockFires) {
   RunControl control;
-  control.deadline = Deadline::after(0ns);
-  std::this_thread::sleep_for(1ms);
+  control.deadline = Deadline::at(std::chrono::steady_clock::now() - 1ms);
   EXPECT_TRUE(control.active());
   EXPECT_EQ(control.should_stop(), StopCause::kDeadline);
 }
@@ -136,8 +135,7 @@ TEST(RunControlThreadPool, MidLoopCancellationSkipsRemainingIndices) {
 TEST(RunControlThreadPool, ExpiredDeadlineStopsSlottedLoop) {
   mpe::util::ThreadPool pool(2);
   RunControl control;
-  control.deadline = Deadline::after(0ns);
-  std::this_thread::sleep_for(1ms);
+  control.deadline = Deadline::at(std::chrono::steady_clock::now() - 1ms);
   std::atomic<int> ran{0};
   pool.parallel_for_slotted(
       0, 1000, [&](unsigned, std::size_t) { ++ran; }, &control);

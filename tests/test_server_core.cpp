@@ -1,0 +1,426 @@
+// server/ServerCore: the scheduler state machine under a synthetic clock —
+// handshake gating, admission control and kResourceExhausted backpressure,
+// round-robin fairness across clients, per-job deadlines (queued and
+// running), idempotent cancellation, disconnect orphaning, SIGTERM drain
+// ordering, and the exactly-once result guarantee. No sockets, no threads,
+// no sleeps: every transition is driven with an explicit time_point, so
+// these tests are deterministic by construction.
+#include "server/server_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "maxpower/campaign.hpp"
+#include "server/server_protocol.hpp"
+#include "util/metrics.hpp"
+
+namespace {
+
+namespace ms = mpe::server;
+namespace mp = mpe::maxpower;
+using mpe::ErrorCode;
+using Clock = ms::ServerCore::Clock;
+using namespace std::chrono_literals;
+
+const Clock::time_point kT0 = Clock::time_point{} + std::chrono::hours(1);
+
+std::string job_spec(const std::string& name, std::uint64_t seed = 1) {
+  mp::CampaignJob job;
+  job.name = name;
+  job.circuit = "c432";
+  job.seed = seed;
+  return mp::campaign_job_to_json(job);
+}
+
+ms::ServerMessage decode(const std::vector<ms::Outbound>& out,
+                         std::size_t index = 0) {
+  EXPECT_LT(index, out.size());
+  return ms::decode_server_message(out.at(index).line);
+}
+
+/// Says hello on `conn` and swallows the welcome.
+void handshake(ms::ServerCore& core, std::size_t conn) {
+  core.connect(conn, kT0);
+  const auto out = core.handle(
+      conn, ms::decode_server_message(ms::encode_hello("client")), kT0);
+  ASSERT_EQ(decode(out).kind, ms::ServerMessageKind::kWelcome);
+}
+
+std::vector<ms::Outbound> submit(ms::ServerCore& core, std::size_t conn,
+                                 const std::string& id,
+                                 std::uint64_t deadline_ms = 0) {
+  return core.handle(conn,
+                     ms::decode_server_message(ms::encode_submit(
+                         id, job_spec(id), deadline_ms)),
+                     kT0);
+}
+
+mp::CampaignJobOutcome done_outcome(const std::string& name) {
+  mp::CampaignJobOutcome outcome;
+  outcome.name = name;
+  outcome.status = mp::JobStatus::kDone;
+  outcome.result.estimate = 1.5;
+  outcome.result.converged = true;
+  return outcome;
+}
+
+TEST(ServerCore, SubmitBeforeHelloIsAProtocolError) {
+  ms::ServerCore core(ms::ServerConfig{});
+  core.connect(1, kT0);
+  const auto out = core.handle(
+      1, ms::decode_server_message(ms::encode_submit("j1", job_spec("j1"))),
+      kT0);
+  EXPECT_EQ(decode(out).kind, ms::ServerMessageKind::kError);
+  EXPECT_EQ(core.queued_count(), 0u);
+}
+
+TEST(ServerCore, WrongProtocolVersionIsRefused) {
+  ms::ServerCore core(ms::ServerConfig{});
+  core.connect(1, kT0);
+  auto hello = ms::decode_server_message(ms::encode_hello("client"));
+  hello.proto = 99;
+  const auto out = core.handle(1, hello, kT0);
+  EXPECT_EQ(decode(out).kind, ms::ServerMessageKind::kError);
+}
+
+TEST(ServerCore, SubmitRunsAndCompletesExactlyOnce) {
+  ms::ServerCore core(ms::ServerConfig{});
+  handshake(core, 1);
+  ASSERT_EQ(decode(submit(core, 1, "j1")).kind,
+            ms::ServerMessageKind::kAccepted);
+  EXPECT_EQ(core.phase(1, "j1"), ms::ServerJobPhase::kQueued);
+
+  auto started = core.next_job(kT0);
+  ASSERT_TRUE(started.has_value());
+  EXPECT_EQ(started->job.name, "j1");
+  EXPECT_EQ(started->conn, 1u);
+  EXPECT_EQ(core.phase(1, "j1"), ms::ServerJobPhase::kRunning);
+
+  const auto out =
+      core.complete(started->ticket, done_outcome("j1"), "report", kT0 + 1s);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].conn, 1u);
+  const auto result = decode(out);
+  EXPECT_EQ(result.kind, ms::ServerMessageKind::kResult);
+  EXPECT_EQ(result.id, "j1");
+  EXPECT_EQ(result.status, mp::JobStatus::kDone);
+  EXPECT_EQ(result.text, "report");
+  EXPECT_TRUE(core.idle());
+  // A stale completion for the same ticket produces nothing: exactly once.
+  EXPECT_TRUE(
+      core.complete(started->ticket, done_outcome("j1"), "", kT0 + 2s)
+          .empty());
+}
+
+TEST(ServerCore, InvalidAndDuplicateIdsAreRejected) {
+  ms::ServerCore core(ms::ServerConfig{});
+  handshake(core, 1);
+  auto msg = ms::decode_server_message(
+      ms::encode_submit("ok", job_spec("ok")));
+  msg.id = "../escape";  // bypass wire validation to hit the core's own
+  auto out = core.handle(1, msg, kT0);
+  EXPECT_EQ(decode(out).kind, ms::ServerMessageKind::kRejected);
+  EXPECT_EQ(decode(out).code, ErrorCode::kBadData);
+
+  ASSERT_EQ(decode(submit(core, 1, "j1")).kind,
+            ms::ServerMessageKind::kAccepted);
+  out = submit(core, 1, "j1");
+  EXPECT_EQ(decode(out).kind, ms::ServerMessageKind::kRejected);
+  EXPECT_EQ(decode(out).code, ErrorCode::kBadData);
+}
+
+TEST(ServerCore, MalformedSpecIsRejectedWithItsParseCode) {
+  ms::ServerCore core(ms::ServerConfig{});
+  handshake(core, 1);
+  auto msg =
+      ms::decode_server_message(ms::encode_submit("j1", job_spec("j1")));
+  msg.spec = "{not json";
+  const auto out = core.handle(1, msg, kT0);
+  EXPECT_EQ(decode(out).kind, ms::ServerMessageKind::kRejected);
+  EXPECT_EQ(decode(out).code, ErrorCode::kParse);
+  EXPECT_EQ(core.queued_count(), 0u);
+}
+
+TEST(ServerCore, PerClientQueueFullIsBackpressure) {
+  ms::ServerConfig config;
+  config.max_queued_per_client = 2;
+  ms::ServerCore core(config);
+  handshake(core, 1);
+  EXPECT_EQ(decode(submit(core, 1, "a")).kind,
+            ms::ServerMessageKind::kAccepted);
+  EXPECT_EQ(decode(submit(core, 1, "b")).kind,
+            ms::ServerMessageKind::kAccepted);
+  const auto out = submit(core, 1, "c");
+  EXPECT_EQ(decode(out).kind, ms::ServerMessageKind::kRejected);
+  EXPECT_EQ(decode(out).code, ErrorCode::kResourceExhausted);
+  EXPECT_EQ(core.queued_count(), 2u);  // bounded: the reject buffered nothing
+}
+
+TEST(ServerCore, TotalQueueFullIsBackpressureAcrossClients) {
+  ms::ServerConfig config;
+  config.max_queued_per_client = 8;
+  config.max_queued_total = 3;
+  ms::ServerCore core(config);
+  handshake(core, 1);
+  handshake(core, 2);
+  EXPECT_EQ(decode(submit(core, 1, "a")).kind,
+            ms::ServerMessageKind::kAccepted);
+  EXPECT_EQ(decode(submit(core, 1, "b")).kind,
+            ms::ServerMessageKind::kAccepted);
+  EXPECT_EQ(decode(submit(core, 2, "c")).kind,
+            ms::ServerMessageKind::kAccepted);
+  const auto out = submit(core, 2, "d");
+  EXPECT_EQ(decode(out).code, ErrorCode::kResourceExhausted);
+  const auto stats = core.stats();
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.rejected, 1u);
+}
+
+TEST(ServerCore, RoundRobinInterleavesTwoClients) {
+  ms::ServerConfig config;
+  config.max_active = 1;
+  ms::ServerCore core(config);
+  handshake(core, 1);
+  handshake(core, 2);
+  // Client 1 floods four jobs before client 2 submits two; fairness must
+  // still interleave the grants instead of draining client 1 first.
+  for (const char* id : {"a1", "a2", "a3", "a4"}) submit(core, 1, id);
+  for (const char* id : {"b1", "b2"}) submit(core, 2, id);
+
+  std::vector<std::string> order;
+  while (auto started = core.next_job(kT0)) {
+    order.push_back(started->job.name);
+    core.complete(started->ticket, done_outcome(started->job.name), "",
+                  kT0);
+  }
+  EXPECT_EQ(order, (std::vector<std::string>{"a1", "b1", "a2", "b2", "a3",
+                                             "a4"}));
+}
+
+TEST(ServerCore, MaxActiveCapsConcurrentGrants) {
+  ms::ServerConfig config;
+  config.max_active = 2;
+  ms::ServerCore core(config);
+  handshake(core, 1);
+  for (const char* id : {"a", "b", "c"}) submit(core, 1, id);
+  EXPECT_TRUE(core.next_job(kT0).has_value());
+  EXPECT_TRUE(core.next_job(kT0).has_value());
+  EXPECT_FALSE(core.next_job(kT0).has_value());  // both slots busy
+  EXPECT_EQ(core.running_count(), 2u);
+  EXPECT_EQ(core.queued_count(), 1u);
+}
+
+TEST(ServerCore, QueuedJobDeadlineExpiresViaTick) {
+  ms::ServerConfig config;
+  config.max_active = 1;
+  ms::ServerCore core(config);
+  handshake(core, 1);
+  submit(core, 1, "runner");
+  ASSERT_TRUE(core.next_job(kT0).has_value());  // occupy the only slot
+  ASSERT_EQ(decode(submit(core, 1, "starved", 1000)).kind,
+            ms::ServerMessageKind::kAccepted);
+
+  EXPECT_TRUE(core.tick(kT0 + 999ms).empty());  // not yet
+  const auto out = core.tick(kT0 + 1001ms);
+  ASSERT_EQ(out.size(), 1u);
+  const auto result = decode(out);
+  EXPECT_EQ(result.kind, ms::ServerMessageKind::kResult);
+  EXPECT_EQ(result.id, "starved");
+  EXPECT_EQ(result.status, mp::JobStatus::kStopped);
+  EXPECT_EQ(result.code, ErrorCode::kDeadline);
+  EXPECT_EQ(core.queued_count(), 0u);
+  EXPECT_TRUE(core.tick(kT0 + 2s).empty());  // exactly once
+}
+
+TEST(ServerCore, RunningJobDeadlineTripsTheTokenThenMapsToDeadline) {
+  ms::ServerCore core(ms::ServerConfig{});
+  handshake(core, 1);
+  submit(core, 1, "j1", 500);
+  auto started = core.next_job(kT0);
+  ASSERT_TRUE(started.has_value());
+  EXPECT_FALSE(started->cancel.stop_requested());
+
+  EXPECT_TRUE(core.tick(kT0 + 501ms).empty());  // running: no result yet
+  EXPECT_TRUE(started->cancel.stop_requested());
+
+  // The engine reports a generic stop; the core pins the cause.
+  mp::CampaignJobOutcome outcome;
+  outcome.name = "j1";
+  outcome.status = mp::JobStatus::kStopped;
+  outcome.error = ErrorCode::kCancelled;
+  const auto out = core.complete(started->ticket, outcome, "", kT0 + 502ms);
+  EXPECT_EQ(decode(out).code, ErrorCode::kDeadline);
+}
+
+TEST(ServerCore, DefaultDeadlineAppliesAndCapIsEnforced) {
+  ms::ServerConfig config;
+  config.default_deadline = 100ms;
+  config.max_deadline = 200ms;
+  ms::ServerCore core(config);
+  handshake(core, 1);
+  submit(core, 1, "defaulted");          // gets the 100ms default
+  submit(core, 1, "capped", 100000);     // asked for 100s, capped to 200ms
+  const auto out = core.tick(kT0 + 250ms);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(decode(out, 0).status, mp::JobStatus::kStopped);
+  EXPECT_EQ(decode(out, 1).status, mp::JobStatus::kStopped);
+}
+
+TEST(ServerCore, CancelQueuedJobAnswersResultThenAck) {
+  ms::ServerCore core(ms::ServerConfig{});
+  handshake(core, 1);
+  submit(core, 1, "j1");
+  const auto out = core.handle(
+      1, ms::decode_server_message(ms::encode_cancel("j1")), kT0);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(decode(out, 0).kind, ms::ServerMessageKind::kResult);
+  EXPECT_EQ(decode(out, 0).status, mp::JobStatus::kStopped);
+  EXPECT_EQ(decode(out, 0).code, ErrorCode::kCancelled);
+  EXPECT_EQ(decode(out, 1).kind, ms::ServerMessageKind::kAck);
+  EXPECT_EQ(core.queued_count(), 0u);
+
+  // Idempotent: a second cancel (job long gone) still just acks.
+  const auto again = core.handle(
+      1, ms::decode_server_message(ms::encode_cancel("j1")), kT0);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(decode(again).kind, ms::ServerMessageKind::kAck);
+}
+
+TEST(ServerCore, CancelRunningJobTripsTokenAndPinsTheCause) {
+  ms::ServerCore core(ms::ServerConfig{});
+  handshake(core, 1);
+  submit(core, 1, "j1");
+  auto started = core.next_job(kT0);
+  ASSERT_TRUE(started.has_value());
+  const auto out = core.handle(
+      1, ms::decode_server_message(ms::encode_cancel("j1")), kT0);
+  ASSERT_EQ(out.size(), 1u);  // no result yet: the job is still running
+  EXPECT_EQ(decode(out).kind, ms::ServerMessageKind::kAck);
+  EXPECT_TRUE(started->cancel.stop_requested());
+
+  mp::CampaignJobOutcome outcome;
+  outcome.name = "j1";
+  outcome.status = mp::JobStatus::kStopped;
+  outcome.error = ErrorCode::kDeadline;  // core's cancel intent must win
+  const auto result = core.complete(started->ticket, outcome, "", kT0);
+  EXPECT_EQ(decode(result).code, ErrorCode::kCancelled);
+}
+
+TEST(ServerCore, DisconnectWhileRunningSuppressesTheResult) {
+  ms::ServerCore core(ms::ServerConfig{});
+  handshake(core, 1);
+  submit(core, 1, "j1");
+  submit(core, 1, "j2");  // stays queued; dropped silently on disconnect
+  auto started = core.next_job(kT0);
+  ASSERT_TRUE(started.has_value());
+
+  core.disconnect(1, kT0);
+  EXPECT_TRUE(started->cancel.stop_requested());  // nobody is listening
+  EXPECT_EQ(core.queued_count(), 0u);
+  EXPECT_EQ(core.running_count(), 1u);
+  const auto out =
+      core.complete(started->ticket, done_outcome("j1"), "", kT0);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(core.idle());
+}
+
+TEST(ServerCore, DrainFlushesQueueNotifiesEveryoneAndRejectsNewWork) {
+  ms::ServerConfig config;
+  config.max_active = 1;
+  ms::ServerCore core(config);
+  handshake(core, 1);
+  handshake(core, 2);
+  submit(core, 1, "running");
+  auto started = core.next_job(kT0);
+  ASSERT_TRUE(started.has_value());
+  submit(core, 1, "queued1");
+  submit(core, 2, "queued2");
+
+  const auto out = core.begin_drain(kT0);
+  EXPECT_TRUE(core.draining());
+  std::size_t results = 0;
+  std::size_t drains = 0;
+  for (const auto& line : out) {
+    const auto msg = ms::decode_server_message(line.line);
+    if (msg.kind == ms::ServerMessageKind::kResult) {
+      ++results;
+      EXPECT_EQ(msg.status, mp::JobStatus::kStopped);
+      EXPECT_EQ(msg.code, ErrorCode::kCancelled);
+    }
+    if (msg.kind == ms::ServerMessageKind::kDrain) ++drains;
+  }
+  EXPECT_EQ(results, 2u);  // both queued jobs answered immediately
+  EXPECT_EQ(drains, 2u);   // every connection notified
+  // The running job keeps going (its token is NOT tripped by drain alone)
+  // and still reports when done; only then is the core idle.
+  EXPECT_FALSE(started->cancel.stop_requested());
+  EXPECT_FALSE(core.idle());
+  const auto reject = submit(core, 2, "late");
+  EXPECT_EQ(decode(reject).kind, ms::ServerMessageKind::kRejected);
+  EXPECT_EQ(decode(reject).code, ErrorCode::kCancelled);
+  core.complete(started->ticket, done_outcome("running"), "", kT0 + 1s);
+  EXPECT_TRUE(core.idle());
+  EXPECT_TRUE(core.begin_drain(kT0 + 1s).empty());  // idempotent
+}
+
+TEST(ServerCore, StatsTrackOutcomesAndDrainFlag) {
+  ms::ServerCore core(ms::ServerConfig{});
+  handshake(core, 1);
+  submit(core, 1, "ok");
+  submit(core, 1, "bad");
+  auto first = core.next_job(kT0);
+  auto second = core.next_job(kT0);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  core.complete(first->ticket, done_outcome("ok"), "", kT0);
+  mp::CampaignJobOutcome failed;
+  failed.name = "bad";
+  failed.status = mp::JobStatus::kFailed;
+  failed.error = ErrorCode::kNonConvergence;
+  core.complete(second->ticket, failed, "", kT0);
+
+  const auto stats = core.stats();
+  EXPECT_EQ(stats.submits, 2u);
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.done, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.clients, 1u);
+  EXPECT_FALSE(stats.draining);
+  core.begin_drain(kT0);
+  EXPECT_TRUE(core.stats().draining);
+}
+
+TEST(ServerCore, ScrapeRendersTheConfiguredRegistry) {
+  mpe::util::MetricRegistry registry;
+  registry.enable(true);
+  registry.counter("mpe_server_test_total").inc(3);
+  ms::ServerConfig config;
+  config.metrics = &registry;
+  ms::ServerCore core(config);
+  handshake(core, 1);
+  const auto out =
+      core.handle(1, ms::decode_server_message(ms::encode_scrape()), kT0);
+  const auto msg = decode(out);
+  EXPECT_EQ(msg.kind, ms::ServerMessageKind::kMetrics);
+  EXPECT_NE(msg.text.find("mpe_server_test_total 3"), std::string::npos);
+}
+
+TEST(ServerCore, RenderMetricsTextFormatsCountersGaugesHistograms) {
+  mpe::util::MetricRegistry registry;
+  registry.enable(true);
+  registry.counter("mpe_a_total", "kind=x").inc(2);
+  registry.gauge("mpe_b").add(-4);
+  registry.histogram("mpe_c_ns").observe(7);
+  const std::string text =
+      ms::render_metrics_text(registry.snapshot());
+  EXPECT_NE(text.find("mpe_a_total{kind=x} 2"), std::string::npos);
+  EXPECT_NE(text.find("mpe_b -4"), std::string::npos);
+  EXPECT_NE(text.find("mpe_c_ns_count 1"), std::string::npos);
+  EXPECT_NE(text.find("mpe_c_ns_sum 7"), std::string::npos);
+}
+
+}  // namespace

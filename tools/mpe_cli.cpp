@@ -24,6 +24,8 @@
 // estimation winds down at the next hyper-sample boundary, the final
 // checkpoint and any report output are flushed, and the process exits with
 // the cancelled exit code (8). A second signal force-exits immediately.
+#include <sys/stat.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +33,7 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <map>
 
 #include "mpe.hpp"
 
@@ -60,7 +63,8 @@ void install_signal_handlers() {
   std::fprintf(
       stderr,
       "usage: mpe_cli <estimate|report|convert|timing|vcd|maxdelay|campaign|"
-      "campaign-coordinator|campaign-worker|ledger-audit> [flags]\n"
+      "campaign-coordinator|campaign-worker|ledger-audit|serve|submit> "
+      "[flags]\n"
       "  common circuit flags: --circuit <preset> | --bench <file> | "
       "--verilog <file>, --seed N\n"
       "  estimate: --epsilon E --confidence L [--tprob P | --activity A]\n"
@@ -86,10 +90,19 @@ void install_signal_handlers() {
       "            [--checkpoint-every K]\n"
       "  ledger-audit: --report <campaign.jsonl> [--merged-out FILE|-]\n"
       "            [--strict]\n"
+      "  serve   : --socket <path> and/or --tcp-port N [--host H]\n"
+      "            [--state-dir DIR] [--cache-cap N] [--max-active N]\n"
+      "            [--max-queue N] [--queue-per-client N] [--threads N]\n"
+      "            [--job-deadline-ms N] [--max-deadline-ms N]\n"
+      "            [--drain-grace-ms N] [--poll-ms N] [--trace-capacity N]\n"
+      "  submit  : --socket <path> | --port N [--host H]\n"
+      "            --job ID + estimate-style job flags, or --manifest F\n"
+      "            [--deadline-ms N] [--report-dir DIR] [--timeout-ms N]\n"
+      "            [--events] | --stats | --scrape\n"
       "exit codes: 0 ok, 1 non-convergence, 2 usage, 3 parse, 4 io,\n"
       "            5 bad data, 6 precondition, 7 deadline, 8 cancelled,\n"
       "            9 injected fault, 10 internal, 11 corrupt data,\n"
-      "            12 jobs failed\n");
+      "            12 jobs failed, 13 resource exhausted\n");
   std::exit(exit_code(ErrorCode::kUsage));
 }
 
@@ -493,6 +506,275 @@ int cmd_ledger_audit(const Cli& cli) {
   return 0;
 }
 
+int cmd_serve(const Cli& cli) {
+  cli.check_known({"socket", "tcp-port", "host", "state-dir", "cache-cap",
+                   "max-active", "max-queue", "queue-per-client", "threads",
+                   "job-deadline-ms", "max-deadline-ms", "drain-grace-ms",
+                   "poll-ms", "trace-capacity"});
+  server::ServerOptions opt;
+  opt.unix_socket = cli.get("socket", "");
+  if (cli.has("tcp-port")) {
+    opt.tcp = true;
+    opt.tcp_port =
+        static_cast<std::uint16_t>(cli.get_int("tcp-port", 0));
+  }
+  opt.tcp_host = cli.get("host", "127.0.0.1");
+  if (opt.unix_socket.empty() && !opt.tcp) usage();
+  opt.state_dir = cli.get("state-dir", "");
+  if (!opt.state_dir.empty() &&
+      ::mkdir(opt.state_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw Error(ErrorCode::kIo, "cannot create server state directory",
+                ErrorContext{}.kv("path", opt.state_dir).str());
+  }
+  opt.cache_capacity = static_cast<std::size_t>(
+      std::max<long long>(1, cli.get_int("cache-cap", 16)));
+  opt.scheduler.max_active = static_cast<std::size_t>(
+      std::max<long long>(1, cli.get_int("max-active", 2)));
+  opt.scheduler.max_queued_per_client = static_cast<std::size_t>(
+      std::max<long long>(1, cli.get_int("queue-per-client", 8)));
+  opt.scheduler.max_queued_total = static_cast<std::size_t>(
+      std::max<long long>(1, cli.get_int("max-queue", 64)));
+  opt.scheduler.threads_per_job = static_cast<unsigned>(
+      std::max<long long>(1, cli.get_int("threads", 1)));
+  const auto job_deadline_ms = cli.get_int("job-deadline-ms", 0);
+  if (job_deadline_ms > 0) {
+    opt.scheduler.default_deadline = std::chrono::milliseconds(job_deadline_ms);
+  }
+  const auto max_deadline_ms = cli.get_int("max-deadline-ms", 0);
+  if (max_deadline_ms > 0) {
+    opt.scheduler.max_deadline = std::chrono::milliseconds(max_deadline_ms);
+  }
+  const auto drain_grace_ms = cli.get_int("drain-grace-ms", 0);
+  if (drain_grace_ms > 0) {
+    opt.drain_grace = std::chrono::milliseconds(drain_grace_ms);
+  }
+  const auto poll_ms = cli.get_int("poll-ms", 0);
+  if (poll_ms > 0) opt.poll = std::chrono::milliseconds(poll_ms);
+  if (cli.has("trace-capacity")) {
+    opt.trace_capacity = static_cast<std::size_t>(
+        std::max<long long>(0, cli.get_int("trace-capacity", 256)));
+  }
+  opt.control.cancel = g_cancel;  // SIGINT/SIGTERM -> graceful drain
+  util::MetricRegistry::global().enable(true);  // feeds the scrape endpoint
+
+  server::Server server(opt);
+  if (!opt.unix_socket.empty()) {
+    std::printf("listening unix %s\n", opt.unix_socket.c_str());
+  }
+  if (opt.tcp) {
+    std::printf("listening tcp %s:%u\n", opt.tcp_host.c_str(),
+                static_cast<unsigned>(server.tcp_port()));
+  }
+  std::fflush(stdout);  // clients parse the port from this line
+
+  const auto report = server.serve();
+  const auto& s = report.stats;
+  std::printf(
+      "server: %llu connections; %llu accepted, %llu rejected; "
+      "%llu done, %llu failed, %llu stopped; cache %llu hits, %llu misses, "
+      "%llu evictions%s\n",
+      static_cast<unsigned long long>(report.connections),
+      static_cast<unsigned long long>(s.accepted),
+      static_cast<unsigned long long>(s.rejected),
+      static_cast<unsigned long long>(s.done),
+      static_cast<unsigned long long>(s.failed),
+      static_cast<unsigned long long>(s.stopped),
+      static_cast<unsigned long long>(s.cache_hits),
+      static_cast<unsigned long long>(s.cache_misses),
+      static_cast<unsigned long long>(s.cache_evictions),
+      report.drained ? " (drained)" : " (drain grace expired)");
+  return report.drained ? 0 : exit_code(ErrorCode::kCancelled);
+}
+
+/// Builds the single inline job described by submit's estimate-style flags.
+maxpower::CampaignJob submit_job_from_flags(const Cli& cli) {
+  maxpower::CampaignJob job;
+  job.name = cli.get("job", "");
+  job.circuit = cli.get("circuit", "");
+  job.bench = cli.get("bench", "");
+  job.verilog = cli.get("verilog", "");
+  job.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  job.epsilon = cli.get_double("epsilon", 0.05);
+  job.confidence = cli.get_double("confidence", 0.90);
+  job.tprob = cli.get_double("tprob", 0.5);
+  if (cli.has("activity")) job.activity = cli.get_double("activity", 0.3);
+  job.max_hyper_samples =
+      static_cast<std::size_t>(cli.get_int("max-hyper", 500));
+  job.fitter = cli.get("fitter", "");
+  job.stop = cli.get("stop", "");
+  job.delay = cli.get("delay", "");
+  return job;
+}
+
+int cmd_submit(const Cli& cli) {
+  cli.check_known({"socket", "host", "port", "stats", "scrape", "manifest",
+                   "job", "circuit", "bench", "verilog", "seed", "epsilon",
+                   "confidence", "tprob", "activity", "max-hyper", "fitter",
+                   "stop", "delay", "deadline-ms", "report-dir", "timeout-ms",
+                   "client-id", "events"});
+  std::unique_ptr<dist::LineChannel> channel;
+  const std::string socket_path = cli.get("socket", "");
+  if (!socket_path.empty()) {
+    channel = dist::connect_unix(socket_path);
+  } else if (cli.has("port")) {
+    channel = dist::connect_tcp(
+        cli.get("host", "127.0.0.1"),
+        static_cast<std::uint16_t>(cli.get_int("port", 0)));
+  } else {
+    usage();
+  }
+  if (channel == nullptr) {
+    throw Error(ErrorCode::kIo, "cannot connect to server",
+                ErrorContext{}.kv("socket", socket_path).str());
+  }
+  const auto recv_timeout = std::chrono::milliseconds(200);
+  const auto overall = std::chrono::milliseconds(
+      std::max<long long>(1000, cli.get_int("timeout-ms", 300000)));
+  const auto deadline = std::chrono::steady_clock::now() + overall;
+  const auto recv_reply = [&](server::ServerMessage& msg) {
+    std::string line;
+    while (std::chrono::steady_clock::now() < deadline &&
+           g_signal_count == 0) {
+      const auto status = channel->recv_line(line, recv_timeout);
+      if (status == dist::LineChannel::RecvStatus::kClosed) {
+        throw Error(ErrorCode::kIo, "server closed the connection");
+      }
+      if (status == dist::LineChannel::RecvStatus::kTimeout) continue;
+      msg = server::decode_server_message(line);
+      return true;
+    }
+    return false;
+  };
+
+  channel->send_line(server::encode_hello(cli.get("client-id", "mpe_cli")));
+  server::ServerMessage msg;
+  if (!recv_reply(msg) || msg.kind != server::ServerMessageKind::kWelcome) {
+    throw Error(ErrorCode::kIo, "server handshake failed",
+                ErrorContext{}
+                    .kv("reply", msg.kind == server::ServerMessageKind::kError
+                                     ? msg.detail
+                                     : "timeout")
+                    .str());
+  }
+
+  if (cli.has("scrape")) {
+    channel->send_line(server::encode_scrape());
+    if (!recv_reply(msg) || msg.kind != server::ServerMessageKind::kMetrics) {
+      throw Error(ErrorCode::kIo, "scrape failed");
+    }
+    std::fwrite(msg.text.data(), 1, msg.text.size(), stdout);
+    return 0;
+  }
+  if (cli.has("stats")) {
+    channel->send_line(server::encode_stats());
+    if (!recv_reply(msg) ||
+        msg.kind != server::ServerMessageKind::kServerStats) {
+      throw Error(ErrorCode::kIo, "stats failed");
+    }
+    std::fwrite(server::encode_server_stats(msg.stats).data(), 1,
+                server::encode_server_stats(msg.stats).size(), stdout);
+    std::printf("\n");
+    return 0;
+  }
+
+  std::vector<maxpower::CampaignJob> jobs;
+  const std::string manifest = cli.get("manifest", "");
+  if (!manifest.empty()) {
+    jobs = maxpower::load_campaign_manifest(manifest);
+  } else {
+    jobs.push_back(submit_job_from_flags(cli));
+    if (jobs.back().name.empty()) usage();
+  }
+  const auto deadline_ms = static_cast<std::uint64_t>(
+      std::max<long long>(0, cli.get_int("deadline-ms", 0)));
+  const std::string report_dir = cli.get("report-dir", "");
+  const bool show_events = cli.has("events");
+
+  std::map<std::string, bool> pending;  // id -> still waiting for a verdict
+  for (const auto& job : jobs) {
+    channel->send_line(server::encode_submit(
+        job.name, maxpower::campaign_job_to_json(job), deadline_ms));
+    pending[job.name] = true;
+  }
+
+  bool resource_exhausted = false;
+  bool failed = false;
+  std::size_t remaining = pending.size();
+  while (remaining > 0) {
+    if (!recv_reply(msg)) {
+      throw Error(ErrorCode::kDeadline, "timed out waiting for results",
+                  ErrorContext{}.kv("pending", remaining).str());
+    }
+    switch (msg.kind) {
+      case server::ServerMessageKind::kAccepted:
+        break;  // a result will follow
+      case server::ServerMessageKind::kRejected: {
+        std::printf("%-20s rejected [%s] %s\n", msg.id.c_str(),
+                    std::string(to_string(msg.code)).c_str(),
+                    msg.detail.c_str());
+        if (msg.code == ErrorCode::kResourceExhausted) {
+          resource_exhausted = true;
+        } else {
+          failed = true;
+        }
+        if (pending.count(msg.id) != 0 && pending[msg.id]) {
+          pending[msg.id] = false;
+          --remaining;
+        }
+        break;
+      }
+      case server::ServerMessageKind::kEvent:
+        if (show_events) {
+          std::fprintf(stderr, "event %s #%llu %s {%s}\n", msg.id.c_str(),
+                       static_cast<unsigned long long>(msg.seq),
+                       msg.name.c_str(), msg.fields.c_str());
+        }
+        break;
+      case server::ServerMessageKind::kResult: {
+        if (msg.status == maxpower::JobStatus::kDone) {
+          // Full-precision numbers: scripts byte-compare these against the
+          // batch CLI for the determinism guarantee.
+          std::printf(
+              "%-20s done     estimate=%.17g ci=[%.17g,%.17g] "
+              "hyper=%llu units=%llu%s\n",
+              msg.id.c_str(), msg.estimate, msg.ci_lower, msg.ci_upper,
+              static_cast<unsigned long long>(msg.hyper_samples),
+              static_cast<unsigned long long>(msg.units),
+              msg.converged ? "" : " (not converged)");
+        } else {
+          std::printf("%-20s %-8s [%s]\n", msg.id.c_str(),
+                      std::string(maxpower::to_string(msg.status)).c_str(),
+                      std::string(to_string(msg.code)).c_str());
+          failed = true;
+        }
+        if (!report_dir.empty() && !msg.text.empty()) {
+          const std::string path = report_dir + "/" + msg.id + ".jsonl";
+          std::ofstream out(path);
+          if (out) out << msg.text;
+        }
+        if (pending.count(msg.id) != 0 && pending[msg.id]) {
+          pending[msg.id] = false;
+          --remaining;
+        }
+        break;
+      }
+      case server::ServerMessageKind::kDrain:
+        std::fprintf(stderr, "server draining\n");
+        break;
+      case server::ServerMessageKind::kError:
+        throw Error(ErrorCode::kBadData, "server reported a protocol error",
+                    ErrorContext{}.kv("detail", msg.detail).str());
+      default:
+        break;  // tolerate unknown-but-valid replies
+    }
+  }
+  if (resource_exhausted && !failed) {
+    return exit_code(ErrorCode::kResourceExhausted);
+  }
+  if (failed || resource_exhausted) return exit_code(ErrorCode::kJobsFailed);
+  return 0;
+}
+
 int cmd_report(const Cli& cli) {
   cli.check_known({"circuit", "bench", "verilog", "seed"});
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
@@ -636,6 +918,8 @@ int main(int argc, char** argv) try {
   if (cmd == "campaign-coordinator") return cmd_campaign_coordinator(cli);
   if (cmd == "campaign-worker") return cmd_campaign_worker(cli);
   if (cmd == "ledger-audit") return cmd_ledger_audit(cli);
+  if (cmd == "serve") return cmd_serve(cli);
+  if (cmd == "submit") return cmd_submit(cli);
   if (cmd == "report") return cmd_report(cli);
   if (cmd == "convert") return cmd_convert(cli);
   if (cmd == "timing") return cmd_timing(cli);
