@@ -322,6 +322,66 @@ void BM_CampaignScheduling(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(n * state.iterations()));
 }
 
+// Shard-lease control-plane overhead per job: the v2 analogue of
+// BM_CampaignScheduling — request -> shard grant -> shard partial result
+// (sample payload decode, coverage validation, sealed shard append) ->
+// assembly replay -> sealed job record, for every job of an n-job
+// campaign. This is the extra tax of running a campaign sharded instead of
+// whole-job; per-item time must stay negligible against a real shard's
+// compute.
+void BM_ShardScheduling(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<maxpower::CampaignJob> jobs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs[i].name = "job-" + std::to_string(i);
+    jobs[i].circuit = "c432";
+    jobs[i].seed = i + 1;
+  }
+  // Identical estimates converge at the 3rd accepted sample, so one done
+  // shard assembles straight to a terminal job record.
+  std::vector<maxpower::ShardSample> samples(8);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i].index = i;
+    samples[i].estimate = 5.0;
+    samples[i].units = 100;
+    samples[i].valid = true;
+    samples[i].mle_converged = true;
+  }
+  const std::string payload = maxpower::encode_shard_samples(samples);
+  const std::string dir = "bench_shard_sched";
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+    dist::CoordinatorConfig config;
+    config.jobs = jobs;
+    config.state_dir = dir;
+    config.shard_size = 8;
+    dist::CoordinatorCore core(std::move(config));
+    const auto now = dist::CoordinatorCore::Clock::now();
+    dist::Message request;
+    request.kind = dist::MessageKind::kRequest;
+    request.worker = "w0";
+    request.proto = dist::kProtocolVersion;
+    for (std::size_t i = 0; i < n; ++i) {
+      const dist::Message lease =
+          dist::decode_message(core.handle(request, now));
+      dist::Message result;
+      result.kind = dist::MessageKind::kShardResult;
+      result.worker = "w0";
+      result.job = lease.job;
+      result.shard = lease.shard;
+      result.lo = lease.lo;
+      result.hi = lease.hi;
+      result.shard_status = maxpower::JobStatus::kDone;
+      result.samples = payload;
+      benchmark::DoNotOptimize(core.handle(result, now));
+    }
+    benchmark::DoNotOptimize(core.finished());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n * state.iterations()));
+}
+
 void BM_NormalQuantile(benchmark::State& state) {
   double q = 0.001;
   for (auto _ : state) {
@@ -378,5 +438,6 @@ BENCHMARK(BM_HyperSample);
 BENCHMARK(BM_StudentTCritical);
 BENCHMARK(BM_NormalQuantile);
 BENCHMARK(BM_CampaignScheduling)->Arg(64)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ShardScheduling)->Arg(64)->Unit(benchmark::kMicrosecond);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,158 @@
+#!/usr/bin/env sh
+# Fleet-scale sharded-campaign chaos soak (docs/ROBUSTNESS.md, "Sharded
+# jobs"): a coordinator splits every job of a large manifest into wave-index
+# shard leases and serves them over real TCP (the multi-host seam) to a
+# 4-worker fleet, while a seeded kill schedule takes out random participants
+# — workers AND the coordinator — with kill -9, restarting the fleet each
+# round. The campaign must still converge, the ledger must pass the
+# exactly-once audit (shard records included), sharding must actually have
+# been exercised, and the canonical merged output must be BYTE-IDENTICAL to
+# a single-process `campaign` run of the same manifest.
+#
+# This is the scale companion to dist_chaos_smoke.sh: that script proves the
+# whole-job lease invariants on a 6-job manifest; this one drives shard
+# leases across a fleet and a job count high enough (default 1000) that
+# kills land in every phase of the shard lifecycle — between grant and first
+# heartbeat, mid-shard-checkpoint, between shard result and assembly, and
+# mid-ledger-append. Wherever the kill lands, durability rests on the same
+# invariants the in-process tests assert: shard checkpoints make shard work
+# resumable, assembly is a deterministic fold over recorded samples, and the
+# sealed ledger + coordinator dedup make shard and job records exactly-once.
+#
+# The kill schedule is a seeded LCG, so a failing schedule reproduces with
+# the same seed.
+#
+# usage: fleet_soak.sh [path-to-mpe_cli] [work-dir] [seed] [jobs]
+#   jobs defaults to $MPE_FLEET_JOBS or 1000 (CI runs a reduced count).
+set -eu
+
+CLI=${1:-build/tools/mpe_cli}
+WORK=${2:-build/fleet_soak}
+SEED=${3:-20260808}
+JOBS=${4:-${MPE_FLEET_JOBS:-1000}}
+ORIG_SEED=$SEED
+
+rm -rf "$WORK"
+mkdir -p "$WORK/golden" "$WORK/dist"
+MANIFEST="$WORK/jobs.jsonl"
+# Fixed port derived from the seed: reruns of one schedule contend with
+# themselves only, and SO_REUSEADDR lets a restarted coordinator rebind.
+PORT=$(( 23000 + ORIG_SEED % 1000 ))
+
+# Cheap, convergent jobs: at epsilon 0.25 each one stops after a handful of
+# hyper-samples, so the soak's cost is dominated by fleet mechanics (grants,
+# heartbeats, shard results, assembly), which is what it exercises.
+: > "$MANIFEST"
+i=0
+while [ "$i" -lt "$JOBS" ]; do
+  printf '{"job":"f%05d","circuit":"c432","seed":%d,"epsilon":0.25,"confidence":0.8,"max_hyper":40}\n' \
+    "$i" $(( 100 + i )) >> "$MANIFEST"
+  i=$(( i + 1 ))
+done
+
+# --- Golden: single-process campaign of the same manifest ------------------
+"$CLI" campaign --manifest "$MANIFEST" --state-dir "$WORK/golden" > /dev/null
+"$CLI" ledger-audit --report "$WORK/golden/campaign.jsonl" \
+  --merged-out "$WORK/golden_merged.jsonl" > /dev/null
+
+# --- Chaos rounds ----------------------------------------------------------
+lcg() { SEED=$(( (SEED * 1103515245 + 12345) % 2147483648 )); }
+
+COORD=""
+W_PIDS=""
+
+start_fleet() {
+  "$CLI" campaign-coordinator --manifest "$MANIFEST" \
+    --state-dir "$WORK/dist" --tcp-port "$PORT" --lease-ms 1000 \
+    --shard-size 8 --max-assign 25 > /dev/null 2>&1 &
+  COORD=$!
+  W_PIDS=""
+  for i in 0 1 2 3; do
+    "$CLI" campaign-worker --tcp "127.0.0.1:$PORT" --state-dir "$WORK/dist" \
+      --worker-id "w$i" --heartbeat-ms 200 > /dev/null 2>&1 &
+    W_PIDS="$W_PIDS $!"
+  done
+}
+
+kill_fleet() {
+  kill -9 $COORD $W_PIDS 2> /dev/null || true
+  for p in $COORD $W_PIDS; do
+    wait "$p" 2> /dev/null || true
+  done
+}
+
+sleep_ms() {
+  awk "BEGIN { printf \"%.3f\", $1 / 1000 }" | xargs sleep
+}
+
+FINISHED=0
+ROUND=0
+CHAOS_ROUNDS=6
+while [ "$ROUND" -lt "$CHAOS_ROUNDS" ] && [ "$FINISHED" -eq 0 ]; do
+  ROUND=$(( ROUND + 1 ))
+  start_fleet
+  lcg; DELAY=$(( 200 + SEED % 800 ))
+  lcg; VICTIM=$(( SEED % 5 ))
+  sleep_ms "$DELAY"
+  if [ "$VICTIM" -eq 4 ]; then
+    kill -9 "$COORD" 2> /dev/null || true  # coordinator down mid-campaign
+  else
+    set -- $W_PIDS
+    eval "kill -9 \$$(( VICTIM + 1 )) 2> /dev/null || true"  # one worker down
+  fi
+  # Let the survivors make progress (shard lease expiry, re-dispatch, shard
+  # checkpoint resume) before the round is torn down — itself a second,
+  # compound kill across the whole fleet.
+  lcg; sleep_ms $(( 300 + SEED % 700 ))
+  if ! kill -0 "$COORD" 2> /dev/null && [ "$VICTIM" -ne 4 ]; then
+    set +e
+    wait "$COORD"
+    [ $? -eq 0 ] && FINISHED=1  # campaign completed under chaos
+    set -e
+  fi
+  kill_fleet
+done
+
+# --- Clean final round: must converge on whatever state chaos left ---------
+if [ "$FINISHED" -eq 0 ]; then
+  start_fleet
+  i=0
+  while kill -0 "$COORD" 2> /dev/null && [ "$i" -lt 3000 ]; do
+    i=$(( i + 1 ))
+    sleep 0.1
+  done
+  set +e
+  wait "$COORD"
+  RC=$?
+  set -e
+  if [ "$RC" -ne 0 ]; then
+    echo "fleet_soak: FAIL coordinator exit $RC after chaos" >&2
+    kill_fleet
+    exit 1
+  fi
+  # Workers drain on their own once the coordinator is done; reap residue.
+  sleep 0.5
+  kill_fleet
+fi
+
+# --- Verdict ---------------------------------------------------------------
+# The audit proves exactly-once for jobs AND shards (divergent duplicates,
+# done->failed regressions, and post-done shard records all exit 11); the
+# byte-compare proves the sharded fleet computed exactly what one process
+# would have.
+"$CLI" ledger-audit --report "$WORK/dist/campaign.jsonl" \
+  --merged-out "$WORK/dist_merged.jsonl" > /dev/null
+
+if ! grep -q '"shard":' "$WORK/dist/campaign.jsonl"; then
+  echo "fleet_soak: FAIL no shard records in the ledger (sharding degraded" \
+    "to whole-job leases?)" >&2
+  exit 1
+fi
+
+if ! cmp -s "$WORK/golden_merged.jsonl" "$WORK/dist_merged.jsonl"; then
+  echo "fleet_soak: FAIL merged ledger differs from single-process run" >&2
+  diff "$WORK/golden_merged.jsonl" "$WORK/dist_merged.jsonl" >&2 || true
+  exit 1
+fi
+echo "fleet_soak: OK (seed $ORIG_SEED, $JOBS jobs, $ROUND chaos rounds," \
+  "merged ledger byte-identical to single-process run)"

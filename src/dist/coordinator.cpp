@@ -54,6 +54,19 @@ CoordinatorCore::CoordinatorCore(CoordinatorConfig config)
     JobState state;
     state.index = i;
     state.outcome.name = job.name;
+    if (config_.shard_size > 0) {
+      state.mode = JobMode::kSharded;
+      const std::uint64_t attempts = maxpower::job_attempt_budget(job);
+      const std::size_t n =
+          maxpower::shard_count(attempts, config_.shard_size);
+      state.shards.resize(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        const maxpower::ShardRange range =
+            maxpower::shard_range(attempts, config_.shard_size, k);
+        state.shards[k].lo = range.lo;
+        state.shards[k].hi = range.hi;
+      }
+    }
     jobs_.push_back(std::move(state));
   }
 
@@ -70,6 +83,45 @@ CoordinatorCore::CoordinatorCore(CoordinatorConfig config)
       state->phase = JobPhase::kDone;
       state->skipped = true;
       state->outcome.status = JobStatus::kSkipped;
+    }
+  }
+  // Done-shard records carry their sample payload inline, so partial
+  // progress of in-flight sharded jobs also survives a coordinator restart:
+  // rebuild it here, then fold any prefix that already reached its job's
+  // stopping point.
+  for (const auto& rec : ledger_read.records) {
+    if (!rec.is_shard || rec.status != "done") continue;
+    JobState* state = find(rec.job);
+    if (state == nullptr || state->phase != JobPhase::kPending) continue;
+    if (state->mode != JobMode::kSharded ||
+        rec.shard >= state->shards.size()) {
+      continue;
+    }
+    ShardState& shard = state->shards[rec.shard];
+    if (shard.phase == ShardPhase::kDone) continue;  // duplicate record
+    if (shard.lo != rec.lo || shard.hi != rec.hi) {
+      continue;  // foreign partition (shard_size changed between runs)
+    }
+    std::vector<maxpower::ShardSample> samples;
+    try {
+      samples = maxpower::decode_shard_samples(rec.samples);
+    } catch (const Error&) {
+      continue;  // mangled payload: the shard simply recomputes
+    }
+    if (samples.size() != shard.hi - shard.lo) continue;
+    bool contiguous = true;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      contiguous = contiguous && samples[i].index == shard.lo + i;
+    }
+    if (!contiguous) continue;
+    shard.phase = ShardPhase::kDone;
+    shard.samples = std::move(samples);
+    ++shards_done_;
+  }
+  for (auto& state : jobs_) {
+    if (state.phase == JobPhase::kPending &&
+        state.mode == JobMode::kSharded) {
+      try_assemble(state);
     }
   }
 }
@@ -118,21 +170,103 @@ void CoordinatorCore::release(JobState& state, Clock::time_point now,
   }
 }
 
+bool CoordinatorCore::shard_pristine(const JobState& state) {
+  for (const auto& shard : state.shards) {
+    if (shard.phase != ShardPhase::kPending || shard.assignments > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CoordinatorCore::grant_shard(JobState& state, std::size_t k,
+                                         const std::string& worker,
+                                         Clock::time_point now) {
+  ShardState& shard = state.shards[k];
+  if (shard.phase == ShardPhase::kPending) shard.leased_since = now;
+  shard.phase = ShardPhase::kLeased;
+  shard.holders.push_back(ShardHolder{worker, now + config_.lease});
+  ++shard.assignments;
+  ++leases_granted_;
+  return encode_shard_lease(
+      config_.jobs[state.index].name,
+      maxpower::campaign_job_to_json(config_.jobs[state.index]),
+      static_cast<std::uint64_t>(k), shard.lo, shard.hi,
+      static_cast<std::uint64_t>(config_.lease.count()),
+      static_cast<std::uint64_t>(config_.job_deadline.count()));
+}
+
+void CoordinatorCore::release_shard(ShardState& shard, Clock::time_point now,
+                                    bool count_backoff) {
+  shard.phase = ShardPhase::kPending;
+  shard.holders.clear();
+  if (count_backoff) {
+    shard.earliest_grant =
+        now + std::chrono::duration_cast<Clock::duration>(util::backoff_delay(
+                  config_.reassign, shard.assignments, jitter_rng_));
+  } else {
+    shard.earliest_grant = now;
+  }
+}
+
+void CoordinatorCore::try_assemble(JobState& state) {
+  if (state.phase == JobPhase::kDone || state.phase == JobPhase::kFailed) {
+    return;
+  }
+  std::vector<maxpower::ShardSample> prefix;
+  for (const auto& shard : state.shards) {
+    if (shard.phase != ShardPhase::kDone) break;
+    prefix.insert(prefix.end(), shard.samples.begin(), shard.samples.end());
+  }
+  if (prefix.empty()) return;
+  const maxpower::CampaignJob& job = config_.jobs[state.index];
+  const maxpower::AssembledJob assembled =
+      maxpower::assemble_job(job, prefix);
+  if (!assembled.terminal) return;  // probe only: more shards needed
+  record(state, maxpower::assembled_outcome(job, assembled.result));
+}
+
+std::chrono::milliseconds CoordinatorCore::straggler_after() const {
+  return config_.straggler_after.count() > 0 ? config_.straggler_after
+                                             : 2 * config_.lease;
+}
+
 void CoordinatorCore::tick(Clock::time_point now) {
   for (auto& state : jobs_) {
-    if (state.phase != JobPhase::kLeased || now < state.lease_expiry) continue;
-    if (state.assignments >= config_.max_assignments) {
-      // This job has burned its whole lease budget (workers keep dying under
-      // it, or it stalls past every lease): record it failed so the
-      // campaign can terminate.
-      CampaignJobOutcome outcome;
-      outcome.name = config_.jobs[state.index].name;
-      outcome.status = JobStatus::kFailed;
-      outcome.attempts = state.assignments;
-      outcome.error = ErrorCode::kDeadline;
-      record(state, outcome);
-    } else {
-      release(state, now, /*count_backoff=*/true);
+    if (state.phase == JobPhase::kLeased && now >= state.lease_expiry) {
+      if (state.assignments >= config_.max_assignments) {
+        // This job has burned its whole lease budget (workers keep dying
+        // under it, or it stalls past every lease): record it failed so the
+        // campaign can terminate.
+        CampaignJobOutcome outcome;
+        outcome.name = config_.jobs[state.index].name;
+        outcome.status = JobStatus::kFailed;
+        outcome.attempts = state.assignments;
+        outcome.error = ErrorCode::kDeadline;
+        record(state, outcome);
+      } else {
+        release(state, now, /*count_backoff=*/true);
+      }
+      continue;
+    }
+    if (state.phase != JobPhase::kPending) continue;
+    for (auto& shard : state.shards) {
+      if (shard.phase != ShardPhase::kLeased) continue;
+      std::erase_if(shard.holders, [&](const ShardHolder& h) {
+        return now >= h.expiry;
+      });
+      if (!shard.holders.empty()) continue;
+      // Every holder of this shard went silent past its lease.
+      if (shard.assignments >= config_.max_assignments) {
+        CampaignJobOutcome outcome;
+        outcome.name = config_.jobs[state.index].name;
+        outcome.status = JobStatus::kFailed;
+        outcome.attempts = shard.assignments;
+        outcome.error = ErrorCode::kDeadline;
+        record(state, outcome);
+        break;  // job terminal; its other shards are moot
+      }
+      release_shard(shard, now, /*count_backoff=*/true);
     }
   }
 }
@@ -141,24 +275,76 @@ std::string CoordinatorCore::handle(const Message& msg, Clock::time_point now) {
   tick(now);
   switch (msg.kind) {
     case MessageKind::kHello:
-      if (msg.proto != kProtocolVersion) {
+      if (msg.proto < kMinProtocolVersion || msg.proto > kProtocolVersion) {
         return encode_error("protocol version mismatch");
       }
       return encode_ack();
 
     case MessageKind::kRequest: {
       if (draining_) return encode_drain();
-      JobState* next = nullptr;
+      const bool v2 = msg.proto >= 2;
       Clock::time_point soonest = Clock::time_point::max();
       for (auto& state : jobs_) {
         if (state.phase != JobPhase::kPending) continue;
+        if (state.mode == JobMode::kSharded) {
+          if (!v2) {
+            // A v1 worker cannot run shard leases. Hand it the whole job —
+            // but only while no shard has made any progress, so one index
+            // is never claimed under two different structures at once.
+            if (shard_pristine(state) && state.earliest_grant <= now) {
+              state.mode = JobMode::kWhole;
+              return grant(state, msg.worker, now);
+            }
+            continue;
+          }
+          for (std::size_t k = 0; k < state.shards.size(); ++k) {
+            ShardState& shard = state.shards[k];
+            if (shard.phase != ShardPhase::kPending) continue;
+            if (shard.earliest_grant <= now) {
+              return grant_shard(state, k, msg.worker, now);
+            }
+            soonest = std::min(soonest, shard.earliest_grant);
+          }
+          continue;
+        }
         if (state.earliest_grant <= now) {
-          next = &state;
-          break;  // manifest order, like the single-process loop
+          return grant(state, msg.worker, now);  // manifest order
         }
         soonest = std::min(soonest, state.earliest_grant);
       }
-      if (next != nullptr) return grant(*next, msg.worker, now);
+      if (v2) {
+        // Nothing fresh to hand out: hunt for a straggler. The oldest
+        // in-flight shard that has been leased longer than straggler_after
+        // gets a second, speculative holder; the first valid result wins
+        // and the ledger dedups the loser.
+        JobState* spec_state = nullptr;
+        std::size_t spec_k = 0;
+        Clock::time_point oldest = Clock::time_point::max();
+        for (auto& state : jobs_) {
+          if (state.phase != JobPhase::kPending) continue;
+          for (std::size_t k = 0; k < state.shards.size(); ++k) {
+            ShardState& shard = state.shards[k];
+            if (shard.phase != ShardPhase::kLeased) continue;
+            if (shard.holders.size() >= 2) continue;
+            if (shard.assignments >= config_.max_assignments) continue;
+            if (now - shard.leased_since < straggler_after()) continue;
+            const bool own_claim =
+                std::any_of(shard.holders.begin(), shard.holders.end(),
+                            [&](const ShardHolder& h) {
+                              return h.worker == msg.worker;
+                            });
+            if (own_claim) continue;  // racing yourself helps nobody
+            if (shard.leased_since < oldest) {
+              oldest = shard.leased_since;
+              spec_state = &state;
+              spec_k = k;
+            }
+          }
+        }
+        if (spec_state != nullptr) {
+          return grant_shard(*spec_state, spec_k, msg.worker, now);
+        }
+      }
       if (finished()) return encode_drain();
       // Nothing grantable *yet*: pending jobs are backoff-gated or leased
       // elsewhere. Tell the worker when to come back.
@@ -175,6 +361,41 @@ std::string CoordinatorCore::handle(const Message& msg, Clock::time_point now) {
     case MessageKind::kHeartbeat: {
       JobState* state = find(msg.job);
       if (state == nullptr) return encode_revoke(msg.job);
+      if (msg.has_shard) {
+        if (state->phase == JobPhase::kDone ||
+            state->phase == JobPhase::kFailed ||
+            msg.shard >= state->shards.size()) {
+          return encode_revoke(msg.job);
+        }
+        ShardState& shard = state->shards[msg.shard];
+        if (shard.phase == ShardPhase::kDone) return encode_revoke(msg.job);
+        for (ShardHolder& holder : shard.holders) {
+          if (holder.worker == msg.worker) {
+            holder.expiry = now + config_.lease;
+            return encode_ack();
+          }
+        }
+        if (shard.holders.size() < 2) {
+          // A worker is actively computing a shard we think nobody holds:
+          // this coordinator restarted (or the holder expired before a
+          // re-grant). Adopt the in-flight claim rather than re-granting.
+          if (shard.phase == ShardPhase::kPending) shard.leased_since = now;
+          shard.phase = ShardPhase::kLeased;
+          shard.holders.push_back(ShardHolder{msg.worker,
+                                              now + config_.lease});
+          ++shard.assignments;
+          ++leases_granted_;
+          return encode_ack();
+        }
+        return encode_revoke(msg.job);  // two live holders already
+      }
+      if (state->mode == JobMode::kSharded &&
+          state->phase == JobPhase::kPending && !shard_pristine(*state)) {
+        // Whole-job claim (a v1 worker from before this coordinator went
+        // sharded) on a job whose shards are already in flight: adopting it
+        // would double-claim those indices. Cut the stale holder loose.
+        return encode_revoke(msg.job);
+      }
       if (state->phase == JobPhase::kLeased && state->holder == msg.worker) {
         state->lease_expiry = now + config_.lease;
         return encode_ack();
@@ -184,12 +405,95 @@ std::string CoordinatorCore::handle(const Message& msg, Clock::time_point now) {
         // coordinator restarted (or the lease expired before a re-grant).
         // Adopt the lease instead of re-granting — the work in flight is
         // exactly the work we want done.
+        state->mode = JobMode::kWhole;
         std::string ignored = grant(*state, msg.worker, now);
         (void)ignored;
         return encode_ack();
       }
       // Done/failed, or leased to someone else: this holder is stale.
       return encode_revoke(msg.job);
+    }
+
+    case MessageKind::kShardResult: {
+      JobState* state = find(msg.job);
+      if (state == nullptr) return encode_error("shard result for unknown job");
+      if (state->phase == JobPhase::kDone ||
+          state->phase == JobPhase::kFailed) {
+        // Job already terminal: a late or duplicate shard report. Ack
+        // without appending — the ledger already tells the whole story.
+        return encode_ack();
+      }
+      if (msg.shard >= state->shards.size()) {
+        return encode_error("shard result out of range");
+      }
+      ShardState& shard = state->shards[msg.shard];
+      if (shard.lo != msg.lo || shard.hi != msg.hi) {
+        return encode_error("shard result range mismatch");
+      }
+      switch (msg.shard_status) {
+        case JobStatus::kDone: {
+          if (shard.phase == ShardPhase::kDone) {
+            return encode_ack();  // first result won; dedup the loser
+          }
+          std::vector<maxpower::ShardSample> samples;
+          try {
+            samples = maxpower::decode_shard_samples(msg.samples);
+          } catch (const Error&) {
+            return encode_error("malformed shard samples");
+          }
+          bool covers = samples.size() == shard.hi - shard.lo;
+          for (std::size_t i = 0; covers && i < samples.size(); ++i) {
+            covers = samples[i].index == shard.lo + i;
+          }
+          if (!covers) {
+            return encode_error("shard samples do not cover the range");
+          }
+          shard.phase = ShardPhase::kDone;
+          shard.holders.clear();
+          shard.samples = std::move(samples);
+          ++shards_done_;
+          maxpower::append_ledger_line(
+              report_path_,
+              maxpower::shard_record_line(msg.job, msg.shard, shard.lo,
+                                          shard.hi, msg.worker,
+                                          shard.samples));
+          try_assemble(*state);
+          return encode_ack();
+        }
+        case JobStatus::kFailed: {
+          std::erase_if(shard.holders, [&](const ShardHolder& h) {
+            return h.worker == msg.worker;
+          });
+          if (shard.phase == ShardPhase::kLeased && shard.holders.empty()) {
+            if (shard.assignments >= config_.max_assignments) {
+              CampaignJobOutcome outcome;
+              outcome.name = config_.jobs[state->index].name;
+              outcome.status = JobStatus::kFailed;
+              outcome.attempts = shard.assignments;
+              outcome.error = msg.shard_error == ErrorCode::kOk
+                                  ? ErrorCode::kDeadline
+                                  : msg.shard_error;
+              record(*state, outcome);
+            } else {
+              release_shard(shard, now, /*count_backoff=*/true);
+            }
+          }
+          return encode_ack();
+        }
+        case JobStatus::kStopped: {
+          // Graceful hand-back: the shard checkpoint keeps the progress.
+          std::erase_if(shard.holders, [&](const ShardHolder& h) {
+            return h.worker == msg.worker;
+          });
+          if (shard.phase == ShardPhase::kLeased && shard.holders.empty()) {
+            release_shard(shard, now, /*count_backoff=*/false);
+          }
+          return encode_ack();
+        }
+        case JobStatus::kSkipped:
+          return encode_ack();
+      }
+      return encode_ack();
     }
 
     case MessageKind::kResult: {
@@ -233,6 +537,7 @@ std::string CoordinatorCore::handle(const Message& msg, Clock::time_point now) {
     }
 
     case MessageKind::kLease:
+    case MessageKind::kShardLease:
     case MessageKind::kWait:
     case MessageKind::kDrain:
     case MessageKind::kAck:
@@ -245,7 +550,13 @@ std::string CoordinatorCore::handle(const Message& msg, Clock::time_point now) {
 
 bool CoordinatorCore::any_leased() const {
   return std::any_of(jobs_.begin(), jobs_.end(), [](const JobState& s) {
-    return s.phase == JobPhase::kLeased;
+    if (s.phase == JobPhase::kLeased) return true;
+    if (s.phase != JobPhase::kPending) return false;
+    return std::any_of(s.shards.begin(), s.shards.end(),
+                       [](const ShardState& shard) {
+                         return shard.phase == ShardPhase::kLeased &&
+                                !shard.holders.empty();
+                       });
   });
 }
 
@@ -284,14 +595,21 @@ JobPhase CoordinatorCore::phase(const std::string& job) const {
 
 maxpower::CampaignResult serve_campaign(
     CoordinatorCore& core, const CoordinatorServerOptions& options) {
-  using Clock = CoordinatorCore::Clock;
   UnixListener listener(options.socket_path);
+  return serve_campaign(core, listener, options);
+}
+
+maxpower::CampaignResult serve_campaign(
+    CoordinatorCore& core, Listener& listener,
+    const CoordinatorServerOptions& options) {
+  using Clock = CoordinatorCore::Clock;
   std::vector<std::unique_ptr<LineChannel>> conns;
 
   const auto drain_grace = options.drain_grace.count() > 0
                                ? options.drain_grace
                                : std::chrono::milliseconds{30000};
   Clock::time_point drain_deadline = Clock::time_point::max();
+  bool busy = false;  // did the previous iteration process any line?
 
   for (;;) {
     const auto now = Clock::now();
@@ -308,9 +626,14 @@ maxpower::CampaignResult serve_campaign(
       break;
     }
 
-    if (auto conn = listener.accept(options.poll)) {
+    // Shard leases multiply message traffic per job; when the previous
+    // iteration had work, poll the accept non-blocking so one slow accept
+    // timeout cannot throttle the whole fleet's request rate.
+    if (auto conn = listener.accept(busy ? std::chrono::milliseconds{0}
+                                         : options.poll)) {
       conns.push_back(std::move(conn));
     }
+    busy = false;
 
     for (auto& conn : conns) {
       // Drain every line this peer already delivered; a worker only has one
@@ -323,7 +646,15 @@ maxpower::CampaignResult serve_campaign(
           conn->close();  // peer gone; lease expiry covers its jobs
           break;
         }
+        if (status == LineChannel::RecvStatus::kOverflow) {
+          // A frame past the receive limit is a protocol violation, not a
+          // transport fault: say so before hanging up.
+          conn->send_line(encode_error("oversized frame"));
+          conn->close();
+          break;
+        }
         if (status != LineChannel::RecvStatus::kLine) break;
+        busy = true;
         std::string reply;
         try {
           reply = core.handle(decode_message(line), Clock::now());
@@ -361,7 +692,8 @@ maxpower::CampaignResult serve_campaign(
         std::string line;
         const auto status =
             conn->recv_line(line, std::chrono::milliseconds{0});
-        if (status == LineChannel::RecvStatus::kClosed) {
+        if (status == LineChannel::RecvStatus::kClosed ||
+            status == LineChannel::RecvStatus::kOverflow) {
           conn->close();
           break;
         }

@@ -23,6 +23,16 @@
 //     current holder would produce), deduplicated against job state, and
 //     appended to the ledger exactly once. Workers re-send results until
 //     acked; at-least-once delivery + state dedup = exactly-once ledger.
+//   * Under shard_size > 0 the same machinery runs at shard granularity
+//     (docs/ROBUSTNESS.md, "Sharded jobs"): each job is split into
+//     contiguous wave-index ranges [lo, hi) leased independently to
+//     protocol-v2 workers. Heartbeat renewal, expiry, bounded re-dispatch,
+//     straggler speculation (second holder, first valid result wins), and
+//     restart adoption all key on job:shard; done-shard payloads are
+//     appended to the ledger inline so a restarted coordinator rebuilds
+//     in-flight jobs from the ledger alone, and the contiguous done prefix
+//     is folded through Engine::replay into a final record byte-identical
+//     to a single-process run.
 //
 // CoordinatorCore is a pure state machine over injected time — every
 // transition takes an explicit `now` — so lease expiry, backoff gating, and
@@ -38,6 +48,7 @@
 
 #include "dist/protocol.hpp"
 #include "maxpower/campaign.hpp"
+#include "maxpower/shard.hpp"
 #include "util/deadline.hpp"
 #include "util/retry.hpp"
 #include "util/rng.hpp"
@@ -62,6 +73,16 @@ struct CoordinatorConfig {
   /// thrash); initial_backoff/multiplier/max_backoff/jitter are used.
   util::RetryPolicy reassign;
   std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+  /// Intra-job wave sharding: when > 0, each job is split into contiguous
+  /// wave-index ranges of this many attempts and leased shard-by-shard to
+  /// protocol-v2 workers (maxpower/shard). 0 = whole-job leases only.
+  /// Protocol-v1 workers in a mixed fleet still get whole jobs: a sharded
+  /// job with no shard progress yet is flipped to whole-job mode on demand.
+  std::size_t shard_size = 0;
+  /// A leased shard older than this with idle capacity elsewhere is a
+  /// straggler: it is speculatively re-issued to a second worker and the
+  /// first valid result wins (0 = twice the lease duration).
+  std::chrono::milliseconds straggler_after{0};
 };
 
 /// Where one job stands inside the coordinator.
@@ -103,16 +124,45 @@ class CoordinatorCore {
 
   JobPhase phase(const std::string& job) const;  ///< test/observability hook
 
+  /// Shards completed across all jobs (monotonic; test/observability hook).
+  std::size_t shards_done() const { return shards_done_; }
+
  private:
+  /// Whether a job hands out whole-job or shard leases. Sharded is the
+  /// default under shard_size > 0 but a job with no shard progress can be
+  /// flipped to whole-job mode to serve a protocol-v1 worker.
+  enum class JobMode : std::uint8_t { kWhole, kSharded };
+  enum class ShardPhase : std::uint8_t { kPending, kLeased, kDone };
+
+  /// One worker's live claim on a shard. A shard has at most two holders:
+  /// the primary and one speculative straggler re-issue.
+  struct ShardHolder {
+    std::string worker;
+    Clock::time_point expiry{};
+  };
+
+  struct ShardState {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    ShardPhase phase = ShardPhase::kPending;
+    std::vector<ShardHolder> holders;
+    Clock::time_point leased_since{};  ///< first grant of the current flight
+    Clock::time_point earliest_grant{};
+    std::size_t assignments = 0;
+    std::vector<maxpower::ShardSample> samples;  ///< filled when kDone
+  };
+
   struct JobState {
     std::size_t index = 0;  ///< into config_.jobs
     JobPhase phase = JobPhase::kPending;
+    JobMode mode = JobMode::kWhole;
     bool skipped = false;   ///< done per the ledger before this run
     std::string holder;
     Clock::time_point lease_expiry{};
     Clock::time_point earliest_grant{};
     std::size_t assignments = 0;
     maxpower::CampaignJobOutcome outcome;
+    std::vector<ShardState> shards;  ///< mode == kSharded only
   };
 
   JobState* find(const std::string& job);
@@ -120,6 +170,19 @@ class CoordinatorCore {
                     Clock::time_point now);
   void record(JobState& state, const maxpower::CampaignJobOutcome& outcome);
   void release(JobState& state, Clock::time_point now, bool count_backoff);
+
+  /// True while no shard of `state` has been leased or completed — the only
+  /// window in which the job may flip to whole-job mode for a v1 worker.
+  static bool shard_pristine(const JobState& state);
+  std::string grant_shard(JobState& state, std::size_t k,
+                          const std::string& worker, Clock::time_point now);
+  void release_shard(ShardState& shard, Clock::time_point now,
+                     bool count_backoff);
+  /// Folds the contiguous done-shard prefix through the engine; records the
+  /// job terminal (done or failed) when the prefix reaches its stopping
+  /// point.
+  void try_assemble(JobState& state);
+  std::chrono::milliseconds straggler_after() const;
 
   CoordinatorConfig config_;
   std::string report_path_;
@@ -129,6 +192,7 @@ class CoordinatorCore {
   bool draining_ = false;
   std::size_t quarantined_ = 0;
   std::size_t leases_granted_ = 0;
+  std::size_t shards_done_ = 0;
 };
 
 /// Socket-server options for serve_campaign.
@@ -146,6 +210,14 @@ struct CoordinatorServerOptions {
 /// completes. Returns the invocation summary (CampaignResult::stopped set
 /// when the run was cut short by drain).
 maxpower::CampaignResult serve_campaign(CoordinatorCore& core,
+                                        const CoordinatorServerOptions& options);
+
+class Listener;  // dist/transport.hpp
+
+/// Same loop over a caller-owned listener (Unix-domain or TCP), so one
+/// coordinator serves a multi-host fleet. `options.socket_path` is ignored.
+maxpower::CampaignResult serve_campaign(CoordinatorCore& core,
+                                        Listener& listener,
                                         const CoordinatorServerOptions& options);
 
 }  // namespace mpe::dist

@@ -34,6 +34,25 @@ std::uint64_t number_or(const util::JsonValue& v, std::string_view key,
   return static_cast<std::uint64_t>(field->as_number());
 }
 
+std::uint64_t required_number(const util::JsonValue& v, std::string_view key) {
+  const util::JsonValue* field = v.find(key);
+  if (field == nullptr || !field->is_number()) {
+    throw Error(ErrorCode::kBadData, "message field missing or not a number",
+                ErrorContext{}.kv("field", key).str());
+  }
+  return static_cast<std::uint64_t>(field->as_number());
+}
+
+maxpower::JobStatus required_status(const util::JsonValue& v) {
+  const std::string status = required_string(v, "status");
+  const auto parsed = maxpower::job_status_from_name(status);
+  if (!parsed) {
+    throw Error(ErrorCode::kBadData, "unknown job status in result",
+                ErrorContext{}.kv("status", status).str());
+  }
+  return *parsed;
+}
+
 }  // namespace
 
 std::string_view to_string(MessageKind kind) {
@@ -42,7 +61,9 @@ std::string_view to_string(MessageKind kind) {
     case MessageKind::kRequest: return "request";
     case MessageKind::kHeartbeat: return "heartbeat";
     case MessageKind::kResult: return "result";
+    case MessageKind::kShardResult: return "shard-result";
     case MessageKind::kLease: return "lease";
+    case MessageKind::kShardLease: return "shard-lease";
     case MessageKind::kWait: return "wait";
     case MessageKind::kDrain: return "drain";
     case MessageKind::kAck: return "ack";
@@ -62,6 +83,10 @@ std::string encode_hello(std::string_view worker) {
 std::string encode_request(std::string_view worker) {
   auto f = header(MessageKind::kRequest);
   f.add("worker", worker);
+  // The coordinator core is stateless across messages, so the request
+  // itself carries the capability bit: proto >= 2 peers accept shard
+  // leases. v1 coordinators ignore the extra field.
+  f.add("proto", kProtocolVersion);
   return f.object();
 }
 
@@ -69,6 +94,15 @@ std::string encode_heartbeat(std::string_view worker, std::string_view job) {
   auto f = header(MessageKind::kHeartbeat);
   f.add("worker", worker);
   f.add("job", job);
+  return f.object();
+}
+
+std::string encode_shard_heartbeat(std::string_view worker,
+                                   std::string_view job, std::uint64_t shard) {
+  auto f = header(MessageKind::kHeartbeat);
+  f.add("worker", worker);
+  f.add("job", job);
+  f.add("shard", shard);
   return f.object();
 }
 
@@ -92,12 +126,46 @@ std::string encode_result(std::string_view worker,
   return f.object();
 }
 
+std::string encode_shard_result(std::string_view worker, std::string_view job,
+                                std::uint64_t shard, std::uint64_t lo,
+                                std::uint64_t hi, maxpower::JobStatus status,
+                                ErrorCode error,
+                                std::string_view samples_json) {
+  auto f = header(MessageKind::kShardResult);
+  f.add("worker", worker);
+  f.add("job", job);
+  f.add("shard", shard);
+  f.add("lo", lo);
+  f.add("hi", hi);
+  f.add("status", maxpower::to_string(status));
+  if (error != ErrorCode::kOk) f.add("error", mpe::to_string(error));
+  if (status == maxpower::JobStatus::kDone) {
+    f.add("samples", samples_json);  // a JSON array shipped as a string
+  }
+  return f.object();
+}
+
 std::string encode_lease(std::string_view job, std::string_view spec_json,
                          std::uint64_t lease_ms,
                          std::uint64_t job_deadline_ms) {
   auto f = header(MessageKind::kLease);
   f.add("job", job);
   f.add("spec", spec_json);  // shipped as a string; parsed by the worker
+  f.add("lease_ms", lease_ms);
+  if (job_deadline_ms > 0) f.add("job_deadline_ms", job_deadline_ms);
+  return f.object();
+}
+
+std::string encode_shard_lease(std::string_view job, std::string_view spec_json,
+                               std::uint64_t shard, std::uint64_t lo,
+                               std::uint64_t hi, std::uint64_t lease_ms,
+                               std::uint64_t job_deadline_ms) {
+  auto f = header(MessageKind::kShardLease);
+  f.add("job", job);
+  f.add("spec", spec_json);
+  f.add("shard", shard);
+  f.add("lo", lo);
+  f.add("hi", hi);
   f.add("lease_ms", lease_ms);
   if (job_deadline_ms > 0) f.add("job_deadline_ms", job_deadline_ms);
   return f.object();
@@ -157,23 +225,40 @@ Message decode_message(std::string_view line) {
       break;
     case MessageKind::kRequest:
       msg.worker = required_string(v, "worker");
+      msg.proto = number_or(v, "proto", 1);  // v1 workers never send it
       break;
     case MessageKind::kHeartbeat:
       msg.worker = required_string(v, "worker");
       msg.job = required_string(v, "job");
+      if (v.find("shard") != nullptr) {
+        msg.shard = required_number(v, "shard");
+        msg.has_shard = true;
+      }
+      break;
+    case MessageKind::kShardResult:
+      msg.worker = required_string(v, "worker");
+      msg.job = required_string(v, "job");
+      msg.shard = required_number(v, "shard");
+      msg.has_shard = true;
+      msg.lo = required_number(v, "lo");
+      msg.hi = required_number(v, "hi");
+      msg.shard_status = required_status(v);
+      if (const auto* e = v.find("error"); e != nullptr && e->is_string()) {
+        msg.shard_error = error_code_from_string(e->as_string());
+      }
+      if (msg.shard_status == maxpower::JobStatus::kDone) {
+        msg.samples = required_string(v, "samples");
+      }
+      if (msg.hi < msg.lo) {
+        throw Error(ErrorCode::kBadData, "shard-result range is inverted");
+      }
       break;
     case MessageKind::kResult: {
       msg.worker = required_string(v, "worker");
       msg.job = required_string(v, "job");
       msg.outcome.name = msg.job;
       msg.outcome.worker = msg.worker;
-      const std::string status = required_string(v, "status");
-      const auto parsed = maxpower::job_status_from_name(status);
-      if (!parsed) {
-        throw Error(ErrorCode::kBadData, "unknown job status in result",
-                    ErrorContext{}.kv("status", status).str());
-      }
-      msg.outcome.status = *parsed;
+      msg.outcome.status = required_status(v);
       msg.outcome.attempts =
           static_cast<std::size_t>(number_or(v, "attempts", 0));
       if (const auto* e = v.find("error"); e != nullptr && e->is_string()) {
@@ -203,6 +288,22 @@ Message decode_message(std::string_view line) {
       msg.job_deadline_ms = number_or(v, "job_deadline_ms", 0);
       if (msg.ms == 0) {
         throw Error(ErrorCode::kBadData, "lease without lease_ms");
+      }
+      break;
+    case MessageKind::kShardLease:
+      msg.job = required_string(v, "job");
+      msg.spec = required_string(v, "spec");
+      msg.shard = required_number(v, "shard");
+      msg.has_shard = true;
+      msg.lo = required_number(v, "lo");
+      msg.hi = required_number(v, "hi");
+      msg.ms = number_or(v, "lease_ms", 0);
+      msg.job_deadline_ms = number_or(v, "job_deadline_ms", 0);
+      if (msg.ms == 0) {
+        throw Error(ErrorCode::kBadData, "shard-lease without lease_ms");
+      }
+      if (msg.hi <= msg.lo) {
+        throw Error(ErrorCode::kBadData, "shard-lease range is empty");
       }
       break;
     case MessageKind::kWait:

@@ -119,12 +119,13 @@ LineChannel::RecvStatus LineChannel::recv_line(
     if (n > 0) {
       buf_.append(chunk, static_cast<std::size_t>(n));
       // Backpressure against frame-less floods: a peer that streams past
-      // the limit without ever terminating a line is dropped, the same as
-      // one that hung up. The partial buffer is discarded with the channel.
+      // the limit without ever terminating a line gets its partial buffer
+      // discarded, but the channel is left open so the caller can answer
+      // with a protocol error before hanging up.
       if (recv_limit_ > 0 && buf_.size() > recv_limit_ &&
           buf_.find('\n') == std::string::npos) {
-        close();
-        return RecvStatus::kClosed;
+        buf_.clear();
+        return RecvStatus::kOverflow;
       }
       continue;
     }

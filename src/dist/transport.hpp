@@ -41,20 +41,24 @@ class LineChannel {
   /// SIGPIPE, never throws. `line` must not contain '\n'.
   bool send_line(std::string_view line);
 
-  enum class RecvStatus { kLine, kTimeout, kClosed };
+  enum class RecvStatus { kLine, kTimeout, kClosed, kOverflow };
 
   /// Receives one complete line (without the terminator) into `line`,
   /// waiting up to `timeout` for bytes to arrive. kClosed means the peer
-  /// hung up and no buffered line remains.
+  /// hung up and no buffered line remains. kOverflow means the peer blew
+  /// past the recv limit without framing a line: the partial buffer is
+  /// discarded but the channel stays open, so the caller can send back a
+  /// protocol error before closing (a silently dropped connection is
+  /// indistinguishable from a network fault to the peer).
   RecvStatus recv_line(std::string& line, std::chrono::milliseconds timeout);
 
   /// True when at least one complete buffered line is ready (no syscall).
   bool line_buffered() const;
 
   /// Caps the receive buffer: when a peer streams more than `bytes` without
-  /// a newline, the channel closes and recv_line reports kClosed. 0 (the
-  /// default) means unlimited. Servers facing untrusted peers set this so a
-  /// frame-less flood can never grow memory without bound.
+  /// a newline, recv_line discards the partial buffer and reports kOverflow.
+  /// 0 (the default) means unlimited. Servers facing untrusted peers set
+  /// this so a frame-less flood can never grow memory without bound.
   void set_recv_limit(std::size_t bytes) { recv_limit_ = bytes; }
 
   int fd() const { return fd_; }
@@ -67,18 +71,32 @@ class LineChannel {
   std::size_t recv_limit_ = 0;
 };
 
+/// Transport-agnostic listening end: the coordinator's serve loop accepts
+/// line channels without caring whether they arrived over a Unix socket or
+/// TCP (the multi-host seam). Implementations throw mpe::Error(kIo) only
+/// for unrecoverable listener failures.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Accepts one connection, waiting up to `timeout`; nullptr on timeout.
+  virtual std::unique_ptr<LineChannel> accept(
+      std::chrono::milliseconds timeout) = 0;
+};
+
 /// Listening end of a Unix-domain socket. Binding unlinks a stale socket
 /// file first (a crashed coordinator must be restartable in place).
-class UnixListener {
+class UnixListener final : public Listener {
  public:
   explicit UnixListener(const std::string& path);  ///< throws Error(kIo)
-  ~UnixListener();
+  ~UnixListener() override;
   UnixListener(const UnixListener&) = delete;
   UnixListener& operator=(const UnixListener&) = delete;
 
   /// Accepts one connection, waiting up to `timeout`; nullptr on timeout.
   /// Throws mpe::Error(kIo) only for unrecoverable listener failures.
-  std::unique_ptr<LineChannel> accept(std::chrono::milliseconds timeout);
+  std::unique_ptr<LineChannel> accept(
+      std::chrono::milliseconds timeout) override;
 
   const std::string& path() const { return path_; }
   int fd() const { return fd_; }
@@ -97,17 +115,18 @@ std::unique_ptr<LineChannel> connect_unix(const std::string& path);
 /// the line protocol is identical to the Unix transport). Binds `host`
 /// (an IPv4 literal, loopback by default) with SO_REUSEADDR; port 0 asks
 /// the kernel for an ephemeral port, readable back via port().
-class TcpListener {
+class TcpListener final : public Listener {
  public:
   explicit TcpListener(std::uint16_t port,
                        const std::string& host = "127.0.0.1");
-  ~TcpListener();
+  ~TcpListener() override;
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
   /// Accepts one connection, waiting up to `timeout`; nullptr on timeout.
   /// Accepted channels have TCP_NODELAY set (request/reply lines are tiny).
-  std::unique_ptr<LineChannel> accept(std::chrono::milliseconds timeout);
+  std::unique_ptr<LineChannel> accept(
+      std::chrono::milliseconds timeout) override;
 
   /// The bound port (the kernel's pick when constructed with port 0).
   std::uint16_t port() const { return port_; }

@@ -14,6 +14,7 @@
 #include "dist/protocol.hpp"
 #include "dist/transport.hpp"
 #include "maxpower/campaign.hpp"
+#include "maxpower/shard.hpp"
 #include "util/rng.hpp"
 
 namespace mpe::dist {
@@ -65,7 +66,8 @@ struct WorkerLoop {
 
   /// One dial + hello handshake. Leaves `ch` valid on success.
   bool dial_once() {
-    ch = connect_unix(cfg.socket_path);
+    ch = cfg.tcp_port > 0 ? connect_tcp(cfg.tcp_host, cfg.tcp_port)
+                          : connect_unix(cfg.socket_path);
     if (!ch) return false;
     if (!ch->send_line(encode_hello(cfg.worker_id))) {
       ch.reset();
@@ -124,12 +126,11 @@ struct WorkerLoop {
     }
   }
 
-  /// Delivers a terminal outcome at-least-once: resend across redials until
-  /// the coordinator answers. Any answer settles it — ack is the normal
-  /// case; revoke/error means the coordinator has moved past this job and
-  /// resending would change nothing.
-  bool report_until_acked(const CampaignJobOutcome& outcome) {
-    const std::string line = encode_result(cfg.worker_id, outcome);
+  /// Delivers a pre-encoded terminal report at-least-once: resend across
+  /// redials until the coordinator answers. Any answer settles it — ack is
+  /// the normal case; revoke/error means the coordinator has moved past
+  /// this work and resending would change nothing.
+  bool deliver_until_acked(const std::string& line) {
     for (std::size_t attempt = 0; attempt < kMaxReportAttempts; ++attempt) {
       if (!ch) {
         if (cancelled()) return false;  // drain: don't block exit on redial
@@ -139,6 +140,10 @@ struct WorkerLoop {
       if (reply) return true;
     }
     return false;
+  }
+
+  bool report_until_acked(const CampaignJobOutcome& outcome) {
+    return deliver_until_acked(encode_result(cfg.worker_id, outcome));
   }
 
   /// Runs one leased job on a helper thread while this thread keeps the
@@ -223,6 +228,87 @@ struct WorkerLoop {
     report_until_acked(outcome);
   }
 
+  /// Runs one shard lease: computes hyper-samples [lo, hi) of the job on a
+  /// helper thread (resuming the shard's own checkpoint), heartbeats the
+  /// shard, and ships the sample slice back until acked.
+  void execute_shard_lease(const Message& lease) {
+    ++sum.leases;
+    CampaignJob job;
+    try {
+      job = maxpower::parse_campaign_job_line(lease.spec);
+    } catch (const Error& e) {
+      ++sum.failed;
+      deliver_until_acked(encode_shard_result(
+          cfg.worker_id, lease.job, lease.shard, lease.lo, lease.hi,
+          JobStatus::kFailed, e.code(), ""));
+      return;
+    }
+
+    const util::CancellationToken shard_cancel =
+        util::CancellationToken::create();
+    maxpower::ShardRunOptions options;
+    options.state_dir = cfg.state_dir;
+    options.control.cancel = shard_cancel;
+    options.control.deadline = cfg.control.deadline;
+    if (lease.job_deadline_ms > 0) {
+      const auto budget = util::Deadline::after(
+          std::chrono::milliseconds(lease.job_deadline_ms));
+      if (budget.remaining() < options.control.deadline.remaining()) {
+        options.control.deadline = budget;
+      }
+    }
+    options.checkpoint_every_k = cfg.checkpoint_every_k;
+
+    maxpower::ShardOutcome outcome;
+    std::atomic<bool> finished{false};
+    std::thread runner([&] {
+      outcome = maxpower::run_campaign_shard(job, lease.shard, lease.lo,
+                                             lease.hi, options);
+      finished.store(true, std::memory_order_release);
+    });
+
+    bool revoked = false;
+    auto last_beat = std::chrono::steady_clock::now() - cfg.heartbeat;
+    while (!finished.load(std::memory_order_acquire)) {
+      if (cancelled()) shard_cancel.request_stop();
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_beat >= cfg.heartbeat) {
+        last_beat = now;
+        if (!ch && !cancelled()) dial_once();
+        if (ch) {
+          const auto reply = transact(
+              encode_shard_heartbeat(cfg.worker_id, lease.job, lease.shard));
+          if (reply && reply->kind == MessageKind::kRevoke) {
+            // Someone else owns (or finished) the shard; stop computing but
+            // keep the checkpoint — a future holder resumes it.
+            revoked = true;
+            shard_cancel.request_stop();
+          }
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    runner.join();
+
+    if (revoked && outcome.status != JobStatus::kDone) {
+      ++sum.stopped;
+      return;
+    }
+    std::string samples;
+    switch (outcome.status) {
+      case JobStatus::kDone:
+        ++sum.shards;
+        samples = maxpower::encode_shard_samples(outcome.samples);
+        break;
+      case JobStatus::kFailed: ++sum.failed; break;
+      default: ++sum.stopped; break;
+    }
+    deliver_until_acked(encode_shard_result(cfg.worker_id, lease.job,
+                                            lease.shard, lease.lo, lease.hi,
+                                            outcome.status, outcome.error,
+                                            samples));
+  }
+
   WorkerSummary run() {
     for (;;) {
       if (cancelled()) {
@@ -239,6 +325,9 @@ struct WorkerLoop {
       switch (reply->kind) {
         case MessageKind::kLease:
           execute_lease(*reply);
+          break;
+        case MessageKind::kShardLease:
+          execute_shard_lease(*reply);
           break;
         case MessageKind::kWait: {
           const auto ms = std::clamp<std::uint64_t>(reply->ms, 10, 2000);
@@ -262,10 +351,11 @@ struct WorkerLoop {
 }  // namespace
 
 WorkerSummary run_worker(const WorkerConfig& config) {
-  if (config.socket_path.empty() || config.worker_id.empty() ||
-      config.state_dir.empty()) {
+  if ((config.socket_path.empty() && config.tcp_port == 0) ||
+      config.worker_id.empty() || config.state_dir.empty()) {
     throw Error(ErrorCode::kPrecondition,
-                "WorkerConfig socket_path/worker_id/state_dir must be set");
+                "WorkerConfig needs socket_path or tcp_port, plus "
+                "worker_id and state_dir");
   }
   ensure_directory(config.state_dir);
   WorkerLoop loop(config);

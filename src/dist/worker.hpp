@@ -16,6 +16,10 @@
 //     (at-least-once delivery; the coordinator dedupes), so a result can be
 //     delayed but never lost while the worker lives — and if the worker
 //     dies first, the checkpoint is the result, one resume away.
+//   * Shard leases (protocol v2) run through the same machinery: the worker
+//     computes one wave-index range via maxpower::run_campaign_shard —
+//     resuming that shard's own sealed checkpoint — heartbeats at shard
+//     granularity, and ships the sample slice back until acked.
 #pragma once
 
 #include <chrono>
@@ -30,6 +34,10 @@ namespace mpe::dist {
 
 struct WorkerConfig {
   std::string socket_path;  ///< coordinator's Unix-domain socket
+  /// TCP alternative to socket_path (the multi-host seam): when tcp_port is
+  /// nonzero the worker dials tcp_host:tcp_port instead of the Unix socket.
+  std::string tcp_host = "127.0.0.1";
+  std::uint16_t tcp_port = 0;
   std::string worker_id;    ///< unique within the fleet; stamped on results
   std::string state_dir;    ///< shared checkpoint directory (created if absent)
   unsigned threads = 1;     ///< engine threads per job (result-invariant)
@@ -54,7 +62,8 @@ struct WorkerConfig {
 
 /// What one worker process did before exiting.
 struct WorkerSummary {
-  std::size_t leases = 0;   ///< leases accepted
+  std::size_t leases = 0;   ///< leases accepted (whole-job and shard)
+  std::size_t shards = 0;   ///< shard leases completed
   std::size_t done = 0;
   std::size_t failed = 0;
   std::size_t stopped = 0;  ///< jobs cut short (drain/revoke); lease released

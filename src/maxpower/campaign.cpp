@@ -110,31 +110,6 @@ JobRuntime build_runtime(const CampaignJob& job) {
   return rt;
 }
 
-/// Failure code of one finished-but-not-converged run. kDataFault runs
-/// carry the underlying cause in the diagnostics records; surface the most
-/// recent coded record so the retry classifier can tell an injected
-/// transient (retryable) from genuinely bad data (fatal).
-ErrorCode classify_result(const EstimationResult& r) {
-  switch (r.stop_reason) {
-    case StopReason::kConverged:
-      return ErrorCode::kOk;
-    case StopReason::kDeadlineExceeded:
-      return ErrorCode::kDeadline;
-    case StopReason::kCancelled:
-      return ErrorCode::kCancelled;
-    case StopReason::kDataFault: {
-      const auto& records = r.diagnostics.records;
-      for (auto it = records.rbegin(); it != records.rend(); ++it) {
-        if (it->code != ErrorCode::kOk) return it->code;
-      }
-      return ErrorCode::kBadData;
-    }
-    case StopReason::kMaxHyperSamples:
-    default:
-      return ErrorCode::kNonConvergence;
-  }
-}
-
 CampaignJob parse_campaign_job_object(const util::JsonValue& v,
                                       std::size_t line_no) {
   static constexpr std::string_view kKnown[] = {
@@ -197,6 +172,57 @@ CampaignJob parse_campaign_job_object(const util::JsonValue& v,
 }
 
 }  // namespace
+
+/// kDataFault runs carry the underlying cause in the diagnostics records;
+/// surface the most recent coded record so the retry classifier can tell an
+/// injected transient (retryable) from genuinely bad data (fatal).
+ErrorCode classify_run_result(const EstimationResult& r) {
+  switch (r.stop_reason) {
+    case StopReason::kConverged:
+      return ErrorCode::kOk;
+    case StopReason::kDeadlineExceeded:
+      return ErrorCode::kDeadline;
+    case StopReason::kCancelled:
+      return ErrorCode::kCancelled;
+    case StopReason::kDataFault: {
+      const auto& records = r.diagnostics.records;
+      for (auto it = records.rbegin(); it != records.rend(); ++it) {
+        if (it->code != ErrorCode::kOk) return it->code;
+      }
+      return ErrorCode::kBadData;
+    }
+    case StopReason::kMaxHyperSamples:
+    default:
+      return ErrorCode::kNonConvergence;
+  }
+}
+
+EngineConfig campaign_engine_config(const CampaignJob& job) {
+  EngineConfig cfg;
+  cfg.options.epsilon = job.epsilon;
+  cfg.options.confidence = job.confidence;
+  cfg.options.max_hyper_samples = job.max_hyper_samples;
+  if (!job.stop.empty()) {
+    cfg.options.interval = *interval_kind_from_name(job.stop);
+  }
+  if (!job.fitter.empty()) {
+    // "mle" stays on the default (null) fitter so an explicit request for
+    // the default does not perturb the checkpoint fingerprint.
+    const TailFitterKind kind = *tail_fitter_kind_from_name(job.fitter);
+    if (kind != TailFitterKind::kWeibullMle) {
+      cfg.fitter = make_tail_fitter(kind);
+    }
+  }
+  return cfg;
+}
+
+CampaignJobRuntime build_campaign_runtime(const CampaignJob& job) {
+  auto rt = std::make_shared<JobRuntime>(build_runtime(job));
+  CampaignJobRuntime out;
+  out.population = rt->population;
+  out.keepalive = std::move(rt);
+  return out;
+}
 
 bool valid_campaign_job_name(const std::string& name) {
   if (name.empty() || name.size() > 128) return false;
@@ -314,30 +340,17 @@ CampaignJobOutcome run_campaign_job(CampaignJob& job,
   CampaignJobOutcome outcome;
   outcome.name = job.name;
 
-  EstimatorOptions est;
-  est.epsilon = job.epsilon;
-  est.confidence = job.confidence;
-  est.max_hyper_samples = job.max_hyper_samples;
-  est.control = options.control;
+  EngineConfig cfg = campaign_engine_config(job);
+  cfg.options.control = options.control;
   // The tighter of the campaign deadline and the per-job budget wins; the
   // cancellation token is shared either way.
   if (!options.job_deadline.unlimited() &&
-      options.job_deadline.remaining() < est.control.deadline.remaining()) {
-    est.control.deadline = options.job_deadline;
+      options.job_deadline.remaining() <
+          cfg.options.control.deadline.remaining()) {
+    cfg.options.control.deadline = options.job_deadline;
   }
-  est.checkpoint_path = options.state_dir + "/" + job.name + ".ckpt";
-  est.checkpoint_every_k = options.checkpoint_every_k;
-  if (!job.stop.empty()) {
-    est.interval = *interval_kind_from_name(job.stop);
-  }
-  EngineConfig cfg;
-  if (!job.fitter.empty()) {
-    // "mle" stays on the default (null) fitter so an explicit request for
-    // the default does not perturb the checkpoint fingerprint.
-    const TailFitterKind kind = *tail_fitter_kind_from_name(job.fitter);
-    if (kind != TailFitterKind::kWeibullMle) cfg.fitter = make_tail_fitter(kind);
-  }
-  cfg.options = est;
+  cfg.options.checkpoint_path = options.state_dir + "/" + job.name + ".ckpt";
+  cfg.options.checkpoint_every_k = options.checkpoint_every_k;
   const Engine engine(cfg);
   ParallelOptions par;
   par.threads = options.threads;
@@ -362,7 +375,7 @@ CampaignJobOutcome run_campaign_job(CampaignJob& job,
   const auto attempt = [&]() -> ErrorCode {
     try {
       best = engine.run(*runtime.population, job.seed, par);
-      return classify_result(best);
+      return classify_run_result(best);
     } catch (const Error& e) {
       return e.code();
     } catch (const std::exception&) {

@@ -19,11 +19,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "maxpower/engine.hpp"
 #include "maxpower/estimator.hpp"
 #include "util/deadline.hpp"
 #include "util/retry.hpp"
@@ -145,6 +147,34 @@ bool valid_campaign_job_name(const std::string& name);
 /// maxpower/ledger.hpp for the seal). Shared by run_campaign and the
 /// distributed coordinator so both write byte-compatible ledgers.
 std::string campaign_record_line(const CampaignJobOutcome& outcome);
+
+/// Engine composition for one job: the estimator options derived from the
+/// manifest fields plus the fitter override. Shared by the single-process
+/// runner, the shard worker, and the coordinator's shard assembly — all
+/// three building from the same function is what makes a sharded campaign
+/// byte-identical to a single-process one. Cross-cutting fields (run
+/// control, deadline, checkpoint path, tracer) are left default for the
+/// caller to fill in.
+EngineConfig campaign_engine_config(const CampaignJob& job);
+
+/// Failure code of one finished run: kOk for converged, kDeadline /
+/// kCancelled for interrupted, the most recent coded diagnostic for
+/// kDataFault, kNonConvergence for a clean budget stop.
+ErrorCode classify_run_result(const EstimationResult& r);
+
+/// The population one job estimates against, plus whatever it stands on
+/// (netlist, evaluator, generator), type-erased so callers outside
+/// campaign.cpp can run job slices against the exact same value stream.
+/// The population pointer stays valid while `keepalive` is held.
+struct CampaignJobRuntime {
+  std::shared_ptr<void> keepalive;
+  vec::Population* population = nullptr;
+};
+
+/// Builds the job's population exactly as run_campaign_job would (test-hook
+/// population, .bench / Verilog / preset netlist, delay model, fastest
+/// backend). Throws mpe::Error on unreadable circuits.
+CampaignJobRuntime build_campaign_runtime(const CampaignJob& job);
 
 /// How one job is executed (the per-job slice of CampaignOptions). Shared
 /// by the single-process campaign loop and the distributed worker so a job

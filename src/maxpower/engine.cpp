@@ -285,6 +285,59 @@ class SpeculativeExecution final : public ExecutionPolicy {
   std::vector<HyperSampleResult> batch_;
 };
 
+/// Replays pre-computed hyper-samples (shard results assembled by a
+/// coordinator) through the fold: one slot per wave in index order, the
+/// dedicated interval stream for the stopping chain — exactly the
+/// SpeculativeExecution RNG discipline, with the draws themselves replaced
+/// by the recorded values. Bit-identical to a live pipelined run as long as
+/// the recorded prefix covers the stopping point.
+class ReplayExecution final : public ExecutionPolicy {
+ public:
+  ReplayExecution(std::uint64_t seed,
+                  const std::vector<Engine::ReplaySample>& samples)
+      : samples_(samples), interval_rng_(stream_seed(seed, kIntervalStream)) {}
+
+  std::size_t cursor() const override { return pos_; }
+
+  void resume(std::uint64_t, const Rng::State&) override {
+    throw Error(ErrorCode::kInternal, "replay runs never resume");
+  }
+
+  Rng& interval_rng() override { return interval_rng_; }
+  Rng::State checkpoint_rng_state() override { return interval_rng_.state(); }
+
+  bool draw_wave(UnitSource&, const TailFitter&, RunContext&,
+                 EstimationResult&, std::vector<Slot>& slots) override {
+    slots.clear();
+    if (pos_ >= samples_.size()) return false;  // recorded prefix exhausted
+    Slot s;
+    s.index = static_cast<std::size_t>(samples_[pos_].index);
+    s.hs = samples_[pos_].hs;
+    s.computed = true;
+    slots.push_back(std::move(s));
+    return true;
+  }
+
+  void advance_past_wave() override { ++pos_; }
+
+ private:
+  const std::vector<Engine::ReplaySample>& samples_;
+  Rng interval_rng_;
+  std::size_t pos_ = 0;
+};
+
+/// UnitSource stand-in for replay: the fold never draws, so fill() is
+/// unreachable.
+class ReplaySource final : public UnitSource {
+ public:
+  void fill(std::span<double>, Rng&) override {
+    throw Error(ErrorCode::kInternal, "replay source never draws");
+  }
+  bool concurrent_fill_safe() const override { return false; }
+  std::optional<std::size_t> population_size() const override { return {}; }
+  std::string description() const override { return "replay"; }
+};
+
 void finalize_chain(
     const std::vector<std::shared_ptr<StoppingRule>>& chain,
     const EstimatorOptions& options, EstimationResult& r, Rng& interval_rng) {
@@ -490,6 +543,36 @@ EstimationResult Engine::run(vec::Population& population, std::uint64_t seed,
                              const ParallelOptions& parallel) const {
   PopulationUnitSource source(population);
   return run(source, seed, parallel);
+}
+
+EstimationResult Engine::replay(
+    std::uint64_t seed, const std::vector<ReplaySample>& samples) const {
+  check_options(config_.options);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].index != i) {
+      throw Error(ErrorCode::kPrecondition,
+                  "replay samples must be the contiguous index prefix 0..k",
+                  ErrorContext{}
+                      .kv("position", i)
+                      .kv("index", samples[i].index)
+                      .str());
+    }
+  }
+  const TailFitter& fitter =
+      config_.fitter != nullptr ? *config_.fitter : default_tail_fitter();
+  const auto chain =
+      config_.stopping.empty() ? default_stopping_chain() : config_.stopping;
+  // Replay is a pure fold: no checkpoint, no tracer, and an inert run
+  // control, so a coordinator-side stop request can never truncate the
+  // deterministic result mid-assembly.
+  EstimatorOptions options = config_.options;
+  options.checkpoint_path.clear();
+  options.tracer = nullptr;
+  options.control = util::RunControl{};
+  RunContext ctx(options, /*fingerprint=*/0, seed, /*parallel_path=*/true);
+  ReplaySource source;
+  ReplayExecution policy(seed, samples);
+  return run_loop(source, fitter, chain, ctx, policy);
 }
 
 }  // namespace mpe::maxpower

@@ -80,6 +80,27 @@ class Engine {
   EstimationResult run(vec::Population& population, std::uint64_t seed,
                        const ParallelOptions& parallel = {}) const;
 
+  /// One pre-computed hyper-sample for replay(): the draw for wave index
+  /// `index` of the stream_seed(seed, index) RNG stream, as produced by
+  /// draw_hyper_sample. Whether it was usable is re-derived by the fold.
+  struct ReplaySample {
+    HyperSampleResult hs;
+    std::uint64_t index = 0;
+  };
+
+  /// Re-runs the fold + stopping chain over hyper-samples computed
+  /// elsewhere (e.g. shard workers on other hosts). `samples` must be the
+  /// contiguous index-ordered prefix 0..samples.size()-1 of the pipelined
+  /// run's draw sequence for `seed`; the result is then bit-identical to
+  /// run(source, seed, ...) whenever the recorded prefix covers the point
+  /// where that run stops (convergence, budget, or redraw exhaustion).
+  /// If the prefix runs out earlier, the returned partial result is a
+  /// probe: not converged and not budget-terminal, and callers must
+  /// discard it. Checkpointing, tracing, and run control are disabled —
+  /// replay is a pure deterministic fold.
+  EstimationResult replay(std::uint64_t seed,
+                          const std::vector<ReplaySample>& samples) const;
+
  private:
   EngineConfig config_;
 };

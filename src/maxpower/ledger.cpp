@@ -64,7 +64,10 @@ bool verify_ledger_line(std::string_view line) {
 
 std::map<std::string, std::string> LedgerReadResult::final_status() const {
   std::map<std::string, std::string> last;
-  for (const auto& r : records) last[r.job] = r.status;
+  for (const auto& r : records) {
+    if (r.is_shard) continue;  // partial progress, never a job status
+    last[r.job] = r.status;
+  }
   return last;
 }
 
@@ -115,6 +118,20 @@ LedgerReadResult read_ledger_text(std::string_view text) {
     }
     if (const auto* e = v.find("error"); e != nullptr && e->is_string()) {
       rec.error = e->as_string();
+    }
+    if (const auto* s = v.find("shard"); s != nullptr && s->is_number()) {
+      rec.is_shard = true;
+      rec.shard = static_cast<std::uint64_t>(s->as_number());
+      if (const auto* lo = v.find("lo"); lo != nullptr && lo->is_number()) {
+        rec.lo = static_cast<std::uint64_t>(lo->as_number());
+      }
+      if (const auto* hi = v.find("hi"); hi != nullptr && hi->is_number()) {
+        rec.hi = static_cast<std::uint64_t>(hi->as_number());
+      }
+      if (const auto* p = v.find("samples");
+          p != nullptr && p->is_string()) {
+        rec.samples = p->as_string();
+      }
     }
     out.records.push_back(std::move(rec));
   }
@@ -174,8 +191,47 @@ LedgerAudit audit_ledger(const LedgerReadResult& ledger) {
     LedgerRecord first_done;
     std::string last_status;
   };
+  struct ShardTrail {
+    bool has_done = false;
+    LedgerRecord first_done;
+  };
   std::map<std::string, JobTrail> trails;
+  std::map<std::string, ShardTrail> shard_trails;  // keyed by job:shard
   for (const auto& rec : ledger.records) {
+    if (rec.is_shard) {
+      ++audit.shard_records;
+      JobTrail& job_trail = trails[rec.job];
+      if (job_trail.has_done) {
+        // Once a job is done its shards are obsolete: the coordinator acks
+        // late duplicates without appending, so a post-done shard record
+        // means two coordinators raced or the ledger was spliced.
+        audit.violations.push_back("job '" + rec.job +
+                                   "' got a shard record after done");
+      }
+      if (rec.status == "done") {
+        ShardTrail& trail =
+            shard_trails[rec.job + ":" + std::to_string(rec.shard)];
+        if (!trail.has_done) {
+          trail.has_done = true;
+          trail.first_done = rec;
+        } else {
+          // Shard payloads are deterministic functions of (job spec,
+          // seed, index range): two done records for one job:shard must
+          // agree exactly — that is the exactly-once key of the sharded
+          // control plane.
+          const LedgerRecord& a = trail.first_done;
+          if (a.lo != rec.lo || a.hi != rec.hi ||
+              a.samples != rec.samples) {
+            audit.violations.push_back(
+                "divergent shard records for job '" + rec.job + "' shard " +
+                std::to_string(rec.shard));
+          } else {
+            ++audit.duplicate_shard;
+          }
+        }
+      }
+      continue;  // shard records never advance the job trail
+    }
     JobTrail& trail = trails[rec.job];
     if (rec.status == "done") {
       if (!trail.has_done) {
@@ -220,6 +276,7 @@ std::string merge_ledger(const LedgerReadResult& ledger) {
   };
   std::map<std::string, JobFinal> jobs;  // sorted by job name
   for (const auto& rec : ledger.records) {
+    if (rec.is_shard) continue;  // partial progress, not a terminal state
     JobFinal& fin = jobs[rec.job];
     if (rec.status == "done" && !fin.has_done) {
       fin.has_done = true;

@@ -62,6 +62,15 @@ struct LedgerRecord {
   std::uint64_t units = 0;
   bool converged = false;
   std::string error;      ///< failure code name, empty when none
+  // Shard partial-result records (sharded distributed campaigns): a record
+  // with a "shard" field is progress bookkeeping for one wave-index range
+  // of the job, never a terminal job status — final_status() and
+  // merge_ledger() skip it; audit keys it by job:shard.
+  bool is_shard = false;
+  std::uint64_t shard = 0;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::string samples;    ///< encoded shard-sample array (done shards)
 };
 
 /// Everything a ledger read produces. `records` preserves file order;
@@ -75,6 +84,7 @@ struct LedgerReadResult {
   std::size_t legacy = 0;  ///< accepted records without a seal
 
   /// Last recorded status per job (what the campaign skip logic keys on).
+  /// Shard records are skipped: a done shard must never mark its job done.
   std::map<std::string, std::string> final_status() const;
 };
 
@@ -106,6 +116,8 @@ struct LedgerAudit {
   std::size_t done_jobs = 0;
   std::size_t failed_jobs = 0;    ///< final status "failed"
   std::size_t duplicate_done = 0; ///< benign identical re-appends deduped
+  std::size_t shard_records = 0;  ///< shard partial-result records seen
+  std::size_t duplicate_shard = 0;  ///< benign identical shard re-appends
   bool ok() const { return violations.empty(); }
 };
 

@@ -100,6 +100,7 @@
 #include "maxpower/quantile_baseline.hpp"
 #include "maxpower/run_context.hpp"
 #include "maxpower/run_report.hpp"
+#include "maxpower/shard.hpp"
 #include "maxpower/srs.hpp"
 #include "maxpower/search_baselines.hpp"
 #include "maxpower/stopping.hpp"

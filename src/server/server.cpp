@@ -352,6 +352,14 @@ ServerReport Server::serve() {
           conn.dead = true;
           break;
         }
+        if (status == dist::LineChannel::RecvStatus::kOverflow) {
+          // Frame-less flood past the recv limit: answer with a protocol
+          // error so the peer can tell misuse from a network fault, then
+          // hang up.
+          conn.channel->send_line(encode_error("oversized frame"));
+          conn.dead = true;
+          break;
+        }
         activity = true;
         std::vector<Outbound> replies;
         try {

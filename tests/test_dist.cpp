@@ -1,13 +1,19 @@
-// dist/: transport framing, protocol round-trips (including bit-exact
+// dist/: transport framing (including byte-level torn-frame reassembly and
+// frame-less flood overflow), protocol round-trips (including bit-exact
 // doubles over the wire), the CoordinatorCore lease state machine under a
-// synthetic clock (grant order, heartbeat renewal, expiry + bounded
-// reassignment, adoption after coordinator restart, exactly-once result
-// dedup, drain), and an in-process coordinator + worker fleet over a real
-// Unix socket whose merged ledger must be byte-identical to a
-// single-process campaign of the same manifest.
+// synthetic clock — whole-job leases (grant order, heartbeat renewal,
+// expiry + bounded reassignment, adoption after coordinator restart,
+// exactly-once result dedup, drain) and shard leases (ascending grants,
+// straggler speculation, shard-granular expiry, ledger-rebuilt restart,
+// v1/v2 mixed fleets) — and in-process coordinator + worker fleets over a
+// real Unix socket and a real TCP listener whose merged ledgers must be
+// byte-identical to a single-process campaign of the same manifest.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <string>
 #include <system_error>
@@ -20,6 +26,7 @@
 #include "dist/worker.hpp"
 #include "maxpower/campaign.hpp"
 #include "maxpower/ledger.hpp"
+#include "maxpower/shard.hpp"
 #include "util/atomic_file.hpp"
 
 namespace {
@@ -93,6 +100,63 @@ md::MessageKind reply_kind(const std::string& line) {
   return md::decode_message(line).kind;
 }
 
+md::Message request_v2(const std::string& worker) {
+  md::Message m = request(worker);
+  m.proto = md::kProtocolVersion;
+  return m;
+}
+
+md::Message shard_heartbeat(const std::string& worker, const std::string& job,
+                            std::uint64_t shard) {
+  md::Message m = heartbeat(worker, job);
+  m.has_shard = true;
+  m.shard = shard;
+  return m;
+}
+
+// Synthetic shard payloads for driving the coordinator state machine
+// without real circuit work. spread == 0 yields identical estimates, which
+// the interval rule accepts as converged at min_hyper_samples — the first
+// assembled prefix is then terminal and the job completes. A wide spread
+// keeps the job unconverged, so done shards accumulate while the job stays
+// pending.
+std::vector<mp::ShardSample> synthetic_samples(std::uint64_t lo,
+                                               std::uint64_t hi,
+                                               double spread) {
+  std::vector<mp::ShardSample> out;
+  for (std::uint64_t i = lo; i < hi; ++i) {
+    mp::ShardSample s;
+    s.index = i;
+    s.estimate = 5.0 + spread * static_cast<double>(i % 5);
+    s.units = 100;
+    s.valid = true;
+    s.mle_converged = true;
+    out.push_back(s);
+  }
+  return out;
+}
+
+md::Message shard_done(const std::string& worker, const std::string& job,
+                       std::uint64_t shard, std::uint64_t lo, std::uint64_t hi,
+                       double spread = 0.0) {
+  md::Message m;
+  m.kind = md::MessageKind::kShardResult;
+  m.worker = worker;
+  m.job = job;
+  m.shard = shard;
+  m.lo = lo;
+  m.hi = hi;
+  m.shard_status = mp::JobStatus::kDone;
+  m.samples = mp::encode_shard_samples(synthetic_samples(lo, hi, spread));
+  return m;
+}
+
+md::CoordinatorConfig sharded_config(const std::string& dir) {
+  auto config = two_job_config(dir);
+  config.shard_size = 8;  // tiny_job attempt budget 116 -> shards of 8
+  return config;
+}
+
 // ---------------------------------------------------------------- transport
 
 TEST(Transport, LineFramingOverSocketpair) {
@@ -134,6 +198,56 @@ TEST(Transport, UnixListenerAcceptTimesOutCleanly) {
   EXPECT_EQ(line, "hi");
 }
 
+TEST(Transport, TornFramesReassembleAtEverySplitOffset) {
+  // A TCP segment boundary can land anywhere inside a frame. Split one
+  // realistic message at every byte offset and prove the receive path never
+  // yields a partial line and always reassembles the original bytes.
+  auto [a, b] = md::socketpair_channel();
+  const std::string payload = md::encode_shard_result(
+      "w0", "j1", 3, 24, 32, mp::JobStatus::kDone, mpe::ErrorCode::kOk,
+      mp::encode_shard_samples(synthetic_samples(24, 32, 0.25)));
+  const std::string wire = payload + "\n";
+  std::string line;
+  for (std::size_t cut = 0; cut <= wire.size(); ++cut) {
+    if (cut > 0) {
+      ASSERT_EQ(::write(a->fd(), wire.data(), cut), static_cast<ssize_t>(cut));
+    }
+    if (cut < wire.size()) {
+      // The frame is torn mid-line: polling must report "no line yet",
+      // never a truncated one.
+      ASSERT_EQ(b->recv_line(line, 0ms), md::LineChannel::RecvStatus::kTimeout)
+          << "cut=" << cut;
+      ASSERT_EQ(::write(a->fd(), wire.data() + cut, wire.size() - cut),
+                static_cast<ssize_t>(wire.size() - cut));
+    }
+    ASSERT_EQ(b->recv_line(line, 1000ms), md::LineChannel::RecvStatus::kLine)
+        << "cut=" << cut;
+    ASSERT_EQ(line, payload) << "cut=" << cut;
+  }
+  // Reassembly is not just byte-faithful but semantically whole: the
+  // payload doubles survive bit-exactly.
+  const md::Message decoded = md::decode_message(line);
+  EXPECT_EQ(decoded.kind, md::MessageKind::kShardResult);
+  EXPECT_EQ(mp::decode_shard_samples(decoded.samples),
+            synthetic_samples(24, 32, 0.25));
+}
+
+TEST(Transport, FrameLessFloodOverflowsButLeavesTheChannelAnswerable) {
+  auto [a, b] = md::socketpair_channel();
+  b->set_recv_limit(64);
+  const std::string flood(500, 'x');  // never terminates a line
+  ASSERT_EQ(::write(a->fd(), flood.data(), flood.size()),
+            static_cast<ssize_t>(flood.size()));
+  std::string line;
+  ASSERT_EQ(b->recv_line(line, 1000ms), md::LineChannel::RecvStatus::kOverflow);
+  // The server's overflow posture (serve_campaign): answer with a protocol
+  // error, then hang up — so the overflow must leave the channel usable.
+  EXPECT_TRUE(b->valid());
+  ASSERT_TRUE(b->send_line(md::encode_error("oversized frame")));
+  ASSERT_EQ(a->recv_line(line, 1000ms), md::LineChannel::RecvStatus::kLine);
+  EXPECT_EQ(md::decode_message(line).kind, md::MessageKind::kError);
+}
+
 // ----------------------------------------------------------------- protocol
 
 TEST(Protocol, ResultPayloadDoublesSurviveTheWireBitExactly) {
@@ -164,6 +278,26 @@ TEST(Protocol, LeaseCarriesSpecAsAParseableJobObject) {
   EXPECT_EQ(parsed.name, "j9");
   EXPECT_EQ(parsed.seed, 42u);
   EXPECT_EQ(parsed.epsilon, job.epsilon);
+}
+
+TEST(Protocol, ShardLeaseAndShardHeartbeatRoundTrip) {
+  const mp::CampaignJob job = tiny_job("j7", 9);
+  const md::Message lease = md::decode_message(md::encode_shard_lease(
+      "j7", mp::campaign_job_to_json(job), 3, 24, 32, 5000, 0));
+  EXPECT_EQ(lease.kind, md::MessageKind::kShardLease);
+  EXPECT_EQ(lease.shard, 3u);
+  EXPECT_EQ(lease.lo, 24u);
+  EXPECT_EQ(lease.hi, 32u);
+  EXPECT_EQ(lease.ms, 5000u);
+  EXPECT_EQ(mp::parse_campaign_job_line(lease.spec).seed, 9u);
+
+  const md::Message hb =
+      md::decode_message(md::encode_shard_heartbeat("w0", "j7", 3));
+  EXPECT_EQ(hb.kind, md::MessageKind::kHeartbeat);
+  EXPECT_TRUE(hb.has_shard);
+  EXPECT_EQ(hb.shard, 3u);
+  // A v1 whole-job heartbeat decodes with the shard marker absent.
+  EXPECT_FALSE(md::decode_message(md::encode_heartbeat("w0", "j7")).has_shard);
 }
 
 TEST(Protocol, MalformedAndMistypedMessagesThrow) {
@@ -380,6 +514,231 @@ TEST(CoordinatorCore, StoppedResultReleasesTheLeaseForImmediateRegrant) {
   EXPECT_EQ(regrant.job, "j1");
 }
 
+// ------------------------------ coordinator core: shard leases (v2, synth)
+
+TEST(CoordinatorCore, ShardLeasesGoOutAscendingWithinAJob) {
+  md::CoordinatorCore core(sharded_config(fresh_dir("cs_order")));
+  const auto t0 = Clock::now();
+  const md::Message l1 = md::decode_message(core.handle(request_v2("w0"), t0));
+  ASSERT_EQ(l1.kind, md::MessageKind::kShardLease);
+  EXPECT_EQ(l1.job, "j1");
+  EXPECT_EQ(l1.shard, 0u);
+  EXPECT_EQ(l1.lo, 0u);
+  EXPECT_EQ(l1.hi, 8u);
+  EXPECT_EQ(l1.ms, 5000u);
+  EXPECT_EQ(mp::parse_campaign_job_line(l1.spec).name, "j1");
+  const md::Message l2 = md::decode_message(core.handle(request_v2("w1"), t0));
+  ASSERT_EQ(l2.kind, md::MessageKind::kShardLease);
+  EXPECT_EQ(l2.job, "j1");  // one job is drained of shards before the next
+  EXPECT_EQ(l2.shard, 1u);
+  EXPECT_EQ(l2.lo, 8u);
+  EXPECT_EQ(core.leases_granted(), 2u);
+}
+
+TEST(CoordinatorCore, DoneShardsAssembleIntoExactlyOneJobRecord) {
+  auto config = sharded_config(fresh_dir("cs_assemble"));
+  const std::string ledger_path = config.state_dir + "/campaign.jsonl";
+  md::CoordinatorCore core(std::move(config));
+  const auto t0 = Clock::now();
+  core.handle(request_v2("w0"), t0);  // j1 shard 0
+  // Identical estimates converge at the 3rd accepted sample, so shard 0
+  // already covers j1's stopping point: assembly is terminal.
+  EXPECT_EQ(reply_kind(core.handle(shard_done("w0", "j1", 0, 0, 8), t0 + 1s)),
+            md::MessageKind::kAck);
+  EXPECT_EQ(core.phase("j1"), md::JobPhase::kDone);
+  EXPECT_EQ(core.shards_done(), 1u);
+  // A speculating loser reporting late is acked without a second append.
+  EXPECT_EQ(reply_kind(core.handle(shard_done("w9", "j1", 0, 0, 8), t0 + 2s)),
+            md::MessageKind::kAck);
+  const auto ledger = mp::read_ledger_file(ledger_path);
+  ASSERT_EQ(ledger.records.size(), 2u);
+  EXPECT_TRUE(ledger.records[0].is_shard);
+  EXPECT_EQ(ledger.records[1].job, "j1");
+  EXPECT_EQ(ledger.records[1].status, "done");
+  EXPECT_EQ(ledger.records[1].estimate, 5.0);
+  EXPECT_TRUE(mp::audit_ledger(ledger).ok());
+}
+
+TEST(CoordinatorCore, StragglerGetsASpeculativeSecondHolderFirstResultWins) {
+  auto config = sharded_config(fresh_dir("cs_spec"));
+  config.jobs = {tiny_job("j1", 3)};
+  config.shard_size = 200;  // one shard covering the whole attempt budget
+  const std::string ledger_path = config.state_dir + "/campaign.jsonl";
+  md::CoordinatorCore core(std::move(config));
+  const std::uint64_t hi = mp::job_attempt_budget(tiny_job("j1", 3));
+  const auto t0 = Clock::now();
+  ASSERT_EQ(reply_kind(core.handle(request_v2("w0"), t0)),
+            md::MessageKind::kShardLease);
+  // w0 is alive (heartbeating at shard granularity) but slow.
+  EXPECT_EQ(reply_kind(core.handle(shard_heartbeat("w0", "j1", 0), t0 + 4s)),
+            md::MessageKind::kAck);
+  // Too early for speculation (straggler_after defaults to 2x lease = 10s).
+  EXPECT_EQ(reply_kind(core.handle(request_v2("w1"), t0 + 6s)),
+            md::MessageKind::kWait);
+  EXPECT_EQ(reply_kind(core.handle(shard_heartbeat("w0", "j1", 0), t0 + 8s)),
+            md::MessageKind::kAck);
+  // A worker never races itself...
+  EXPECT_EQ(reply_kind(core.handle(request_v2("w0"), t0 + 11s)),
+            md::MessageKind::kWait);
+  // ...but past the straggler threshold another worker gets a speculative
+  // copy of the oldest in-flight shard.
+  const md::Message spec =
+      md::decode_message(core.handle(request_v2("w1"), t0 + 11s));
+  ASSERT_EQ(spec.kind, md::MessageKind::kShardLease);
+  EXPECT_EQ(spec.shard, 0u);
+  // Speculation is bounded at two holders: a third is refused.
+  EXPECT_EQ(reply_kind(core.handle(shard_heartbeat("w9", "j1", 0), t0 + 11s)),
+            md::MessageKind::kRevoke);
+  // First valid result wins and completes the job...
+  EXPECT_EQ(reply_kind(core.handle(shard_done("w1", "j1", 0, 0, hi), t0 + 12s)),
+            md::MessageKind::kAck);
+  EXPECT_EQ(core.phase("j1"), md::JobPhase::kDone);
+  // ...and the loser's duplicate is swallowed by the exactly-once ledger.
+  EXPECT_EQ(reply_kind(core.handle(shard_done("w0", "j1", 0, 0, hi), t0 + 13s)),
+            md::MessageKind::kAck);
+  const auto ledger = mp::read_ledger_file(ledger_path);
+  ASSERT_EQ(ledger.records.size(), 2u);  // one shard record, one job record
+  EXPECT_TRUE(mp::audit_ledger(ledger).ok());
+}
+
+TEST(CoordinatorCore, ExpiredShardIsRedispatchedUntilItsBudgetFailsTheJob) {
+  auto config = sharded_config(fresh_dir("cs_budget"));
+  config.jobs = {tiny_job("j1", 3)};
+  config.shard_size = 200;
+  config.max_assignments = 2;
+  const std::string ledger_path = config.state_dir + "/campaign.jsonl";
+  md::CoordinatorCore core(std::move(config));
+  const auto t0 = Clock::now();
+  ASSERT_EQ(reply_kind(core.handle(request_v2("w0"), t0)),
+            md::MessageKind::kShardLease);
+  core.tick(t0 + 6s);  // w0 died: every holder of the shard expired
+  // Immediately after expiry the shard is backoff-gated...
+  EXPECT_EQ(reply_kind(core.handle(request_v2("w1"), t0 + 6s)),
+            md::MessageKind::kWait);
+  // ...then regranted once the (<=440ms jittered) backoff elapses.
+  const md::Message regrant =
+      md::decode_message(core.handle(request_v2("w1"), t0 + 7s));
+  ASSERT_EQ(regrant.kind, md::MessageKind::kShardLease);
+  EXPECT_EQ(regrant.shard, 0u);
+  // The second holder dies too: the shard's budget is spent and the job
+  // fails terminally so the campaign can finish.
+  core.tick(t0 + 13s);
+  EXPECT_EQ(core.phase("j1"), md::JobPhase::kFailed);
+  EXPECT_TRUE(core.finished());
+  const auto ledger = mp::read_ledger_file(ledger_path);
+  ASSERT_EQ(ledger.records.size(), 1u);
+  EXPECT_EQ(ledger.records[0].status, "failed");
+  EXPECT_TRUE(ledger.records[0].sealed);
+}
+
+TEST(CoordinatorCore, ShardHeartbeatRenewalKeepsTheShardLeased) {
+  md::CoordinatorCore core(sharded_config(fresh_dir("cs_renew")));
+  const auto t0 = Clock::now();
+  core.handle(request_v2("w0"), t0);  // j1 shard 0, expiry t0+5s
+  EXPECT_EQ(reply_kind(core.handle(shard_heartbeat("w0", "j1", 0), t0 + 4s)),
+            md::MessageKind::kAck);
+  core.tick(t0 + 8s);  // past original expiry; the renewal moved it to t0+9s
+  // Shard 0 must still be held: the next grant skips to shard 1.
+  const md::Message next =
+      md::decode_message(core.handle(request_v2("w1"), t0 + 8s));
+  ASSERT_EQ(next.kind, md::MessageKind::kShardLease);
+  EXPECT_EQ(next.shard, 1u);
+  // Once the renewed lease lapses the shard returns to the pool.
+  core.tick(t0 + 10s);
+  const md::Message regrant =
+      md::decode_message(core.handle(request_v2("w2"), t0 + 11s));
+  ASSERT_EQ(regrant.kind, md::MessageKind::kShardLease);
+  EXPECT_EQ(regrant.shard, 0u);
+}
+
+TEST(CoordinatorCore, RestartRebuildsDoneShardsFromTheLedgerAlone) {
+  const std::string dir = fresh_dir("cs_restart");
+  {
+    md::CoordinatorCore first(sharded_config(dir));
+    const auto t0 = Clock::now();
+    first.handle(request_v2("w0"), t0);  // j1 shard 0
+    // A wide spread keeps j1 unconverged: shard 0 completes but the job
+    // stays pending, owing shards.
+    ASSERT_EQ(reply_kind(first.handle(
+                  shard_done("w0", "j1", 0, 0, 8, /*spread=*/10.0), t0 + 1s)),
+              md::MessageKind::kAck);
+    EXPECT_EQ(first.phase("j1"), md::JobPhase::kPending);
+    EXPECT_EQ(first.shards_done(), 1u);
+  }  // coordinator killed mid-campaign
+  md::CoordinatorCore second(sharded_config(dir));
+  EXPECT_EQ(second.shards_done(), 1u);  // rebuilt from shard records
+  EXPECT_EQ(second.phase("j1"), md::JobPhase::kPending);
+  const auto t1 = Clock::now();
+  // Work resumes at the first shard still owed, not at zero.
+  const md::Message next =
+      md::decode_message(second.handle(request_v2("w1"), t1));
+  ASSERT_EQ(next.kind, md::MessageKind::kShardLease);
+  EXPECT_EQ(next.job, "j1");
+  EXPECT_EQ(next.shard, 1u);
+  EXPECT_EQ(next.lo, 8u);
+  // A holder from before the restart is adopted at shard granularity by
+  // its own heartbeat...
+  EXPECT_EQ(reply_kind(second.handle(shard_heartbeat("w5", "j1", 2), t1)),
+            md::MessageKind::kAck);
+  // ...which keeps that shard off the grant path.
+  const md::Message after =
+      md::decode_message(second.handle(request_v2("w6"), t1));
+  ASSERT_EQ(after.kind, md::MessageKind::kShardLease);
+  EXPECT_EQ(after.shard, 3u);
+}
+
+TEST(CoordinatorCore, V1WorkersStillGetWholeJobsInAShardedCampaign) {
+  auto config = sharded_config(fresh_dir("cs_v1"));
+  const std::string ledger_path = config.state_dir + "/campaign.jsonl";
+  md::CoordinatorCore core(std::move(config));
+  const auto t0 = Clock::now();
+  // A v1 worker (no proto on its request) cannot run shard leases: it gets
+  // the whole job while no shard has made progress.
+  const md::Message whole = md::decode_message(core.handle(request("w0"), t0));
+  ASSERT_EQ(whole.kind, md::MessageKind::kLease);
+  EXPECT_EQ(whole.job, "j1");
+  // j2 goes out sharded to a v2 worker...
+  const md::Message sharded =
+      md::decode_message(core.handle(request_v2("w1"), t0));
+  ASSERT_EQ(sharded.kind, md::MessageKind::kShardLease);
+  EXPECT_EQ(sharded.job, "j2");
+  // ...after which v1 workers may not claim it whole: one wave index must
+  // never be owned under two different lease structures at once.
+  EXPECT_EQ(reply_kind(core.handle(request("w2"), t0)), md::MessageKind::kWait);
+  EXPECT_EQ(reply_kind(core.handle(heartbeat("w9", "j2"), t0 + 1s)),
+            md::MessageKind::kRevoke);
+  // The v1 whole-job path still completes normally alongside.
+  EXPECT_EQ(reply_kind(core.handle(done_result("w0", "j1", 7.25), t0 + 2s)),
+            md::MessageKind::kAck);
+  EXPECT_EQ(core.phase("j1"), md::JobPhase::kDone);
+  // A whole-job done result is accepted even for a sharded job —
+  // determinism makes it the same answer the shards would assemble to.
+  EXPECT_EQ(reply_kind(core.handle(done_result("w5", "j2", 3.5), t0 + 3s)),
+            md::MessageKind::kAck);
+  EXPECT_EQ(core.phase("j2"), md::JobPhase::kDone);
+  EXPECT_TRUE(core.finished());
+  EXPECT_TRUE(mp::audit_ledger(mp::read_ledger_file(ledger_path)).ok());
+}
+
+TEST(CoordinatorCore, HelloNegotiatesTheSupportedProtocolRange) {
+  md::CoordinatorCore core(sharded_config(fresh_dir("cs_hello")));
+  md::Message hello;
+  hello.kind = md::MessageKind::kHello;
+  hello.worker = "w0";
+  hello.proto = md::kMinProtocolVersion;
+  EXPECT_EQ(reply_kind(core.handle(hello, Clock::now())),
+            md::MessageKind::kAck);
+  hello.proto = md::kProtocolVersion;
+  EXPECT_EQ(reply_kind(core.handle(hello, Clock::now())),
+            md::MessageKind::kAck);
+  hello.proto = md::kProtocolVersion + 1;  // from the future
+  EXPECT_EQ(reply_kind(core.handle(hello, Clock::now())),
+            md::MessageKind::kError);
+  hello.proto = 0;  // pre-handshake relic
+  EXPECT_EQ(reply_kind(core.handle(hello, Clock::now())),
+            md::MessageKind::kError);
+}
+
 // ------------------------------------------------- end-to-end over a socket
 
 TEST(DistEndToEnd, FleetMergesByteIdenticalToSingleProcessCampaign) {
@@ -436,6 +795,66 @@ TEST(DistEndToEnd, FleetMergesByteIdenticalToSingleProcessCampaign) {
                                   : audit.violations.front());
   // The tentpole guarantee: scheduling nondeterminism (which worker ran
   // what, in which order) must not leak into the merged results.
+  EXPECT_EQ(mp::merge_ledger(ledger), golden);
+}
+
+TEST(DistEndToEnd, ShardedTcpFleetMergesByteIdenticalToSingleProcess) {
+  // Single-process golden run.
+  const std::string solo_dir = fresh_dir("e2e_tcp_solo");
+  std::vector<mp::CampaignJob> solo_jobs = {tiny_job("a", 3), tiny_job("b", 4)};
+  mp::CampaignOptions solo_options;
+  solo_options.state_dir = solo_dir;
+  const auto solo = mp::run_campaign(solo_jobs, solo_options);
+  ASSERT_EQ(solo.done, 2u);
+  const std::string golden =
+      mp::merge_ledger(mp::read_ledger_file(solo_dir + "/campaign.jsonl"));
+
+  // Distributed run over real TCP (the multi-host seam), jobs split into
+  // shard leases that two workers compute and the coordinator assembles.
+  const std::string dist_dir = fresh_dir("e2e_tcp_dist");
+  md::CoordinatorConfig config;
+  config.jobs = {tiny_job("a", 3), tiny_job("b", 4)};
+  config.state_dir = dist_dir;
+  config.lease = 2000ms;
+  config.shard_size = 4;  // force multi-shard assembly over the wire
+  md::CoordinatorCore core(std::move(config));
+  md::TcpListener listener(0);  // kernel-assigned port: parallel-test safe
+  md::CoordinatorServerOptions server;
+  mp::CampaignResult dist_result;
+  std::thread coordinator(
+      [&] { dist_result = md::serve_campaign(core, listener, server); });
+
+  auto worker_main = [&](const std::string& id) {
+    md::WorkerConfig worker;
+    worker.tcp_port = listener.port();
+    worker.worker_id = id;
+    worker.state_dir = dist_dir;
+    worker.heartbeat = 100ms;
+    return md::run_worker(worker);
+  };
+  md::WorkerSummary s0, s1;
+  std::thread w0([&] { s0 = worker_main("w0"); });
+  std::thread w1([&] { s1 = worker_main("w1"); });
+  coordinator.join();
+  w0.join();
+  w1.join();
+
+  EXPECT_EQ(dist_result.done, 2u);
+  EXPECT_EQ(dist_result.failed, 0u);
+  EXPECT_TRUE(s0.drained);
+  EXPECT_TRUE(s1.drained);
+  // Sharding was actually exercised, not silently degraded to whole jobs.
+  EXPECT_GT(core.shards_done(), 0u);
+  EXPECT_GT(s0.shards + s1.shards, 0u);
+
+  const auto ledger = mp::read_ledger_file(dist_dir + "/campaign.jsonl");
+  const auto audit = mp::audit_ledger(ledger);
+  EXPECT_TRUE(audit.ok()) << (audit.violations.empty()
+                                  ? ""
+                                  : audit.violations.front());
+  // The tentpole guarantee, one level deeper than whole-job distribution:
+  // which worker computed which wave-index range must not leak into the
+  // merged results.
   EXPECT_EQ(mp::merge_ledger(ledger), golden);
 }
 

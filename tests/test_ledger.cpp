@@ -4,12 +4,15 @@
 // distributed campaign byte-identical to a single-process run.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <string>
 #include <system_error>
+#include <vector>
 
 #include "maxpower/campaign.hpp"
 #include "maxpower/ledger.hpp"
+#include "maxpower/shard.hpp"
 #include "util/atomic_file.hpp"
 
 namespace {
@@ -206,6 +209,92 @@ TEST(LedgerMerge, InFlightJobsAreExcluded) {
   const std::string merged = mp::merge_ledger(read);
   EXPECT_NE(merged.find("\"job\":\"a\""), std::string::npos);
   EXPECT_EQ(merged.find("\"job\":\"b\""), std::string::npos);
+}
+
+// ------------------------------- shard partial-result records (dist, v2)
+
+std::string shard_record(const std::string& job, std::uint64_t shard,
+                         std::uint64_t lo, std::uint64_t hi,
+                         double estimate = 5.0) {
+  std::vector<mp::ShardSample> samples;
+  for (std::uint64_t i = lo; i < hi; ++i) {
+    mp::ShardSample s;
+    s.index = i;
+    s.estimate = estimate;
+    s.units = 100;
+    s.valid = true;
+    s.mle_converged = true;
+    samples.push_back(s);
+  }
+  return mp::shard_record_line(job, shard, lo, hi, "w0", samples);
+}
+
+TEST(LedgerShard, ShardRecordsAreBookkeepingNeverAJobStatus) {
+  // A done shard is partial progress: it must not mark its job done, and
+  // the canonical merge must not leak it into the result set.
+  const auto partial = mp::read_ledger_text(shard_record("a", 0, 0, 8) + "\n");
+  EXPECT_TRUE(mp::verify_ledger_line(shard_record("a", 0, 0, 8)));
+  EXPECT_TRUE(partial.final_status().empty());
+  EXPECT_EQ(mp::merge_ledger(partial).find("\"job\":\"a\""),
+            std::string::npos);
+  // Once the job's own terminal record lands, merge keys off that alone.
+  const auto full = mp::read_ledger_text(shard_record("a", 0, 0, 8) + "\n" +
+                                         record("a", "done", 1.0) + "\n");
+  EXPECT_EQ(full.final_status().at("a"), "done");
+  const std::string merged = mp::merge_ledger(full);
+  EXPECT_NE(merged.find("\"job\":\"a\""), std::string::npos);
+  EXPECT_EQ(merged.find("\"shard\""), std::string::npos);
+  const auto audit = mp::audit_ledger(full);
+  EXPECT_TRUE(audit.ok());
+  EXPECT_EQ(audit.shard_records, 1u);
+}
+
+TEST(LedgerShard, IdenticalDuplicateShardIsBenign) {
+  // Speculative re-dispatch means two workers can legally compute — and a
+  // restarted coordinator re-append — the same shard. Determinism makes
+  // the payloads identical, so the audit counts, not complains.
+  const std::string line = shard_record("a", 1, 8, 16);
+  const auto read = mp::read_ledger_text(line + "\n" + line + "\n" +
+                                         record("a", "done", 1.0) + "\n");
+  const auto audit = mp::audit_ledger(read);
+  EXPECT_TRUE(audit.ok());
+  EXPECT_EQ(audit.shard_records, 2u);
+  EXPECT_EQ(audit.duplicate_shard, 1u);
+}
+
+TEST(LedgerShard, DivergentDuplicateShardIsAViolation) {
+  // Two done records for one job:shard disagreeing on the payload breaks
+  // the exactly-once key of the sharded control plane.
+  const auto read =
+      mp::read_ledger_text(shard_record("a", 1, 8, 16, 5.0) + "\n" +
+                           shard_record("a", 1, 8, 16, 6.0) + "\n");
+  const auto audit = mp::audit_ledger(read);
+  ASSERT_EQ(audit.violations.size(), 1u);
+  EXPECT_NE(audit.violations[0].find("divergent shard"), std::string::npos);
+}
+
+TEST(LedgerShard, ShardRecordAfterJobDoneIsAViolation) {
+  // The coordinator acks late shard results without appending once the job
+  // is terminal; a post-done shard record means two coordinators raced.
+  const auto read = mp::read_ledger_text(record("a", "done", 1.0) + "\n" +
+                                         shard_record("a", 2, 16, 24) + "\n");
+  const auto audit = mp::audit_ledger(read);
+  ASSERT_EQ(audit.violations.size(), 1u);
+  EXPECT_NE(audit.violations[0].find("after done"), std::string::npos);
+}
+
+TEST(LedgerShard, CorruptShardRecordIsQuarantinedNotFatal) {
+  std::string bad = shard_record("a", 0, 0, 8);
+  bad[bad.size() / 2] ^= 0x01;  // bit rot inside the samples payload
+  const std::string path = temp_path("ledger_shard_corrupt.jsonl");
+  mpe::util::atomic_write_file(path, shard_record("a", 1, 8, 16) + "\n" +
+                                         bad + "\n" +
+                                         record("a", "done", 1.0) + "\n");
+  const auto read = mp::read_ledger_file(path);
+  ASSERT_EQ(read.records.size(), 2u);  // the good shard + the done record
+  ASSERT_EQ(read.corrupt.size(), 1u);
+  EXPECT_EQ(mp::quarantine_ledger_lines(path, read.corrupt), 1u);
+  EXPECT_TRUE(mp::audit_ledger(read).ok());
 }
 
 }  // namespace

@@ -83,9 +83,11 @@ void install_signal_handlers() {
       "            [--retries N] [--threads N] [--deadline-ms N]\n"
       "            [--checkpoint-every K]\n"
       "  campaign-coordinator: --manifest <jobs.jsonl> --state-dir <dir>\n"
-      "            --socket <path> [--report F] [--lease-ms N]\n"
-      "            [--job-deadline-ms N] [--max-assign N]\n"
-      "  campaign-worker: --socket <path> --state-dir <dir> --worker-id ID\n"
+      "            --socket <path> | --tcp-port N [--host H]\n"
+      "            [--report F] [--lease-ms N] [--job-deadline-ms N]\n"
+      "            [--max-assign N] [--shard-size K] [--straggler-ms N]\n"
+      "  campaign-worker: --socket <path> | --tcp HOST:PORT\n"
+      "            --state-dir <dir> --worker-id ID\n"
       "            [--threads N] [--retries N] [--heartbeat-ms N]\n"
       "            [--checkpoint-every K]\n"
       "  ledger-audit: --report <campaign.jsonl> [--merged-out FILE|-]\n"
@@ -390,13 +392,16 @@ int cmd_campaign(const Cli& cli) {
 }
 
 int cmd_campaign_coordinator(const Cli& cli) {
-  cli.check_known({"manifest", "state-dir", "socket", "report", "lease-ms",
-                   "job-deadline-ms", "max-assign", "drain-grace-ms"});
+  cli.check_known({"manifest", "state-dir", "socket", "tcp-port", "host",
+                   "report", "lease-ms", "job-deadline-ms", "max-assign",
+                   "shard-size", "straggler-ms", "drain-grace-ms"});
   dist::CoordinatorConfig config;
   const std::string manifest = cli.get("manifest", "");
   config.state_dir = cli.get("state-dir", "");
   const std::string socket_path = cli.get("socket", "");
-  if (manifest.empty() || config.state_dir.empty() || socket_path.empty()) {
+  const bool tcp = cli.has("tcp-port");
+  if (manifest.empty() || config.state_dir.empty() ||
+      (socket_path.empty() && !tcp)) {
     usage();
   }
   config.report_path = cli.get("report", "");
@@ -408,6 +413,12 @@ int cmd_campaign_coordinator(const Cli& cli) {
   }
   config.max_assignments = static_cast<std::size_t>(
       std::max<long long>(1, cli.get_int("max-assign", 5)));
+  config.shard_size = static_cast<std::size_t>(
+      std::max<long long>(0, cli.get_int("shard-size", 0)));
+  const auto straggler_ms = cli.get_int("straggler-ms", 0);
+  if (straggler_ms > 0) {
+    config.straggler_after = std::chrono::milliseconds(straggler_ms);
+  }
   config.jobs = maxpower::load_campaign_manifest(manifest);
 
   dist::CoordinatorCore core(std::move(config));
@@ -418,11 +429,25 @@ int cmd_campaign_coordinator(const Cli& cli) {
   if (drain_grace_ms > 0) {
     server.drain_grace = std::chrono::milliseconds(drain_grace_ms);
   }
-  const auto result = dist::serve_campaign(core, server);
+
+  maxpower::CampaignResult result;
+  if (tcp) {
+    const std::string host = cli.get("host", "127.0.0.1");
+    dist::TcpListener listener(
+        static_cast<std::uint16_t>(cli.get_int("tcp-port", 0)), host);
+    std::printf("listening tcp %s:%u\n", host.c_str(),
+                static_cast<unsigned>(listener.port()));
+    std::fflush(stdout);  // workers parse the port from this line
+    result = dist::serve_campaign(core, listener, server);
+  } else {
+    result = dist::serve_campaign(core, server);
+  }
 
   std::printf(
-      "coordinator: %zu done, %zu skipped, %zu failed; %zu leases granted\n",
-      result.done, result.skipped, result.failed, core.leases_granted());
+      "coordinator: %zu done, %zu skipped, %zu failed; %zu leases granted, "
+      "%zu shards done\n",
+      result.done, result.skipped, result.failed, core.leases_granted(),
+      core.shards_done());
   if (result.stopped == util::StopCause::kCancelled) {
     return exit_code(ErrorCode::kCancelled);
   }
@@ -434,14 +459,27 @@ int cmd_campaign_coordinator(const Cli& cli) {
 }
 
 int cmd_campaign_worker(const Cli& cli) {
-  cli.check_known({"socket", "state-dir", "worker-id", "threads", "retries",
-                   "heartbeat-ms", "checkpoint-every", "deadline-ms"});
+  cli.check_known({"socket", "tcp", "state-dir", "worker-id", "threads",
+                   "retries", "heartbeat-ms", "checkpoint-every",
+                   "deadline-ms"});
   dist::WorkerConfig config;
   config.socket_path = cli.get("socket", "");
+  const std::string tcp = cli.get("tcp", "");
+  if (!tcp.empty()) {
+    const auto colon = tcp.rfind(':');
+    const std::string port_str =
+        colon == std::string::npos ? tcp : tcp.substr(colon + 1);
+    if (colon != std::string::npos && colon > 0) {
+      config.tcp_host = tcp.substr(0, colon);
+    }
+    config.tcp_port =
+        static_cast<std::uint16_t>(std::atoi(port_str.c_str()));
+    if (config.tcp_port == 0) usage();
+  }
   config.state_dir = cli.get("state-dir", "");
   config.worker_id = cli.get("worker-id", "");
-  if (config.socket_path.empty() || config.state_dir.empty() ||
-      config.worker_id.empty()) {
+  if ((config.socket_path.empty() && config.tcp_port == 0) ||
+      config.state_dir.empty() || config.worker_id.empty()) {
     usage();
   }
   config.threads = static_cast<unsigned>(
@@ -462,10 +500,11 @@ int cmd_campaign_worker(const Cli& cli) {
   config.control.cancel = g_cancel;
 
   const auto summary = dist::run_worker(config);
-  std::printf("worker %s: %zu leases, %zu done, %zu failed, %zu stopped%s\n",
-              config.worker_id.c_str(), summary.leases, summary.done,
-              summary.failed, summary.stopped,
-              summary.drained ? " (drained)" : "");
+  std::printf(
+      "worker %s: %zu leases, %zu shards, %zu done, %zu failed, "
+      "%zu stopped%s\n",
+      config.worker_id.c_str(), summary.leases, summary.shards, summary.done,
+      summary.failed, summary.stopped, summary.drained ? " (drained)" : "");
   if (summary.exit_error != ErrorCode::kOk) {
     return exit_code(summary.exit_error);
   }
