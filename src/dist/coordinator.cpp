@@ -40,6 +40,17 @@ CoordinatorCore::CoordinatorCore(CoordinatorConfig config)
                      ? config_.state_dir + "/campaign.jsonl"
                      : config_.report_path;
 
+  // One substrate, two policies: a whole-job claim is an exclusive lease, a
+  // shard claim allows a second speculative holder (straggler re-issue,
+  // first valid result wins).
+  whole_policy_.lease = config_.lease;
+  whole_policy_.max_assignments = config_.max_assignments;
+  whole_policy_.reassign = config_.reassign;
+  whole_policy_.max_holders = 1;
+  shard_policy_ = whole_policy_;
+  shard_policy_.max_holders = 2;
+  shard_policy_.straggler_after = config_.straggler_after;
+
   jobs_.reserve(config_.jobs.size());
   for (std::size_t i = 0; i < config_.jobs.size(); ++i) {
     const auto& job = config_.jobs[i];
@@ -54,19 +65,7 @@ CoordinatorCore::CoordinatorCore(CoordinatorConfig config)
     JobState state;
     state.index = i;
     state.outcome.name = job.name;
-    if (config_.shard_size > 0) {
-      state.mode = JobMode::kSharded;
-      const std::uint64_t attempts = maxpower::job_attempt_budget(job);
-      const std::size_t n =
-          maxpower::shard_count(attempts, config_.shard_size);
-      state.shards.resize(n);
-      for (std::size_t k = 0; k < n; ++k) {
-        const maxpower::ShardRange range =
-            maxpower::shard_range(attempts, config_.shard_size, k);
-        state.shards[k].lo = range.lo;
-        state.shards[k].hi = range.hi;
-      }
-    }
+    init_shards(state, job);
     jobs_.push_back(std::move(state));
   }
 
@@ -80,7 +79,7 @@ CoordinatorCore::CoordinatorCore(CoordinatorConfig config)
   for (const auto& [name, status] : ledger_read.final_status()) {
     if (status != "done") continue;  // failed/stopped jobs re-run
     if (auto* state = find(name)) {
-      state->phase = JobPhase::kDone;
+      sched::complete(state->lease);
       state->skipped = true;
       state->outcome.status = JobStatus::kSkipped;
     }
@@ -92,13 +91,15 @@ CoordinatorCore::CoordinatorCore(CoordinatorConfig config)
   for (const auto& rec : ledger_read.records) {
     if (!rec.is_shard || rec.status != "done") continue;
     JobState* state = find(rec.job);
-    if (state == nullptr || state->phase != JobPhase::kPending) continue;
+    if (state == nullptr || state->phase() != JobPhase::kPending) continue;
     if (state->mode != JobMode::kSharded ||
         rec.shard >= state->shards.size()) {
       continue;
     }
     ShardState& shard = state->shards[rec.shard];
-    if (shard.phase == ShardPhase::kDone) continue;  // duplicate record
+    if (shard.lease.phase == sched::LeasePhase::kDone) {
+      continue;  // duplicate record
+    }
     if (shard.lo != rec.lo || shard.hi != rec.hi) {
       continue;  // foreign partition (shard_size changed between runs)
     }
@@ -114,16 +115,113 @@ CoordinatorCore::CoordinatorCore(CoordinatorConfig config)
       contiguous = contiguous && samples[i].index == shard.lo + i;
     }
     if (!contiguous) continue;
-    shard.phase = ShardPhase::kDone;
+    sched::complete(shard.lease);
     shard.samples = std::move(samples);
     ++shards_done_;
   }
   for (auto& state : jobs_) {
-    if (state.phase == JobPhase::kPending &&
+    if (state.phase() == JobPhase::kPending &&
         state.mode == JobMode::kSharded) {
       try_assemble(state);
     }
   }
+}
+
+std::size_t CoordinatorCore::shard_size_now() const {
+  if (!config_.shard_auto) return config_.shard_size;
+  const std::size_t floor = std::max<std::size_t>(1, config_.shard_size_floor);
+  const std::size_t ceiling = std::max(floor, config_.shard_size_ceiling);
+  if (ewma_ms_per_attempt_ <= 0.0) {
+    // No observation yet: the configured size, or the floor — small first
+    // shards make the latency estimate converge fast.
+    return std::clamp(config_.shard_size == 0 ? floor : config_.shard_size,
+                      floor, ceiling);
+  }
+  const double target =
+      static_cast<double>(config_.shard_target_latency.count()) /
+      ewma_ms_per_attempt_;
+  if (target >= static_cast<double>(ceiling)) return ceiling;
+  if (target <= static_cast<double>(floor)) return floor;
+  return static_cast<std::size_t>(target);
+}
+
+void CoordinatorCore::init_shards(JobState& state,
+                                  const maxpower::CampaignJob& job) {
+  if (!sharded_mode()) return;
+  state.mode = JobMode::kSharded;
+  const std::size_t size = shard_size_now();
+  const std::uint64_t attempts = maxpower::job_attempt_budget(job);
+  const std::size_t n = maxpower::shard_count(attempts, size);
+  state.shards.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const maxpower::ShardRange range = maxpower::shard_range(attempts, size, k);
+    state.shards[k].lo = range.lo;
+    state.shards[k].hi = range.hi;
+  }
+}
+
+void CoordinatorCore::observe_shard_latency(const ShardState& shard,
+                                            Clock::time_point now) {
+  const auto latency = std::chrono::duration_cast<std::chrono::milliseconds>(
+      now - shard.lease.leased_since);
+  if (config_.metrics != nullptr) {
+    config_.metrics->histogram("mpe_coord_shard_latency_ms")
+        .observe(static_cast<std::uint64_t>(std::max<std::int64_t>(
+            0, static_cast<std::int64_t>(latency.count()))));
+  }
+  if (!config_.shard_auto) return;
+  const std::uint64_t attempts = shard.hi - shard.lo;
+  if (attempts == 0 || latency.count() < 0) return;
+  const double per_attempt = static_cast<double>(latency.count()) /
+                             static_cast<double>(attempts);
+  const double alpha = std::clamp(config_.shard_latency_alpha, 0.01, 1.0);
+  ewma_ms_per_attempt_ = ewma_ms_per_attempt_ <= 0.0
+                             ? per_attempt
+                             : alpha * per_attempt +
+                                   (1.0 - alpha) * ewma_ms_per_attempt_;
+  if (config_.metrics != nullptr) {
+    const auto level = static_cast<std::int64_t>(shard_size_now());
+    config_.metrics->gauge("mpe_coord_shard_size")
+        .add(level - shard_size_metric_);
+    shard_size_metric_ = level;
+  }
+}
+
+void CoordinatorCore::add_job(maxpower::CampaignJob job) {
+  if (!maxpower::valid_campaign_job_name(job.name)) {
+    throw Error(ErrorCode::kBadData, "invalid campaign job name",
+                ErrorContext{}.kv("job", job.name).str());
+  }
+  const std::size_t i = config_.jobs.size();
+  if (!by_name_.emplace(job.name, i).second) {
+    throw Error(ErrorCode::kBadData, "duplicate job name",
+                ErrorContext{}.kv("job", job.name).str());
+  }
+  config_.jobs.push_back(std::move(job));
+  JobState state;
+  state.index = i;
+  state.outcome.name = config_.jobs[i].name;
+  init_shards(state, config_.jobs[i]);
+  jobs_.push_back(std::move(state));
+}
+
+bool CoordinatorCore::abandon(const std::string& job) {
+  JobState* state = find(job);
+  if (state == nullptr || state->phase() == JobPhase::kDone ||
+      state->phase() == JobPhase::kFailed) {
+    return false;
+  }
+  CampaignJobOutcome outcome;
+  outcome.name = config_.jobs[state->index].name;
+  outcome.status = JobStatus::kStopped;
+  outcome.error = ErrorCode::kCancelled;
+  outcome.attempts = state->lease.assignments;
+  record(*state, outcome);
+  return true;
+}
+
+std::vector<CampaignJobOutcome> CoordinatorCore::take_completions() {
+  return std::exchange(completions_, {});
 }
 
 CoordinatorCore::JobState* CoordinatorCore::find(const std::string& job) {
@@ -133,10 +231,7 @@ CoordinatorCore::JobState* CoordinatorCore::find(const std::string& job) {
 
 std::string CoordinatorCore::grant(JobState& state, const std::string& worker,
                                    Clock::time_point now) {
-  state.phase = JobPhase::kLeased;
-  state.holder = worker;
-  state.lease_expiry = now + config_.lease;
-  ++state.assignments;
+  sched::grant(state.lease, whole_policy_, worker, now);
   ++leases_granted_;
   return encode_lease(
       config_.jobs[state.index].name,
@@ -148,31 +243,27 @@ std::string CoordinatorCore::grant(JobState& state, const std::string& worker,
 void CoordinatorCore::record(JobState& state,
                              const CampaignJobOutcome& outcome) {
   state.outcome = outcome;
-  state.phase = outcome.status == JobStatus::kDone ? JobPhase::kDone
-                                                   : JobPhase::kFailed;
-  state.holder.clear();
+  state.failed = outcome.status != JobStatus::kDone;
+  sched::complete(state.lease);
   maxpower::append_ledger_line(report_path_,
                                maxpower::campaign_record_line(outcome));
+  completions_.push_back(state.outcome);
 }
 
-void CoordinatorCore::release(JobState& state, Clock::time_point now,
-                              bool count_backoff) {
-  state.phase = JobPhase::kPending;
-  state.holder.clear();
-  if (count_backoff) {
-    // Expiry usually means the worker died mid-job; pace the re-grant so a
-    // crash loop cannot thrash the fleet.
-    state.earliest_grant =
-        now + std::chrono::duration_cast<Clock::duration>(util::backoff_delay(
-                  config_.reassign, state.assignments, jitter_rng_));
-  } else {
-    state.earliest_grant = now;  // graceful hand-back: regrant immediately
-  }
+void CoordinatorCore::fail_exhausted(JobState& state, std::size_t attempts,
+                                     ErrorCode error) {
+  CampaignJobOutcome outcome;
+  outcome.name = config_.jobs[state.index].name;
+  outcome.status = JobStatus::kFailed;
+  outcome.attempts = attempts;
+  outcome.error = error;
+  record(state, outcome);
 }
 
 bool CoordinatorCore::shard_pristine(const JobState& state) {
   for (const auto& shard : state.shards) {
-    if (shard.phase != ShardPhase::kPending || shard.assignments > 0) {
+    if (shard.lease.phase != sched::LeasePhase::kPending ||
+        shard.lease.assignments > 0) {
       return false;
     }
   }
@@ -183,10 +274,7 @@ std::string CoordinatorCore::grant_shard(JobState& state, std::size_t k,
                                          const std::string& worker,
                                          Clock::time_point now) {
   ShardState& shard = state.shards[k];
-  if (shard.phase == ShardPhase::kPending) shard.leased_since = now;
-  shard.phase = ShardPhase::kLeased;
-  shard.holders.push_back(ShardHolder{worker, now + config_.lease});
-  ++shard.assignments;
+  sched::grant(shard.lease, shard_policy_, worker, now);
   ++leases_granted_;
   return encode_shard_lease(
       config_.jobs[state.index].name,
@@ -196,26 +284,13 @@ std::string CoordinatorCore::grant_shard(JobState& state, std::size_t k,
       static_cast<std::uint64_t>(config_.job_deadline.count()));
 }
 
-void CoordinatorCore::release_shard(ShardState& shard, Clock::time_point now,
-                                    bool count_backoff) {
-  shard.phase = ShardPhase::kPending;
-  shard.holders.clear();
-  if (count_backoff) {
-    shard.earliest_grant =
-        now + std::chrono::duration_cast<Clock::duration>(util::backoff_delay(
-                  config_.reassign, shard.assignments, jitter_rng_));
-  } else {
-    shard.earliest_grant = now;
-  }
-}
-
 void CoordinatorCore::try_assemble(JobState& state) {
-  if (state.phase == JobPhase::kDone || state.phase == JobPhase::kFailed) {
+  if (state.phase() == JobPhase::kDone || state.phase() == JobPhase::kFailed) {
     return;
   }
   std::vector<maxpower::ShardSample> prefix;
   for (const auto& shard : state.shards) {
-    if (shard.phase != ShardPhase::kDone) break;
+    if (shard.lease.phase != sched::LeasePhase::kDone) break;
     prefix.insert(prefix.end(), shard.samples.begin(), shard.samples.end());
   }
   if (prefix.empty()) return;
@@ -226,47 +301,27 @@ void CoordinatorCore::try_assemble(JobState& state) {
   record(state, maxpower::assembled_outcome(job, assembled.result));
 }
 
-std::chrono::milliseconds CoordinatorCore::straggler_after() const {
-  return config_.straggler_after.count() > 0 ? config_.straggler_after
-                                             : 2 * config_.lease;
-}
-
 void CoordinatorCore::tick(Clock::time_point now) {
   for (auto& state : jobs_) {
-    if (state.phase == JobPhase::kLeased && now >= state.lease_expiry) {
-      if (state.assignments >= config_.max_assignments) {
-        // This job has burned its whole lease budget (workers keep dying
-        // under it, or it stalls past every lease): record it failed so the
-        // campaign can terminate.
-        CampaignJobOutcome outcome;
-        outcome.name = config_.jobs[state.index].name;
-        outcome.status = JobStatus::kFailed;
-        outcome.attempts = state.assignments;
-        outcome.error = ErrorCode::kDeadline;
-        record(state, outcome);
-      } else {
-        release(state, now, /*count_backoff=*/true);
+    if (state.lease.phase == sched::LeasePhase::kLeased) {
+      // Whole-job claim in flight: expire it through the substrate. A job
+      // that burned its whole lease budget (workers keep dying under it, or
+      // it stalls past every lease) is recorded failed so the campaign can
+      // terminate.
+      if (sched::expire(state.lease, whole_policy_, now, jitter_rng_) ==
+          sched::ExpiryVerdict::kExhausted) {
+        fail_exhausted(state, state.lease.assignments, ErrorCode::kDeadline);
       }
       continue;
     }
-    if (state.phase != JobPhase::kPending) continue;
+    if (state.phase() != JobPhase::kPending) continue;
     for (auto& shard : state.shards) {
-      if (shard.phase != ShardPhase::kLeased) continue;
-      std::erase_if(shard.holders, [&](const ShardHolder& h) {
-        return now >= h.expiry;
-      });
-      if (!shard.holders.empty()) continue;
-      // Every holder of this shard went silent past its lease.
-      if (shard.assignments >= config_.max_assignments) {
-        CampaignJobOutcome outcome;
-        outcome.name = config_.jobs[state.index].name;
-        outcome.status = JobStatus::kFailed;
-        outcome.attempts = shard.assignments;
-        outcome.error = ErrorCode::kDeadline;
-        record(state, outcome);
+      if (shard.lease.phase != sched::LeasePhase::kLeased) continue;
+      if (sched::expire(shard.lease, shard_policy_, now, jitter_rng_) ==
+          sched::ExpiryVerdict::kExhausted) {
+        fail_exhausted(state, shard.lease.assignments, ErrorCode::kDeadline);
         break;  // job terminal; its other shards are moot
       }
-      release_shard(shard, now, /*count_backoff=*/true);
     }
   }
 }
@@ -285,13 +340,15 @@ std::string CoordinatorCore::handle(const Message& msg, Clock::time_point now) {
       const bool v2 = msg.proto >= 2;
       Clock::time_point soonest = Clock::time_point::max();
       for (auto& state : jobs_) {
-        if (state.phase != JobPhase::kPending) continue;
+        if (state.phase() != JobPhase::kPending) continue;
         if (state.mode == JobMode::kSharded) {
           if (!v2) {
             // A v1 worker cannot run shard leases. Hand it the whole job —
             // but only while no shard has made any progress, so one index
-            // is never claimed under two different structures at once.
-            if (shard_pristine(state) && state.earliest_grant <= now) {
+            // is never claimed under two different structures at once (and
+            // never when the config forbids whole-job results outright).
+            if (config_.whole_job_fallback && shard_pristine(state) &&
+                sched::grantable(state.lease, now)) {
               state.mode = JobMode::kWhole;
               return grant(state, msg.worker, now);
             }
@@ -299,18 +356,18 @@ std::string CoordinatorCore::handle(const Message& msg, Clock::time_point now) {
           }
           for (std::size_t k = 0; k < state.shards.size(); ++k) {
             ShardState& shard = state.shards[k];
-            if (shard.phase != ShardPhase::kPending) continue;
-            if (shard.earliest_grant <= now) {
+            if (shard.lease.phase != sched::LeasePhase::kPending) continue;
+            if (sched::grantable(shard.lease, now)) {
               return grant_shard(state, k, msg.worker, now);
             }
-            soonest = std::min(soonest, shard.earliest_grant);
+            soonest = std::min(soonest, shard.lease.earliest_grant);
           }
           continue;
         }
-        if (state.earliest_grant <= now) {
+        if (sched::grantable(state.lease, now)) {
           return grant(state, msg.worker, now);  // manifest order
         }
-        soonest = std::min(soonest, state.earliest_grant);
+        soonest = std::min(soonest, state.lease.earliest_grant);
       }
       if (v2) {
         // Nothing fresh to hand out: hunt for a straggler. The oldest
@@ -321,21 +378,15 @@ std::string CoordinatorCore::handle(const Message& msg, Clock::time_point now) {
         std::size_t spec_k = 0;
         Clock::time_point oldest = Clock::time_point::max();
         for (auto& state : jobs_) {
-          if (state.phase != JobPhase::kPending) continue;
+          if (state.phase() != JobPhase::kPending) continue;
           for (std::size_t k = 0; k < state.shards.size(); ++k) {
             ShardState& shard = state.shards[k];
-            if (shard.phase != ShardPhase::kLeased) continue;
-            if (shard.holders.size() >= 2) continue;
-            if (shard.assignments >= config_.max_assignments) continue;
-            if (now - shard.leased_since < straggler_after()) continue;
-            const bool own_claim =
-                std::any_of(shard.holders.begin(), shard.holders.end(),
-                            [&](const ShardHolder& h) {
-                              return h.worker == msg.worker;
-                            });
-            if (own_claim) continue;  // racing yourself helps nobody
-            if (shard.leased_since < oldest) {
-              oldest = shard.leased_since;
+            if (!sched::straggler_eligible(shard.lease, shard_policy_,
+                                           msg.worker, now)) {
+              continue;
+            }
+            if (shard.lease.leased_since < oldest) {
+              oldest = shard.lease.leased_since;
               spec_state = &state;
               spec_k = k;
             }
@@ -345,7 +396,10 @@ std::string CoordinatorCore::handle(const Message& msg, Clock::time_point now) {
           return grant_shard(*spec_state, spec_k, msg.worker, now);
         }
       }
-      if (finished()) return encode_drain();
+      // A persistent (estimation-as-a-service) coordinator never declares
+      // the campaign over on its own: the job set is dynamic, so an empty
+      // pool means "come back soon", not "go home".
+      if (!config_.persistent && finished()) return encode_drain();
       // Nothing grantable *yet*: pending jobs are backoff-gated or leased
       // elsewhere. Tell the worker when to come back.
       std::chrono::milliseconds wait{250};
@@ -362,63 +416,58 @@ std::string CoordinatorCore::handle(const Message& msg, Clock::time_point now) {
       JobState* state = find(msg.job);
       if (state == nullptr) return encode_revoke(msg.job);
       if (msg.has_shard) {
-        if (state->phase == JobPhase::kDone ||
-            state->phase == JobPhase::kFailed ||
+        if (state->phase() == JobPhase::kDone ||
+            state->phase() == JobPhase::kFailed ||
             msg.shard >= state->shards.size()) {
           return encode_revoke(msg.job);
         }
-        ShardState& shard = state->shards[msg.shard];
-        if (shard.phase == ShardPhase::kDone) return encode_revoke(msg.job);
-        for (ShardHolder& holder : shard.holders) {
-          if (holder.worker == msg.worker) {
-            holder.expiry = now + config_.lease;
+        // The substrate settles the rest: renewal for a live holder,
+        // adoption for an in-flight claim this coordinator does not know
+        // (it restarted, or the claim expired before a re-grant), revoke
+        // when the shard is done or both holder slots are taken.
+        switch (sched::heartbeat(state->shards[msg.shard].lease,
+                                 shard_policy_, msg.worker, now)) {
+          case sched::HeartbeatVerdict::kAdopted:
+            ++leases_granted_;
+            [[fallthrough]];
+          case sched::HeartbeatVerdict::kRenewed:
             return encode_ack();
-          }
+          case sched::HeartbeatVerdict::kRejected:
+            return encode_revoke(msg.job);
         }
-        if (shard.holders.size() < 2) {
-          // A worker is actively computing a shard we think nobody holds:
-          // this coordinator restarted (or the holder expired before a
-          // re-grant). Adopt the in-flight claim rather than re-granting.
-          if (shard.phase == ShardPhase::kPending) shard.leased_since = now;
-          shard.phase = ShardPhase::kLeased;
-          shard.holders.push_back(ShardHolder{msg.worker,
-                                              now + config_.lease});
-          ++shard.assignments;
-          ++leases_granted_;
-          return encode_ack();
-        }
-        return encode_revoke(msg.job);  // two live holders already
-      }
-      if (state->mode == JobMode::kSharded &&
-          state->phase == JobPhase::kPending && !shard_pristine(*state)) {
-        // Whole-job claim (a v1 worker from before this coordinator went
-        // sharded) on a job whose shards are already in flight: adopting it
-        // would double-claim those indices. Cut the stale holder loose.
         return encode_revoke(msg.job);
       }
-      if (state->phase == JobPhase::kLeased && state->holder == msg.worker) {
-        state->lease_expiry = now + config_.lease;
-        return encode_ack();
+      if (state->mode == JobMode::kSharded &&
+          state->phase() == JobPhase::kPending &&
+          (!config_.whole_job_fallback || !shard_pristine(*state))) {
+        // Whole-job claim (a v1 worker from before this coordinator went
+        // sharded) on a job whose shards are already in flight — or on a
+        // coordinator that forbids whole-job results: adopting it would
+        // double-claim those indices (or yield a result frame the server
+        // cannot use). Cut the stale holder loose.
+        return encode_revoke(msg.job);
       }
-      if (state->phase == JobPhase::kPending) {
-        // A worker is actively running a job we think nobody holds: this
-        // coordinator restarted (or the lease expired before a re-grant).
-        // Adopt the lease instead of re-granting — the work in flight is
-        // exactly the work we want done.
-        state->mode = JobMode::kWhole;
-        std::string ignored = grant(*state, msg.worker, now);
-        (void)ignored;
-        return encode_ack();
+      switch (sched::heartbeat(state->lease, whole_policy_, msg.worker, now)) {
+        case sched::HeartbeatVerdict::kAdopted:
+          // A worker is actively running a job we think nobody holds: the
+          // substrate adopted the in-flight claim instead of re-granting —
+          // the work in flight is exactly the work we want done.
+          state->mode = JobMode::kWhole;
+          ++leases_granted_;
+          [[fallthrough]];
+        case sched::HeartbeatVerdict::kRenewed:
+          return encode_ack();
+        case sched::HeartbeatVerdict::kRejected:
+          break;  // done/failed, or leased to someone else: stale holder
       }
-      // Done/failed, or leased to someone else: this holder is stale.
       return encode_revoke(msg.job);
     }
 
     case MessageKind::kShardResult: {
       JobState* state = find(msg.job);
       if (state == nullptr) return encode_error("shard result for unknown job");
-      if (state->phase == JobPhase::kDone ||
-          state->phase == JobPhase::kFailed) {
+      if (state->phase() == JobPhase::kDone ||
+          state->phase() == JobPhase::kFailed) {
         // Job already terminal: a late or duplicate shard report. Ack
         // without appending — the ledger already tells the whole story.
         return encode_ack();
@@ -432,7 +481,7 @@ std::string CoordinatorCore::handle(const Message& msg, Clock::time_point now) {
       }
       switch (msg.shard_status) {
         case JobStatus::kDone: {
-          if (shard.phase == ShardPhase::kDone) {
+          if (shard.lease.phase == sched::LeasePhase::kDone) {
             return encode_ack();  // first result won; dedup the loser
           }
           std::vector<maxpower::ShardSample> samples;
@@ -448,8 +497,8 @@ std::string CoordinatorCore::handle(const Message& msg, Clock::time_point now) {
           if (!covers) {
             return encode_error("shard samples do not cover the range");
           }
-          shard.phase = ShardPhase::kDone;
-          shard.holders.clear();
+          observe_shard_latency(shard, now);
+          sched::complete(shard.lease);
           shard.samples = std::move(samples);
           ++shards_done_;
           maxpower::append_ledger_line(
@@ -461,32 +510,28 @@ std::string CoordinatorCore::handle(const Message& msg, Clock::time_point now) {
           return encode_ack();
         }
         case JobStatus::kFailed: {
-          std::erase_if(shard.holders, [&](const ShardHolder& h) {
-            return h.worker == msg.worker;
-          });
-          if (shard.phase == ShardPhase::kLeased && shard.holders.empty()) {
-            if (shard.assignments >= config_.max_assignments) {
-              CampaignJobOutcome outcome;
-              outcome.name = config_.jobs[state->index].name;
-              outcome.status = JobStatus::kFailed;
-              outcome.attempts = shard.assignments;
-              outcome.error = msg.shard_error == ErrorCode::kOk
-                                  ? ErrorCode::kDeadline
-                                  : msg.shard_error;
-              record(*state, outcome);
+          sched::drop_holder(shard.lease, msg.worker);
+          if (shard.lease.phase == sched::LeasePhase::kLeased &&
+              shard.lease.holders.empty()) {
+            if (shard.lease.assignments >= shard_policy_.max_assignments) {
+              fail_exhausted(*state, shard.lease.assignments,
+                             msg.shard_error == ErrorCode::kOk
+                                 ? ErrorCode::kDeadline
+                                 : msg.shard_error);
             } else {
-              release_shard(shard, now, /*count_backoff=*/true);
+              sched::release(shard.lease, shard_policy_, now,
+                             /*count_backoff=*/true, jitter_rng_);
             }
           }
           return encode_ack();
         }
         case JobStatus::kStopped: {
           // Graceful hand-back: the shard checkpoint keeps the progress.
-          std::erase_if(shard.holders, [&](const ShardHolder& h) {
-            return h.worker == msg.worker;
-          });
-          if (shard.phase == ShardPhase::kLeased && shard.holders.empty()) {
-            release_shard(shard, now, /*count_backoff=*/false);
+          sched::drop_holder(shard.lease, msg.worker);
+          if (shard.lease.phase == sched::LeasePhase::kLeased &&
+              shard.lease.holders.empty()) {
+            sched::release(shard.lease, shard_policy_, now,
+                           /*count_backoff=*/false, jitter_rng_);
           }
           return encode_ack();
         }
@@ -502,7 +547,7 @@ std::string CoordinatorCore::handle(const Message& msg, Clock::time_point now) {
       const CampaignJobOutcome& outcome = msg.outcome;
       switch (outcome.status) {
         case JobStatus::kDone:
-          if (state->phase == JobPhase::kDone) {
+          if (state->phase() == JobPhase::kDone) {
             // At-least-once delivery meets state dedup: re-sent (or stale-
             // holder) done reports are acked without a second ledger append.
             return encode_ack();
@@ -510,12 +555,12 @@ std::string CoordinatorCore::handle(const Message& msg, Clock::time_point now) {
           record(*state, outcome);
           return encode_ack();
         case JobStatus::kFailed:
-          if (state->phase == JobPhase::kDone ||
-              state->phase == JobPhase::kFailed) {
+          if (state->phase() == JobPhase::kDone ||
+              state->phase() == JobPhase::kFailed) {
             return encode_ack();  // already terminal
           }
-          if (state->phase == JobPhase::kLeased &&
-              state->holder != msg.worker) {
+          if (state->phase() == JobPhase::kLeased &&
+              !sched::holds(state->lease, msg.worker)) {
             // A stale holder's failure must not kill a job the current
             // holder may yet finish.
             return encode_ack();
@@ -525,9 +570,10 @@ std::string CoordinatorCore::handle(const Message& msg, Clock::time_point now) {
         case JobStatus::kStopped:
           // Graceful hand-back (worker drain / revoked lease): the job goes
           // straight back to the pool, checkpoint intact.
-          if (state->phase == JobPhase::kLeased &&
-              state->holder == msg.worker) {
-            release(*state, now, /*count_backoff=*/false);
+          if (state->phase() == JobPhase::kLeased &&
+              sched::holds(state->lease, msg.worker)) {
+            sched::release(state->lease, whole_policy_, now,
+                           /*count_backoff=*/false, jitter_rng_);
           }
           return encode_ack();
         case JobStatus::kSkipped:
@@ -550,19 +596,20 @@ std::string CoordinatorCore::handle(const Message& msg, Clock::time_point now) {
 
 bool CoordinatorCore::any_leased() const {
   return std::any_of(jobs_.begin(), jobs_.end(), [](const JobState& s) {
-    if (s.phase == JobPhase::kLeased) return true;
-    if (s.phase != JobPhase::kPending) return false;
+    if (s.phase() == JobPhase::kLeased) return true;
+    if (s.phase() != JobPhase::kPending) return false;
     return std::any_of(s.shards.begin(), s.shards.end(),
                        [](const ShardState& shard) {
-                         return shard.phase == ShardPhase::kLeased &&
-                                !shard.holders.empty();
+                         return shard.lease.phase ==
+                                    sched::LeasePhase::kLeased &&
+                                !shard.lease.holders.empty();
                        });
   });
 }
 
 bool CoordinatorCore::finished() const {
   return std::all_of(jobs_.begin(), jobs_.end(), [](const JobState& s) {
-    return s.phase == JobPhase::kDone || s.phase == JobPhase::kFailed;
+    return s.phase() == JobPhase::kDone || s.phase() == JobPhase::kFailed;
   });
 }
 
@@ -570,14 +617,15 @@ maxpower::CampaignResult CoordinatorCore::summary() const {
   maxpower::CampaignResult result;
   result.quarantined = quarantined_;
   for (const auto& state : jobs_) {
-    if (state.phase == JobPhase::kDone && state.skipped) {
+    if (state.phase() == JobPhase::kDone && state.skipped) {
       ++result.skipped;
-    } else if (state.phase == JobPhase::kDone) {
+    } else if (state.phase() == JobPhase::kDone) {
       ++result.done;
-    } else if (state.phase == JobPhase::kFailed) {
+    } else if (state.phase() == JobPhase::kFailed) {
       ++result.failed;
     }
-    if (state.phase == JobPhase::kDone || state.phase == JobPhase::kFailed) {
+    if (state.phase() == JobPhase::kDone ||
+        state.phase() == JobPhase::kFailed) {
       result.jobs.push_back(state.outcome);
     }
   }
@@ -590,7 +638,7 @@ JobPhase CoordinatorCore::phase(const std::string& job) const {
     throw Error(ErrorCode::kBadData, "unknown job",
                 ErrorContext{}.kv("job", job).str());
   }
-  return jobs_[it->second].phase;
+  return jobs_[it->second].phase();
 }
 
 maxpower::CampaignResult serve_campaign(

@@ -34,10 +34,16 @@
 //     is folded through Engine::replay into a final record byte-identical
 //     to a single-process run.
 //
-// CoordinatorCore is a pure state machine over injected time — every
-// transition takes an explicit `now` — so lease expiry, backoff gating, and
-// drain are unit-testable without sockets or sleeps. serve_campaign() wraps
-// it in the poll loop that owns real connections and the wall clock.
+// The lease mechanics themselves — grant/heartbeat/expiry/backoff-gated
+// reassignment/adoption/straggler eligibility — live in the shared
+// scheduling substrate (sched/lease.hpp); a whole-job claim is a lease with
+// max_holders 1, a shard claim one with max_holders 2. CoordinatorCore is
+// the campaign policy on top: what to encode, when a job is terminal, what
+// the ledger records. It stays a pure state machine over injected time —
+// every transition takes an explicit `now` — so lease expiry, backoff
+// gating, and drain are unit-testable without sockets or sleeps.
+// serve_campaign() wraps it in the poll loop that owns real connections and
+// the wall clock.
 #pragma once
 
 #include <chrono>
@@ -49,7 +55,9 @@
 #include "dist/protocol.hpp"
 #include "maxpower/campaign.hpp"
 #include "maxpower/shard.hpp"
+#include "sched/lease.hpp"
 #include "util/deadline.hpp"
+#include "util/metrics.hpp"
 #include "util/retry.hpp"
 #include "util/rng.hpp"
 
@@ -57,8 +65,13 @@ namespace mpe::dist {
 
 struct CoordinatorConfig {
   std::vector<maxpower::CampaignJob> jobs;  ///< manifest order
-  /// Shared with workers: per-job checkpoints live here; the ledger
-  /// defaults to <state_dir>/campaign.jsonl.
+  /// Coordinator-local durable state: the ledger defaults to
+  /// <state_dir>/campaign.jsonl. Workers resolve job/shard checkpoints
+  /// under their own WorkerConfig::state_dir — the directories need not be
+  /// shared, which is what makes cross-host fleets work (a worker on
+  /// another machine resumes from its local checkpoints, and a worker with
+  /// a fresh directory simply recomputes — determinism makes the result
+  /// byte-identical either way; see docs/ROBUSTNESS.md).
   std::string state_dir;
   std::string report_path;
   /// Lease duration; workers must heartbeat well within it. Also the upper
@@ -83,6 +96,32 @@ struct CoordinatorConfig {
   /// straggler: it is speculatively re-issued to a second worker and the
   /// first valid result wins (0 = twice the lease duration).
   std::chrono::milliseconds straggler_after{0};
+  /// Adaptive shard sizing (`--shard-size auto`): partition each job at the
+  /// size that aims one shard at shard_target_latency, from an EWMA of
+  /// observed per-attempt shard latency, clamped to
+  /// [shard_size_floor, shard_size_ceiling]. Implies sharded mode even when
+  /// shard_size is 0; before the first observation the partition uses
+  /// shard_size (or the floor when shard_size is 0) — small first shards
+  /// make the estimate converge quickly. Jobs keep the partition they were
+  /// created with; only later-created jobs see the updated size.
+  bool shard_auto = false;
+  std::size_t shard_size_floor = 16;
+  std::size_t shard_size_ceiling = 4096;
+  std::chrono::milliseconds shard_target_latency{2000};
+  double shard_latency_alpha = 0.2;  ///< EWMA smoothing factor in (0, 1]
+  /// When false, protocol-v1 workers are never handed whole jobs and
+  /// whole-job claims are never adopted onto sharded jobs. The estimation
+  /// server's fleet executor needs this: only assembled shard results carry
+  /// the full EstimationResult (CI bounds, diagnostics) a server result
+  /// line is made of — the dist whole-job result frame does not.
+  bool whole_job_fallback = true;
+  /// Estimation-as-a-service mode: the job set is dynamic (add_job), so a
+  /// worker request finding nothing pending is answered `wait`, never
+  /// `drain` (begin_drain() still wins once called).
+  bool persistent = false;
+  /// Optional metric sink: shard latency observations and the adaptive
+  /// shard-size level (mpe_coord_* series). Null = no metrics.
+  util::MetricRegistry* metrics = nullptr;
 };
 
 /// Where one job stands inside the coordinator.
@@ -91,7 +130,7 @@ enum class JobPhase : std::uint8_t { kPending, kLeased, kDone, kFailed };
 /// The deterministic heart of the coordinator. Not thread-safe; one owner.
 class CoordinatorCore {
  public:
-  using Clock = std::chrono::steady_clock;
+  using Clock = sched::Clock;
 
   /// Reads the ledger (quarantining corrupt records), marks recorded-done
   /// jobs, and creates the state directory. Throws on unusable config.
@@ -100,6 +139,28 @@ class CoordinatorCore {
   /// Handles one decoded worker message at time `now`; returns the encoded
   /// reply line. Appends ledger records for terminal transitions.
   std::string handle(const Message& msg, Clock::time_point now);
+
+  /// Dynamically registers one more job (estimation-as-a-service mode;
+  /// usually combined with `persistent`). The job is partitioned with the
+  /// shard size in effect right now and becomes grantable immediately.
+  /// Throws Error(kBadData) on an invalid or duplicate name.
+  void add_job(maxpower::CampaignJob job);
+
+  /// Marks a non-terminal job stopped/cancelled — the submitter is gone or
+  /// cancelled it. The outcome is recorded (ledger + completions) and every
+  /// later heartbeat for the job is answered revoke, so workers abandon its
+  /// shards. Returns false when the job is unknown or already terminal.
+  bool abandon(const std::string& job);
+
+  /// Drains the outcomes that turned terminal since the last call, in
+  /// record order. The estimation server's fleet executor maps these back
+  /// to submit tickets; the campaign CLI never calls it (summary() already
+  /// aggregates).
+  std::vector<maxpower::CampaignJobOutcome> take_completions();
+
+  /// The shard size a job created right now would be partitioned with
+  /// (fixed shard_size, or the EWMA-driven adaptive size under shard_auto).
+  std::size_t shard_size_now() const;
 
   /// Expires overdue leases; records jobs that exhausted their assignment
   /// budget as failed. Call once per loop iteration.
@@ -132,59 +193,69 @@ class CoordinatorCore {
   /// default under shard_size > 0 but a job with no shard progress can be
   /// flipped to whole-job mode to serve a protocol-v1 worker.
   enum class JobMode : std::uint8_t { kWhole, kSharded };
-  enum class ShardPhase : std::uint8_t { kPending, kLeased, kDone };
 
-  /// One worker's live claim on a shard. A shard has at most two holders:
-  /// the primary and one speculative straggler re-issue.
-  struct ShardHolder {
-    std::string worker;
-    Clock::time_point expiry{};
-  };
-
+  /// One wave-index range of a sharded job: the shard payload around its
+  /// sched::Lease (max_holders 2: primary + one straggler re-issue).
   struct ShardState {
     std::uint64_t lo = 0;
     std::uint64_t hi = 0;
-    ShardPhase phase = ShardPhase::kPending;
-    std::vector<ShardHolder> holders;
-    Clock::time_point leased_since{};  ///< first grant of the current flight
-    Clock::time_point earliest_grant{};
-    std::size_t assignments = 0;
-    std::vector<maxpower::ShardSample> samples;  ///< filled when kDone
+    sched::Lease lease;
+    std::vector<maxpower::ShardSample> samples;  ///< filled when done
   };
 
   struct JobState {
     std::size_t index = 0;  ///< into config_.jobs
-    JobPhase phase = JobPhase::kPending;
     JobMode mode = JobMode::kWhole;
     bool skipped = false;   ///< done per the ledger before this run
-    std::string holder;
-    Clock::time_point lease_expiry{};
-    Clock::time_point earliest_grant{};
-    std::size_t assignments = 0;
+    /// Terminal flavor once `lease` is done: failed vs done.
+    bool failed = false;
+    /// The whole-job claim (max_holders 1). For a sharded job it stays
+    /// pending while shards carry the claims; record() completes it either
+    /// way, so lease.phase == kDone means the job is terminal.
+    sched::Lease lease;
     maxpower::CampaignJobOutcome outcome;
     std::vector<ShardState> shards;  ///< mode == kSharded only
+
+    JobPhase phase() const {
+      if (lease.phase == sched::LeasePhase::kDone) {
+        return failed ? JobPhase::kFailed : JobPhase::kDone;
+      }
+      return lease.phase == sched::LeasePhase::kLeased ? JobPhase::kLeased
+                                                       : JobPhase::kPending;
+    }
   };
+
+  /// Sharding is on when a fixed size is set or the adaptive sizer runs.
+  bool sharded_mode() const {
+    return config_.shard_size > 0 || config_.shard_auto;
+  }
+  /// Partitions a fresh JobState (ctor and add_job share it).
+  void init_shards(JobState& state, const maxpower::CampaignJob& job);
+  /// Folds one finished shard's latency into the adaptive-size EWMA and the
+  /// metric series.
+  void observe_shard_latency(const ShardState& shard, Clock::time_point now);
 
   JobState* find(const std::string& job);
   std::string grant(JobState& state, const std::string& worker,
                     Clock::time_point now);
   void record(JobState& state, const maxpower::CampaignJobOutcome& outcome);
-  void release(JobState& state, Clock::time_point now, bool count_backoff);
+  void fail_exhausted(JobState& state, std::size_t attempts, ErrorCode error);
 
   /// True while no shard of `state` has been leased or completed — the only
   /// window in which the job may flip to whole-job mode for a v1 worker.
   static bool shard_pristine(const JobState& state);
   std::string grant_shard(JobState& state, std::size_t k,
                           const std::string& worker, Clock::time_point now);
-  void release_shard(ShardState& shard, Clock::time_point now,
-                     bool count_backoff);
   /// Folds the contiguous done-shard prefix through the engine; records the
   /// job terminal (done or failed) when the prefix reaches its stopping
   /// point.
   void try_assemble(JobState& state);
-  std::chrono::milliseconds straggler_after() const;
 
   CoordinatorConfig config_;
+  /// Lease policies over the shared substrate: whole jobs are exclusive
+  /// claims, shards allow one speculative straggler re-issue.
+  sched::LeasePolicy whole_policy_;
+  sched::LeasePolicy shard_policy_;
   std::string report_path_;
   std::vector<JobState> jobs_;
   std::map<std::string, std::size_t> by_name_;
@@ -193,6 +264,12 @@ class CoordinatorCore {
   std::size_t quarantined_ = 0;
   std::size_t leases_granted_ = 0;
   std::size_t shards_done_ = 0;
+  /// EWMA of per-attempt shard wall latency in ms (0 = no observation yet).
+  double ewma_ms_per_attempt_ = 0.0;
+  /// Level last pushed to the mpe_coord_shard_size gauge (delta tracking).
+  std::int64_t shard_size_metric_ = 0;
+  /// Outcomes recorded since the last take_completions().
+  std::vector<maxpower::CampaignJobOutcome> completions_;
 };
 
 /// Socket-server options for serve_campaign.

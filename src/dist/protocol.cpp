@@ -1,50 +1,20 @@
 #include "dist/protocol.hpp"
 
 #include "util/jsonl.hpp"
+#include "util/wire.hpp"
 
 namespace mpe::dist {
 
 namespace {
 
+namespace wire = util::wire;
+
 util::JsonFields header(MessageKind kind) {
-  util::JsonFields f;
-  f.add("schema", "mpe.dist");
-  f.add("v", kProtocolVersion);
-  f.add("type", to_string(kind));
-  return f;
-}
-
-std::string required_string(const util::JsonValue& v, std::string_view key) {
-  const util::JsonValue* field = v.find(key);
-  if (field == nullptr || !field->is_string()) {
-    throw Error(ErrorCode::kBadData, "message field missing or not a string",
-                ErrorContext{}.kv("field", key).str());
-  }
-  return field->as_string();
-}
-
-std::uint64_t number_or(const util::JsonValue& v, std::string_view key,
-                        std::uint64_t fallback) {
-  const util::JsonValue* field = v.find(key);
-  if (field == nullptr) return fallback;
-  if (!field->is_number()) {
-    throw Error(ErrorCode::kBadData, "message field must be a number",
-                ErrorContext{}.kv("field", key).str());
-  }
-  return static_cast<std::uint64_t>(field->as_number());
-}
-
-std::uint64_t required_number(const util::JsonValue& v, std::string_view key) {
-  const util::JsonValue* field = v.find(key);
-  if (field == nullptr || !field->is_number()) {
-    throw Error(ErrorCode::kBadData, "message field missing or not a number",
-                ErrorContext{}.kv("field", key).str());
-  }
-  return static_cast<std::uint64_t>(field->as_number());
+  return wire::header("mpe.dist", kProtocolVersion, to_string(kind));
 }
 
 maxpower::JobStatus required_status(const util::JsonValue& v) {
-  const std::string status = required_string(v, "status");
+  const std::string status = wire::required_string(v, "status");
   const auto parsed = maxpower::job_status_from_name(status);
   if (!parsed) {
     throw Error(ErrorCode::kBadData, "unknown job status in result",
@@ -194,73 +164,60 @@ std::string encode_error(std::string_view detail) {
 }
 
 Message decode_message(std::string_view line) {
-  util::JsonValue v;
-  try {
-    v = util::parse_json(line);
-  } catch (const Error& e) {
-    throw Error(ErrorCode::kParse, "malformed dist message",
-                ErrorContext{}.kv("detail", e.message()).str());
-  }
-  if (!v.is_object()) {
-    throw Error(ErrorCode::kBadData, "dist message is not a JSON object");
-  }
-  const std::string type = required_string(v, "type");
-  Message msg;
-  bool known = false;
-  for (int k = 0; k <= static_cast<int>(MessageKind::kError); ++k) {
-    if (type == to_string(static_cast<MessageKind>(k))) {
-      msg.kind = static_cast<MessageKind>(k);
-      known = true;
-      break;
-    }
-  }
-  if (!known) {
+  const util::JsonValue v = wire::parse_frame(line, "dist message");
+  const std::string type = wire::required_string(v, "type");
+  const auto kind =
+      wire::kind_from_name(type, MessageKind::kError,
+                           [](MessageKind k) { return to_string(k); });
+  if (!kind) {
     throw Error(ErrorCode::kBadData, "unknown dist message type",
                 ErrorContext{}.kv("type", type).str());
   }
+  Message msg;
+  msg.kind = *kind;
   switch (msg.kind) {
     case MessageKind::kHello:
-      msg.worker = required_string(v, "worker");
-      msg.proto = number_or(v, "proto", 0);
+      msg.worker = wire::required_string(v, "worker");
+      msg.proto = wire::number_or(v, "proto", 0);
       break;
     case MessageKind::kRequest:
-      msg.worker = required_string(v, "worker");
-      msg.proto = number_or(v, "proto", 1);  // v1 workers never send it
+      msg.worker = wire::required_string(v, "worker");
+      msg.proto = wire::number_or(v, "proto", 1);  // v1 workers never send it
       break;
     case MessageKind::kHeartbeat:
-      msg.worker = required_string(v, "worker");
-      msg.job = required_string(v, "job");
+      msg.worker = wire::required_string(v, "worker");
+      msg.job = wire::required_string(v, "job");
       if (v.find("shard") != nullptr) {
-        msg.shard = required_number(v, "shard");
+        msg.shard = wire::required_number(v, "shard");
         msg.has_shard = true;
       }
       break;
     case MessageKind::kShardResult:
-      msg.worker = required_string(v, "worker");
-      msg.job = required_string(v, "job");
-      msg.shard = required_number(v, "shard");
+      msg.worker = wire::required_string(v, "worker");
+      msg.job = wire::required_string(v, "job");
+      msg.shard = wire::required_number(v, "shard");
       msg.has_shard = true;
-      msg.lo = required_number(v, "lo");
-      msg.hi = required_number(v, "hi");
+      msg.lo = wire::required_number(v, "lo");
+      msg.hi = wire::required_number(v, "hi");
       msg.shard_status = required_status(v);
       if (const auto* e = v.find("error"); e != nullptr && e->is_string()) {
         msg.shard_error = error_code_from_string(e->as_string());
       }
       if (msg.shard_status == maxpower::JobStatus::kDone) {
-        msg.samples = required_string(v, "samples");
+        msg.samples = wire::required_string(v, "samples");
       }
       if (msg.hi < msg.lo) {
         throw Error(ErrorCode::kBadData, "shard-result range is inverted");
       }
       break;
     case MessageKind::kResult: {
-      msg.worker = required_string(v, "worker");
-      msg.job = required_string(v, "job");
+      msg.worker = wire::required_string(v, "worker");
+      msg.job = wire::required_string(v, "job");
       msg.outcome.name = msg.job;
       msg.outcome.worker = msg.worker;
       msg.outcome.status = required_status(v);
       msg.outcome.attempts =
-          static_cast<std::size_t>(number_or(v, "attempts", 0));
+          static_cast<std::size_t>(wire::number_or(v, "attempts", 0));
       if (const auto* e = v.find("error"); e != nullptr && e->is_string()) {
         msg.outcome.error = error_code_from_string(e->as_string());
       }
@@ -271,9 +228,9 @@ Message decode_message(std::string_view line) {
         }
         msg.outcome.result.estimate = est->as_number();
         msg.outcome.result.hyper_samples =
-            static_cast<std::size_t>(number_or(v, "hyper_samples", 0));
+            static_cast<std::size_t>(wire::number_or(v, "hyper_samples", 0));
         msg.outcome.result.units_used =
-            static_cast<std::size_t>(number_or(v, "units", 0));
+            static_cast<std::size_t>(wire::number_or(v, "units", 0));
         if (const auto* c = v.find("converged");
             c != nullptr && c->is_bool()) {
           msg.outcome.result.converged = c->as_bool();
@@ -282,23 +239,23 @@ Message decode_message(std::string_view line) {
       break;
     }
     case MessageKind::kLease:
-      msg.job = required_string(v, "job");
-      msg.spec = required_string(v, "spec");
-      msg.ms = number_or(v, "lease_ms", 0);
-      msg.job_deadline_ms = number_or(v, "job_deadline_ms", 0);
+      msg.job = wire::required_string(v, "job");
+      msg.spec = wire::required_string(v, "spec");
+      msg.ms = wire::number_or(v, "lease_ms", 0);
+      msg.job_deadline_ms = wire::number_or(v, "job_deadline_ms", 0);
       if (msg.ms == 0) {
         throw Error(ErrorCode::kBadData, "lease without lease_ms");
       }
       break;
     case MessageKind::kShardLease:
-      msg.job = required_string(v, "job");
-      msg.spec = required_string(v, "spec");
-      msg.shard = required_number(v, "shard");
+      msg.job = wire::required_string(v, "job");
+      msg.spec = wire::required_string(v, "spec");
+      msg.shard = wire::required_number(v, "shard");
       msg.has_shard = true;
-      msg.lo = required_number(v, "lo");
-      msg.hi = required_number(v, "hi");
-      msg.ms = number_or(v, "lease_ms", 0);
-      msg.job_deadline_ms = number_or(v, "job_deadline_ms", 0);
+      msg.lo = wire::required_number(v, "lo");
+      msg.hi = wire::required_number(v, "hi");
+      msg.ms = wire::number_or(v, "lease_ms", 0);
+      msg.job_deadline_ms = wire::number_or(v, "job_deadline_ms", 0);
       if (msg.ms == 0) {
         throw Error(ErrorCode::kBadData, "shard-lease without lease_ms");
       }
@@ -307,10 +264,10 @@ Message decode_message(std::string_view line) {
       }
       break;
     case MessageKind::kWait:
-      msg.ms = number_or(v, "ms", 0);
+      msg.ms = wire::number_or(v, "ms", 0);
       break;
     case MessageKind::kRevoke:
-      msg.job = required_string(v, "job");
+      msg.job = wire::required_string(v, "job");
       break;
     case MessageKind::kError:
       if (const auto* d = v.find("detail"); d != nullptr && d->is_string()) {

@@ -225,7 +225,7 @@ CampaignJobRuntime build_campaign_runtime(const CampaignJob& job) {
 }
 
 bool valid_campaign_job_name(const std::string& name) {
-  if (name.empty() || name.size() > 128) return false;
+  if (name.empty() || name.size() > kMaxCampaignJobNameBytes) return false;
   for (char c : name) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                     (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';

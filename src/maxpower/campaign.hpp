@@ -139,6 +139,9 @@ std::string campaign_job_to_json(const CampaignJob& job);
 /// as parse_campaign_manifest. Throws mpe::Error(kParse/kBadData).
 CampaignJob parse_campaign_job_line(std::string_view json_line);
 
+/// Longest usable job id in bytes (ledger key + checkpoint filename).
+inline constexpr std::size_t kMaxCampaignJobNameBytes = 128;
+
 /// True when `name` is usable as a job id (ledger key + checkpoint
 /// filename): [A-Za-z0-9._-]{1,128}, not "." or "..".
 bool valid_campaign_job_name(const std::string& name);

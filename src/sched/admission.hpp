@@ -1,0 +1,182 @@
+// The generic admission/queue layer underneath the estimation server (and
+// any other scheduler that takes work from competing clients): bounded
+// per-client FIFO queues, a fair round-robin grant ring, deadline
+// resolution, and drain — as a pure state machine over injected time.
+//
+// Extracted from server/ServerCore, which grew the policy first. The
+// scheduling model it preserves exactly:
+//   * Per-client FIFO queues, bounded by max_queued_per_client and
+//     max_queued_total. A full queue REJECTS (backpressure; the server maps
+//     it to kResourceExhausted) — memory never grows with offered load.
+//   * Fair round-robin across clients: each grant moves the cursor just
+//     past the granted client, so a client submitting 100 jobs cannot
+//     starve one submitting 2.
+//   * Client removal keeps the cursor stable relative to the survivors
+//     (fairness is not reset by churn).
+//
+// The queue is a template over the owner's job payload: the admission
+// layer never looks inside a job — deadline sweeps and targeted removals
+// take predicates, and iteration order (client id ascending, FIFO within a
+// client) is deterministic and part of the contract the scheduler-
+// equivalence goldens pin.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace mpe::sched {
+
+/// Resolves one submission's deadline budget: the client's request, with
+/// `fallback` applied when it asked for none and `cap` clamping everything
+/// (cap also applies to "unlimited" requests). Zero means no deadline.
+inline std::chrono::milliseconds resolve_deadline_budget(
+    std::chrono::milliseconds requested, std::chrono::milliseconds fallback,
+    std::chrono::milliseconds cap) {
+  std::chrono::milliseconds budget = requested;
+  if (budget.count() == 0) budget = fallback;
+  if (cap.count() > 0 && (budget.count() == 0 || budget > cap)) {
+    budget = cap;
+  }
+  return budget;
+}
+
+template <typename Job>
+class AdmissionQueue {
+ public:
+  struct Limits {
+    std::size_t max_queued_per_client = 8;
+    std::size_t max_queued_total = 64;
+  };
+
+  explicit AdmissionQueue(Limits limits) : limits_(limits) {
+    if (limits_.max_queued_per_client == 0) limits_.max_queued_per_client = 1;
+    if (limits_.max_queued_total == 0) limits_.max_queued_total = 1;
+  }
+
+  /// Registers a client at the back of the round-robin ring.
+  void add_client(std::size_t client) {
+    queues_.emplace(client, std::deque<Job>{});
+    ring_.push_back(client);
+  }
+
+  /// Removes a client and returns its queued jobs (callers usually drop
+  /// them — a gone client has no reader). The cursor stays parked on the
+  /// same surviving client it pointed at.
+  std::deque<Job> remove_client(std::size_t client) {
+    std::deque<Job> dropped;
+    const auto it = queues_.find(client);
+    if (it == queues_.end()) return dropped;
+    queued_total_ -= it->second.size();
+    dropped = std::move(it->second);
+    queues_.erase(it);
+    if (const auto pos = std::find(ring_.begin(), ring_.end(), client);
+        pos != ring_.end()) {
+      const auto idx = static_cast<std::size_t>(pos - ring_.begin());
+      ring_.erase(pos);
+      if (cursor_ > idx) --cursor_;
+      if (!ring_.empty()) cursor_ %= ring_.size();
+    }
+    return dropped;
+  }
+
+  /// True when `client`'s next submission would exceed a bound
+  /// (backpressure: reject, don't queue).
+  bool full(std::size_t client) const {
+    const auto it = queues_.find(client);
+    const std::size_t depth = it == queues_.end() ? 0 : it->second.size();
+    return depth >= limits_.max_queued_per_client ||
+           queued_total_ >= limits_.max_queued_total;
+  }
+
+  /// Appends to the client's FIFO (capacity-check with full() first).
+  void enqueue(std::size_t client, Job job) {
+    queues_[client].push_back(std::move(job));
+    ++queued_total_;
+  }
+
+  /// Grants the next job fairly: scan from the cursor, take the head of
+  /// the first non-empty queue, park the cursor just past that client.
+  std::optional<Job> next() {
+    if (queued_total_ == 0 || ring_.empty()) return std::nullopt;
+    for (std::size_t step = 0; step < ring_.size(); ++step) {
+      const std::size_t slot = (cursor_ + step) % ring_.size();
+      const auto it = queues_.find(ring_[slot]);
+      if (it == queues_.end() || it->second.empty()) continue;
+      Job job = std::move(it->second.front());
+      it->second.pop_front();
+      --queued_total_;
+      cursor_ = (slot + 1) % ring_.size();
+      return job;
+    }
+    return std::nullopt;
+  }
+
+  /// Removes the first queued job of `client` matching `pred` (targeted
+  /// cancellation). FIFO order of the rest is untouched.
+  template <typename Pred>
+  std::optional<Job> remove_one(std::size_t client, Pred pred) {
+    const auto it = queues_.find(client);
+    if (it == queues_.end()) return std::nullopt;
+    for (auto job = it->second.begin(); job != it->second.end(); ++job) {
+      if (!pred(*job)) continue;
+      Job out = std::move(*job);
+      it->second.erase(job);
+      --queued_total_;
+      return out;
+    }
+    return std::nullopt;
+  }
+
+  /// Removes every queued job matching `pred` (deadline sweep), in
+  /// client-id order, FIFO within a client.
+  template <typename Pred>
+  std::vector<Job> sweep(Pred pred) {
+    std::vector<Job> removed;
+    for (auto& [client, queue] : queues_) {
+      for (auto it = queue.begin(); it != queue.end();) {
+        if (!pred(*it)) {
+          ++it;
+          continue;
+        }
+        removed.push_back(std::move(*it));
+        it = queue.erase(it);
+        --queued_total_;
+      }
+    }
+    return removed;
+  }
+
+  /// Empties one client's queue in FIFO order (drain: every queued job is
+  /// answered stopped at once).
+  std::deque<Job> flush_client(std::size_t client) {
+    const auto it = queues_.find(client);
+    if (it == queues_.end()) return {};
+    queued_total_ -= it->second.size();
+    return std::exchange(it->second, {});
+  }
+
+  /// Read-only view of one client's queue (active-id scans).
+  const std::deque<Job>* queue(std::size_t client) const {
+    const auto it = queues_.find(client);
+    return it == queues_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t queued_total() const { return queued_total_; }
+  const Limits& limits() const { return limits_; }
+
+ private:
+  Limits limits_;
+  std::map<std::size_t, std::deque<Job>> queues_;
+  /// Round-robin ring: client ids in registration order.
+  std::vector<std::size_t> ring_;
+  std::size_t cursor_ = 0;
+  std::size_t queued_total_ = 0;
+};
+
+}  // namespace mpe::sched

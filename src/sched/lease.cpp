@@ -1,0 +1,95 @@
+#include "sched/lease.hpp"
+
+#include <algorithm>
+
+namespace mpe::sched {
+
+bool grantable(const Lease& lease, Clock::time_point now) {
+  return lease.phase == LeasePhase::kPending && lease.earliest_grant <= now;
+}
+
+void grant(Lease& lease, const LeasePolicy& policy, std::string_view holder,
+           Clock::time_point now) {
+  if (lease.phase == LeasePhase::kPending) lease.leased_since = now;
+  lease.phase = LeasePhase::kLeased;
+  lease.holders.push_back(LeaseHolder{std::string(holder),
+                                      now + policy.lease});
+  ++lease.assignments;
+}
+
+bool holds(const Lease& lease, std::string_view holder) {
+  return std::any_of(lease.holders.begin(), lease.holders.end(),
+                     [&](const LeaseHolder& h) { return h.id == holder; });
+}
+
+void drop_holder(Lease& lease, std::string_view holder) {
+  std::erase_if(lease.holders,
+                [&](const LeaseHolder& h) { return h.id == holder; });
+}
+
+HeartbeatVerdict heartbeat(Lease& lease, const LeasePolicy& policy,
+                           std::string_view holder, Clock::time_point now) {
+  if (lease.phase == LeasePhase::kDone) return HeartbeatVerdict::kRejected;
+  for (LeaseHolder& h : lease.holders) {
+    if (h.id == holder) {
+      h.expiry = now + policy.lease;
+      return HeartbeatVerdict::kRenewed;
+    }
+  }
+  if (lease.holders.size() < policy.max_holders) {
+    // A worker is actively computing work the table thinks nobody holds:
+    // the scheduler restarted, or the claim expired before a re-grant.
+    // Adopt the in-flight claim rather than re-granting — the work in
+    // flight is exactly the work we want done.
+    grant(lease, policy, holder, now);
+    return HeartbeatVerdict::kAdopted;
+  }
+  return HeartbeatVerdict::kRejected;  // holder cap already full
+}
+
+void release(Lease& lease, const LeasePolicy& policy, Clock::time_point now,
+             bool count_backoff, Rng& jitter) {
+  lease.phase = LeasePhase::kPending;
+  lease.holders.clear();
+  if (count_backoff) {
+    // Expiry usually means the holder died mid-work; pace the re-grant so
+    // a crash loop cannot thrash the fleet.
+    lease.earliest_grant =
+        now + std::chrono::duration_cast<Clock::duration>(util::backoff_delay(
+                  policy.reassign, lease.assignments, jitter));
+  } else {
+    lease.earliest_grant = now;  // graceful hand-back: regrant immediately
+  }
+}
+
+ExpiryVerdict expire(Lease& lease, const LeasePolicy& policy,
+                     Clock::time_point now, Rng& jitter) {
+  if (lease.phase != LeasePhase::kLeased) return ExpiryVerdict::kNone;
+  std::erase_if(lease.holders,
+                [&](const LeaseHolder& h) { return now >= h.expiry; });
+  if (!lease.holders.empty()) return ExpiryVerdict::kNone;
+  // Every holder of this lease went silent past its expiry.
+  if (lease.assignments >= policy.max_assignments) {
+    return ExpiryVerdict::kExhausted;
+  }
+  release(lease, policy, now, /*count_backoff=*/true, jitter);
+  return ExpiryVerdict::kReleased;
+}
+
+void complete(Lease& lease) {
+  lease.phase = LeasePhase::kDone;
+  lease.holders.clear();
+}
+
+bool straggler_eligible(const Lease& lease, const LeasePolicy& policy,
+                        std::string_view worker, Clock::time_point now) {
+  if (lease.phase != LeasePhase::kLeased) return false;
+  if (lease.holders.size() >= policy.max_holders) return false;
+  if (lease.assignments >= policy.max_assignments) return false;
+  if (now - lease.leased_since < policy.effective_straggler_after()) {
+    return false;
+  }
+  return !holds(lease, worker);  // racing yourself helps nobody
+}
+
+}  // namespace mpe::sched

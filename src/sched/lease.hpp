@@ -1,0 +1,142 @@
+// The generic lease table underneath both control planes: a time-bounded,
+// possibly speculative claim on one unit of work (a whole campaign job, one
+// wave-index shard, or anything else a scheduler hands out).
+//
+// Extracted from dist/CoordinatorCore, which grew the mechanics first —
+// grant, heartbeat renewal, expiry with jittered backoff-gated reassignment,
+// a bounded assignment budget, adoption of in-flight claims after a
+// scheduler restart, and straggler speculation (a bounded number of
+// concurrent holders, first valid result wins). server/ServerCore's
+// executor slots ride the same table via the admission layer
+// (sched/admission.hpp).
+//
+// Everything here is a pure state machine over injected time: no clock
+// reads, no threads, no I/O. The one source of nondeterminism — backoff
+// jitter — comes from a caller-owned Rng, and each operation documents
+// exactly how many draws it makes, so a scheduler's full decision sequence
+// replays bit-identically from (inputs, seed). That contract is what the
+// scheduler-equivalence goldens (tests/test_sched_equivalence.cpp) pin.
+//
+// Policy knobs and state are deliberately plain structs: the table never
+// decides *what* to do on exhaustion or adoption — it reports a verdict and
+// the owning scheduler applies its own policy (record a failure, encode a
+// revoke, ...). That split keeps the substrate reusable across schedulers
+// with different terminal semantics.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/retry.hpp"
+#include "util/rng.hpp"
+
+namespace mpe::sched {
+
+using Clock = std::chrono::steady_clock;
+
+/// How one family of leases behaves. One policy is typically shared by many
+/// Lease instances (all shards of a campaign, all jobs of a manifest).
+struct LeasePolicy {
+  /// Claim duration; holders renew by heartbeating well within it.
+  std::chrono::milliseconds lease{5000};
+  /// Total grants (first assignment included) before the work unit's
+  /// budget is exhausted and the owner should record it failed.
+  std::size_t max_assignments = 5;
+  /// Backoff between reassignments (expiry storms must not thrash);
+  /// initial_backoff/multiplier/max_backoff/jitter are used.
+  util::RetryPolicy reassign;
+  /// Concurrent holders allowed: 1 = exclusive, 2 = one speculative
+  /// straggler re-issue, ...
+  std::size_t max_holders = 1;
+  /// A lease older than this with idle capacity elsewhere is a straggler
+  /// (0 = twice the lease duration).
+  std::chrono::milliseconds straggler_after{0};
+
+  std::chrono::milliseconds effective_straggler_after() const {
+    return straggler_after.count() > 0 ? straggler_after : 2 * lease;
+  }
+};
+
+/// One worker's live claim.
+struct LeaseHolder {
+  std::string id;
+  Clock::time_point expiry{};
+};
+
+enum class LeasePhase : std::uint8_t { kPending, kLeased, kDone };
+
+/// The replaceable heart of one schedulable unit. Owners embed it next to
+/// their unit-specific payload (job spec, shard range, samples).
+struct Lease {
+  LeasePhase phase = LeasePhase::kPending;
+  std::vector<LeaseHolder> holders;
+  /// First grant of the current flight (straggler age is measured from
+  /// here; reset when the lease returns to the pool).
+  Clock::time_point leased_since{};
+  /// Backoff gate: no grant before this instant.
+  Clock::time_point earliest_grant{};
+  /// Grants so far, monotonic across reassignments.
+  std::size_t assignments = 0;
+};
+
+/// True when the lease is pending and its backoff gate has passed.
+bool grantable(const Lease& lease, Clock::time_point now);
+
+/// Grants the lease to `holder` until now + policy.lease, counting the
+/// assignment. Also the adoption primitive: adopting an in-flight claim is
+/// a grant to its reporting holder. No rng draw.
+void grant(Lease& lease, const LeasePolicy& policy, std::string_view holder,
+           Clock::time_point now);
+
+/// True when `holder` currently holds the lease.
+bool holds(const Lease& lease, std::string_view holder);
+
+/// Erases `holder`'s claim if present (result/failure/stop reported: the
+/// claim is settled either way). Phase is untouched — the owner decides
+/// between release and completion.
+void drop_holder(Lease& lease, std::string_view holder);
+
+enum class HeartbeatVerdict : std::uint8_t {
+  kRenewed,   ///< known holder: expiry pushed out
+  kAdopted,   ///< unknown claim below the holder cap: granted in place
+  kRejected,  ///< done, or the holder cap is full — the claimant is stale
+};
+
+/// One holder's renewal at `now`. Adoption is what lets in-flight work
+/// survive a scheduler restart: a worker heartbeating for a lease the table
+/// thinks nobody holds is re-granted rather than revoked. Draws nothing.
+HeartbeatVerdict heartbeat(Lease& lease, const LeasePolicy& policy,
+                           std::string_view holder, Clock::time_point now);
+
+/// Returns the lease to the pool. count_backoff=true (expiry, failure)
+/// gates the re-grant behind a jittered backoff — exactly one uniform draw
+/// from `jitter` when policy.reassign.jitter > 0, none otherwise.
+/// count_backoff=false (graceful hand-back) re-grants immediately, no draw.
+void release(Lease& lease, const LeasePolicy& policy, Clock::time_point now,
+             bool count_backoff, Rng& jitter);
+
+enum class ExpiryVerdict : std::uint8_t {
+  kNone,       ///< at least one holder still live (or nothing leased)
+  kReleased,   ///< every holder went silent; re-pooled under backoff
+  kExhausted,  ///< every holder gone AND the assignment budget is burned:
+               ///< not re-pooled — the owner records the failure
+};
+
+/// Expires overdue holders at `now`. Call once per scheduler tick per
+/// lease. Draws from `jitter` only on the kReleased path (via release).
+ExpiryVerdict expire(Lease& lease, const LeasePolicy& policy,
+                     Clock::time_point now, Rng& jitter);
+
+/// Marks the work done and settles every outstanding claim.
+void complete(Lease& lease);
+
+/// True when `worker` may be issued a speculative second (.. nth) claim on
+/// this lease: in flight past straggler_after, below the holder cap, budget
+/// left, and not already racing itself.
+bool straggler_eligible(const Lease& lease, const LeasePolicy& policy,
+                        std::string_view worker, Clock::time_point now);
+
+}  // namespace mpe::sched

@@ -1,0 +1,88 @@
+// Fleet job execution: `mpe_cli serve --fleet`. Submitted server jobs are
+// handed to an embedded, persistent CoordinatorCore that carves each one
+// into shard leases; campaign-worker processes (dialing the server's
+// worker-facing listener, Unix or TCP) compute the wave-index slices and
+// the contiguous done prefix is folded back through Engine::replay — so the
+// client's result line is byte-identical to local execution of the same
+// job, while the actual computation runs on however many workers (and
+// hosts) joined the fleet.
+//
+// One scheduling substrate, twice: ServerCore (admission/fairness over
+// sched::AdmissionQueue) decides which job runs next; the embedded
+// CoordinatorCore (leases over sched::Lease) decides which worker computes
+// which shard of it. Worker death, stragglers, bounded reassignment, and
+// the exactly-once ledger all behave exactly as in a distributed campaign
+// — the fleet ledger lives under <state_dir>/fleet/.
+//
+// Submit ids are salted into fleet job names ("f<salt>-<ticket>-<id>",
+// truncated to the campaign name limit): unique per serve instance, so a
+// restarted server sharing the state directory never collides with its
+// predecessor's ledger records. Workers resolve shard checkpoints under
+// their OWN state directories (cross-host fleets share nothing but the
+// protocol); a fresh worker simply recomputes — determinism makes the
+// result byte-identical either way.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.hpp"
+#include "dist/transport.hpp"
+#include "server/circuit_cache.hpp"
+#include "server/executor.hpp"
+#include "server/server.hpp"  // FleetOptions
+
+namespace mpe::server {
+
+class FleetExecutor final : public JobExecutor {
+ public:
+  /// `cache` and the listeners must outlive the executor (the Server owns
+  /// both; listeners may be null individually, not both). `state_dir` must
+  /// be non-empty — the fleet ledger lives under it.
+  FleetExecutor(CircuitCache& cache, const std::string& state_dir,
+                const FleetOptions& options, dist::Listener* unix_listener,
+                dist::Listener* tcp_listener);
+  /// Lingers briefly answering drain so connected workers exit cleanly
+  /// instead of burning their redial budget against a closed socket.
+  ~FleetExecutor() override;
+
+  void start(ServerCore::Started started) override;
+  bool pump(Clock::time_point now, std::vector<ExecEvent>& events,
+            std::vector<ExecCompletion>& completions) override;
+  bool idle() const override { return inflight_.empty(); }
+  void drain() override { draining_ = true; }
+  void stop_all() override;
+
+  /// Test/observability hooks.
+  std::size_t workers_connected() const { return conns_.size(); }
+  const dist::CoordinatorCore& core() const { return core_; }
+
+ private:
+  struct Inflight {
+    std::uint64_t ticket = 0;
+    util::CancellationToken cancel;
+    maxpower::CampaignJob job;  ///< spec under the salted fleet name
+    std::uint64_t next_seq = 0;       ///< event seq for this job
+    std::set<std::uint64_t> shards_seen;  ///< shard-done events emitted
+    bool abandoned = false;
+  };
+
+  std::string salted_name(std::uint64_t ticket, const std::string& id) const;
+  void service_connections(Clock::time_point now,
+                           std::vector<ExecEvent>& events, bool& activity);
+
+  CircuitCache& cache_;
+  dist::CoordinatorCore core_;
+  dist::Listener* unix_listener_;
+  dist::Listener* tcp_listener_;
+  std::vector<std::unique_ptr<dist::LineChannel>> conns_;
+  std::map<std::string, Inflight> inflight_;  ///< salted name -> job
+  std::string salt_;
+  bool draining_ = false;
+};
+
+}  // namespace mpe::server

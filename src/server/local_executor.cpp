@@ -1,0 +1,80 @@
+#include "server/local_executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace mpe::server {
+
+LocalExecutor::LocalExecutor(CircuitCache& cache, std::string state_dir,
+                             std::size_t trace_capacity, std::size_t slots)
+    : cache_(cache),
+      state_dir_(std::move(state_dir)),
+      trace_capacity_(trace_capacity),
+      // One worker per executor slot: ServerCore already caps concurrent
+      // grants at max_active, so the pool never queues more than that.
+      pool_(static_cast<unsigned>(std::max<std::size_t>(1, slots))) {}
+
+void LocalExecutor::start(ServerCore::Started started) {
+  Active job;
+  job.ticket = started.ticket;
+  job.cancel = started.cancel;
+  if (trace_capacity_ > 0) {
+    job.tracer = std::make_shared<util::Tracer>(trace_capacity_);
+  }
+  auto tracer = job.tracer;
+  CircuitCache* cache = &cache_;
+  std::string state_dir = state_dir_;
+  job.result = pool_.submit([spec = std::move(started), tracer, cache,
+                             state_dir = std::move(state_dir)]() {
+    return execute_job(spec, tracer.get(), *cache, state_dir);
+  });
+  active_.push_back(std::move(job));
+}
+
+bool LocalExecutor::pump(Clock::time_point /*now*/,
+                         std::vector<ExecEvent>& events,
+                         std::vector<ExecCompletion>& completions) {
+  bool activity = false;
+  for (ExecCompletion& c : done_) {
+    completions.push_back(std::move(c));
+    activity = true;
+  }
+  done_.clear();
+  for (auto it = active_.begin(); it != active_.end();) {
+    Active& job = *it;
+    if (job.tracer != nullptr) {
+      for (const util::TraceEvent& ev : job.tracer->events()) {
+        if (ev.seq < job.next_seq) continue;
+        events.push_back({job.ticket, ev.seq, ev.name, ev.fields});
+        job.next_seq = ev.seq + 1;
+        activity = true;
+      }
+    }
+    if (job.result.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      ExecJobResult done = job.result.get();
+      completions.push_back(
+          {job.ticket, std::move(done.outcome), std::move(done.report)});
+      it = active_.erase(it);
+      activity = true;
+      continue;
+    }
+    ++it;
+  }
+  return activity;
+}
+
+void LocalExecutor::stop_all() {
+  // Stop stragglers cooperatively, then block for their (partial) results —
+  // still exactly one completion per started job, delivered by next pump().
+  for (Active& job : active_) job.cancel.request_stop();
+  for (Active& job : active_) {
+    ExecJobResult done = job.result.get();
+    done_.push_back(
+        {job.ticket, std::move(done.outcome), std::move(done.report)});
+  }
+  active_.clear();
+}
+
+}  // namespace mpe::server

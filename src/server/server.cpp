@@ -1,197 +1,22 @@
 #include "server/server.hpp"
 
-#include <algorithm>
-#include <future>
 #include <map>
 #include <memory>
-#include <sstream>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "dist/transport.hpp"
-#include "maxpower/engine.hpp"
-#include "maxpower/run_report.hpp"
-#include "maxpower/stopping.hpp"
-#include "maxpower/tail_fitter.hpp"
-#include "sim/cpu_dispatch.hpp"
-#include "sim/power_eval.hpp"
+#include "server/executor.hpp"
+#include "server/fleet_executor.hpp"
+#include "server/local_executor.hpp"
 #include "util/metrics.hpp"
-#include "util/thread_pool.hpp"
-#include "util/trace.hpp"
-#include "vectors/generators.hpp"
-#include "vectors/population.hpp"
 
 namespace mpe::server {
 
 namespace {
 
 using Clock = ServerCore::Clock;
-
-/// Everything one job's population stands on. The CachedCircuit shared_ptr
-/// is load-bearing: the evaluator holds a reference into its netlist, so
-/// the entry must stay alive for the whole run even if the cache evicts it.
-struct JobExec {
-  std::shared_ptr<const CachedCircuit> circuit;
-  std::unique_ptr<sim::CyclePowerEvaluator> evaluator;
-  std::unique_ptr<vec::PairGenerator> pairs;
-  std::unique_ptr<vec::StreamingPopulation> streaming;
-};
-
-/// Mirrors the campaign runner's build_runtime, with the netlist (and the
-/// compiled tape, for zero-delay jobs) coming from the shared cache.
-JobExec build_exec(const maxpower::CampaignJob& job, CircuitCache& cache) {
-  JobExec e;
-  e.circuit = cache.lookup(job);
-  sim::PowerEvalOptions eval_opt;
-  if (job.delay == "zero") {
-    eval_opt.delay_model = sim::DelayModel::kZero;
-  } else if (job.delay == "unit") {
-    eval_opt.delay_model = sim::DelayModel::kUnit;
-  }
-  e.evaluator = std::make_unique<sim::CyclePowerEvaluator>(
-      e.circuit->netlist(), eval_opt);
-  if (job.activity >= 0.0) {
-    e.pairs = std::make_unique<vec::HighActivityPairGenerator>(
-        e.circuit->netlist().num_inputs(), job.activity);
-  } else {
-    e.pairs = std::make_unique<vec::TransitionProbPairGenerator>(
-        e.circuit->netlist().num_inputs(), job.tprob);
-  }
-  e.streaming =
-      std::make_unique<vec::StreamingPopulation>(*e.pairs, *e.evaluator);
-  if (eval_opt.delay_model == sim::DelayModel::kZero) {
-    // Adopt the cache's shared tape when a wide kernel exists (compiling it
-    // lazily, once per cached circuit); otherwise the 64-lane interpreter.
-    bool compiled = false;
-    if (sim::kernel_available(sim::best_kernel())) {
-      compiled =
-          e.streaming->enable_compiled_with(e.circuit->program(eval_opt.tech));
-    }
-    if (!compiled) e.streaming->enable_bit_parallel();
-  }
-  return e;
-}
-
-/// Same terminal-code mapping as the campaign runner's classify_result.
-ErrorCode classify_result(const maxpower::EstimationResult& r) {
-  switch (r.stop_reason) {
-    case maxpower::StopReason::kConverged:
-      return ErrorCode::kOk;
-    case maxpower::StopReason::kDeadlineExceeded:
-      return ErrorCode::kDeadline;
-    case maxpower::StopReason::kCancelled:
-      return ErrorCode::kCancelled;
-    case maxpower::StopReason::kDataFault: {
-      const auto& records = r.diagnostics.records;
-      for (auto it = records.rbegin(); it != records.rend(); ++it) {
-        if (it->code != ErrorCode::kOk) return it->code;
-      }
-      return ErrorCode::kBadData;
-    }
-    case maxpower::StopReason::kMaxHyperSamples:
-    default:
-      return ErrorCode::kNonConvergence;
-  }
-}
-
-struct ExecResult {
-  maxpower::CampaignJobOutcome outcome;
-  std::string report;
-};
-
-/// Runs one granted job to a terminal outcome (never throws). The engine
-/// construction duplicates run_campaign_job field for field — that mirror
-/// is what makes server results byte-identical to batch runs.
-ExecResult execute_job(const ServerCore::Started& started,
-                       util::Tracer* tracer, CircuitCache& cache,
-                       const std::string& state_dir) {
-  ExecResult out;
-  out.outcome.name = started.job.name;
-  out.outcome.attempts = 1;
-
-  maxpower::EstimatorOptions est;
-  est.epsilon = started.job.epsilon;
-  est.confidence = started.job.confidence;
-  est.max_hyper_samples = started.job.max_hyper_samples;
-  est.control.cancel = started.cancel;
-  if (started.deadline != Clock::time_point::max()) {
-    est.control.deadline = util::Deadline::at(started.deadline);
-  }
-  if (!state_dir.empty()) {
-    est.checkpoint_path = state_dir + "/" + started.job.name + ".ckpt";
-  }
-  if (!started.job.stop.empty()) {
-    est.interval = *maxpower::interval_kind_from_name(started.job.stop);
-  }
-  est.tracer = tracer;
-
-  maxpower::EngineConfig cfg;
-  if (!started.job.fitter.empty()) {
-    // "mle" stays on the default (null) fitter so an explicit request for
-    // the default does not perturb the checkpoint fingerprint.
-    const maxpower::TailFitterKind kind =
-        *maxpower::tail_fitter_kind_from_name(started.job.fitter);
-    if (kind != maxpower::TailFitterKind::kWeibullMle) {
-      cfg.fitter = maxpower::make_tail_fitter(kind);
-    }
-  }
-  cfg.options = est;
-  const maxpower::Engine engine(cfg);
-  maxpower::ParallelOptions par;
-  par.threads = started.threads;
-
-  JobExec exec;
-  try {
-    exec = build_exec(started.job, cache);
-  } catch (const Error& e) {
-    out.outcome.status = maxpower::JobStatus::kFailed;
-    out.outcome.error = e.code();
-    return out;
-  } catch (const std::exception&) {
-    out.outcome.status = maxpower::JobStatus::kFailed;
-    out.outcome.error = ErrorCode::kInternal;
-    return out;
-  }
-
-  maxpower::EstimationResult result;
-  try {
-    result = engine.run(*exec.streaming, started.job.seed, par);
-  } catch (const Error& e) {
-    out.outcome.status = maxpower::JobStatus::kFailed;
-    out.outcome.error = e.code();
-    return out;
-  } catch (const std::exception&) {
-    out.outcome.status = maxpower::JobStatus::kFailed;
-    out.outcome.error = ErrorCode::kInternal;
-    return out;
-  }
-
-  const ErrorCode code = classify_result(result);
-  if (code == ErrorCode::kOk) {
-    out.outcome.status = maxpower::JobStatus::kDone;
-  } else if (code == ErrorCode::kCancelled || code == ErrorCode::kDeadline) {
-    out.outcome.status = maxpower::JobStatus::kStopped;
-    out.outcome.error = code;
-  } else {
-    out.outcome.status = maxpower::JobStatus::kFailed;
-    out.outcome.error = code;
-  }
-  const std::string population = exec.streaming->description();
-  out.outcome.result = std::move(result);
-
-  std::ostringstream report;
-  try {
-    maxpower::RunReportOptions ro;
-    ro.tracer = tracer;
-    ro.population = population;
-    write_run_report(report, out.outcome.result, est, ro);
-    out.report = std::move(report).str();
-  } catch (const std::exception&) {
-    out.report.clear();  // a broken report never fails the job itself
-  }
-  return out;
-}
 
 struct ServerMetrics {
   util::Counter connections = util::MetricRegistry::global().counter(
@@ -229,18 +54,32 @@ void publish_delta(const ServerStats& prev, const ServerStats& cur) {
 struct Server::Impl {
   std::unique_ptr<dist::UnixListener> unix_listener;
   std::unique_ptr<dist::TcpListener> tcp_listener;
+  /// Worker-facing listeners (fleet mode): campaign workers dial these.
+  std::unique_ptr<dist::UnixListener> worker_unix;
+  std::unique_ptr<dist::TcpListener> worker_tcp;
 };
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       cache_(options_.cache_capacity),
       impl_(new Impl) {
-  if (options_.unix_socket.empty() && !options_.tcp) {
-    delete impl_;
-    throw Error(ErrorCode::kUsage,
-                "server needs a unix socket path or a tcp port");
-  }
   try {
+    if (options_.unix_socket.empty() && !options_.tcp) {
+      throw Error(ErrorCode::kUsage,
+                  "server needs a unix socket path or a tcp port");
+    }
+    if (options_.fleet.enabled) {
+      if (options_.state_dir.empty()) {
+        throw Error(ErrorCode::kUsage,
+                    "fleet mode needs --state-dir (the fleet ledger lives "
+                    "under it)");
+      }
+      if (options_.fleet.worker_socket.empty() &&
+          !options_.fleet.worker_tcp) {
+        throw Error(ErrorCode::kUsage,
+                    "fleet mode needs a worker socket path or tcp port");
+      }
+    }
     if (!options_.unix_socket.empty()) {
       impl_->unix_listener =
           std::make_unique<dist::UnixListener>(options_.unix_socket);
@@ -248,6 +87,16 @@ Server::Server(ServerOptions options)
     if (options_.tcp) {
       impl_->tcp_listener = std::make_unique<dist::TcpListener>(
           options_.tcp_port, options_.tcp_host);
+    }
+    if (options_.fleet.enabled) {
+      if (!options_.fleet.worker_socket.empty()) {
+        impl_->worker_unix =
+            std::make_unique<dist::UnixListener>(options_.fleet.worker_socket);
+      }
+      if (options_.fleet.worker_tcp) {
+        impl_->worker_tcp = std::make_unique<dist::TcpListener>(
+            options_.fleet.worker_tcp_port, options_.fleet.worker_tcp_host);
+      }
     }
   } catch (...) {
     delete impl_;
@@ -261,6 +110,10 @@ std::uint16_t Server::tcp_port() const {
   return impl_->tcp_listener != nullptr ? impl_->tcp_listener->port() : 0;
 }
 
+std::uint16_t Server::worker_tcp_port() const {
+  return impl_->worker_tcp != nullptr ? impl_->worker_tcp->port() : 0;
+}
+
 ServerReport Server::serve() {
   ServerConfig scheduler = options_.scheduler;
   scheduler.cache = &cache_;
@@ -271,26 +124,33 @@ ServerReport Server::serve() {
     std::unique_ptr<dist::LineChannel> channel;
     bool dead = false;
   };
-  struct Active {
-    std::uint64_t ticket = 0;
+  /// Event/result routing for a started job (the executor keys by ticket).
+  struct Route {
     std::size_t conn = 0;
     std::string id;
-    util::CancellationToken cancel;
-    std::shared_ptr<util::Tracer> tracer;
-    std::uint64_t next_seq = 0;  ///< first trace seq not yet forwarded
-    std::future<ExecResult> result;
   };
 
   std::map<std::size_t, Conn> conns;
-  std::vector<Active> active;
+  std::map<std::uint64_t, Route> routes;
   std::size_t next_conn = 1;
   ServerReport report;
   ServerStats published;  // last stats snapshot pushed to the registry
 
-  // One worker per executor slot: ServerCore already caps concurrent
-  // grants at max_active, so the pool never queues more than that.
-  util::ThreadPool pool(
-      static_cast<unsigned>(std::max<std::size_t>(1, scheduler.max_active)));
+  // The execution seam: jobs run in-process (thread pool) or on the shard
+  // fleet, behind the same interface. ServerCore cannot tell the difference.
+  std::unique_ptr<JobExecutor> executor;
+  {
+    FleetOptions fleet = options_.fleet;
+    if (fleet.enabled) {
+      executor = std::make_unique<FleetExecutor>(
+          cache_, options_.state_dir, fleet, impl_->worker_unix.get(),
+          impl_->worker_tcp.get());
+    } else {
+      executor = std::make_unique<LocalExecutor>(
+          cache_, options_.state_dir, options_.trace_capacity,
+          scheduler.max_active);
+    }
+  }
 
   const auto ship = [&](const std::vector<Outbound>& lines) {
     for (const Outbound& out : lines) {
@@ -314,6 +174,23 @@ ServerReport Server::serve() {
   bool drain_started = false;
   Clock::time_point drain_deadline{};
   const std::chrono::milliseconds no_wait{0};
+  std::vector<ExecEvent> events;
+  std::vector<ExecCompletion> completions;
+
+  const auto deliver = [&](Clock::time_point now) {
+    for (const ExecEvent& ev : events) {
+      const auto it = routes.find(ev.ticket);
+      if (it == routes.end()) continue;
+      ship({{it->second.conn,
+             encode_event(it->second.id, ev.seq, ev.name, ev.fields)}});
+    }
+    for (ExecCompletion& done : completions) {
+      ship(core.complete(done.ticket, done.outcome, done.report, now));
+      routes.erase(done.ticket);
+    }
+    events.clear();
+    completions.clear();
+  };
 
   while (true) {
     const Clock::time_point now = Clock::now();
@@ -324,6 +201,7 @@ ServerReport Server::serve() {
       drain_started = true;
       drain_deadline = now + options_.drain_grace;
       ship(core.begin_drain(now));
+      executor->drain();
       activity = true;
     }
 
@@ -376,47 +254,14 @@ ServerReport Server::serve() {
     // Start granted jobs.
     while (auto started = core.next_job(now)) {
       activity = true;
-      Active job;
-      job.ticket = started->ticket;
-      job.conn = started->conn;
-      job.id = started->job.name;
-      job.cancel = started->cancel;
-      if (options_.trace_capacity > 0) {
-        job.tracer = std::make_shared<util::Tracer>(options_.trace_capacity);
-      }
-      ServerCore::Started spec = std::move(*started);
-      auto tracer = job.tracer;
-      CircuitCache* cache = &cache_;
-      std::string state_dir = options_.state_dir;
-      job.result = pool.submit([spec = std::move(spec), tracer, cache,
-                                state_dir = std::move(state_dir)]() {
-        return execute_job(spec, tracer.get(), *cache, state_dir);
-      });
-      active.push_back(std::move(job));
+      routes.emplace(started->ticket,
+                     Route{started->conn, started->job.name});
+      executor->start(std::move(*started));
     }
 
-    // Stream fresh trace events; collect finished jobs.
-    for (auto it = active.begin(); it != active.end();) {
-      Active& job = *it;
-      if (job.tracer != nullptr) {
-        for (const util::TraceEvent& ev : job.tracer->events()) {
-          if (ev.seq < job.next_seq) continue;
-          ship({{job.conn,
-                 encode_event(job.id, ev.seq, ev.name, ev.fields)}});
-          job.next_seq = ev.seq + 1;
-          activity = true;
-        }
-      }
-      if (job.result.wait_for(std::chrono::seconds(0)) ==
-          std::future_status::ready) {
-        const ExecResult done = job.result.get();
-        ship(core.complete(job.ticket, done.outcome, done.report, now));
-        it = active.erase(it);
-        activity = true;
-        continue;
-      }
-      ++it;
-    }
+    // Advance execution; stream fresh trace events, report finished jobs.
+    if (executor->pump(now, events, completions)) activity = true;
+    deliver(now);
 
     // Reap dead connections after replies had their chance to ship.
     for (auto it = conns.begin(); it != conns.end();) {
@@ -436,20 +281,16 @@ ServerReport Server::serve() {
     }
 
     if (drain_started) {
-      if (active.empty() && core.idle()) {
+      if (executor->idle() && core.idle()) {
         report.drained = true;
         break;
       }
       if (now >= drain_deadline) {
         // Grace expired: stop stragglers cooperatively and report whatever
         // they produced — still exactly one result per accepted job.
-        for (Active& job : active) job.cancel.request_stop();
-        for (Active& job : active) {
-          const ExecResult done = job.result.get();
-          ship(core.complete(job.ticket, done.outcome, done.report,
-                             Clock::now()));
-        }
-        active.clear();
+        executor->stop_all();
+        executor->pump(Clock::now(), events, completions);
+        deliver(Clock::now());
         break;
       }
     }

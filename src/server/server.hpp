@@ -33,6 +33,32 @@
 
 namespace mpe::server {
 
+/// Fleet execution (`serve --fleet`): submitted jobs are carved into shard
+/// leases by an embedded persistent coordinator and computed by
+/// campaign-worker processes dialing the worker-facing listener(s); the
+/// assembled results are byte-identical to local execution. Knobs mirror
+/// the distributed-campaign coordinator's (see dist/coordinator.hpp).
+struct FleetOptions {
+  bool enabled = false;
+  /// Worker-facing listeners: a Unix socket path and/or a TCP port (0 asks
+  /// the kernel; read it back via Server::worker_tcp_port()). At least one
+  /// is required when enabled.
+  std::string worker_socket;
+  bool worker_tcp = false;
+  std::uint16_t worker_tcp_port = 0;
+  std::string worker_tcp_host = "127.0.0.1";
+  /// Shard-lease duration; workers heartbeat well within it.
+  std::chrono::milliseconds lease{5000};
+  /// Lease grants per shard before the job is recorded failed.
+  std::size_t max_assignments = 5;
+  /// Fixed shard size; 0 = adaptive (per-shard-latency EWMA, the default).
+  std::size_t shard_size = 0;
+  std::size_t shard_size_floor = 16;
+  std::size_t shard_size_ceiling = 4096;
+  std::chrono::milliseconds shard_target_latency{2000};
+  std::chrono::milliseconds straggler_after{0};  ///< 0 = twice the lease
+};
+
 struct ServerOptions {
   /// Unix-domain socket path; bound when non-empty.
   std::string unix_socket;
@@ -60,6 +86,9 @@ struct ServerOptions {
   /// Trace each job and stream its events to the submitter (0 disables;
   /// otherwise the per-job tracer ring capacity).
   std::size_t trace_capacity = 256;
+  /// Fleet execution; when enabled, state_dir must be set (the fleet
+  /// ledger lives under <state_dir>/fleet).
+  FleetOptions fleet;
 };
 
 /// What one serve() invocation did (logged by the CLI on exit).
@@ -81,6 +110,9 @@ class Server {
   /// The bound TCP port (the kernel's pick when options asked for 0), or 0
   /// when no TCP listener was requested.
   std::uint16_t tcp_port() const;
+
+  /// The bound worker-facing TCP port (fleet mode), or 0 when none.
+  std::uint16_t worker_tcp_port() const;
 
   /// Runs the serving loop until the control trips and the drain finishes.
   ServerReport serve();

@@ -38,29 +38,25 @@ std::string render_metrics_text(const util::MetricsSnapshot& snapshot) {
   return out;
 }
 
-ServerCore::ServerCore(ServerConfig config) : config_(std::move(config)) {
+ServerCore::ServerCore(ServerConfig config)
+    : config_(std::move(config)),
+      queue_({.max_queued_per_client = config_.max_queued_per_client,
+              .max_queued_total = config_.max_queued_total}) {
   if (config_.max_active == 0) config_.max_active = 1;
-  if (config_.max_queued_per_client == 0) config_.max_queued_per_client = 1;
-  if (config_.max_queued_total == 0) config_.max_queued_total = 1;
+  config_.max_queued_per_client = queue_.limits().max_queued_per_client;
+  config_.max_queued_total = queue_.limits().max_queued_total;
 }
 
 void ServerCore::connect(std::size_t conn, Clock::time_point /*now*/) {
   clients_.emplace(conn, Client{});
-  rr_.push_back(conn);
+  queue_.add_client(conn);
 }
 
 void ServerCore::disconnect(std::size_t conn, Clock::time_point /*now*/) {
   const auto it = clients_.find(conn);
   if (it == clients_.end()) return;
-  queued_total_ -= it->second.queue.size();
   clients_.erase(it);
-  if (const auto pos = std::find(rr_.begin(), rr_.end(), conn);
-      pos != rr_.end()) {
-    const auto idx = static_cast<std::size_t>(pos - rr_.begin());
-    rr_.erase(pos);
-    if (rr_next_ > idx) --rr_next_;
-    if (!rr_.empty()) rr_next_ %= rr_.size();
-  }
+  queue_.remove_client(conn);  // queued jobs die with their reader
   // Running jobs of this connection become orphans: stop them early (their
   // result has no reader) and drop the result when complete() arrives.
   for (Job& job : running_) {
@@ -78,10 +74,11 @@ Outbound ServerCore::stopped_result(const Job& job, ErrorCode code) {
   return Outbound{job.conn, encode_result(job.id, outcome, "")};
 }
 
-bool ServerCore::has_active_id(const Client& client, std::size_t conn,
-                               const std::string& id) const {
-  for (const Job& job : client.queue) {
-    if (job.id == id) return true;
+bool ServerCore::has_active_id(std::size_t conn, const std::string& id) const {
+  if (const auto* queued = queue_.queue(conn)) {
+    for (const Job& job : *queued) {
+      if (job.id == id) return true;
+    }
   }
   for (const Job& job : running_) {
     if (job.conn == conn && job.id == id && !job.orphaned) return true;
@@ -90,7 +87,7 @@ bool ServerCore::has_active_id(const Client& client, std::size_t conn,
 }
 
 std::vector<Outbound> ServerCore::handle_submit(std::size_t conn,
-                                                Client& client,
+                                                Client& /*client*/,
                                                 const ServerMessage& msg,
                                                 Clock::time_point now) {
   ++totals_.submits;
@@ -106,7 +103,7 @@ std::vector<Outbound> ServerCore::handle_submit(std::size_t conn,
     return reject(ErrorCode::kBadData,
                   "invalid job id (want [A-Za-z0-9._-]{1,128})");
   }
-  if (has_active_id(client, conn, msg.id)) {
+  if (has_active_id(conn, msg.id)) {
     return reject(ErrorCode::kBadData, "duplicate active job id");
   }
   maxpower::CampaignJob spec;
@@ -115,8 +112,7 @@ std::vector<Outbound> ServerCore::handle_submit(std::size_t conn,
   } catch (const Error& e) {
     return reject(e.code(), e.what());
   }
-  if (client.queue.size() >= config_.max_queued_per_client ||
-      queued_total_ >= config_.max_queued_total) {
+  if (queue_.full(conn)) {
     return reject(ErrorCode::kResourceExhausted,
                   "job queue full; retry later");
   }
@@ -128,15 +124,11 @@ std::vector<Outbound> ServerCore::handle_submit(std::size_t conn,
   job.spec = std::move(spec);
   job.spec.name = msg.id;  // the request id IS the job id everywhere
   job.cancel = util::CancellationToken::create();
-  std::chrono::milliseconds budget{msg.deadline_ms};
-  if (budget.count() == 0) budget = config_.default_deadline;
-  if (config_.max_deadline.count() > 0 &&
-      (budget.count() == 0 || budget > config_.max_deadline)) {
-    budget = config_.max_deadline;
-  }
+  const std::chrono::milliseconds budget = sched::resolve_deadline_budget(
+      std::chrono::milliseconds{msg.deadline_ms}, config_.default_deadline,
+      config_.max_deadline);
   if (budget.count() > 0) job.deadline = now + budget;
-  client.queue.push_back(std::move(job));
-  ++queued_total_;
+  queue_.enqueue(conn, std::move(job));
   ++totals_.accepted;
   return {{conn, encode_accepted(msg.id)}};
 }
@@ -167,12 +159,9 @@ std::vector<Outbound> ServerCore::handle(std::size_t conn,
     }
     case ServerMessageKind::kCancel: {
       // Idempotent: cancelling an unknown/finished job still acks.
-      for (auto job = client.queue.begin(); job != client.queue.end();
-           ++job) {
-        if (job->id != msg.id) continue;
+      if (auto job = queue_.remove_one(
+              conn, [&](const Job& j) { return j.id == msg.id; })) {
         Outbound result = stopped_result(*job, ErrorCode::kCancelled);
-        client.queue.erase(job);
-        --queued_total_;
         ++totals_.stopped;
         return {std::move(result), {conn, encode_ack(msg.id)}};
       }
@@ -200,33 +189,21 @@ std::vector<Outbound> ServerCore::handle(std::size_t conn,
 
 std::optional<ServerCore::Started> ServerCore::next_job(
     Clock::time_point /*now*/) {
-  if (running_.size() >= config_.max_active || queued_total_ == 0 ||
-      rr_.empty()) {
-    return std::nullopt;
-  }
-  // Fair round-robin: scan from the cursor, grant the first connection with
-  // queued work, and park the cursor just past it so the next grant starts
-  // with the following connection.
-  for (std::size_t step = 0; step < rr_.size(); ++step) {
-    const std::size_t slot = (rr_next_ + step) % rr_.size();
-    const auto it = clients_.find(rr_[slot]);
-    if (it == clients_.end() || it->second.queue.empty()) continue;
-    Job job = std::move(it->second.queue.front());
-    it->second.queue.pop_front();
-    --queued_total_;
-    rr_next_ = (slot + 1) % rr_.size();
-    Started started;
-    started.ticket = job.ticket;
-    started.conn = job.conn;
-    started.job = job.spec;
-    started.cancel = job.cancel;
-    started.deadline = job.deadline;
-    started.threads = config_.threads_per_job == 0 ? 1u
-                                                   : config_.threads_per_job;
-    running_.push_back(std::move(job));
-    return started;
-  }
-  return std::nullopt;
+  if (running_.size() >= config_.max_active) return std::nullopt;
+  // The admission queue grants fairly: scan from its cursor, take the head
+  // of the first non-empty client FIFO, park the cursor just past it.
+  auto job = queue_.next();
+  if (!job) return std::nullopt;
+  Started started;
+  started.ticket = job->ticket;
+  started.conn = job->conn;
+  started.job = job->spec;
+  started.cancel = job->cancel;
+  started.deadline = job->deadline;
+  started.threads = config_.threads_per_job == 0 ? 1u
+                                                 : config_.threads_per_job;
+  running_.push_back(std::move(*job));
+  return started;
 }
 
 std::vector<Outbound> ServerCore::complete(
@@ -259,17 +236,12 @@ std::vector<Outbound> ServerCore::complete(
 
 std::vector<Outbound> ServerCore::tick(Clock::time_point now) {
   std::vector<Outbound> out;
-  for (auto& [conn, client] : clients_) {
-    for (auto it = client.queue.begin(); it != client.queue.end();) {
-      if (it->deadline > now) {
-        ++it;
-        continue;
-      }
-      out.push_back(stopped_result(*it, ErrorCode::kDeadline));
-      it = client.queue.erase(it);
-      --queued_total_;
-      ++totals_.stopped;
-    }
+  // Queued jobs past their deadline are answered now (client-id order,
+  // FIFO within — the sweep's deterministic order).
+  for (const Job& job :
+       queue_.sweep([&](const Job& j) { return j.deadline <= now; })) {
+    out.push_back(stopped_result(job, ErrorCode::kDeadline));
+    ++totals_.stopped;
   }
   for (Job& job : running_) {
     if (job.deadline_hit || job.deadline > now) continue;
@@ -284,12 +256,10 @@ std::vector<Outbound> ServerCore::begin_drain(Clock::time_point /*now*/) {
   if (draining_) return out;
   draining_ = true;
   for (auto& [conn, client] : clients_) {
-    for (Job& job : client.queue) {
+    for (const Job& job : queue_.flush_client(conn)) {
       out.push_back(stopped_result(job, ErrorCode::kCancelled));
       ++totals_.stopped;
     }
-    queued_total_ -= client.queue.size();
-    client.queue.clear();
     out.push_back({conn, encode_drain()});
   }
   return out;
@@ -297,7 +267,7 @@ std::vector<Outbound> ServerCore::begin_drain(Clock::time_point /*now*/) {
 
 ServerStats ServerCore::stats() const {
   ServerStats s = totals_;
-  s.queued = queued_total_;
+  s.queued = queue_.queued_total();
   s.running = running_.size();
   s.clients = 0;
   for (const auto& [conn, client] : clients_) {
@@ -317,8 +287,8 @@ ServerStats ServerCore::stats() const {
 
 std::optional<ServerJobPhase> ServerCore::phase(std::size_t conn,
                                                 const std::string& id) const {
-  if (const auto it = clients_.find(conn); it != clients_.end()) {
-    for (const Job& job : it->second.queue) {
+  if (const auto* queued = queue_.queue(conn)) {
+    for (const Job& job : *queued) {
       if (job.id == id) return ServerJobPhase::kQueued;
     }
   }

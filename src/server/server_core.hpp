@@ -10,7 +10,9 @@
 // admission/fairness/deadline/drain logic unit-testable with a synthetic
 // clock — no sockets, no sleeps, no flakes (tests/test_server_core.cpp).
 //
-// Scheduling model:
+// Scheduling model (the queue/fairness mechanics live in the shared
+// substrate, sched/admission.hpp; ServerCore is the protocol policy on
+// top):
 //   * Per-connection FIFO queues, bounded by max_queued_per_client and
 //     max_queued_total. A full queue REJECTS with kResourceExhausted
 //     (backpressure) — memory never grows with offered load.
@@ -30,13 +32,13 @@
 
 #include <chrono>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "maxpower/campaign.hpp"
+#include "sched/admission.hpp"
 #include "server/circuit_cache.hpp"
 #include "server/server_protocol.hpp"
 #include "util/deadline.hpp"
@@ -124,7 +126,7 @@ class ServerCore {
   bool draining() const { return draining_; }
 
   /// True when no job is queued or running.
-  bool idle() const { return running_.empty() && queued_total_ == 0; }
+  bool idle() const { return running_.empty() && queue_.queued_total() == 0; }
 
   /// Counters for the server-stats reply (cache/capacity from config).
   ServerStats stats() const;
@@ -132,7 +134,7 @@ class ServerCore {
   // -- test / observability hooks -------------------------------------------
   std::optional<ServerJobPhase> phase(std::size_t conn,
                                       const std::string& id) const;
-  std::size_t queued_count() const { return queued_total_; }
+  std::size_t queued_count() const { return queue_.queued_total(); }
   std::size_t running_count() const { return running_.size(); }
 
  private:
@@ -151,11 +153,9 @@ class ServerCore {
   struct Client {
     bool hello = false;
     std::string name;
-    std::deque<Job> queue;
   };
 
-  bool has_active_id(const Client& client, std::size_t conn,
-                     const std::string& id) const;
+  bool has_active_id(std::size_t conn, const std::string& id) const;
   std::vector<Outbound> handle_submit(std::size_t conn, Client& client,
                                       const ServerMessage& msg,
                                       Clock::time_point now);
@@ -165,11 +165,10 @@ class ServerCore {
 
   ServerConfig config_;
   std::map<std::size_t, Client> clients_;
+  /// Queued jobs: bounded per-client FIFOs + the fair round-robin ring,
+  /// from the shared scheduling substrate.
+  sched::AdmissionQueue<Job> queue_;
   std::vector<Job> running_;
-  /// Round-robin ring: connection ids in connect order.
-  std::vector<std::size_t> rr_;
-  std::size_t rr_next_ = 0;
-  std::size_t queued_total_ = 0;
   std::uint64_t next_ticket_ = 1;
   bool draining_ = false;
   ServerStats totals_;  ///< queued/running/clients/cache filled in stats()

@@ -1,84 +1,23 @@
 #include "server/server_protocol.hpp"
 
-#include <cmath>
-
 #include "util/jsonl.hpp"
+#include "util/wire.hpp"
 
 namespace mpe::server {
 
 namespace {
 
+namespace wire = util::wire;
+
 util::JsonFields header(ServerMessageKind kind) {
-  util::JsonFields f;
-  f.add("schema", "mpe.server");
-  f.add("v", kServerProtocolVersion);
-  f.add("type", to_string(kind));
-  return f;
+  return wire::header("mpe.server", kServerProtocolVersion, to_string(kind));
 }
 
-std::string required_string(const util::JsonValue& v, std::string_view key,
-                            std::size_t max_bytes) {
-  const util::JsonValue* field = v.find(key);
-  if (field == nullptr || !field->is_string()) {
-    throw Error(ErrorCode::kBadData, "message field missing or not a string",
-                ErrorContext{}.kv("field", key).str());
-  }
-  std::string out = field->as_string();
-  if (out.size() > max_bytes) {
-    throw Error(ErrorCode::kBadData, "message field too large",
-                ErrorContext{}.kv("field", key)
-                    .kv("bytes", static_cast<std::uint64_t>(out.size()))
-                    .kv("max", static_cast<std::uint64_t>(max_bytes))
-                    .str());
-  }
-  return out;
-}
-
-std::string optional_string(const util::JsonValue& v, std::string_view key,
-                            std::size_t max_bytes) {
-  const util::JsonValue* field = v.find(key);
-  if (field == nullptr) return {};
-  if (!field->is_string()) {
-    throw Error(ErrorCode::kBadData, "message field must be a string",
-                ErrorContext{}.kv("field", key).str());
-  }
-  std::string out = field->as_string();
-  if (out.size() > max_bytes) {
-    throw Error(ErrorCode::kBadData, "message field too large",
-                ErrorContext{}.kv("field", key).str());
-  }
-  return out;
-}
-
+// The client-facing protocol rejects negative/non-finite numerics before
+// the u64 cast (a hostile -1 must not wrap).
 std::uint64_t number_or(const util::JsonValue& v, std::string_view key,
                         std::uint64_t fallback) {
-  const util::JsonValue* field = v.find(key);
-  if (field == nullptr) return fallback;
-  if (!field->is_number()) {
-    throw Error(ErrorCode::kBadData, "message field must be a number",
-                ErrorContext{}.kv("field", key).str());
-  }
-  const double raw = field->as_number();
-  if (!std::isfinite(raw) || raw < 0.0) {
-    throw Error(ErrorCode::kBadData,
-                "message field must be a non-negative finite number",
-                ErrorContext{}.kv("field", key).str());
-  }
-  return static_cast<std::uint64_t>(raw);
-}
-
-double finite_number(const util::JsonValue& v, std::string_view key) {
-  const util::JsonValue* field = v.find(key);
-  if (field == nullptr || !field->is_number()) {
-    throw Error(ErrorCode::kBadData, "message field missing or not a number",
-                ErrorContext{}.kv("field", key).str());
-  }
-  const double raw = field->as_number();
-  if (!std::isfinite(raw)) {
-    throw Error(ErrorCode::kBadData, "message field must be finite",
-                ErrorContext{}.kv("field", key).str());
-  }
-  return raw;
+  return wire::nonneg_number_or(v, key, fallback);
 }
 
 }  // namespace
@@ -228,38 +167,25 @@ std::string encode_error(std::string_view detail) {
 }
 
 ServerMessage decode_server_message(std::string_view line) {
-  util::JsonValue v;
-  try {
-    v = util::parse_json(line);
-  } catch (const Error& e) {
-    throw Error(ErrorCode::kParse, "malformed server message",
-                ErrorContext{}.kv("detail", e.message()).str());
-  }
-  if (!v.is_object()) {
-    throw Error(ErrorCode::kBadData, "server message is not a JSON object");
-  }
-  const std::string type = required_string(v, "type", 64);
-  ServerMessage msg;
-  bool known = false;
-  for (int k = 0; k <= static_cast<int>(ServerMessageKind::kError); ++k) {
-    if (type == to_string(static_cast<ServerMessageKind>(k))) {
-      msg.kind = static_cast<ServerMessageKind>(k);
-      known = true;
-      break;
-    }
-  }
-  if (!known) {
+  const util::JsonValue v = wire::parse_frame(line, "server message");
+  const std::string type = wire::required_string(v, "type", 64);
+  const auto kind = wire::kind_from_name(
+      type, ServerMessageKind::kError,
+      [](ServerMessageKind k) { return to_string(k); });
+  if (!kind) {
     throw Error(ErrorCode::kBadData, "unknown server message type",
                 ErrorContext{}.kv("type", type).str());
   }
+  ServerMessage msg;
+  msg.kind = *kind;
   switch (msg.kind) {
     case ServerMessageKind::kHello:
-      msg.client = required_string(v, "client", kMaxIdBytes);
+      msg.client = wire::required_string(v, "client", kMaxIdBytes);
       msg.proto = number_or(v, "proto", 0);
       break;
     case ServerMessageKind::kSubmit:
-      msg.id = required_string(v, "id", kMaxIdBytes);
-      msg.spec = required_string(v, "spec", kMaxSpecBytes);
+      msg.id = wire::required_string(v, "id", kMaxIdBytes);
+      msg.spec = wire::required_string(v, "spec", kMaxSpecBytes);
       msg.deadline_ms = number_or(v, "deadline_ms", 0);
       if (msg.deadline_ms > kMaxDeadlineMs) {
         throw Error(ErrorCode::kBadData, "deadline_ms out of range",
@@ -271,7 +197,7 @@ ServerMessage decode_server_message(std::string_view line) {
     case ServerMessageKind::kCancel:
     case ServerMessageKind::kAccepted:
     case ServerMessageKind::kAck:
-      msg.id = required_string(v, "id", kMaxIdBytes);
+      msg.id = wire::required_string(v, "id", kMaxIdBytes);
       break;
     case ServerMessageKind::kScrape:
     case ServerMessageKind::kStats:
@@ -281,19 +207,20 @@ ServerMessage decode_server_message(std::string_view line) {
       msg.proto = number_or(v, "proto", 0);
       break;
     case ServerMessageKind::kRejected:
-      msg.id = required_string(v, "id", kMaxIdBytes);
-      msg.code = error_code_from_string(required_string(v, "code", 64));
-      msg.detail = optional_string(v, "detail", 4096);
+      msg.id = wire::required_string(v, "id", kMaxIdBytes);
+      msg.code =
+          error_code_from_string(wire::required_string(v, "code", 64));
+      msg.detail = wire::optional_string(v, "detail", 4096);
       break;
     case ServerMessageKind::kEvent:
-      msg.id = required_string(v, "id", kMaxIdBytes);
+      msg.id = wire::required_string(v, "id", kMaxIdBytes);
       msg.seq = number_or(v, "seq", 0);
-      msg.name = required_string(v, "name", 256);
-      msg.fields = optional_string(v, "fields", 4096);
+      msg.name = wire::required_string(v, "name", 256);
+      msg.fields = wire::optional_string(v, "fields", 4096);
       break;
     case ServerMessageKind::kResult: {
-      msg.id = required_string(v, "id", kMaxIdBytes);
-      const std::string status = required_string(v, "status", 64);
+      msg.id = wire::required_string(v, "id", kMaxIdBytes);
+      const std::string status = wire::required_string(v, "status", 64);
       const auto parsed = maxpower::job_status_from_name(status);
       if (!parsed) {
         throw Error(ErrorCode::kBadData, "unknown job status in result",
@@ -304,9 +231,9 @@ ServerMessage decode_server_message(std::string_view line) {
         msg.code = error_code_from_string(c->as_string());
       }
       if (msg.status == maxpower::JobStatus::kDone) {
-        msg.estimate = finite_number(v, "estimate");
-        msg.ci_lower = finite_number(v, "ci_lower");
-        msg.ci_upper = finite_number(v, "ci_upper");
+        msg.estimate = wire::finite_number(v, "estimate");
+        msg.ci_lower = wire::finite_number(v, "ci_lower");
+        msg.ci_upper = wire::finite_number(v, "ci_upper");
         msg.hyper_samples = number_or(v, "hyper_samples", 0);
         msg.units = number_or(v, "units", 0);
         if (const auto* c = v.find("converged");
@@ -315,11 +242,11 @@ ServerMessage decode_server_message(std::string_view line) {
         }
       }
       // The report can be a full JSONL run report: bounded, but generous.
-      msg.text = optional_string(v, "report", 4 * kMaxSpecBytes);
+      msg.text = wire::optional_string(v, "report", 4 * kMaxSpecBytes);
       break;
     }
     case ServerMessageKind::kMetrics:
-      msg.text = optional_string(v, "text", 4 * kMaxSpecBytes);
+      msg.text = wire::optional_string(v, "text", 4 * kMaxSpecBytes);
       break;
     case ServerMessageKind::kServerStats:
       msg.stats.submits = number_or(v, "submits", 0);
@@ -336,13 +263,10 @@ ServerMessage decode_server_message(std::string_view line) {
       msg.stats.cache_evictions = number_or(v, "cache_evictions", 0);
       msg.stats.cache_size = number_or(v, "cache_size", 0);
       msg.stats.cache_capacity = number_or(v, "cache_capacity", 0);
-      if (const auto* d = v.find("draining");
-          d != nullptr && d->is_bool()) {
-        msg.stats.draining = d->as_bool();
-      }
+      msg.stats.draining = wire::bool_or(v, "draining", false);
       break;
     case ServerMessageKind::kError:
-      msg.detail = optional_string(v, "detail", 4096);
+      msg.detail = wire::optional_string(v, "detail", 4096);
       break;
   }
   return msg;

@@ -739,6 +739,133 @@ TEST(CoordinatorCore, HelloNegotiatesTheSupportedProtocolRange) {
             md::MessageKind::kError);
 }
 
+// ---------------------- coordinator core: persistent / fleet-executor mode
+
+TEST(CoordinatorCore, PersistentModeWaitsWhenIdleAndAcceptsAddedJobs) {
+  // The fleet executor embeds the coordinator with a dynamic job set: it
+  // starts empty, jobs arrive via add_job, and "nothing to do right now"
+  // must read as wait — drain would send the whole worker fleet home.
+  auto config = two_job_config(fresh_dir("cc_persist"));
+  config.jobs.clear();
+  config.persistent = true;
+  md::CoordinatorCore core(std::move(config));
+  const auto t0 = Clock::now();
+  EXPECT_TRUE(core.finished());  // vacuously: no jobs yet
+  EXPECT_EQ(reply_kind(core.handle(request("w0"), t0)), md::MessageKind::kWait);
+
+  core.add_job(tiny_job("late", 7));
+  const md::Message lease = md::decode_message(core.handle(request("w0"), t0));
+  ASSERT_EQ(lease.kind, md::MessageKind::kLease);
+  EXPECT_EQ(lease.job, "late");
+  EXPECT_EQ(reply_kind(core.handle(done_result("w0", "late", 6.5), t0 + 1s)),
+            md::MessageKind::kAck);
+
+  // Terminal outcomes surface exactly once through take_completions.
+  const auto completions = core.take_completions();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].name, "late");
+  EXPECT_EQ(completions[0].status, mp::JobStatus::kDone);
+  EXPECT_EQ(completions[0].result.estimate, 6.5);
+  EXPECT_TRUE(core.take_completions().empty());
+
+  // Finished again — and still waiting, never draining.
+  EXPECT_EQ(reply_kind(core.handle(request("w1"), t0 + 2s)),
+            md::MessageKind::kWait);
+  EXPECT_THROW(core.add_job(tiny_job("late", 8)), mpe::Error);  // dup name
+}
+
+TEST(CoordinatorCore, AbandonRevokesTheLeaseAndRecordsStopped) {
+  md::CoordinatorCore core(two_job_config(fresh_dir("cc_abandon")));
+  const auto t0 = Clock::now();
+  core.handle(request("w0"), t0);  // w0 runs j1
+  EXPECT_FALSE(core.abandon("nope"));
+  EXPECT_TRUE(core.abandon("j1"));
+  // The holder learns on its next heartbeat that the job is gone.
+  EXPECT_EQ(reply_kind(core.handle(heartbeat("w0", "j1"), t0 + 1s)),
+            md::MessageKind::kRevoke);
+  const auto completions = core.take_completions();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].name, "j1");
+  EXPECT_EQ(completions[0].status, mp::JobStatus::kStopped);
+  EXPECT_EQ(completions[0].error, mpe::ErrorCode::kCancelled);
+  EXPECT_FALSE(core.abandon("j1"));  // already terminal
+  // The grant path moves on to j2.
+  const md::Message next = md::decode_message(core.handle(request("w1"), t0));
+  ASSERT_EQ(next.kind, md::MessageKind::kLease);
+  EXPECT_EQ(next.job, "j2");
+}
+
+TEST(CoordinatorCore, WholeJobFallbackOffKeepsShardedJobsOffTheV1Path) {
+  // Fleet mode: only assembled shard prefixes carry the CI bounds and
+  // diagnostics a server result line needs, so whole-job grants (and
+  // whole-claim adoption) must be refused even to v1 workers.
+  auto config = sharded_config(fresh_dir("cc_nofallback"));
+  config.whole_job_fallback = false;
+  md::CoordinatorCore core(std::move(config));
+  const auto t0 = Clock::now();
+  EXPECT_EQ(reply_kind(core.handle(request("w0"), t0)), md::MessageKind::kWait);
+  EXPECT_EQ(reply_kind(core.handle(heartbeat("w0", "j1"), t0)),
+            md::MessageKind::kRevoke);
+  // v2 workers shard-lease normally.
+  EXPECT_EQ(reply_kind(core.handle(request_v2("w1"), t0)),
+            md::MessageKind::kShardLease);
+}
+
+TEST(CoordinatorCore, AutoShardSizingTracksObservedLatencyWithinBounds) {
+  auto config = two_job_config(fresh_dir("cc_autoshard"));
+  config.jobs = {tiny_job("j1", 3)};
+  config.shard_size = 0;
+  config.shard_auto = true;
+  config.shard_size_floor = 2;
+  config.shard_size_ceiling = 16;
+  config.shard_target_latency = 1000ms;
+  md::CoordinatorCore core(std::move(config));
+  // Before any observation: the floor (small first shards converge the
+  // latency estimate fast).
+  EXPECT_EQ(core.shard_size_now(), 2u);
+
+  const auto t0 = Clock::now();
+  const md::Message l0 = md::decode_message(core.handle(request_v2("w0"), t0));
+  ASSERT_EQ(l0.kind, md::MessageKind::kShardLease);
+  ASSERT_EQ(l0.hi - l0.lo, 2u);  // partitioned at the pre-observation floor
+  // Shard 0 finishes in 200ms -> 100ms/attempt -> target/ewma = 10.
+  ASSERT_EQ(reply_kind(core.handle(
+                shard_done("w0", "j1", 0, l0.lo, l0.hi, /*spread=*/10.0),
+                t0 + 200ms)),
+            md::MessageKind::kAck);
+  EXPECT_EQ(core.shard_size_now(), 10u);
+
+  // A much slower shard drags the EWMA up and the size back down:
+  // 2000ms / 2 attempts = 1000ms/attempt; ewma = 0.2*1000 + 0.8*100 = 280;
+  // 1000/280 -> 3.
+  const auto t1 = t0 + 200ms;
+  const md::Message l1 = md::decode_message(core.handle(request_v2("w0"), t1));
+  ASSERT_EQ(l1.kind, md::MessageKind::kShardLease);
+  ASSERT_EQ(reply_kind(core.handle(
+                shard_done("w0", "j1", l1.shard, l1.lo, l1.hi,
+                           /*spread=*/10.0),
+                t1 + 2000ms)),
+            md::MessageKind::kAck);
+  EXPECT_EQ(core.shard_size_now(), 3u);
+
+  // j1's partition was fixed at creation: its remaining shards still go out
+  // at the original width even though the adaptive size moved.
+  const md::Message frozen =
+      md::decode_message(core.handle(request_v2("w1"), t1 + 2100ms));
+  ASSERT_EQ(frozen.kind, md::MessageKind::kShardLease);
+  EXPECT_EQ(frozen.job, "j1");
+  EXPECT_EQ(frozen.hi - frozen.lo, 2u);
+
+  // A job added NOW is partitioned at the current adaptive size.
+  ASSERT_TRUE(core.abandon("j1"));
+  core.add_job(tiny_job("j2", 4));
+  const md::Message l2 =
+      md::decode_message(core.handle(request_v2("w1"), t1 + 2100ms));
+  ASSERT_EQ(l2.kind, md::MessageKind::kShardLease);
+  EXPECT_EQ(l2.job, "j2");
+  EXPECT_EQ(l2.hi - l2.lo, 3u);
+}
+
 // ------------------------------------------------- end-to-end over a socket
 
 TEST(DistEndToEnd, FleetMergesByteIdenticalToSingleProcessCampaign) {
@@ -855,6 +982,59 @@ TEST(DistEndToEnd, ShardedTcpFleetMergesByteIdenticalToSingleProcess) {
   // The tentpole guarantee, one level deeper than whole-job distribution:
   // which worker computed which wave-index range must not leak into the
   // merged results.
+  EXPECT_EQ(mp::merge_ledger(ledger), golden);
+}
+
+TEST(DistEndToEnd, DisjointWorkerStateDirsStayByteIdentical) {
+  // Cross-host fleets share nothing but the protocol: each worker resolves
+  // its shard checkpoints under its OWN state directory (a path under the
+  // coordinator's dir would silently collide — or worse, not exist — on
+  // another host). The merged ledger must still be byte-identical to a
+  // single-process campaign.
+  const std::string solo_dir = fresh_dir("e2e_disjoint_solo");
+  std::vector<mp::CampaignJob> solo_jobs = {tiny_job("a", 3), tiny_job("b", 4)};
+  mp::CampaignOptions solo_options;
+  solo_options.state_dir = solo_dir;
+  const auto solo = mp::run_campaign(solo_jobs, solo_options);
+  ASSERT_EQ(solo.done, 2u);
+  const std::string golden =
+      mp::merge_ledger(mp::read_ledger_file(solo_dir + "/campaign.jsonl"));
+
+  const std::string coord_dir = fresh_dir("e2e_disjoint_coord");
+  md::CoordinatorConfig config;
+  config.jobs = {tiny_job("a", 3), tiny_job("b", 4)};
+  config.state_dir = coord_dir;
+  config.lease = 2000ms;
+  config.shard_size = 4;
+  md::CoordinatorCore core(std::move(config));
+  md::TcpListener listener(0);
+  md::CoordinatorServerOptions server;
+  mp::CampaignResult dist_result;
+  std::thread coordinator(
+      [&] { dist_result = md::serve_campaign(core, listener, server); });
+
+  auto worker_main = [&](const std::string& id) {
+    md::WorkerConfig worker;
+    worker.tcp_port = listener.port();
+    worker.worker_id = id;
+    worker.state_dir = fresh_dir("e2e_disjoint_" + id);  // per-host dir
+    worker.heartbeat = 100ms;
+    return md::run_worker(worker);
+  };
+  md::WorkerSummary s0, s1;
+  std::thread w0([&] { s0 = worker_main("w0"); });
+  std::thread w1([&] { s1 = worker_main("w1"); });
+  coordinator.join();
+  w0.join();
+  w1.join();
+
+  EXPECT_EQ(dist_result.done, 2u);
+  EXPECT_EQ(dist_result.failed, 0u);
+  EXPECT_TRUE(s0.drained);
+  EXPECT_TRUE(s1.drained);
+  EXPECT_GT(core.shards_done(), 0u);
+  const auto ledger = mp::read_ledger_file(coord_dir + "/campaign.jsonl");
+  EXPECT_TRUE(mp::audit_ledger(ledger).ok());
   EXPECT_EQ(mp::merge_ledger(ledger), golden);
 }
 

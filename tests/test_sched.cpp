@@ -1,0 +1,516 @@
+// Property tests for the shared scheduling substrate (src/sched/): the
+// lease table invariants both control planes rely on — no double-grant to
+// the same holder, the holder cap is never exceeded, adoption is
+// idempotent, budgets are monotonic — and the admission queue's fairness
+// and bookkeeping contracts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sched/admission.hpp"
+#include "sched/lease.hpp"
+#include "util/rng.hpp"
+
+namespace mpe::sched {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr Clock::time_point kT0 = Clock::time_point{} + std::chrono::hours(1);
+
+Clock::time_point at(std::int64_t ms) { return kT0 + milliseconds(ms); }
+
+LeasePolicy exclusive_policy() {
+  LeasePolicy policy;
+  policy.lease = milliseconds(1000);
+  policy.max_assignments = 3;
+  policy.max_holders = 1;
+  policy.reassign.initial_backoff = milliseconds(100);
+  policy.reassign.multiplier = 2.0;
+  policy.reassign.max_backoff = milliseconds(800);
+  policy.reassign.jitter = 0.0;
+  return policy;
+}
+
+LeasePolicy speculative_policy() {
+  LeasePolicy policy = exclusive_policy();
+  policy.max_holders = 2;
+  policy.max_assignments = 6;
+  policy.straggler_after = milliseconds(1500);
+  return policy;
+}
+
+TEST(LeaseTest, GrantMakesHolderAndCountsAssignment) {
+  const LeasePolicy policy = exclusive_policy();
+  Lease lease;
+  EXPECT_TRUE(grantable(lease, kT0));
+  grant(lease, policy, "w1", kT0);
+  EXPECT_EQ(lease.phase, LeasePhase::kLeased);
+  ASSERT_EQ(lease.holders.size(), 1u);
+  EXPECT_EQ(lease.holders[0].id, "w1");
+  EXPECT_EQ(lease.holders[0].expiry, at(1000));
+  EXPECT_EQ(lease.leased_since, kT0);
+  EXPECT_EQ(lease.assignments, 1u);
+  EXPECT_TRUE(holds(lease, "w1"));
+  EXPECT_FALSE(holds(lease, "w2"));
+  EXPECT_FALSE(grantable(lease, at(1)));
+}
+
+TEST(LeaseTest, HeartbeatRenewsKnownHolder) {
+  const LeasePolicy policy = exclusive_policy();
+  Lease lease;
+  grant(lease, policy, "w1", kT0);
+  EXPECT_EQ(heartbeat(lease, policy, "w1", at(400)),
+            HeartbeatVerdict::kRenewed);
+  ASSERT_EQ(lease.holders.size(), 1u);
+  EXPECT_EQ(lease.holders[0].expiry, at(1400));
+  // Renewal is not an assignment: the budget only burns on grants.
+  EXPECT_EQ(lease.assignments, 1u);
+}
+
+TEST(LeaseTest, HeartbeatAdoptionIsIdempotent) {
+  const LeasePolicy policy = exclusive_policy();
+  Lease lease;  // restarted scheduler: pristine table, worker mid-flight
+  EXPECT_EQ(heartbeat(lease, policy, "w1", at(100)),
+            HeartbeatVerdict::kAdopted);
+  EXPECT_EQ(lease.phase, LeasePhase::kLeased);
+  EXPECT_EQ(lease.assignments, 1u);
+  ASSERT_EQ(lease.holders.size(), 1u);
+  // The same worker heartbeating again must renew, never re-adopt: holder
+  // count and assignment budget stay put no matter how often it beats.
+  for (int beat = 0; beat < 5; ++beat) {
+    EXPECT_EQ(heartbeat(lease, policy, "w1", at(200 + beat)),
+              HeartbeatVerdict::kRenewed);
+    EXPECT_EQ(lease.holders.size(), 1u);
+    EXPECT_EQ(lease.assignments, 1u);
+  }
+}
+
+TEST(LeaseTest, HolderCapRejectsExtraClaimants) {
+  const LeasePolicy policy = exclusive_policy();
+  Lease lease;
+  grant(lease, policy, "w1", kT0);
+  // Exclusive lease: a second worker claiming it is stale, not adopted.
+  EXPECT_EQ(heartbeat(lease, policy, "w2", at(100)),
+            HeartbeatVerdict::kRejected);
+  EXPECT_EQ(lease.holders.size(), 1u);
+  EXPECT_FALSE(holds(lease, "w2"));
+}
+
+TEST(LeaseTest, DoneLeaseRejectsEveryHeartbeat) {
+  const LeasePolicy policy = exclusive_policy();
+  Lease lease;
+  grant(lease, policy, "w1", kT0);
+  complete(lease);
+  EXPECT_EQ(lease.phase, LeasePhase::kDone);
+  EXPECT_TRUE(lease.holders.empty());
+  EXPECT_EQ(heartbeat(lease, policy, "w1", at(100)),
+            HeartbeatVerdict::kRejected);
+  EXPECT_EQ(heartbeat(lease, policy, "w2", at(100)),
+            HeartbeatVerdict::kRejected);
+  EXPECT_TRUE(lease.holders.empty());
+}
+
+TEST(LeaseTest, ExpiryReleasesUnderBackoffThenExhausts) {
+  const LeasePolicy policy = exclusive_policy();  // max_assignments = 3
+  Lease lease;
+  Rng jitter(7);
+
+  grant(lease, policy, "w1", kT0);
+  EXPECT_EQ(expire(lease, policy, at(999), jitter), ExpiryVerdict::kNone);
+  EXPECT_EQ(expire(lease, policy, at(1000), jitter),
+            ExpiryVerdict::kReleased);
+  EXPECT_EQ(lease.phase, LeasePhase::kPending);
+  // backoff_delay(attempt=1) = initial * multiplier^0 = 100ms, no jitter.
+  EXPECT_EQ(lease.earliest_grant, at(1100));
+  EXPECT_FALSE(grantable(lease, at(1099)));
+  EXPECT_TRUE(grantable(lease, at(1100)));
+
+  grant(lease, policy, "w2", at(1100));
+  EXPECT_EQ(expire(lease, policy, at(2100), jitter),
+            ExpiryVerdict::kReleased);
+  EXPECT_EQ(lease.earliest_grant, at(2300));  // attempt 2 -> 200ms
+
+  grant(lease, policy, "w3", at(2300));
+  EXPECT_EQ(lease.assignments, 3u);
+  // Third silent holder: the budget is burned; the lease is NOT re-pooled.
+  EXPECT_EQ(expire(lease, policy, at(3300), jitter),
+            ExpiryVerdict::kExhausted);
+  EXPECT_TRUE(lease.holders.empty());
+  EXPECT_EQ(lease.phase, LeasePhase::kLeased);  // owner settles it
+}
+
+TEST(LeaseTest, ExpiryKeepsLiveSpeculativeHolder) {
+  const LeasePolicy policy = speculative_policy();
+  Lease lease;
+  Rng jitter(7);
+  grant(lease, policy, "w1", kT0);
+  grant(lease, policy, "w2", at(500));  // straggler re-issue
+  // w1's claim lapses at t+1000 but w2 is live until t+1500: the lease
+  // stays leased with exactly the surviving holder.
+  EXPECT_EQ(expire(lease, policy, at(1200), jitter), ExpiryVerdict::kNone);
+  ASSERT_EQ(lease.holders.size(), 1u);
+  EXPECT_EQ(lease.holders[0].id, "w2");
+}
+
+TEST(LeaseTest, GracefulReleaseSkipsBackoff) {
+  const LeasePolicy policy = exclusive_policy();
+  Lease lease;
+  Rng jitter(7);
+  grant(lease, policy, "w1", kT0);
+  release(lease, policy, at(300), /*count_backoff=*/false, jitter);
+  EXPECT_EQ(lease.phase, LeasePhase::kPending);
+  EXPECT_TRUE(lease.holders.empty());
+  EXPECT_TRUE(grantable(lease, at(300)));
+  // Budget still counts the spent grant.
+  EXPECT_EQ(lease.assignments, 1u);
+}
+
+TEST(LeaseTest, BackoffJitterDrawsExactlyOnce) {
+  LeasePolicy policy = exclusive_policy();
+  policy.reassign.jitter = 0.1;
+  Lease lease;
+  grant(lease, policy, "w1", kT0);
+
+  Rng jitter(42);
+  Rng probe(42);
+  release(lease, policy, at(1000), /*count_backoff=*/true, jitter);
+  // The decision-sequence contract: a backoff-counted release consumes
+  // exactly one uniform draw when jitter > 0 (and the goldens depend on
+  // it). Advance a probe stream by one draw and require convergence.
+  probe.uniform();
+  EXPECT_EQ(jitter(), probe());
+}
+
+TEST(LeaseTest, StragglerEligibility) {
+  const LeasePolicy policy = speculative_policy();  // straggler_after 1500ms
+  Lease lease;
+  grant(lease, policy, "w1", kT0);
+
+  // Too young.
+  EXPECT_FALSE(straggler_eligible(lease, policy, "w2", at(1499)));
+  // Old enough, idle second worker: eligible.
+  EXPECT_TRUE(straggler_eligible(lease, policy, "w2", at(1500)));
+  // Never races itself.
+  EXPECT_FALSE(straggler_eligible(lease, policy, "w1", at(1500)));
+
+  grant(lease, policy, "w2", at(1500));
+  // Holder cap reached: a third worker is not eligible.
+  EXPECT_FALSE(straggler_eligible(lease, policy, "w3", at(2000)));
+  EXPECT_EQ(lease.holders.size(), 2u);
+}
+
+TEST(LeaseTest, StragglerAfterDefaultsToTwiceLease) {
+  LeasePolicy policy = exclusive_policy();
+  policy.straggler_after = milliseconds(0);
+  EXPECT_EQ(policy.effective_straggler_after(), milliseconds(2000));
+  policy.straggler_after = milliseconds(700);
+  EXPECT_EQ(policy.effective_straggler_after(), milliseconds(700));
+}
+
+TEST(LeaseTest, DropHolderSettlesOneClaim) {
+  const LeasePolicy policy = speculative_policy();
+  Lease lease;
+  grant(lease, policy, "w1", kT0);
+  grant(lease, policy, "w2", at(100));
+  drop_holder(lease, "w1");
+  ASSERT_EQ(lease.holders.size(), 1u);
+  EXPECT_EQ(lease.holders[0].id, "w2");
+  drop_holder(lease, "w1");  // idempotent
+  EXPECT_EQ(lease.holders.size(), 1u);
+}
+
+// Randomized invariant sweep: whatever interleaving of grants, heartbeats,
+// expiries, releases and completions a scheduler produces, the table never
+// double-grants one holder, never exceeds the holder cap, and never counts
+// assignments down.
+TEST(LeaseTest, RandomizedInvariants) {
+  const std::vector<std::string> workers = {"w1", "w2", "w3", "w4"};
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    LeasePolicy policy = exclusive_policy();
+    policy.max_holders = 1 + seed % 3;
+    policy.max_assignments = 4 + seed % 5;
+    policy.reassign.jitter = (seed % 2 == 0) ? 0.1 : 0.0;
+    Rng rng(stream_seed(0xC0FFEE, seed));
+    Rng jitter(stream_seed(0xBACC0FF, seed));
+    Lease lease;
+    std::int64_t now_ms = 0;
+    std::size_t last_assignments = 0;
+    for (int step = 0; step < 400; ++step) {
+      now_ms += static_cast<std::int64_t>(rng.below(400));
+      const Clock::time_point now = at(now_ms);
+      const std::string& worker = workers[rng.below(workers.size())];
+      switch (rng.below(6)) {
+        case 0:
+          if (grantable(lease, now) &&
+              lease.assignments < policy.max_assignments) {
+            grant(lease, policy, worker, now);
+          }
+          break;
+        case 1:
+          heartbeat(lease, policy, worker, now);
+          break;
+        case 2:
+          expire(lease, policy, now, jitter);
+          break;
+        case 3:
+          drop_holder(lease, worker);
+          if (lease.phase == LeasePhase::kLeased && lease.holders.empty()) {
+            release(lease, policy, now, rng.bernoulli(0.5), jitter);
+          }
+          break;
+        case 4:
+          if (lease.phase == LeasePhase::kLeased &&
+              straggler_eligible(lease, policy, worker, now)) {
+            grant(lease, policy, worker, now);
+          }
+          break;
+        case 5:
+          if (rng.bernoulli(0.02)) complete(lease);
+          break;
+      }
+
+      // Invariant: holder ids are unique (no double-grant).
+      std::set<std::string> ids;
+      for (const LeaseHolder& h : lease.holders) {
+        EXPECT_TRUE(ids.insert(h.id).second)
+            << "double-granted holder " << h.id << " seed " << seed
+            << " step " << step;
+      }
+      // Invariant: the holder cap is never exceeded.
+      EXPECT_LE(lease.holders.size(), policy.max_holders)
+          << "seed " << seed << " step " << step;
+      // Invariant: assignments are monotonic and holders imply leased.
+      EXPECT_GE(lease.assignments, last_assignments);
+      last_assignments = lease.assignments;
+      if (!lease.holders.empty()) {
+        EXPECT_EQ(lease.phase, LeasePhase::kLeased);
+      }
+      if (lease.phase == LeasePhase::kDone) {
+        EXPECT_TRUE(lease.holders.empty());
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission queue.
+
+TEST(AdmissionTest, ResolveDeadlineBudget) {
+  const milliseconds kNone(0);
+  // Explicit request passes through.
+  EXPECT_EQ(resolve_deadline_budget(milliseconds(5000), milliseconds(60000),
+                                    milliseconds(120000)),
+            milliseconds(5000));
+  // No request -> fallback.
+  EXPECT_EQ(resolve_deadline_budget(kNone, milliseconds(60000),
+                                    milliseconds(120000)),
+            milliseconds(60000));
+  // Over the cap -> clamped.
+  EXPECT_EQ(resolve_deadline_budget(milliseconds(999999), milliseconds(60000),
+                                    milliseconds(120000)),
+            milliseconds(120000));
+  // "Unlimited" (no request, no fallback) still hits the cap.
+  EXPECT_EQ(resolve_deadline_budget(kNone, kNone, milliseconds(120000)),
+            milliseconds(120000));
+  // No cap at all: unlimited stays unlimited.
+  EXPECT_EQ(resolve_deadline_budget(kNone, kNone, kNone), kNone);
+}
+
+TEST(AdmissionTest, RoundRobinIsFairAcrossClients) {
+  AdmissionQueue<int> q({.max_queued_per_client = 8, .max_queued_total = 64});
+  q.add_client(1);
+  q.add_client(2);
+  q.add_client(3);
+  for (int i = 0; i < 3; ++i) q.enqueue(1, 100 + i);  // greedy client
+  q.enqueue(2, 200);
+  q.enqueue(3, 300);
+
+  std::vector<int> order;
+  while (auto job = q.next()) order.push_back(*job);
+  // Client 1 cannot starve 2 and 3: one grant each per revolution.
+  EXPECT_EQ(order, (std::vector<int>{100, 200, 300, 101, 102}));
+  EXPECT_EQ(q.queued_total(), 0u);
+}
+
+TEST(AdmissionTest, CursorResumesPastLastGrant) {
+  AdmissionQueue<int> q({.max_queued_per_client = 8, .max_queued_total = 64});
+  q.add_client(1);
+  q.add_client(2);
+  q.enqueue(1, 10);
+  EXPECT_EQ(q.next(), std::optional<int>(10));  // cursor now past client 1
+  q.enqueue(1, 11);
+  q.enqueue(2, 20);
+  // Fairness: client 2 goes first even though 1 enqueued first.
+  EXPECT_EQ(q.next(), std::optional<int>(20));
+  EXPECT_EQ(q.next(), std::optional<int>(11));
+}
+
+TEST(AdmissionTest, CapsRejectBeforeEnqueue) {
+  AdmissionQueue<int> q({.max_queued_per_client = 2, .max_queued_total = 3});
+  q.add_client(1);
+  q.add_client(2);
+  q.enqueue(1, 10);
+  q.enqueue(1, 11);
+  EXPECT_TRUE(q.full(1));   // per-client cap
+  EXPECT_FALSE(q.full(2));
+  q.enqueue(2, 20);
+  EXPECT_TRUE(q.full(2));   // total cap now binds every client
+  EXPECT_EQ(q.queued_total(), 3u);
+}
+
+TEST(AdmissionTest, ZeroLimitsClampToOne) {
+  AdmissionQueue<int> q({.max_queued_per_client = 0, .max_queued_total = 0});
+  EXPECT_EQ(q.limits().max_queued_per_client, 1u);
+  EXPECT_EQ(q.limits().max_queued_total, 1u);
+}
+
+TEST(AdmissionTest, RemoveClientKeepsCursorOnSurvivors) {
+  AdmissionQueue<int> q({.max_queued_per_client = 8, .max_queued_total = 64});
+  q.add_client(1);
+  q.add_client(2);
+  q.add_client(3);
+  q.enqueue(1, 10);
+  q.enqueue(2, 20);
+  q.enqueue(3, 30);
+  EXPECT_EQ(q.next(), std::optional<int>(10));  // cursor at client 2
+  // Client 1 (before the cursor) leaves: the cursor must still point at 2.
+  const auto dropped = q.remove_client(1);
+  EXPECT_TRUE(dropped.empty());
+  EXPECT_EQ(q.next(), std::optional<int>(20));
+  EXPECT_EQ(q.next(), std::optional<int>(30));
+}
+
+TEST(AdmissionTest, RemoveClientReturnsQueuedJobs) {
+  AdmissionQueue<int> q({.max_queued_per_client = 8, .max_queued_total = 64});
+  q.add_client(1);
+  q.add_client(2);
+  q.enqueue(1, 10);
+  q.enqueue(1, 11);
+  q.enqueue(2, 20);
+  const auto dropped = q.remove_client(1);
+  ASSERT_EQ(dropped.size(), 2u);
+  EXPECT_EQ(dropped[0], 10);
+  EXPECT_EQ(dropped[1], 11);
+  EXPECT_EQ(q.queued_total(), 1u);
+  EXPECT_EQ(q.next(), std::optional<int>(20));
+  // Unknown client: no-op.
+  EXPECT_TRUE(q.remove_client(99).empty());
+}
+
+TEST(AdmissionTest, RemoveOneTargetsFirstMatchOnly) {
+  AdmissionQueue<int> q({.max_queued_per_client = 8, .max_queued_total = 64});
+  q.add_client(1);
+  q.enqueue(1, 10);
+  q.enqueue(1, 20);
+  q.enqueue(1, 20);
+  const auto removed = q.remove_one(1, [](int job) { return job == 20; });
+  EXPECT_EQ(removed, std::optional<int>(20));
+  EXPECT_EQ(q.queued_total(), 2u);
+  // FIFO order of the rest is untouched: 10 then the second 20.
+  EXPECT_EQ(q.next(), std::optional<int>(10));
+  EXPECT_EQ(q.next(), std::optional<int>(20));
+  EXPECT_EQ(q.remove_one(1, [](int) { return true; }), std::nullopt);
+}
+
+TEST(AdmissionTest, SweepVisitsClientOrderFifoWithin) {
+  AdmissionQueue<int> q({.max_queued_per_client = 8, .max_queued_total = 64});
+  q.add_client(3);
+  q.add_client(1);
+  q.add_client(2);
+  q.enqueue(3, 31);
+  q.enqueue(1, 11);
+  q.enqueue(1, 12);
+  q.enqueue(2, 21);
+  const auto removed = q.sweep([](int job) { return job != 21; });
+  // Client-id ascending, FIFO within: 11, 12, 31.
+  EXPECT_EQ(removed, (std::vector<int>{11, 12, 31}));
+  EXPECT_EQ(q.queued_total(), 1u);
+  EXPECT_EQ(q.next(), std::optional<int>(21));
+}
+
+TEST(AdmissionTest, FlushClientEmptiesInFifoOrder) {
+  AdmissionQueue<int> q({.max_queued_per_client = 8, .max_queued_total = 64});
+  q.add_client(1);
+  q.enqueue(1, 10);
+  q.enqueue(1, 11);
+  const auto flushed = q.flush_client(1);
+  ASSERT_EQ(flushed.size(), 2u);
+  EXPECT_EQ(flushed[0], 10);
+  EXPECT_EQ(flushed[1], 11);
+  EXPECT_EQ(q.queued_total(), 0u);
+  const auto* view = q.queue(1);
+  ASSERT_NE(view, nullptr);
+  EXPECT_TRUE(view->empty());
+  EXPECT_TRUE(q.flush_client(42).empty());
+}
+
+TEST(AdmissionTest, RandomizedBookkeeping) {
+  // Whatever interleaving of enqueue/next/remove/sweep happens,
+  // queued_total always equals the sum of queue depths and no grant ever
+  // fabricates or loses a job.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(stream_seed(0xADA17, seed));
+    AdmissionQueue<int> q(
+        {.max_queued_per_client = 4, .max_queued_total = 12});
+    std::vector<std::size_t> clients;
+    int next_job = 0;
+    std::size_t granted = 0, enqueued = 0, removed = 0;
+    for (int step = 0; step < 500; ++step) {
+      switch (rng.below(5)) {
+        case 0: {
+          const std::size_t id = 1 + rng.below(6);
+          if (std::find(clients.begin(), clients.end(), id) ==
+              clients.end()) {
+            q.add_client(id);
+            clients.push_back(id);
+          }
+          break;
+        }
+        case 1:
+          if (!clients.empty()) {
+            const std::size_t id = clients[rng.below(clients.size())];
+            if (!q.full(id)) {
+              q.enqueue(id, next_job++);
+              ++enqueued;
+            }
+          }
+          break;
+        case 2:
+          if (q.next()) ++granted;
+          break;
+        case 3:
+          if (!clients.empty() && rng.bernoulli(0.2)) {
+            const std::size_t idx = rng.below(clients.size());
+            removed += q.remove_client(clients[idx]).size();
+            clients.erase(clients.begin() +
+                          static_cast<std::ptrdiff_t>(idx));
+          }
+          break;
+        case 4:
+          if (rng.bernoulli(0.1)) {
+            removed += q.sweep([&](int job) {
+                          return job % 7 == static_cast<int>(seed % 7);
+                        }).size();
+          }
+          break;
+      }
+      std::size_t depth_sum = 0;
+      for (const std::size_t id : clients) {
+        if (const auto* view = q.queue(id)) depth_sum += view->size();
+      }
+      EXPECT_EQ(depth_sum, q.queued_total())
+          << "seed " << seed << " step " << step;
+      EXPECT_EQ(enqueued, granted + removed + q.queued_total())
+          << "seed " << seed << " step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpe::sched

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "dist/transport.hpp"
+#include "dist/worker.hpp"
 #include "maxpower/campaign.hpp"
 #include "server/circuit_cache.hpp"
 #include "server/server.hpp"
@@ -233,6 +234,7 @@ class LiveServer {
   ~LiveServer() { stop(); }
 
   std::uint16_t port() const { return server_->tcp_port(); }
+  std::uint16_t worker_port() const { return server_->worker_tcp_port(); }
 
   const ms::ServerReport& stop() {
     options_.control.cancel.request_stop();
@@ -414,6 +416,123 @@ TEST(ServerLive, ControlTripDrainsGracefullyAndNotifiesClients) {
 
   const auto notice = client.recv();
   EXPECT_EQ(notice.kind, ms::ServerMessageKind::kDrain);
+}
+
+// ------------------------------------------------------ fleet execution
+
+TEST(ServerFleet, JobsRunOnTheWorkerFleetByteIdenticalToLocal) {
+  // The tentpole guarantee end to end: a server in fleet mode carves each
+  // submitted job into shard leases, campaign workers compute them, and the
+  // client's result line — numbers AND report text — is byte-identical to
+  // the same server running jobs in-process. The local reference runs with
+  // trace_capacity = 0 because fleet reports carry no tracer events.
+  ms::ServerOptions local_options;
+  local_options.state_dir = fresh_dir("server_fleet_ident/local");
+  local_options.trace_capacity = 0;
+  std::vector<ms::ServerMessage> local;
+  {
+    LiveServer server{local_options};
+    Client client(server.port());
+    ASSERT_TRUE(client.alive());
+    client.handshake("local");
+    client.submit("j1", tiny_job("j1", 7));
+    local.push_back(client.await_terminal("j1"));
+    client.submit("j2", tiny_job("j2", 9));
+    local.push_back(client.await_terminal("j2"));
+  }
+  ASSERT_EQ(local[0].status, mp::JobStatus::kDone);
+  ASSERT_EQ(local[1].status, mp::JobStatus::kDone);
+
+  ms::ServerOptions options;
+  options.state_dir = fresh_dir("server_fleet_ident/state");
+  options.fleet.enabled = true;
+  options.fleet.worker_tcp = true;   // port 0: kernel-assigned
+  options.fleet.lease = std::chrono::milliseconds(2000);
+  LiveServer server{options};
+  ASSERT_NE(server.worker_port(), 0u);
+
+  // Two campaign workers dial the worker-facing listener, each with its own
+  // state directory (the cross-host posture: nothing shared but the
+  // protocol).
+  auto worker_main = [&](const std::string& id) {
+    md::WorkerConfig worker;
+    worker.tcp_port = server.worker_port();
+    worker.worker_id = id;
+    worker.state_dir = fresh_dir("server_fleet_ident/" + id);
+    worker.heartbeat = 100ms;
+    return md::run_worker(worker);
+  };
+  md::WorkerSummary s0, s1;
+  std::thread w0([&] { s0 = worker_main("w0"); });
+  std::thread w1([&] { s1 = worker_main("w1"); });
+
+  Client client(server.port());
+  ASSERT_TRUE(client.alive());
+  client.handshake("fleet");
+  client.submit("j1", tiny_job("j1", 7));
+  const auto r1 = client.await_terminal("j1");
+  client.submit("j2", tiny_job("j2", 9));
+  const auto r2 = client.await_terminal("j2");
+
+  // Shutting the server down drains the embedded coordinator; lingering
+  // workers are told to go home and exit `drained`.
+  const auto& report = server.stop();
+  w0.join();
+  w1.join();
+  EXPECT_TRUE(report.drained);
+  EXPECT_TRUE(s0.drained);
+  EXPECT_TRUE(s1.drained);
+  // The fleet actually computed shards — execution was not local.
+  EXPECT_GT(s0.shards + s1.shards, 0u);
+
+  for (std::size_t i = 0; const auto* fleet : {&r1, &r2}) {
+    const ms::ServerMessage& ref = local[i++];
+    ASSERT_EQ(fleet->kind, ms::ServerMessageKind::kResult);
+    ASSERT_EQ(fleet->status, mp::JobStatus::kDone);
+    EXPECT_EQ(fleet->estimate, ref.estimate);  // bit-exact
+    EXPECT_EQ(fleet->ci_lower, ref.ci_lower);
+    EXPECT_EQ(fleet->ci_upper, ref.ci_upper);
+    EXPECT_EQ(fleet->hyper_samples, ref.hyper_samples);
+    EXPECT_EQ(fleet->units, ref.units);
+    EXPECT_EQ(fleet->converged, ref.converged);
+    EXPECT_EQ(fleet->text, ref.text);  // the whole report, byte-identical
+  }
+  // Shard progress streamed to the submitter as events.
+  EXPECT_GT(client.events(), 0u);
+}
+
+TEST(ServerFleet, CancelAbandonsTheFleetJobAndAnswersStopped) {
+  ms::ServerOptions options;
+  options.state_dir = fresh_dir("server_fleet_cancel/state");
+  options.fleet.enabled = true;
+  options.fleet.worker_tcp = true;
+  options.fleet.lease = std::chrono::milliseconds(2000);
+  LiveServer server{options};
+
+  auto worker_main = [&] {
+    md::WorkerConfig worker;
+    worker.tcp_port = server.worker_port();
+    worker.worker_id = "w0";
+    worker.state_dir = fresh_dir("server_fleet_cancel/w0");
+    worker.heartbeat = 100ms;
+    return md::run_worker(worker);
+  };
+  md::WorkerSummary s0;
+  std::thread w0([&] { s0 = worker_main(); });
+
+  Client client(server.port());
+  ASSERT_TRUE(client.alive());
+  client.handshake("cancel");
+  client.submit("slow", slow_job("slow"));
+  client.send(ms::encode_cancel("slow"));
+  const auto result = client.await_terminal("slow");
+  ASSERT_EQ(result.kind, ms::ServerMessageKind::kResult);
+  EXPECT_EQ(result.status, mp::JobStatus::kStopped);
+  EXPECT_EQ(result.code, mpe::ErrorCode::kCancelled);
+
+  EXPECT_TRUE(server.stop().drained);
+  w0.join();
+  EXPECT_TRUE(s0.drained);
 }
 
 TEST(ServerLive, UnixSocketServesTheSameProtocol) {

@@ -85,7 +85,9 @@ void install_signal_handlers() {
       "  campaign-coordinator: --manifest <jobs.jsonl> --state-dir <dir>\n"
       "            --socket <path> | --tcp-port N [--host H]\n"
       "            [--report F] [--lease-ms N] [--job-deadline-ms N]\n"
-      "            [--max-assign N] [--shard-size K] [--straggler-ms N]\n"
+      "            [--max-assign N] [--shard-size K|auto] [--straggler-ms N]\n"
+      "            [--shard-floor N] [--shard-ceiling N] "
+      "[--shard-target-ms N]\n"
       "  campaign-worker: --socket <path> | --tcp HOST:PORT\n"
       "            --state-dir <dir> --worker-id ID\n"
       "            [--threads N] [--retries N] [--heartbeat-ms N]\n"
@@ -97,6 +99,12 @@ void install_signal_handlers() {
       "            [--max-queue N] [--queue-per-client N] [--threads N]\n"
       "            [--job-deadline-ms N] [--max-deadline-ms N]\n"
       "            [--drain-grace-ms N] [--poll-ms N] [--trace-capacity N]\n"
+      "            fleet mode (jobs run on campaign workers):\n"
+      "            --fleet --worker-socket <path> | --worker-port N\n"
+      "            [--worker-host H] [--lease-ms N] [--max-assign N]\n"
+      "            [--shard-size K|auto] [--shard-floor N] "
+      "[--shard-ceiling N]\n"
+      "            [--shard-target-ms N] [--straggler-ms N]\n"
       "  submit  : --socket <path> | --port N [--host H]\n"
       "            --job ID + estimate-style job flags, or --manifest F\n"
       "            [--deadline-ms N] [--report-dir DIR] [--timeout-ms N]\n"
@@ -391,10 +399,35 @@ int cmd_campaign(const Cli& cli) {
   return 0;
 }
 
+/// Parses --shard-size K|auto (plus --shard-floor / --shard-ceiling /
+/// --shard-target-ms) into the coordinator-style sizing knobs. Shared by
+/// campaign-coordinator and serve --fleet.
+void parse_shard_sizing(const Cli& cli, std::size_t& shard_size,
+                        bool& shard_auto, std::size_t& floor,
+                        std::size_t& ceiling,
+                        std::chrono::milliseconds& target) {
+  if (cli.get("shard-size", "") == "auto") {
+    shard_auto = true;
+    shard_size = 0;
+  } else if (cli.has("shard-size")) {
+    shard_auto = false;
+    shard_size = static_cast<std::size_t>(
+        std::max<long long>(0, cli.get_int("shard-size", 0)));
+  }
+  floor = static_cast<std::size_t>(std::max<long long>(
+      1, cli.get_int("shard-floor", static_cast<std::int64_t>(floor))));
+  ceiling = static_cast<std::size_t>(std::max<long long>(
+      static_cast<long long>(floor),
+      cli.get_int("shard-ceiling", static_cast<std::int64_t>(ceiling))));
+  const auto target_ms = cli.get_int("shard-target-ms", 0);
+  if (target_ms > 0) target = std::chrono::milliseconds(target_ms);
+}
+
 int cmd_campaign_coordinator(const Cli& cli) {
   cli.check_known({"manifest", "state-dir", "socket", "tcp-port", "host",
                    "report", "lease-ms", "job-deadline-ms", "max-assign",
-                   "shard-size", "straggler-ms", "drain-grace-ms"});
+                   "shard-size", "shard-floor", "shard-ceiling",
+                   "shard-target-ms", "straggler-ms", "drain-grace-ms"});
   dist::CoordinatorConfig config;
   const std::string manifest = cli.get("manifest", "");
   config.state_dir = cli.get("state-dir", "");
@@ -413,8 +446,9 @@ int cmd_campaign_coordinator(const Cli& cli) {
   }
   config.max_assignments = static_cast<std::size_t>(
       std::max<long long>(1, cli.get_int("max-assign", 5)));
-  config.shard_size = static_cast<std::size_t>(
-      std::max<long long>(0, cli.get_int("shard-size", 0)));
+  parse_shard_sizing(cli, config.shard_size, config.shard_auto,
+                     config.shard_size_floor, config.shard_size_ceiling,
+                     config.shard_target_latency);
   const auto straggler_ms = cli.get_int("straggler-ms", 0);
   if (straggler_ms > 0) {
     config.straggler_after = std::chrono::milliseconds(straggler_ms);
@@ -549,7 +583,10 @@ int cmd_serve(const Cli& cli) {
   cli.check_known({"socket", "tcp-port", "host", "state-dir", "cache-cap",
                    "max-active", "max-queue", "queue-per-client", "threads",
                    "job-deadline-ms", "max-deadline-ms", "drain-grace-ms",
-                   "poll-ms", "trace-capacity"});
+                   "poll-ms", "trace-capacity", "fleet", "worker-socket",
+                   "worker-port", "worker-host", "lease-ms", "max-assign",
+                   "shard-size", "shard-floor", "shard-ceiling",
+                   "shard-target-ms", "straggler-ms"});
   server::ServerOptions opt;
   opt.unix_socket = cli.get("socket", "");
   if (cli.has("tcp-port")) {
@@ -593,6 +630,32 @@ int cmd_serve(const Cli& cli) {
     opt.trace_capacity = static_cast<std::size_t>(
         std::max<long long>(0, cli.get_int("trace-capacity", 256)));
   }
+  if (cli.has("fleet") || cli.has("worker-socket") || cli.has("worker-port")) {
+    opt.fleet.enabled = true;
+    opt.fleet.worker_socket = cli.get("worker-socket", "");
+    if (cli.has("worker-port")) {
+      opt.fleet.worker_tcp = true;
+      opt.fleet.worker_tcp_port =
+          static_cast<std::uint16_t>(cli.get_int("worker-port", 0));
+    }
+    opt.fleet.worker_tcp_host = cli.get("worker-host", "127.0.0.1");
+    if (opt.fleet.worker_socket.empty() && !opt.fleet.worker_tcp) usage();
+    if (opt.state_dir.empty()) usage();  // the fleet ledger lives under it
+    opt.fleet.lease = std::chrono::milliseconds(
+        std::max<long long>(100, cli.get_int("lease-ms", 5000)));
+    opt.fleet.max_assignments = static_cast<std::size_t>(
+        std::max<long long>(1, cli.get_int("max-assign", 5)));
+    // FleetOptions encodes "auto" as shard_size == 0 (the default).
+    bool shard_auto = opt.fleet.shard_size == 0;
+    parse_shard_sizing(cli, opt.fleet.shard_size, shard_auto,
+                       opt.fleet.shard_size_floor, opt.fleet.shard_size_ceiling,
+                       opt.fleet.shard_target_latency);
+    if (shard_auto) opt.fleet.shard_size = 0;
+    const auto straggler_ms = cli.get_int("straggler-ms", 0);
+    if (straggler_ms > 0) {
+      opt.fleet.straggler_after = std::chrono::milliseconds(straggler_ms);
+    }
+  }
   opt.control.cancel = g_cancel;  // SIGINT/SIGTERM -> graceful drain
   util::MetricRegistry::global().enable(true);  // feeds the scrape endpoint
 
@@ -603,6 +666,14 @@ int cmd_serve(const Cli& cli) {
   if (opt.tcp) {
     std::printf("listening tcp %s:%u\n", opt.tcp_host.c_str(),
                 static_cast<unsigned>(server.tcp_port()));
+  }
+  if (opt.fleet.enabled && !opt.fleet.worker_socket.empty()) {
+    std::printf("listening worker unix %s\n", opt.fleet.worker_socket.c_str());
+  }
+  if (opt.fleet.enabled && opt.fleet.worker_tcp) {
+    std::printf("listening worker tcp %s:%u\n",
+                opt.fleet.worker_tcp_host.c_str(),
+                static_cast<unsigned>(server.worker_tcp_port()));
   }
   std::fflush(stdout);  // clients parse the port from this line
 
